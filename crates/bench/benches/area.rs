@@ -1,0 +1,37 @@
+//! Criterion bench: generation + implementation (area/timing model) cost of
+//! both memory organizations across the paper's scenarios (E1-E4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
+use memsync_fpga::report::implement;
+
+fn bench_wrappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wrapper_implement");
+    for &n in &[2usize, 4, 8] {
+        for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), n),
+                &n,
+                |b, &n| {
+                    let spec = WrapperSpec::single_producer(n);
+                    b.iter(|| {
+                        let m = match kind {
+                            OrganizationKind::Arbitrated => arbitrated::generate(&spec),
+                            OrganizationKind::EventDriven => event_driven::generate(&spec),
+                        }
+                        .expect("valid spec");
+                        implement(&m).expect("loop-free")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_wrappers
+}
+criterion_main!(benches);

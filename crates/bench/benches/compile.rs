@@ -1,0 +1,28 @@
+//! Criterion bench: end-to-end hic compilation speed (front-end, synthesis,
+//! organization generation) across application sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsync_core::Compiler;
+use memsync_netapp::forwarding::app_source;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_app");
+    for &egress in &[2usize, 8] {
+        let src = app_source(egress);
+        group.bench_with_input(BenchmarkId::from_parameter(egress), &src, |b, src| {
+            b.iter(|| {
+                let mut compiler = Compiler::new(src.as_str());
+                compiler.skip_validation();
+                compiler.compile().expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: cycle throughput of the behavioral wrapper models and
+//! the full-system simulator (E6 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsync_bench::latency_experiment;
+use memsync_core::{Compiler, OrganizationKind};
+use memsync_sim::System;
+
+fn bench_latency_experiment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("latency_experiment");
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        group.bench_function(kind.to_string(), |b| {
+            b.iter(|| latency_experiment(kind, 8, 50, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let src = memsync_netapp::forwarding::app_source(4);
+    let mut compiler = Compiler::new(&src);
+    compiler.skip_validation();
+    let compiled = compiler.compile().expect("app compiles");
+    c.bench_function("full_system_1000_cycles", |b| {
+        b.iter(|| {
+            let mut sys = System::new(&compiled);
+            sys.push_message("rx", 0x0a0a_0a40);
+            for _ in 0..1000 {
+                sys.step();
+            }
+            sys.cycle()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_latency_experiment, bench_full_system
+}
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Regenerates the scalability ablation (E9): the cost of adding one
+//! consumer to each organization — the arbitrated organization changes only
+//! multiplexing (LUTs), never the sequential state; the event-driven
+//! organization requires schedule/ROM changes too.
+
+use memsync_bench::ablation_scalability;
+
+fn main() {
+    println!("Cost of adding one consumer (n -> n+1)\n");
+    println!("| base n | org | LUT delta | FF delta | state machine changed |");
+    println!("|--------|-----|-----------|----------|-----------------------|");
+    for base in [2usize, 4, 7] {
+        for r in ablation_scalability(base) {
+            println!(
+                "| {base} | {} | {:+} | {:+} | {} |",
+                r.organization,
+                r.lut_delta,
+                r.ff_delta,
+                if r.state_changed { "yes" } else { "no" }
+            );
+        }
+    }
+    println!("\npaper: \"only the multiplexing required to support new consumer");
+    println!("thread needs to be added and no changes need to be made to the");
+    println!("thread related state machine(s)\" (arbitrated organization).");
+    println!("note: our event-driven wrapper also keeps FFs constant because the");
+    println!("event chain is centralized in the selection logic; its scaling cost");
+    println!("is that the schedule ROM / mux network contents must be regenerated");
+    println!("(see EXPERIMENTS.md E9).");
+}

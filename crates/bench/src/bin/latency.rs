@@ -1,0 +1,35 @@
+//! Regenerates the latency/determinism comparison (E6): the arbitrated
+//! organization's consumer-read latency after a producer write is
+//! non-deterministic; the event-driven organization's is exact.
+
+use memsync_bench::{latency_experiment, SCENARIOS};
+use memsync_core::OrganizationKind;
+
+fn main() {
+    println!("Produce-to-consume latency, Bernoulli-paced producer, 200 writes\n");
+    println!("| org | consumers | min | mean | max | variance | deterministic |");
+    println!("|-----|-----------|-----|------|-----|----------|---------------|");
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        for &n in &SCENARIOS {
+            let r = latency_experiment(kind, n, 200, 0xC0FFEE);
+            println!(
+                "| {kind} | {n} | {} | {:.2} | {} | {:.2} | {} |",
+                r.pooled.min,
+                r.pooled.mean,
+                r.pooled.max,
+                r.pooled.variance,
+                if r.all_deterministic { "yes" } else { "no" }
+            );
+        }
+    }
+    println!("\nper-consumer detail (8 consumers):");
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        let r = latency_experiment(kind, 8, 200, 0xC0FFEE);
+        for (i, s) in r.per_consumer.iter().enumerate() {
+            println!(
+                "  {kind} consumer {i}: min {} mean {:.2} max {} var {:.2}",
+                s.min, s.mean, s.max, s.variance
+            );
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Regenerates the §4 overhead accounting (E5): synchronization slices as a
+//! fraction of the forwarding core (paper: 5-20% of a ~1000-slice core,
+//! 5430-slice total application).
+
+use memsync_bench::{overhead_experiment, SCENARIOS};
+use memsync_core::OrganizationKind;
+
+fn main() {
+    println!("Synchronization overhead of the IP forwarding application\n");
+    println!("| org | egress | core slices | sync slices | total | overhead | fmax (MHz) |");
+    println!("|-----|--------|-------------|-------------|-------|----------|------------|");
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        for &n in &SCENARIOS {
+            let r = overhead_experiment(kind, n);
+            println!(
+                "| {kind} | {n} | {} | {} | {} | {:.1}% | {:.0} |",
+                r.core_slices,
+                r.sync_slices,
+                r.total_slices,
+                r.overhead_fraction * 100.0,
+                r.fmax_mhz
+            );
+        }
+    }
+    println!("\npaper band: 5-20% of the core functionality");
+}

@@ -1,0 +1,64 @@
+//! Runs every experiment and emits the measured section of EXPERIMENTS.md
+//! (markdown on stdout; `--json` for machine-readable output).
+
+use memsync_bench::*;
+use memsync_core::OrganizationKind;
+
+fn main() {
+    let json = std::env::args().any(|a| a == "--json");
+    let t1 = table_area(OrganizationKind::Arbitrated);
+    let t2 = table_area(OrganizationKind::EventDriven);
+    let overhead: Vec<_> = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+        .iter()
+        .flat_map(|&k| {
+            SCENARIOS
+                .iter()
+                .map(move |&n| (k.to_string(), overhead_experiment(k, n)))
+        })
+        .collect();
+    let latency: Vec<_> = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+        .iter()
+        .flat_map(|&k| {
+            SCENARIOS
+                .iter()
+                .map(move |&n| (k.to_string(), latency_experiment(k, n, 200, 0xC0FFEE)))
+        })
+        .collect();
+    let ablation: Vec<_> = [2usize, 4, 7]
+        .iter()
+        .flat_map(|&b| ablation_scalability(b))
+        .collect();
+
+    if json {
+        let blob = serde_json::json!({
+            "table1": t1, "table2": t2,
+            "overhead": overhead,
+            "latency": latency,
+            "ablation": ablation,
+        });
+        println!("{}", serde_json::to_string_pretty(&blob).expect("serializable"));
+        return;
+    }
+
+    println!("## Measured results\n");
+    println!("{}", render_area_table(OrganizationKind::Arbitrated, &t1));
+    println!("{}", render_area_table(OrganizationKind::EventDriven, &t2));
+    println!("### Overhead (E5)\n");
+    println!("| org | egress | core | sync | overhead |");
+    println!("|-----|--------|------|------|----------|");
+    for (org, r) in &overhead {
+        println!(
+            "| {org} | {} | {} | {} | {:.1}% |",
+            r.egress, r.core_slices, r.sync_slices, r.overhead_fraction * 100.0
+        );
+    }
+    println!("\n### Latency (E6)\n");
+    println!("| org | consumers | min | mean | max | deterministic |");
+    println!("|-----|-----------|-----|------|-----|---------------|");
+    for (org, r) in &latency {
+        println!(
+            "| {org} | {} | {} | {:.2} | {} | {} |",
+            r.consumers, r.pooled.min, r.pooled.mean, r.pooled.max, r.all_deterministic
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table 1** — required area for the arbitrated memory
+//! organization (per-BRAM overhead, P/C = 1/2, 1/4, 1/8).
+
+use memsync_bench::{render_area_table, table_area};
+use memsync_core::OrganizationKind;
+
+fn main() {
+    let rows = table_area(OrganizationKind::Arbitrated);
+    println!("Table 1: Required area for arbitrated memory organization");
+    println!("(paper anchors: FF constant at 66; LUT/slices grow with consumers)\n");
+    println!("{}", render_area_table(OrganizationKind::Arbitrated, &rows));
+}

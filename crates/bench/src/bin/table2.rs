@@ -1,0 +1,11 @@
+//! Regenerates **Table 2** — required area for the event-driven statically
+//! scheduled memory organization (P/C = 1/2, 1/4, 1/8).
+
+use memsync_bench::{render_area_table, table_area};
+use memsync_core::OrganizationKind;
+
+fn main() {
+    let rows = table_area(OrganizationKind::EventDriven);
+    println!("Table 2: Required area for event-driven statically scheduled memory organization\n");
+    println!("{}", render_area_table(OrganizationKind::EventDriven, &rows));
+}

@@ -1,0 +1,30 @@
+//! Regenerates the §4 timing results (E3/E4): achieved Fmax for both
+//! organizations at 2/4/8 consumers, against the paper's anchors.
+
+use memsync_bench::{fmax_anchors, implement_wrapper, SCENARIOS};
+use memsync_core::OrganizationKind;
+
+fn main() {
+    println!("Achieved clock rates (post implementation model), target 125 MHz\n");
+    println!("| consumers | arbitrated (MHz) | paper | event-driven (MHz) | paper |");
+    println!("|-----------|------------------|-------|--------------------|-------|");
+    let aa = fmax_anchors(OrganizationKind::Arbitrated);
+    let ea = fmax_anchors(OrganizationKind::EventDriven);
+    for (i, &n) in SCENARIOS.iter().enumerate() {
+        let a = implement_wrapper(OrganizationKind::Arbitrated, n);
+        let e = implement_wrapper(OrganizationKind::EventDriven, n);
+        println!(
+            "| {n} | {:.1} | {:.0} | {:.1} | {:.0} |",
+            a.timing.fmax_mhz, aa[i], e.timing.fmax_mhz, ea[i]
+        );
+    }
+    println!("\ncritical paths (ns):");
+    for &n in &SCENARIOS {
+        let a = implement_wrapper(OrganizationKind::Arbitrated, n);
+        let e = implement_wrapper(OrganizationKind::EventDriven, n);
+        println!(
+            "  n={n}: arbitrated {:.2} ns, event-driven {:.2} ns",
+            a.timing.critical_path_ns, e.timing.critical_path_ns
+        );
+    }
+}

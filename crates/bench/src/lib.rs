@@ -1,0 +1,381 @@
+//! # memsync-bench — experiment harness
+//!
+//! One function per table/figure of the paper (see DESIGN.md §4); the
+//! binaries in `src/bin/` print the same rows the paper reports, and the
+//! integration tests assert the shape criteria. Everything here is driven
+//! by the same generators/models the library ships — nothing is hard-coded
+//! except the paper's published anchors.
+
+#![warn(missing_docs)]
+
+use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
+use memsync_fpga::calibration::PAPER_ANCHORS;
+use memsync_fpga::report::{implement, ImplReport};
+use memsync_sim::arb_model::{ArbInputs, ArbitratedModel};
+use memsync_sim::event_model::{EvtInputs, EventDrivenModel};
+use memsync_sim::metrics::{LatencyRecorder, LatencyStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The paper's three scenarios: one producer with 2, 4, 8 consumers.
+pub const SCENARIOS: [usize; 3] = [2, 4, 8];
+
+/// One row of Table 1 / Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaRow {
+    /// Producer/consumer label, e.g. "1/4".
+    pub pc: String,
+    /// LUT count.
+    pub luts: u32,
+    /// Flip-flop count.
+    pub ffs: u32,
+    /// Occupied slices.
+    pub slices: u32,
+    /// Achieved Fmax in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Generates and implements the wrapper for one scenario.
+///
+/// # Panics
+///
+/// Panics if generation fails (the scenarios are within spec limits).
+pub fn implement_wrapper(kind: OrganizationKind, consumers: usize) -> ImplReport {
+    let spec = WrapperSpec::single_producer(consumers);
+    let module = match kind {
+        OrganizationKind::Arbitrated => arbitrated::generate(&spec),
+        OrganizationKind::EventDriven => event_driven::generate(&spec),
+    }
+    .expect("paper scenarios are valid specs");
+    implement(&module).expect("wrappers are loop-free")
+}
+
+/// Regenerates Table 1 (arbitrated) or Table 2 (event-driven).
+pub fn table_area(kind: OrganizationKind) -> Vec<AreaRow> {
+    SCENARIOS
+        .iter()
+        .map(|&n| {
+            let r = implement_wrapper(kind, n);
+            AreaRow {
+                pc: format!("1/{n}"),
+                luts: r.luts,
+                ffs: r.ffs,
+                slices: r.slices,
+                fmax_mhz: r.timing.fmax_mhz,
+            }
+        })
+        .collect()
+}
+
+/// The published Fmax anchors for a given organization (MHz, for 2/4/8).
+pub fn fmax_anchors(kind: OrganizationKind) -> [f64; 3] {
+    match kind {
+        OrganizationKind::Arbitrated => PAPER_ANCHORS.arbitrated_fmax_mhz,
+        OrganizationKind::EventDriven => PAPER_ANCHORS.event_driven_fmax_mhz,
+    }
+}
+
+/// Result of the overhead experiment (E5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OverheadResult {
+    /// Egress consumer count of the application build.
+    pub egress: usize,
+    /// Core (thread logic) slices.
+    pub core_slices: u32,
+    /// Synchronization wrapper slices.
+    pub sync_slices: u32,
+    /// Total slices.
+    pub total_slices: u32,
+    /// sync / core.
+    pub overhead_fraction: f64,
+    /// System Fmax in MHz.
+    pub fmax_mhz: f64,
+}
+
+/// Builds the forwarding application and measures the synchronization
+/// overhead relative to the core (paper band: 5–20 %).
+///
+/// # Panics
+///
+/// Panics if the generated application fails to compile (a harness bug).
+pub fn overhead_experiment(kind: OrganizationKind, egress: usize) -> OverheadResult {
+    let src = memsync_netapp::forwarding::app_source(egress);
+    let mut compiler = memsync_core::Compiler::new(&src);
+    compiler.organization(kind).skip_validation();
+    let system = compiler.compile().expect("generated app compiles");
+    let report = system.implement().expect("implementable");
+    OverheadResult {
+        egress,
+        core_slices: report.core_slices(),
+        sync_slices: report.sync_slices(),
+        total_slices: report.total_slices(),
+        overhead_fraction: report.overhead_fraction(),
+        fmax_mhz: report.fmax_mhz(),
+    }
+}
+
+/// Result of the latency experiment (E6) for one organization/scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyResult {
+    /// Consumer count.
+    pub consumers: usize,
+    /// Pooled statistics over all consumers.
+    pub pooled: LatencyStats,
+    /// Per-consumer statistics.
+    pub per_consumer: Vec<LatencyStats>,
+    /// Whether every per-consumer stream was exact (zero variance).
+    pub all_deterministic: bool,
+}
+
+/// Drives the behavioral wrapper models directly with a Bernoulli-paced
+/// producer and `consumers` consumers whose read requests arrive with a
+/// small random jitter after each write (consumer threads reach their read
+/// states at slightly different times), measuring write-to-data latency.
+pub fn latency_experiment(
+    kind: OrganizationKind,
+    consumers: usize,
+    writes: usize,
+    seed: u64,
+) -> LatencyResult {
+    const ADDR: u32 = 4;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut metrics = LatencyRecorder::new();
+    let max_cycles = (writes as u64 + 16) * 300;
+
+    match kind {
+        OrganizationKind::Arbitrated => {
+            let mut m = ArbitratedModel::new(1, consumers, 4);
+            m.configure(ADDR, consumers as u8).expect("fits the list");
+            // want_at[i]: cycle from which consumer i holds its read.
+            let mut want_at: Vec<Option<u64>> = vec![None; consumers];
+            let mut done_writes = 0usize;
+            let mut served = 0usize;
+            let mut cycle: u64 = 0;
+            while served < writes * consumers && cycle < max_cycles {
+                let round_complete = served == done_writes * consumers;
+                let fire = done_writes < writes && round_complete && rng.gen_bool(0.25);
+                let inp = ArbInputs {
+                    c_req: want_at
+                        .iter()
+                        .map(|w| match w {
+                            Some(at) if *at <= cycle => Some(ADDR),
+                            _ => None,
+                        })
+                        .collect(),
+                    d_req: vec![if fire {
+                        Some((ADDR, done_writes as u32, consumers as u8))
+                    } else {
+                        None
+                    }],
+                    a_req: None,
+                };
+                let out = m.step(&inp);
+                if out.d_grant[0] {
+                    metrics.record_write(ADDR, cycle);
+                    done_writes += 1;
+                    for w in want_at.iter_mut() {
+                        // Arrival jitter: each consumer reaches its read
+                        // state 0..4 cycles after the write lands.
+                        *w = Some(cycle + 1 + rng.gen_range(0..4));
+                    }
+                }
+                for (i, g) in out.c_grant.iter().enumerate() {
+                    if *g {
+                        want_at[i] = None;
+                    }
+                }
+                if let Some((i, _)) = out.c_data {
+                    metrics.record_delivery(ADDR, i, cycle);
+                    served += 1;
+                }
+                cycle += 1;
+            }
+        }
+        OrganizationKind::EventDriven => {
+            let schedule =
+                memsync_core::modulo::ModuloSchedule::new(vec![(0..consumers).collect()])
+                    .expect("valid schedule");
+            let mut m = EventDrivenModel::new(1, consumers, schedule);
+            let mut done_writes = 0usize;
+            let mut served = 0usize;
+            let mut cycle: u64 = 0;
+            while served < writes * consumers && cycle < max_cycles {
+                let round_complete = served == done_writes * consumers;
+                let fire = done_writes < writes && round_complete && rng.gen_bool(0.25);
+                let inp = EvtInputs {
+                    p_req: vec![if fire { Some((ADDR, done_writes as u32)) } else { None }],
+                    c_addr: vec![Some(ADDR); consumers],
+                    a_req: None,
+                };
+                let out = m.step(&inp);
+                if out.p_grant[0] {
+                    metrics.record_write(ADDR, cycle);
+                    done_writes += 1;
+                }
+                if let Some((i, _)) = out.c_data {
+                    metrics.record_delivery(ADDR, i, cycle);
+                    served += 1;
+                }
+                cycle += 1;
+            }
+        }
+    }
+
+    let per_consumer: Vec<LatencyStats> = (0..consumers)
+        .filter_map(|c| metrics.stats(ADDR, c))
+        .collect();
+    let pooled = metrics.pooled_stats().expect("samples recorded");
+    let all_deterministic = per_consumer.iter().all(LatencyStats::is_deterministic);
+    LatencyResult { consumers, pooled, per_consumer, all_deterministic }
+}
+
+/// Scalability ablation (E9): the netlist delta of adding one consumer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationResult {
+    /// Organization measured.
+    pub organization: String,
+    /// LUT delta going from n to n+1 consumers.
+    pub lut_delta: i64,
+    /// FF delta.
+    pub ff_delta: i64,
+    /// Whether the sequential state changed — the paper's criterion for
+    /// "no changes need to be made to the thread related state machine(s)".
+    pub state_changed: bool,
+}
+
+/// Measures what adding a consumer costs for both organizations.
+pub fn ablation_scalability(base_consumers: usize) -> Vec<AblationResult> {
+    [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+        .iter()
+        .map(|&kind| {
+            let a = implement_wrapper(kind, base_consumers);
+            let b = implement_wrapper(kind, base_consumers + 1);
+            AblationResult {
+                organization: kind.to_string(),
+                lut_delta: i64::from(b.luts) - i64::from(a.luts),
+                ff_delta: i64::from(b.ffs) - i64::from(a.ffs),
+                state_changed: a.ffs != b.ffs,
+            }
+        })
+        .collect()
+}
+
+/// Renders an area table as markdown.
+pub fn render_area_table(kind: OrganizationKind, rows: &[AreaRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("### {kind} memory organization\n\n"));
+    out.push_str("| P/C | LUT | FF | Slices | Fmax (MHz) | paper Fmax (MHz) |\n");
+    out.push_str("|-----|-----|----|--------|------------|------------------|\n");
+    let anchors = fmax_anchors(kind);
+    for (row, anchor) in rows.iter().zip(anchors.iter()) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {:.1} | {:.0} |\n",
+            row.pc, row.luts, row.ffs, row.slices, row.fmax_mhz, anchor
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape_matches_paper() {
+        let rows = table_area(OrganizationKind::Arbitrated);
+        assert_eq!(rows.len(), 3);
+        // FF constant at 66.
+        assert!(rows.iter().all(|r| r.ffs == PAPER_ANCHORS.arbitrated_ffs));
+        // LUTs and slices strictly increase.
+        assert!(rows[0].luts < rows[1].luts && rows[1].luts < rows[2].luts);
+        assert!(rows[0].slices < rows[1].slices && rows[1].slices < rows[2].slices);
+        // Fmax strictly decreases.
+        assert!(rows[0].fmax_mhz > rows[1].fmax_mhz && rows[1].fmax_mhz > rows[2].fmax_mhz);
+    }
+
+    #[test]
+    fn table2_shape_matches_paper() {
+        let rows = table_area(OrganizationKind::EventDriven);
+        assert!(rows[0].luts < rows[1].luts && rows[1].luts < rows[2].luts);
+        assert!(rows[0].fmax_mhz > rows[1].fmax_mhz && rows[1].fmax_mhz >= rows[2].fmax_mhz);
+    }
+
+    #[test]
+    fn event_driven_beats_arbitrated_fmax_everywhere() {
+        for &n in &SCENARIOS {
+            let a = implement_wrapper(OrganizationKind::Arbitrated, n);
+            let e = implement_wrapper(OrganizationKind::EventDriven, n);
+            assert!(e.timing.fmax_mhz > a.timing.fmax_mhz, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fmax_within_twelve_percent_of_anchors() {
+        for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+            let anchors = fmax_anchors(kind);
+            for (i, &n) in SCENARIOS.iter().enumerate() {
+                let f = implement_wrapper(kind, n).timing.fmax_mhz;
+                let dev = (f - anchors[i]).abs() / anchors[i];
+                assert!(
+                    dev < 0.12,
+                    "{kind} n={n}: {f:.1} vs {} ({:.1}%)",
+                    anchors[i],
+                    dev * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overhead_in_paper_band() {
+        for &n in &SCENARIOS {
+            let r = overhead_experiment(OrganizationKind::Arbitrated, n);
+            let (lo, hi) = PAPER_ANCHORS.overhead_band;
+            assert!(
+                r.overhead_fraction >= lo && r.overhead_fraction <= hi,
+                "egress={n}: {:.3} outside [{lo}, {hi}]",
+                r.overhead_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn latency_event_driven_is_deterministic() {
+        for &n in &SCENARIOS {
+            let r = latency_experiment(OrganizationKind::EventDriven, n, 50, 42);
+            assert!(r.all_deterministic, "n={n}: {r:?}");
+            assert_eq!(r.per_consumer.len(), n);
+        }
+    }
+
+    #[test]
+    fn latency_arbitrated_varies_and_grows_with_consumers() {
+        let r2 = latency_experiment(OrganizationKind::Arbitrated, 2, 60, 7);
+        let r8 = latency_experiment(OrganizationKind::Arbitrated, 8, 60, 7);
+        assert!(r2.pooled.max > r2.pooled.min, "spread expected: {:?}", r2.pooled);
+        assert!(
+            r8.pooled.max > r2.pooled.max,
+            "worst case grows with consumers: {:?} vs {:?}",
+            r8.pooled,
+            r2.pooled
+        );
+    }
+
+    #[test]
+    fn ablation_arbitrated_keeps_state_constant() {
+        let results = ablation_scalability(4);
+        let arb = &results[0];
+        assert_eq!(arb.organization, "arbitrated");
+        assert!(!arb.state_changed, "adding a consumer must not change FFs");
+        assert!(arb.lut_delta > 0);
+    }
+
+    #[test]
+    fn render_table_includes_anchors() {
+        let rows = table_area(OrganizationKind::Arbitrated);
+        let md = render_area_table(OrganizationKind::Arbitrated, &rows);
+        assert!(md.contains("| 1/4 |"));
+        assert!(md.contains("158"));
+    }
+}

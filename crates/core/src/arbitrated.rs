@@ -1,0 +1,434 @@
+//! Generator for the **arbitrated memory organization** (§3.1).
+//!
+//! A wrapper around one true-dual-port BRAM adds two logical ports beyond
+//! the standard pair: a guarded read port (C) and a producer write port (D).
+//! Port A passes straight through to the first physical port; ports B/C/D
+//! share the second physical port with priority D > C > B.
+//!
+//! The dependency list is a CAM-like structure built in fabric: each entry
+//! holds `{base address, dependency counter, valid}` in registers, loaded
+//! through a configuration port at configuration time ("this list is
+//! populated at configuration time since they are determined at design time
+//! using static analysis"). Every consumer pseudo-port's address is compared
+//! against every entry **in parallel**, so eligibility (entry armed, counter
+//! non-zero) is known before arbitration; a round-robin arbiter then picks
+//! among eligible requests. A producer write requires a matching entry and
+//! re-arms its counter with the producer-supplied dependency number; each
+//! granted consumer read decrements it, closing the produce–consume cycle at
+//! zero.
+//!
+//! Arbitration is pipelined: the decision (compare + round-robin) is
+//! registered, and the BRAM access happens the cycle after — that is how the
+//! wrapper reaches the paper's 125 MHz+ clock rates, and it is the source of
+//! the non-deterministic multi-cycle consumer latency §3.1 describes. A
+//! producer write arriving in the issue cycle pre-empts the port (priority
+//! D > C) and the pipelined read replays.
+//!
+//! Flip-flop inventory of the base architecture (constant in the number of
+//! pseudo-ports — the paper's constant 66 FFs):
+//!
+//! | structure                                                    | FFs |
+//! |--------------------------------------------------------------|-----|
+//! | dependency list: 4 × (9-bit address + 4-bit counter + valid) | 56  |
+//! | round-robin pointer (fixed 3-bit, up to 8 consumers)         | 3   |
+//! | grant pipeline: valid + consumer index                       | 4   |
+//! | phase register (bus bookkeeping)                             | 3   |
+//! | **total**                                                    | **66** |
+//!
+//! Pseudo-port scaling adds only comparators and multiplexing — LUTs.
+
+use crate::arbiter::{self, POINTER_WIDTH};
+use crate::deplist::COUNTER_WIDTH;
+use crate::spec::{OrganizationKind, WrapperSpec};
+use memsync_rtl::builder::ModuleBuilder;
+use memsync_rtl::netlist::{addr_width, Module, NetId};
+
+/// BRAM geometry used by the wrapper: one 18 Kb block as 512×36.
+pub const BRAM_DEPTH: u32 = 512;
+/// Word width of the 512-deep BRAM view.
+pub const BRAM_WIDTH: u32 = 36;
+
+/// Replicates a 1-bit net across `w` bits (mask for AND-OR selects).
+fn fanout_mask(b: &mut ModuleBuilder, bit: NetId, w: u32) -> NetId {
+    if w == 1 {
+        bit
+    } else {
+        let reps: Vec<NetId> = (0..w).map(|_| bit).collect();
+        b.concat(&reps, "mask")
+    }
+}
+
+/// One-hot AND-OR select: OR over `items` of `(data & mask(flag))`.
+fn onehot_select(b: &mut ModuleBuilder, items: &[(NetId, NetId)], name: &str) -> NetId {
+    assert!(!items.is_empty(), "onehot_select needs items");
+    let w = b.width(items[0].0);
+    let masked: Vec<NetId> = items
+        .iter()
+        .map(|(data, flag)| {
+            let m = fanout_mask(b, *flag, w);
+            b.and(&[*data, m], "oh_and")
+        })
+        .collect();
+    if masked.len() == 1 {
+        masked[0]
+    } else {
+        b.or(&masked, name)
+    }
+}
+
+/// Generates the arbitrated wrapper netlist for a spec.
+///
+/// # Errors
+///
+/// Returns the [`WrapperSpec::validate`] message for malformed specs.
+pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
+    spec.validate()?;
+    let aw = spec.addr_width;
+    let dw = spec.data_width;
+    let entries = spec.deplist_entries;
+    let ew = addr_width(entries);
+    let mut b = ModuleBuilder::new(spec.module_name(OrganizationKind::Arbitrated));
+
+    // ---- Port A: direct, single-cycle, non-dependent accesses ----
+    let a_addr = b.input("a_addr", aw);
+    let a_wdata = b.input("a_wdata", dw);
+    let a_we = b.input("a_we", 1);
+    let a_en = b.input("a_en", 1);
+
+    // ---- Port C pseudo-ports: guarded consumer reads ----
+    let c_addr: Vec<NetId> =
+        (0..spec.consumers).map(|i| b.input(&format!("c{i}_addr"), aw)).collect();
+    let c_req: Vec<NetId> =
+        (0..spec.consumers).map(|i| b.input(&format!("c{i}_req"), 1)).collect();
+
+    // ---- Port D pseudo-ports: producer writes ----
+    let d_addr: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("d{j}_addr"), aw)).collect();
+    let d_wdata: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("d{j}_wdata"), dw)).collect();
+    let d_req: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("d{j}_req"), 1)).collect();
+    let d_dep: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("d{j}_dep"), COUNTER_WIDTH))
+        .collect();
+
+    // ---- configuration port (design-time population of the list) ----
+    let cfg_we = b.input("cfg_we", 1);
+    let cfg_index = b.input("cfg_index", ew);
+    let cfg_key = b.input("cfg_key", aw);
+
+    // ---- Port B (optional background port) ----
+    let port_b = spec.with_port_b.then(|| {
+        (
+            b.input("b_addr", aw),
+            b.input("b_wdata", dw),
+            b.input("b_we", 1),
+            b.input("b_req", 1),
+        )
+    });
+
+    // ---- state: dependency-list entries, RR pointer, grant pipe, phase ----
+    let key_q: Vec<NetId> =
+        (0..entries).map(|e| b.net(&format!("dl{e}_key"), aw)).collect();
+    let cnt_q: Vec<NetId> =
+        (0..entries).map(|e| b.net(&format!("dl{e}_cnt"), COUNTER_WIDTH)).collect();
+    let val_q: Vec<NetId> =
+        (0..entries).map(|e| b.net(&format!("dl{e}_val"), 1)).collect();
+    let rr_ptr = b.net("rr_ptr", POINTER_WIDTH);
+    let pipe_valid = b.net("pipe_valid", 1);
+    let pipe_index = b.net("pipe_index", POINTER_WIDTH);
+    let phase = b.net("phase", 3);
+
+    // ---- producer selection: fixed priority (writes are urgent & rare) ----
+    let any_d = if d_req.len() == 1 { d_req[0] } else { b.or(&d_req, "any_d") };
+    let mut d_win: Vec<NetId> = vec![d_req[0]];
+    for j in 1..spec.producers {
+        let before = if j == 1 { d_req[0] } else { b.or(&d_req[0..j], "d_before") };
+        let nb = b.not(before, "nd");
+        d_win.push(b.and(&[d_req[j], nb], &format!("d_win{j}")));
+    }
+    let d_pairs: Vec<(NetId, NetId)> =
+        d_addr.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let d_sel_addr = onehot_select(&mut b, &d_pairs, "d_sel_addr");
+    let dw_pairs: Vec<(NetId, NetId)> =
+        d_wdata.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let d_sel_wdata = onehot_select(&mut b, &dw_pairs, "d_sel_wdata");
+    let dd_pairs: Vec<(NetId, NetId)> =
+        d_dep.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let d_sel_dep = onehot_select(&mut b, &dd_pairs, "d_sel_dep");
+
+    // Producer-side entry match (parallel comparators).
+    let d_match_e: Vec<NetId> = (0..entries as usize)
+        .map(|e| {
+            let eq = b.eq(d_sel_addr, key_q[e], "d_cmp");
+            b.and(&[eq, val_q[e]], &format!("d_match{e}"))
+        })
+        .collect();
+    let d_match = if entries == 1 { d_match_e[0] } else { b.or(&d_match_e, "d_match_any") };
+    let d_fire = b.and(&[any_d, d_match], "d_fire");
+
+    // ---- consumer eligibility: all addresses × all entries in parallel ----
+    // Counter-nonzero flags (shared across consumers).
+    let zero_cnt = b.constant(0, COUNTER_WIDTH, "cnt0");
+    let cnt_nz: Vec<NetId> = (0..entries as usize)
+        .map(|e| b.ne(cnt_q[e], zero_cnt, &format!("cnt_nz{e}")))
+        .collect();
+    // match_ie = compare && counter != 0 && valid — one fused gate per
+    // (consumer, entry) pair — and eligible_i over the entry hits.
+    let mut match_ie: Vec<Vec<NetId>> = Vec::with_capacity(spec.consumers);
+    let mut eligible: Vec<NetId> = Vec::with_capacity(spec.consumers);
+    for i in 0..spec.consumers {
+        let mut row = Vec::with_capacity(entries as usize);
+        let mut hit_terms = Vec::with_capacity(entries as usize);
+        for e in 0..entries as usize {
+            let eq = b.eq(c_addr[i], key_q[e], "c_cmp");
+            let m = b.and(&[eq, cnt_nz[e], val_q[e]], &format!("m_{i}_{e}"));
+            hit_terms.push(m);
+            row.push(m);
+        }
+        match_ie.push(row);
+        let hit = if hit_terms.len() == 1 { hit_terms[0] } else { b.or(&hit_terms, "c_hit") };
+        eligible.push(b.and(&[c_req[i], hit], &format!("eligible{i}")));
+    }
+
+    // ---- decision stage: round-robin arbitration among eligible ----
+    // A new decision is taken only when no producer is writing and the
+    // grant pipeline is empty (one access in flight at a time — the bus
+    // turnaround the shared read-data bus imposes).
+    let arb = arbiter::generate_into(&mut b, &eligible, rr_ptr);
+    let no_d = b.not(any_d, "no_d");
+    let pipe_free = b.not(pipe_valid, "pipe_free");
+    let new_grant = b.and(&[arb.any, no_d, pipe_free], "new_grant");
+
+    // ---- issue stage: the registered winner accesses the BRAM ----
+    // A colliding producer write pre-empts the port; the read replays.
+    let c_issue = b.and(&[pipe_valid, no_d], "c_issue");
+    let c_grant: Vec<NetId> = (0..spec.consumers)
+        .map(|i| {
+            let ii = b.constant(i as u64, POINTER_WIDTH, "gidx");
+            let is_i = b.eq(pipe_index, ii, "g_is");
+            b.and(&[c_issue, is_i], &format!("c{i}_grant_w"))
+        })
+        .collect();
+    // The granted consumer still presents its address (blocking read).
+    let c_sel_addr = if spec.consumers == 1 {
+        c_addr[0]
+    } else {
+        let sel = b.slice(pipe_index, POINTER_WIDTH - 1, 0, "caddr_sel");
+        b.mux(sel, &c_addr, "c_sel_addr")
+    };
+
+    // Pipeline registers.
+    let replay = b.and(&[pipe_valid, any_d], "replay");
+    let pipe_valid_next = b.or(&[new_grant, replay], "pipe_valid_next");
+    b.register_into(pipe_valid_next, pipe_valid, 0);
+    let pipe_index_next = b.mux(new_grant, &[pipe_index, arb.index], "pipe_index_next");
+    b.register_into(pipe_index_next, pipe_index, 0);
+
+    // The round-robin pointer advances from the *registered* winner at
+    // issue time, keeping the increment off the decision-cycle path.
+    let nc = spec.consumers;
+    let one_ptr = b.constant(1, POINTER_WIDTH, "one_ptr");
+    let ptr_inc = b.add(pipe_index, one_ptr, "ptr_inc2");
+    let ptr_wrapped = if nc.is_power_of_two() && nc > 1 {
+        let mask = b.constant((nc - 1) as u64, POINTER_WIDTH, "ptr_mask2");
+        b.and(&[ptr_inc, mask], "ptr_wrap2")
+    } else {
+        let nn = b.constant(nc as u64, POINTER_WIDTH, "nc_const");
+        let at_n = b.eq(ptr_inc, nn, "at_nc");
+        let z = b.constant(0, POINTER_WIDTH, "zero_ptr");
+        b.mux(at_n, &[ptr_inc, z], "ptr_wrap2")
+    };
+
+    // ---- dependency-list entry updates ----
+    // dec_e: the issued read's address matches entry e (recomputed at
+    // issue time against the selected address).
+    // arm_e: the producer write matched entry e.
+    let one_cnt = b.constant(1, COUNTER_WIDTH, "cnt1");
+    for e in 0..entries as usize {
+        let eq_issue = b.eq(c_sel_addr, key_q[e], "iss_cmp");
+        let dec_e = b.and(&[c_issue, eq_issue, val_q[e]], &format!("dec{e}"));
+        let arm_e = b.and(&[d_fire, d_match_e[e]], &format!("arm{e}"));
+        let cnt_dec = b.sub(cnt_q[e], one_cnt, "cnt_dec");
+        let cnt_next0 = b.mux(dec_e, &[cnt_q[e], cnt_dec], "cnt_n0");
+        let cnt_next = b.mux(arm_e, &[cnt_next0, d_sel_dep], "cnt_n");
+        b.register_into(cnt_next, cnt_q[e], 0);
+        // Keys and valid bits are written through the configuration port.
+        let is_e = {
+            let ee = b.constant(e as u64, ew, "cfg_e");
+            b.eq(cfg_index, ee, "cfg_is")
+        };
+        let cfg_hit = b.and(&[cfg_we, is_e], "cfg_hit");
+        let key_next = b.mux(cfg_hit, &[key_q[e], cfg_key], "key_n");
+        b.register_into(key_next, key_q[e], 0);
+        let one1 = b.constant(1, 1, "one1");
+        let val_next = b.mux(cfg_hit, &[val_q[e], one1], "val_n");
+        b.register_into(val_next, val_q[e], 0);
+    }
+
+    // ---- port B gating (lowest priority) ----
+    let b_fire = port_b.map(|(_, _, _, b_req)| {
+        let no_c = b.not(c_issue, "no_c");
+        b.and(&[b_req, no_d, no_c], "b_fire")
+    });
+
+    // ---- physical BRAM ----
+    let pad = b.constant(0, BRAM_WIDTH - dw, "pad");
+    let a_addr9 = b.slice(a_addr, addr_width(BRAM_DEPTH) - 1, 0, "a_addr9");
+    let a_din36 = b.concat(&[pad, a_wdata], "a_din36");
+
+    // Shared-port selection: D > C > B.
+    let mut p1_addr = b.mux(d_fire, &[c_sel_addr, d_sel_addr], "p1_addr_sel");
+    let mut p1_din = d_sel_wdata;
+    let mut p1_we = d_fire;
+    let mut p1_en = b.or(&[d_fire, c_issue], "p1_en");
+    if let Some((b_addr, b_wdata, b_we, _)) = port_b {
+        let bf = b_fire.expect("b_fire exists when port B present");
+        p1_addr = b.mux(bf, &[p1_addr, b_addr], "p1_addr_b");
+        p1_din = b.mux(bf, &[p1_din, b_wdata], "p1_din_b");
+        let bwe = b.and(&[bf, b_we], "b_we_f");
+        p1_we = b.or(&[p1_we, bwe], "p1_we_b");
+        p1_en = b.or(&[p1_en, bf], "p1_en_b");
+    }
+    let p1_addr9 = b.slice(p1_addr, addr_width(BRAM_DEPTH) - 1, 0, "p1_addr9");
+    let p1_din36 = b.concat(&[pad, p1_din], "p1_din36");
+
+    let (a_dout36, p1_dout36) = b.bram(
+        BRAM_DEPTH, BRAM_WIDTH, a_addr9, a_din36, a_we, a_en, p1_addr9, p1_din36, p1_we, p1_en,
+        "bram",
+    );
+    let a_rdata = b.slice(a_dout36, dw - 1, 0, "a_rdata_w");
+    let c_rdata = b.slice(p1_dout36, dw - 1, 0, "c_rdata_w");
+
+    // ---- state updates ----
+    // The pointer advances past the served consumer at issue time.
+    let rr_next = b.mux(c_issue, &[rr_ptr, ptr_wrapped], "rr_next");
+    b.register_into(rr_next, rr_ptr, 0);
+    let zero1 = b.constant(0, 1, "z1");
+    let b_bit = b_fire.unwrap_or(zero1);
+    let phase_next = b.concat(&[b_bit, d_fire, c_issue], "phase_next");
+    b.register_into(phase_next, phase, 0);
+
+    // ---- outputs ----
+    b.output("a_rdata", a_rdata);
+    // The read-data bus is routed to every consumer pseudo-port; the
+    // per-consumer outputs model the physical fanout of the shared bus.
+    b.output("c_rdata", c_rdata);
+    for i in 0..spec.consumers {
+        b.output(&format!("c{i}_rdata"), c_rdata);
+    }
+    for (i, g) in c_grant.iter().enumerate() {
+        b.output(&format!("c{i}_grant"), *g);
+    }
+    for (j, win) in d_win.iter().enumerate() {
+        let g = b.and(&[*win, d_fire], &format!("d{j}_grant_w"));
+        b.output(&format!("d{j}_grant"), g);
+    }
+    if port_b.is_some() {
+        b.output("b_grant", b_fire.expect("port B fire"));
+        b.output("b_rdata", c_rdata);
+    }
+    b.output("phase_dbg", phase);
+
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_fpga::report::implement;
+    use memsync_rtl::validate::validate;
+
+    fn module(consumers: usize) -> Module {
+        generate(&WrapperSpec::single_producer(consumers)).expect("generate")
+    }
+
+    #[test]
+    fn validates_for_all_paper_cases() {
+        for n in [2usize, 4, 8] {
+            let m = module(n);
+            validate(&m).unwrap_or_else(|e| panic!("n={n}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn flip_flops_constant_at_66() {
+        for n in [2usize, 4, 8] {
+            let r = implement(&module(n)).unwrap();
+            assert_eq!(r.ffs, 66, "n={n}: the base architecture requires 66 flip-flops");
+        }
+    }
+
+    #[test]
+    fn luts_grow_with_consumers() {
+        let luts: Vec<u32> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| implement(&module(n)).unwrap().luts)
+            .collect();
+        assert!(luts[0] < luts[1] && luts[1] < luts[2], "{luts:?}");
+    }
+
+    #[test]
+    fn uses_exactly_one_bram() {
+        let r = implement(&module(4)).unwrap();
+        assert_eq!(r.brams, 1);
+    }
+
+    #[test]
+    fn fmax_degrades_with_consumers() {
+        let f: Vec<f64> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| implement(&module(n)).unwrap().timing.fmax_mhz)
+            .collect();
+        assert!(f[0] > f[1] && f[1] > f[2], "{f:?}");
+    }
+
+    #[test]
+    fn exposes_all_pseudo_ports() {
+        let m = module(3);
+        for i in 0..3 {
+            assert!(m.port(&format!("c{i}_addr")).is_some());
+            assert!(m.port(&format!("c{i}_grant")).is_some());
+            assert!(m.port(&format!("c{i}_rdata")).is_some());
+        }
+        assert!(m.port("d0_addr").is_some());
+        assert!(m.port("d0_dep").is_some());
+        assert!(m.port("cfg_we").is_some(), "configuration port present");
+        assert!(m.port("a_rdata").is_some());
+        assert!(m.port("b_grant").is_none(), "port B not exposed by default");
+    }
+
+    #[test]
+    fn port_b_optional() {
+        let mut spec = WrapperSpec::single_producer(2);
+        spec.with_port_b = true;
+        let m = generate(&spec).unwrap();
+        validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
+        assert!(m.port("b_grant").is_some());
+        // Port B adds muxing but no flip-flops.
+        let r = implement(&m).unwrap();
+        assert_eq!(r.ffs, 66);
+    }
+
+    #[test]
+    fn rejects_invalid_spec() {
+        assert!(generate(&WrapperSpec::single_producer(0)).is_err());
+    }
+
+    #[test]
+    fn multi_producer_wrapper_validates() {
+        let spec = WrapperSpec {
+            producers: 3,
+            consumers: 4,
+            deplist_entries: 4,
+            data_width: 32,
+            addr_width: 9,
+            with_port_b: false,
+            service_order: vec![vec![0, 1], vec![2], vec![3]],
+        };
+        let m = generate(&spec).unwrap();
+        validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
+        // Extra producers add muxing, not flip-flops.
+        assert_eq!(implement(&m).unwrap().ffs, 66);
+    }
+}

@@ -1,0 +1,224 @@
+//! The dependency list of §3.1.
+//!
+//! "Each entry in the list has two parts. The first part contains a
+//! dependency number, which is the number of threads that are dependent on
+//! this producer. … The second part of the entry is the base address of the
+//! data structure in BRAM." The list is CAM-searched by address; it is
+//! populated at configuration time from the static analysis, and producers
+//! re-arm an entry's counter by writing through port D.
+//!
+//! The behavioral model here is the single source of truth for the
+//! simulator; the hardware structure is the `Cam` macro instantiated by
+//! [`crate::arbitrated`].
+
+use serde::{Deserialize, Serialize};
+
+/// Counter width per entry (up to 15 consumers per dependency).
+pub const COUNTER_WIDTH: u32 = 4;
+
+/// One dependency-list entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Entry {
+    /// Guarded base address in the BRAM.
+    pub base_addr: u32,
+    /// Consumers that must read after each producer write (the configured
+    /// dependency number).
+    pub dep_number: u8,
+    /// Remaining consumer reads before the produce–consume cycle completes.
+    pub remaining: u8,
+    /// Whether a producer write has armed the entry (reads before the first
+    /// write block).
+    pub armed: bool,
+}
+
+/// The configuration-time populated dependency list.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DependencyList {
+    entries: Vec<Entry>,
+    capacity: usize,
+}
+
+/// Outcome of a guarded read attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Address is guarded and data is available; the counter decremented.
+    Granted {
+        /// Reads still owed after this one.
+        remaining: u8,
+    },
+    /// Address is guarded but the producer has not written yet (or all
+    /// reads of this cycle are consumed); the request blocks.
+    Blocked,
+    /// Address is not in the list — not a guarded address.
+    Unguarded,
+}
+
+impl DependencyList {
+    /// Creates an empty list with a hardware capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 or exceeds 16.
+    pub fn new(capacity: usize) -> Self {
+        assert!((1..=16).contains(&capacity), "dependency list capacity 1..=16");
+        DependencyList { entries: Vec::new(), capacity }
+    }
+
+    /// Number of populated entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are populated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hardware capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Populates an entry at configuration time.
+    ///
+    /// # Errors
+    ///
+    /// Fails when capacity is exhausted, the address is already guarded, or
+    /// the dependency number does not fit the counter.
+    pub fn configure(&mut self, base_addr: u32, dep_number: u8) -> Result<(), String> {
+        if self.entries.len() == self.capacity {
+            return Err(format!("dependency list full ({} entries)", self.capacity));
+        }
+        if dep_number == 0 || u32::from(dep_number) >= (1 << COUNTER_WIDTH) {
+            return Err(format!("dependency number {dep_number} out of range 1..=15"));
+        }
+        if self.lookup(base_addr).is_some() {
+            return Err(format!("address {base_addr:#x} already guarded"));
+        }
+        self.entries.push(Entry { base_addr, dep_number, remaining: 0, armed: false });
+        Ok(())
+    }
+
+    /// CAM search by address.
+    pub fn lookup(&self, addr: u32) -> Option<&Entry> {
+        self.entries.iter().find(|e| e.base_addr == addr)
+    }
+
+    /// Producer write through port D: allowed only when a matching entry
+    /// exists with dep_number > 0 (§3.1); re-arms the counter.
+    ///
+    /// Returns whether the write was accepted.
+    pub fn producer_write(&mut self, addr: u32) -> bool {
+        match self.entries.iter_mut().find(|e| e.base_addr == addr) {
+            Some(e) if e.dep_number > 0 => {
+                e.remaining = e.dep_number;
+                e.armed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumer read through port C: granted when the entry is armed with
+    /// remaining reads; decrements the counter, completing the
+    /// produce–consume cycle at zero ("ending of the need for the address
+    /// to be guarded" until the next write).
+    pub fn consumer_read(&mut self, addr: u32) -> ReadOutcome {
+        match self.entries.iter_mut().find(|e| e.base_addr == addr) {
+            None => ReadOutcome::Unguarded,
+            Some(e) => {
+                if e.armed && e.remaining > 0 {
+                    e.remaining -= 1;
+                    if e.remaining == 0 {
+                        e.armed = false;
+                    }
+                    ReadOutcome::Granted { remaining: e.remaining }
+                } else {
+                    ReadOutcome::Blocked
+                }
+            }
+        }
+    }
+
+    /// Whether a produce–consume cycle is currently open for the address.
+    pub fn is_pending(&self, addr: u32) -> bool {
+        self.lookup(addr).is_some_and(|e| e.armed && e.remaining > 0)
+    }
+
+    /// Iterates over entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configure_then_full_cycle() {
+        let mut dl = DependencyList::new(4);
+        dl.configure(0x10, 2).unwrap();
+        // Reads before any write block.
+        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Blocked);
+        // Producer arms the entry.
+        assert!(dl.producer_write(0x10));
+        assert!(dl.is_pending(0x10));
+        // Two consumer reads drain it.
+        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 1 });
+        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 0 });
+        assert!(!dl.is_pending(0x10));
+        // Third read blocks until the next write.
+        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Blocked);
+        assert!(dl.producer_write(0x10));
+        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 1 });
+    }
+
+    #[test]
+    fn unguarded_addresses_pass_through() {
+        let mut dl = DependencyList::new(4);
+        dl.configure(0x10, 1).unwrap();
+        assert_eq!(dl.consumer_read(0x99), ReadOutcome::Unguarded);
+    }
+
+    #[test]
+    fn write_to_unlisted_address_rejected() {
+        let mut dl = DependencyList::new(4);
+        assert!(!dl.producer_write(0x44), "§3.1: write needs a matching entry");
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut dl = DependencyList::new(2);
+        dl.configure(1, 1).unwrap();
+        dl.configure(2, 1).unwrap();
+        assert!(dl.configure(3, 1).is_err());
+    }
+
+    #[test]
+    fn duplicate_address_rejected() {
+        let mut dl = DependencyList::new(4);
+        dl.configure(7, 1).unwrap();
+        assert!(dl.configure(7, 2).is_err());
+    }
+
+    #[test]
+    fn dep_number_range_checked() {
+        let mut dl = DependencyList::new(4);
+        assert!(dl.configure(1, 0).is_err());
+        assert!(dl.configure(1, 16).is_err());
+        assert!(dl.configure(1, 15).is_ok());
+    }
+
+    #[test]
+    fn rewrite_before_drain_rearms() {
+        // A second producer write before all consumers read re-arms the
+        // counter (the new value supersedes; no rollback per the paper).
+        let mut dl = DependencyList::new(4);
+        dl.configure(0x20, 3).unwrap();
+        assert!(dl.producer_write(0x20));
+        assert_eq!(dl.consumer_read(0x20), ReadOutcome::Granted { remaining: 2 });
+        assert!(dl.producer_write(0x20));
+        assert_eq!(dl.consumer_read(0x20), ReadOutcome::Granted { remaining: 2 });
+    }
+}

@@ -1,0 +1,333 @@
+//! Generator for the **event-driven statically scheduled memory
+//! organization** (§3.2).
+//!
+//! Port A behaves as in the arbitrated organization; the second physical
+//! port sits behind a static mux/demux network driven by selection logic
+//! implementing two-level modulo scheduling (see [`crate::modulo`]). The
+//! producer's write is the event: once it lands, the consumers of that
+//! producer are released one per cycle in their compile-time order, each
+//! receiving a one-cycle `c{i}_event` pulse aligned with valid read data on
+//! the shared `c_rdata` bus. Post-write timing is therefore exact — the
+//! advantage over the arbitrated organization — but adding a consumer means
+//! changing both the mux network and the thread state machines.
+//!
+//! Flip-flop inventory: producer pointer (3), current producer (3), slot
+//! counter (3), delayed slot (3), serving/valid flags (2) — 14 FFs,
+//! independent of the pseudo-port counts.
+
+use crate::arbiter::POINTER_WIDTH;
+use crate::arbitrated::{BRAM_DEPTH, BRAM_WIDTH};
+use crate::modulo::ModuloSchedule;
+use crate::spec::{OrganizationKind, WrapperSpec};
+use memsync_rtl::builder::ModuleBuilder;
+use memsync_rtl::netlist::{addr_width, Module, NetId};
+
+/// Generates the event-driven wrapper netlist for a spec.
+///
+/// # Errors
+///
+/// Returns the [`WrapperSpec::validate`] message for malformed specs.
+pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
+    spec.validate()?;
+    let schedule = ModuloSchedule::new(spec.service_order.clone())?;
+    let aw = spec.addr_width;
+    let dw = spec.data_width;
+    let sloww = POINTER_WIDTH; // slot counter width (≤ 8 consumers)
+    let mut b = ModuleBuilder::new(spec.module_name(OrganizationKind::EventDriven));
+
+    // ---- Port A: direct ----
+    let a_addr = b.input("a_addr", aw);
+    let a_wdata = b.input("a_wdata", dw);
+    let a_we = b.input("a_we", 1);
+    let a_en = b.input("a_en", 1);
+
+    // ---- producer pseudo-ports ----
+    let p_addr: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("p{j}_addr"), aw)).collect();
+    let p_wdata: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("p{j}_wdata"), dw)).collect();
+    let p_req: Vec<NetId> =
+        (0..spec.producers).map(|j| b.input(&format!("p{j}_req"), 1)).collect();
+
+    // ---- consumer read interface ----
+    // "the consumer read accesses are initiated only when the selection
+    // logic generates the corresponding slot number": when its slot
+    // arrives, the served consumer presents its read address and asserts
+    // its ack, which gates the slot advance. The address network into the
+    // BRAM port therefore scales with the number of consumers (the
+    // multiplexer layer labeled `c` in Figure 3).
+    let c_addr_in: Vec<NetId> =
+        (0..spec.consumers).map(|i| b.input(&format!("c{i}_addr"), aw)).collect();
+    let c_ack: Vec<NetId> =
+        (0..spec.consumers).map(|i| b.input(&format!("c{i}_ack"), 1)).collect();
+
+    // ---- selection-logic state ----
+    let prod_ptr = b.net("prod_ptr", POINTER_WIDTH);
+    let cur_prod = b.net("cur_prod", POINTER_WIDTH);
+    let slot = b.net("slot", sloww);
+    let slot_d = b.net("slot_d", sloww);
+    let serving = b.net("serving", 1);
+    let valid_d = b.net("valid_d", 1);
+
+    // The producer holding the window is prod_ptr when idle, cur_prod when
+    // serving; only that producer's request is accepted (blocking).
+    let window_prod = b.mux(serving, &[prod_ptr, cur_prod], "window_prod");
+    let sel_req = mux_by_index(&mut b, window_prod, &p_req, "sel_req");
+    let sel_addr = mux_by_index(&mut b, window_prod, &p_addr, "sel_addr");
+    let sel_wdata = mux_by_index(&mut b, window_prod, &p_wdata, "sel_wdata");
+
+    let not_serving = b.not(serving, "not_serving");
+    let p_fire = b.and(&[sel_req, not_serving], "p_fire");
+
+    // Window length of the current producer (compile-time ROM).
+    let window_len = rom_by_index(
+        &mut b,
+        window_prod,
+        &(0..spec.producers)
+            .map(|p| schedule.window_len(p) as u64)
+            .collect::<Vec<_>>(),
+        sloww,
+        "window_len",
+    );
+
+    // The consumer currently addressed by the slot (compile-time ROM) and
+    // its acknowledge, which gates the slot advance.
+    let slot_consumer = schedule_rom(&mut b, &schedule, cur_prod, slot, "slot_consumer");
+    let served_ack = if spec.consumers == 1 {
+        c_ack[0]
+    } else {
+        let sel = b.slice(slot_consumer, POINTER_WIDTH - 1, 0, "ack_sel");
+        b.mux(sel, &c_ack, "served_ack")
+    };
+
+    // Slot advance while serving (held until the served consumer acks).
+    let one = b.constant(1, sloww, "one_s");
+    let slot_inc = b.add(slot, one, "slot_inc");
+    let last_slot = {
+        let sl1 = b.add(slot, one, "slot_p1");
+        let at_end = b.eq(sl1, window_len, "at_end");
+        b.and(&[at_end, served_ack], "last_slot")
+    };
+    let zero_s = b.constant(0, sloww, "zero_s");
+    // serving': start on p_fire; stop after the last acked slot.
+    let not_last = b.not(last_slot, "not_last");
+    let keep = b.and(&[serving, not_last], "keep_serving");
+    let serving_next = b.or(&[p_fire, keep], "serving_next");
+    let slot_step = b.mux(served_ack, &[slot, slot_inc], "slot_step");
+    let slot_next0 = b.mux(serving, &[zero_s, slot_step], "slot_next0");
+    let slot_next = b.mux(p_fire, &[slot_next0, zero_s], "slot_next");
+
+    // Producer pointer rotates after the window closes.
+    let window_done = b.and(&[serving, last_slot], "window_done");
+    let ptr_inc = {
+        let one3 = b.constant(1, POINTER_WIDTH, "one3");
+        let inc = b.add(prod_ptr, one3, "ptr_inc");
+        if spec.producers.is_power_of_two() && spec.producers > 1 {
+            let mask = b.constant((spec.producers - 1) as u64, POINTER_WIDTH, "pmask");
+            b.and(&[inc, mask], "ptr_wrap")
+        } else {
+            let nn = b.constant(spec.producers as u64, POINTER_WIDTH, "pn");
+            let at_n = b.eq(inc, nn, "at_pn");
+            let z = b.constant(0, POINTER_WIDTH, "pz");
+            b.mux(at_n, &[inc, z], "ptr_wrap")
+        }
+    };
+    let prod_ptr_next = b.mux(window_done, &[prod_ptr, ptr_inc], "prod_ptr_next");
+
+    // Latch producer identity at the write.
+    let cur_prod_next = b.mux(p_fire, &[cur_prod, window_prod], "cur_prod_next");
+
+    // ---- physical BRAM ----
+    let pad = b.constant(0, BRAM_WIDTH - dw, "pad");
+    let a_addr9 = b.slice(a_addr, addr_width(BRAM_DEPTH) - 1, 0, "a_addr9");
+    let a_din36 = b.concat(&[pad, a_wdata], "a_din36");
+    // Port 1: write on p_fire at the producer's address; read at the served
+    // consumer's address when it initiates (the consumer-scaled mux layer).
+    let c_sel_addr = if spec.consumers == 1 {
+        c_addr_in[0]
+    } else {
+        let sel = b.slice(slot_consumer, POINTER_WIDTH - 1, 0, "caddr_sel");
+        b.mux(sel, &c_addr_in, "c_sel_addr")
+    };
+    let p1_addr = b.mux(p_fire, &[c_sel_addr, sel_addr], "p1_addr");
+    let p1_addr9 = b.slice(p1_addr, addr_width(BRAM_DEPTH) - 1, 0, "p1_addr9");
+    let p1_din36 = b.concat(&[pad, sel_wdata], "p1_din36");
+    let c_read = b.and(&[serving, served_ack], "c_read");
+    let p1_en = b.or(&[p_fire, c_read], "p1_en");
+    let (a_dout36, p1_dout36) = b.bram(
+        BRAM_DEPTH, BRAM_WIDTH, a_addr9, a_din36, a_we, a_en, p1_addr9, p1_din36, p_fire, p1_en,
+        "bram",
+    );
+    let a_rdata = b.slice(a_dout36, dw - 1, 0, "a_rdata_w");
+    let c_rdata = b.slice(p1_dout36, dw - 1, 0, "c_rdata_w");
+
+    // ---- registers ----
+    b.register_into(prod_ptr_next, prod_ptr, 0);
+    b.register_into(cur_prod_next, cur_prod, 0);
+    b.register_into(slot_next, slot, 0);
+    b.register_into(serving_next, serving, 0);
+    // Events are aligned with data: BRAM reads have one cycle of latency,
+    // so the slot (and validity) are delayed one cycle to form the event.
+    b.register_into(slot, slot_d, 0);
+    b.register_into(serving, valid_d, 0);
+
+    // ---- outputs ----
+    b.output("a_rdata", a_rdata);
+    // The read-data bus fans out to every consumer.
+    b.output("c_rdata", c_rdata);
+    for i in 0..spec.consumers {
+        b.output(&format!("c{i}_rdata"), c_rdata);
+    }
+    // Per-consumer events: consumer = schedule ROM[cur_prod][slot_d].
+    let served_consumer = schedule_rom(&mut b, &schedule, cur_prod, slot_d, "served");
+    for i in 0..spec.consumers {
+        let ii = b.constant(i as u64, POINTER_WIDTH, "evi");
+        let hit = b.eq(served_consumer, ii, "ev_hit");
+        let ev = b.and(&[hit, valid_d], &format!("c{i}_event_w"));
+        b.output(&format!("c{i}_event"), ev);
+    }
+    for j in 0..spec.producers {
+        let jj = b.constant(j as u64, POINTER_WIDTH, "gj");
+        let is_j = b.eq(window_prod, jj, "g_is");
+        let g = b.and(&[p_fire, is_j], &format!("p{j}_grant_w"));
+        b.output(&format!("p{j}_grant"), g);
+    }
+    b.output("serving_dbg", serving);
+
+    Ok(b.finish())
+}
+
+/// N-way mux of nets by a 3-bit index.
+fn mux_by_index(b: &mut ModuleBuilder, index: NetId, data: &[NetId], name: &str) -> NetId {
+    if data.len() == 1 {
+        data[0]
+    } else {
+        b.mux(index, data, name)
+    }
+}
+
+/// N-way mux of constants by a 3-bit index.
+fn rom_by_index(
+    b: &mut ModuleBuilder,
+    index: NetId,
+    values: &[u64],
+    width: u32,
+    name: &str,
+) -> NetId {
+    let consts: Vec<NetId> = values
+        .iter()
+        .map(|&v| b.constant(v, width, "romk"))
+        .collect();
+    mux_by_index(b, index, &consts, name)
+}
+
+/// The compile-time schedule ROM: consumer index served at
+/// `(producer, slot)`.
+fn schedule_rom(
+    b: &mut ModuleBuilder,
+    schedule: &ModuloSchedule,
+    producer: NetId,
+    slot: NetId,
+    name: &str,
+) -> NetId {
+    let rows: Vec<NetId> = (0..schedule.producers())
+        .map(|p| {
+            let vals: Vec<u64> = schedule.order_of(p).iter().map(|&c| c as u64).collect();
+            rom_by_index(b, slot, &vals, POINTER_WIDTH, "sched_row")
+        })
+        .collect();
+    mux_by_index(b, producer, &rows, name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_fpga::report::implement;
+    use memsync_rtl::validate::validate;
+
+    fn module(consumers: usize) -> Module {
+        generate(&WrapperSpec::single_producer(consumers)).expect("generate")
+    }
+
+    #[test]
+    fn validates_for_all_paper_cases() {
+        for n in [2usize, 4, 8] {
+            let m = module(n);
+            validate(&m).unwrap_or_else(|e| panic!("n={n}: {e:?}"));
+        }
+    }
+
+    #[test]
+    fn luts_grow_with_consumers() {
+        let luts: Vec<u32> = [2usize, 4, 8]
+            .iter()
+            .map(|&n| implement(&module(n)).unwrap().luts)
+            .collect();
+        assert!(luts[0] < luts[1] && luts[1] < luts[2], "{luts:?}");
+    }
+
+    #[test]
+    fn fmax_beats_arbitrated_at_every_point() {
+        for n in [2usize, 4, 8] {
+            let evt = implement(&module(n)).unwrap().timing.fmax_mhz;
+            let arb = implement(
+                &crate::arbitrated::generate(&WrapperSpec::single_producer(n)).unwrap(),
+            )
+            .unwrap()
+            .timing
+            .fmax_mhz;
+            assert!(
+                evt > arb,
+                "n={n}: event-driven {evt:.1} MHz must beat arbitrated {arb:.1} MHz"
+            );
+        }
+    }
+
+    #[test]
+    fn fewer_ffs_than_arbitrated() {
+        // No CAM storage: the static organization carries far fewer FFs.
+        let r = implement(&module(8)).unwrap();
+        assert!(r.ffs < 66, "event-driven ffs {} < arbitrated 66", r.ffs);
+        assert!(r.ffs >= 10, "selection logic state present");
+    }
+
+    #[test]
+    fn uses_one_bram() {
+        assert_eq!(implement(&module(4)).unwrap().brams, 1);
+    }
+
+    #[test]
+    fn exposes_event_ports() {
+        let m = module(3);
+        for i in 0..3 {
+            assert!(m.port(&format!("c{i}_event")).is_some());
+        }
+        assert!(m.port("p0_grant").is_some());
+        assert!(m.port("c_rdata").is_some());
+    }
+
+    #[test]
+    fn custom_service_order_accepted() {
+        let mut spec = WrapperSpec::single_producer(3);
+        spec.service_order = vec![vec![2, 0, 1]];
+        let m = generate(&spec).unwrap();
+        validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
+    }
+
+    #[test]
+    fn multi_producer_wrapper_validates() {
+        let spec = WrapperSpec {
+            producers: 2,
+            consumers: 4,
+            deplist_entries: 4,
+            data_width: 32,
+            addr_width: 9,
+            with_port_b: false,
+            service_order: vec![vec![0, 1], vec![2, 3]],
+        };
+        let m = generate(&spec).unwrap();
+        validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
+        let r = implement(&m).unwrap();
+        assert!(r.timing.fmax_mhz > 100.0);
+    }
+}

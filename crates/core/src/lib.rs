@@ -1,0 +1,32 @@
+//! # memsync-core — memory-centric thread synchronization
+//!
+//! The paper's contribution: two automatically generated memory
+//! organizations that enforce inter-thread memory dependencies in the
+//! memory controllers of on-chip BRAMs.
+//!
+//! * [`arbitrated`] — §3.1: CAM-backed dependency list, round-robin
+//!   arbitration, dynamic scheduling (scalable, non-deterministic latency);
+//! * [`event_driven`] — §3.2: modulo-scheduled selection logic and a
+//!   producer-write event chained through consumers in compile-time order
+//!   (deterministic latency, thread FSMs must change to add consumers);
+//! * [`deplist`] / [`arbiter`] / [`modulo`] — the behavioral building
+//!   blocks shared with the simulator;
+//! * [`alloc`] — variable→BRAM allocation and port-class assignment;
+//! * [`flow`] — the end-to-end compiler: hic source → analysis →
+//!   synthesis → organization netlists → area/timing report.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod alloc;
+pub mod arbiter;
+pub mod arbitrated;
+pub mod deplist;
+pub mod event_driven;
+pub mod flow;
+pub mod modulo;
+pub mod report;
+pub mod spec;
+
+pub use flow::{CompiledSystem, Compiler};
+pub use spec::{OrganizationKind, WrapperSpec};

@@ -1,0 +1,238 @@
+//! Two-level modulo scheduling for the event-driven organization (§3.2).
+//!
+//! "Modulo scheduling happens at two levels: between different producers and
+//! between different consumers of a given producer." The selection logic
+//! cycles producers in round order; once a producer writes, the consumers of
+//! that producer are served in their compile-time order, one slot each.
+
+use serde::{Deserialize, Serialize};
+
+/// The static schedule: per producer, the ordered consumer slots.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuloSchedule {
+    rows: Vec<Vec<usize>>,
+}
+
+impl ModuloSchedule {
+    /// Builds a schedule from per-producer service orders.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any row is empty (a producer must have at least one
+    /// consumer).
+    pub fn new(rows: Vec<Vec<usize>>) -> Result<Self, String> {
+        if rows.is_empty() {
+            return Err("schedule needs at least one producer row".into());
+        }
+        for (p, row) in rows.iter().enumerate() {
+            if row.is_empty() {
+                return Err(format!("producer {p} has no consumers in the schedule"));
+            }
+        }
+        Ok(ModuloSchedule { rows })
+    }
+
+    /// Number of producers.
+    pub fn producers(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Service order of one producer.
+    pub fn order_of(&self, producer: usize) -> &[usize] {
+        &self.rows[producer]
+    }
+
+    /// The consumer served at `slot` of `producer`'s service window.
+    pub fn consumer_at(&self, producer: usize, slot: usize) -> usize {
+        self.rows[producer][slot]
+    }
+
+    /// Slots in `producer`'s window.
+    pub fn window_len(&self, producer: usize) -> usize {
+        self.rows[producer].len()
+    }
+
+    /// Deterministic post-write latency (in slots) until `consumer` is
+    /// served after `producer` writes — the §3.2 timing guarantee. Returns
+    /// `None` when the consumer is not in the producer's window.
+    pub fn latency_of(&self, producer: usize, consumer: usize) -> Option<usize> {
+        self.rows[producer].iter().position(|&c| c == consumer).map(|p| p + 1)
+    }
+}
+
+/// The selection-logic state machine, stepped once per cycle by the
+/// simulator. The hardware in [`crate::event_driven`] implements the same
+/// transition function.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SelectionLogic {
+    schedule: ModuloSchedule,
+    producer_ptr: usize,
+    serving: Option<Serving>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Serving {
+    producer: usize,
+    slot: usize,
+}
+
+/// One cycle's output of the selection logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionOutput {
+    /// Waiting for the producer at the pointer to write; blocking until
+    /// then ("until this point the selection logic is blocking").
+    AwaitingProducer {
+        /// Which producer holds the window.
+        producer: usize,
+    },
+    /// Serving a consumer slot: the consumer's read access is released this
+    /// cycle.
+    Serve {
+        /// The producer whose write is being propagated.
+        producer: usize,
+        /// The consumer released this cycle.
+        consumer: usize,
+        /// Slot index within the window (0-based).
+        slot: usize,
+    },
+}
+
+impl SelectionLogic {
+    /// Creates the selection logic over a schedule.
+    pub fn new(schedule: ModuloSchedule) -> Self {
+        SelectionLogic { schedule, producer_ptr: 0, serving: None }
+    }
+
+    /// The schedule in force.
+    pub fn schedule(&self) -> &ModuloSchedule {
+        &self.schedule
+    }
+
+    /// Steps one cycle. `producer_wrote` reports whether the producer that
+    /// holds the window performed its write this cycle.
+    pub fn step(&mut self, producer_wrote: bool) -> SelectionOutput {
+        match self.serving {
+            None => {
+                let producer = self.producer_ptr;
+                if producer_wrote {
+                    // The write is the event that starts the consumer chain
+                    // next cycle(s); slot 0 is served immediately after.
+                    self.serving = Some(Serving { producer, slot: 0 });
+                }
+                SelectionOutput::AwaitingProducer { producer }
+            }
+            Some(Serving { producer, slot }) => {
+                let consumer = self.schedule.consumer_at(producer, slot);
+                let out = SelectionOutput::Serve { producer, consumer, slot };
+                if slot + 1 == self.schedule.window_len(producer) {
+                    self.serving = None;
+                    self.producer_ptr = (producer + 1) % self.schedule.producers();
+                } else {
+                    self.serving = Some(Serving { producer, slot: slot + 1 });
+                }
+                out
+            }
+        }
+    }
+
+    /// Which producer currently holds the window (blocking semantics: only
+    /// this producer's write is accepted).
+    pub fn window_producer(&self) -> usize {
+        match self.serving {
+            Some(s) => s.producer,
+            None => self.producer_ptr,
+        }
+    }
+
+    /// Whether the logic is mid-window (serving consumers).
+    pub fn is_serving(&self) -> bool {
+        self.serving.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_schedule() -> ModuloSchedule {
+        // One producer (t1), consumers y1 (slot 0) then z1 (slot 1).
+        ModuloSchedule::new(vec![vec![0, 1]]).unwrap()
+    }
+
+    #[test]
+    fn figure1_order_is_y1_then_z1() {
+        let mut sel = SelectionLogic::new(figure1_schedule());
+        // Idle until the producer writes.
+        assert_eq!(sel.step(false), SelectionOutput::AwaitingProducer { producer: 0 });
+        assert_eq!(sel.step(true), SelectionOutput::AwaitingProducer { producer: 0 });
+        // Then consumers in compile-time order.
+        assert_eq!(
+            sel.step(false),
+            SelectionOutput::Serve { producer: 0, consumer: 0, slot: 0 }
+        );
+        assert_eq!(
+            sel.step(false),
+            SelectionOutput::Serve { producer: 0, consumer: 1, slot: 1 }
+        );
+        // Window closed; waiting for the next write.
+        assert_eq!(sel.step(false), SelectionOutput::AwaitingProducer { producer: 0 });
+    }
+
+    #[test]
+    fn latency_is_deterministic() {
+        let s = figure1_schedule();
+        assert_eq!(s.latency_of(0, 0), Some(1));
+        assert_eq!(s.latency_of(0, 1), Some(2));
+        assert_eq!(s.latency_of(0, 7), None);
+    }
+
+    #[test]
+    fn producers_rotate_modulo() {
+        let s = ModuloSchedule::new(vec![vec![0], vec![1]]).unwrap();
+        let mut sel = SelectionLogic::new(s);
+        assert_eq!(sel.window_producer(), 0);
+        sel.step(true); // producer 0 writes
+        sel.step(false); // serve consumer 0
+        assert_eq!(sel.window_producer(), 1, "window rotates to producer 1");
+        sel.step(true); // producer 1 writes
+        sel.step(false); // serve consumer 1
+        assert_eq!(sel.window_producer(), 0, "and back to producer 0");
+    }
+
+    #[test]
+    fn rejects_empty_rows() {
+        assert!(ModuloSchedule::new(vec![]).is_err());
+        assert!(ModuloSchedule::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn window_length_reflects_consumer_count() {
+        for n in [2usize, 4, 8] {
+            let s = ModuloSchedule::new(vec![(0..n).collect()]).unwrap();
+            assert_eq!(s.window_len(0), n);
+            let mut sel = SelectionLogic::new(s);
+            sel.step(true);
+            let mut served = Vec::new();
+            for _ in 0..n {
+                if let SelectionOutput::Serve { consumer, .. } = sel.step(false) {
+                    served.push(consumer);
+                }
+            }
+            assert_eq!(served, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn custom_service_order_respected() {
+        let s = ModuloSchedule::new(vec![vec![2, 0, 1]]).unwrap();
+        let mut sel = SelectionLogic::new(s);
+        sel.step(true);
+        let mut served = Vec::new();
+        for _ in 0..3 {
+            if let SelectionOutput::Serve { consumer, .. } = sel.step(false) {
+                served.push(consumer);
+            }
+        }
+        assert_eq!(served, vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,123 @@
+//! System-level implementation reports.
+
+use memsync_fpga::report::ImplReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Area/timing report of a compiled system: thread modules plus wrapper
+/// modules, with the paper's overhead ratio (§4: "the area overhead can
+/// vary from 5-20%" of the core functionality).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemReport {
+    /// Per thread-module reports.
+    pub threads: Vec<ImplReport>,
+    /// Per wrapper-module reports (the synchronization overhead).
+    pub wrappers: Vec<ImplReport>,
+}
+
+impl SystemReport {
+    /// Total slices across all modules.
+    pub fn total_slices(&self) -> u32 {
+        self.threads.iter().chain(self.wrappers.iter()).map(|r| r.slices).sum()
+    }
+
+    /// Slices of the core functionality (the thread logic).
+    pub fn core_slices(&self) -> u32 {
+        self.threads.iter().map(|r| r.slices).sum()
+    }
+
+    /// Slices of the synchronization wrappers.
+    pub fn sync_slices(&self) -> u32 {
+        self.wrappers.iter().map(|r| r.slices).sum()
+    }
+
+    /// Total BRAM count.
+    pub fn total_brams(&self) -> u32 {
+        self.threads.iter().chain(self.wrappers.iter()).map(|r| r.brams).sum()
+    }
+
+    /// Synchronization overhead relative to the core, as a fraction.
+    pub fn overhead_fraction(&self) -> f64 {
+        let core = self.core_slices();
+        if core == 0 {
+            0.0
+        } else {
+            f64::from(self.sync_slices()) / f64::from(core)
+        }
+    }
+
+    /// Overall achievable clock: the slowest module limits the system.
+    pub fn fmax_mhz(&self) -> f64 {
+        self.threads
+            .iter()
+            .chain(self.wrappers.iter())
+            .map(|r| r.timing.fmax_mhz)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl fmt::Display for SystemReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "system report:")?;
+        for r in &self.threads {
+            writeln!(f, "  [thread]  {r}")?;
+        }
+        for r in &self.wrappers {
+            writeln!(f, "  [wrapper] {r}")?;
+        }
+        writeln!(
+            f,
+            "  total {} slices ({} core + {} sync, {:.1}% overhead), {} BRAM, {:.1} MHz",
+            self.total_slices(),
+            self.core_slices(),
+            self.sync_slices(),
+            self.overhead_fraction() * 100.0,
+            self.total_brams(),
+            self.fmax_mhz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_fpga::TimingReport;
+
+    fn report(slices: u32) -> ImplReport {
+        ImplReport {
+            module: "m".into(),
+            luts: slices * 2,
+            ffs: slices,
+            slices,
+            brams: 0,
+            timing: TimingReport { critical_path_ns: 8.0, fmax_mhz: 125.0 },
+        }
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let s = SystemReport {
+            threads: vec![report(1000)],
+            wrappers: vec![report(120)],
+        };
+        assert_eq!(s.core_slices(), 1000);
+        assert_eq!(s.sync_slices(), 120);
+        assert!((s.overhead_fraction() - 0.12).abs() < 1e-9);
+        assert_eq!(s.total_slices(), 1120);
+    }
+
+    #[test]
+    fn fmax_is_the_minimum() {
+        let mut fast = report(10);
+        fast.timing.fmax_mhz = 200.0;
+        let slow = report(10);
+        let s = SystemReport { threads: vec![fast], wrappers: vec![slow] };
+        assert!((s.fmax_mhz() - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_core_has_zero_overhead() {
+        let s = SystemReport { threads: vec![], wrappers: vec![report(10)] };
+        assert_eq!(s.overhead_fraction(), 0.0);
+    }
+}

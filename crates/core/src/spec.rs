@@ -1,0 +1,162 @@
+//! Specifications shared by the two memory-organization generators.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the paper's two organizations to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OrganizationKind {
+    /// §3.1 — arbitrated memory organization: CAM-backed dependency list,
+    /// round-robin arbitration on the guarded read port, dynamic scheduling.
+    Arbitrated,
+    /// §3.2 — event-driven statically scheduled organization: modulo
+    /// scheduling between producers and between the consumers of a
+    /// producer, deterministic post-write timing.
+    EventDriven,
+}
+
+impl fmt::Display for OrganizationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrganizationKind::Arbitrated => f.write_str("arbitrated"),
+            OrganizationKind::EventDriven => f.write_str("event-driven"),
+        }
+    }
+}
+
+/// Parameters of one per-BRAM wrapper instance.
+///
+/// The defaults mirror the paper's experimental setup: a single 18 Kb BRAM
+/// (512×36 view), a 10-bit guarded address space, a four-entry dependency
+/// list, and one producer with a configurable number of consumer
+/// pseudo-ports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WrapperSpec {
+    /// Producer pseudo-ports multiplexed onto the write port (port D).
+    pub producers: usize,
+    /// Consumer pseudo-ports multiplexed onto the guarded read port
+    /// (port C).
+    pub consumers: usize,
+    /// Dependency-list entries (guardable addresses in flight).
+    pub deplist_entries: u32,
+    /// Datapath width in bits.
+    pub data_width: u32,
+    /// Guarded address width in bits.
+    pub addr_width: u32,
+    /// Whether the background port B is exposed ("in our experiments we
+    /// have not used port B").
+    pub with_port_b: bool,
+    /// Static consumer service order per producer, as consumer pseudo-port
+    /// indices (used by the event-driven organization; defaults to
+    /// `0..consumers` round order for every producer).
+    pub service_order: Vec<Vec<usize>>,
+}
+
+impl WrapperSpec {
+    /// One producer, `consumers` consumers — the paper's 1/2, 1/4, 1/8
+    /// scenarios.
+    pub fn single_producer(consumers: usize) -> Self {
+        WrapperSpec {
+            producers: 1,
+            consumers,
+            deplist_entries: 4,
+            data_width: 32,
+            addr_width: 9,
+            with_port_b: false,
+            service_order: vec![(0..consumers).collect()],
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the spec is unusable (no endpoints, oversized
+    /// pseudo-port counts, malformed service order).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.producers == 0 || self.consumers == 0 {
+            return Err("wrapper needs at least one producer and one consumer".into());
+        }
+        if self.producers > 8 || self.consumers > 8 {
+            return Err("the base architecture supports at most 8 pseudo-ports per bus".into());
+        }
+        if self.deplist_entries == 0 || self.deplist_entries > 16 {
+            return Err("dependency list must have 1..=16 entries".into());
+        }
+        if self.service_order.len() != self.producers {
+            return Err(format!(
+                "service order has {} rows for {} producers",
+                self.service_order.len(),
+                self.producers
+            ));
+        }
+        for (p, row) in self.service_order.iter().enumerate() {
+            if row.is_empty() {
+                return Err(format!("producer {p} has an empty service order"));
+            }
+            for &c in row {
+                if c >= self.consumers {
+                    return Err(format!(
+                        "producer {p} service order names consumer {c} of {}",
+                        self.consumers
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Module name used for generated wrappers.
+    pub fn module_name(&self, kind: OrganizationKind) -> String {
+        let k = match kind {
+            OrganizationKind::Arbitrated => "arb",
+            OrganizationKind::EventDriven => "evt",
+        };
+        format!("memsync_{k}_p{}c{}", self.producers, self.consumers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_producer_defaults_match_paper() {
+        let s = WrapperSpec::single_producer(4);
+        assert_eq!(s.producers, 1);
+        assert_eq!(s.consumers, 4);
+        assert_eq!(s.deplist_entries, 4);
+        assert_eq!(s.addr_width, 9);
+        assert!(!s.with_port_b);
+        assert_eq!(s.service_order, vec![vec![0, 1, 2, 3]]);
+        s.validate().expect("valid");
+    }
+
+    #[test]
+    fn rejects_zero_consumers() {
+        assert!(WrapperSpec::single_producer(0).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_pseudo_ports() {
+        assert!(WrapperSpec::single_producer(9).validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_service_order() {
+        let mut s = WrapperSpec::single_producer(2);
+        s.service_order = vec![vec![0, 5]];
+        assert!(s.validate().is_err());
+        s.service_order = vec![];
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn module_names_are_distinct() {
+        let s = WrapperSpec::single_producer(2);
+        assert_ne!(
+            s.module_name(OrganizationKind::Arbitrated),
+            s.module_name(OrganizationKind::EventDriven)
+        );
+    }
+}

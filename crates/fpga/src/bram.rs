@@ -1,0 +1,114 @@
+//! Virtex-II Pro 18 Kb block RAM shape model.
+//!
+//! Each BRAM holds 18,432 bits (16 K data + 2 K parity) and is true dual
+//! ported; each port independently selects an aspect ratio from 16K×1 up to
+//! 512×36. The allocation step in `memsync-core` uses this model to pick a
+//! configuration and count BRAMs.
+
+use serde::{Deserialize, Serialize};
+
+/// Data bits in one 18 Kb block (excluding parity).
+pub const DATA_BITS: u32 = 16 * 1024;
+
+/// Data+parity bits in one 18 Kb block.
+pub const TOTAL_BITS: u32 = 18 * 1024;
+
+/// A supported port aspect ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AspectRatio {
+    /// Words per block.
+    pub depth: u32,
+    /// Data width per word (parity bits included for 9/18/36).
+    pub width: u32,
+}
+
+/// All aspect ratios of the Virtex-II Pro 18 Kb BRAM, widest first.
+pub const ASPECT_RATIOS: [AspectRatio; 6] = [
+    AspectRatio { depth: 512, width: 36 },
+    AspectRatio { depth: 1024, width: 18 },
+    AspectRatio { depth: 2048, width: 9 },
+    AspectRatio { depth: 4096, width: 4 },
+    AspectRatio { depth: 8192, width: 2 },
+    AspectRatio { depth: 16384, width: 1 },
+];
+
+impl AspectRatio {
+    /// Total bits addressable through this ratio.
+    pub fn bits(&self) -> u32 {
+        self.depth * self.width
+    }
+
+    /// Address width for this ratio.
+    pub fn addr_width(&self) -> u32 {
+        memsync_rtl::netlist::addr_width(self.depth)
+    }
+}
+
+/// Picks the narrowest aspect ratio whose width covers `word_width`, if any.
+pub fn ratio_for_width(word_width: u32) -> Option<AspectRatio> {
+    ASPECT_RATIOS
+        .iter()
+        .rev()
+        .find(|r| r.width >= word_width)
+        .copied()
+}
+
+/// Number of 18 Kb blocks needed for `words` words of `word_width` bits,
+/// tiling wide words across parallel blocks.
+pub fn blocks_needed(words: u32, word_width: u32) -> u32 {
+    if words == 0 || word_width == 0 {
+        return 0;
+    }
+    match ratio_for_width(word_width) {
+        Some(ratio) => {
+            // One block column; deep data may cascade multiple blocks.
+            words.div_ceil(ratio.depth)
+        }
+        None => {
+            // Wider than 36: parallel columns of 36-bit blocks.
+            let columns = word_width.div_ceil(36);
+            columns * words.div_ceil(512)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ratios_hold_18kb() {
+        for r in ASPECT_RATIOS {
+            // 9/18/36-wide ratios include parity; 1/2/4-wide are data only.
+            let bits = r.bits();
+            assert!(bits == DATA_BITS || bits == TOTAL_BITS, "ratio {r:?} holds {bits}");
+        }
+    }
+
+    #[test]
+    fn ratio_for_width_picks_narrowest_fit() {
+        assert_eq!(ratio_for_width(1).unwrap().width, 1);
+        assert_eq!(ratio_for_width(8).unwrap().width, 9);
+        assert_eq!(ratio_for_width(11).unwrap().width, 18);
+        assert_eq!(ratio_for_width(32).unwrap().width, 36);
+        assert_eq!(ratio_for_width(40), None);
+    }
+
+    #[test]
+    fn blocks_needed_examples() {
+        assert_eq!(blocks_needed(512, 36), 1);
+        assert_eq!(blocks_needed(513, 36), 2);
+        assert_eq!(blocks_needed(1024, 18), 1);
+        assert_eq!(blocks_needed(100, 32), 1);
+        // 64-bit words need two parallel columns.
+        assert_eq!(blocks_needed(512, 64), 2);
+        assert_eq!(blocks_needed(0, 32), 0);
+    }
+
+    #[test]
+    fn addr_width_matches_depth() {
+        assert_eq!(AspectRatio { depth: 512, width: 36 }.addr_width(), 9);
+        assert_eq!(AspectRatio { depth: 1024, width: 18 }.addr_width(), 10);
+        assert_eq!(AspectRatio { depth: 16384, width: 1 }.addr_width(), 14);
+    }
+}

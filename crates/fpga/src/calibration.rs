@@ -1,0 +1,160 @@
+//! Fixed calibration constants for the area/timing model, and the paper
+//! anchors they were fitted against.
+//!
+//! The paper's absolute numbers come from Xilinx ISE 6.3 place-and-route on
+//! an XC2VP20 (-5 speed grade era silicon). We cannot run ISE, so the model
+//! in [`crate::timing`] uses a standard LUT-level + fanout-routing delay
+//! decomposition whose constants were fitted **once** against the anchors
+//! below and are never varied per experiment. All trend claims (who wins,
+//! how area/Fmax scale with consumer count) come out of the structural
+//! netlists, not these constants.
+
+/// Delay model constants, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayModel {
+    /// LUT4 propagation delay.
+    pub t_lut: f64,
+    /// Fixed component of a net's routing delay.
+    pub t_net_base: f64,
+    /// Fanout-dependent routing delay (multiplied by log2(1+fanout)).
+    pub t_net_fanout: f64,
+    /// Per-bit carry-chain delay (adders, subtractors, comparators).
+    pub t_carry: f64,
+    /// Flip-flop clock-to-out.
+    pub t_cko: f64,
+    /// Flip-flop setup time.
+    pub t_su: f64,
+    /// Block RAM clock-to-out.
+    pub t_bram_cko: f64,
+    /// Block RAM address/data setup.
+    pub t_bram_su: f64,
+    /// Per-entry delay of the CAM priority chain.
+    pub t_cam_prio: f64,
+}
+
+impl DelayModel {
+    /// The calibrated Virtex-II Pro (-5/-6 era) constants used everywhere.
+    pub const VIRTEX2PRO: DelayModel = DelayModel {
+        t_lut: 0.467,
+        t_net_base: 0.15,
+        t_net_fanout: 0.05,
+        t_carry: 0.02,
+        t_cko: 0.977,
+        t_su: 1.0,
+        t_bram_cko: 1.65,
+        t_bram_su: 0.45,
+        t_cam_prio: 0.16,
+    };
+}
+
+impl Default for DelayModel {
+    fn default() -> Self {
+        DelayModel::VIRTEX2PRO
+    }
+}
+
+/// Slice packing model: how LUT/FF pairs share slices after place-and-route.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PackingModel {
+    /// Fraction of slices in which an unrelated LUT and FF can be packed
+    /// together (1.0 = perfect packing, 0.0 = no sharing).
+    pub share_fraction: f64,
+}
+
+impl PackingModel {
+    /// Calibrated packing efficiency matching ISE-era map results.
+    pub const VIRTEX2PRO: PackingModel = PackingModel { share_fraction: 0.60 };
+}
+
+impl Default for PackingModel {
+    fn default() -> Self {
+        PackingModel::VIRTEX2PRO
+    }
+}
+
+/// The surviving numeric anchors from the paper's evaluation (§4) used to
+/// fit the constants above and asserted (with tolerance bands) by the
+/// experiment harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperAnchors {
+    /// Arbitrated organization baseline flip-flop count (constant across
+    /// consumer counts).
+    pub arbitrated_ffs: u32,
+    /// Achieved Fmax, arbitrated organization, for 2/4/8 consumers (MHz).
+    /// The 8-consumer value was lost in extraction; the paper targeted
+    /// 125 MHz and lists the value first, so it is banded at 120–130 and
+    /// the midpoint is used here.
+    pub arbitrated_fmax_mhz: [f64; 3],
+    /// Achieved Fmax, event-driven organization, for 2/4/8 consumers (MHz).
+    pub event_driven_fmax_mhz: [f64; 3],
+    /// Target clock used for the arbitrated runs (MHz).
+    pub target_clock_mhz: f64,
+    /// Slices of the complete two-port IP forwarding application.
+    pub app_total_slices: u32,
+    /// Slices of the core forwarding function alone.
+    pub app_core_slices: u32,
+    /// Overhead band of the synchronization logic relative to the core
+    /// (fraction, inclusive).
+    pub overhead_band: (f64, f64),
+}
+
+/// The anchors as published.
+pub const PAPER_ANCHORS: PaperAnchors = PaperAnchors {
+    arbitrated_ffs: 66,
+    arbitrated_fmax_mhz: [158.0, 130.0, 125.0],
+    event_driven_fmax_mhz: [177.0, 136.0, 129.0],
+    target_clock_mhz: 125.0,
+    app_total_slices: 5430,
+    app_core_slices: 1000,
+    overhead_band: (0.05, 0.20),
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_match_prose() {
+        assert_eq!(PAPER_ANCHORS.arbitrated_ffs, 66);
+        assert_eq!(PAPER_ANCHORS.event_driven_fmax_mhz, [177.0, 136.0, 129.0]);
+        assert_eq!(PAPER_ANCHORS.app_total_slices, 5430);
+    }
+
+    #[test]
+    fn fmax_anchors_decrease_with_consumers() {
+        for series in [
+            PAPER_ANCHORS.arbitrated_fmax_mhz,
+            PAPER_ANCHORS.event_driven_fmax_mhz,
+        ] {
+            assert!(series[0] > series[1]);
+            assert!(series[1] > series[2]);
+        }
+    }
+
+    #[test]
+    fn event_driven_dominates_arbitrated_in_anchors() {
+        for i in 0..3 {
+            assert!(
+                PAPER_ANCHORS.event_driven_fmax_mhz[i] >= PAPER_ANCHORS.arbitrated_fmax_mhz[i]
+            );
+        }
+    }
+
+    #[test]
+    fn delay_model_is_positive() {
+        let m = DelayModel::default();
+        for v in [
+            m.t_lut,
+            m.t_net_base,
+            m.t_net_fanout,
+            m.t_carry,
+            m.t_cko,
+            m.t_su,
+            m.t_bram_cko,
+            m.t_bram_su,
+            m.t_cam_prio,
+        ] {
+            assert!(v > 0.0);
+        }
+    }
+}

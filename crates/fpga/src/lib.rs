@@ -1,0 +1,53 @@
+//! # memsync-fpga — Virtex-II Pro implementation model
+//!
+//! Substitute for the Xilinx ISE 6.3 synthesis + place-and-route flow the
+//! paper used (see DESIGN.md §3): structural technology mapping of
+//! `memsync-rtl` netlists onto 4-input LUTs, slice flip-flops, and 18 Kb
+//! BRAM blocks, slice packing, and a calibrated static timing model.
+//!
+//! * [`device`] — part database (XC2VP2 … XC2VP100; the paper targets the
+//!   XC2VP20);
+//! * [`bram`] — 18 Kb block RAM aspect ratios and block counting;
+//! * [`techmap`] — primitive → LUT/FF/BRAM decomposition;
+//! * [`slices`] — LUT/FF packing into slices;
+//! * [`timing`] — longest-path analysis with the calibrated delay model;
+//! * [`calibration`] — the fixed constants and the paper anchors they were
+//!   fitted to;
+//! * [`report`] — one-call area + timing implementation report.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), memsync_fpga::timing::TimingError> {
+//! use memsync_rtl::builder::ModuleBuilder;
+//! use memsync_fpga::{device::Part, report::implement};
+//!
+//! let mut b = ModuleBuilder::new("pipeline");
+//! let d = b.input("d", 32);
+//! let q1 = b.register(d, 0, "q1");
+//! let s = b.add(q1, d, "s");
+//! let q2 = b.register(s, 0, "q2");
+//! b.output("q", q2);
+//! let report = implement(&b.finish())?;
+//! assert!(report.fits(Part::Xc2vp20));
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bram;
+pub mod calibration;
+pub mod cluster;
+pub mod device;
+pub mod report;
+pub mod slices;
+pub mod techmap;
+pub mod timing;
+
+pub use calibration::{DelayModel, PackingModel, PAPER_ANCHORS};
+pub use device::Part;
+pub use report::{implement, ImplReport};
+pub use techmap::Resources;
+pub use timing::TimingReport;

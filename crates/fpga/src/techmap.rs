@@ -1,0 +1,300 @@
+//! Technology mapping: netlist primitives → 4-input LUTs and flip-flops.
+//!
+//! Every primitive of the `memsync-rtl` IR is decomposed into the Virtex-II
+//! Pro fabric resources it would occupy after synthesis: LUT4s (with MUXF5/
+//! MUXF6 absorption for wide multiplexers and carry chains for arithmetic),
+//! slice flip-flops, and 18 Kb BRAM blocks. CAMs are mapped to fabric
+//! (FF storage + parallel comparators), matching the paper's note that the
+//! dependency list uses "a content addressable memory (CAM) like structure".
+
+use crate::bram::blocks_needed;
+use memsync_rtl::netlist::{Instance, Module, PrimOp};
+use serde::{Deserialize, Serialize};
+
+/// Fabric resources of one instance or one module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Resources {
+    /// 4-input LUTs.
+    pub luts: u32,
+    /// Slice flip-flops.
+    pub ffs: u32,
+    /// 18 Kb BRAM blocks.
+    pub brams: u32,
+}
+
+impl Resources {
+    /// Component-wise sum.
+    pub fn add(self, other: Resources) -> Resources {
+        Resources {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            brams: self.brams + other.brams,
+        }
+    }
+}
+
+impl std::ops::Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources::add(self, rhs)
+    }
+}
+
+impl std::iter::Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::default(), Resources::add)
+    }
+}
+
+/// LUT4s needed for an associative n-input, 1-bit gate tree.
+///
+/// Each LUT4 merges up to 4 operands; a tree of them reduces `n` operands
+/// with `ceil((n-1)/3)` LUTs.
+pub fn gate_tree_luts(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        (n - 1).div_ceil(3)
+    }
+}
+
+/// Logic levels of the same tree.
+pub fn gate_tree_levels(n: u32) -> u32 {
+    if n <= 1 {
+        0
+    } else if n <= 4 {
+        1
+    } else {
+        1 + gate_tree_levels(n.div_ceil(4))
+    }
+}
+
+/// LUT4s per output bit of an n-way multiplexer, with MUXF5/MUXF6 absorbing
+/// the combine stage of each 4:1 block.
+pub fn mux_luts_per_bit(n: u32) -> u32 {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3 | 4 => 2,
+        _ => 2 * n.div_ceil(4) + mux_luts_per_bit(n.div_ceil(4)),
+    }
+}
+
+/// Logic levels of an n-way multiplexer. A 2:1 mux is one LUT level; 3:1
+/// and 4:1 need the LUT pair + MUXF5 (two levels); 5:1 through 16:1 add the
+/// MUXF6/MUXF7 combine stage (three levels); wider muxes tree 16:1 blocks.
+pub fn mux_levels(n: u32) -> u32 {
+    match n {
+        0 | 1 => 0,
+        2 => 1,
+        3 | 4 => 2,
+        5..=16 => 3,
+        _ => 3 + mux_levels(n.div_ceil(16)),
+    }
+}
+
+/// Maps a single instance to fabric resources.
+pub fn map_instance(module: &Module, inst: &Instance) -> Resources {
+    let w_out = inst
+        .outputs
+        .first()
+        .map(|&o| module.width(o))
+        .unwrap_or(1);
+    match &inst.op {
+        PrimOp::Const { .. }
+        | PrimOp::Not
+        | PrimOp::Shl { .. }
+        | PrimOp::Shr { .. }
+        | PrimOp::Concat
+        | PrimOp::Slice { .. } => Resources::default(),
+        PrimOp::And | PrimOp::Or | PrimOp::Xor => Resources {
+            luts: w_out * gate_tree_luts(inst.inputs.len() as u32),
+            ..Resources::default()
+        },
+        PrimOp::Mux => {
+            let n = (inst.inputs.len() - 1) as u32;
+            Resources { luts: w_out * mux_luts_per_bit(n), ..Resources::default() }
+        }
+        PrimOp::Add | PrimOp::Sub => {
+            // One LUT per bit plus the dedicated carry chain.
+            Resources { luts: w_out, ..Resources::default() }
+        }
+        PrimOp::Mul => {
+            // Embedded MULT18X18 blocks plus partial-product glue; counted
+            // as fabric LUTs (one per output bit) since the device model
+            // does not track multiplier blocks separately.
+            Resources { luts: w_out, ..Resources::default() }
+        }
+        PrimOp::Eq | PrimOp::Ne => {
+            let w = module.width(inst.inputs[0]);
+            // Two bits compared per LUT, then an AND-reduce tree.
+            let pairs = w.div_ceil(2);
+            Resources { luts: pairs + gate_tree_luts(pairs), ..Resources::default() }
+        }
+        PrimOp::Lt => {
+            // Carry-chain comparator: one LUT per bit.
+            let w = module.width(inst.inputs[0]);
+            Resources { luts: w, ..Resources::default() }
+        }
+        PrimOp::ReduceOr | PrimOp::ReduceAnd => {
+            let w = module.width(inst.inputs[0]);
+            Resources { luts: gate_tree_luts(w), ..Resources::default() }
+        }
+        PrimOp::Register { .. } => Resources { ffs: w_out, ..Resources::default() },
+        PrimOp::Bram { depth, width } => Resources {
+            brams: blocks_needed(*depth, *width),
+            ..Resources::default()
+        },
+        PrimOp::Cam { entries, key_width, data_width } => {
+            // Fabric CAM: per entry, FF storage for key+data+valid, a
+            // key comparator, and its slot in the priority/select network.
+            let cmp_luts = {
+                let pairs = key_width.div_ceil(2);
+                pairs + gate_tree_luts(pairs)
+            };
+            let index_width = memsync_rtl::netlist::addr_width(*entries);
+            let select_luts = entries * 1 // priority chain cell per entry
+                + index_width * gate_tree_luts(*entries) // index encoder
+                + data_width * mux_luts_per_bit(*entries); // data mux
+            Resources {
+                luts: entries * cmp_luts + select_luts,
+                ffs: entries * (key_width + data_width + 1),
+                brams: 0,
+            }
+        }
+    }
+}
+
+/// Maps a whole module, packing fanout-free trees of 1-bit gates into LUT
+/// clusters first (see [`crate::cluster`]), exactly as synthesis would.
+pub fn map_module(module: &Module) -> Resources {
+    let clustering = crate::cluster::clusters(module);
+    let mut total = Resources::default();
+    for (idx, inst) in module.instances.iter().enumerate() {
+        match clustering.cluster_of[idx] {
+            Some(_) if clustering.is_root(idx) => {
+                let c = clustering.cluster(idx).expect("root has a cluster");
+                total.luts += gate_tree_luts(c.input_count().max(2));
+            }
+            Some(_) => {} // absorbed into the cluster's LUT tree
+            None => total = total + map_instance(module, inst),
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_rtl::builder::ModuleBuilder;
+
+    #[test]
+    fn gate_tree_sizes() {
+        assert_eq!(gate_tree_luts(1), 0);
+        assert_eq!(gate_tree_luts(2), 1);
+        assert_eq!(gate_tree_luts(4), 1);
+        assert_eq!(gate_tree_luts(5), 2);
+        assert_eq!(gate_tree_luts(7), 2);
+        assert_eq!(gate_tree_luts(8), 3);
+        assert_eq!(gate_tree_levels(4), 1);
+        assert_eq!(gate_tree_levels(5), 2);
+        assert_eq!(gate_tree_levels(16), 2);
+        assert_eq!(gate_tree_levels(17), 3);
+    }
+
+    #[test]
+    fn mux_sizes() {
+        assert_eq!(mux_luts_per_bit(2), 1);
+        assert_eq!(mux_luts_per_bit(4), 2);
+        // 8-way: two 4:1 blocks (4 LUTs) + a 2:1 combine (1 LUT).
+        assert_eq!(mux_luts_per_bit(8), 5);
+        assert_eq!(mux_levels(2), 1);
+        assert_eq!(mux_levels(4), 2);
+        assert_eq!(mux_levels(8), 3);
+        assert_eq!(mux_levels(16), 3);
+        assert_eq!(mux_levels(17), 4);
+    }
+
+    #[test]
+    fn register_maps_to_ffs_only() {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", 16);
+        let q = b.register(d, 0, "q");
+        b.output("q", q);
+        let m = b.finish();
+        let r = map_module(&m);
+        assert_eq!(r, Resources { luts: 0, ffs: 16, brams: 0 });
+    }
+
+    #[test]
+    fn adder_maps_one_lut_per_bit() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 32);
+        let c = b.input("b", 32);
+        let s = b.add(a, c, "s");
+        b.output("s", s);
+        let r = map_module(&b.finish());
+        assert_eq!(r.luts, 32);
+        assert_eq!(r.ffs, 0);
+    }
+
+    #[test]
+    fn wide_mux_grows_with_ways() {
+        let counts: Vec<u32> = [2u32, 4, 8]
+            .iter()
+            .map(|&n| {
+                let mut b = ModuleBuilder::new("m");
+                let sel = b.input("sel", 3);
+                let data: Vec<_> =
+                    (0..n).map(|i| b.input(&format!("d{i}"), 18)).collect();
+                let y = b.mux(sel, &data, "y");
+                b.output("y", y);
+                map_module(&b.finish()).luts
+            })
+            .collect();
+        assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+    }
+
+    #[test]
+    fn bram_maps_to_one_block() {
+        let mut b = ModuleBuilder::new("m");
+        let addr = b.input("addr", 9);
+        let din = b.input("din", 36);
+        let we = b.input("we", 1);
+        let en = b.input("en", 1);
+        let (da, _) = b.bram(512, 36, addr, din, we, en, addr, din, we, en, "ram");
+        b.output("q", da);
+        let r = map_module(&b.finish());
+        assert_eq!(r.brams, 1);
+        assert_eq!(r.luts, 0);
+    }
+
+    #[test]
+    fn cam_ff_storage_scales_with_entries() {
+        let per_entries = |n: u32| {
+            let mut b = ModuleBuilder::new("m");
+            let key = b.input("key", 10);
+            let wdata = b.input("wdata", 4);
+            let widx = b.input("widx", memsync_rtl::netlist::addr_width(n));
+            let we = b.input("we", 1);
+            let (hit, _, _) = b.cam(n, 10, 4, key, key, wdata, widx, we, "deplist");
+            b.output("hit", hit);
+            map_module(&b.finish())
+        };
+        let r4 = per_entries(4);
+        let r8 = per_entries(8);
+        assert_eq!(r4.ffs, 4 * 15);
+        assert_eq!(r8.ffs, 8 * 15);
+        assert!(r8.luts > r4.luts);
+    }
+
+    #[test]
+    fn wiring_ops_are_free() {
+        let mut b = ModuleBuilder::new("m");
+        let a = b.input("a", 16);
+        let s = b.slice(a, 7, 0, "lo");
+        let c = b.concat(&[s, s], "cc");
+        b.output("y", c);
+        assert_eq!(map_module(&b.finish()), Resources::default());
+    }
+}

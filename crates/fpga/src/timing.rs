@@ -1,0 +1,643 @@
+//! Static timing analysis over the mapped netlist.
+//!
+//! Computes the worst register-to-register (or port-to-port) path using the
+//! calibrated [`DelayModel`]: every primitive contributes its mapped LUT
+//! levels, carry chains contribute per-bit delay, and every traversed net
+//! contributes a fanout-dependent routing delay — the same decomposition
+//! vendor timing reports use.
+
+use crate::calibration::DelayModel;
+use crate::techmap::{gate_tree_levels, mux_levels};
+use memsync_rtl::netlist::{Module, NetId, PortDir, PrimOp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Result of timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingReport {
+    /// Worst path delay in nanoseconds (including launch and setup).
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+}
+
+impl fmt::Display for TimingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} ns ({:.1} MHz)", self.critical_path_ns, self.fmax_mhz)
+    }
+}
+
+/// Timing analysis failure (combinational loop).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimingError {
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "timing analysis failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Analyzes a module with the default calibrated model.
+///
+/// # Errors
+///
+/// Returns [`TimingError`] if the netlist contains a combinational loop.
+pub fn analyze(module: &Module) -> Result<TimingReport, TimingError> {
+    analyze_with(module, DelayModel::default())
+}
+
+/// Like [`analyze_with`], but also returns the instance names along the
+/// critical path (endpoint last), for debugging and reports.
+///
+/// # Errors
+///
+/// Returns [`TimingError`] if the netlist contains a combinational loop.
+pub fn critical_path(
+    module: &Module,
+    model: DelayModel,
+) -> Result<(TimingReport, Vec<String>), TimingError> {
+    let report = analyze_with(module, model)?;
+    // Re-run arrival computation tracking predecessors.
+    let mut best_pred: Vec<Option<usize>> = vec![None; module.nets.len()];
+    let arrivals = arrivals_with_preds(module, model, &mut best_pred)?;
+    // Find worst endpoint net.
+    let mut worst_net: Option<NetId> = None;
+    let mut worst: f64 = f64::MIN;
+    for inst in &module.instances {
+        let seq = matches!(
+            inst.op,
+            PrimOp::Register { .. } | PrimOp::Bram { .. } | PrimOp::Cam { .. }
+        );
+        if seq {
+            for &i in &inst.inputs {
+                if arrivals[i.0] > worst {
+                    worst = arrivals[i.0];
+                    worst_net = Some(i);
+                }
+            }
+        }
+    }
+    for p in module.ports_in(PortDir::Output) {
+        if arrivals[p.net.0] > worst {
+            worst = arrivals[p.net.0];
+            worst_net = Some(p.net);
+        }
+    }
+    let mut path = Vec::new();
+    let mut cur = worst_net;
+    let mut driver_of: Vec<Option<usize>> = vec![None; module.nets.len()];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &o in &inst.outputs {
+            driver_of[o.0] = Some(idx);
+        }
+    }
+    while let Some(n) = cur {
+        if let Some(d) = driver_of[n.0] {
+            let inst = &module.instances[d];
+            path.push(format!(
+                "{} ({}) @ {:.2}ns",
+                inst.name,
+                inst.op.mnemonic(),
+                arrivals[n.0]
+            ));
+            if matches!(inst.op, PrimOp::Register { .. } | PrimOp::Bram { .. }) {
+                break;
+            }
+            cur = best_pred[n.0].map(NetId);
+        } else {
+            path.push(format!("port net {} @ {:.2}ns", module.nets[n.0].name, arrivals[n.0]));
+            break;
+        }
+    }
+    path.reverse();
+    Ok((report, path))
+}
+
+fn arrivals_with_preds(
+    module: &Module,
+    model: DelayModel,
+    best_pred: &mut [Option<usize>],
+) -> Result<Vec<f64>, TimingError> {
+    // Duplicate of the pass-1 arrival computation, additionally recording
+    // for every net the input net that determined its arrival.
+    let n_nets = module.nets.len();
+    let clustering = crate::cluster::clusters(module);
+    let mut driver: Vec<Option<usize>> = vec![None; n_nets];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &o in &inst.outputs {
+            driver[o.0] = Some(idx);
+        }
+    }
+    let mut fanout = vec![0u32; n_nets];
+    for inst in &module.instances {
+        for &i in &inst.inputs {
+            fanout[i.0] += 1;
+        }
+    }
+    for p in module.ports_in(PortDir::Output) {
+        fanout[p.net.0] += 1;
+    }
+    let route = |net: NetId| -> f64 {
+        model.t_net_base + model.t_net_fanout * f64::from(1 + fanout[net.0]).log2()
+    };
+    let order = topo_order(module)?;
+    let mut arrival = vec![0.0f64; n_nets];
+    for inst in &module.instances {
+        let launch = match inst.op {
+            PrimOp::Register { .. } => Some(model.t_cko),
+            PrimOp::Bram { .. } => Some(model.t_bram_cko),
+            _ => None,
+        };
+        if let Some(t) = launch {
+            for &o in &inst.outputs {
+                arrival[o.0] = t;
+            }
+        }
+    }
+    for &idx in &order {
+        let inst = &module.instances[idx];
+        match &inst.op {
+            PrimOp::Register { .. } | PrimOp::Bram { .. } => {}
+            PrimOp::Cam { entries, key_width, .. } => {
+                let key = inst.inputs[0];
+                let cmp_levels = 1 + gate_tree_levels(key_width.div_ceil(2));
+                let delay = f64::from(cmp_levels) * model.t_lut
+                    + f64::from(*entries) * model.t_cam_prio
+                    + f64::from(mux_levels(*entries)) * model.t_lut;
+                let launch = arrival[key.0] + route(key) + delay;
+                let from_storage = model.t_cko + delay;
+                for &o in &inst.outputs {
+                    arrival[o.0] = launch.max(from_storage);
+                    best_pred[o.0] = Some(key.0);
+                }
+            }
+            comb => {
+                let in_cluster = clustering.cluster_of[idx];
+                let wiring = matches!(
+                    comb,
+                    PrimOp::Const { .. }
+                        | PrimOp::Not
+                        | PrimOp::Shl { .. }
+                        | PrimOp::Shr { .. }
+                        | PrimOp::Concat
+                        | PrimOp::Slice { .. }
+                );
+                let delay = match in_cluster {
+                    Some(cid) if clustering.is_root(idx) => {
+                        let levels = crate::techmap::gate_tree_levels(
+                            clustering.clusters[cid].input_count().max(2),
+                        );
+                        f64::from(levels) * model.t_lut
+                            + f64::from(levels.saturating_sub(1)) * model.t_net_base
+                    }
+                    Some(_) => 0.0,
+                    None => comb_delay(module, inst, comb, model),
+                };
+                let mut max_in: f64 = 0.0;
+                let mut pred = None;
+                for &i in &inst.inputs {
+                    let internal = in_cluster.is_some()
+                        && driver[i.0].is_some_and(|d| clustering.cluster_of[d] == in_cluster);
+                    let hop = if wiring || internal { 0.0 } else { route(i) };
+                    if arrival[i.0] + hop >= max_in {
+                        max_in = arrival[i.0] + hop;
+                        pred = Some(i.0);
+                    }
+                }
+                for &o in &inst.outputs {
+                    arrival[o.0] = max_in + delay;
+                    best_pred[o.0] = pred;
+                }
+            }
+        }
+    }
+    Ok(arrival)
+}
+
+fn topo_order(module: &Module) -> Result<Vec<usize>, TimingError> {
+    let n_nets = module.nets.len();
+    let n_inst = module.instances.len();
+    let prop_inputs = |op: &PrimOp, n_inputs: usize| -> Vec<usize> {
+        match op {
+            PrimOp::Register { .. } | PrimOp::Bram { .. } => Vec::new(),
+            PrimOp::Cam { .. } => vec![0],
+            _ => (0..n_inputs).collect(),
+        }
+    };
+    let mut driver_of: Vec<Option<usize>> = vec![None; n_nets];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &o in &inst.outputs {
+            driver_of[o.0] = Some(idx);
+        }
+    }
+    let mut indegree = vec![0u32; n_inst];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &pi in &prop_inputs(&inst.op, inst.inputs.len()) {
+            if let Some(d) = driver_of[inst.inputs[pi].0] {
+                if !matches!(
+                    module.instances[d].op,
+                    PrimOp::Register { .. } | PrimOp::Bram { .. }
+                ) {
+                    indegree[idx] += 1;
+                    dependents[d].push(idx);
+                }
+            }
+        }
+    }
+    let mut queue: VecDeque<usize> = (0..n_inst).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n_inst);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    if order.len() != n_inst {
+        return Err(TimingError { message: "combinational loop detected".into() });
+    }
+    Ok(order)
+}
+
+/// Analyzes a module with an explicit delay model.
+///
+/// # Errors
+///
+/// Returns [`TimingError`] if the netlist contains a combinational loop.
+pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, TimingError> {
+    let n_nets = module.nets.len();
+    let n_inst = module.instances.len();
+
+    // Fanout per net.
+    let mut fanout = vec![0u32; n_nets];
+    for inst in &module.instances {
+        for &i in &inst.inputs {
+            fanout[i.0] += 1;
+        }
+    }
+    for p in module.ports_in(PortDir::Output) {
+        fanout[p.net.0] += 1;
+    }
+    let route = |net: NetId| -> f64 {
+        model.t_net_base + model.t_net_fanout * f64::from(1 + fanout[net.0]).log2()
+    };
+
+    // Combinational propagation edges: for each instance, which inputs
+    // propagate to outputs (sequential elements launch fresh paths instead).
+    let prop_inputs = |op: &PrimOp, n_inputs: usize| -> Vec<usize> {
+        match op {
+            PrimOp::Register { .. } | PrimOp::Bram { .. } => Vec::new(),
+            // The CAM search path is combinational; writes are clocked.
+            PrimOp::Cam { .. } => vec![0],
+            _ => (0..n_inputs).collect(),
+        }
+    };
+
+    // Kahn topological order over instances via combinational edges.
+    let mut driver_of: Vec<Option<usize>> = vec![None; n_nets];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &o in &inst.outputs {
+            driver_of[o.0] = Some(idx);
+        }
+    }
+    let mut indegree = vec![0u32; n_inst];
+    let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
+    for (idx, inst) in module.instances.iter().enumerate() {
+        for &pi in &prop_inputs(&inst.op, inst.inputs.len()) {
+            if let Some(d) = driver_of[inst.inputs[pi].0] {
+                if !matches!(
+                    module.instances[d].op,
+                    PrimOp::Register { .. } | PrimOp::Bram { .. }
+                ) {
+                    indegree[idx] += 1;
+                    dependents[d].push(idx);
+                }
+            }
+        }
+    }
+    let mut queue: VecDeque<usize> =
+        (0..n_inst).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n_inst);
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for &d in &dependents[i] {
+            indegree[d] -= 1;
+            if indegree[d] == 0 {
+                queue.push_back(d);
+            }
+        }
+    }
+    if order.len() != n_inst {
+        return Err(TimingError { message: "combinational loop detected".into() });
+    }
+    let clustering = crate::cluster::clusters(module);
+
+    // Arrival times per net. Input ports launch at t=0; register and BRAM
+    // outputs launch at clock-to-out and do not depend on anything, so they
+    // are initialized up front (their edges are excluded from the
+    // topological graph, which otherwise would not order them before their
+    // combinational consumers).
+    let mut arrival = vec![0.0f64; n_nets];
+    for p in module.ports_in(PortDir::Input) {
+        arrival[p.net.0] = 0.0;
+    }
+    for inst in &module.instances {
+        let launch = match inst.op {
+            PrimOp::Register { .. } => Some(model.t_cko),
+            PrimOp::Bram { .. } => Some(model.t_bram_cko),
+            _ => None,
+        };
+        if let Some(t) = launch {
+            for &o in &inst.outputs {
+                arrival[o.0] = t;
+            }
+        }
+    }
+    // Pass 1: arrival times in topological order. Sequential elements only
+    // launch (set their outputs); their setup checks happen in pass 2, once
+    // every arrival is final — registers sort first in the topological
+    // order, so their D inputs are not yet computed here.
+    for &idx in &order {
+        let inst = &module.instances[idx];
+        match &inst.op {
+            PrimOp::Register { .. } => {
+                for &o in &inst.outputs {
+                    arrival[o.0] = model.t_cko;
+                }
+            }
+            PrimOp::Bram { .. } => {
+                for &o in &inst.outputs {
+                    arrival[o.0] = model.t_bram_cko;
+                }
+            }
+            PrimOp::Cam { entries, key_width, .. } => {
+                // Search side is combinational through the compare array,
+                // the priority chain, and the output select network.
+                let key = inst.inputs[0];
+                let cmp_levels = 1 + gate_tree_levels(key_width.div_ceil(2));
+                let delay = f64::from(cmp_levels) * model.t_lut
+                    + f64::from(*entries) * model.t_cam_prio
+                    + f64::from(mux_levels(*entries)) * model.t_lut;
+                let launch = arrival[key.0] + route(key) + delay;
+                // Entry storage is registered, so the search also launches
+                // from the stored keys at t_cko.
+                let from_storage = model.t_cko + delay;
+                for &o in &inst.outputs {
+                    arrival[o.0] = launch.max(from_storage);
+                }
+            }
+            comb => {
+                if let Some(cid) = clustering.cluster_of[idx] {
+                    // Member of a packed LUT tree: external inputs pay one
+                    // routing hop into the cluster; internal nets are free;
+                    // the whole tree's LUT levels are charged at the root.
+                    let mut max_in: f64 = 0.0;
+                    for &i in &inst.inputs {
+                        let internal = driver_of[i.0]
+                            .is_some_and(|d| clustering.cluster_of[d] == Some(cid));
+                        let hop = if internal { 0.0 } else { route(i) };
+                        max_in = max_in.max(arrival[i.0] + hop);
+                    }
+                    let delay = if clustering.is_root(idx) {
+                        let levels = crate::techmap::gate_tree_levels(
+                            clustering.clusters[cid].input_count().max(2),
+                        );
+                        f64::from(levels) * model.t_lut
+                            + f64::from(levels.saturating_sub(1)) * model.t_net_base
+                    } else {
+                        0.0
+                    };
+                    for &o in &inst.outputs {
+                        arrival[o.0] = max_in + delay;
+                    }
+                } else {
+                    // Wiring pseudo-ops (constants, slices, concatenations,
+                    // fixed shifts, lone inverters absorbed into LUT inputs)
+                    // are net aliases: no logic delay, no extra routing hop.
+                    let wiring = matches!(
+                        comb,
+                        PrimOp::Const { .. }
+                            | PrimOp::Not
+                            | PrimOp::Shl { .. }
+                            | PrimOp::Shr { .. }
+                            | PrimOp::Concat
+                            | PrimOp::Slice { .. }
+                    );
+                    let delay = comb_delay(module, inst, comb, model);
+                    let mut max_in: f64 = 0.0;
+                    for &i in &inst.inputs {
+                        let hop = if wiring { 0.0 } else { route(i) };
+                        max_in = max_in.max(arrival[i.0] + hop);
+                    }
+                    for &o in &inst.outputs {
+                        arrival[o.0] = max_in + delay;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: setup checks at every sequential endpoint and output port.
+    let mut worst: f64 = 0.0;
+    for inst in &module.instances {
+        match &inst.op {
+            PrimOp::Register { .. } => {
+                for &i in &inst.inputs {
+                    worst = worst.max(arrival[i.0] + route(i) + model.t_su);
+                }
+            }
+            PrimOp::Bram { .. } => {
+                for &i in &inst.inputs {
+                    worst = worst.max(arrival[i.0] + route(i) + model.t_bram_su);
+                }
+            }
+            PrimOp::Cam { .. } => {
+                // Write side is clocked (endpoint); the search key flows
+                // through combinationally and is checked wherever the CAM
+                // outputs terminate.
+                for &i in &inst.inputs[1..] {
+                    worst = worst.max(arrival[i.0] + route(i) + model.t_su);
+                }
+            }
+            _ => {}
+        }
+    }
+    for p in module.ports_in(PortDir::Output) {
+        worst = worst.max(arrival[p.net.0] + route(p.net));
+    }
+    // A purely wired module still needs one routing hop.
+    let critical = worst.max(model.t_cko + model.t_su);
+    Ok(TimingReport { critical_path_ns: critical, fmax_mhz: 1000.0 / critical })
+}
+
+fn comb_delay(
+    module: &Module,
+    inst: &memsync_rtl::netlist::Instance,
+    op: &PrimOp,
+    model: DelayModel,
+) -> f64 {
+    match op {
+        PrimOp::Const { .. }
+        | PrimOp::Not
+        | PrimOp::Shl { .. }
+        | PrimOp::Shr { .. }
+        | PrimOp::Concat
+        | PrimOp::Slice { .. } => 0.0,
+        PrimOp::And | PrimOp::Or | PrimOp::Xor => {
+            f64::from(gate_tree_levels(inst.inputs.len() as u32)) * model.t_lut
+        }
+        PrimOp::Mux => {
+            let n = (inst.inputs.len() - 1) as u32;
+            f64::from(mux_levels(n)) * model.t_lut
+        }
+        PrimOp::Add | PrimOp::Sub | PrimOp::Lt => {
+            let w = module.width(inst.inputs[0]);
+            model.t_lut + f64::from(w) * model.t_carry
+        }
+        PrimOp::Mul => {
+            // Embedded multiplier: roughly three LUT delays plus carry.
+            let w = module.width(inst.inputs[0]);
+            3.0 * model.t_lut + f64::from(w) * model.t_carry * 0.5
+        }
+        PrimOp::Eq | PrimOp::Ne => {
+            // Wide equality maps onto the dedicated carry chain (MUXCY
+            // compare), like the magnitude comparator.
+            let w = module.width(inst.inputs[0]);
+            model.t_lut + f64::from(w) * model.t_carry
+        }
+        PrimOp::ReduceOr | PrimOp::ReduceAnd => {
+            let w = module.width(inst.inputs[0]);
+            f64::from(gate_tree_levels(w)) * model.t_lut
+        }
+        PrimOp::Register { .. } | PrimOp::Bram { .. } | PrimOp::Cam { .. } => {
+            unreachable!("sequential ops handled by caller")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_rtl::builder::ModuleBuilder;
+
+    fn reg_to_reg_through(extra_mux_ways: u32) -> TimingReport {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", 8);
+        let q1 = b.register(d, 0, "q1");
+        let sel = b.input("sel", 3);
+        let data: Vec<_> = (0..extra_mux_ways)
+            .map(|i| {
+                if i == 0 {
+                    q1
+                } else {
+                    b.input(&format!("alt{i}"), 8)
+                }
+            })
+            .collect();
+        let y = b.mux(sel, &data, "y");
+        let q2 = b.register(y, 0, "q2");
+        b.output("q", q2);
+        analyze(&b.finish()).unwrap()
+    }
+
+    #[test]
+    fn wider_mux_slows_the_clock() {
+        let f2 = reg_to_reg_through(2).fmax_mhz;
+        let f8 = reg_to_reg_through(8).fmax_mhz;
+        assert!(f2 > f8, "2-way {f2} should beat 8-way {f8}");
+    }
+
+    #[test]
+    fn fmax_is_reciprocal_of_period() {
+        let r = reg_to_reg_through(4);
+        assert!((r.fmax_mhz - 1000.0 / r.critical_path_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_module_reports_ff_limit() {
+        let b = ModuleBuilder::new("empty");
+        let r = analyze(&b.finish()).unwrap();
+        let m = DelayModel::default();
+        assert!((r.critical_path_ns - (m.t_cko + m.t_su)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn combinational_loop_is_an_error() {
+        use memsync_rtl::netlist::{Instance, Module, Net, NetId, PrimOp};
+        let m = Module {
+            name: "loopy".into(),
+            ports: vec![],
+            nets: vec![
+                Net { name: "a".into(), width: 1 },
+                Net { name: "b".into(), width: 1 },
+            ],
+            instances: vec![
+                Instance {
+                    name: "g1".into(),
+                    op: PrimOp::Not,
+                    inputs: vec![NetId(1)],
+                    outputs: vec![NetId(0)],
+                },
+                Instance {
+                    name: "g2".into(),
+                    op: PrimOp::Not,
+                    inputs: vec![NetId(0)],
+                    outputs: vec![NetId(1)],
+                },
+            ],
+        };
+        assert!(analyze(&m).is_err());
+    }
+
+    #[test]
+    fn registers_cut_paths() {
+        // Two short reg-to-reg stages must beat one long combinational one.
+        let staged = {
+            let mut b = ModuleBuilder::new("staged");
+            let d = b.input("d", 32);
+            let q1 = b.register(d, 0, "q1");
+            let s1 = b.add(q1, q1, "s1");
+            let q2 = b.register(s1, 0, "q2");
+            let s2 = b.add(q2, q2, "s2");
+            let q3 = b.register(s2, 0, "q3");
+            b.output("q", q3);
+            analyze(&b.finish()).unwrap()
+        };
+        let flat = {
+            let mut b = ModuleBuilder::new("flat");
+            let d = b.input("d", 32);
+            let q1 = b.register(d, 0, "q1");
+            let s1 = b.add(q1, q1, "s1");
+            let s2 = b.add(s1, s1, "s2");
+            let q3 = b.register(s2, 0, "q3");
+            b.output("q", q3);
+            analyze(&b.finish()).unwrap()
+        };
+        assert!(staged.fmax_mhz > flat.fmax_mhz);
+    }
+
+    #[test]
+    fn cam_search_scales_with_entries() {
+        let per = |n: u32| {
+            let mut b = ModuleBuilder::new("m");
+            let key = b.input("key", 10);
+            let wdata = b.input("wdata", 4);
+            let widx = b.input("widx", memsync_rtl::netlist::addr_width(n));
+            let we = b.input("we", 1);
+            let (hit, _, _) = b.cam(n, 10, 4, key, key, wdata, widx, we, "cam");
+            let q = b.register_en(wdata, hit, 0, "q");
+            b.output("q", q);
+            analyze(&b.finish()).unwrap().fmax_mhz
+        };
+        assert!(per(4) > per(16));
+    }
+}

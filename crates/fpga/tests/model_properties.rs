@@ -1,0 +1,57 @@
+//! Properties of the implementation model: packing bounds, monotonicity,
+//! and timing sanity over randomized netlists.
+
+use memsync_fpga::calibration::PackingModel;
+use memsync_fpga::slices::pack;
+use memsync_fpga::techmap::Resources;
+use memsync_rtl::builder::ModuleBuilder;
+use proptest::prelude::*;
+
+proptest! {
+    /// Packed slices always lie between perfect sharing and no sharing.
+    #[test]
+    fn packing_within_bounds(luts in 0u32..5000, ffs in 0u32..5000, share in 0.0f64..=1.0) {
+        let r = Resources { luts, ffs, brams: 0 };
+        let s = pack(r, PackingModel { share_fraction: share });
+        let lower = luts.div_ceil(2).max(ffs.div_ceil(2));
+        let upper = luts.div_ceil(2) + ffs.div_ceil(2);
+        prop_assert!(s >= lower, "{s} < lower {lower}");
+        prop_assert!(s <= upper, "{s} > upper {upper}");
+    }
+
+    /// Adding independent logic never reduces area and never improves the
+    /// critical path.
+    #[test]
+    fn area_and_delay_monotone(extra in 1usize..20) {
+        let build = |n: usize| {
+            let mut b = ModuleBuilder::new("m");
+            let x = b.input("x", 16);
+            let mut acc = b.register(x, 0, "q0");
+            for i in 0..n {
+                let s = b.add(acc, x, &format!("s{i}"));
+                acc = b.register(s, 0, &format!("q{i}"));
+            }
+            b.output("y", acc);
+            b.finish()
+        };
+        let small = memsync_fpga::report::implement(&build(1)).expect("ok");
+        let big = memsync_fpga::report::implement(&build(1 + extra)).expect("ok");
+        prop_assert!(big.luts >= small.luts);
+        prop_assert!(big.ffs > small.ffs);
+        prop_assert!(big.timing.fmax_mhz <= small.timing.fmax_mhz + 1e-9);
+    }
+
+    /// Fmax is always positive and below the flip-flop-limited ceiling.
+    #[test]
+    fn fmax_bounded(width in 1u32..64) {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", width);
+        let q = b.register(d, 0, "q");
+        b.output("q", q);
+        let r = memsync_fpga::report::implement(&b.finish()).expect("ok");
+        let m = memsync_fpga::calibration::DelayModel::default();
+        let ceiling = 1000.0 / (m.t_cko + m.t_su);
+        prop_assert!(r.timing.fmax_mhz > 0.0);
+        prop_assert!(r.timing.fmax_mhz <= ceiling + 1e-9);
+    }
+}

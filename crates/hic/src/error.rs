@@ -1,0 +1,218 @@
+//! Span-carrying diagnostics for the hic front-end.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A half-open byte range into the source text, plus 1-based line/column of
+/// the start, used to anchor every diagnostic and AST node.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+    /// 1-based column of `start`.
+    pub column: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` at the given line/column.
+    pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
+        Span { start, end, line, column }
+    }
+
+    /// A zero-width span at the origin, for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 1, column: 1 }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            column: first.column,
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.column)
+    }
+}
+
+/// Severity of a [`Diagnostic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Advice that does not affect compilation.
+    Note,
+    /// Suspicious construct; compilation continues.
+    Warning,
+    /// Compilation cannot produce a valid result.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => f.write_str("note"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One compiler message anchored to a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// How serious the message is.
+    pub severity: Severity,
+    /// Human-readable description, lowercase, no trailing period.
+    pub message: String,
+    /// Source location the message refers to.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+    }
+
+    /// Creates a note diagnostic.
+    pub fn note(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Note, message: message.into(), span }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} at {}", self.severity, self.message, self.span)
+    }
+}
+
+/// Error type returned by every fallible front-end entry point: a non-empty
+/// batch of diagnostics, at least one of which is an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl CompileError {
+    /// Wraps a batch of diagnostics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `diagnostics` is empty — an error with no explanation is a
+    /// front-end bug.
+    pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
+        assert!(!diagnostics.is_empty(), "CompileError requires at least one diagnostic");
+        CompileError { diagnostics }
+    }
+
+    /// Convenience constructor for a single error message.
+    pub fn single(message: impl Into<String>, span: Span) -> Self {
+        CompileError::new(vec![Diagnostic::error(message, span)])
+    }
+
+    /// All diagnostics in the batch.
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Number of `Error`-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Result alias used across the front-end.
+pub type Result<T> = std::result::Result<T, CompileError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(4, 8, 1, 5);
+        let b = Span::new(10, 12, 2, 1);
+        let m = a.merge(b);
+        assert_eq!(m.start, 4);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.column, 5);
+    }
+
+    #[test]
+    fn span_merge_is_commutative_on_range() {
+        let a = Span::new(4, 8, 1, 5);
+        let b = Span::new(1, 2, 1, 2);
+        assert_eq!(a.merge(b).start, b.merge(a).start);
+        assert_eq!(a.merge(b).end, b.merge(a).end);
+    }
+
+    #[test]
+    fn diagnostic_display_contains_location() {
+        let d = Diagnostic::error("unexpected token", Span::new(0, 1, 3, 7));
+        assert_eq!(d.to_string(), "error: unexpected token at 3:7");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one diagnostic")]
+    fn compile_error_rejects_empty() {
+        let _ = CompileError::new(vec![]);
+    }
+
+    #[test]
+    fn compile_error_counts_errors_only() {
+        let e = CompileError::new(vec![
+            Diagnostic::warning("w", Span::dummy()),
+            Diagnostic::error("e", Span::dummy()),
+        ]);
+        assert_eq!(e.error_count(), 1);
+        assert_eq!(e.diagnostics().len(), 2);
+    }
+
+    #[test]
+    fn empty_span_reports_empty() {
+        assert!(Span::dummy().is_empty());
+        assert!(!Span::new(0, 3, 1, 1).is_empty());
+    }
+}

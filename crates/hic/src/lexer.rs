@@ -1,0 +1,421 @@
+//! Hand-written lexer for hic.
+//!
+//! The lexer is a one-pass byte scanner producing [`Token`]s with byte-exact
+//! [`Span`]s. Comments (`//` line and `/* */` block) and whitespace are
+//! skipped. Pragma heads (`#consumer` etc.) are lexed as single tokens so the
+//! parser never has to re-tokenize after `#`.
+
+use crate::error::{CompileError, Diagnostic, Result, Span};
+use crate::token::{Token, TokenKind};
+
+/// Lexes a full source string into tokens, ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] carrying one diagnostic per lexical error
+/// (unknown character, unterminated literal/comment, malformed number or
+/// pragma head). Lexing continues past recoverable errors so all problems
+/// are reported in one pass.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), memsync_hic::error::CompileError> {
+/// use memsync_hic::lexer::lex;
+/// let tokens = lex("thread t1() { int x1; }")?;
+/// assert_eq!(tokens.len(), 10); // 9 tokens + Eof
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut lexer = Lexer::new(source);
+    lexer.run();
+    if lexer.diagnostics.is_empty() {
+        Ok(lexer.tokens)
+    } else {
+        Err(CompileError::new(lexer.diagnostics))
+    }
+}
+
+struct Lexer<'src> {
+    src: &'src [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+    tokens: Vec<Token>,
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl<'src> Lexer<'src> {
+    fn new(source: &'src str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            tokens: Vec::new(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn here(&self) -> (usize, u32, u32) {
+        (self.pos, self.line, self.column)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn error(&mut self, message: impl Into<String>, start: (usize, u32, u32)) {
+        let span = self.span_from(start);
+        self.diagnostics.push(Diagnostic::error(message, span));
+    }
+
+    fn run(&mut self) {
+        while let Some(b) = self.peek() {
+            let start = self.here();
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        self.error("unterminated block comment", start);
+                    }
+                }
+                b'#' => self.lex_pragma_head(start),
+                b'0'..=b'9' => self.lex_number(start),
+                b'\'' => self.lex_char(start),
+                b'"' => self.lex_string(start),
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(start),
+                _ => self.lex_operator(start),
+            }
+        }
+        let start = self.here();
+        self.push(TokenKind::Eof, start);
+    }
+
+    fn lex_pragma_head(&mut self, start: (usize, u32, u32)) {
+        self.bump(); // '#'
+        let word_start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[word_start..self.pos]).unwrap_or("");
+        let kind = match word {
+            "consumer" => TokenKind::PragmaConsumer,
+            "producer" => TokenKind::PragmaProducer,
+            "interface" => TokenKind::PragmaInterface,
+            "constant" => TokenKind::PragmaConstant,
+            other => {
+                self.error(format!("unknown pragma `#{other}`"), start);
+                return;
+            }
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_number(&mut self, start: (usize, u32, u32)) {
+        let (radix, digits_start) = if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x' | b'X'))
+        {
+            self.bump();
+            self.bump();
+            (16u32, self.pos)
+        } else if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'b' | b'B')) {
+            self.bump();
+            self.bump();
+            (2u32, self.pos)
+        } else {
+            (10u32, self.pos)
+        };
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .unwrap_or("")
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        match i64::from_str_radix(&text, radix) {
+            Ok(v) => self.push(TokenKind::Int(v), start),
+            Err(_) => self.error(format!("invalid integer literal `{text}`"), start),
+        }
+    }
+
+    fn lex_char(&mut self, start: (usize, u32, u32)) {
+        self.bump(); // opening quote
+        let value = match self.bump() {
+            Some(b'\\') => match self.bump() {
+                Some(b'n') => b'\n',
+                Some(b't') => b'\t',
+                Some(b'0') => 0,
+                Some(b'\\') => b'\\',
+                Some(b'\'') => b'\'',
+                _ => {
+                    self.error("invalid escape in character literal", start);
+                    return;
+                }
+            },
+            Some(c) if c != b'\'' && c != b'\n' => c,
+            _ => {
+                self.error("empty or unterminated character literal", start);
+                return;
+            }
+        };
+        if self.peek() == Some(b'\'') {
+            self.bump();
+            self.push(TokenKind::Char(value), start);
+        } else {
+            self.error("unterminated character literal", start);
+        }
+    }
+
+    fn lex_string(&mut self, start: (usize, u32, u32)) {
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => {
+                    self.push(TokenKind::Str(value), start);
+                    return;
+                }
+                Some(b'\n') | None => {
+                    self.error("unterminated string literal", start);
+                    return;
+                }
+                Some(c) => value.push(c as char),
+            }
+        }
+    }
+
+    fn lex_ident(&mut self, start: (usize, u32, u32)) {
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap_or("");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        self.push(kind, start);
+    }
+
+    fn lex_operator(&mut self, start: (usize, u32, u32)) {
+        let b = self.bump().expect("lex_operator called at end of input");
+        let two = |lexer: &mut Lexer<'_>, next: u8, long: TokenKind, short: TokenKind| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                long
+            } else {
+                short
+            }
+        };
+        let kind = match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b':' => TokenKind::Colon,
+            b'.' => TokenKind::Dot,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'^' => TokenKind::Caret,
+            b'~' => TokenKind::Tilde,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+            b'&' => two(self, b'&', TokenKind::AndAnd, TokenKind::Amp),
+            b'|' => two(self, b'|', TokenKind::OrOr, TokenKind::Pipe),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, b'=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, b'=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            other => {
+                self.error(format!("unexpected character `{}`", other as char), start);
+                return;
+            }
+        };
+        self.push(kind, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_figure1_fragment() {
+        let ks = kinds("#consumer{mt1,[t2,y1],[t3,z1]}\nx1 = f(xtmp, x2);");
+        assert_eq!(ks[0], TokenKind::PragmaConsumer);
+        assert_eq!(ks[1], TokenKind::LBrace);
+        assert_eq!(ks[2], TokenKind::Ident("mt1".into()));
+        assert!(ks.contains(&TokenKind::Ident("x1".into())));
+        assert_eq!(*ks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers_in_all_radixes() {
+        assert_eq!(
+            kinds("10 0x1F 0b101 1_000"),
+            vec![
+                TokenKind::Int(10),
+                TokenKind::Int(0x1f),
+                TokenKind::Int(0b101),
+                TokenKind::Int(1000),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_char_and_string_literals() {
+        assert_eq!(
+            kinds(r#"'a' '\n' "gige""#),
+            vec![
+                TokenKind::Char(b'a'),
+                TokenKind::Char(b'\n'),
+                TokenKind::Str("gige".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_multichar_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || << >> < >"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // comment\n/* block\n comment */ b"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let tokens = lex("ab\n  cd").unwrap();
+        assert_eq!(tokens[0].span.line, 1);
+        assert_eq!(tokens[0].span.column, 1);
+        assert_eq!(tokens[1].span.line, 2);
+        assert_eq!(tokens[1].span.column, 3);
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert_eq!(err.error_count(), 1);
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn rejects_unknown_pragma() {
+        let err = lex("#frobnicate{}").unwrap_err();
+        assert!(err.to_string().contains("unknown pragma"));
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn reports_multiple_errors_in_one_pass() {
+        let err = lex("$ ? @").unwrap_err();
+        assert_eq!(err.error_count(), 3);
+    }
+
+    #[test]
+    fn keywords_are_not_identifiers() {
+        assert_eq!(kinds("while")[0], TokenKind::While);
+        assert_eq!(kinds("while_x")[0], TokenKind::Ident("while_x".into()));
+    }
+}

@@ -1,0 +1,785 @@
+//! Recursive-descent parser for hic.
+//!
+//! The grammar follows §2 of the paper: threads with local declarations,
+//! assignments, `if`/`while`/`for`/`case` control flow, `recv`/`send`
+//! interface operations, and the four pragmas attached to the statement that
+//! follows them.
+
+use crate::ast::{
+    BinaryOp, CaseArm, EndpointRef, Expr, LValue, Pragma, Program, Stmt, StmtKind, Thread, Type,
+    TypeDef, TypeDefKind, UnaryOp, UnionField, VarDecl,
+};
+use crate::error::{CompileError, Diagnostic, Result, Span};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses a complete hic program.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] containing lexer diagnostics or the first
+/// syntax error encountered.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), memsync_hic::error::CompileError> {
+/// let program = memsync_hic::parser::parse(
+///     "thread t1() { int x1; x1 = x1 + 1; }",
+/// )?;
+/// assert_eq!(program.threads.len(), 1);
+/// assert_eq!(program.threads[0].decls[0].name, "x1");
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> Result<Program> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.peek() == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(kind.describe()))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span)> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((name, span))
+            }
+            _ => Err(self.unexpected("identifier")),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<(i64, Span)> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                let span = self.peek_span();
+                self.bump();
+                Ok((v, span))
+            }
+            _ => Err(self.unexpected("integer literal")),
+        }
+    }
+
+    fn unexpected(&self, expected: &str) -> CompileError {
+        CompileError::new(vec![Diagnostic::error(
+            format!("expected {expected}, found {}", self.peek().describe()),
+            self.peek_span(),
+        )])
+    }
+
+    fn program(&mut self) -> Result<Program> {
+        let mut types = Vec::new();
+        let mut threads = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwType => types.push(self.type_alias()?),
+                TokenKind::KwUnion => types.push(self.union_def()?),
+                TokenKind::Thread => threads.push(self.thread()?),
+                _ => return Err(self.unexpected("`thread`, `type`, or `union`")),
+            }
+        }
+        Ok(Program { types, threads })
+    }
+
+    fn type_alias(&mut self) -> Result<TypeDef> {
+        let start = self.peek_span();
+        self.expect(&TokenKind::KwType)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::Assign)?;
+        let ty = self.parse_type()?;
+        let end = self.expect(&TokenKind::Semi)?.span;
+        Ok(TypeDef { name, kind: TypeDefKind::Alias(ty), span: start.merge(end) })
+    }
+
+    fn union_def(&mut self) -> Result<TypeDef> {
+        let start = self.peek_span();
+        self.expect(&TokenKind::KwUnion)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            let (fname, fspan) = self.expect_ident()?;
+            self.expect(&TokenKind::Colon)?;
+            let ty = self.parse_type()?;
+            self.expect(&TokenKind::Semi)?;
+            fields.push(UnionField { name: fname, ty, span: fspan });
+        }
+        let end = self.tokens[self.pos - 1].span;
+        Ok(TypeDef { name, kind: TypeDefKind::Union(fields), span: start.merge(end) })
+    }
+
+    fn parse_type(&mut self) -> Result<Type> {
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                Ok(Type::Int)
+            }
+            TokenKind::KwChar => {
+                self.bump();
+                Ok(Type::Char)
+            }
+            TokenKind::KwMessage => {
+                self.bump();
+                Ok(Type::Message)
+            }
+            TokenKind::KwBits => {
+                self.bump();
+                self.expect(&TokenKind::Lt)?;
+                let (w, span) = self.expect_int()?;
+                if !(1..=4096).contains(&w) {
+                    return Err(CompileError::single(
+                        format!("bit width {w} out of range 1..=4096"),
+                        span,
+                    ));
+                }
+                self.expect(&TokenKind::Gt)?;
+                Ok(Type::Bits(w as u32))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Type::Named(name))
+            }
+            _ => Err(self.unexpected("type")),
+        }
+    }
+
+    fn is_type_start(&self) -> bool {
+        matches!(
+            self.peek(),
+            TokenKind::KwInt | TokenKind::KwChar | TokenKind::KwMessage | TokenKind::KwBits
+        )
+    }
+
+    fn thread(&mut self) -> Result<Thread> {
+        let start = self.peek_span();
+        self.expect(&TokenKind::Thread)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let (pname, pspan) = self.expect_ident()?;
+                params.push(VarDecl { name: pname, ty, array_len: None, span: pspan });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        self.expect(&TokenKind::LBrace)?;
+
+        // Leading declarations: `type name (, name)* ;` possibly with `[N]`.
+        let mut decls = Vec::new();
+        while self.is_type_start() || self.starts_named_decl() {
+            let ty = self.parse_type()?;
+            loop {
+                let (vname, vspan) = self.expect_ident()?;
+                let array_len = if self.eat(&TokenKind::LBracket) {
+                    let (n, nspan) = self.expect_int()?;
+                    if n <= 0 {
+                        return Err(CompileError::single("array length must be positive", nspan));
+                    }
+                    self.expect(&TokenKind::RBracket)?;
+                    Some(n as u32)
+                } else {
+                    None
+                };
+                decls.push(VarDecl { name: vname, ty: ty.clone(), array_len, span: vspan });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semi)?;
+        }
+
+        let mut body = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            body.push(self.stmt()?);
+        }
+        let end = self.tokens[self.pos - 1].span;
+        Ok(Thread { name, params, decls, body, span: start.merge(end) })
+    }
+
+    /// A declaration with a user-defined type looks like `ident ident`,
+    /// which is ambiguous with an expression statement. Peek two tokens.
+    fn starts_named_decl(&self) -> bool {
+        if let TokenKind::Ident(_) = self.peek() {
+            matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Ident(_))
+            )
+        } else {
+            false
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let mut pragmas = Vec::new();
+        while matches!(
+            self.peek(),
+            TokenKind::PragmaConsumer
+                | TokenKind::PragmaProducer
+                | TokenKind::PragmaInterface
+                | TokenKind::PragmaConstant
+        ) {
+            pragmas.push(self.pragma()?);
+        }
+        let start = self.peek_span();
+        let kind = self.stmt_kind()?;
+        let end = self.tokens[self.pos - 1].span;
+        Ok(Stmt { pragmas, kind, span: start.merge(end) })
+    }
+
+    fn stmt_kind(&mut self) -> Result<StmtKind> {
+        match self.peek().clone() {
+            TokenKind::If => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let then_branch = self.stmt_or_block()?;
+                let else_branch =
+                    if self.eat(&TokenKind::Else) { self.stmt_or_block()? } else { Vec::new() };
+                Ok(StmtKind::If { cond, then_branch, else_branch })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(StmtKind::While { cond, body })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let init = Box::new(self.simple_assign()?);
+                self.expect(&TokenKind::Semi)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                let step = Box::new(self.simple_assign()?);
+                self.expect(&TokenKind::RParen)?;
+                let body = self.stmt_or_block()?;
+                Ok(StmtKind::For { init, cond, step, body })
+            }
+            TokenKind::Case => {
+                self.bump();
+                self.expect(&TokenKind::LParen)?;
+                let selector = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                self.expect(&TokenKind::LBrace)?;
+                let mut arms = Vec::new();
+                let mut default = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    if self.eat(&TokenKind::When) {
+                        let arm_start = self.peek_span();
+                        let (value, _) = self.signed_int()?;
+                        self.expect(&TokenKind::Colon)?;
+                        let mut body = Vec::new();
+                        while !matches!(
+                            self.peek(),
+                            TokenKind::When | TokenKind::Default | TokenKind::RBrace
+                        ) {
+                            body.push(self.stmt()?);
+                        }
+                        let arm_end = self.tokens[self.pos - 1].span;
+                        arms.push(CaseArm { value, body, span: arm_start.merge(arm_end) });
+                    } else if self.eat(&TokenKind::Default) {
+                        self.expect(&TokenKind::Colon)?;
+                        while !matches!(self.peek(), TokenKind::When | TokenKind::RBrace) {
+                            default.push(self.stmt()?);
+                        }
+                    } else {
+                        return Err(self.unexpected("`when`, `default`, or `}`"));
+                    }
+                }
+                Ok(StmtKind::Case { selector, arms, default })
+            }
+            TokenKind::Recv => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(StmtKind::Recv { var })
+            }
+            TokenKind::Send => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(StmtKind::Send { value })
+            }
+            TokenKind::LBrace => {
+                self.bump();
+                let mut body = Vec::new();
+                while !self.eat(&TokenKind::RBrace) {
+                    body.push(self.stmt()?);
+                }
+                Ok(StmtKind::Block(body))
+            }
+            TokenKind::Ident(_) => {
+                let stmt = self.simple_assign_or_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(stmt)
+            }
+            _ => Err(self.unexpected("statement")),
+        }
+    }
+
+    fn signed_int(&mut self) -> Result<(i64, Span)> {
+        if self.eat(&TokenKind::Minus) {
+            let (v, s) = self.expect_int()?;
+            Ok((-v, s))
+        } else {
+            self.expect_int()
+        }
+    }
+
+    fn stmt_or_block(&mut self) -> Result<Vec<Stmt>> {
+        if self.eat(&TokenKind::LBrace) {
+            let mut body = Vec::new();
+            while !self.eat(&TokenKind::RBrace) {
+                body.push(self.stmt()?);
+            }
+            Ok(body)
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    /// An assignment without the trailing semicolon, for `for` headers.
+    fn simple_assign(&mut self) -> Result<Stmt> {
+        let start = self.peek_span();
+        let kind = self.simple_assign_or_expr()?;
+        if !matches!(kind, StmtKind::Assign { .. }) {
+            return Err(CompileError::single("expected assignment", start));
+        }
+        let end = self.tokens[self.pos - 1].span;
+        Ok(Stmt { pragmas: Vec::new(), kind, span: start.merge(end) })
+    }
+
+    fn simple_assign_or_expr(&mut self) -> Result<StmtKind> {
+        let checkpoint = self.pos;
+        let (name, span) = self.expect_ident()?;
+        // Try lvalue forms followed by `=`.
+        let lvalue = if self.eat(&TokenKind::LBracket) {
+            let index = self.expr()?;
+            self.expect(&TokenKind::RBracket)?;
+            Some(LValue::Index { name: name.clone(), index: Box::new(index) })
+        } else if *self.peek() == TokenKind::Dot {
+            self.bump();
+            let (field, _) = self.expect_ident()?;
+            Some(LValue::Field { name: name.clone(), field })
+        } else {
+            Some(LValue::Var(name.clone()))
+        };
+        if let Some(target) = lvalue {
+            if self.eat(&TokenKind::Assign) {
+                let value = self.expr()?;
+                return Ok(StmtKind::Assign { target, value });
+            }
+        }
+        // Not an assignment: rewind and parse a full expression statement.
+        self.pos = checkpoint;
+        let _ = span;
+        let expr = self.expr()?;
+        Ok(StmtKind::Expr(expr))
+    }
+
+    fn pragma(&mut self) -> Result<Pragma> {
+        let head = self.bump();
+        let start = head.span;
+        self.expect(&TokenKind::LBrace)?;
+        let pragma = match head.kind {
+            TokenKind::PragmaInterface => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let kind = match self.peek().clone() {
+                    TokenKind::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    TokenKind::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    _ => return Err(self.unexpected("interface kind")),
+                };
+                Pragma::Interface { name, kind, span: start }
+            }
+            TokenKind::PragmaConstant => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Comma)?;
+                let (value, _) = self.signed_int()?;
+                Pragma::Constant { name, value, span: start }
+            }
+            TokenKind::PragmaProducer => {
+                let (dep, _) = self.expect_ident()?;
+                let sources = self.endpoint_list()?;
+                Pragma::Producer { dep, sources, span: start }
+            }
+            TokenKind::PragmaConsumer => {
+                let (dep, _) = self.expect_ident()?;
+                let sinks = self.endpoint_list()?;
+                Pragma::Consumer { dep, sinks, span: start }
+            }
+            _ => unreachable!("pragma() called on non-pragma token"),
+        };
+        self.expect(&TokenKind::RBrace)?;
+        Ok(pragma)
+    }
+
+    fn endpoint_list(&mut self) -> Result<Vec<EndpointRef>> {
+        let mut endpoints = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            let span = self.peek_span();
+            self.expect(&TokenKind::LBracket)?;
+            let (thread, _) = self.expect_ident()?;
+            self.expect(&TokenKind::Comma)?;
+            let (var, _) = self.expect_ident()?;
+            self.expect(&TokenKind::RBracket)?;
+            endpoints.push(EndpointRef { thread, var, span });
+        }
+        if endpoints.is_empty() {
+            return Err(self.unexpected("at least one `[thread,var]` endpoint"));
+        }
+        Ok(endpoints)
+    }
+
+    // ---- expressions: precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary_expr(0)
+    }
+
+    fn binary_expr(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                TokenKind::OrOr => (BinaryOp::Or, 1),
+                TokenKind::AndAnd => (BinaryOp::And, 2),
+                TokenKind::Pipe => (BinaryOp::BitOr, 3),
+                TokenKind::Caret => (BinaryOp::BitXor, 4),
+                TokenKind::Amp => (BinaryOp::BitAnd, 5),
+                TokenKind::EqEq => (BinaryOp::Eq, 6),
+                TokenKind::NotEq => (BinaryOp::Ne, 6),
+                TokenKind::Lt => (BinaryOp::Lt, 7),
+                TokenKind::Le => (BinaryOp::Le, 7),
+                TokenKind::Gt => (BinaryOp::Gt, 7),
+                TokenKind::Ge => (BinaryOp::Ge, 7),
+                TokenKind::Shl => (BinaryOp::Shl, 8),
+                TokenKind::Shr => (BinaryOp::Shr, 8),
+                TokenKind::Plus => (BinaryOp::Add, 9),
+                TokenKind::Minus => (BinaryOp::Sub, 9),
+                TokenKind::Star => (BinaryOp::Mul, 10),
+                TokenKind::Slash => (BinaryOp::Div, 10),
+                TokenKind::Percent => (BinaryOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary_expr(prec + 1)?;
+            let span = lhs.span().merge(rhs.span());
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        let span = self.peek_span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Bang => Some(UnaryOp::Not),
+            TokenKind::Tilde => Some(UnaryOp::BitNot),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary_expr()?;
+            let span = span.merge(operand.span());
+            return Ok(Expr::Unary { op, operand: Box::new(operand), span });
+        }
+        self.primary_expr()
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr> {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v, span))
+            }
+            TokenKind::Char(c) => {
+                self.bump();
+                Ok(Expr::Char(c, span))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                match self.peek() {
+                    TokenKind::LParen => {
+                        self.bump();
+                        let mut args = Vec::new();
+                        if !self.eat(&TokenKind::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&TokenKind::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&TokenKind::RParen)?;
+                        }
+                        let end = self.tokens[self.pos - 1].span;
+                        Ok(Expr::Call { callee: name, args, span: span.merge(end) })
+                    }
+                    TokenKind::LBracket => {
+                        self.bump();
+                        let index = self.expr()?;
+                        self.expect(&TokenKind::RBracket)?;
+                        let end = self.tokens[self.pos - 1].span;
+                        Ok(Expr::Index {
+                            name,
+                            index: Box::new(index),
+                            span: span.merge(end),
+                        })
+                    }
+                    TokenKind::Dot => {
+                        self.bump();
+                        let (field, fspan) = self.expect_ident()?;
+                        Ok(Expr::Field { name, field, span: span.merge(fspan) })
+                    }
+                    _ => Ok(Expr::Var(name, span)),
+                }
+            }
+            _ => Err(self.unexpected("expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1, verbatim modulo whitespace.
+    pub const FIGURE1: &str = r#"
+        thread t1 () {
+            int x1, xtmp, x2;
+            #consumer{mt1,[t2,y1],[t3,z1]}
+            x1 = f(xtmp, x2);
+        }
+        thread t2 () {
+            int y1, y2;
+            #producer{mt1,[t1,x1]}
+            y1 = g(x1, y2);
+        }
+        thread t3 () {
+            int z1, z2;
+            #producer{mt1,[t1,x1]}
+            z1 = h(x1, z2);
+        }
+    "#;
+
+    #[test]
+    fn parses_figure1() {
+        let program = parse(FIGURE1).expect("figure 1 parses");
+        assert_eq!(program.threads.len(), 3);
+        let t1 = program.thread("t1").unwrap();
+        assert_eq!(t1.decls.len(), 3);
+        assert_eq!(t1.body.len(), 1);
+        match &t1.body[0].pragmas[0] {
+            Pragma::Consumer { dep, sinks, .. } => {
+                assert_eq!(dep, "mt1");
+                assert_eq!(sinks.len(), 2);
+                assert_eq!(sinks[0].thread, "t2");
+                assert_eq!(sinks[0].var, "y1");
+                assert_eq!(sinks[1].thread, "t3");
+                assert_eq!(sinks[1].var, "z1");
+            }
+            other => panic!("expected consumer pragma, got {other:?}"),
+        }
+        let t2 = program.thread("t2").unwrap();
+        match &t2.body[0].pragmas[0] {
+            Pragma::Producer { dep, sources, .. } => {
+                assert_eq!(dep, "mt1");
+                assert_eq!(sources[0].thread, "t1");
+                assert_eq!(sources[0].var, "x1");
+            }
+            other => panic!("expected producer pragma, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = r#"
+            thread t() {
+                int i, acc, state;
+                for (i = 0; i < 8; i = i + 1) { acc = acc + i; }
+                while (acc > 0) acc = acc - 1;
+                if (acc == 0) { state = 1; } else { state = 2; }
+                case (state) {
+                    when 1: acc = 10;
+                    when 2: acc = 20;
+                    default: acc = 0;
+                }
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let t = &program.threads[0];
+        assert_eq!(t.body.len(), 4);
+        assert!(matches!(t.body[0].kind, StmtKind::For { .. }));
+        assert!(matches!(t.body[1].kind, StmtKind::While { .. }));
+        assert!(matches!(t.body[2].kind, StmtKind::If { .. }));
+        match &t.body[3].kind {
+            StmtKind::Case { arms, default, .. } => {
+                assert_eq!(arms.len(), 2);
+                assert_eq!(arms[0].value, 1);
+                assert_eq!(default.len(), 1);
+            }
+            other => panic!("expected case, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_recv_send_and_interface_pragma() {
+        let src = r#"
+            thread rx() {
+                message m;
+                #interface{eth0, "gige"}
+                recv m;
+                send m;
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let body = &program.threads[0].body;
+        assert!(matches!(body[0].kind, StmtKind::Recv { .. }));
+        assert!(matches!(
+            body[0].pragmas[0],
+            Pragma::Interface { ref kind, .. } if kind == "gige"
+        ));
+        assert!(matches!(body[1].kind, StmtKind::Send { .. }));
+    }
+
+    #[test]
+    fn parses_constant_pragma_and_negative_value() {
+        let src = "thread t() { int a; #constant{host, -42} a = host; }";
+        let program = parse(src).unwrap();
+        match &program.threads[0].body[0].pragmas[0] {
+            Pragma::Constant { name, value, .. } => {
+                assert_eq!(name, "host");
+                assert_eq!(*value, -42);
+            }
+            other => panic!("expected constant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let program = parse("thread t() { int a, b, c; a = a + b * c; }").unwrap();
+        match &program.threads[0].body[0].kind {
+            StmtKind::Assign { value: Expr::Binary { op: BinaryOp::Add, rhs, .. }, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_arrays_unions_and_typedefs() {
+        let src = r#"
+            type addr = bits<11>;
+            union word { lo: char; full: int; }
+            thread t() {
+                addr a;
+                int tbl[16];
+                word w;
+                tbl[a] = w.full;
+                w.lo = 'x';
+            }
+        "#;
+        let program = parse(src).unwrap();
+        assert_eq!(program.types.len(), 2);
+        let t = &program.threads[0];
+        assert_eq!(t.decls[1].array_len, Some(16));
+        assert!(matches!(
+            t.body[0].kind,
+            StmtKind::Assign { target: LValue::Index { .. }, .. }
+        ));
+        assert!(matches!(
+            t.body[1].kind,
+            StmtKind::Assign { target: LValue::Field { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        assert!(parse("thread t() { int a; a = 1 }").is_err());
+    }
+
+    #[test]
+    fn rejects_pragma_without_endpoints() {
+        assert!(parse("thread t() { int a; #producer{m1} a = 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_zero_bit_width() {
+        assert!(parse("thread t() { bits<0> a; a = 1; }").is_err());
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let program = parse("thread t() { int a, b, c; a = (a + b) * c; }").unwrap();
+        match &program.threads[0].body[0].kind {
+            StmtKind::Assign { value: Expr::Binary { op, lhs, .. }, .. } => {
+                assert_eq!(*op, BinaryOp::Mul);
+                assert!(matches!(**lhs, Expr::Binary { op: BinaryOp::Add, .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Token definitions for the hic lexer.
+
+use crate::error::Span;
+use std::fmt;
+
+/// The lexical categories of hic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// Integer literal (decimal, `0x` hex, or `0b` binary).
+    Int(i64),
+    /// Character literal, e.g. `'a'`.
+    Char(u8),
+    /// String literal (used inside pragmas, e.g. interface names).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords
+    /// `thread`
+    Thread,
+    /// `int`
+    KwInt,
+    /// `char`
+    KwChar,
+    /// `message`
+    KwMessage,
+    /// `bits`
+    KwBits,
+    /// `union`
+    KwUnion,
+    /// `type`
+    KwType,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `case`
+    Case,
+    /// `when`
+    When,
+    /// `default`
+    Default,
+    /// `recv`
+    Recv,
+    /// `send`
+    Send,
+
+    // Pragma heads (after `#`)
+    /// `#consumer`
+    PragmaConsumer,
+    /// `#producer`
+    PragmaProducer,
+    /// `#interface`
+    PragmaInterface,
+    /// `#constant`
+    PragmaConstant,
+
+    // Punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+
+    // Operators
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword kind for `ident`, if it is a reserved word.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        Some(match ident {
+            "thread" => TokenKind::Thread,
+            "int" => TokenKind::KwInt,
+            "char" => TokenKind::KwChar,
+            "message" => TokenKind::KwMessage,
+            "bits" => TokenKind::KwBits,
+            "union" => TokenKind::KwUnion,
+            "type" => TokenKind::KwType,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "case" => TokenKind::Case,
+            "when" => TokenKind::When,
+            "default" => TokenKind::Default,
+            "recv" => TokenKind::Recv,
+            "send" => TokenKind::Send,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description for diagnostics.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            TokenKind::Int(_) => "integer literal",
+            TokenKind::Char(_) => "character literal",
+            TokenKind::Str(_) => "string literal",
+            TokenKind::Ident(_) => "identifier",
+            TokenKind::Thread => "`thread`",
+            TokenKind::KwInt => "`int`",
+            TokenKind::KwChar => "`char`",
+            TokenKind::KwMessage => "`message`",
+            TokenKind::KwBits => "`bits`",
+            TokenKind::KwUnion => "`union`",
+            TokenKind::KwType => "`type`",
+            TokenKind::If => "`if`",
+            TokenKind::Else => "`else`",
+            TokenKind::While => "`while`",
+            TokenKind::For => "`for`",
+            TokenKind::Case => "`case`",
+            TokenKind::When => "`when`",
+            TokenKind::Default => "`default`",
+            TokenKind::Recv => "`recv`",
+            TokenKind::Send => "`send`",
+            TokenKind::PragmaConsumer => "`#consumer`",
+            TokenKind::PragmaProducer => "`#producer`",
+            TokenKind::PragmaInterface => "`#interface`",
+            TokenKind::PragmaConstant => "`#constant`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Colon => "`:`",
+            TokenKind::Dot => "`.`",
+            TokenKind::Assign => "`=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::NotEq => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::AndAnd => "`&&`",
+            TokenKind::OrOr => "`||`",
+            TokenKind::Bang => "`!`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::Tilde => "`~`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::Eof => "end of input",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Int(v) => write!(f, "{v}"),
+            TokenKind::Char(c) => write!(f, "'{}'", *c as char),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::Ident(s) => f.write_str(s),
+            other => f.write_str(other.describe()),
+        }
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical category and payload.
+    pub kind: TokenKind,
+    /// Where the token came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("thread"), Some(TokenKind::Thread));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("widget"), None);
+    }
+
+    #[test]
+    fn display_round_trips_simple_tokens() {
+        assert_eq!(TokenKind::Int(42).to_string(), "42");
+        assert_eq!(TokenKind::Ident("x1".into()).to_string(), "x1");
+        assert_eq!(TokenKind::Shl.to_string(), "`<<`");
+    }
+}

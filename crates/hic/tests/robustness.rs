@@ -1,0 +1,53 @@
+//! Robustness: the front-end must never panic, whatever the input — every
+//! failure is a diagnostic.
+
+use memsync_hic::{lexer, parser};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn lexer_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        let _ = lexer::lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in "[ -~\\n\\t]{0,200}") {
+        let _ = parser::parse(&input);
+    }
+
+    /// Token streams from valid programs always end with Eof and carry
+    /// monotonically non-decreasing spans.
+    #[test]
+    fn spans_are_ordered(n in 1usize..20) {
+        let mut src = String::from("thread t() { int a; ");
+        for i in 0..n {
+            src.push_str(&format!("a = a + {i}; "));
+        }
+        src.push('}');
+        let tokens = lexer::lex(&src).expect("valid source lexes");
+        prop_assert!(matches!(tokens.last().map(|t| &t.kind),
+            Some(memsync_hic::token::TokenKind::Eof)));
+        for w in tokens.windows(2) {
+            prop_assert!(w[0].span.start <= w[1].span.start);
+        }
+    }
+
+    /// Deeply nested expressions parse without stack issues (bounded depth).
+    #[test]
+    fn nested_parens_parse(depth in 1usize..40) {
+        let mut expr = String::from("1");
+        for _ in 0..depth {
+            expr = format!("({expr} + 1)");
+        }
+        let src = format!("thread t() {{ int a; a = {expr}; }}");
+        let program = parser::parse(&src).expect("nested expression parses");
+        assert_eq!(program.threads.len(), 1);
+    }
+}
+
+#[test]
+fn error_messages_carry_locations() {
+    let err = parser::parse("thread t() {\n  int a;\n  a = ;\n}").unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("3:"), "line number present: {msg}");
+}

@@ -1,0 +1,164 @@
+//! Longest-prefix-match forwarding table (binary trie).
+
+use serde::{Deserialize, Serialize};
+
+/// A route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// Network prefix (host bits zero).
+    pub prefix: u32,
+    /// Prefix length, 0..=32.
+    pub len: u8,
+    /// Next-hop / egress port identifier.
+    pub next_hop: u32,
+}
+
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct Node {
+    children: [Option<Box<Node>>; 2],
+    next_hop: Option<u32>,
+}
+
+/// A binary-trie FIB.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Fib {
+    root: Node,
+    len: usize,
+}
+
+impl Fib {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts (or replaces) a route.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32` or the prefix has host bits set.
+    pub fn insert(&mut self, route: Route) {
+        assert!(route.len <= 32, "prefix length out of range");
+        if route.len < 32 {
+            assert_eq!(
+                route.prefix & ((1u64 << (32 - route.len)) - 1) as u32,
+                0,
+                "host bits set in prefix"
+            );
+        }
+        let mut node = &mut self.root;
+        for i in 0..route.len {
+            let bit = ((route.prefix >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(Box::default);
+        }
+        if node.next_hop.replace(route.next_hop).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Longest-prefix match.
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let mut node = &self.root;
+        let mut best = node.next_hop;
+        for i in 0..32 {
+            let bit = ((addr >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.next_hop.is_some() {
+                        best = node.next_hop;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+}
+
+/// Builds a deterministic synthetic table of `n` routes spread over the
+/// address space (used by the workloads and benches).
+pub fn synthetic_table(n: usize) -> Fib {
+    let mut fib = Fib::new();
+    // A default route plus /16s and /24s interleaved.
+    fib.insert(Route { prefix: 0, len: 0, next_hop: 0 });
+    for i in 0..n {
+        let i32b = i as u32;
+        if i % 3 == 0 {
+            let prefix = (10u32 << 24) | ((i32b & 0xff) << 16);
+            fib.insert(Route { prefix, len: 16, next_hop: 100 + i32b });
+        } else {
+            let prefix = (192u32 << 24) | (168 << 16) | ((i32b & 0xff) << 8);
+            fib.insert(Route { prefix, len: 24, next_hop: 200 + i32b });
+        }
+    }
+    fib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut fib = Fib::new();
+        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 1 });
+        fib.insert(Route { prefix: 0x0a0a_0000, len: 16, next_hop: 2 });
+        fib.insert(Route { prefix: 0x0a0a_0a00, len: 24, next_hop: 3 });
+        assert_eq!(fib.lookup(0x0a0a_0a05), Some(3));
+        assert_eq!(fib.lookup(0x0a0a_0505), Some(2));
+        assert_eq!(fib.lookup(0x0a05_0505), Some(1));
+        assert_eq!(fib.lookup(0x0b00_0000), None);
+    }
+
+    #[test]
+    fn default_route_catches_all() {
+        let mut fib = Fib::new();
+        fib.insert(Route { prefix: 0, len: 0, next_hop: 9 });
+        assert_eq!(fib.lookup(0xffff_ffff), Some(9));
+        assert_eq!(fib.lookup(0), Some(9));
+    }
+
+    #[test]
+    fn replace_updates_in_place() {
+        let mut fib = Fib::new();
+        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 1 });
+        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 7 });
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(0x0a01_0101), Some(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits")]
+    fn rejects_host_bits() {
+        let mut fib = Fib::new();
+        fib.insert(Route { prefix: 0x0a00_0001, len: 8, next_hop: 1 });
+    }
+
+    #[test]
+    fn host_route_matches_exactly() {
+        let mut fib = Fib::new();
+        fib.insert(Route { prefix: 0xc0a8_0101, len: 32, next_hop: 5 });
+        assert_eq!(fib.lookup(0xc0a8_0101), Some(5));
+        assert_eq!(fib.lookup(0xc0a8_0102), None);
+    }
+
+    #[test]
+    fn synthetic_table_is_usable() {
+        let fib = synthetic_table(32);
+        assert!(fib.len() > 20);
+        // Everything resolves at least to the default route.
+        assert!(fib.lookup(0x0102_0304).is_some());
+        assert_eq!(fib.lookup(0xc0a8_0105), Some(201));
+    }
+}

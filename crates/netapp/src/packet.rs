@@ -1,0 +1,233 @@
+//! IPv4 / Ethernet packet structures for the forwarding workloads.
+
+use serde::{Deserialize, Serialize};
+
+/// A parsed IPv4 header (the fields the forwarding path touches).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Packet {
+    /// Source address.
+    pub src: u32,
+    /// Destination address.
+    pub dst: u32,
+    /// Time to live.
+    pub ttl: u8,
+    /// Protocol number.
+    pub protocol: u8,
+    /// Total length (header + payload).
+    pub total_len: u16,
+    /// Header checksum.
+    pub checksum: u16,
+}
+
+impl Ipv4Packet {
+    /// Builds a packet with a freshly computed checksum.
+    pub fn new(src: u32, dst: u32, ttl: u8, protocol: u8, total_len: u16) -> Self {
+        let mut p = Ipv4Packet { src, dst, ttl, protocol, total_len, checksum: 0 };
+        p.checksum = p.compute_checksum();
+        p
+    }
+
+    /// Serializes the modeled 20-byte header.
+    pub fn to_bytes(&self) -> [u8; 20] {
+        let mut b = [0u8; 20];
+        b[0] = 0x45; // version 4, IHL 5
+        b[2..4].copy_from_slice(&self.total_len.to_be_bytes());
+        b[8] = self.ttl;
+        b[9] = self.protocol;
+        b[10..12].copy_from_slice(&self.checksum.to_be_bytes());
+        b[12..16].copy_from_slice(&self.src.to_be_bytes());
+        b[16..20].copy_from_slice(&self.dst.to_be_bytes());
+        b
+    }
+
+    /// Parses a 20-byte header.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-IPv4 or short headers.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, ParsePacketError> {
+        if b.len() < 20 {
+            return Err(ParsePacketError::Truncated);
+        }
+        if b[0] >> 4 != 4 {
+            return Err(ParsePacketError::NotIpv4);
+        }
+        Ok(Ipv4Packet {
+            src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
+            dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
+            ttl: b[8],
+            protocol: b[9],
+            total_len: u16::from_be_bytes([b[2], b[3]]),
+            checksum: u16::from_be_bytes([b[10], b[11]]),
+        })
+    }
+
+    /// RFC 1071 header checksum over the serialized header (with the
+    /// checksum field zeroed).
+    pub fn compute_checksum(&self) -> u16 {
+        let mut copy = *self;
+        copy.checksum = 0;
+        let bytes = copy.to_bytes();
+        let mut sum: u32 = 0;
+        for pair in bytes.chunks(2) {
+            sum += u32::from(u16::from_be_bytes([pair[0], pair[1]]));
+        }
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    /// Whether the stored checksum matches the header.
+    pub fn checksum_ok(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+
+    /// The forwarding transform: decrement TTL and incrementally update the
+    /// checksum (RFC 1624). Returns `false` (drop) when TTL expires.
+    pub fn forward(&mut self) -> bool {
+        if self.ttl <= 1 {
+            return false;
+        }
+        self.ttl -= 1;
+        self.checksum = self.compute_checksum();
+        true
+    }
+
+    /// A compact 32-bit descriptor used as the shared-memory `message`
+    /// handle (what the hic threads pass around).
+    pub fn descriptor(&self) -> u32 {
+        // High bits of dst (the lookup key) + TTL.
+        (self.dst & 0xffff_ff00) | u32::from(self.ttl)
+    }
+}
+
+/// Packet parsing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParsePacketError {
+    /// Fewer than 20 header bytes.
+    Truncated,
+    /// Version field is not 4.
+    NotIpv4,
+}
+
+impl std::fmt::Display for ParsePacketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParsePacketError::Truncated => f.write_str("truncated header"),
+            ParsePacketError::NotIpv4 => f.write_str("not an IPv4 header"),
+        }
+    }
+}
+
+impl std::error::Error for ParsePacketError {}
+
+/// A minimal Ethernet II frame around an IPv4 header.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EthernetFrame {
+    /// Destination MAC.
+    pub dst_mac: [u8; 6],
+    /// Source MAC.
+    pub src_mac: [u8; 6],
+    /// Encapsulated packet.
+    pub payload: Ipv4Packet,
+}
+
+impl EthernetFrame {
+    /// EtherType of IPv4.
+    pub const ETHERTYPE_IPV4: u16 = 0x0800;
+
+    /// Serializes header + IPv4 header.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(14 + 20);
+        v.extend_from_slice(&self.dst_mac);
+        v.extend_from_slice(&self.src_mac);
+        v.extend_from_slice(&Self::ETHERTYPE_IPV4.to_be_bytes());
+        v.extend_from_slice(&self.payload.to_bytes());
+        v
+    }
+
+    /// Parses a frame.
+    ///
+    /// # Errors
+    ///
+    /// Rejects short frames, wrong EtherType, and bad IPv4 headers.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, ParsePacketError> {
+        if b.len() < 14 + 20 {
+            return Err(ParsePacketError::Truncated);
+        }
+        let ethertype = u16::from_be_bytes([b[12], b[13]]);
+        if ethertype != Self::ETHERTYPE_IPV4 {
+            return Err(ParsePacketError::NotIpv4);
+        }
+        Ok(EthernetFrame {
+            dst_mac: b[0..6].try_into().expect("length checked"),
+            src_mac: b[6..12].try_into().expect("length checked"),
+            payload: Ipv4Packet::from_bytes(&b[14..])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_round_trip() {
+        let p = Ipv4Packet::new(0x0a00_0001, 0xc0a8_0101, 64, 6, 1500);
+        assert!(p.checksum_ok());
+        let bytes = p.to_bytes();
+        let q = Ipv4Packet::from_bytes(&bytes).unwrap();
+        assert_eq!(p, q);
+        assert!(q.checksum_ok());
+    }
+
+    #[test]
+    fn forward_decrements_ttl_and_fixes_checksum() {
+        let mut p = Ipv4Packet::new(1, 2, 4, 17, 64);
+        assert!(p.forward());
+        assert_eq!(p.ttl, 3);
+        assert!(p.checksum_ok());
+    }
+
+    #[test]
+    fn forward_drops_expired() {
+        let mut p = Ipv4Packet::new(1, 2, 1, 17, 64);
+        assert!(!p.forward());
+        assert_eq!(p.ttl, 1, "unchanged on drop");
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let mut p = Ipv4Packet::new(1, 2, 64, 6, 100);
+        p.checksum ^= 0x00ff;
+        assert!(!p.checksum_ok());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Ipv4Packet::from_bytes(&[0; 10]), Err(ParsePacketError::Truncated));
+        let mut b = [0u8; 20];
+        b[0] = 0x60; // IPv6
+        assert_eq!(Ipv4Packet::from_bytes(&b), Err(ParsePacketError::NotIpv4));
+    }
+
+    #[test]
+    fn ethernet_round_trip() {
+        let f = EthernetFrame {
+            dst_mac: [1, 2, 3, 4, 5, 6],
+            src_mac: [7, 8, 9, 10, 11, 12],
+            payload: Ipv4Packet::new(5, 6, 10, 6, 60),
+        };
+        let bytes = f.to_bytes();
+        assert_eq!(EthernetFrame::from_bytes(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn descriptor_carries_prefix_and_ttl() {
+        let p = Ipv4Packet::new(0, 0xc0a8_01fe, 64, 6, 60);
+        let d = p.descriptor();
+        assert_eq!(d & 0xff, 64);
+        assert_eq!(d & 0xffff_ff00, 0xc0a8_0100);
+    }
+}

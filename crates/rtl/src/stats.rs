@@ -1,0 +1,87 @@
+//! Netlist statistics: primitive counts and storage totals.
+
+use crate::netlist::{Module, PrimOp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Aggregate counts over one module.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NetlistStats {
+    /// Instance count per primitive mnemonic.
+    pub ops: BTreeMap<String, u32>,
+    /// Total flip-flop bits held in `Register` primitives.
+    pub register_bits: u64,
+    /// Number of BRAM macros.
+    pub bram_count: u32,
+    /// Total BRAM storage in bits.
+    pub bram_bits: u64,
+    /// Number of CAM macros.
+    pub cam_count: u32,
+    /// Total CAM entry count across macros.
+    pub cam_entries: u32,
+    /// Total nets.
+    pub net_count: u32,
+    /// Total instances.
+    pub instance_count: u32,
+}
+
+impl NetlistStats {
+    /// Computes statistics for a module.
+    pub fn of(module: &Module) -> Self {
+        let mut stats = NetlistStats {
+            net_count: module.nets.len() as u32,
+            instance_count: module.instances.len() as u32,
+            ..NetlistStats::default()
+        };
+        for inst in &module.instances {
+            *stats.ops.entry(inst.op.mnemonic().to_owned()).or_insert(0) += 1;
+            match &inst.op {
+                PrimOp::Register { .. } => {
+                    stats.register_bits += u64::from(module.width(inst.outputs[0]));
+                }
+                PrimOp::Bram { depth, width } => {
+                    stats.bram_count += 1;
+                    stats.bram_bits += u64::from(*depth) * u64::from(*width);
+                }
+                PrimOp::Cam { entries, .. } => {
+                    stats.cam_count += 1;
+                    stats.cam_entries += entries;
+                }
+                _ => {}
+            }
+        }
+        stats
+    }
+
+    /// Count of one mnemonic.
+    pub fn op_count(&self, mnemonic: &str) -> u32 {
+        self.ops.get(mnemonic).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+
+    #[test]
+    fn counts_registers_and_brams() {
+        let mut b = ModuleBuilder::new("m");
+        let d = b.input("d", 16);
+        let q = b.register(d, 0, "q");
+        let addr = b.input("addr", 9);
+        let we = b.input("we", 1);
+        let en = b.input("en", 1);
+        let din = b.input("din", 36);
+        let (da, _) = b.bram(512, 36, addr, din, we, en, addr, din, we, en, "ram");
+        b.output("q", q);
+        b.output("d2", da);
+        let stats = NetlistStats::of(&b.finish());
+        assert_eq!(stats.register_bits, 16);
+        assert_eq!(stats.bram_count, 1);
+        assert_eq!(stats.bram_bits, 512 * 36);
+        assert_eq!(stats.op_count("register"), 1);
+        assert_eq!(stats.op_count("bram"), 1);
+        assert_eq!(stats.op_count("mux"), 0);
+    }
+}

@@ -1,0 +1,390 @@
+//! Structural well-formedness checks for netlists.
+//!
+//! Rules enforced:
+//! 1. every net is driven exactly once (by an instance output or an input
+//!    port), and never both;
+//! 2. instance input/output arities and widths match the [`PrimOp`] rules;
+//! 3. all port nets exist and output ports reference driven nets.
+
+use crate::netlist::{addr_width, Module, NetId, PortDir, PrimOp};
+use std::fmt;
+
+/// A validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "netlist validation failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validates a module, returning all violations found.
+///
+/// # Errors
+///
+/// Returns the list of violations if any rule is broken.
+pub fn validate(module: &Module) -> Result<(), Vec<ValidateError>> {
+    let mut errors = Vec::new();
+    let mut driver_count = vec![0u32; module.nets.len()];
+
+    for port in &module.ports {
+        if port.net.0 >= module.nets.len() {
+            errors.push(ValidateError {
+                message: format!("port `{}` references missing net {}", port.name, port.net),
+            });
+            continue;
+        }
+        if port.dir == PortDir::Input {
+            driver_count[port.net.0] += 1;
+        }
+    }
+
+    for inst in &module.instances {
+        for &o in &inst.outputs {
+            if o.0 >= module.nets.len() {
+                errors.push(ValidateError {
+                    message: format!("instance `{}` drives missing net {o}", inst.name),
+                });
+            } else {
+                driver_count[o.0] += 1;
+            }
+        }
+        for &i in &inst.inputs {
+            if i.0 >= module.nets.len() {
+                errors.push(ValidateError {
+                    message: format!("instance `{}` reads missing net {i}", inst.name),
+                });
+            }
+        }
+        check_instance(module, inst, &mut errors);
+    }
+
+    for (idx, count) in driver_count.iter().enumerate() {
+        let used = module.instances.iter().any(|i| i.inputs.contains(&NetId(idx)))
+            || module.ports.iter().any(|p| p.net == NetId(idx));
+        match count {
+            0 if used => {
+                // Undriven nets that feed logic are always an error; unused
+                // undriven nets are tolerated (builder scratch).
+                if module
+                    .instances
+                    .iter()
+                    .any(|i| i.inputs.contains(&NetId(idx)))
+                    || module
+                        .ports
+                        .iter()
+                        .any(|p| p.net == NetId(idx) && p.dir == PortDir::Output)
+                {
+                    errors.push(ValidateError {
+                        message: format!(
+                            "net `{}` ({}) is used but has no driver",
+                            module.nets[idx].name,
+                            NetId(idx)
+                        ),
+                    });
+                }
+            }
+            0 | 1 => {}
+            n => errors.push(ValidateError {
+                message: format!(
+                    "net `{}` ({}) has {n} drivers",
+                    module.nets[idx].name,
+                    NetId(idx)
+                ),
+            }),
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+fn check_instance(
+    module: &Module,
+    inst: &crate::netlist::Instance,
+    errors: &mut Vec<ValidateError>,
+) {
+    let w = |id: NetId| module.width(id);
+    let mut err = |message: String| {
+        errors.push(ValidateError { message: format!("instance `{}`: {message}", inst.name) })
+    };
+    let ins = &inst.inputs;
+    let outs = &inst.outputs;
+    let arity = |err: &mut dyn FnMut(String), n_in: usize, n_out: usize| -> bool {
+        if ins.len() != n_in || outs.len() != n_out {
+            err(format!(
+                "expected {n_in} inputs/{n_out} outputs, found {}/{}",
+                ins.len(),
+                outs.len()
+            ));
+            false
+        } else {
+            true
+        }
+    };
+
+    match &inst.op {
+        PrimOp::Const { .. } => {
+            let _ = arity(&mut err, 0, 1);
+        }
+        PrimOp::Not => {
+            if arity(&mut err, 1, 1) && w(ins[0]) != w(outs[0]) {
+                err("not width mismatch".into());
+            }
+        }
+        PrimOp::And | PrimOp::Or | PrimOp::Xor => {
+            if ins.len() < 2 || outs.len() != 1 {
+                err("gate requires >=2 inputs and 1 output".into());
+            } else if ins.iter().any(|&i| w(i) != w(outs[0])) {
+                err("gate width mismatch".into());
+            }
+        }
+        PrimOp::Mux => {
+            if ins.len() < 2 || outs.len() != 1 {
+                err("mux requires select plus >=1 data input".into());
+                return;
+            }
+            let data = &ins[1..];
+            if data.iter().any(|&d| w(d) != w(outs[0])) {
+                err("mux data width mismatch".into());
+            }
+            let need = crate::netlist::clog2(data.len() as u32).max(1);
+            if data.len() > 1 && w(ins[0]) < need {
+                err(format!(
+                    "mux select width {} too narrow for {} data inputs",
+                    w(ins[0]),
+                    data.len()
+                ));
+            }
+        }
+        PrimOp::Add | PrimOp::Sub | PrimOp::Mul => {
+            if arity(&mut err, 2, 1)
+                && (w(ins[0]) != w(ins[1]) || w(ins[0]) != w(outs[0]))
+            {
+                err("arith width mismatch".into());
+            }
+        }
+        PrimOp::Eq | PrimOp::Ne | PrimOp::Lt => {
+            if arity(&mut err, 2, 1) {
+                if w(ins[0]) != w(ins[1]) {
+                    err("compare input width mismatch".into());
+                }
+                if w(outs[0]) != 1 {
+                    err("compare output must be 1 bit".into());
+                }
+            }
+        }
+        PrimOp::Shl { .. } | PrimOp::Shr { .. } => {
+            if arity(&mut err, 1, 1) && w(ins[0]) != w(outs[0]) {
+                err("shift width mismatch".into());
+            }
+        }
+        PrimOp::ReduceOr | PrimOp::ReduceAnd => {
+            if arity(&mut err, 1, 1) && w(outs[0]) != 1 {
+                err("reduction output must be 1 bit".into());
+            }
+        }
+        PrimOp::Concat => {
+            if outs.len() != 1 || ins.is_empty() {
+                err("concat requires >=1 input and 1 output".into());
+            } else {
+                let sum: u32 = ins.iter().map(|&i| w(i)).sum();
+                if sum != w(outs[0]) {
+                    err(format!("concat output width {} != field sum {sum}", w(outs[0])));
+                }
+            }
+        }
+        PrimOp::Slice { hi, lo } => {
+            if arity(&mut err, 1, 1) {
+                if hi < lo {
+                    err("slice hi < lo".into());
+                } else if *hi >= w(ins[0]) {
+                    err("slice exceeds input width".into());
+                } else if w(outs[0]) != hi - lo + 1 {
+                    err("slice output width mismatch".into());
+                }
+            }
+        }
+        PrimOp::Register { has_enable, has_reset, .. } => {
+            let expected = 1 + usize::from(*has_enable) + usize::from(*has_reset);
+            if ins.len() != expected || outs.len() != 1 {
+                err(format!("register expects {expected} inputs, found {}", ins.len()));
+                return;
+            }
+            if w(ins[0]) != w(outs[0]) {
+                err("register width mismatch".into());
+            }
+            for &ctl in &ins[1..] {
+                if w(ctl) != 1 {
+                    err("register control inputs must be 1 bit".into());
+                }
+            }
+        }
+        PrimOp::Bram { depth, width } => {
+            if !arity(&mut err, 8, 2) {
+                return;
+            }
+            let aw = addr_width(*depth);
+            for (label, net, want) in [
+                ("addr_a", ins[0], aw),
+                ("din_a", ins[1], *width),
+                ("we_a", ins[2], 1),
+                ("en_a", ins[3], 1),
+                ("addr_b", ins[4], aw),
+                ("din_b", ins[5], *width),
+                ("we_b", ins[6], 1),
+                ("en_b", ins[7], 1),
+                ("dout_a", outs[0], *width),
+                ("dout_b", outs[1], *width),
+            ] {
+                if w(net) != want {
+                    err(format!("bram {label} width {} != {want}", w(net)));
+                }
+            }
+        }
+        PrimOp::Cam { entries, key_width, data_width } => {
+            if !arity(&mut err, 5, 3) {
+                return;
+            }
+            let iw = addr_width(*entries);
+            for (label, net, want) in [
+                ("search_key", ins[0], *key_width),
+                ("write_key", ins[1], *key_width),
+                ("write_data", ins[2], *data_width),
+                ("write_index", ins[3], iw),
+                ("write_en", ins[4], 1),
+                ("match", outs[0], 1),
+                ("match_index", outs[1], iw),
+                ("match_data", outs[2], *data_width),
+            ] {
+                if w(net) != want {
+                    err(format!("cam {label} width {} != {want}", w(net)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::netlist::{Instance, Net, NetId, PrimOp};
+
+    #[test]
+    fn valid_module_passes() {
+        let mut b = ModuleBuilder::new("ok");
+        let a = b.input("a", 4);
+        let c = b.input("b", 4);
+        let s = b.add(a, c, "s");
+        b.output("y", s);
+        assert!(validate(&b.finish()).is_ok());
+    }
+
+    #[test]
+    fn double_driver_detected() {
+        let mut b = ModuleBuilder::new("bad");
+        let a = b.input("a", 4);
+        let s1 = b.add(a, a, "s");
+        b.output("y", s1);
+        let mut m = b.finish();
+        // Drive s1 a second time.
+        m.instances.push(Instance {
+            name: "dup".into(),
+            op: PrimOp::Add,
+            inputs: vec![a, a],
+            outputs: vec![s1],
+        });
+        let errors = validate(&m).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("2 drivers")));
+    }
+
+    #[test]
+    fn undriven_used_net_detected() {
+        let mut b = ModuleBuilder::new("bad");
+        let a = b.input("a", 4);
+        let _ = a;
+        let mut m = b.finish();
+        m.nets.push(Net { name: "floating".into(), width: 4 });
+        let floating = NetId(m.nets.len() - 1);
+        let out = {
+            m.nets.push(Net { name: "y".into(), width: 4 });
+            NetId(m.nets.len() - 1)
+        };
+        m.instances.push(Instance {
+            name: "use_floating".into(),
+            op: PrimOp::Not,
+            inputs: vec![floating],
+            outputs: vec![out],
+        });
+        let errors = validate(&m).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("no driver")));
+    }
+
+    #[test]
+    fn width_mismatch_detected() {
+        let mut b = ModuleBuilder::new("bad");
+        let a = b.input("a", 4);
+        let c = b.input("b", 8);
+        // Bypass builder checks by pushing a raw instance.
+        let mut m = b.finish();
+        m.nets.push(Net { name: "s".into(), width: 4 });
+        let out = NetId(m.nets.len() - 1);
+        m.instances.push(Instance {
+            name: "bad_add".into(),
+            op: PrimOp::Add,
+            inputs: vec![a, c],
+            outputs: vec![out],
+        });
+        let errors = validate(&m).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("arith width mismatch")));
+    }
+
+    #[test]
+    fn mux_narrow_select_detected() {
+        let mut b = ModuleBuilder::new("bad");
+        let sel = b.input("sel", 1);
+        let d: Vec<_> = (0..4).map(|i| b.input(&format!("d{i}"), 8)).collect();
+        let y = b.mux(sel, &d, "y");
+        b.output("y", y);
+        let errors = validate(&b.finish()).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("too narrow")));
+    }
+
+    #[test]
+    fn register_control_width_checked() {
+        let mut b = ModuleBuilder::new("bad");
+        let d = b.input("d", 8);
+        let en = b.input("en", 2); // wrong: must be 1 bit
+        let q = b.register_en(d, en, 0, "q");
+        b.output("q", q);
+        let errors = validate(&b.finish()).unwrap_err();
+        assert!(errors.iter().any(|e| e.message.contains("control inputs must be 1 bit")));
+    }
+
+    #[test]
+    fn bram_and_cam_shapes_validate() {
+        let mut b = ModuleBuilder::new("mem");
+        let addr = b.input("addr", 9);
+        let din = b.input("din", 36);
+        let we = b.input("we", 1);
+        let en = b.input("en", 1);
+        let (da, _) = b.bram(512, 36, addr, din, we, en, addr, din, we, en, "ram");
+        b.output("q", da);
+        let key = b.input("key", 11);
+        let wdata = b.input("wdata", 4);
+        let widx = b.input("widx", 3);
+        let (m, _, _) = b.cam(8, 11, 4, key, key, wdata, widx, we, "deplist");
+        b.output("hit", m);
+        assert!(validate(&b.finish()).is_ok());
+    }
+}

@@ -1,0 +1,338 @@
+//! Cycle-accurate behavioral model of the arbitrated memory organization,
+//! mirroring the pipelined RTL of `memsync_core::arbitrated` cycle for
+//! cycle: decision (compare + round-robin) in one cycle, BRAM issue in the
+//! next, read data one cycle after that; producer writes pre-empt the port
+//! and pipelined reads replay.
+
+use crate::bram_model::BramModel;
+use memsync_core::arbiter::RoundRobin;
+use memsync_core::deplist::DependencyList;
+
+/// Per-cycle inputs of the wrapper.
+#[derive(Debug, Clone, Default)]
+pub struct ArbInputs {
+    /// Consumer pseudo-port requests: `Some(addr)` while the consumer holds
+    /// its blocking read.
+    pub c_req: Vec<Option<u32>>,
+    /// Producer pseudo-port requests: `Some((addr, data, dep_number))`.
+    pub d_req: Vec<Option<(u32, u32, u8)>>,
+    /// Port A access: `Some((addr, data, we))`.
+    pub a_req: Option<(u32, u32, bool)>,
+}
+
+/// Per-cycle outputs of the wrapper.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArbOutputs {
+    /// Grant pulse per consumer (the read was issued this cycle; data is on
+    /// the bus next cycle).
+    pub c_grant: Vec<bool>,
+    /// Grant pulse per producer (the write happened this cycle).
+    pub d_grant: Vec<bool>,
+    /// Read data delivered this cycle to the consumer granted last cycle.
+    pub c_data: Option<(usize, u32)>,
+    /// Port A read data (for the address presented last cycle).
+    pub a_data: Option<u32>,
+}
+
+/// The behavioral wrapper.
+#[derive(Debug, Clone)]
+pub struct ArbitratedModel {
+    consumers: usize,
+    producers: usize,
+    deplist: DependencyList,
+    rr: RoundRobin,
+    /// Registered decision: consumer index waiting to issue.
+    pipe: Option<usize>,
+    /// Read issued last cycle: (consumer, data arriving now).
+    inflight: Option<(usize, u32)>,
+    /// Port A read issued last cycle.
+    a_inflight: Option<u32>,
+    bram: BramModel,
+    cycle: u64,
+}
+
+impl ArbitratedModel {
+    /// Creates the model; the dependency list is configured via
+    /// [`ArbitratedModel::configure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if pseudo-port counts exceed the base architecture (8).
+    pub fn new(producers: usize, consumers: usize, deplist_entries: usize) -> Self {
+        assert!((1..=8).contains(&producers) && (1..=8).contains(&consumers));
+        ArbitratedModel {
+            consumers,
+            producers,
+            deplist: DependencyList::new(deplist_entries),
+            rr: RoundRobin::new(consumers),
+            pipe: None,
+            inflight: None,
+            a_inflight: None,
+            bram: BramModel::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Configuration-time population of the dependency list.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DependencyList::configure`] failures.
+    pub fn configure(&mut self, base_addr: u32, dep_number: u8) -> Result<(), String> {
+        self.deplist.configure(base_addr, dep_number)
+    }
+
+    /// Current cycle number.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Direct view of the dependency list (tests, metrics).
+    pub fn deplist(&self) -> &DependencyList {
+        &self.deplist
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vectors do not match the pseudo-port counts.
+    pub fn step(&mut self, inputs: &ArbInputs) -> ArbOutputs {
+        assert_eq!(inputs.c_req.len(), self.consumers, "c_req length");
+        assert_eq!(inputs.d_req.len(), self.producers, "d_req length");
+        let mut out = ArbOutputs {
+            c_grant: vec![false; self.consumers],
+            d_grant: vec![false; self.producers],
+            c_data: self.inflight.take().map(|(i, d)| (i, d)),
+            a_data: self.a_inflight.take(),
+        };
+
+        // Port A: direct, always served, one-cycle read latency.
+        if let Some((addr, data, we)) = inputs.a_req {
+            if we {
+                self.bram.write(addr, data);
+            } else {
+                self.a_inflight = Some(self.bram.read(addr));
+            }
+        }
+
+        // Port D: fixed priority among producers, highest overall priority.
+        let any_d = inputs.d_req.iter().any(Option::is_some);
+        if let Some((j, &Some((addr, data, dep)))) = inputs
+            .d_req
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.is_some())
+        {
+            // A write needs a matching entry (§3.1); the dependency number
+            // is supplied by the producer and re-arms the counter.
+            let matched = self.deplist.lookup(addr).is_some();
+            if matched {
+                let accepted = self.deplist.producer_write(addr);
+                debug_assert!(accepted);
+                let _ = dep; // dep_number is fixed at configuration time
+                self.bram.write(addr, data);
+                out.d_grant[j] = true;
+            }
+        }
+
+        // Port C issue stage: the registered winner reads the BRAM unless a
+        // producer pre-empted the port this cycle (replay).
+        if !any_d {
+            if let Some(i) = self.pipe.take() {
+                if let Some(addr) = inputs.c_req[i] {
+                    let outcome = self.deplist.consumer_read(addr);
+                    debug_assert!(
+                        matches!(
+                            outcome,
+                            memsync_core::deplist::ReadOutcome::Granted { .. }
+                        ),
+                        "issue stage found a drained entry: decision raced"
+                    );
+                    out.c_grant[i] = true;
+                    self.inflight = Some((i, self.bram.read(addr)));
+                } // else: the consumer withdrew; drop the grant.
+            }
+        }
+
+        // Port C decision stage: when the pipe is free and no producer is
+        // writing, round-robin among eligible consumers.
+        if !any_d && self.pipe.is_none() && out.c_grant.iter().all(|g| !g) {
+            let eligible: Vec<bool> = inputs
+                .c_req
+                .iter()
+                .map(|r| r.is_some_and(|addr| self.deplist.is_pending(addr)))
+                .collect();
+            if let Some(winner) = self.rr.grant(&eligible) {
+                self.pipe = Some(winner);
+            }
+        }
+
+        self.cycle += 1;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idle(consumers: usize, producers: usize) -> ArbInputs {
+        ArbInputs {
+            c_req: vec![None; consumers],
+            d_req: vec![None; producers],
+            a_req: None,
+        }
+    }
+
+    #[test]
+    fn produce_then_consume_two_consumers() {
+        let mut m = ArbitratedModel::new(1, 2, 4);
+        m.configure(0x10, 2).unwrap();
+
+        // Consumers wait before the producer writes: no grants.
+        let mut inp = idle(2, 1);
+        inp.c_req = vec![Some(0x10), Some(0x10)];
+        let out = m.step(&inp);
+        assert_eq!(out.c_grant, vec![false, false]);
+
+        // Producer writes 42.
+        let mut wr = idle(2, 1);
+        wr.d_req[0] = Some((0x10, 42, 2));
+        let out = m.step(&wr);
+        assert!(out.d_grant[0]);
+
+        // Both consumers keep requesting; each needs decision+issue cycles.
+        let mut got: Vec<(usize, u32)> = Vec::new();
+        let mut reqs = vec![Some(0x10), Some(0x10)];
+        for _ in 0..10 {
+            let mut inp = idle(2, 1);
+            inp.c_req = reqs.clone();
+            let out = m.step(&inp);
+            for (i, g) in out.c_grant.iter().enumerate() {
+                if *g {
+                    reqs[i] = None; // consumer saw its grant, drops request
+                }
+            }
+            if let Some((i, d)) = out.c_data {
+                got.push((i, d));
+            }
+        }
+        assert_eq!(got.len(), 2, "both consumers served exactly once");
+        assert!(got.iter().all(|&(_, d)| d == 42));
+        let served: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert!(served.contains(&0) && served.contains(&1));
+        // The produce-consume cycle is closed: further reads block.
+        let mut inp = idle(2, 1);
+        inp.c_req[0] = Some(0x10);
+        let out = m.step(&inp);
+        assert!(!out.c_grant[0]);
+        assert!(!m.deplist().is_pending(0x10));
+    }
+
+    #[test]
+    fn producer_preempts_pipelined_read() {
+        let mut m = ArbitratedModel::new(1, 1, 4);
+        m.configure(0x20, 1).unwrap();
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x20, 7, 1));
+        m.step(&wr); // write 7, arm
+
+        // Cycle 1: consumer requests -> decision lands in pipe.
+        let mut rd = idle(1, 1);
+        rd.c_req[0] = Some(0x20);
+        let out = m.step(&rd);
+        assert!(!out.c_grant[0], "decision cycle only");
+
+        // Cycle 2: a producer write arrives simultaneously -> read replays.
+        let mut both = idle(1, 1);
+        both.c_req[0] = Some(0x20);
+        both.d_req[0] = Some((0x20, 8, 1));
+        let out = m.step(&both);
+        assert!(out.d_grant[0], "write has priority");
+        assert!(!out.c_grant[0], "read replayed");
+
+        // Cycle 3: read issues, sees the NEW value 8 next cycle.
+        let out = m.step(&rd);
+        assert!(out.c_grant[0]);
+        let out = m.step(&idle(1, 1));
+        assert_eq!(out.c_data, Some((0, 8)));
+    }
+
+    #[test]
+    fn round_robin_alternates_under_contention() {
+        let mut m = ArbitratedModel::new(1, 2, 4);
+        m.configure(0x1, 2).unwrap();
+        m.configure(0x2, 2).unwrap();
+        let mut order = Vec::new();
+        for round in 0..4 {
+            // Re-arm both addresses each round.
+            let mut wr = idle(2, 1);
+            wr.d_req[0] = Some((0x1, round, 2));
+            m.step(&wr);
+            let mut wr = idle(2, 1);
+            wr.d_req[0] = Some((0x2, round, 2));
+            m.step(&wr);
+            // Both consumers contend for different addresses.
+            let mut reqs = vec![Some(0x1), Some(0x2)];
+            for _ in 0..8 {
+                let mut inp = idle(2, 1);
+                inp.c_req = reqs.clone();
+                let out = m.step(&inp);
+                for (i, g) in out.c_grant.iter().enumerate() {
+                    if *g {
+                        order.push(i);
+                        reqs[i] = None;
+                    }
+                }
+                if reqs.iter().all(Option::is_none) {
+                    break;
+                }
+            }
+        }
+        // Fairness: both consumers appear equally often.
+        let count0 = order.iter().filter(|&&i| i == 0).count();
+        let count1 = order.iter().filter(|&&i| i == 1).count();
+        assert_eq!(count0, count1, "order: {order:?}");
+    }
+
+    #[test]
+    fn port_a_is_single_cycle_and_independent() {
+        let mut m = ArbitratedModel::new(1, 1, 4);
+        let mut inp = idle(1, 1);
+        inp.a_req = Some((100, 55, true));
+        m.step(&inp); // write via port A
+        let mut inp = idle(1, 1);
+        inp.a_req = Some((100, 0, false));
+        m.step(&inp); // read issued
+        let out = m.step(&idle(1, 1));
+        assert_eq!(out.a_data, Some(55));
+    }
+
+    #[test]
+    fn write_without_entry_is_rejected() {
+        let mut m = ArbitratedModel::new(1, 1, 4);
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x99, 1, 1));
+        let out = m.step(&wr);
+        assert!(!out.d_grant[0]);
+    }
+
+    #[test]
+    fn grant_to_data_latency_is_one_cycle() {
+        let mut m = ArbitratedModel::new(1, 1, 4);
+        m.configure(0x5, 1).unwrap();
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x5, 77, 1));
+        m.step(&wr);
+        let mut rd = idle(1, 1);
+        rd.c_req[0] = Some(0x5);
+        let o1 = m.step(&rd); // decision
+        assert!(!o1.c_grant[0]);
+        let o2 = m.step(&rd); // issue
+        assert!(o2.c_grant[0]);
+        assert_eq!(o2.c_data, None);
+        let o3 = m.step(&idle(1, 1)); // data
+        assert_eq!(o3.c_data, Some((0, 77)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Behavioral model of one 18 Kb BRAM bank (512×36 view, 32-bit payload),
+//! with the synchronous one-cycle read latency of the real block.
+
+use serde::{Deserialize, Serialize};
+
+/// Words in the bank.
+pub const BANK_WORDS: usize = 512;
+
+/// One true-dual-port BRAM (only the payload bits are modeled).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BramModel {
+    words: Vec<u32>,
+}
+
+impl Default for BramModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BramModel {
+    /// A zero-initialized bank.
+    pub fn new() -> Self {
+        BramModel { words: vec![0; BANK_WORDS] }
+    }
+
+    /// Synchronous read: the value that will appear on the output register
+    /// in the next cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` exceeds the bank (a routing bug upstream).
+    pub fn read(&self, addr: u32) -> u32 {
+        self.words[addr as usize % BANK_WORDS]
+    }
+
+    /// Write a word.
+    pub fn write(&mut self, addr: u32, data: u32) {
+        self.words[addr as usize % BANK_WORDS] = data;
+    }
+
+    /// Read-first simultaneous read+write on one port (Virtex-II Pro
+    /// read-first behaviour): returns the old value.
+    pub fn read_write(&mut self, addr: u32, data: u32) -> u32 {
+        let old = self.read(addr);
+        self.write(addr, data);
+        old
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut b = BramModel::new();
+        b.write(7, 0xdead_beef);
+        assert_eq!(b.read(7), 0xdead_beef);
+        assert_eq!(b.read(8), 0);
+    }
+
+    #[test]
+    fn read_first_semantics() {
+        let mut b = BramModel::new();
+        b.write(3, 111);
+        let old = b.read_write(3, 222);
+        assert_eq!(old, 111);
+        assert_eq!(b.read(3), 222);
+    }
+
+    #[test]
+    fn addresses_wrap_at_bank_size() {
+        let mut b = BramModel::new();
+        b.write(BANK_WORDS as u32 + 1, 9);
+        assert_eq!(b.read(1), 9);
+    }
+}

@@ -1,0 +1,481 @@
+//! Cycle-accurate execution of synthesized thread FSMs.
+//!
+//! A [`ThreadExec`] runs one [`Fsm`] exactly as the generated hardware
+//! would: one state per cycle, pure (chained) operations free within their
+//! state, memory operations issuing requests that may block the state until
+//! the memory organization grants them, `recv`/`send` blocking on the
+//! network interface. The engine drives `tick` once per cycle and feeds
+//! back grants/data through [`ThreadExec::deliver`].
+
+use memsync_synth::eval::{
+    call_function, eval_binary_datapath, eval_unary_datapath, mask_to_width,
+};
+use memsync_synth::fsm::{Fsm, StateNext};
+use memsync_synth::ir::{OpKind, PortClass, Residency, Value};
+use std::collections::BTreeMap;
+
+/// A memory request a thread holds while blocked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Wrapper port class.
+    pub port: PortClass,
+    /// Address within the bank.
+    pub addr: u32,
+    /// Write data (None = read).
+    pub write: Option<u32>,
+    /// Dependency number presented on writes through port D.
+    pub dep_number: u8,
+}
+
+/// Response events fed back by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemResponse {
+    /// The held request was granted this cycle (write done / read issued).
+    Granted,
+    /// Read data arrived.
+    Data(u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Waiting {
+    /// Executing freely.
+    None,
+    /// Holding a memory request; `result` is the temp receiving read data.
+    Mem {
+        req: MemRequest,
+        result: Option<u32>, // temp id
+        granted: bool,
+    },
+    /// Blocked on `recv`.
+    Recv { var: u32 },
+    /// Blocked on `send`.
+    Send { value: i64 },
+}
+
+/// Executes one thread FSM cycle by cycle.
+#[derive(Debug, Clone)]
+pub struct ThreadExec {
+    fsm: Fsm,
+    regs: Vec<i64>,
+    temps: BTreeMap<u32, i64>,
+    state: usize,
+    op_pos: usize,
+    waiting: Waiting,
+    /// Completed run-to-completion iterations.
+    pub iterations: u64,
+    /// Cycles executed.
+    pub cycles: u64,
+    /// Messages sent on the tx interface.
+    pub sent: Vec<i64>,
+    halted: bool,
+}
+
+impl ThreadExec {
+    /// Creates an executor over a synthesized FSM.
+    pub fn new(fsm: Fsm) -> Self {
+        let regs = vec![0; fsm.vars.len()];
+        ThreadExec {
+            fsm,
+            regs,
+            temps: BTreeMap::new(),
+            state: 0,
+            op_pos: 0,
+            waiting: Waiting::None,
+            iterations: 0,
+            cycles: 0,
+            sent: Vec::new(),
+            halted: false,
+        }
+    }
+
+    /// Thread name.
+    pub fn name(&self) -> &str {
+        &self.fsm.thread
+    }
+
+    /// Current register value of a variable.
+    pub fn var(&self, name: &str) -> Option<i64> {
+        self.fsm.var_id(name).map(|id| self.regs[id.0 as usize])
+    }
+
+    /// Whether the thread is stalled on a memory request or I/O.
+    pub fn is_blocked(&self) -> bool {
+        !matches!(self.waiting, Waiting::None)
+    }
+
+    /// Stops the thread at the end of the current iteration (used to bound
+    /// simulations).
+    pub fn halt_after_iteration(&mut self) {
+        self.halted = true;
+    }
+
+    fn value(&self, v: Value) -> i64 {
+        match v {
+            Value::Const(c) => i64::from(c as u32),
+            Value::Var(id) => self.regs[id.0 as usize],
+            Value::Temp(t) => self.temps.get(&t.0).copied().unwrap_or(0),
+        }
+    }
+
+    fn store_var(&mut self, id: u32, value: i64) {
+        let width = self.fsm.widths[id as usize].min(32);
+        self.regs[id as usize] = mask_to_width(value, width);
+    }
+
+    /// Advances one cycle. `rx` offers an incoming message (taken if the
+    /// thread is at a `recv`); `tx_ready` gates `send`. Returns the memory
+    /// request the thread is holding at the end of the cycle, if any.
+    pub fn tick(&mut self, rx: &mut Option<i64>, tx_ready: bool) -> Option<MemRequest> {
+        self.cycles += 1;
+        // Resolve blocking I/O first.
+        match self.waiting.clone() {
+            Waiting::Recv { var } => {
+                if let Some(msg) = rx.take() {
+                    self.store_var(var, msg);
+                    self.waiting = Waiting::None;
+                    self.op_pos += 1;
+                    self.run_state();
+                }
+                return self.held_request();
+            }
+            Waiting::Send { value } => {
+                if tx_ready {
+                    self.sent.push(value);
+                    self.waiting = Waiting::None;
+                    self.op_pos += 1;
+                    self.run_state();
+                }
+                return self.held_request();
+            }
+            Waiting::Mem { .. } => {
+                // Still blocked; the request stays posted.
+                return self.held_request();
+            }
+            Waiting::None => {}
+        }
+        self.run_state();
+        self.held_request()
+    }
+
+    /// Feeds back a grant or read data for the held request.
+    pub fn deliver(&mut self, resp: MemResponse) {
+        let Waiting::Mem { req, result, granted: _ } = self.waiting.clone() else {
+            return;
+        };
+        match resp {
+            MemResponse::Granted => {
+                if req.write.is_some() {
+                    // Write complete.
+                    self.waiting = Waiting::None;
+                    self.op_pos += 1;
+                } else {
+                    // Read issued; data comes later.
+                    self.waiting = Waiting::Mem { req, result, granted: true };
+                }
+            }
+            MemResponse::Data(d) => {
+                if let Some(t) = result {
+                    self.temps.insert(t, i64::from(d));
+                }
+                self.waiting = Waiting::None;
+                self.op_pos += 1;
+            }
+        }
+    }
+
+    fn held_request(&self) -> Option<MemRequest> {
+        match &self.waiting {
+            Waiting::Mem { req, granted, .. } if !*granted => Some(*req),
+            _ => None,
+        }
+    }
+
+    /// Executes ops of the current state until a blocking op or the state
+    /// completes (then takes the transition). At most one state per cycle.
+    fn run_state(&mut self) {
+        if self.fsm.states.is_empty() {
+            return;
+        }
+        loop {
+            let state = &self.fsm.states[self.state];
+            if self.op_pos >= state.ops.len() {
+                break;
+            }
+            let op = state.ops[self.op_pos].clone();
+            match op.kind {
+                OpKind::Copy => {
+                    let v = self.value(op.args[0]);
+                    if let Some(t) = op.result {
+                        self.temps.insert(t.0, v);
+                    }
+                }
+                OpKind::Unary(u) => {
+                    let v = eval_unary_datapath(u, self.value(op.args[0]));
+                    if let Some(t) = op.result {
+                        self.temps.insert(t.0, v);
+                    }
+                }
+                OpKind::Binary(bop) => {
+                    let v = eval_binary_datapath(
+                        bop,
+                        self.value(op.args[0]),
+                        self.value(op.args[1]),
+                    );
+                    if let Some(t) = op.result {
+                        self.temps.insert(t.0, v);
+                    }
+                }
+                OpKind::Call(ref name) => {
+                    let args: Vec<i64> = op.args.iter().map(|a| self.value(*a)).collect();
+                    let v = call_function(name, &args);
+                    if let Some(t) = op.result {
+                        self.temps.insert(t.0, v);
+                    }
+                }
+                OpKind::StoreVar { var } => {
+                    let v = self.value(op.args[0]);
+                    self.store_var(var.0, v);
+                }
+                OpKind::MemRead { var, .. } => {
+                    let (port, base) = self.residency(var.0);
+                    let idx = self.value(op.args[0]) as u32;
+                    self.waiting = Waiting::Mem {
+                        req: MemRequest {
+                            port,
+                            addr: base.wrapping_add(idx),
+                            write: None,
+                            dep_number: 0,
+                        },
+                        result: op.result.map(|t| t.0),
+                        granted: false,
+                    };
+                    return;
+                }
+                OpKind::MemWrite { var, ref dep } => {
+                    let (port, base) = self.residency(var.0);
+                    let idx = self.value(op.args[0]) as u32;
+                    let data = self.value(op.args[1]) as u32;
+                    let dep_number = dep.as_ref().map(|_| 1).unwrap_or(0);
+                    self.waiting = Waiting::Mem {
+                        req: MemRequest {
+                            port,
+                            addr: base.wrapping_add(idx),
+                            write: Some(data),
+                            dep_number,
+                        },
+                        result: None,
+                        granted: false,
+                    };
+                    return;
+                }
+                OpKind::Recv { var } => {
+                    self.waiting = Waiting::Recv { var: var.0 };
+                    return;
+                }
+                OpKind::Send => {
+                    let v = self.value(op.args[0]);
+                    self.waiting = Waiting::Send { value: v };
+                    return;
+                }
+            }
+            self.op_pos += 1;
+        }
+        // State complete: take the transition (consumes the cycle).
+        let next = self.fsm.states[self.state].next.clone();
+        self.op_pos = 0;
+        self.state = match next {
+            StateNext::Goto(t) => t,
+            StateNext::Branch { cond, then_state, else_state } => {
+                if self.value(cond) != 0 {
+                    then_state
+                } else {
+                    else_state
+                }
+            }
+            StateNext::Switch { selector, arms, default } => {
+                let sel = self.value(selector);
+                arms.iter()
+                    .find(|(k, _)| i64::from(*k as u32) == sel || *k == sel)
+                    .map(|(_, t)| *t)
+                    .unwrap_or(default)
+            }
+            StateNext::Restart => {
+                self.iterations += 1;
+                0
+            }
+        };
+    }
+
+    fn residency(&self, var: u32) -> (PortClass, u32) {
+        match self.fsm.binding.residency_of(&self.fsm.vars[var as usize]) {
+            Residency::Memory { port, base_addr, .. } => (port, base_addr),
+            Residency::Register => (PortClass::A, 0),
+        }
+    }
+
+    /// Whether the thread has been asked to halt and is at an iteration
+    /// boundary.
+    pub fn is_done(&self) -> bool {
+        self.halted && self.state == 0 && self.op_pos == 0 && !self.is_blocked()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_synth::ir::MemBinding;
+    use memsync_synth::schedule::Constraints;
+
+    fn exec_of(src: &str, binding: MemBinding) -> ThreadExec {
+        let program = memsync_hic::parser::parse(src).unwrap();
+        let fsm = Fsm::synthesize(
+            &program,
+            &program.threads[0],
+            &binding,
+            Constraints::default(),
+        )
+        .unwrap();
+        ThreadExec::new(fsm)
+    }
+
+    fn run_free(t: &mut ThreadExec, cycles: usize) {
+        for _ in 0..cycles {
+            let mut rx = None;
+            let req = t.tick(&mut rx, true);
+            assert!(req.is_none(), "unexpected memory request");
+        }
+    }
+
+    #[test]
+    fn straight_line_computes() {
+        let mut t = exec_of("thread t() { int a, b; a = 5; b = a * 3 + 1; }", MemBinding::new());
+        run_free(&mut t, 20);
+        assert_eq!(t.var("a"), Some(5));
+        assert_eq!(t.var("b"), Some(16));
+        assert!(t.iterations >= 1);
+    }
+
+    #[test]
+    fn loop_counts_correctly() {
+        let mut t = exec_of(
+            "thread t() { int i, acc; acc = 0; for (i = 0; i < 5; i = i + 1) { acc = acc + i; } }",
+            MemBinding::new(),
+        );
+        // Run until one iteration completes.
+        let mut guard = 0;
+        while t.iterations == 0 {
+            let mut rx = None;
+            t.tick(&mut rx, true);
+            guard += 1;
+            assert!(guard < 1000, "runaway loop");
+        }
+        assert_eq!(t.var("acc"), Some(10));
+    }
+
+    #[test]
+    fn case_dispatch() {
+        let mut t = exec_of(
+            "thread t() { int s, r; s = 2; case (s) { when 1: r = 10; when 2: r = 20; default: r = 0; } }",
+            MemBinding::new(),
+        );
+        let mut guard = 0;
+        while t.iterations == 0 {
+            let mut rx = None;
+            t.tick(&mut rx, true);
+            guard += 1;
+            assert!(guard < 1000);
+        }
+        assert_eq!(t.var("r"), Some(20));
+    }
+
+    #[test]
+    fn recv_blocks_until_message() {
+        let mut t = exec_of(
+            "thread t() { message m; int x; recv m; x = m + 1; }",
+            MemBinding::new(),
+        );
+        for _ in 0..5 {
+            let mut rx = None;
+            t.tick(&mut rx, true);
+        }
+        assert!(t.is_blocked(), "blocked at recv");
+        let mut rx = Some(41);
+        t.tick(&mut rx, true);
+        assert_eq!(rx, None, "message consumed");
+        for _ in 0..10 {
+            let mut rx = None;
+            t.tick(&mut rx, true);
+        }
+        assert_eq!(t.var("x"), Some(42));
+    }
+
+    #[test]
+    fn send_blocks_until_ready() {
+        let mut t = exec_of("thread t() { int a; a = 7; send a; }", MemBinding::new());
+        for _ in 0..10 {
+            let mut rx = None;
+            t.tick(&mut rx, false);
+        }
+        assert!(t.sent.is_empty(), "tx not ready yet");
+        let mut rx = None;
+        t.tick(&mut rx, true);
+        assert_eq!(t.sent, vec![7]);
+    }
+
+    #[test]
+    fn guarded_read_posts_port_c_request() {
+        let mut binding = MemBinding::new();
+        binding.place_guarded("v", PortClass::C, 5, Some("m".into()), None);
+        let mut t = exec_of("thread c() { int w, v; w = v + 1; }", binding);
+        let mut rx = None;
+        let req = t.tick(&mut rx, true);
+        let req = req.expect("request posted");
+        assert_eq!(req.port, PortClass::C);
+        assert_eq!(req.addr, 5);
+        assert_eq!(req.write, None);
+        // Request held until granted.
+        let mut rx = None;
+        assert!(t.tick(&mut rx, true).is_some());
+        t.deliver(MemResponse::Granted);
+        let mut rx = None;
+        assert!(t.tick(&mut rx, true).is_none(), "read issued, awaiting data");
+        t.deliver(MemResponse::Data(9));
+        for _ in 0..10 {
+            let mut rx = None;
+            t.tick(&mut rx, true);
+        }
+        assert_eq!(t.var("w"), Some(10));
+    }
+
+    #[test]
+    fn guarded_write_posts_port_d_request() {
+        let mut binding = MemBinding::new();
+        binding.place_guarded("v", PortClass::D, 3, None, Some("m".into()));
+        let mut t = exec_of("thread p() { int v; v = 9; }", binding);
+        let mut rx = None;
+        let req = t.tick(&mut rx, true).expect("request posted");
+        assert_eq!(req.port, PortClass::D);
+        assert_eq!(req.addr, 3);
+        assert_eq!(req.write, Some(9));
+        t.deliver(MemResponse::Granted);
+        let mut rx = None;
+        assert!(t.tick(&mut rx, true).is_none(), "write complete");
+    }
+
+    #[test]
+    fn call_matches_rtl_network_semantics() {
+        let mut t = exec_of(
+            "thread t() { int a, b, c; a = 1; b = 2; c = f(a, b); }",
+            MemBinding::new(),
+        );
+        run_free(&mut t, 20);
+        assert_eq!(t.var("c"), Some(call_function("f", &[1, 2])));
+    }
+
+    #[test]
+    fn char_variables_are_masked() {
+        let mut t = exec_of("thread t() { char c; c = 300; }", MemBinding::new());
+        run_free(&mut t, 10);
+        assert_eq!(t.var("c"), Some(300 & 0xff));
+    }
+}

@@ -1,0 +1,180 @@
+//! Register and functional-unit binding.
+//!
+//! After scheduling, temporaries that cross state boundaries need datapath
+//! registers; this module performs left-edge interval allocation to share
+//! them, and counts the functional units a shared datapath would need
+//! (the peak per-state usage). The results feed area reporting and are the
+//! classic final step of the behavioral synthesis flow referenced in §3.
+
+use crate::fsm::Fsm;
+use crate::ir::{OpKind, Temp, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Binding results for one FSM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BindingReport {
+    /// Registers for declared variables (one each).
+    pub var_registers: usize,
+    /// Registers for cross-state temporaries before sharing.
+    pub temp_values: usize,
+    /// Registers for cross-state temporaries after left-edge sharing.
+    pub temp_registers: usize,
+    /// Peak ALU operations issued in any single state (shared-FU count).
+    pub alu_units: usize,
+    /// Assignment of each shared temp to its register index.
+    pub assignment: BTreeMap<u32, usize>,
+}
+
+/// A live interval over state indices (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Interval {
+    temp: Temp,
+    start: usize,
+    end: usize,
+}
+
+/// Computes the binding for an FSM.
+pub fn bind(fsm: &Fsm) -> BindingReport {
+    // Temp lifetime: def state .. last use state (by state index). Temps
+    // used only within their def state need no register (wires).
+    let mut def_state: BTreeMap<Temp, usize> = BTreeMap::new();
+    let mut last_use: BTreeMap<Temp, usize> = BTreeMap::new();
+    let mut alu_peak = 0usize;
+    for (si, state) in fsm.states.iter().enumerate() {
+        let alu_here = state
+            .ops
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_)
+                )
+            })
+            .count();
+        alu_peak = alu_peak.max(alu_here);
+        for op in &state.ops {
+            if let Some(t) = op.result {
+                def_state.entry(t).or_insert(si);
+            }
+            for a in &op.args {
+                if let Value::Temp(t) = a {
+                    last_use
+                        .entry(*t)
+                        .and_modify(|e| *e = (*e).max(si))
+                        .or_insert(si);
+                }
+            }
+        }
+        // Condition uses extend lifetimes too.
+        let cond = match &state.next {
+            crate::fsm::StateNext::Branch { cond, .. } => Some(*cond),
+            crate::fsm::StateNext::Switch { selector, .. } => Some(*selector),
+            _ => None,
+        };
+        if let Some(Value::Temp(t)) = cond {
+            last_use
+                .entry(t)
+                .and_modify(|e| *e = (*e).max(si))
+                .or_insert(si);
+        }
+    }
+
+    let mut intervals: Vec<Interval> = def_state
+        .iter()
+        .filter_map(|(t, &d)| {
+            let u = last_use.get(t).copied().unwrap_or(d);
+            // Back-edge uses (use state < def state) are loop-carried: the
+            // value must survive the whole loop; extend to the full span.
+            let (start, end) = if u < d { (0, fsm.states.len()) } else { (d, u) };
+            (end > start).then_some(Interval { temp: *t, start, end })
+        })
+        .collect();
+
+    // Left-edge: sort by start, greedily reuse the register whose interval
+    // ended earliest.
+    intervals.sort_by_key(|i| (i.start, i.end));
+    let mut register_free_at: Vec<usize> = Vec::new();
+    let mut assignment: BTreeMap<u32, usize> = BTreeMap::new();
+    for iv in &intervals {
+        let slot = register_free_at
+            .iter()
+            .position(|&free| free <= iv.start);
+        let reg = match slot {
+            Some(r) => {
+                register_free_at[r] = iv.end;
+                r
+            }
+            None => {
+                register_free_at.push(iv.end);
+                register_free_at.len() - 1
+            }
+        };
+        assignment.insert(iv.temp.0, reg);
+    }
+
+    BindingReport {
+        var_registers: fsm.vars.len(),
+        temp_values: intervals.len(),
+        temp_registers: register_free_at.len(),
+        alu_units: alu_peak,
+        assignment,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::MemBinding;
+    use crate::schedule::Constraints;
+    use memsync_hic::parser::parse;
+
+    fn fsm_of(src: &str) -> Fsm {
+        let program = parse(src).unwrap();
+        Fsm::synthesize(
+            &program,
+            &program.threads[0],
+            &MemBinding::new(),
+            Constraints { alu_per_cycle: 1, mem_per_cycle: 1, max_chain: 1 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sharing_never_exceeds_value_count() {
+        let fsm = fsm_of(
+            "thread t() { int a, b, c; a = 1; b = (a + 1) * (a + 2); c = (b + 3) * (b + 4); }",
+        );
+        let r = bind(&fsm);
+        assert!(r.temp_registers <= r.temp_values);
+        assert!(r.alu_units >= 1);
+    }
+
+    #[test]
+    fn disjoint_lifetimes_share_one_register() {
+        // With alu_per_cycle=1 and chain=1 each binary op lands in its own
+        // state; t0 (a+1) dies feeding b, t1 (b+2) dies feeding c.
+        let fsm = fsm_of("thread t() { int a, b, c; a = 1; b = a + 1; c = b + 2; }");
+        let r = bind(&fsm);
+        assert!(
+            r.temp_registers <= 1,
+            "disjoint single-state temps need at most one shared register, got {}",
+            r.temp_registers
+        );
+    }
+
+    #[test]
+    fn var_registers_count_declarations() {
+        let fsm = fsm_of("thread t() { int a, b, c; a = 1; b = 2; c = 3; }");
+        assert_eq!(bind(&fsm).var_registers, 3);
+    }
+
+    #[test]
+    fn cross_state_temp_gets_a_register() {
+        // With one ALU per cycle and no chaining, `a + 1` and `a + 2` land
+        // in different states, so the first temp crosses a state boundary.
+        let fsm = fsm_of("thread t() { int a, c; a = 4; c = (a + 1) * (a + 2); }");
+        let r = bind(&fsm);
+        assert!(r.temp_registers >= 1, "expected a cross-state register");
+    }
+}

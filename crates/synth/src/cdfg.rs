@@ -1,0 +1,605 @@
+//! Lowering from the hic AST to the three-address [`DfThread`] form.
+//!
+//! Expression trees become chains of [`DfOp`]s over temps; control flow
+//! becomes basic blocks with explicit terminators; reads and writes of
+//! memory-resident variables (per the caller-provided [`MemBinding`])
+//! become `MemRead`/`MemWrite` operations carrying their guarding
+//! dependency ids.
+
+use crate::ir::{Block, DfOp, DfThread, MemBinding, OpKind, Residency, Terminator, Value, VarId};
+use memsync_hic::ast::{Expr, LValue, Program, Stmt, StmtKind, Thread};
+use memsync_hic::error::{CompileError, Result, Span};
+
+/// Lowers one thread.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the thread references variables missing
+/// from its declarations (callers are expected to have run
+/// [`memsync_hic::sema::analyze`] first, which catches this earlier with
+/// better messages).
+pub fn lower_thread(
+    program: &Program,
+    thread: &Thread,
+    binding: &MemBinding,
+) -> Result<DfThread> {
+    let mut ctx = Lowering {
+        program,
+        thread,
+        binding,
+        vars: Vec::new(),
+        widths: Vec::new(),
+        blocks: Vec::new(),
+        next_temp: 0,
+        current: Vec::new(),
+    };
+    for decl in thread.params.iter().chain(thread.decls.iter()) {
+        ctx.vars.push(decl.name.clone());
+        ctx.widths.push(decl.ty.bit_width(Some(program)).unwrap_or(32));
+    }
+    // Constants named by pragmas become pseudo-variables initialized by a
+    // leading store so later reads resolve.
+    let mut const_inits: Vec<(String, i64)> = Vec::new();
+    memsync_hic::ast::walk_stmts(&thread.body, &mut |stmt: &Stmt| {
+        for pragma in &stmt.pragmas {
+            if let memsync_hic::ast::Pragma::Constant { name, value, .. } = pragma {
+                if !const_inits.iter().any(|(n, _)| n == name) {
+                    const_inits.push((name.clone(), *value));
+                }
+            }
+        }
+    });
+    for (name, _) in &const_inits {
+        if !ctx.vars.iter().any(|v| v == name) {
+            ctx.vars.push(name.clone());
+            ctx.widths.push(32);
+        }
+    }
+
+    // Entry block: constant initialization.
+    for (name, value) in &const_inits {
+        let var = ctx.var_id(name, Span::dummy())?;
+        ctx.current.push(DfOp {
+            kind: OpKind::StoreVar { var },
+            args: vec![Value::Const(*value)],
+            result: None,
+        });
+    }
+
+    let entry_exit = ctx.lower_stmts(&thread.body)?;
+    ctx.seal(entry_exit, Terminator::Restart);
+
+    Ok(DfThread {
+        name: thread.name.clone(),
+        vars: ctx.vars,
+        widths: ctx.widths,
+        blocks: ctx.blocks,
+        binding: binding.clone(),
+    })
+}
+
+struct Lowering<'a> {
+    program: &'a Program,
+    thread: &'a Thread,
+    binding: &'a MemBinding,
+    vars: Vec<String>,
+    widths: Vec<u32>,
+    blocks: Vec<Block>,
+    next_temp: u32,
+    current: Vec<DfOp>,
+}
+
+/// Handle to a block whose terminator is filled in later.
+#[derive(Debug, Clone, Copy)]
+struct PendingBlock(usize);
+
+impl<'a> Lowering<'a> {
+    fn fresh_temp(&mut self) -> crate::ir::Temp {
+        let t = crate::ir::Temp(self.next_temp);
+        self.next_temp += 1;
+        t
+    }
+
+    fn var_id(&mut self, name: &str, span: Span) -> Result<VarId> {
+        // Remote producer variables read under a `#producer` pragma may not
+        // be locally declared; materialize them as local shadow registers
+        // (the wrapper delivers the value through port C).
+        if let Some(i) = self.vars.iter().position(|v| v == name) {
+            return Ok(VarId(i as u32));
+        }
+        if self.binding.residency.contains_key(name) {
+            self.vars.push(name.to_owned());
+            self.widths.push(32);
+            return Ok(VarId((self.vars.len() - 1) as u32));
+        }
+        // Tolerate locally undeclared names that sema would have flagged.
+        if self.thread.var(name).is_none() {
+            self.vars.push(name.to_owned());
+            self.widths.push(32);
+            return Ok(VarId((self.vars.len() - 1) as u32));
+        }
+        Err(CompileError::single(format!("unknown variable `{name}`"), span))
+    }
+
+    /// Finishes the current block with `term`, returning its index.
+    fn seal_current(&mut self, term: Terminator) -> usize {
+        let ops = std::mem::take(&mut self.current);
+        self.blocks.push(Block { ops, term });
+        self.blocks.len() - 1
+    }
+
+    /// Finishes a pending block list by pointing them at a target.
+    fn patch(&mut self, pending: &[PendingBlock], target: usize) {
+        for p in pending {
+            match &mut self.blocks[p.0].term {
+                t @ Terminator::Restart => *t = Terminator::Jump(target),
+                Terminator::Jump(t) if *t == usize::MAX => *t = target,
+                Terminator::Branch { then_block, else_block, .. } => {
+                    if *then_block == usize::MAX {
+                        *then_block = target;
+                    }
+                    if *else_block == usize::MAX {
+                        *else_block = target;
+                    }
+                }
+                Terminator::Switch { arms, default, .. } => {
+                    for (_, t) in arms.iter_mut() {
+                        if *t == usize::MAX {
+                            *t = target;
+                        }
+                    }
+                    if *default == usize::MAX {
+                        *default = target;
+                    }
+                }
+                Terminator::Jump(_) => {}
+            }
+        }
+    }
+
+    fn seal(&mut self, pending: Vec<PendingBlock>, term: Terminator) {
+        // Any fall-through from `pending` lands in a final block with `term`.
+        let final_block = self.seal_current(term);
+        self.patch(&pending, final_block);
+    }
+
+    /// Lowers statements into the current block chain; returns blocks whose
+    /// successor is the statement following the list.
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> Result<Vec<PendingBlock>> {
+        let mut pending: Vec<PendingBlock> = Vec::new();
+        for stmt in stmts {
+            if !pending.is_empty() {
+                // The previous statement ended in control flow; start a new
+                // block and patch the pending exits to it.
+                let target = self.blocks.len() + usize::from(!self.current.is_empty());
+                // Close current (possibly empty) chain point lazily: only
+                // needed if ops already accumulated.
+                if !self.current.is_empty() {
+                    let b = self.seal_current(Terminator::Jump(usize::MAX));
+                    pending.push(PendingBlock(b));
+                    let _ = target;
+                }
+                let joined = std::mem::take(&mut pending);
+                // Every pending block jumps to the block that will start now.
+                let start = self.blocks.len();
+                self.patch(&joined, start);
+            }
+            pending = self.lower_stmt(stmt)?;
+        }
+        Ok(pending)
+    }
+
+    /// Lowers one statement; returns pending exits (empty means fall
+    /// through in the current open block).
+    fn lower_stmt(&mut self, stmt: &Stmt) -> Result<Vec<PendingBlock>> {
+        match &stmt.kind {
+            StmtKind::Assign { target, value } => {
+                let v = self.lower_expr(value)?;
+                self.lower_store(target, v, stmt.span)?;
+                Ok(vec![])
+            }
+            StmtKind::Recv { var } => {
+                let id = self.var_id(var, stmt.span)?;
+                self.current.push(DfOp { kind: OpKind::Recv { var: id }, args: vec![], result: None });
+                Ok(vec![])
+            }
+            StmtKind::Send { value } => {
+                let v = self.lower_expr(value)?;
+                self.current.push(DfOp { kind: OpKind::Send, args: vec![v], result: None });
+                Ok(vec![])
+            }
+            StmtKind::Expr(e) => {
+                let _ = self.lower_expr(e)?;
+                Ok(vec![])
+            }
+            StmtKind::Block(body) => self.lower_stmts(body),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let c = self.lower_expr(cond)?;
+                let header = self.seal_current(Terminator::Branch {
+                    cond: c,
+                    then_block: usize::MAX,
+                    else_block: usize::MAX,
+                });
+                // Then arm.
+                let then_start = self.blocks.len();
+                let then_pending = self.lower_stmts(then_branch)?;
+                let then_exit = self.seal_current(Terminator::Jump(usize::MAX));
+                self.patch(&then_pending, then_exit);
+                if let Terminator::Branch { then_block, .. } = &mut self.blocks[header].term {
+                    *then_block = then_start;
+                }
+                let mut exits = vec![PendingBlock(then_exit)];
+                if else_branch.is_empty() {
+                    exits.push(PendingBlock(header));
+                } else {
+                    let else_start = self.blocks.len();
+                    let else_pending = self.lower_stmts(else_branch)?;
+                    let else_exit = self.seal_current(Terminator::Jump(usize::MAX));
+                    self.patch(&else_pending, else_exit);
+                    if let Terminator::Branch { else_block, .. } = &mut self.blocks[header].term {
+                        *else_block = else_start;
+                    }
+                    exits.push(PendingBlock(else_exit));
+                }
+                Ok(exits)
+            }
+            StmtKind::While { cond, body } => {
+                // Close current block into the loop header.
+                let pre = self.seal_current(Terminator::Jump(usize::MAX));
+                let header_start = self.blocks.len();
+                self.patch(&[PendingBlock(pre)], header_start);
+                let c = self.lower_expr(cond)?;
+                let header = self.seal_current(Terminator::Branch {
+                    cond: c,
+                    then_block: usize::MAX,
+                    else_block: usize::MAX,
+                });
+                let body_start = self.blocks.len();
+                let body_pending = self.lower_stmts(body)?;
+                let body_exit = self.seal_current(Terminator::Jump(header_start));
+                self.patch(&body_pending, body_exit);
+                if let Terminator::Branch { then_block, .. } = &mut self.blocks[header].term {
+                    *then_block = body_start;
+                }
+                Ok(vec![PendingBlock(header)])
+            }
+            StmtKind::For { init, cond, step, body } => {
+                let init_pending = self.lower_stmt(init)?;
+                debug_assert!(init_pending.is_empty(), "for-init is a simple assignment");
+                let pre = self.seal_current(Terminator::Jump(usize::MAX));
+                let header_start = self.blocks.len();
+                self.patch(&[PendingBlock(pre)], header_start);
+                let c = self.lower_expr(cond)?;
+                let header = self.seal_current(Terminator::Branch {
+                    cond: c,
+                    then_block: usize::MAX,
+                    else_block: usize::MAX,
+                });
+                let body_start = self.blocks.len();
+                let body_pending = self.lower_stmts(body)?;
+                // Step runs after the body, then loops to the header.
+                if !body_pending.is_empty() {
+                    let join = self.blocks.len() + usize::from(!self.current.is_empty());
+                    if !self.current.is_empty() {
+                        let b = self.seal_current(Terminator::Jump(usize::MAX));
+                        self.patch(&[PendingBlock(b)], join);
+                    }
+                    let start = self.blocks.len();
+                    self.patch(&body_pending, start);
+                }
+                let step_pending = self.lower_stmt(step)?;
+                debug_assert!(step_pending.is_empty(), "for-step is a simple assignment");
+                let _step_exit = self.seal_current(Terminator::Jump(header_start));
+                if let Terminator::Branch { then_block, .. } = &mut self.blocks[header].term {
+                    *then_block = body_start;
+                }
+                Ok(vec![PendingBlock(header)])
+            }
+            StmtKind::Case { selector, arms, default } => {
+                let sel = self.lower_expr(selector)?;
+                let header = self.seal_current(Terminator::Switch {
+                    selector: sel,
+                    arms: arms.iter().map(|a| (a.value, usize::MAX)).collect(),
+                    default: usize::MAX,
+                });
+                let mut exits = Vec::new();
+                for (i, arm) in arms.iter().enumerate() {
+                    let start = self.blocks.len();
+                    let arm_pending = self.lower_stmts(&arm.body)?;
+                    let exit = self.seal_current(Terminator::Jump(usize::MAX));
+                    self.patch(&arm_pending, exit);
+                    if let Terminator::Switch { arms, .. } = &mut self.blocks[header].term {
+                        arms[i].1 = start;
+                    }
+                    exits.push(PendingBlock(exit));
+                }
+                if default.is_empty() {
+                    exits.push(PendingBlock(header));
+                } else {
+                    let start = self.blocks.len();
+                    let def_pending = self.lower_stmts(default)?;
+                    let exit = self.seal_current(Terminator::Jump(usize::MAX));
+                    self.patch(&def_pending, exit);
+                    if let Terminator::Switch { default, .. } = &mut self.blocks[header].term {
+                        *default = start;
+                    }
+                    exits.push(PendingBlock(exit));
+                }
+                Ok(exits)
+            }
+        }
+    }
+
+    fn lower_store(&mut self, target: &LValue, value: Value, span: Span) -> Result<()> {
+        let base = target.base().to_owned();
+        let var = self.var_id(&base, span)?;
+        let index = match target {
+            LValue::Var(_) | LValue::Field { .. } => Value::Const(0),
+            LValue::Index { index, .. } => self.lower_expr(index)?,
+        };
+        match self.binding.residency_of(&base) {
+            Residency::Register => {
+                if matches!(target, LValue::Index { .. }) {
+                    // Register-resident arrays still route through memory
+                    // port A (arrays cannot live in single FF registers).
+                    self.current.push(DfOp {
+                        kind: OpKind::MemWrite { var, dep: None },
+                        args: vec![index, value],
+                        result: None,
+                    });
+                } else {
+                    self.current.push(DfOp {
+                        kind: OpKind::StoreVar { var },
+                        args: vec![value],
+                        result: None,
+                    });
+                }
+            }
+            Residency::Memory { write_dep, .. } => {
+                self.current.push(DfOp {
+                    kind: OpKind::MemWrite { var, dep: write_dep },
+                    args: vec![index, value],
+                    result: None,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_expr(&mut self, expr: &Expr) -> Result<Value> {
+        Ok(match expr {
+            Expr::Int(v, _) => Value::Const(*v),
+            Expr::Char(c, _) => Value::Const(i64::from(*c)),
+            Expr::Var(name, span) | Expr::Field { name, span, .. } => {
+                self.lower_var_read(name, Value::Const(0), *span)?
+            }
+            Expr::Index { name, index, span } => {
+                let idx = self.lower_expr(index)?;
+                self.lower_var_read(name, idx, *span)?
+            }
+            Expr::Call { callee, args, .. } => {
+                let mut lowered = Vec::with_capacity(args.len());
+                for a in args {
+                    lowered.push(self.lower_expr(a)?);
+                }
+                let t = self.fresh_temp();
+                self.current.push(DfOp {
+                    kind: OpKind::Call(callee.clone()),
+                    args: lowered,
+                    result: Some(t),
+                });
+                Value::Temp(t)
+            }
+            Expr::Unary { op, operand, .. } => {
+                let a = self.lower_expr(operand)?;
+                let t = self.fresh_temp();
+                self.current.push(DfOp {
+                    kind: OpKind::Unary(*op),
+                    args: vec![a],
+                    result: Some(t),
+                });
+                Value::Temp(t)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.lower_expr(lhs)?;
+                let b = self.lower_expr(rhs)?;
+                let t = self.fresh_temp();
+                self.current.push(DfOp {
+                    kind: OpKind::Binary(*op),
+                    args: vec![a, b],
+                    result: Some(t),
+                });
+                Value::Temp(t)
+            }
+        })
+    }
+
+    fn lower_var_read(&mut self, name: &str, index: Value, span: Span) -> Result<Value> {
+        let var = self.var_id(name, span)?;
+        let is_array = self
+            .thread
+            .var(name)
+            .is_some_and(|d| d.array_len.is_some());
+        match self.binding.residency_of(name) {
+            Residency::Register => {
+                if matches!(index, Value::Const(0)) && !is_array {
+                    Ok(Value::Var(var))
+                } else {
+                    // Register-resident array read goes through port A.
+                    let t = self.fresh_temp();
+                    self.current.push(DfOp {
+                        kind: OpKind::MemRead { var, dep: None },
+                        args: vec![index],
+                        result: Some(t),
+                    });
+                    Ok(Value::Temp(t))
+                }
+            }
+            Residency::Memory { read_dep, .. } => {
+                let t = self.fresh_temp();
+                self.current.push(DfOp {
+                    kind: OpKind::MemRead { var, dep: read_dep },
+                    args: vec![index],
+                    result: Some(t),
+                });
+                Ok(Value::Temp(t))
+            }
+        }
+    }
+
+    #[allow(dead_code)]
+    fn program(&self) -> &Program {
+        self.program
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::PortClass;
+    use memsync_hic::parser::parse;
+
+    fn lower(src: &str, binding: MemBinding) -> DfThread {
+        let program = parse(src).unwrap();
+        lower_thread(&program, &program.threads[0], &binding).unwrap()
+    }
+
+    #[test]
+    fn straight_line_lowering() {
+        let t = lower("thread t() { int a, b; a = 1; b = a + 2; }", MemBinding::new());
+        assert_eq!(t.blocks.len(), 1);
+        let ops = &t.blocks[0].ops;
+        // store a, read-free add (a is a register read inline), store b
+        assert!(matches!(ops[0].kind, OpKind::StoreVar { .. }));
+        assert!(matches!(ops[1].kind, OpKind::Binary(_)));
+        assert!(matches!(ops[2].kind, OpKind::StoreVar { .. }));
+        assert!(matches!(t.blocks[0].term, Terminator::Restart));
+    }
+
+    #[test]
+    fn guarded_read_carries_dep() {
+        let mut binding = MemBinding::new();
+        binding.place_guarded("v", PortClass::C, 0, Some("mt1".into()), None);
+        let t = lower("thread c() { int w, v; w = v + 1; }", binding);
+        let read = t.blocks[0]
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::MemRead { .. }))
+            .expect("memory read present");
+        assert_eq!(read.kind.dep(), Some("mt1"));
+    }
+
+    #[test]
+    fn guarded_write_carries_dep() {
+        let mut binding = MemBinding::new();
+        binding.place_guarded("v", PortClass::D, 0, None, Some("mt1".into()));
+        let t = lower("thread p() { int v; v = 7; }", binding);
+        let write = t.blocks[0]
+            .ops
+            .iter()
+            .find(|o| matches!(o.kind, OpKind::MemWrite { .. }))
+            .expect("memory write present");
+        assert_eq!(write.kind.dep(), Some("mt1"));
+    }
+
+    #[test]
+    fn if_produces_branch_blocks() {
+        let t = lower(
+            "thread t() { int a, b; a = 1; if (a) { b = 2; } else { b = 3; } b = 4; }",
+            MemBinding::new(),
+        );
+        let has_branch = t
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::Branch { .. }));
+        assert!(has_branch);
+        // All non-MAX successors must be in range.
+        for b in &t.blocks {
+            for s in b.term.successors() {
+                assert!(s < t.blocks.len(), "dangling successor {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn while_loops_to_header() {
+        let t = lower(
+            "thread t() { int a; a = 8; while (a) { a = a - 1; } a = 0; }",
+            MemBinding::new(),
+        );
+        // There must be a back edge: some block jumps to a lower-numbered one.
+        let back_edge = t
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.term.successors().iter().any(|&s| s <= i));
+        assert!(back_edge);
+    }
+
+    #[test]
+    fn case_produces_switch() {
+        let t = lower(
+            "thread t() { int s, a; s = 1; case (s) { when 1: a = 1; when 2: a = 2; default: a = 0; } a = 9; }",
+            MemBinding::new(),
+        );
+        let sw = t
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Terminator::Switch { arms, .. } => Some(arms.len()),
+                _ => None,
+            })
+            .expect("switch present");
+        assert_eq!(sw, 2);
+    }
+
+    #[test]
+    fn constants_initialized_at_entry() {
+        let t = lower(
+            "thread t() { int a; #constant{k, 5} a = k + 1; }",
+            MemBinding::new(),
+        );
+        let first = &t.blocks[0].ops[0];
+        assert!(matches!(first.kind, OpKind::StoreVar { .. }));
+        assert_eq!(first.args, vec![Value::Const(5)]);
+    }
+
+    #[test]
+    fn arrays_route_through_memory() {
+        let t = lower(
+            "thread t() { int tbl[8], i, v; i = 1; v = tbl[i]; tbl[0] = v; }",
+            MemBinding::new(),
+        );
+        let reads = t.blocks[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::MemRead { .. }))
+            .count();
+        let writes = t.blocks[0]
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::MemWrite { .. }))
+            .count();
+        assert_eq!(reads, 1);
+        assert_eq!(writes, 1);
+    }
+
+    #[test]
+    fn for_loop_shape() {
+        let t = lower(
+            "thread t() { int i, acc; acc = 0; for (i = 0; i < 4; i = i + 1) { acc = acc + i; } }",
+            MemBinding::new(),
+        );
+        // Header must branch; body must eventually jump back to header.
+        let header = t
+            .blocks
+            .iter()
+            .position(|b| matches!(b.term, Terminator::Branch { .. }))
+            .expect("header exists");
+        let back = t
+            .blocks
+            .iter()
+            .any(|b| b.term.successors().contains(&header));
+        assert!(back, "no back edge to for-header");
+    }
+}

@@ -1,0 +1,52 @@
+//! # memsync-synth — behavioral synthesis of hic threads
+//!
+//! Transforms hic threads into cycle-accurate finite state machines, per §3
+//! of the paper: "a series of synthesis steps are applied that transform the
+//! hic threads into state machines … cycle accurate and we have knowledge of
+//! the particular state where memory accesses happen".
+//!
+//! * [`ir`] — three-address dataflow form and the [`ir::MemBinding`] that
+//!   records which variables live in BRAM behind which wrapper port;
+//! * [`cdfg`] — AST lowering;
+//! * [`schedule`] — ASAP/ALAP bounds and resource-constrained list
+//!   scheduling;
+//! * [`binding`] — left-edge register allocation and FU counting;
+//! * [`fsm`] — the executable FSM the simulator runs;
+//! * [`codegen`] — FSM → RTL netlist with wrapper-port interfaces;
+//! * [`eval`] — operator semantics shared with the simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use memsync_synth::{fsm::Fsm, ir::MemBinding, schedule::Constraints};
+//!
+//! let program = memsync_hic::parser::parse(
+//!     "thread t() { int a, b; a = 1; b = a + 2; }",
+//! )?;
+//! let fsm = Fsm::synthesize(
+//!     &program,
+//!     &program.threads[0],
+//!     &MemBinding::new(),
+//!     Constraints::default(),
+//! )?;
+//! let module = memsync_synth::codegen::generate(&fsm)?;
+//! assert!(module.is_sequential());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binding;
+pub mod cdfg;
+pub mod codegen;
+pub mod eval;
+pub mod fsm;
+pub mod ir;
+pub mod schedule;
+
+pub use fsm::{Fsm, FsmState, StateNext};
+pub use ir::{MemBinding, PortClass, Residency};
+pub use schedule::Constraints;

@@ -1,0 +1,46 @@
+//! Sweep the consumer pseudo-port count 2..=8 for both memory
+//! organizations: area, achieved clock, and the latency/determinism
+//! trade-off §4 of the paper discusses ("for designs where there is enough
+//! slack in timing and a need to scale up in the future, the arbitrated
+//! memory organization is useful; for designs where timing is critical …
+//! the event-driven memory organization is useful").
+//!
+//! Run with: `cargo run --example consumer_sweep`
+
+use memsync::core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
+use memsync::fpga::report::implement;
+use memsync_bench::latency_experiment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("| n | org | LUT | FF | slices | Fmax (MHz) | latency mean | latency max | exact |");
+    println!("|---|-----|-----|----|--------|------------|--------------|-------------|-------|");
+    for n in 2..=8usize {
+        for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+            let spec = WrapperSpec::single_producer(n);
+            let module = match kind {
+                OrganizationKind::Arbitrated => arbitrated::generate(&spec),
+                OrganizationKind::EventDriven => event_driven::generate(&spec),
+            }
+            .map_err(std::io::Error::other)?;
+            let r = implement(&module)?;
+            let lat = latency_experiment(kind, n, 100, 99);
+            println!(
+                "| {n} | {kind} | {} | {} | {} | {:.1} | {:.2} | {} | {} |",
+                r.luts,
+                r.ffs,
+                r.slices,
+                r.timing.fmax_mhz,
+                lat.pooled.mean,
+                lat.pooled.max,
+                if lat.all_deterministic { "yes" } else { "no" }
+            );
+        }
+    }
+    println!();
+    println!("The design-time trade-off the paper's flow exposes to the user:");
+    println!("- arbitrated: fixed 66-FF base architecture, consumers add only muxing,");
+    println!("  but read latency depends on arbitration (non-deterministic);");
+    println!("- event-driven: faster clock and exact post-write latency, but adding");
+    println!("  a consumer changes the schedule ROM and the thread state machines.");
+    Ok(())
+}
