@@ -1,37 +1,32 @@
-//! Criterion bench: generation + implementation (area/timing model) cost of
+//! Timing harness: generation + implementation (area/timing model) cost of
 //! both memory organizations across the paper's scenarios (E1-E4).
+//!
+//! Criterion is unavailable offline, so this is a plain `main()` that times
+//! each configuration over a fixed iteration count and prints mean
+//! wall-clock per run. Run with `cargo bench --bench area`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
 use memsync_fpga::report::implement;
+use std::time::Instant;
 
-fn bench_wrappers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("wrapper_implement");
+const ITERS: u32 = 20;
+
+fn main() {
+    println!("wrapper_implement ({ITERS} iterations each)");
     for &n in &[2usize, 4, 8] {
         for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), n),
-                &n,
-                |b, &n| {
-                    let spec = WrapperSpec::single_producer(n);
-                    b.iter(|| {
-                        let m = match kind {
-                            OrganizationKind::Arbitrated => arbitrated::generate(&spec),
-                            OrganizationKind::EventDriven => event_driven::generate(&spec),
-                        }
-                        .expect("valid spec");
-                        implement(&m).expect("loop-free")
-                    });
-                },
-            );
+            let spec = WrapperSpec::single_producer(n);
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                let m = match kind {
+                    OrganizationKind::Arbitrated => arbitrated::generate(&spec),
+                    OrganizationKind::EventDriven => event_driven::generate(&spec),
+                }
+                .expect("valid spec");
+                std::hint::black_box(implement(&m).expect("loop-free"));
+            }
+            let per = start.elapsed() / ITERS;
+            println!("  {kind}/{n}: {per:?} per run");
         }
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_wrappers
-}
-criterion_main!(benches);

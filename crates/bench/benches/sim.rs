@@ -1,41 +1,52 @@
-//! Criterion bench: cycle throughput of the behavioral wrapper models and
-//! the full-system simulator (E6 substrate).
+//! Timing harness: cycle throughput of the behavioral wrapper models and
+//! the full-system simulator (E6 substrate), plus the cost of turning the
+//! metrics registry on. The uninstrumented baseline already runs through
+//! `step_traced` with a `NullSink` whose `enabled()` gate skips all event
+//! construction, so it doubles as the zero-overhead-tracing check.
+//!
+//! Criterion is unavailable offline; plain `main()` timing loops instead.
+//! Run with `cargo bench --bench sim`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use memsync_bench::latency_experiment;
 use memsync_core::{Compiler, OrganizationKind};
 use memsync_sim::System;
+use std::time::Instant;
 
-fn bench_latency_experiment(c: &mut Criterion) {
-    let mut group = c.benchmark_group("latency_experiment");
+fn main() {
+    println!("latency_experiment (15 iterations each)");
     for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        group.bench_function(kind.to_string(), |b| {
-            b.iter(|| latency_experiment(kind, 8, 50, 1));
-        });
+        let start = Instant::now();
+        for _ in 0..15 {
+            std::hint::black_box(latency_experiment(kind, 8, 50, 1));
+        }
+        let per = start.elapsed() / 15;
+        println!("  {kind}: {per:?} per run");
     }
-    group.finish();
-}
 
-fn bench_full_system(c: &mut Criterion) {
     let src = memsync_netapp::forwarding::app_source(4);
     let mut compiler = Compiler::new(&src);
     compiler.skip_validation();
     let compiled = compiler.compile().expect("app compiles");
-    c.bench_function("full_system_1000_cycles", |b| {
-        b.iter(|| {
+
+    let run = |instrument: bool| {
+        let start = Instant::now();
+        for _ in 0..15 {
             let mut sys = System::new(&compiled);
+            if instrument {
+                sys.enable_metrics();
+            }
             sys.push_message("rx", 0x0a0a_0a40);
             for _ in 0..1000 {
                 sys.step();
             }
-            sys.cycle()
-        });
-    });
+            std::hint::black_box(sys.cycle());
+        }
+        start.elapsed() / 15
+    };
+    let baseline = run(false);
+    let instrumented = run(true);
+    println!("full_system_1000_cycles: {baseline:?} per run");
+    println!("full_system_1000_cycles (metrics on): {instrumented:?} per run");
+    let overhead = instrumented.as_secs_f64() / baseline.as_secs_f64().max(f64::MIN_POSITIVE) - 1.0;
+    println!("metrics-registry overhead: {:.1}%", overhead * 100.0);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_latency_experiment, bench_full_system
-}
-criterion_main!(benches);

@@ -1,35 +1,86 @@
 //! Regenerates the latency/determinism comparison (E6): the arbitrated
 //! organization's consumer-read latency after a producer write is
 //! non-deterministic; the event-driven organization's is exact.
+//!
+//! `--trace <path>` streams every cycle event of every run as JSONL (one
+//! meta line per run header); `--metrics <path>` writes the counter and
+//! histogram registry of every run as one JSON document.
 
-use memsync_bench::{latency_experiment, SCENARIOS};
+use memsync_bench::{arg_value, latency_experiment_traced, SCENARIOS};
 use memsync_core::OrganizationKind;
+use memsync_trace::{Json, JsonlSink, MetricsRegistry, NullSink, TraceSink};
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = arg_value(&args, "--trace");
+    let metrics_path = arg_value(&args, "--metrics");
+
+    let mut jsonl = trace_path
+        .as_ref()
+        .map(|p| JsonlSink::new(BufWriter::new(File::create(p).expect("create trace file"))));
+    let mut null = NullSink;
+    let mut runs: Vec<Json> = Vec::new();
+
     println!("Produce-to-consume latency, Bernoulli-paced producer, 200 writes\n");
-    println!("| org | consumers | min | mean | max | variance | deterministic |");
-    println!("|-----|-----------|-----|------|-----|----------|---------------|");
+    println!("| org | consumers | min | mean | max | variance | arb stalls | deterministic |");
+    println!("|-----|-----------|-----|------|-----|----------|------------|---------------|");
     for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
         for &n in &SCENARIOS {
-            let r = latency_experiment(kind, n, 200, 0xC0FFEE);
+            let mut registry = MetricsRegistry::new();
+            let r = {
+                let sink: &mut dyn TraceSink = match jsonl.as_mut() {
+                    Some(s) => {
+                        s.write_meta(&format!(
+                            "{{\"meta\":\"run\",\"org\":\"{kind}\",\"consumers\":{n}}}"
+                        ));
+                        s
+                    }
+                    None => &mut null,
+                };
+                latency_experiment_traced(kind, n, 200, 0xC0FFEE, sink, &mut registry)
+            };
             println!(
-                "| {kind} | {n} | {} | {:.2} | {} | {:.2} | {} |",
+                "| {kind} | {n} | {} | {:.2} | {} | {:.2} | {} | {} |",
                 r.pooled.min,
                 r.pooled.mean,
                 r.pooled.max,
                 r.pooled.variance,
+                registry.counter_sum("bank0.arb_stall."),
                 if r.all_deterministic { "yes" } else { "no" }
+            );
+            runs.push(
+                Json::obj()
+                    .with("org", kind.to_string().as_str().into())
+                    .with("consumers", n.into())
+                    .with("metrics", registry.to_json()),
             );
         }
     }
     println!("\nper-consumer detail (8 consumers):");
     for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        let r = latency_experiment(kind, 8, 200, 0xC0FFEE);
+        let mut registry = MetricsRegistry::new();
+        let r = latency_experiment_traced(kind, 8, 200, 0xC0FFEE, &mut null, &mut registry);
         for (i, s) in r.per_consumer.iter().enumerate() {
             println!(
                 "  {kind} consumer {i}: min {} mean {:.2} max {} var {:.2}",
                 s.min, s.mean, s.max, s.variance
             );
         }
+    }
+
+    if let Some(path) = &metrics_path {
+        let doc = Json::obj().with("runs", Json::Arr(runs));
+        std::fs::write(path, doc.pretty()).expect("write metrics file");
+        println!("\nmetrics written to {path}");
+    }
+    if let Some(s) = jsonl {
+        let lines = s.lines;
+        let _ = s.into_inner();
+        println!(
+            "trace written to {} ({lines} lines)",
+            trace_path.expect("path set")
+        );
     }
 }

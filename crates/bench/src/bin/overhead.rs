@@ -1,11 +1,25 @@
 //! Regenerates the §4 overhead accounting (E5): synchronization slices as a
 //! fraction of the forwarding core (paper: 5-20% of a ~1000-slice core,
 //! 5430-slice total application).
+//!
+//! `--trace <path>` / `--metrics <path>` additionally run the forwarding
+//! application through the cycle-accurate simulator with full
+//! instrumentation, streaming events as JSONL and dumping the counter
+//! registry (rx-queue depths, per-bank stalls and utilization) as JSON.
 
-use memsync_bench::{overhead_experiment, SCENARIOS};
+use memsync_bench::{arg_value, overhead_experiment, SCENARIOS};
 use memsync_core::OrganizationKind;
+use memsync_sim::traffic::BernoulliSource;
+use memsync_sim::System;
+use memsync_trace::JsonlSink;
+use std::fs::File;
+use std::io::BufWriter;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = arg_value(&args, "--trace");
+    let metrics_path = arg_value(&args, "--metrics");
+
     println!("Synchronization overhead of the IP forwarding application\n");
     println!("| org | egress | core slices | sync slices | total | overhead | fmax (MHz) |");
     println!("|-----|--------|-------------|-------------|-------|----------|------------|");
@@ -23,4 +37,36 @@ fn main() {
         }
     }
     println!("\npaper band: 5-20% of the core functionality");
+
+    if trace_path.is_none() && metrics_path.is_none() {
+        return;
+    }
+
+    // Instrumented simulation of the arbitrated forwarding app (egress 4)
+    // under Bernoulli rx traffic.
+    let src = memsync_netapp::forwarding::app_source(4);
+    let mut compiler = memsync_core::Compiler::new(&src);
+    compiler
+        .organization(OrganizationKind::Arbitrated)
+        .skip_validation();
+    let compiled = compiler.compile().expect("forwarding app compiles");
+    let mut sys = System::new(&compiled);
+    sys.attach_source("rx", Box::new(BernoulliSource::new(7, 0.1)));
+    match &trace_path {
+        Some(p) => sys.set_sink(Box::new(JsonlSink::new(BufWriter::new(
+            File::create(p).expect("create trace file"),
+        )))),
+        None => sys.enable_metrics(),
+    }
+    for _ in 0..5000 {
+        sys.step();
+    }
+    sys.flush_trace();
+    if let Some(p) = &trace_path {
+        println!("\ntrace written to {p} (5000 simulated cycles)");
+    }
+    if let Some(p) = &metrics_path {
+        std::fs::write(p, sys.metrics.to_json().pretty()).expect("write metrics file");
+        println!("metrics written to {p}");
+    }
 }

@@ -1,11 +1,35 @@
 //! Runs every experiment and emits the measured section of EXPERIMENTS.md
 //! (markdown on stdout; `--json` for machine-readable output).
+//!
+//! `--trace <path>` streams the latency experiment's cycle events as JSONL;
+//! `--metrics <path>` writes its per-run counter/histogram registries.
 
 use memsync_bench::*;
 use memsync_core::OrganizationKind;
+use memsync_trace::{Json, JsonlSink, MetricsRegistry, NullSink, TraceSink};
+use std::fs::File;
+use std::io::BufWriter;
+
+fn area_rows_json(rows: &[AreaRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|r| {
+                Json::obj()
+                    .with("pc", r.pc.as_str().into())
+                    .with("luts", u64::from(r.luts).into())
+                    .with("ffs", u64::from(r.ffs).into())
+                    .with("slices", u64::from(r.slices).into())
+                    .with("fmax_mhz", r.fmax_mhz.into())
+            })
+            .collect(),
+    )
+}
 
 fn main() {
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let trace_path = arg_value(&args, "--trace");
+    let metrics_path = arg_value(&args, "--metrics");
     let t1 = table_area(OrganizationKind::Arbitrated);
     let t2 = table_area(OrganizationKind::EventDriven);
     let overhead: Vec<_> = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
@@ -16,27 +40,97 @@ fn main() {
                 .map(move |&n| (k.to_string(), overhead_experiment(k, n)))
         })
         .collect();
-    let latency: Vec<_> = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
-        .iter()
-        .flat_map(|&k| {
-            SCENARIOS
-                .iter()
-                .map(move |&n| (k.to_string(), latency_experiment(k, n, 200, 0xC0FFEE)))
-        })
-        .collect();
+    let mut jsonl = trace_path
+        .as_ref()
+        .map(|p| JsonlSink::new(BufWriter::new(File::create(p).expect("create trace file"))));
+    let mut null = NullSink;
+    let mut metric_runs: Vec<Json> = Vec::new();
+    let mut latency = Vec::new();
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        for &n in &SCENARIOS {
+            let mut registry = MetricsRegistry::new();
+            let r = {
+                let sink: &mut dyn TraceSink = match jsonl.as_mut() {
+                    Some(s) => {
+                        s.write_meta(&format!(
+                            "{{\"meta\":\"run\",\"org\":\"{kind}\",\"consumers\":{n}}}"
+                        ));
+                        s
+                    }
+                    None => &mut null,
+                };
+                latency_experiment_traced(kind, n, 200, 0xC0FFEE, sink, &mut registry)
+            };
+            metric_runs.push(
+                Json::obj()
+                    .with("org", kind.to_string().as_str().into())
+                    .with("consumers", n.into())
+                    .with("metrics", registry.to_json()),
+            );
+            latency.push((kind.to_string(), r));
+        }
+    }
+    if let Some(s) = jsonl {
+        let _ = s.into_inner();
+    }
+    if let Some(p) = &metrics_path {
+        let doc = Json::obj().with("runs", Json::Arr(metric_runs));
+        std::fs::write(p, doc.pretty()).expect("write metrics file");
+    }
     let ablation: Vec<_> = [2usize, 4, 7]
         .iter()
         .flat_map(|&b| ablation_scalability(b))
         .collect();
 
     if json {
-        let blob = serde_json::json!({
-            "table1": t1, "table2": t2,
-            "overhead": overhead,
-            "latency": latency,
-            "ablation": ablation,
-        });
-        println!("{}", serde_json::to_string_pretty(&blob).expect("serializable"));
+        let overhead_json = Json::Arr(
+            overhead
+                .iter()
+                .map(|(org, r)| {
+                    Json::obj()
+                        .with("org", org.as_str().into())
+                        .with("egress", r.egress.into())
+                        .with("core_slices", u64::from(r.core_slices).into())
+                        .with("sync_slices", u64::from(r.sync_slices).into())
+                        .with("total_slices", u64::from(r.total_slices).into())
+                        .with("overhead_fraction", r.overhead_fraction.into())
+                        .with("fmax_mhz", r.fmax_mhz.into())
+                })
+                .collect(),
+        );
+        let latency_json = Json::Arr(
+            latency
+                .iter()
+                .map(|(org, r)| {
+                    Json::obj()
+                        .with("org", org.as_str().into())
+                        .with("consumers", r.consumers.into())
+                        .with("min", r.pooled.min.into())
+                        .with("mean", r.pooled.mean.into())
+                        .with("max", r.pooled.max.into())
+                        .with("deterministic", r.all_deterministic.into())
+                })
+                .collect(),
+        );
+        let ablation_json = Json::Arr(
+            ablation
+                .iter()
+                .map(|a| {
+                    Json::obj()
+                        .with("organization", a.organization.as_str().into())
+                        .with("lut_delta", a.lut_delta.into())
+                        .with("ff_delta", a.ff_delta.into())
+                        .with("state_changed", a.state_changed.into())
+                })
+                .collect(),
+        );
+        let blob = Json::obj()
+            .with("table1", area_rows_json(&t1))
+            .with("table2", area_rows_json(&t2))
+            .with("overhead", overhead_json)
+            .with("latency", latency_json)
+            .with("ablation", ablation_json);
+        println!("{}", blob.pretty());
         return;
     }
 
@@ -49,7 +143,10 @@ fn main() {
     for (org, r) in &overhead {
         println!(
             "| {org} | {} | {} | {} | {:.1}% |",
-            r.egress, r.core_slices, r.sync_slices, r.overhead_fraction * 100.0
+            r.egress,
+            r.core_slices,
+            r.sync_slices,
+            r.overhead_fraction * 100.0
         );
     }
     println!("\n### Latency (E6)\n");

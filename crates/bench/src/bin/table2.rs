@@ -7,5 +7,8 @@ use memsync_core::OrganizationKind;
 fn main() {
     let rows = table_area(OrganizationKind::EventDriven);
     println!("Table 2: Required area for event-driven statically scheduled memory organization\n");
-    println!("{}", render_area_table(OrganizationKind::EventDriven, &rows));
+    println!(
+        "{}",
+        render_area_table(OrganizationKind::EventDriven, &rows)
+    );
 }

@@ -12,17 +12,23 @@ use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind
 use memsync_fpga::calibration::PAPER_ANCHORS;
 use memsync_fpga::report::{implement, ImplReport};
 use memsync_sim::arb_model::{ArbInputs, ArbitratedModel};
-use memsync_sim::event_model::{EvtInputs, EventDrivenModel};
-use memsync_sim::metrics::{LatencyRecorder, LatencyStats};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memsync_sim::event_model::{EventDrivenModel, EvtInputs};
+use memsync_sim::metrics::LatencyStats;
+use memsync_trace::{MetricsRegistry, NullSink, Pcg32, RecordingSink, TraceSink};
 
 /// The paper's three scenarios: one producer with 2, 4, 8 consumers.
 pub const SCENARIOS: [usize; 3] = [2, 4, 8];
 
+/// Looks up the value following `flag` in argv (`--trace out.jsonl`).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 /// One row of Table 1 / Table 2.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AreaRow {
     /// Producer/consumer label, e.g. "1/4".
     pub pc: String,
@@ -77,7 +83,7 @@ pub fn fmax_anchors(kind: OrganizationKind) -> [f64; 3] {
 }
 
 /// Result of the overhead experiment (E5).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OverheadResult {
     /// Egress consumer count of the application build.
     pub egress: usize,
@@ -116,7 +122,7 @@ pub fn overhead_experiment(kind: OrganizationKind, egress: usize) -> OverheadRes
 }
 
 /// Result of the latency experiment (E6) for one organization/scenario.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LatencyResult {
     /// Consumer count.
     pub consumers: usize,
@@ -138,9 +144,24 @@ pub fn latency_experiment(
     writes: usize,
     seed: u64,
 ) -> LatencyResult {
+    let mut registry = MetricsRegistry::new();
+    latency_experiment_traced(kind, consumers, writes, seed, &mut NullSink, &mut registry)
+}
+
+/// [`latency_experiment`] with full observability: every grant, stall, and
+/// delivery the wrapper model emits goes to `sink`, and `registry`
+/// accumulates the counters, grant-wait histograms, and latency streams
+/// (use a fresh registry per run — latency streams are keyed by address).
+pub fn latency_experiment_traced(
+    kind: OrganizationKind,
+    consumers: usize,
+    writes: usize,
+    seed: u64,
+    sink: &mut dyn TraceSink,
+    registry: &mut MetricsRegistry,
+) -> LatencyResult {
     const ADDR: u32 = 4;
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut metrics = LatencyRecorder::new();
+    let mut rng = Pcg32::seed_from_u64(seed);
     let max_cycles = (writes as u64 + 16) * 300;
 
     match kind {
@@ -170,9 +191,15 @@ pub fn latency_experiment(
                     }],
                     a_req: None,
                 };
-                let out = m.step(&inp);
+                let out = {
+                    let mut tee = RecordingSink {
+                        sink: &mut *sink,
+                        registry: &mut *registry,
+                    };
+                    m.step_traced(&inp, 0, &mut tee)
+                };
+                registry.observe_gauge("bank0.deplist_occupancy", m.deplist().occupancy() as u64);
                 if out.d_grant[0] {
-                    metrics.record_write(ADDR, cycle);
                     done_writes += 1;
                     for w in want_at.iter_mut() {
                         // Arrival jitter: each consumer reaches its read
@@ -185,8 +212,7 @@ pub fn latency_experiment(
                         want_at[i] = None;
                     }
                 }
-                if let Some((i, _)) = out.c_data {
-                    metrics.record_delivery(ADDR, i, cycle);
+                if out.c_data.is_some() {
                     served += 1;
                 }
                 cycle += 1;
@@ -204,17 +230,25 @@ pub fn latency_experiment(
                 let round_complete = served == done_writes * consumers;
                 let fire = done_writes < writes && round_complete && rng.gen_bool(0.25);
                 let inp = EvtInputs {
-                    p_req: vec![if fire { Some((ADDR, done_writes as u32)) } else { None }],
+                    p_req: vec![if fire {
+                        Some((ADDR, done_writes as u32))
+                    } else {
+                        None
+                    }],
                     c_addr: vec![Some(ADDR); consumers],
                     a_req: None,
                 };
-                let out = m.step(&inp);
+                let out = {
+                    let mut tee = RecordingSink {
+                        sink: &mut *sink,
+                        registry: &mut *registry,
+                    };
+                    m.step_traced(&inp, 0, &mut tee)
+                };
                 if out.p_grant[0] {
-                    metrics.record_write(ADDR, cycle);
                     done_writes += 1;
                 }
-                if let Some((i, _)) = out.c_data {
-                    metrics.record_delivery(ADDR, i, cycle);
+                if out.c_data.is_some() {
                     served += 1;
                 }
                 cycle += 1;
@@ -223,15 +257,20 @@ pub fn latency_experiment(
     }
 
     let per_consumer: Vec<LatencyStats> = (0..consumers)
-        .filter_map(|c| metrics.stats(ADDR, c))
+        .filter_map(|c| registry.stats(ADDR, c))
         .collect();
-    let pooled = metrics.pooled_stats().expect("samples recorded");
+    let pooled = registry.pooled_stats().expect("samples recorded");
     let all_deterministic = per_consumer.iter().all(LatencyStats::is_deterministic);
-    LatencyResult { consumers, pooled, per_consumer, all_deterministic }
+    LatencyResult {
+        consumers,
+        pooled,
+        per_consumer,
+        all_deterministic,
+    }
 }
 
 /// Scalability ablation (E9): the netlist delta of adding one consumer.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AblationResult {
     /// Organization measured.
     pub organization: String,
@@ -353,7 +392,11 @@ mod tests {
     fn latency_arbitrated_varies_and_grows_with_consumers() {
         let r2 = latency_experiment(OrganizationKind::Arbitrated, 2, 60, 7);
         let r8 = latency_experiment(OrganizationKind::Arbitrated, 8, 60, 7);
-        assert!(r2.pooled.max > r2.pooled.min, "spread expected: {:?}", r2.pooled);
+        assert!(
+            r2.pooled.max > r2.pooled.min,
+            "spread expected: {:?}",
+            r2.pooled
+        );
         assert!(
             r8.pooled.max > r2.pooled.max,
             "worst case grows with consumers: {:?} vs {:?}",

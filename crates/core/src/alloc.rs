@@ -14,14 +14,13 @@ use memsync_hic::depgraph::MemoryAccessGraph;
 use memsync_hic::sema::Analysis;
 use memsync_hic::Program;
 use memsync_synth::ir::{MemBinding, PortClass};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Words per bank (one 18 Kb BRAM in its 512×36 view).
 pub const BANK_WORDS: u32 = 512;
 
 /// One guarded word in a sync bank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GuardedVar {
     /// Producing thread.
     pub producer_thread: String,
@@ -36,7 +35,7 @@ pub struct GuardedVar {
 }
 
 /// A BRAM fronted by a synchronization wrapper.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SyncBank {
     /// Bank name (used for module naming).
     pub name: String,
@@ -57,7 +56,10 @@ impl SyncBank {
         WrapperSpec {
             producers: self.producers.len(),
             consumers: self.consumers.len(),
-            deplist_entries: (self.guarded.len() as u32).max(1).next_power_of_two().max(4),
+            deplist_entries: (self.guarded.len() as u32)
+                .max(1)
+                .next_power_of_two()
+                .max(4),
             data_width: 32,
             addr_width: 9,
             with_port_b: false,
@@ -82,7 +84,7 @@ impl SyncBank {
 }
 
 /// A private (port A) bank.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrivateBank {
     /// Owning thread.
     pub thread: String,
@@ -93,7 +95,7 @@ pub struct PrivateBank {
 }
 
 /// The full allocation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocationPlan {
     /// Synchronization banks (usually one; per-BRAM basis as in §3).
     pub sync_banks: Vec<SyncBank>,
@@ -141,19 +143,19 @@ pub fn allocate(program: &Program, analysis: &Analysis) -> Result<AllocationPlan
         // topological rank of their producer thread (the dependency graph is
         // acyclic -- sema rejects cycles), breaking ties by id.
         let rank = topo_rank(analysis);
-        let mut ordered: Vec<&memsync_hic::Dependency> =
-            analysis.dependencies.iter().collect();
+        let mut ordered: Vec<&memsync_hic::Dependency> = analysis.dependencies.iter().collect();
         ordered.sort_by_key(|d| {
             (
-                rank.get(d.producer.thread.as_str()).copied().unwrap_or(usize::MAX),
+                rank.get(d.producer.thread.as_str())
+                    .copied()
+                    .unwrap_or(usize::MAX),
                 d.id.clone(),
             )
         });
 
         // Guarded addresses are globally unique across banks so the
         // simulator can route requests by address alone.
-        let mut next_addr = 0u32;
-        for dep in ordered {
+        for (next_addr, dep) in ordered.into_iter().enumerate() {
             if dep.consumers.len() >= (1 << COUNTER_WIDTH) {
                 return Err(format!(
                     "dependency `{}` has {} consumers; the counter supports at most 15",
@@ -175,8 +177,7 @@ pub fn allocate(program: &Program, analysis: &Analysis) -> Result<AllocationPlan
                 .iter()
                 .filter(|c| bank.consumer_port(&c.thread).is_none())
                 .count();
-            let new_producers =
-                usize::from(bank.producer_port(&dep.producer.thread).is_none());
+            let new_producers = usize::from(bank.producer_port(&dep.producer.thread).is_none());
             let would_overflow = bank.guarded.len() == 16
                 || bank.consumers.len() + new_consumers > 8
                 || bank.producers.len() + new_producers > 8;
@@ -222,8 +223,7 @@ pub fn allocate(program: &Program, analysis: &Analysis) -> Result<AllocationPlan
                     bank.service_order[p_idx].push(*c);
                 }
             }
-            let base_addr = next_addr;
-            next_addr += 1;
+            let base_addr = next_addr as u32;
             bank.guarded.push(GuardedVar {
                 producer_thread: dep.producer.thread.clone(),
                 var: dep.producer.var.clone(),
@@ -273,11 +273,10 @@ pub fn allocate(program: &Program, analysis: &Analysis) -> Result<AllocationPlan
                 ));
             }
             vars.push((decl.name.clone(), next, words));
-            bindings.entry(thread.name.clone()).or_default().place_in_memory(
-                decl.name.clone(),
-                PortClass::A,
-                next,
-            );
+            bindings
+                .entry(thread.name.clone())
+                .or_default()
+                .place_in_memory(decl.name.clone(), PortClass::A, next);
             next += words;
         }
         if !vars.is_empty() {
@@ -290,9 +289,12 @@ pub fn allocate(program: &Program, analysis: &Analysis) -> Result<AllocationPlan
     }
 
     let _ = mag;
-    Ok(AllocationPlan { sync_banks, private_banks, bindings })
+    Ok(AllocationPlan {
+        sync_banks,
+        private_banks,
+        bindings,
+    })
 }
-
 
 /// Topological rank of each thread in the producer->consumer dependency
 /// graph (Kahn); threads with no dependency edges rank 0.
@@ -317,11 +319,7 @@ fn topo_rank(analysis: &Analysis) -> BTreeMap<&str, usize> {
         let ready: Vec<&str> = remaining
             .iter()
             .copied()
-            .filter(|n| {
-                !edges
-                    .iter()
-                    .any(|(p, c)| c == n && remaining.contains(p))
-            })
+            .filter(|n| !edges.iter().any(|(p, c)| c == n && remaining.contains(p)))
             .collect();
         if ready.is_empty() {
             // Cycle (should have been rejected by sema); rank the rest flat.
@@ -382,12 +380,18 @@ mod tests {
         let t1 = plan.binding_for("t1");
         assert!(matches!(
             t1.residency_of("x1"),
-            memsync_synth::ir::Residency::Memory { port: PortClass::D, .. }
+            memsync_synth::ir::Residency::Memory {
+                port: PortClass::D,
+                ..
+            }
         ));
         let t2 = plan.binding_for("t2");
         assert!(matches!(
             t2.residency_of("x1"),
-            memsync_synth::ir::Residency::Memory { port: PortClass::C, .. }
+            memsync_synth::ir::Residency::Memory {
+                port: PortClass::C,
+                ..
+            }
         ));
     }
 
@@ -401,7 +405,10 @@ mod tests {
         assert_eq!(plan.private_banks[0].vars[0].2, 64);
         assert!(matches!(
             plan.binding_for("t").residency_of("tbl"),
-            memsync_synth::ir::Residency::Memory { port: PortClass::A, .. }
+            memsync_synth::ir::Residency::Memory {
+                port: PortClass::A,
+                ..
+            }
         ));
     }
 

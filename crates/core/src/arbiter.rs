@@ -9,7 +9,6 @@
 
 use memsync_rtl::builder::ModuleBuilder;
 use memsync_rtl::netlist::NetId;
-use serde::{Deserialize, Serialize};
 
 /// Fixed pointer width of the base architecture (supports up to 8
 /// requesters — this fixed sizing is why the paper's flip-flop count stays
@@ -17,7 +16,7 @@ use serde::{Deserialize, Serialize};
 pub const POINTER_WIDTH: u32 = 3;
 
 /// Behavioral round-robin arbiter state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoundRobin {
     n: usize,
     next: usize,
@@ -30,7 +29,10 @@ impl RoundRobin {
     ///
     /// Panics if `n` is 0 or exceeds 8 (the base architecture limit).
     pub fn new(n: usize) -> Self {
-        assert!((1..=8).contains(&n), "round-robin arbiter supports 1..=8 requesters");
+        assert!(
+            (1..=8).contains(&n),
+            "round-robin arbiter supports 1..=8 requesters"
+        );
         RoundRobin { n, next: 0 }
     }
 
@@ -89,11 +91,7 @@ pub struct ArbiterNets {
 /// Builds the rotating-priority arbiter combinationally inside an existing
 /// module. `requests` are 1-bit nets; `pointer` is the current 3-bit
 /// rotating pointer (caller registers `next_pointer` back into it).
-pub fn generate_into(
-    b: &mut ModuleBuilder,
-    requests: &[NetId],
-    pointer: NetId,
-) -> ArbiterNets {
+pub fn generate_into(b: &mut ModuleBuilder, requests: &[NetId], pointer: NetId) -> ArbiterNets {
     let n = requests.len();
     assert!((1..=8).contains(&n), "arbiter supports 1..=8 requesters");
 
@@ -115,7 +113,7 @@ pub fn generate_into(
     let mut grants: Vec<NetId> = Vec::with_capacity(n);
     for i in 0..n {
         let mut blocked_terms: Vec<NetId> = Vec::new();
-        for j in 0..n {
+        for (j, &req_j) in requests.iter().enumerate() {
             if j == i {
                 continue;
             }
@@ -125,11 +123,11 @@ pub fn generate_into(
                 .collect();
             let term = match subset.len() {
                 0 => continue, // j never outranks i
-                len if len == n => requests[j],
-                1 => b.and(&[requests[j], subset[0]], "blk"),
+                len if len == n => req_j,
+                1 => b.and(&[req_j, subset[0]], "blk"),
                 _ => {
                     let before = b.or(&subset, "before");
-                    b.and(&[requests[j], before], "blk")
+                    b.and(&[req_j, before], "blk")
                 }
             };
             blocked_terms.push(term);
@@ -147,7 +145,11 @@ pub fn generate_into(
         };
         grants.push(g);
     }
-    let any = if n == 1 { requests[0] } else { b.or(requests, "any_grant") };
+    let any = if n == 1 {
+        requests[0]
+    } else {
+        b.or(requests, "any_grant")
+    };
 
     // Winner index (drives only the pointer update): one-hot AND-OR of the
     // grant flags with their requester numbers.
@@ -185,7 +187,12 @@ pub fn generate_into(
     };
     let next_pointer = b.mux(any, &[pointer, wrapped], "ptr_next");
 
-    ArbiterNets { grants, index, any, next_pointer }
+    ArbiterNets {
+        grants,
+        index,
+        any,
+        next_pointer,
+    }
 }
 
 #[cfg(test)]

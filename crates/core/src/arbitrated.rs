@@ -96,18 +96,23 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
     let a_en = b.input("a_en", 1);
 
     // ---- Port C pseudo-ports: guarded consumer reads ----
-    let c_addr: Vec<NetId> =
-        (0..spec.consumers).map(|i| b.input(&format!("c{i}_addr"), aw)).collect();
-    let c_req: Vec<NetId> =
-        (0..spec.consumers).map(|i| b.input(&format!("c{i}_req"), 1)).collect();
+    let c_addr: Vec<NetId> = (0..spec.consumers)
+        .map(|i| b.input(&format!("c{i}_addr"), aw))
+        .collect();
+    let c_req: Vec<NetId> = (0..spec.consumers)
+        .map(|i| b.input(&format!("c{i}_req"), 1))
+        .collect();
 
     // ---- Port D pseudo-ports: producer writes ----
-    let d_addr: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("d{j}_addr"), aw)).collect();
-    let d_wdata: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("d{j}_wdata"), dw)).collect();
-    let d_req: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("d{j}_req"), 1)).collect();
+    let d_addr: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("d{j}_addr"), aw))
+        .collect();
+    let d_wdata: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("d{j}_wdata"), dw))
+        .collect();
+    let d_req: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("d{j}_req"), 1))
+        .collect();
     let d_dep: Vec<NetId> = (0..spec.producers)
         .map(|j| b.input(&format!("d{j}_dep"), COUNTER_WIDTH))
         .collect();
@@ -128,33 +133,53 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
     });
 
     // ---- state: dependency-list entries, RR pointer, grant pipe, phase ----
-    let key_q: Vec<NetId> =
-        (0..entries).map(|e| b.net(&format!("dl{e}_key"), aw)).collect();
-    let cnt_q: Vec<NetId> =
-        (0..entries).map(|e| b.net(&format!("dl{e}_cnt"), COUNTER_WIDTH)).collect();
-    let val_q: Vec<NetId> =
-        (0..entries).map(|e| b.net(&format!("dl{e}_val"), 1)).collect();
+    let key_q: Vec<NetId> = (0..entries)
+        .map(|e| b.net(&format!("dl{e}_key"), aw))
+        .collect();
+    let cnt_q: Vec<NetId> = (0..entries)
+        .map(|e| b.net(&format!("dl{e}_cnt"), COUNTER_WIDTH))
+        .collect();
+    let val_q: Vec<NetId> = (0..entries)
+        .map(|e| b.net(&format!("dl{e}_val"), 1))
+        .collect();
     let rr_ptr = b.net("rr_ptr", POINTER_WIDTH);
     let pipe_valid = b.net("pipe_valid", 1);
     let pipe_index = b.net("pipe_index", POINTER_WIDTH);
     let phase = b.net("phase", 3);
 
     // ---- producer selection: fixed priority (writes are urgent & rare) ----
-    let any_d = if d_req.len() == 1 { d_req[0] } else { b.or(&d_req, "any_d") };
+    let any_d = if d_req.len() == 1 {
+        d_req[0]
+    } else {
+        b.or(&d_req, "any_d")
+    };
     let mut d_win: Vec<NetId> = vec![d_req[0]];
     for j in 1..spec.producers {
-        let before = if j == 1 { d_req[0] } else { b.or(&d_req[0..j], "d_before") };
+        let before = if j == 1 {
+            d_req[0]
+        } else {
+            b.or(&d_req[0..j], "d_before")
+        };
         let nb = b.not(before, "nd");
         d_win.push(b.and(&[d_req[j], nb], &format!("d_win{j}")));
     }
-    let d_pairs: Vec<(NetId, NetId)> =
-        d_addr.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let d_pairs: Vec<(NetId, NetId)> = d_addr
+        .iter()
+        .zip(d_win.iter())
+        .map(|(a, w)| (*a, *w))
+        .collect();
     let d_sel_addr = onehot_select(&mut b, &d_pairs, "d_sel_addr");
-    let dw_pairs: Vec<(NetId, NetId)> =
-        d_wdata.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let dw_pairs: Vec<(NetId, NetId)> = d_wdata
+        .iter()
+        .zip(d_win.iter())
+        .map(|(a, w)| (*a, *w))
+        .collect();
     let d_sel_wdata = onehot_select(&mut b, &dw_pairs, "d_sel_wdata");
-    let dd_pairs: Vec<(NetId, NetId)> =
-        d_dep.iter().zip(d_win.iter()).map(|(a, w)| (*a, *w)).collect();
+    let dd_pairs: Vec<(NetId, NetId)> = d_dep
+        .iter()
+        .zip(d_win.iter())
+        .map(|(a, w)| (*a, *w))
+        .collect();
     let d_sel_dep = onehot_select(&mut b, &dd_pairs, "d_sel_dep");
 
     // Producer-side entry match (parallel comparators).
@@ -164,7 +189,11 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
             b.and(&[eq, val_q[e]], &format!("d_match{e}"))
         })
         .collect();
-    let d_match = if entries == 1 { d_match_e[0] } else { b.or(&d_match_e, "d_match_any") };
+    let d_match = if entries == 1 {
+        d_match_e[0]
+    } else {
+        b.or(&d_match_e, "d_match_any")
+    };
     let d_fire = b.and(&[any_d, d_match], "d_fire");
 
     // ---- consumer eligibility: all addresses × all entries in parallel ----
@@ -187,7 +216,11 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
             row.push(m);
         }
         match_ie.push(row);
-        let hit = if hit_terms.len() == 1 { hit_terms[0] } else { b.or(&hit_terms, "c_hit") };
+        let hit = if hit_terms.len() == 1 {
+            hit_terms[0]
+        } else {
+            b.or(&hit_terms, "c_hit")
+        };
         eligible.push(b.and(&[c_req[i], hit], &format!("eligible{i}")));
     }
 
@@ -355,7 +388,10 @@ mod tests {
     fn flip_flops_constant_at_66() {
         for n in [2usize, 4, 8] {
             let r = implement(&module(n)).unwrap();
-            assert_eq!(r.ffs, 66, "n={n}: the base architecture requires 66 flip-flops");
+            assert_eq!(
+                r.ffs, 66,
+                "n={n}: the base architecture requires 66 flip-flops"
+            );
         }
     }
 

@@ -11,13 +11,11 @@
 //! simulator; the hardware structure is the `Cam` macro instantiated by
 //! [`crate::arbitrated`].
 
-use serde::{Deserialize, Serialize};
-
 /// Counter width per entry (up to 15 consumers per dependency).
 pub const COUNTER_WIDTH: u32 = 4;
 
 /// One dependency-list entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Entry {
     /// Guarded base address in the BRAM.
     pub base_addr: u32,
@@ -32,7 +30,7 @@ pub struct Entry {
 }
 
 /// The configuration-time populated dependency list.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DependencyList {
     entries: Vec<Entry>,
     capacity: usize,
@@ -60,8 +58,14 @@ impl DependencyList {
     ///
     /// Panics if `capacity` is 0 or exceeds 16.
     pub fn new(capacity: usize) -> Self {
-        assert!((1..=16).contains(&capacity), "dependency list capacity 1..=16");
-        DependencyList { entries: Vec::new(), capacity }
+        assert!(
+            (1..=16).contains(&capacity),
+            "dependency list capacity 1..=16"
+        );
+        DependencyList {
+            entries: Vec::new(),
+            capacity,
+        }
     }
 
     /// Number of populated entries.
@@ -90,12 +94,19 @@ impl DependencyList {
             return Err(format!("dependency list full ({} entries)", self.capacity));
         }
         if dep_number == 0 || u32::from(dep_number) >= (1 << COUNTER_WIDTH) {
-            return Err(format!("dependency number {dep_number} out of range 1..=15"));
+            return Err(format!(
+                "dependency number {dep_number} out of range 1..=15"
+            ));
         }
         if self.lookup(base_addr).is_some() {
             return Err(format!("address {base_addr:#x} already guarded"));
         }
-        self.entries.push(Entry { base_addr, dep_number, remaining: 0, armed: false });
+        self.entries.push(Entry {
+            base_addr,
+            dep_number,
+            remaining: 0,
+            armed: false,
+        });
         Ok(())
     }
 
@@ -132,7 +143,9 @@ impl DependencyList {
                     if e.remaining == 0 {
                         e.armed = false;
                     }
-                    ReadOutcome::Granted { remaining: e.remaining }
+                    ReadOutcome::Granted {
+                        remaining: e.remaining,
+                    }
                 } else {
                     ReadOutcome::Blocked
                 }
@@ -142,7 +155,18 @@ impl DependencyList {
 
     /// Whether a produce–consume cycle is currently open for the address.
     pub fn is_pending(&self, addr: u32) -> bool {
-        self.lookup(addr).is_some_and(|e| e.armed && e.remaining > 0)
+        self.lookup(addr)
+            .is_some_and(|e| e.armed && e.remaining > 0)
+    }
+
+    /// Number of entries with an open produce–consume cycle (armed with
+    /// reads still owed) — the instantaneous occupancy the trace layer
+    /// tracks as a high-water mark.
+    pub fn occupancy(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.armed && e.remaining > 0)
+            .count()
     }
 
     /// Iterates over entries.
@@ -165,13 +189,36 @@ mod tests {
         assert!(dl.producer_write(0x10));
         assert!(dl.is_pending(0x10));
         // Two consumer reads drain it.
-        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 1 });
-        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 0 });
+        assert_eq!(
+            dl.consumer_read(0x10),
+            ReadOutcome::Granted { remaining: 1 }
+        );
+        assert_eq!(
+            dl.consumer_read(0x10),
+            ReadOutcome::Granted { remaining: 0 }
+        );
         assert!(!dl.is_pending(0x10));
         // Third read blocks until the next write.
         assert_eq!(dl.consumer_read(0x10), ReadOutcome::Blocked);
         assert!(dl.producer_write(0x10));
-        assert_eq!(dl.consumer_read(0x10), ReadOutcome::Granted { remaining: 1 });
+        assert_eq!(
+            dl.consumer_read(0x10),
+            ReadOutcome::Granted { remaining: 1 }
+        );
+    }
+
+    #[test]
+    fn occupancy_tracks_open_cycles() {
+        let mut dl = DependencyList::new(4);
+        dl.configure(0x10, 2).unwrap();
+        dl.configure(0x20, 1).unwrap();
+        assert_eq!(dl.occupancy(), 0);
+        dl.producer_write(0x10);
+        assert_eq!(dl.occupancy(), 1);
+        dl.producer_write(0x20);
+        assert_eq!(dl.occupancy(), 2);
+        dl.consumer_read(0x20);
+        assert_eq!(dl.occupancy(), 1, "drained entry closes");
     }
 
     #[test]
@@ -184,7 +231,10 @@ mod tests {
     #[test]
     fn write_to_unlisted_address_rejected() {
         let mut dl = DependencyList::new(4);
-        assert!(!dl.producer_write(0x44), "§3.1: write needs a matching entry");
+        assert!(
+            !dl.producer_write(0x44),
+            "§3.1: write needs a matching entry"
+        );
     }
 
     #[test]
@@ -217,8 +267,14 @@ mod tests {
         let mut dl = DependencyList::new(4);
         dl.configure(0x20, 3).unwrap();
         assert!(dl.producer_write(0x20));
-        assert_eq!(dl.consumer_read(0x20), ReadOutcome::Granted { remaining: 2 });
+        assert_eq!(
+            dl.consumer_read(0x20),
+            ReadOutcome::Granted { remaining: 2 }
+        );
         assert!(dl.producer_write(0x20));
-        assert_eq!(dl.consumer_read(0x20), ReadOutcome::Granted { remaining: 2 });
+        assert_eq!(
+            dl.consumer_read(0x20),
+            ReadOutcome::Granted { remaining: 2 }
+        );
     }
 }

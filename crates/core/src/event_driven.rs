@@ -42,12 +42,15 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
     let a_en = b.input("a_en", 1);
 
     // ---- producer pseudo-ports ----
-    let p_addr: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("p{j}_addr"), aw)).collect();
-    let p_wdata: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("p{j}_wdata"), dw)).collect();
-    let p_req: Vec<NetId> =
-        (0..spec.producers).map(|j| b.input(&format!("p{j}_req"), 1)).collect();
+    let p_addr: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("p{j}_addr"), aw))
+        .collect();
+    let p_wdata: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("p{j}_wdata"), dw))
+        .collect();
+    let p_req: Vec<NetId> = (0..spec.producers)
+        .map(|j| b.input(&format!("p{j}_req"), 1))
+        .collect();
 
     // ---- consumer read interface ----
     // "the consumer read accesses are initiated only when the selection
@@ -56,10 +59,12 @@ pub fn generate(spec: &WrapperSpec) -> Result<Module, String> {
     // its ack, which gates the slot advance. The address network into the
     // BRAM port therefore scales with the number of consumers (the
     // multiplexer layer labeled `c` in Figure 3).
-    let c_addr_in: Vec<NetId> =
-        (0..spec.consumers).map(|i| b.input(&format!("c{i}_addr"), aw)).collect();
-    let c_ack: Vec<NetId> =
-        (0..spec.consumers).map(|i| b.input(&format!("c{i}_ack"), 1)).collect();
+    let c_addr_in: Vec<NetId> = (0..spec.consumers)
+        .map(|i| b.input(&format!("c{i}_addr"), aw))
+        .collect();
+    let c_ack: Vec<NetId> = (0..spec.consumers)
+        .map(|i| b.input(&format!("c{i}_ack"), 1))
+        .collect();
 
     // ---- selection-logic state ----
     let prod_ptr = b.net("prod_ptr", POINTER_WIDTH);
@@ -270,12 +275,11 @@ mod tests {
     fn fmax_beats_arbitrated_at_every_point() {
         for n in [2usize, 4, 8] {
             let evt = implement(&module(n)).unwrap().timing.fmax_mhz;
-            let arb = implement(
-                &crate::arbitrated::generate(&WrapperSpec::single_producer(n)).unwrap(),
-            )
-            .unwrap()
-            .timing
-            .fmax_mhz;
+            let arb =
+                implement(&crate::arbitrated::generate(&WrapperSpec::single_producer(n)).unwrap())
+                    .unwrap()
+                    .timing
+                    .fmax_mhz;
             assert!(
                 evt > arb,
                 "n={n}: event-driven {evt:.1} MHz must beat arbitrated {arb:.1} MHz"

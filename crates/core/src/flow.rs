@@ -314,7 +314,9 @@ mod tests {
 
     #[test]
     fn program_without_dependencies_has_no_wrappers() {
-        let system = Compiler::new("thread t() { int a; a = 1; }").compile().unwrap();
+        let system = Compiler::new("thread t() { int a; a = 1; }")
+            .compile()
+            .unwrap();
         assert!(system.wrapper_modules.is_empty());
         assert!(system.plan.sync_banks.is_empty());
     }

@@ -5,10 +5,8 @@
 //! cycles producers in round order; once a producer writes, the consumers of
 //! that producer are served in their compile-time order, one slot each.
 
-use serde::{Deserialize, Serialize};
-
 /// The static schedule: per producer, the ordered consumer slots.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModuloSchedule {
     rows: Vec<Vec<usize>>,
 }
@@ -56,21 +54,24 @@ impl ModuloSchedule {
     /// served after `producer` writes — the §3.2 timing guarantee. Returns
     /// `None` when the consumer is not in the producer's window.
     pub fn latency_of(&self, producer: usize, consumer: usize) -> Option<usize> {
-        self.rows[producer].iter().position(|&c| c == consumer).map(|p| p + 1)
+        self.rows[producer]
+            .iter()
+            .position(|&c| c == consumer)
+            .map(|p| p + 1)
     }
 }
 
 /// The selection-logic state machine, stepped once per cycle by the
 /// simulator. The hardware in [`crate::event_driven`] implements the same
 /// transition function.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SelectionLogic {
     schedule: ModuloSchedule,
     producer_ptr: usize,
     serving: Option<Serving>,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Serving {
     producer: usize,
     slot: usize,
@@ -100,7 +101,11 @@ pub enum SelectionOutput {
 impl SelectionLogic {
     /// Creates the selection logic over a schedule.
     pub fn new(schedule: ModuloSchedule) -> Self {
-        SelectionLogic { schedule, producer_ptr: 0, serving: None }
+        SelectionLogic {
+            schedule,
+            producer_ptr: 0,
+            serving: None,
+        }
     }
 
     /// The schedule in force.
@@ -123,12 +128,19 @@ impl SelectionLogic {
             }
             Some(Serving { producer, slot }) => {
                 let consumer = self.schedule.consumer_at(producer, slot);
-                let out = SelectionOutput::Serve { producer, consumer, slot };
+                let out = SelectionOutput::Serve {
+                    producer,
+                    consumer,
+                    slot,
+                };
                 if slot + 1 == self.schedule.window_len(producer) {
                     self.serving = None;
                     self.producer_ptr = (producer + 1) % self.schedule.producers();
                 } else {
-                    self.serving = Some(Serving { producer, slot: slot + 1 });
+                    self.serving = Some(Serving {
+                        producer,
+                        slot: slot + 1,
+                    });
                 }
                 out
             }
@@ -163,19 +175,36 @@ mod tests {
     fn figure1_order_is_y1_then_z1() {
         let mut sel = SelectionLogic::new(figure1_schedule());
         // Idle until the producer writes.
-        assert_eq!(sel.step(false), SelectionOutput::AwaitingProducer { producer: 0 });
-        assert_eq!(sel.step(true), SelectionOutput::AwaitingProducer { producer: 0 });
+        assert_eq!(
+            sel.step(false),
+            SelectionOutput::AwaitingProducer { producer: 0 }
+        );
+        assert_eq!(
+            sel.step(true),
+            SelectionOutput::AwaitingProducer { producer: 0 }
+        );
         // Then consumers in compile-time order.
         assert_eq!(
             sel.step(false),
-            SelectionOutput::Serve { producer: 0, consumer: 0, slot: 0 }
+            SelectionOutput::Serve {
+                producer: 0,
+                consumer: 0,
+                slot: 0
+            }
         );
         assert_eq!(
             sel.step(false),
-            SelectionOutput::Serve { producer: 0, consumer: 1, slot: 1 }
+            SelectionOutput::Serve {
+                producer: 0,
+                consumer: 1,
+                slot: 1
+            }
         );
         // Window closed; waiting for the next write.
-        assert_eq!(sel.step(false), SelectionOutput::AwaitingProducer { producer: 0 });
+        assert_eq!(
+            sel.step(false),
+            SelectionOutput::AwaitingProducer { producer: 0 }
+        );
     }
 
     #[test]

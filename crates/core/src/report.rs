@@ -1,13 +1,12 @@
 //! System-level implementation reports.
 
 use memsync_fpga::report::ImplReport;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Area/timing report of a compiled system: thread modules plus wrapper
 /// modules, with the paper's overhead ratio (§4: "the area overhead can
 /// vary from 5-20%" of the core functionality).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemReport {
     /// Per thread-module reports.
     pub threads: Vec<ImplReport>,
@@ -18,7 +17,11 @@ pub struct SystemReport {
 impl SystemReport {
     /// Total slices across all modules.
     pub fn total_slices(&self) -> u32 {
-        self.threads.iter().chain(self.wrappers.iter()).map(|r| r.slices).sum()
+        self.threads
+            .iter()
+            .chain(self.wrappers.iter())
+            .map(|r| r.slices)
+            .sum()
     }
 
     /// Slices of the core functionality (the thread logic).
@@ -33,7 +36,11 @@ impl SystemReport {
 
     /// Total BRAM count.
     pub fn total_brams(&self) -> u32 {
-        self.threads.iter().chain(self.wrappers.iter()).map(|r| r.brams).sum()
+        self.threads
+            .iter()
+            .chain(self.wrappers.iter())
+            .map(|r| r.brams)
+            .sum()
     }
 
     /// Synchronization overhead relative to the core, as a fraction.
@@ -90,7 +97,10 @@ mod tests {
             ffs: slices,
             slices,
             brams: 0,
-            timing: TimingReport { critical_path_ns: 8.0, fmax_mhz: 125.0 },
+            timing: TimingReport {
+                critical_path_ns: 8.0,
+                fmax_mhz: 125.0,
+            },
         }
     }
 
@@ -111,13 +121,19 @@ mod tests {
         let mut fast = report(10);
         fast.timing.fmax_mhz = 200.0;
         let slow = report(10);
-        let s = SystemReport { threads: vec![fast], wrappers: vec![slow] };
+        let s = SystemReport {
+            threads: vec![fast],
+            wrappers: vec![slow],
+        };
         assert!((s.fmax_mhz() - 125.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_core_has_zero_overhead() {
-        let s = SystemReport { threads: vec![], wrappers: vec![report(10)] };
+        let s = SystemReport {
+            threads: vec![],
+            wrappers: vec![report(10)],
+        };
         assert_eq!(s.overhead_fraction(), 0.0);
     }
 }

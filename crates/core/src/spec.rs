@@ -1,10 +1,9 @@
 //! Specifications shared by the two memory-organization generators.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which of the paper's two organizations to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OrganizationKind {
     /// §3.1 — arbitrated memory organization: CAM-backed dependency list,
     /// round-robin arbitration on the guarded read port, dynamic scheduling.
@@ -30,7 +29,7 @@ impl fmt::Display for OrganizationKind {
 /// (512×36 view), a 10-bit guarded address space, a four-entry dependency
 /// list, and one producer with a configurable number of consumer
 /// pseudo-ports.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WrapperSpec {
     /// Producer pseudo-ports multiplexed onto the write port (port D).
     pub producers: usize,

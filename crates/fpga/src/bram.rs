@@ -5,8 +5,6 @@
 //! 512×36. The allocation step in `memsync-core` uses this model to pick a
 //! configuration and count BRAMs.
 
-use serde::{Deserialize, Serialize};
-
 /// Data bits in one 18 Kb block (excluding parity).
 pub const DATA_BITS: u32 = 16 * 1024;
 
@@ -14,7 +12,7 @@ pub const DATA_BITS: u32 = 16 * 1024;
 pub const TOTAL_BITS: u32 = 18 * 1024;
 
 /// A supported port aspect ratio.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct AspectRatio {
     /// Words per block.
     pub depth: u32,
@@ -24,12 +22,30 @@ pub struct AspectRatio {
 
 /// All aspect ratios of the Virtex-II Pro 18 Kb BRAM, widest first.
 pub const ASPECT_RATIOS: [AspectRatio; 6] = [
-    AspectRatio { depth: 512, width: 36 },
-    AspectRatio { depth: 1024, width: 18 },
-    AspectRatio { depth: 2048, width: 9 },
-    AspectRatio { depth: 4096, width: 4 },
-    AspectRatio { depth: 8192, width: 2 },
-    AspectRatio { depth: 16384, width: 1 },
+    AspectRatio {
+        depth: 512,
+        width: 36,
+    },
+    AspectRatio {
+        depth: 1024,
+        width: 18,
+    },
+    AspectRatio {
+        depth: 2048,
+        width: 9,
+    },
+    AspectRatio {
+        depth: 4096,
+        width: 4,
+    },
+    AspectRatio {
+        depth: 8192,
+        width: 2,
+    },
+    AspectRatio {
+        depth: 16384,
+        width: 1,
+    },
 ];
 
 impl AspectRatio {
@@ -81,7 +97,10 @@ mod tests {
         for r in ASPECT_RATIOS {
             // 9/18/36-wide ratios include parity; 1/2/4-wide are data only.
             let bits = r.bits();
-            assert!(bits == DATA_BITS || bits == TOTAL_BITS, "ratio {r:?} holds {bits}");
+            assert!(
+                bits == DATA_BITS || bits == TOTAL_BITS,
+                "ratio {r:?} holds {bits}"
+            );
         }
     }
 
@@ -107,8 +126,29 @@ mod tests {
 
     #[test]
     fn addr_width_matches_depth() {
-        assert_eq!(AspectRatio { depth: 512, width: 36 }.addr_width(), 9);
-        assert_eq!(AspectRatio { depth: 1024, width: 18 }.addr_width(), 10);
-        assert_eq!(AspectRatio { depth: 16384, width: 1 }.addr_width(), 14);
+        assert_eq!(
+            AspectRatio {
+                depth: 512,
+                width: 36
+            }
+            .addr_width(),
+            9
+        );
+        assert_eq!(
+            AspectRatio {
+                depth: 1024,
+                width: 18
+            }
+            .addr_width(),
+            10
+        );
+        assert_eq!(
+            AspectRatio {
+                depth: 16384,
+                width: 1
+            }
+            .addr_width(),
+            14
+        );
     }
 }

@@ -63,7 +63,9 @@ pub struct PackingModel {
 
 impl PackingModel {
     /// Calibrated packing efficiency matching ISE-era map results.
-    pub const VIRTEX2PRO: PackingModel = PackingModel { share_fraction: 0.60 };
+    pub const VIRTEX2PRO: PackingModel = PackingModel {
+        share_fraction: 0.60,
+    };
 }
 
 impl Default for PackingModel {
@@ -134,9 +136,7 @@ mod tests {
     #[test]
     fn event_driven_dominates_arbitrated_in_anchors() {
         for i in 0..3 {
-            assert!(
-                PAPER_ANCHORS.event_driven_fmax_mhz[i] >= PAPER_ANCHORS.arbitrated_fmax_mhz[i]
-            );
+            assert!(PAPER_ANCHORS.event_driven_fmax_mhz[i] >= PAPER_ANCHORS.arbitrated_fmax_mhz[i]);
         }
     }
 

@@ -24,9 +24,7 @@ pub fn is_mergeable(module: &Module, inst: &memsync_rtl::netlist::Instance) -> b
         PrimOp::And | PrimOp::Or | PrimOp::Xor | PrimOp::Not => {
             one_bit_out && inst.inputs.iter().all(|&i| module.width(i) == 1)
         }
-        PrimOp::Eq | PrimOp::Ne => {
-            one_bit_out && inst.inputs.iter().all(|&i| module.width(i) == 1)
-        }
+        PrimOp::Eq | PrimOp::Ne => one_bit_out && inst.inputs.iter().all(|&i| module.width(i) == 1),
         _ => false,
     }
 }
@@ -62,7 +60,9 @@ impl Clustering {
     /// Whether `net` is internal to the cluster containing instance `inst`
     /// (i.e. driven by another member).
     pub fn is_internal_input(&self, module: &Module, inst_idx: usize, net: NetId) -> bool {
-        let Some(cid) = self.cluster_of[inst_idx] else { return false };
+        let Some(cid) = self.cluster_of[inst_idx] else {
+            return false;
+        };
         self.driver_of(module, net)
             .is_some_and(|d| self.cluster_of[d] == Some(cid))
     }
@@ -76,8 +76,7 @@ impl Clustering {
 
     /// Whether the instance is the root of its cluster.
     pub fn is_root(&self, inst_idx: usize) -> bool {
-        self.cluster_of[inst_idx]
-            .is_some_and(|cid| self.clusters[cid].root == inst_idx)
+        self.cluster_of[inst_idx].is_some_and(|cid| self.clusters[cid].root == inst_idx)
     }
 
     /// Cluster of an instance, if any.
@@ -115,7 +114,7 @@ pub fn clusters(module: &Module) -> Clustering {
 
     // Union-find over instances.
     let mut parent: Vec<usize> = (0..n).collect();
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -162,10 +161,14 @@ pub fn clusters(module: &Module) -> Clustering {
 
     let mut clusters_out: Vec<Cluster> = roots
         .iter()
-        .map(|_| Cluster { members: Vec::new(), root: usize::MAX, ext_inputs: Vec::new() })
+        .map(|_| Cluster {
+            members: Vec::new(),
+            root: usize::MAX,
+            ext_inputs: Vec::new(),
+        })
         .collect();
-    for idx in 0..n {
-        if let Some(cid) = cluster_ids[idx] {
+    for (idx, cid) in cluster_ids.iter().enumerate() {
+        if let Some(cid) = *cid {
             clusters_out[cid].members.push(idx);
         }
     }
@@ -182,8 +185,7 @@ pub fn clusters(module: &Module) -> Clustering {
         let mut ext: BTreeSet<NetId> = BTreeSet::new();
         for &m in &cluster.members {
             for &input in &module.instances[m].inputs {
-                let internal = driver[input.0]
-                    .is_some_and(|d| cluster_ids[d] == Some(cid));
+                let internal = driver[input.0].is_some_and(|d| cluster_ids[d] == Some(cid));
                 if !internal {
                     ext.insert(input);
                 }
@@ -192,7 +194,7 @@ pub fn clusters(module: &Module) -> Clustering {
             // its single consumer is not a member.
             let out = module.instances[m].outputs[0];
             let leaves = fanout[out.0] != 1
-                || !sole_consumer[out.0].is_some_and(|j| cluster_ids[j] == Some(cid));
+                || sole_consumer[out.0].is_none_or(|j| cluster_ids[j] != Some(cid));
             if leaves {
                 cluster.root = m;
             }
@@ -206,7 +208,10 @@ pub fn clusters(module: &Module) -> Clustering {
         }
     }
 
-    Clustering { cluster_of: cluster_ids, clusters: clusters_out }
+    Clustering {
+        cluster_of: cluster_ids,
+        clusters: clusters_out,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +269,10 @@ mod tests {
         b.output("r", r);
         let m = b.finish();
         let cl = clusters(&m);
-        assert!(cl.clusters.is_empty(), "8-bit gate and reduction stay separate");
+        assert!(
+            cl.clusters.is_empty(),
+            "8-bit gate and reduction stay separate"
+        );
     }
 
     #[test]

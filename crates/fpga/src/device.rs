@@ -3,11 +3,10 @@
 //! Capacities follow the Virtex-II Pro Platform FPGA Handbook (reference [4]
 //! of the paper). The paper's experiments target the XC2VP20.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A Virtex-II Pro part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Part {
     /// XC2VP2 — smallest family member.
     Xc2vp2,
@@ -60,7 +59,7 @@ impl Part {
             brams,
             bram_bits: u64::from(brams) * 18 * 1024,
             powerpc_cores: ppc,
-            rocketio: rocketio,
+            rocketio,
         }
     }
 
@@ -86,7 +85,7 @@ impl fmt::Display for Part {
 }
 
 /// Resource capacities of one part.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Capacity {
     /// Logic slices (each: 2 LUT4 + 2 FF).
     pub slices: u32,

@@ -7,11 +7,10 @@ use crate::slices::pack;
 use crate::techmap::{map_module, Resources};
 use crate::timing::{analyze_with, TimingError, TimingReport};
 use memsync_rtl::netlist::Module;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Area and timing of one implemented module.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImplReport {
     /// Module name.
     pub module: String,

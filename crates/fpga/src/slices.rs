@@ -32,19 +32,27 @@ mod tests {
     use super::*;
 
     fn res(luts: u32, ffs: u32) -> Resources {
-        Resources { luts, ffs, brams: 0 }
+        Resources {
+            luts,
+            ffs,
+            brams: 0,
+        }
     }
 
     #[test]
     fn perfect_sharing_is_max() {
-        let m = PackingModel { share_fraction: 1.0 };
+        let m = PackingModel {
+            share_fraction: 1.0,
+        };
         assert_eq!(pack(res(100, 60), m), 50);
         assert_eq!(pack(res(10, 100), m), 50);
     }
 
     #[test]
     fn no_sharing_is_sum() {
-        let m = PackingModel { share_fraction: 0.0 };
+        let m = PackingModel {
+            share_fraction: 0.0,
+        };
         assert_eq!(pack(res(100, 60), m), 80);
     }
 
@@ -52,7 +60,7 @@ mod tests {
     fn default_is_between_bounds() {
         let r = res(100, 60);
         let s = pack_default(r);
-        assert!(s >= 50 && s <= 80, "{s}");
+        assert!((50..=80).contains(&s), "{s}");
     }
 
     #[test]

@@ -9,10 +9,9 @@
 
 use crate::bram::blocks_needed;
 use memsync_rtl::netlist::{Instance, Module, PrimOp};
-use serde::{Deserialize, Serialize};
 
 /// Fabric resources of one instance or one module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Resources {
     /// 4-input LUTs.
     pub luts: u32,
@@ -24,6 +23,7 @@ pub struct Resources {
 
 impl Resources {
     /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Resources) -> Resources {
         Resources {
             luts: self.luts + other.luts,
@@ -95,11 +95,7 @@ pub fn mux_levels(n: u32) -> u32 {
 
 /// Maps a single instance to fabric resources.
 pub fn map_instance(module: &Module, inst: &Instance) -> Resources {
-    let w_out = inst
-        .outputs
-        .first()
-        .map(|&o| module.width(o))
-        .unwrap_or(1);
+    let w_out = inst.outputs.first().map(|&o| module.width(o)).unwrap_or(1);
     match &inst.op {
         PrimOp::Const { .. }
         | PrimOp::Not
@@ -113,39 +109,64 @@ pub fn map_instance(module: &Module, inst: &Instance) -> Resources {
         },
         PrimOp::Mux => {
             let n = (inst.inputs.len() - 1) as u32;
-            Resources { luts: w_out * mux_luts_per_bit(n), ..Resources::default() }
+            Resources {
+                luts: w_out * mux_luts_per_bit(n),
+                ..Resources::default()
+            }
         }
         PrimOp::Add | PrimOp::Sub => {
             // One LUT per bit plus the dedicated carry chain.
-            Resources { luts: w_out, ..Resources::default() }
+            Resources {
+                luts: w_out,
+                ..Resources::default()
+            }
         }
         PrimOp::Mul => {
             // Embedded MULT18X18 blocks plus partial-product glue; counted
             // as fabric LUTs (one per output bit) since the device model
             // does not track multiplier blocks separately.
-            Resources { luts: w_out, ..Resources::default() }
+            Resources {
+                luts: w_out,
+                ..Resources::default()
+            }
         }
         PrimOp::Eq | PrimOp::Ne => {
             let w = module.width(inst.inputs[0]);
             // Two bits compared per LUT, then an AND-reduce tree.
             let pairs = w.div_ceil(2);
-            Resources { luts: pairs + gate_tree_luts(pairs), ..Resources::default() }
+            Resources {
+                luts: pairs + gate_tree_luts(pairs),
+                ..Resources::default()
+            }
         }
         PrimOp::Lt => {
             // Carry-chain comparator: one LUT per bit.
             let w = module.width(inst.inputs[0]);
-            Resources { luts: w, ..Resources::default() }
+            Resources {
+                luts: w,
+                ..Resources::default()
+            }
         }
         PrimOp::ReduceOr | PrimOp::ReduceAnd => {
             let w = module.width(inst.inputs[0]);
-            Resources { luts: gate_tree_luts(w), ..Resources::default() }
+            Resources {
+                luts: gate_tree_luts(w),
+                ..Resources::default()
+            }
         }
-        PrimOp::Register { .. } => Resources { ffs: w_out, ..Resources::default() },
+        PrimOp::Register { .. } => Resources {
+            ffs: w_out,
+            ..Resources::default()
+        },
         PrimOp::Bram { depth, width } => Resources {
             brams: blocks_needed(*depth, *width),
             ..Resources::default()
         },
-        PrimOp::Cam { entries, key_width, data_width } => {
+        PrimOp::Cam {
+            entries,
+            key_width,
+            data_width,
+        } => {
             // Fabric CAM: per entry, FF storage for key+data+valid, a
             // key comparator, and its slot in the priority/select network.
             let cmp_luts = {
@@ -153,7 +174,7 @@ pub fn map_instance(module: &Module, inst: &Instance) -> Resources {
                 pairs + gate_tree_luts(pairs)
             };
             let index_width = memsync_rtl::netlist::addr_width(*entries);
-            let select_luts = entries * 1 // priority chain cell per entry
+            let select_luts = *entries // priority chain cell per entry
                 + index_width * gate_tree_luts(*entries) // index encoder
                 + data_width * mux_luts_per_bit(*entries); // data mux
             Resources {
@@ -223,7 +244,14 @@ mod tests {
         b.output("q", q);
         let m = b.finish();
         let r = map_module(&m);
-        assert_eq!(r, Resources { luts: 0, ffs: 16, brams: 0 });
+        assert_eq!(
+            r,
+            Resources {
+                luts: 0,
+                ffs: 16,
+                brams: 0
+            }
+        );
     }
 
     #[test]
@@ -245,8 +273,7 @@ mod tests {
             .map(|&n| {
                 let mut b = ModuleBuilder::new("m");
                 let sel = b.input("sel", 3);
-                let data: Vec<_> =
-                    (0..n).map(|i| b.input(&format!("d{i}"), 18)).collect();
+                let data: Vec<_> = (0..n).map(|i| b.input(&format!("d{i}"), 18)).collect();
                 let y = b.mux(sel, &data, "y");
                 b.output("y", y);
                 map_module(&b.finish()).luts

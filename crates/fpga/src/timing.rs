@@ -9,12 +9,11 @@
 use crate::calibration::DelayModel;
 use crate::techmap::{gate_tree_levels, mux_levels};
 use memsync_rtl::netlist::{Module, NetId, PortDir, PrimOp};
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
 
 /// Result of timing analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingReport {
     /// Worst path delay in nanoseconds (including launch and setup).
     pub critical_path_ns: f64,
@@ -24,7 +23,11 @@ pub struct TimingReport {
 
 impl fmt::Display for TimingReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.2} ns ({:.1} MHz)", self.critical_path_ns, self.fmax_mhz)
+        write!(
+            f,
+            "{:.2} ns ({:.1} MHz)",
+            self.critical_path_ns, self.fmax_mhz
+        )
     }
 }
 
@@ -111,7 +114,10 @@ pub fn critical_path(
             }
             cur = best_pred[n.0].map(NetId);
         } else {
-            path.push(format!("port net {} @ {:.2}ns", module.nets[n.0].name, arrivals[n.0]));
+            path.push(format!(
+                "port net {} @ {:.2}ns",
+                module.nets[n.0].name, arrivals[n.0]
+            ));
             break;
         }
     }
@@ -164,7 +170,9 @@ fn arrivals_with_preds(
         let inst = &module.instances[idx];
         match &inst.op {
             PrimOp::Register { .. } | PrimOp::Bram { .. } => {}
-            PrimOp::Cam { entries, key_width, .. } => {
+            PrimOp::Cam {
+                entries, key_width, ..
+            } => {
                 let key = inst.inputs[0];
                 let cmp_levels = 1 + gate_tree_levels(key_width.div_ceil(2));
                 let delay = f64::from(cmp_levels) * model.t_lut
@@ -263,7 +271,9 @@ fn topo_order(module: &Module) -> Result<Vec<usize>, TimingError> {
         }
     }
     if order.len() != n_inst {
-        return Err(TimingError { message: "combinational loop detected".into() });
+        return Err(TimingError {
+            message: "combinational loop detected".into(),
+        });
     }
     Ok(order)
 }
@@ -324,8 +334,7 @@ pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, 
             }
         }
     }
-    let mut queue: VecDeque<usize> =
-        (0..n_inst).filter(|&i| indegree[i] == 0).collect();
+    let mut queue: VecDeque<usize> = (0..n_inst).filter(|&i| indegree[i] == 0).collect();
     let mut order = Vec::with_capacity(n_inst);
     while let Some(i) = queue.pop_front() {
         order.push(i);
@@ -337,7 +346,9 @@ pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, 
         }
     }
     if order.len() != n_inst {
-        return Err(TimingError { message: "combinational loop detected".into() });
+        return Err(TimingError {
+            message: "combinational loop detected".into(),
+        });
     }
     let clustering = crate::cluster::clusters(module);
 
@@ -379,7 +390,9 @@ pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, 
                     arrival[o.0] = model.t_bram_cko;
                 }
             }
-            PrimOp::Cam { entries, key_width, .. } => {
+            PrimOp::Cam {
+                entries, key_width, ..
+            } => {
                 // Search side is combinational through the compare array,
                 // the priority chain, and the output select network.
                 let key = inst.inputs[0];
@@ -402,8 +415,8 @@ pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, 
                     // the whole tree's LUT levels are charged at the root.
                     let mut max_in: f64 = 0.0;
                     for &i in &inst.inputs {
-                        let internal = driver_of[i.0]
-                            .is_some_and(|d| clustering.cluster_of[d] == Some(cid));
+                        let internal =
+                            driver_of[i.0].is_some_and(|d| clustering.cluster_of[d] == Some(cid));
                         let hop = if internal { 0.0 } else { route(i) };
                         max_in = max_in.max(arrival[i.0] + hop);
                     }
@@ -476,7 +489,10 @@ pub fn analyze_with(module: &Module, model: DelayModel) -> Result<TimingReport, 
     }
     // A purely wired module still needs one routing hop.
     let critical = worst.max(model.t_cko + model.t_su);
-    Ok(TimingReport { critical_path_ns: critical, fmax_mhz: 1000.0 / critical })
+    Ok(TimingReport {
+        critical_path_ns: critical,
+        fmax_mhz: 1000.0 / critical,
+    })
 }
 
 fn comb_delay(
@@ -577,8 +593,14 @@ mod tests {
             name: "loopy".into(),
             ports: vec![],
             nets: vec![
-                Net { name: "a".into(), width: 1 },
-                Net { name: "b".into(), width: 1 },
+                Net {
+                    name: "a".into(),
+                    width: 1,
+                },
+                Net {
+                    name: "b".into(),
+                    width: 1,
+                },
             ],
             instances: vec![
                 Instance {

@@ -6,11 +6,10 @@
 //! `#constant`, `#producer`, `#consumer`).
 
 use crate::error::Span;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A complete hic translation unit.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     /// User type definitions (`type` aliases and `union`s).
     pub types: Vec<TypeDef>,
@@ -31,7 +30,7 @@ impl Program {
 }
 
 /// A user-defined type: either a fixed-width alias or a union of types.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypeDef {
     /// Type name.
     pub name: String,
@@ -42,7 +41,7 @@ pub struct TypeDef {
 }
 
 /// Body of a [`TypeDef`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TypeDefKind {
     /// `type name = <ty>;` — a transparent alias (commonly `bits<N>`).
     Alias(Type),
@@ -51,7 +50,7 @@ pub enum TypeDefKind {
 }
 
 /// One alternative view inside a union type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnionField {
     /// Field name.
     pub name: String,
@@ -62,7 +61,7 @@ pub struct UnionField {
 }
 
 /// A hic type expression.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Type {
     /// 32-bit signed integer.
     Int,
@@ -118,7 +117,7 @@ impl fmt::Display for Type {
 
 /// A hardware thread: synthesized into its own logic per the multi-threading
 /// in logic model (Brebner, FPL 2002).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Thread {
     /// Thread name, e.g. `t1`.
     pub name: String,
@@ -135,12 +134,15 @@ pub struct Thread {
 impl Thread {
     /// Looks up a declared variable (parameter or local) by name.
     pub fn var(&self, name: &str) -> Option<&VarDecl> {
-        self.params.iter().chain(self.decls.iter()).find(|v| v.name == name)
+        self.params
+            .iter()
+            .chain(self.decls.iter())
+            .find(|v| v.name == name)
     }
 }
 
 /// One declared variable.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VarDecl {
     /// Variable name.
     pub name: String,
@@ -153,7 +155,7 @@ pub struct VarDecl {
 }
 
 /// A statement, optionally annotated with pragmas that apply to it.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Stmt {
     /// Pragmas immediately preceding the statement.
     pub pragmas: Vec<Pragma>,
@@ -164,7 +166,7 @@ pub struct Stmt {
 }
 
 /// Statement alternatives.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StmtKind {
     /// `lvalue = expr;`
     Assign {
@@ -228,7 +230,7 @@ pub enum StmtKind {
 }
 
 /// One `when` arm of a `case` statement.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CaseArm {
     /// Literal matched against the selector.
     pub value: i64,
@@ -239,7 +241,7 @@ pub struct CaseArm {
 }
 
 /// Assignment target.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LValue {
     /// Plain variable.
     Var(String),
@@ -269,7 +271,7 @@ impl LValue {
 }
 
 /// Expression tree.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Expr {
     /// Integer literal.
     Int(i64, Span),
@@ -365,7 +367,7 @@ impl Expr {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum UnaryOp {
     /// Arithmetic negation `-`.
     Neg,
@@ -376,7 +378,7 @@ pub enum UnaryOp {
 }
 
 /// Binary operators, in hic precedence order (lowest first: `||`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BinaryOp {
     /// `||`
     Or,
@@ -434,7 +436,7 @@ impl BinaryOp {
 }
 
 /// The four pragmas of §2 of the paper.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Pragma {
     /// `#interface{name, "kind"}` — e.g. Gigabit Ethernet.
     Interface {
@@ -500,7 +502,7 @@ impl Pragma {
 }
 
 /// A `(thread, variable)` pair inside a producer/consumer pragma.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EndpointRef {
     /// Thread name.
     pub thread: String,
@@ -521,12 +523,18 @@ pub fn walk_stmts<'a, F: FnMut(&'a Stmt)>(stmts: &'a [Stmt], f: &mut F) {
     for stmt in stmts {
         f(stmt);
         match &stmt.kind {
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 walk_stmts(then_branch, f);
                 walk_stmts(else_branch, f);
             }
             StmtKind::While { body, .. } => walk_stmts(body, f),
-            StmtKind::For { init, step, body, .. } => {
+            StmtKind::For {
+                init, step, body, ..
+            } => {
                 f(init);
                 f(step);
                 walk_stmts(body, f);
@@ -570,15 +578,26 @@ mod tests {
                 TypeDef {
                     name: "u".into(),
                     kind: TypeDefKind::Union(vec![
-                        UnionField { name: "a".into(), ty: Type::Char, span: Span::dummy() },
-                        UnionField { name: "b".into(), ty: Type::Int, span: Span::dummy() },
+                        UnionField {
+                            name: "a".into(),
+                            ty: Type::Char,
+                            span: Span::dummy(),
+                        },
+                        UnionField {
+                            name: "b".into(),
+                            ty: Type::Int,
+                            span: Span::dummy(),
+                        },
                     ]),
                     span: Span::dummy(),
                 },
             ],
             threads: vec![],
         };
-        assert_eq!(Type::Named("addr".into()).bit_width(Some(&program)), Some(11));
+        assert_eq!(
+            Type::Named("addr".into()).bit_width(Some(&program)),
+            Some(11)
+        );
         // Union width is the max of its fields.
         assert_eq!(Type::Named("u".into()).bit_width(Some(&program)), Some(32));
     }

@@ -1,13 +1,10 @@
 //! Span-carrying diagnostics for the hic front-end.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A half-open byte range into the source text, plus 1-based line/column of
 /// the start, used to anchor every diagnostic and AST node.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Span {
     /// Byte offset of the first character.
     pub start: usize,
@@ -22,17 +19,31 @@ pub struct Span {
 impl Span {
     /// Creates a span covering `start..end` at the given line/column.
     pub fn new(start: usize, end: usize, line: u32, column: u32) -> Self {
-        Span { start, end, line, column }
+        Span {
+            start,
+            end,
+            line,
+            column,
+        }
     }
 
     /// A zero-width span at the origin, for synthesized nodes.
     pub fn dummy() -> Self {
-        Span { start: 0, end: 0, line: 1, column: 1 }
+        Span {
+            start: 0,
+            end: 0,
+            line: 1,
+            column: 1,
+        }
     }
 
     /// Smallest span covering both `self` and `other`.
     pub fn merge(self, other: Span) -> Span {
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
@@ -59,7 +70,7 @@ impl fmt::Display for Span {
 }
 
 /// Severity of a [`Diagnostic`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Severity {
     /// Advice that does not affect compilation.
     Note,
@@ -80,7 +91,7 @@ impl fmt::Display for Severity {
 }
 
 /// One compiler message anchored to a source location.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
     /// How serious the message is.
     pub severity: Severity,
@@ -93,17 +104,29 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Creates an error diagnostic.
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a warning diagnostic.
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Creates a note diagnostic.
     pub fn note(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Note, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Note,
+            message: message.into(),
+            span,
+        }
     }
 }
 
@@ -128,7 +151,10 @@ impl CompileError {
     /// Panics if `diagnostics` is empty — an error with no explanation is a
     /// front-end bug.
     pub fn new(diagnostics: Vec<Diagnostic>) -> Self {
-        assert!(!diagnostics.is_empty(), "CompileError requires at least one diagnostic");
+        assert!(
+            !diagnostics.is_empty(),
+            "CompileError requires at least one diagnostic"
+        );
         CompileError { diagnostics }
     }
 
@@ -144,7 +170,10 @@ impl CompileError {
 
     /// Number of `Error`-severity diagnostics.
     pub fn error_count(&self) -> usize {
-        self.diagnostics.iter().filter(|d| d.severity == Severity::Error).count()
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 }
 

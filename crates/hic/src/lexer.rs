@@ -159,19 +159,18 @@ impl<'src> Lexer<'src> {
     }
 
     fn lex_number(&mut self, start: (usize, u32, u32)) {
-        let (radix, digits_start) = if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x' | b'X'))
-        {
-            self.bump();
-            self.bump();
-            (16u32, self.pos)
-        } else if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'b' | b'B')) {
-            self.bump();
-            self.bump();
-            (2u32, self.pos)
-        } else {
-            (10u32, self.pos)
-        };
+        let (radix, digits_start) =
+            if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x' | b'X')) {
+                self.bump();
+                self.bump();
+                (16u32, self.pos)
+            } else if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'b' | b'B')) {
+                self.bump();
+                self.bump();
+                (2u32, self.pos)
+            } else {
+                (10u32, self.pos)
+            };
         while let Some(c) = self.peek() {
             if c.is_ascii_alphanumeric() || c == b'_' {
                 self.bump();
@@ -237,7 +236,10 @@ impl<'src> Lexer<'src> {
     }
 
     fn lex_ident(&mut self, start: (usize, u32, u32)) {
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start.0..self.pos]).unwrap_or("");
@@ -307,7 +309,11 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).expect("lex ok").into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .expect("lex ok")
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -371,7 +377,11 @@ mod tests {
     fn skips_comments() {
         assert_eq!(
             kinds("a // comment\n/* block\n comment */ b"),
-            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
         );
     }
 

@@ -128,7 +128,11 @@ impl Parser {
         self.expect(&TokenKind::Assign)?;
         let ty = self.parse_type()?;
         let end = self.expect(&TokenKind::Semi)?.span;
-        Ok(TypeDef { name, kind: TypeDefKind::Alias(ty), span: start.merge(end) })
+        Ok(TypeDef {
+            name,
+            kind: TypeDefKind::Alias(ty),
+            span: start.merge(end),
+        })
     }
 
     fn union_def(&mut self) -> Result<TypeDef> {
@@ -142,10 +146,18 @@ impl Parser {
             self.expect(&TokenKind::Colon)?;
             let ty = self.parse_type()?;
             self.expect(&TokenKind::Semi)?;
-            fields.push(UnionField { name: fname, ty, span: fspan });
+            fields.push(UnionField {
+                name: fname,
+                ty,
+                span: fspan,
+            });
         }
         let end = self.tokens[self.pos - 1].span;
-        Ok(TypeDef { name, kind: TypeDefKind::Union(fields), span: start.merge(end) })
+        Ok(TypeDef {
+            name,
+            kind: TypeDefKind::Union(fields),
+            span: start.merge(end),
+        })
     }
 
     fn parse_type(&mut self) -> Result<Type> {
@@ -200,7 +212,12 @@ impl Parser {
             loop {
                 let ty = self.parse_type()?;
                 let (pname, pspan) = self.expect_ident()?;
-                params.push(VarDecl { name: pname, ty, array_len: None, span: pspan });
+                params.push(VarDecl {
+                    name: pname,
+                    ty,
+                    array_len: None,
+                    span: pspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -225,7 +242,12 @@ impl Parser {
                 } else {
                     None
                 };
-                decls.push(VarDecl { name: vname, ty: ty.clone(), array_len, span: vspan });
+                decls.push(VarDecl {
+                    name: vname,
+                    ty: ty.clone(),
+                    array_len,
+                    span: vspan,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -238,7 +260,13 @@ impl Parser {
             body.push(self.stmt()?);
         }
         let end = self.tokens[self.pos - 1].span;
-        Ok(Thread { name, params, decls, body, span: start.merge(end) })
+        Ok(Thread {
+            name,
+            params,
+            decls,
+            body,
+            span: start.merge(end),
+        })
     }
 
     /// A declaration with a user-defined type looks like `ident ident`,
@@ -268,7 +296,11 @@ impl Parser {
         let start = self.peek_span();
         let kind = self.stmt_kind()?;
         let end = self.tokens[self.pos - 1].span;
-        Ok(Stmt { pragmas, kind, span: start.merge(end) })
+        Ok(Stmt {
+            pragmas,
+            kind,
+            span: start.merge(end),
+        })
     }
 
     fn stmt_kind(&mut self) -> Result<StmtKind> {
@@ -279,9 +311,16 @@ impl Parser {
                 let cond = self.expr()?;
                 self.expect(&TokenKind::RParen)?;
                 let then_branch = self.stmt_or_block()?;
-                let else_branch =
-                    if self.eat(&TokenKind::Else) { self.stmt_or_block()? } else { Vec::new() };
-                Ok(StmtKind::If { cond, then_branch, else_branch })
+                let else_branch = if self.eat(&TokenKind::Else) {
+                    self.stmt_or_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
             }
             TokenKind::While => {
                 self.bump();
@@ -301,7 +340,12 @@ impl Parser {
                 let step = Box::new(self.simple_assign()?);
                 self.expect(&TokenKind::RParen)?;
                 let body = self.stmt_or_block()?;
-                Ok(StmtKind::For { init, cond, step, body })
+                Ok(StmtKind::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
             }
             TokenKind::Case => {
                 self.bump();
@@ -324,7 +368,11 @@ impl Parser {
                             body.push(self.stmt()?);
                         }
                         let arm_end = self.tokens[self.pos - 1].span;
-                        arms.push(CaseArm { value, body, span: arm_start.merge(arm_end) });
+                        arms.push(CaseArm {
+                            value,
+                            body,
+                            span: arm_start.merge(arm_end),
+                        });
                     } else if self.eat(&TokenKind::Default) {
                         self.expect(&TokenKind::Colon)?;
                         while !matches!(self.peek(), TokenKind::When | TokenKind::RBrace) {
@@ -334,7 +382,11 @@ impl Parser {
                         return Err(self.unexpected("`when`, `default`, or `}`"));
                     }
                 }
-                Ok(StmtKind::Case { selector, arms, default })
+                Ok(StmtKind::Case {
+                    selector,
+                    arms,
+                    default,
+                })
             }
             TokenKind::Recv => {
                 self.bump();
@@ -394,7 +446,11 @@ impl Parser {
             return Err(CompileError::single("expected assignment", start));
         }
         let end = self.tokens[self.pos - 1].span;
-        Ok(Stmt { pragmas: Vec::new(), kind, span: start.merge(end) })
+        Ok(Stmt {
+            pragmas: Vec::new(),
+            kind,
+            span: start.merge(end),
+        })
     }
 
     fn simple_assign_or_expr(&mut self) -> Result<StmtKind> {
@@ -404,11 +460,17 @@ impl Parser {
         let lvalue = if self.eat(&TokenKind::LBracket) {
             let index = self.expr()?;
             self.expect(&TokenKind::RBracket)?;
-            Some(LValue::Index { name: name.clone(), index: Box::new(index) })
+            Some(LValue::Index {
+                name: name.clone(),
+                index: Box::new(index),
+            })
         } else if *self.peek() == TokenKind::Dot {
             self.bump();
             let (field, _) = self.expect_ident()?;
-            Some(LValue::Field { name: name.clone(), field })
+            Some(LValue::Field {
+                name: name.clone(),
+                field,
+            })
         } else {
             Some(LValue::Var(name.clone()))
         };
@@ -444,23 +506,39 @@ impl Parser {
                     }
                     _ => return Err(self.unexpected("interface kind")),
                 };
-                Pragma::Interface { name, kind, span: start }
+                Pragma::Interface {
+                    name,
+                    kind,
+                    span: start,
+                }
             }
             TokenKind::PragmaConstant => {
                 let (name, _) = self.expect_ident()?;
                 self.expect(&TokenKind::Comma)?;
                 let (value, _) = self.signed_int()?;
-                Pragma::Constant { name, value, span: start }
+                Pragma::Constant {
+                    name,
+                    value,
+                    span: start,
+                }
             }
             TokenKind::PragmaProducer => {
                 let (dep, _) = self.expect_ident()?;
                 let sources = self.endpoint_list()?;
-                Pragma::Producer { dep, sources, span: start }
+                Pragma::Producer {
+                    dep,
+                    sources,
+                    span: start,
+                }
             }
             TokenKind::PragmaConsumer => {
                 let (dep, _) = self.expect_ident()?;
                 let sinks = self.endpoint_list()?;
-                Pragma::Consumer { dep, sinks, span: start }
+                Pragma::Consumer {
+                    dep,
+                    sinks,
+                    span: start,
+                }
             }
             _ => unreachable!("pragma() called on non-pragma token"),
         };
@@ -521,7 +599,12 @@ impl Parser {
             self.bump();
             let rhs = self.binary_expr(prec + 1)?;
             let span = lhs.span().merge(rhs.span());
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), span };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
         }
         Ok(lhs)
     }
@@ -538,7 +621,11 @@ impl Parser {
             self.bump();
             let operand = self.unary_expr()?;
             let span = span.merge(operand.span());
-            return Ok(Expr::Unary { op, operand: Box::new(operand), span });
+            return Ok(Expr::Unary {
+                op,
+                operand: Box::new(operand),
+                span,
+            });
         }
         self.primary_expr()
     }
@@ -576,7 +663,11 @@ impl Parser {
                             self.expect(&TokenKind::RParen)?;
                         }
                         let end = self.tokens[self.pos - 1].span;
-                        Ok(Expr::Call { callee: name, args, span: span.merge(end) })
+                        Ok(Expr::Call {
+                            callee: name,
+                            args,
+                            span: span.merge(end),
+                        })
                     }
                     TokenKind::LBracket => {
                         self.bump();
@@ -592,7 +683,11 @@ impl Parser {
                     TokenKind::Dot => {
                         self.bump();
                         let (field, fspan) = self.expect_ident()?;
-                        Ok(Expr::Field { name, field, span: span.merge(fspan) })
+                        Ok(Expr::Field {
+                            name,
+                            field,
+                            span: span.merge(fspan),
+                        })
                     }
                     _ => Ok(Expr::Var(name, span)),
                 }
@@ -722,8 +817,22 @@ mod tests {
     fn precedence_mul_binds_tighter_than_add() {
         let program = parse("thread t() { int a, b, c; a = a + b * c; }").unwrap();
         match &program.threads[0].body[0].kind {
-            StmtKind::Assign { value: Expr::Binary { op: BinaryOp::Add, rhs, .. }, .. } => {
-                assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+            StmtKind::Assign {
+                value:
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        rhs,
+                        ..
+                    },
+                ..
+            } => {
+                assert!(matches!(
+                    **rhs,
+                    Expr::Binary {
+                        op: BinaryOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected parse: {other:?}"),
         }
@@ -748,11 +857,17 @@ mod tests {
         assert_eq!(t.decls[1].array_len, Some(16));
         assert!(matches!(
             t.body[0].kind,
-            StmtKind::Assign { target: LValue::Index { .. }, .. }
+            StmtKind::Assign {
+                target: LValue::Index { .. },
+                ..
+            }
         ));
         assert!(matches!(
             t.body[1].kind,
-            StmtKind::Assign { target: LValue::Field { .. }, .. }
+            StmtKind::Assign {
+                target: LValue::Field { .. },
+                ..
+            }
         ));
     }
 
@@ -775,9 +890,18 @@ mod tests {
     fn parentheses_override_precedence() {
         let program = parse("thread t() { int a, b, c; a = (a + b) * c; }").unwrap();
         match &program.threads[0].body[0].kind {
-            StmtKind::Assign { value: Expr::Binary { op, lhs, .. }, .. } => {
+            StmtKind::Assign {
+                value: Expr::Binary { op, lhs, .. },
+                ..
+            } => {
                 assert_eq!(*op, BinaryOp::Mul);
-                assert!(matches!(**lhs, Expr::Binary { op: BinaryOp::Add, .. }));
+                assert!(matches!(
+                    **lhs,
+                    Expr::Binary {
+                        op: BinaryOp::Add,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected parse: {other:?}"),
         }

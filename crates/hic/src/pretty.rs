@@ -34,8 +34,11 @@ pub fn program_to_string(program: &Program) -> String {
 /// Renders one thread.
 pub fn thread_to_string(thread: &Thread) -> String {
     let mut out = String::new();
-    let params: Vec<String> =
-        thread.params.iter().map(|p| format!("{} {}", p.ty, p.name)).collect();
+    let params: Vec<String> = thread
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ty, p.name))
+        .collect();
     let _ = writeln!(out, "thread {}({}) {{", thread.name, params.join(", "));
     for d in &thread.decls {
         match d.array_len {
@@ -87,9 +90,18 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
     indent(out, level);
     match &stmt.kind {
         StmtKind::Assign { target, value } => {
-            let _ = writeln!(out, "{} = {};", lvalue_to_string(target), expr_to_string(value));
+            let _ = writeln!(
+                out,
+                "{} = {};",
+                lvalue_to_string(target),
+                expr_to_string(value)
+            );
         }
-        StmtKind::If { cond, then_branch, else_branch } => {
+        StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
             let _ = writeln!(out, "if ({}) {{", expr_to_string(cond));
             for s in then_branch {
                 write_stmt(out, s, level + 1);
@@ -115,7 +127,12 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
-        StmtKind::For { init, cond, step, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let init_s = stmt_inline(init);
             let step_s = stmt_inline(step);
             let _ = writeln!(out, "for ({init_s}; {}; {step_s}) {{", expr_to_string(cond));
@@ -125,7 +142,11 @@ fn write_stmt(out: &mut String, stmt: &Stmt, level: usize) {
             indent(out, level);
             let _ = writeln!(out, "}}");
         }
-        StmtKind::Case { selector, arms, default } => {
+        StmtKind::Case {
+            selector,
+            arms,
+            default,
+        } => {
             let _ = writeln!(out, "case ({}) {{", expr_to_string(selector));
             for arm in arms {
                 indent(out, level + 1);

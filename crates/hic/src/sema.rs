@@ -10,12 +10,11 @@ use crate::ast::{
     EndpointRef, Expr, LValue, Pragma, Program, Stmt, StmtKind, Thread, Type, TypeDefKind,
 };
 use crate::error::{CompileError, Diagnostic, Result, Span};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A `(thread, variable)` endpoint of a resolved dependency.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Endpoint {
     /// Thread name.
     pub thread: String,
@@ -26,7 +25,10 @@ pub struct Endpoint {
 impl Endpoint {
     /// Creates an endpoint.
     pub fn new(thread: impl Into<String>, var: impl Into<String>) -> Self {
-        Endpoint { thread: thread.into(), var: var.into() }
+        Endpoint {
+            thread: thread.into(),
+            var: var.into(),
+        }
     }
 }
 
@@ -38,12 +40,15 @@ impl fmt::Display for Endpoint {
 
 impl From<&EndpointRef> for Endpoint {
     fn from(r: &EndpointRef) -> Self {
-        Endpoint { thread: r.thread.clone(), var: r.var.clone() }
+        Endpoint {
+            thread: r.thread.clone(),
+            var: r.var.clone(),
+        }
     }
 }
 
 /// One fully resolved inter-thread memory dependency (`mt1` in Figure 1).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Dependency {
     /// Dependency identifier from the pragmas.
     pub id: String,
@@ -66,7 +71,7 @@ impl Dependency {
 }
 
 /// Result of semantic analysis over a program.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Analysis {
     /// Resolved dependencies, sorted by id.
     pub dependencies: Vec<Dependency>,
@@ -86,12 +91,16 @@ impl Analysis {
 
     /// All dependencies in which `thread` participates as producer.
     pub fn produced_by<'a>(&'a self, thread: &'a str) -> impl Iterator<Item = &'a Dependency> {
-        self.dependencies.iter().filter(move |d| d.producer.thread == thread)
+        self.dependencies
+            .iter()
+            .filter(move |d| d.producer.thread == thread)
     }
 
     /// All dependencies in which `thread` participates as a consumer.
     pub fn consumed_by<'a>(&'a self, thread: &'a str) -> impl Iterator<Item = &'a Dependency> {
-        self.dependencies.iter().filter(move |d| d.consumers.iter().any(|c| c.thread == thread))
+        self.dependencies
+            .iter()
+            .filter(move |d| d.consumers.iter().any(|c| c.thread == thread))
     }
 }
 
@@ -165,7 +174,10 @@ impl Context {
         let mut seen = BTreeSet::new();
         for def in &program.types {
             if !seen.insert(def.name.clone()) {
-                self.error(format!("duplicate type definition `{}`", def.name), def.span);
+                self.error(
+                    format!("duplicate type definition `{}`", def.name),
+                    def.span,
+                );
             }
             match &def.kind {
                 TypeDefKind::Alias(ty) => self.check_type(program, ty, def.span),
@@ -215,7 +227,10 @@ impl Context {
             self.check_type(program, &decl.ty, decl.span);
             if vars.insert(decl.name.clone(), &decl.ty).is_some() {
                 self.error(
-                    format!("duplicate variable `{}` in thread `{}`", decl.name, thread.name),
+                    format!(
+                        "duplicate variable `{}` in thread `{}`",
+                        decl.name, thread.name
+                    ),
                     decl.span,
                 );
             }
@@ -257,7 +272,10 @@ impl Context {
                 let base = target.base();
                 if !vars.contains_key(base) {
                     self.error(
-                        format!("assignment to undeclared variable `{base}` in `{}`", thread.name),
+                        format!(
+                            "assignment to undeclared variable `{base}` in `{}`",
+                            thread.name
+                        ),
                         stmt.span,
                     );
                 } else if consts.contains(base) {
@@ -268,7 +286,11 @@ impl Context {
                 }
                 self.check_expr(thread, vars, consts, value, stmt.span);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.check_expr(thread, vars, consts, cond, stmt.span);
                 self.check_stmts(thread, vars, consts, then_branch);
                 self.check_stmts(thread, vars, consts, else_branch);
@@ -277,13 +299,22 @@ impl Context {
                 self.check_expr(thread, vars, consts, cond, stmt.span);
                 self.check_stmts(thread, vars, consts, body);
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 self.check_stmt(thread, vars, consts, init);
                 self.check_expr(thread, vars, consts, cond, stmt.span);
                 self.check_stmt(thread, vars, consts, step);
                 self.check_stmts(thread, vars, consts, body);
             }
-            StmtKind::Case { selector, arms, default } => {
+            StmtKind::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 self.check_expr(thread, vars, consts, selector, stmt.span);
                 let mut seen = BTreeSet::new();
                 for arm in arms {
@@ -357,18 +388,21 @@ impl Context {
                             if let Some(prev) = self.constants.insert(name.clone(), *value) {
                                 if prev != *value {
                                     self.errors.push(Diagnostic::error(
-                                        format!("constant `{name}` redefined with a different value"),
+                                        format!(
+                                            "constant `{name}` redefined with a different value"
+                                        ),
                                         *span,
                                     ));
                                 }
                             }
                         }
                         Pragma::Interface { name, kind, span } => {
-                            if let Some(prev) = self.interfaces.insert(name.clone(), kind.clone())
-                            {
+                            if let Some(prev) = self.interfaces.insert(name.clone(), kind.clone()) {
                                 if prev != *kind {
                                     self.errors.push(Diagnostic::error(
-                                        format!("interface `{name}` redeclared with a different kind"),
+                                        format!(
+                                            "interface `{name}` redeclared with a different kind"
+                                        ),
                                         *span,
                                     ));
                                 }
@@ -415,7 +449,10 @@ impl Context {
                     }
                     if program.thread(&c.thread).is_none() {
                         self.error(
-                            format!("consumer pragma `{dep}` names unknown thread `{}`", c.thread),
+                            format!(
+                                "consumer pragma `{dep}` names unknown thread `{}`",
+                                c.thread
+                            ),
                             span,
                         );
                     } else if program.thread(&c.thread).unwrap().var(&c.var).is_none() {
@@ -430,10 +467,21 @@ impl Context {
                 }
                 if self
                     .dependencies
-                    .insert(dep.clone(), Dependency { id: dep.clone(), producer, consumers, span })
+                    .insert(
+                        dep.clone(),
+                        Dependency {
+                            id: dep.clone(),
+                            producer,
+                            consumers,
+                            span,
+                        },
+                    )
                     .is_some()
                 {
-                    self.error(format!("dependency `{dep}` defined by multiple `#consumer` pragmas"), span);
+                    self.error(
+                        format!("dependency `{dep}` defined by multiple `#consumer` pragmas"),
+                        span,
+                    );
                 }
             }
         }
@@ -520,7 +568,10 @@ impl Context {
             }
             if program.thread(&d.producer.thread).is_none() {
                 self.error(
-                    format!("dependency `{}` producer thread `{}` not found", d.id, d.producer.thread),
+                    format!(
+                        "dependency `{}` producer thread `{}` not found",
+                        d.id, d.producer.thread
+                    ),
                     d.span,
                 );
             }
@@ -534,7 +585,10 @@ impl Context {
         let mut edges: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
         for d in self.dependencies.values() {
             for c in &d.consumers {
-                edges.entry(d.producer.thread.as_str()).or_default().insert(c.thread.as_str());
+                edges
+                    .entry(d.producer.thread.as_str())
+                    .or_default()
+                    .insert(c.thread.as_str());
             }
         }
         // Iterative DFS cycle detection with colors.
@@ -550,8 +604,7 @@ impl Context {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
-        let mut color: BTreeMap<&str, Color> =
-            nodes.iter().map(|n| (*n, Color::White)).collect();
+        let mut color: BTreeMap<&str, Color> = nodes.iter().map(|n| (*n, Color::White)).collect();
         let mut cycle_nodes: BTreeSet<String> = BTreeSet::new();
 
         fn dfs<'a>(
@@ -693,7 +746,9 @@ mod tests {
         "#;
         let analysis = analyze(&parse(src).unwrap()).unwrap();
         assert_eq!(analysis.warnings.len(), 1);
-        assert!(analysis.warnings[0].message.contains("no matching `#producer`"));
+        assert!(analysis.warnings[0]
+            .message
+            .contains("no matching `#producer`"));
     }
 
     #[test]

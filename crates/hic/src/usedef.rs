@@ -56,7 +56,10 @@ impl Cfg {
                 }
             }
         }
-        Cfg { thread: thread.name.clone(), nodes: builder.nodes }
+        Cfg {
+            thread: thread.name.clone(),
+            nodes: builder.nodes,
+        }
     }
 
     /// Runs reaching-definitions dataflow and returns, for every node, the
@@ -223,7 +226,11 @@ impl CfgBuilder {
                 vec![id]
             }
             StmtKind::Block(body) => self.lower_stmts(body, incoming),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let cond_id = self.add(stmt, BTreeSet::new(), expr_reads(cond));
                 self.connect(&incoming, cond_id);
                 let then_exits = self.lower_stmts(then_branch, vec![cond_id]);
@@ -243,7 +250,12 @@ impl CfgBuilder {
                 self.connect(&body_exits, cond_id);
                 vec![cond_id]
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let init_exits = self.lower_stmt(init, incoming);
                 let cond_id = self.add(stmt, BTreeSet::new(), expr_reads(cond));
                 self.connect(&init_exits, cond_id);
@@ -252,7 +264,11 @@ impl CfgBuilder {
                 self.connect(&step_exits, cond_id);
                 vec![cond_id]
             }
-            StmtKind::Case { selector, arms, default } => {
+            StmtKind::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 let sel_id = self.add(stmt, BTreeSet::new(), expr_reads(selector));
                 self.connect(&incoming, sel_id);
                 let mut exits = Vec::new();
@@ -301,7 +317,9 @@ pub fn infer_dependencies(program: &Program) -> Vec<Dependency> {
     let mut deps: BTreeMap<String, Dependency> = BTreeMap::new();
     for (name, cfg) in &cfgs {
         for var in cfg.external_reads() {
-            let Some(owners) = definers.get(&var) else { continue };
+            let Some(owners) = definers.get(&var) else {
+                continue;
+            };
             if owners.len() != 1 || owners[0] == *name {
                 continue;
             }
@@ -313,7 +331,9 @@ pub fn infer_dependencies(program: &Program) -> Vec<Dependency> {
                 consumers: Vec::new(),
                 span: Span::dummy(),
             });
-            entry.consumers.push(Endpoint::new(name.clone(), var.clone()));
+            entry
+                .consumers
+                .push(Endpoint::new(name.clone(), var.clone()));
         }
     }
     // Order consumers by thread declaration order.
@@ -325,7 +345,8 @@ pub fn infer_dependencies(program: &Program) -> Vec<Dependency> {
         .collect();
     let mut result: Vec<Dependency> = deps.into_values().collect();
     for d in &mut result {
-        d.consumers.sort_by_key(|c| order.get(c.thread.as_str()).copied().unwrap_or(usize::MAX));
+        d.consumers
+            .sort_by_key(|c| order.get(c.thread.as_str()).copied().unwrap_or(usize::MAX));
     }
     result.sort_by(|a, b| a.id.cmp(&b.id));
     result
@@ -357,7 +378,11 @@ mod tests {
         assert_eq!(cfg.nodes.len(), 4);
         let cond = &cfg.nodes[1];
         assert!(cond.succs.contains(&2));
-        assert!(cond.succs.contains(&3), "fall-through edge expected: {:?}", cond.succs);
+        assert!(
+            cond.succs.contains(&3),
+            "fall-through edge expected: {:?}",
+            cond.succs
+        );
     }
 
     #[test]
@@ -370,9 +395,7 @@ mod tests {
 
     #[test]
     fn reaching_definitions_flow_through_branches() {
-        let cfg = cfg_of(
-            "thread t() { int a, b; a = 1; if (a) { a = 2; } b = a; }",
-        );
+        let cfg = cfg_of("thread t() { int a, b; a = 1; if (a) { a = 2; } b = a; }");
         let reaching = cfg.reaching_definitions();
         let use_node = cfg.nodes.iter().find(|n| n.defs.contains("b")).unwrap();
         let defs_of_a: Vec<usize> = reaching[use_node.id]
@@ -430,7 +453,10 @@ mod tests {
             thread c () { int w; w = v; }
         "#;
         let deps = infer_dependencies(&parse(src).unwrap());
-        assert!(deps.is_empty(), "two candidate producers must not be guessed");
+        assert!(
+            deps.is_empty(),
+            "two candidate producers must not be guessed"
+        );
     }
 
     #[test]

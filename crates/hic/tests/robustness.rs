@@ -1,40 +1,63 @@
 //! Robustness: the front-end must never panic, whatever the input — every
-//! failure is a diagnostic.
+//! failure is a diagnostic. Random inputs come from a seeded [`Pcg32`]
+//! stream so failures replay exactly.
 
 use memsync_hic::{lexer, parser};
-use proptest::prelude::*;
+use memsync_trace::Pcg32;
 
-proptest! {
-    #[test]
-    fn lexer_never_panics(input in "[ -~\\n\\t]{0,200}") {
+/// A random string of printable ASCII, newlines, and tabs.
+fn fuzz_string(rng: &mut Pcg32, max_len: usize) -> String {
+    const ALPHABET: &[u8] = b" !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`\
+          abcdefghijklmnopqrstuvwxyz{|}~\n\t";
+    let len = rng.gen_range_usize(0..max_len + 1);
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range_usize(0..ALPHABET.len())] as char)
+        .collect()
+}
+
+#[test]
+fn lexer_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0xF022_0001);
+    for _ in 0..512 {
+        let input = fuzz_string(&mut rng, 200);
         let _ = lexer::lex(&input);
     }
+}
 
-    #[test]
-    fn parser_never_panics(input in "[ -~\\n\\t]{0,200}") {
+#[test]
+fn parser_never_panics() {
+    let mut rng = Pcg32::seed_from_u64(0xF022_0002);
+    for _ in 0..512 {
+        let input = fuzz_string(&mut rng, 200);
         let _ = parser::parse(&input);
     }
+}
 
-    /// Token streams from valid programs always end with Eof and carry
-    /// monotonically non-decreasing spans.
-    #[test]
-    fn spans_are_ordered(n in 1usize..20) {
+/// Token streams from valid programs always end with Eof and carry
+/// monotonically non-decreasing spans.
+#[test]
+fn spans_are_ordered() {
+    for n in 1usize..20 {
         let mut src = String::from("thread t() { int a; ");
         for i in 0..n {
             src.push_str(&format!("a = a + {i}; "));
         }
         src.push('}');
         let tokens = lexer::lex(&src).expect("valid source lexes");
-        prop_assert!(matches!(tokens.last().map(|t| &t.kind),
-            Some(memsync_hic::token::TokenKind::Eof)));
+        assert!(matches!(
+            tokens.last().map(|t| &t.kind),
+            Some(memsync_hic::token::TokenKind::Eof)
+        ));
         for w in tokens.windows(2) {
-            prop_assert!(w[0].span.start <= w[1].span.start);
+            assert!(w[0].span.start <= w[1].span.start);
         }
     }
+}
 
-    /// Deeply nested expressions parse without stack issues (bounded depth).
-    #[test]
-    fn nested_parens_parse(depth in 1usize..40) {
+/// Deeply nested expressions parse without stack issues (bounded depth).
+#[test]
+fn nested_parens_parse() {
+    for depth in 1usize..40 {
         let mut expr = String::from("1");
         for _ in 0..depth {
             expr = format!("({expr} + 1)");

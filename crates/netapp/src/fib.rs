@@ -1,9 +1,7 @@
 //! Longest-prefix-match forwarding table (binary trie).
 
-use serde::{Deserialize, Serialize};
-
 /// A route entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
     /// Network prefix (host bits zero).
     pub prefix: u32,
@@ -13,14 +11,14 @@ pub struct Route {
     pub next_hop: u32,
 }
 
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct Node {
     children: [Option<Box<Node>>; 2],
     next_hop: Option<u32>,
 }
 
 /// A binary-trie FIB.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Fib {
     root: Node,
     len: usize,
@@ -91,15 +89,27 @@ impl Fib {
 pub fn synthetic_table(n: usize) -> Fib {
     let mut fib = Fib::new();
     // A default route plus /16s and /24s interleaved.
-    fib.insert(Route { prefix: 0, len: 0, next_hop: 0 });
+    fib.insert(Route {
+        prefix: 0,
+        len: 0,
+        next_hop: 0,
+    });
     for i in 0..n {
         let i32b = i as u32;
         if i % 3 == 0 {
             let prefix = (10u32 << 24) | ((i32b & 0xff) << 16);
-            fib.insert(Route { prefix, len: 16, next_hop: 100 + i32b });
+            fib.insert(Route {
+                prefix,
+                len: 16,
+                next_hop: 100 + i32b,
+            });
         } else {
             let prefix = (192u32 << 24) | (168 << 16) | ((i32b & 0xff) << 8);
-            fib.insert(Route { prefix, len: 24, next_hop: 200 + i32b });
+            fib.insert(Route {
+                prefix,
+                len: 24,
+                next_hop: 200 + i32b,
+            });
         }
     }
     fib
@@ -112,9 +122,21 @@ mod tests {
     #[test]
     fn longest_prefix_wins() {
         let mut fib = Fib::new();
-        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 1 });
-        fib.insert(Route { prefix: 0x0a0a_0000, len: 16, next_hop: 2 });
-        fib.insert(Route { prefix: 0x0a0a_0a00, len: 24, next_hop: 3 });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 1,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0a_0000,
+            len: 16,
+            next_hop: 2,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0a_0a00,
+            len: 24,
+            next_hop: 3,
+        });
         assert_eq!(fib.lookup(0x0a0a_0a05), Some(3));
         assert_eq!(fib.lookup(0x0a0a_0505), Some(2));
         assert_eq!(fib.lookup(0x0a05_0505), Some(1));
@@ -124,7 +146,11 @@ mod tests {
     #[test]
     fn default_route_catches_all() {
         let mut fib = Fib::new();
-        fib.insert(Route { prefix: 0, len: 0, next_hop: 9 });
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 9,
+        });
         assert_eq!(fib.lookup(0xffff_ffff), Some(9));
         assert_eq!(fib.lookup(0), Some(9));
     }
@@ -132,8 +158,16 @@ mod tests {
     #[test]
     fn replace_updates_in_place() {
         let mut fib = Fib::new();
-        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 1 });
-        fib.insert(Route { prefix: 0x0a00_0000, len: 8, next_hop: 7 });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 1,
+        });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 7,
+        });
         assert_eq!(fib.len(), 1);
         assert_eq!(fib.lookup(0x0a01_0101), Some(7));
     }
@@ -142,13 +176,21 @@ mod tests {
     #[should_panic(expected = "host bits")]
     fn rejects_host_bits() {
         let mut fib = Fib::new();
-        fib.insert(Route { prefix: 0x0a00_0001, len: 8, next_hop: 1 });
+        fib.insert(Route {
+            prefix: 0x0a00_0001,
+            len: 8,
+            next_hop: 1,
+        });
     }
 
     #[test]
     fn host_route_matches_exactly() {
         let mut fib = Fib::new();
-        fib.insert(Route { prefix: 0xc0a8_0101, len: 32, next_hop: 5 });
+        fib.insert(Route {
+            prefix: 0xc0a8_0101,
+            len: 32,
+            next_hop: 5,
+        });
         assert_eq!(fib.lookup(0xc0a8_0101), Some(5));
         assert_eq!(fib.lookup(0xc0a8_0102), None);
     }

@@ -20,28 +20,27 @@ pub fn app_source(egress: usize) -> String {
     let mut src = String::new();
 
     // ---- ingress: parse the descriptor into header fields ----
-    let fwd_consumers: Vec<String> =
-        (0..egress).map(|i| format!("[e{i},od{i}]")).collect();
-    src.push_str(&format!(
+    let fwd_consumers: Vec<String> = (0..egress).map(|i| format!("[e{i},od{i}]")).collect();
+    src.push_str(
         r#"
-thread rx () {{
+thread rx () {
     message pkt;
     int dstp, ttl, ver, flags, desc;
-    #interface{{eth0, "gige"}}
+    #interface{eth0, "gige"}
     recv pkt;
     dstp = (pkt >> 8) & 16777215;
     ttl = pkt & 255;
     ver = (pkt >> 28) & 15;
     flags = (pkt >> 24) & 15;
-    if (ttl > 1) {{
-        #consumer{{m_rx,[lkp,key]}}
+    if (ttl > 1) {
+        #consumer{m_rx,[lkp,key]}
         desc = (dstp << 8) | (ttl - 1);
-    }} else {{
+    } else {
         desc = 0;
-    }}
-}}
-"#
-    ));
+    }
+}
+"#,
+    );
 
     // ---- lookup: two-level trie over port-A tables ----
     src.push_str(
@@ -140,8 +139,7 @@ mod tests {
             // rx, lkp, fwd + egress threads.
             assert_eq!(system.fsms.len(), 3 + egress);
             // Every dependency landed in a bank obeying the 8-port budget.
-            let total_guarded: usize =
-                system.plan.sync_banks.iter().map(|b| b.guarded.len()).sum();
+            let total_guarded: usize = system.plan.sync_banks.iter().map(|b| b.guarded.len()).sum();
             assert_eq!(total_guarded, 3);
             for bank in &system.plan.sync_banks {
                 assert!(bank.consumers.len() <= 8);
@@ -181,8 +179,8 @@ mod tests {
 
     #[test]
     fn core_source_compiles_and_scales() {
-        let small = Compiler::new(&core_source(2)).compile().unwrap();
-        let big = Compiler::new(&core_source(8)).compile().unwrap();
+        let small = Compiler::new(core_source(2)).compile().unwrap();
+        let big = Compiler::new(core_source(8)).compile().unwrap();
         let a = small.implement().unwrap().core_slices();
         let b = big.implement().unwrap().core_slices();
         assert!(b > a, "more stages, more area: {a} vs {b}");

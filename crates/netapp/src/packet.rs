@@ -1,9 +1,7 @@
 //! IPv4 / Ethernet packet structures for the forwarding workloads.
 
-use serde::{Deserialize, Serialize};
-
 /// A parsed IPv4 header (the fields the forwarding path touches).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Ipv4Packet {
     /// Source address.
     pub src: u32,
@@ -22,7 +20,14 @@ pub struct Ipv4Packet {
 impl Ipv4Packet {
     /// Builds a packet with a freshly computed checksum.
     pub fn new(src: u32, dst: u32, ttl: u8, protocol: u8, total_len: u16) -> Self {
-        let mut p = Ipv4Packet { src, dst, ttl, protocol, total_len, checksum: 0 };
+        let mut p = Ipv4Packet {
+            src,
+            dst,
+            ttl,
+            protocol,
+            total_len,
+            checksum: 0,
+        };
         p.checksum = p.compute_checksum();
         p
     }
@@ -123,7 +128,7 @@ impl std::fmt::Display for ParsePacketError {
 impl std::error::Error for ParsePacketError {}
 
 /// A minimal Ethernet II frame around an IPv4 header.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EthernetFrame {
     /// Destination MAC.
     pub dst_mac: [u8; 6],
@@ -206,7 +211,10 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert_eq!(Ipv4Packet::from_bytes(&[0; 10]), Err(ParsePacketError::Truncated));
+        assert_eq!(
+            Ipv4Packet::from_bytes(&[0; 10]),
+            Err(ParsePacketError::Truncated)
+        );
         let mut b = [0u8; 20];
         b[0] = 0x60; // IPv6
         assert_eq!(Ipv4Packet::from_bytes(&b), Err(ParsePacketError::NotIpv4));

@@ -2,12 +2,10 @@
 
 use crate::fib::{synthetic_table, Fib};
 use crate::packet::Ipv4Packet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use memsync_trace::Pcg32;
 
 /// A generated trace plus the table it targets.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Workload {
     /// Packets in arrival order.
     pub packets: Vec<Ipv4Packet>,
@@ -20,19 +18,19 @@ impl Workload {
     /// `routes` routes. A configurable fraction hits known /24 prefixes so
     /// lookup outcomes are mixed.
     pub fn generate(seed: u64, n: usize, routes: usize) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Pcg32::seed_from_u64(seed);
         let fib = synthetic_table(routes);
         let mut packets = Vec::with_capacity(n);
         for _ in 0..n {
             let dst = if rng.gen_bool(0.7) {
                 // Hit a synthetic /24.
-                let i: u32 = rng.gen_range(0..routes as u32);
-                (192u32 << 24) | (168 << 16) | ((i & 0xff) << 8) | rng.gen_range(0..256)
+                let i = rng.gen_range_u32(0..routes as u32);
+                (192u32 << 24) | (168 << 16) | ((i & 0xff) << 8) | rng.gen_range_u32(0..256)
             } else {
-                rng.gen::<u32>()
+                rng.next_u32()
             };
-            let ttl = rng.gen_range(1..=64u8);
-            packets.push(Ipv4Packet::new(rng.gen(), dst, ttl, 17, 64));
+            let ttl = rng.gen_range(1..65) as u8;
+            packets.push(Ipv4Packet::new(rng.next_u32(), dst, ttl, 17, 64));
         }
         Workload { packets, fib }
     }
@@ -55,7 +53,10 @@ impl Workload {
 
     /// Message descriptors for the simulator's rx interfaces.
     pub fn descriptors(&self) -> Vec<i64> {
-        self.packets.iter().map(|p| i64::from(p.descriptor())).collect()
+        self.packets
+            .iter()
+            .map(|p| i64::from(p.descriptor()))
+            .collect()
     }
 }
 

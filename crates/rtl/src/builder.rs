@@ -74,12 +74,21 @@ impl ModuleBuilder {
 
     /// Declares an output port driven by an existing net.
     pub fn output(&mut self, name: &str, net: NetId) {
-        self.ports.push(Port { name: name.to_owned(), dir: PortDir::Output, net });
+        self.ports.push(Port {
+            name: name.to_owned(),
+            dir: PortDir::Output,
+            net,
+        });
     }
 
     fn inst(&mut self, base: &str, op: PrimOp, inputs: Vec<NetId>, outputs: Vec<NetId>) {
         let name = self.unique(base);
-        self.instances.push(Instance { name, op, inputs, outputs });
+        self.instances.push(Instance {
+            name,
+            op,
+            inputs,
+            outputs,
+        });
     }
 
     /// Width of a net created so far.
@@ -241,7 +250,11 @@ impl ModuleBuilder {
     /// Panics if the slice exceeds the input width or `hi < lo`.
     pub fn slice(&mut self, a: NetId, hi: u32, lo: u32, name: &str) -> NetId {
         assert!(hi >= lo, "slice hi must be >= lo");
-        assert!(hi < self.width(a), "slice [{hi}:{lo}] exceeds width {}", self.width(a));
+        assert!(
+            hi < self.width(a),
+            "slice [{hi}:{lo}] exceeds width {}",
+            self.width(a)
+        );
         let out = self.net(name, hi - lo + 1);
         self.inst("bits", PrimOp::Slice { hi, lo }, vec![a], vec![out]);
         out
@@ -265,7 +278,11 @@ impl ModuleBuilder {
         let out = self.net(name, self.width(d));
         self.inst(
             "reg",
-            PrimOp::Register { init, has_enable: false, has_reset: false },
+            PrimOp::Register {
+                init,
+                has_enable: false,
+                has_reset: false,
+            },
             vec![d],
             vec![out],
         );
@@ -277,7 +294,11 @@ impl ModuleBuilder {
         let out = self.net(name, self.width(d));
         self.inst(
             "reg",
-            PrimOp::Register { init, has_enable: true, has_reset: false },
+            PrimOp::Register {
+                init,
+                has_enable: true,
+                has_reset: false,
+            },
             vec![d, en],
             vec![out],
         );
@@ -295,7 +316,11 @@ impl ModuleBuilder {
         assert_eq!(self.width(d), self.width(q), "register_into width mismatch");
         self.inst(
             "reg",
-            PrimOp::Register { init, has_enable: false, has_reset: false },
+            PrimOp::Register {
+                init,
+                has_enable: false,
+                has_reset: false,
+            },
             vec![d],
             vec![q],
         );
@@ -307,10 +332,18 @@ impl ModuleBuilder {
     ///
     /// Panics if the widths of `d` and `q` differ.
     pub fn register_en_into(&mut self, d: NetId, en: NetId, q: NetId, init: u64) {
-        assert_eq!(self.width(d), self.width(q), "register_en_into width mismatch");
+        assert_eq!(
+            self.width(d),
+            self.width(q),
+            "register_en_into width mismatch"
+        );
         self.inst(
             "reg",
-            PrimOp::Register { init, has_enable: true, has_reset: false },
+            PrimOp::Register {
+                init,
+                has_enable: true,
+                has_reset: false,
+            },
             vec![d, en],
             vec![q],
         );
@@ -328,7 +361,11 @@ impl ModuleBuilder {
         let out = self.net(name, self.width(d));
         self.inst(
             "reg",
-            PrimOp::Register { init, has_enable: true, has_reset: true },
+            PrimOp::Register {
+                init,
+                has_enable: true,
+                has_reset: true,
+            },
             vec![d, en, rst],
             vec![out],
         );
@@ -381,7 +418,11 @@ impl ModuleBuilder {
         let data = self.net(&format!("{name}_data"), data_width);
         self.inst(
             name,
-            PrimOp::Cam { entries, key_width, data_width },
+            PrimOp::Cam {
+                entries,
+                key_width,
+                data_width,
+            },
             vec![search_key, write_key, write_data, write_index, write_en],
             vec![m, idx, data],
         );

@@ -79,7 +79,10 @@ impl Interp {
                 PrimOp::Bram { depth, .. } => {
                     mems.insert(
                         idx,
-                        MemState { words: vec![0; *depth as usize], dout: [0, 0] },
+                        MemState {
+                            words: vec![0; *depth as usize],
+                            dout: [0, 0],
+                        },
                     );
                 }
                 PrimOp::Cam { entries, .. } => {
@@ -162,11 +165,20 @@ impl Interp {
         self.settle();
         // Clock edge: compute next state from settled values.
         let mut next_regs = self.regs.clone();
-        for (&idx, _) in &self.regs {
+        for &idx in self.regs.keys() {
             let inst = &self.module.instances[idx];
-            if let PrimOp::Register { init, has_enable, has_reset } = inst.op {
+            if let PrimOp::Register {
+                init,
+                has_enable,
+                has_reset,
+            } = inst.op
+            {
                 let d = self.values[inst.inputs[0].0];
-                let en = if has_enable { self.values[inst.inputs[1].0] != 0 } else { true };
+                let en = if has_enable {
+                    self.values[inst.inputs[1].0] != 0
+                } else {
+                    true
+                };
                 let rst = if has_reset {
                     self.values[inst.inputs[inst.inputs.len() - 1].0] != 0
                 } else {
@@ -207,12 +219,16 @@ impl Interp {
         let mut next_cams = self.cams.clone();
         for (&idx, cam) in &self.cams {
             let inst = &self.module.instances[idx];
-            if let PrimOp::Cam { entries, key_width, data_width } = inst.op {
+            if let PrimOp::Cam {
+                entries,
+                key_width,
+                data_width,
+            } = inst.op
+            {
                 let we = self.values[inst.inputs[4].0] != 0;
                 if we {
                     let mut c = cam.clone();
-                    let widx =
-                        (self.values[inst.inputs[3].0] as usize) % entries as usize;
+                    let widx = (self.values[inst.inputs[3].0] as usize) % entries as usize;
                     c.keys[widx] = mask(self.values[inst.inputs[1].0], key_width);
                     c.datas[widx] = mask(self.values[inst.inputs[2].0], data_width);
                     c.valid[widx] = true;
@@ -228,11 +244,20 @@ impl Interp {
     fn eval_comb(&mut self, idx: usize) {
         let inst = self.module.instances[idx].clone();
         let v = |net: NetId| self.values[net.0];
-        let w_out = inst.outputs.first().map(|&o| self.module.width(o)).unwrap_or(1);
+        let w_out = inst
+            .outputs
+            .first()
+            .map(|&o| self.module.width(o))
+            .unwrap_or(1);
         let result: Option<u64> = match &inst.op {
             PrimOp::Const { value } => Some(*value),
             PrimOp::Not => Some(!v(inst.inputs[0])),
-            PrimOp::And => Some(inst.inputs.iter().map(|&i| v(i)).fold(u64::MAX, |a, b| a & b)),
+            PrimOp::And => Some(
+                inst.inputs
+                    .iter()
+                    .map(|&i| v(i))
+                    .fold(u64::MAX, |a, b| a & b),
+            ),
             PrimOp::Or => Some(inst.inputs.iter().map(|&i| v(i)).fold(0, |a, b| a | b)),
             PrimOp::Xor => Some(inst.inputs.iter().map(|&i| v(i)).fold(0, |a, b| a ^ b)),
             PrimOp::Mux => {
@@ -262,11 +287,13 @@ impl Interp {
                 }
                 Some(acc)
             }
-            PrimOp::Slice { hi, lo } => {
-                Some(mask(v(inst.inputs[0]) >> lo, hi - lo + 1))
-            }
+            PrimOp::Slice { hi, lo } => Some(mask(v(inst.inputs[0]) >> lo, hi - lo + 1)),
             PrimOp::Register { .. } | PrimOp::Bram { .. } => None,
-            PrimOp::Cam { entries, key_width, data_width } => {
+            PrimOp::Cam {
+                entries,
+                key_width,
+                data_width,
+            } => {
                 // Combinational search (write handled at the edge).
                 let cam = &self.cams[&idx];
                 let key = mask(v(inst.inputs[0]), *key_width);
@@ -281,8 +308,7 @@ impl Interp {
                     }
                 }
                 self.values[inst.outputs[0].0] = hit;
-                self.values[inst.outputs[1].0] =
-                    mask(index, addr_width(*entries));
+                self.values[inst.outputs[1].0] = mask(index, addr_width(*entries));
                 self.values[inst.outputs[2].0] = mask(data, *data_width);
                 let _ = w_out;
                 None
@@ -347,7 +373,9 @@ fn topo_order(module: &Module) -> Result<Vec<usize>, InterpError> {
         }
     }
     if order.len() != n_inst {
-        return Err(InterpError { message: "combinational loop".into() });
+        return Err(InterpError {
+            message: "combinational loop".into(),
+        });
     }
     Ok(order)
 }
@@ -399,7 +427,9 @@ mod tests {
         let zero36 = b.constant(0, 36, "z36");
         let zero1 = b.constant(0, 1, "z1");
         let one1 = b.constant(1, 1, "o1");
-        let (_, db) = b.bram(512, 36, addr, din, we, en, zero9, zero36, zero1, one1, "ram");
+        let (_, db) = b.bram(
+            512, 36, addr, din, we, en, zero9, zero36, zero1, one1, "ram",
+        );
         let _ = db;
         let (da, _) = {
             // reuse port A dout via output
@@ -408,7 +438,11 @@ mod tests {
         let _ = da;
         let m = b.finish();
         // port A dout is net named ram_dout_a; find via instance outputs.
-        let ram = m.instances.iter().find(|i| matches!(i.op, PrimOp::Bram { .. })).unwrap();
+        let ram = m
+            .instances
+            .iter()
+            .find(|i| matches!(i.op, PrimOp::Bram { .. }))
+            .unwrap();
         let dout_a = ram.outputs[0];
         let mut m2 = m.clone();
         m2.ports.push(crate::netlist::Port {
@@ -474,8 +508,14 @@ mod tests {
             name: "loopy".into(),
             ports: vec![],
             nets: vec![
-                Net { name: "a".into(), width: 1 },
-                Net { name: "b".into(), width: 1 },
+                Net {
+                    name: "a".into(),
+                    width: 1,
+                },
+                Net {
+                    name: "b".into(),
+                    width: 1,
+                },
             ],
             instances: vec![
                 Instance {

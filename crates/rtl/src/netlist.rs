@@ -7,11 +7,10 @@
 //! this IR onto 4-input LUTs, flip-flops, slices, and block RAMs; the
 //! emitters in [`crate::verilog`] and [`crate::vhdl`] print it as HDL.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Index of a net within its [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub usize);
 
 impl fmt::Display for NetId {
@@ -21,11 +20,11 @@ impl fmt::Display for NetId {
 }
 
 /// Index of an instance within its [`Module`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstId(pub usize);
 
 /// Direction of a module port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortDir {
     /// Driven from outside the module.
     Input,
@@ -34,7 +33,7 @@ pub enum PortDir {
 }
 
 /// A named module port bound to a net.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Port {
     /// Port name as emitted in HDL.
     pub name: String,
@@ -45,7 +44,7 @@ pub struct Port {
 }
 
 /// A wire bundle of a fixed bit width.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Net {
     /// Debug/HDL name (uniquified by the builder).
     pub name: String,
@@ -57,7 +56,7 @@ pub struct Net {
 ///
 /// Width rules are documented per variant and enforced by
 /// [`crate::validate::validate`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PrimOp {
     /// Constant: no inputs; output takes `value` truncated to the net width.
     Const {
@@ -154,7 +153,10 @@ pub enum PrimOp {
 impl PrimOp {
     /// Whether this primitive holds state (registers, memories).
     pub fn is_sequential(&self) -> bool {
-        matches!(self, PrimOp::Register { .. } | PrimOp::Bram { .. } | PrimOp::Cam { .. })
+        matches!(
+            self,
+            PrimOp::Register { .. } | PrimOp::Bram { .. } | PrimOp::Cam { .. }
+        )
     }
 
     /// Short mnemonic for debug output and stats.
@@ -186,7 +188,7 @@ impl PrimOp {
 }
 
 /// One primitive instance.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Instance {
     /// Instance name (uniquified by the builder).
     pub name: String,
@@ -199,7 +201,7 @@ pub struct Instance {
 }
 
 /// A flat RTL module.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Module {
     /// Module name as emitted in HDL.
     pub name: String,
@@ -281,9 +283,17 @@ mod tests {
 
     #[test]
     fn sequential_classification() {
-        assert!(PrimOp::Register { init: 0, has_enable: false, has_reset: false }
-            .is_sequential());
-        assert!(PrimOp::Bram { depth: 512, width: 36 }.is_sequential());
+        assert!(PrimOp::Register {
+            init: 0,
+            has_enable: false,
+            has_reset: false
+        }
+        .is_sequential());
+        assert!(PrimOp::Bram {
+            depth: 512,
+            width: 36
+        }
+        .is_sequential());
         assert!(!PrimOp::Add.is_sequential());
     }
 

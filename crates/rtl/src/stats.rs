@@ -1,11 +1,10 @@
 //! Netlist statistics: primitive counts and storage totals.
 
 use crate::netlist::{Module, PrimOp};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Aggregate counts over one module.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct NetlistStats {
     /// Instance count per primitive mnemonic.
     pub ops: BTreeMap<String, u32>,

@@ -66,7 +66,10 @@ pub fn validate(module: &Module) -> Result<(), Vec<ValidateError>> {
     }
 
     for (idx, count) in driver_count.iter().enumerate() {
-        let used = module.instances.iter().any(|i| i.inputs.contains(&NetId(idx)))
+        let used = module
+            .instances
+            .iter()
+            .any(|i| i.inputs.contains(&NetId(idx)))
             || module.ports.iter().any(|p| p.net == NetId(idx));
         match count {
             0 if used => {
@@ -115,7 +118,9 @@ fn check_instance(
 ) {
     let w = |id: NetId| module.width(id);
     let mut err = |message: String| {
-        errors.push(ValidateError { message: format!("instance `{}`: {message}", inst.name) })
+        errors.push(ValidateError {
+            message: format!("instance `{}`: {message}", inst.name),
+        })
     };
     let ins = &inst.inputs;
     let outs = &inst.outputs;
@@ -167,9 +172,7 @@ fn check_instance(
             }
         }
         PrimOp::Add | PrimOp::Sub | PrimOp::Mul => {
-            if arity(&mut err, 2, 1)
-                && (w(ins[0]) != w(ins[1]) || w(ins[0]) != w(outs[0]))
-            {
+            if arity(&mut err, 2, 1) && (w(ins[0]) != w(ins[1]) || w(ins[0]) != w(outs[0])) {
                 err("arith width mismatch".into());
             }
         }
@@ -199,7 +202,10 @@ fn check_instance(
             } else {
                 let sum: u32 = ins.iter().map(|&i| w(i)).sum();
                 if sum != w(outs[0]) {
-                    err(format!("concat output width {} != field sum {sum}", w(outs[0])));
+                    err(format!(
+                        "concat output width {} != field sum {sum}",
+                        w(outs[0])
+                    ));
                 }
             }
         }
@@ -214,10 +220,17 @@ fn check_instance(
                 }
             }
         }
-        PrimOp::Register { has_enable, has_reset, .. } => {
+        PrimOp::Register {
+            has_enable,
+            has_reset,
+            ..
+        } => {
             let expected = 1 + usize::from(*has_enable) + usize::from(*has_reset);
             if ins.len() != expected || outs.len() != 1 {
-                err(format!("register expects {expected} inputs, found {}", ins.len()));
+                err(format!(
+                    "register expects {expected} inputs, found {}",
+                    ins.len()
+                ));
                 return;
             }
             if w(ins[0]) != w(outs[0]) {
@@ -251,7 +264,11 @@ fn check_instance(
                 }
             }
         }
-        PrimOp::Cam { entries, key_width, data_width } => {
+        PrimOp::Cam {
+            entries,
+            key_width,
+            data_width,
+        } => {
             if !arity(&mut err, 5, 3) {
                 return;
             }
@@ -314,10 +331,16 @@ mod tests {
         let a = b.input("a", 4);
         let _ = a;
         let mut m = b.finish();
-        m.nets.push(Net { name: "floating".into(), width: 4 });
+        m.nets.push(Net {
+            name: "floating".into(),
+            width: 4,
+        });
         let floating = NetId(m.nets.len() - 1);
         let out = {
-            m.nets.push(Net { name: "y".into(), width: 4 });
+            m.nets.push(Net {
+                name: "y".into(),
+                width: 4,
+            });
             NetId(m.nets.len() - 1)
         };
         m.instances.push(Instance {
@@ -337,7 +360,10 @@ mod tests {
         let c = b.input("b", 8);
         // Bypass builder checks by pushing a raw instance.
         let mut m = b.finish();
-        m.nets.push(Net { name: "s".into(), width: 4 });
+        m.nets.push(Net {
+            name: "s".into(),
+            width: 4,
+        });
         let out = NetId(m.nets.len() - 1);
         m.instances.push(Instance {
             name: "bad_add".into(),
@@ -346,7 +372,9 @@ mod tests {
             outputs: vec![out],
         });
         let errors = validate(&m).unwrap_err();
-        assert!(errors.iter().any(|e| e.message.contains("arith width mismatch")));
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("arith width mismatch")));
     }
 
     #[test]
@@ -368,7 +396,9 @@ mod tests {
         let q = b.register_en(d, en, 0, "q");
         b.output("q", q);
         let errors = validate(&b.finish()).unwrap_err();
-        assert!(errors.iter().any(|e| e.message.contains("control inputs must be 1 bit")));
+        assert!(errors
+            .iter()
+            .any(|e| e.message.contains("control inputs must be 1 bit")));
     }
 
     #[test]

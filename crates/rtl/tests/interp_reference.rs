@@ -1,9 +1,9 @@
 //! The netlist interpreter against plain-Rust reference arithmetic, over
-//! randomized operands and widths.
+//! randomized operands and widths (seeded Pcg32 sweeps).
 
 use memsync_rtl::builder::ModuleBuilder;
 use memsync_rtl::interp::Interp;
-use proptest::prelude::*;
+use memsync_trace::Pcg32;
 
 fn binop_module(op: &str, width: u32) -> Interp {
     let mut b = ModuleBuilder::new("m");
@@ -23,19 +23,22 @@ fn binop_module(op: &str, width: u32) -> Interp {
 }
 
 fn mask(v: u64, w: u32) -> u64 {
-    if w >= 64 { v } else { v & ((1u64 << w) - 1) }
+    if w >= 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
 }
 
-proptest! {
-    #[test]
-    fn binops_match_reference(
-        op_idx in 0usize..6,
-        width in 1u32..=32,
-        x in any::<u64>(),
-        y in any::<u64>(),
-    ) {
-        let ops = ["add", "sub", "mul", "and", "or", "xor"];
-        let op = ops[op_idx];
+#[test]
+fn binops_match_reference() {
+    let ops = ["add", "sub", "mul", "and", "or", "xor"];
+    let mut rng = Pcg32::seed_from_u64(0x17E6_0001);
+    for _case in 0..192 {
+        let op = ops[rng.gen_range_usize(0..ops.len())];
+        let width = rng.gen_range_u32(1..33);
+        let x = rng.next_u64();
+        let y = rng.next_u64();
         let mut sim = binop_module(op, width);
         let xm = mask(x, width);
         let ym = mask(y, width);
@@ -51,11 +54,17 @@ proptest! {
             "xor" => xm ^ ym,
             _ => unreachable!(),
         };
-        prop_assert_eq!(sim.get("r"), expected, "{} w={}", op, width);
+        assert_eq!(sim.get("r"), expected, "{op} w={width}");
     }
+}
 
-    #[test]
-    fn compares_match_reference(width in 1u32..=32, x in any::<u64>(), y in any::<u64>()) {
+#[test]
+fn compares_match_reference() {
+    let mut rng = Pcg32::seed_from_u64(0x17E6_0002);
+    for _case in 0..128 {
+        let width = rng.gen_range_u32(1..33);
+        let x = rng.next_u64();
+        let y = rng.next_u64();
         let mut b = ModuleBuilder::new("m");
         let xi = b.input("x", width);
         let yi = b.input("y", width);
@@ -69,13 +78,19 @@ proptest! {
         sim.set("x", xm);
         sim.set("y", ym);
         sim.settle();
-        prop_assert_eq!(sim.get("eq"), u64::from(xm == ym));
-        prop_assert_eq!(sim.get("lt"), u64::from(xm < ym));
+        assert_eq!(sim.get("eq"), u64::from(xm == ym));
+        assert_eq!(sim.get("lt"), u64::from(xm < ym));
     }
+}
 
-    /// A register chain delays its input by exactly its length.
-    #[test]
-    fn register_chain_delays(len in 1usize..8, values in proptest::collection::vec(0u64..256, 8..20)) {
+/// A register chain delays its input by exactly its length.
+#[test]
+fn register_chain_delays() {
+    let mut rng = Pcg32::seed_from_u64(0x17E6_0003);
+    for _case in 0..32 {
+        let len = rng.gen_range_usize(1..8);
+        let n_values = rng.gen_range_usize(8..20);
+        let values: Vec<u64> = (0..n_values).map(|_| rng.gen_range(0..256)).collect();
         let mut b = ModuleBuilder::new("m");
         let d = b.input("d", 8);
         let mut q = d;
@@ -93,7 +108,7 @@ proptest! {
         }
         // After the pipeline fills, output k equals input k-len.
         for k in len..values.len() {
-            prop_assert_eq!(seen[k], values[k - len]);
+            assert_eq!(seen[k], values[k - len]);
         }
     }
 }

@@ -7,6 +7,7 @@
 use crate::bram_model::BramModel;
 use memsync_core::arbiter::RoundRobin;
 use memsync_core::deplist::DependencyList;
+use memsync_trace::{EventKind, NullSink, Port, Role, TraceEvent, TraceSink};
 
 /// Per-cycle inputs of the wrapper.
 #[derive(Debug, Clone, Default)]
@@ -43,8 +44,8 @@ pub struct ArbitratedModel {
     rr: RoundRobin,
     /// Registered decision: consumer index waiting to issue.
     pipe: Option<usize>,
-    /// Read issued last cycle: (consumer, data arriving now).
-    inflight: Option<(usize, u32)>,
+    /// Read issued last cycle: (consumer, addr, data arriving now).
+    inflight: Option<(usize, u32, u32)>,
     /// Port A read issued last cycle.
     a_inflight: Option<u32>,
     bram: BramModel,
@@ -98,12 +99,46 @@ impl ArbitratedModel {
     ///
     /// Panics if the request vectors do not match the pseudo-port counts.
     pub fn step(&mut self, inputs: &ArbInputs) -> ArbOutputs {
+        self.step_traced(inputs, 0, &mut NullSink)
+    }
+
+    /// Advances one clock cycle, emitting cycle events to `sink` with
+    /// `bank` attribution. [`ArbitratedModel::step`] is this with a
+    /// [`NullSink`], which optimizes instrumentation away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vectors do not match the pseudo-port counts.
+    pub fn step_traced(
+        &mut self,
+        inputs: &ArbInputs,
+        bank: u16,
+        sink: &mut dyn TraceSink,
+    ) -> ArbOutputs {
         assert_eq!(inputs.c_req.len(), self.consumers, "c_req length");
         assert_eq!(inputs.d_req.len(), self.producers, "d_req length");
+        let cycle = self.cycle;
+        let ev = |port: Port, addr: u32, kind: EventKind| TraceEvent {
+            cycle,
+            bank,
+            port,
+            addr,
+            kind,
+        };
         let mut out = ArbOutputs {
             c_grant: vec![false; self.consumers],
             d_grant: vec![false; self.producers],
-            c_data: self.inflight.take().map(|(i, d)| (i, d)),
+            c_data: self.inflight.take().map(|(i, addr, d)| {
+                sink.emit(&ev(
+                    Port::C,
+                    addr,
+                    EventKind::Deliver {
+                        consumer: i,
+                        data: d,
+                    },
+                ));
+                (i, d)
+            }),
             a_data: self.a_inflight.take(),
         };
 
@@ -118,11 +153,8 @@ impl ArbitratedModel {
 
         // Port D: fixed priority among producers, highest overall priority.
         let any_d = inputs.d_req.iter().any(Option::is_some);
-        if let Some((j, &Some((addr, data, dep)))) = inputs
-            .d_req
-            .iter()
-            .enumerate()
-            .find(|(_, r)| r.is_some())
+        if let Some((j, &Some((addr, data, dep)))) =
+            inputs.d_req.iter().enumerate().find(|(_, r)| r.is_some())
         {
             // A write needs a matching entry (§3.1); the dependency number
             // is supplied by the producer and re-arms the counter.
@@ -133,6 +165,28 @@ impl ArbitratedModel {
                 let _ = dep; // dep_number is fixed at configuration time
                 self.bram.write(addr, data);
                 out.d_grant[j] = true;
+                if sink.enabled() {
+                    sink.emit(&ev(Port::D, addr, EventKind::DepListHit { producer: j }));
+                    sink.emit(&ev(Port::D, addr, EventKind::Write { producer: j, data }));
+                    sink.emit(&ev(
+                        Port::D,
+                        addr,
+                        EventKind::Grant {
+                            role: Role::Producer,
+                            index: j,
+                        },
+                    ));
+                }
+            } else if sink.enabled() {
+                sink.emit(&ev(Port::D, addr, EventKind::DepListMiss { producer: j }));
+            }
+            if sink.enabled() {
+                // Lower-priority producers holding requests wait for the port.
+                for (p, r) in inputs.d_req.iter().enumerate().skip(j + 1) {
+                    if let Some((paddr, _, _)) = r {
+                        sink.emit(&ev(Port::D, *paddr, EventKind::WindowStall { producer: p }));
+                    }
+                }
             }
         }
 
@@ -143,15 +197,29 @@ impl ArbitratedModel {
                 if let Some(addr) = inputs.c_req[i] {
                     let outcome = self.deplist.consumer_read(addr);
                     debug_assert!(
-                        matches!(
-                            outcome,
-                            memsync_core::deplist::ReadOutcome::Granted { .. }
-                        ),
+                        matches!(outcome, memsync_core::deplist::ReadOutcome::Granted { .. }),
                         "issue stage found a drained entry: decision raced"
                     );
                     out.c_grant[i] = true;
-                    self.inflight = Some((i, self.bram.read(addr)));
+                    self.inflight = Some((i, addr, self.bram.read(addr)));
+                    if sink.enabled() {
+                        sink.emit(&ev(Port::C, addr, EventKind::ReadIssue { consumer: i }));
+                        sink.emit(&ev(
+                            Port::C,
+                            addr,
+                            EventKind::Grant {
+                                role: Role::Consumer,
+                                index: i,
+                            },
+                        ));
+                    }
                 } // else: the consumer withdrew; drop the grant.
+            }
+        } else if self.pipe.is_some() && sink.enabled() {
+            // A producer pre-empted the port: the piped read replays.
+            let i = self.pipe.expect("checked above");
+            if let Some(addr) = inputs.c_req[i] {
+                sink.emit(&ev(Port::C, addr, EventKind::ArbStall { consumer: i }));
             }
         }
 
@@ -165,6 +233,24 @@ impl ArbitratedModel {
                 .collect();
             if let Some(winner) = self.rr.grant(&eligible) {
                 self.pipe = Some(winner);
+            }
+        }
+
+        // Stall attribution for every consumer still holding an unserved
+        // request: eligible ones lost arbitration (or sit in the decision
+        // pipe); the rest wait on their dependency.
+        if sink.enabled() {
+            for (i, r) in inputs.c_req.iter().enumerate() {
+                let Some(addr) = r else { continue };
+                if out.c_grant[i] {
+                    continue;
+                }
+                let kind = if self.deplist.is_pending(*addr) || self.pipe == Some(i) {
+                    EventKind::ArbStall { consumer: i }
+                } else {
+                    EventKind::DepWait { consumer: i }
+                };
+                sink.emit(&ev(Port::C, *addr, kind));
             }
         }
 

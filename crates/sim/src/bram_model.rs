@@ -1,13 +1,11 @@
 //! Behavioral model of one 18 Kb BRAM bank (512×36 view, 32-bit payload),
 //! with the synchronous one-cycle read latency of the real block.
 
-use serde::{Deserialize, Serialize};
-
 /// Words in the bank.
 pub const BANK_WORDS: usize = 512;
 
 /// One true-dual-port BRAM (only the payload bits are modeled).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BramModel {
     words: Vec<u32>,
 }
@@ -21,7 +19,9 @@ impl Default for BramModel {
 impl BramModel {
     /// A zero-initialized bank.
     pub fn new() -> Self {
-        BramModel { words: vec![0; BANK_WORDS] }
+        BramModel {
+            words: vec![0; BANK_WORDS],
+        }
     }
 
     /// Synchronous read: the value that will appear on the output register

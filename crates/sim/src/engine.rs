@@ -3,14 +3,15 @@
 
 use crate::arb_model::{ArbInputs, ArbitratedModel};
 use crate::bram_model::BramModel;
-use crate::event_model::{EvtInputs, EventDrivenModel};
-use crate::metrics::LatencyRecorder;
+use crate::event_model::{EventDrivenModel, EvtInputs};
+use crate::metrics::MetricsRegistry;
 use crate::thread_model::{MemResponse, ThreadExec};
 use crate::traffic::ArrivalProcess;
 use memsync_core::alloc::SyncBank;
 use memsync_core::modulo::ModuloSchedule;
 use memsync_core::{CompiledSystem, OrganizationKind};
 use memsync_synth::ir::PortClass;
+use memsync_trace::{EventKind, NullSink, Port, RecordingSink, TraceEvent, TraceSink};
 use std::collections::{BTreeMap, VecDeque};
 
 /// One synchronization bank under simulation.
@@ -24,10 +25,10 @@ enum BankModel {
 #[derive(Debug, Clone, Default)]
 struct PrivateBank {
     bram: BramModel,
-    /// Read issued this cycle (delivered next cycle).
-    inflight: Option<u32>,
-    /// Read data due this cycle.
-    pending_delivery: Option<u32>,
+    /// Read issued this cycle: `(addr, data)` delivered next cycle.
+    inflight: Option<(u32, u32)>,
+    /// Read data due this cycle: `(addr, data)`.
+    pending_delivery: Option<(u32, u32)>,
 }
 
 /// A full system simulation.
@@ -42,14 +43,12 @@ pub struct System {
     /// for latency attribution when the data arrives a cycle later.
     last_issue: BTreeMap<(String, usize), u32>,
     cycle: u64,
-    /// Produce-to-consume latency measurements.
-    pub metrics: LatencyRecorder,
-}
-
-impl std::fmt::Debug for dyn ArrivalProcess {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("ArrivalProcess")
-    }
+    /// Counters, histograms, and produce-to-consume latency measurements.
+    pub metrics: MetricsRegistry,
+    /// Downstream event sink ([`NullSink`] until [`System::set_sink`]).
+    sink: Box<dyn TraceSink>,
+    /// Whether stepping goes through the instrumented model paths.
+    instrumented: bool,
 }
 
 impl System {
@@ -62,8 +61,7 @@ impl System {
     /// Builds a simulation with an explicit organization (to compare both
     /// on the same compiled program).
     pub fn with_organization(compiled: &CompiledSystem, kind: OrganizationKind) -> Self {
-        let threads: Vec<ThreadExec> =
-            compiled.fsms.iter().cloned().map(ThreadExec::new).collect();
+        let threads: Vec<ThreadExec> = compiled.fsms.iter().cloned().map(ThreadExec::new).collect();
         let mut banks = Vec::new();
         for bank in &compiled.plan.sync_banks {
             let model = match kind {
@@ -109,13 +107,35 @@ impl System {
             sources: BTreeMap::new(),
             last_issue: BTreeMap::new(),
             cycle: 0,
-            metrics: LatencyRecorder::new(),
+            metrics: MetricsRegistry::new(),
+            sink: Box::new(NullSink),
+            instrumented: false,
         }
     }
 
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// Routes cycle events to `sink` and turns on instrumented stepping
+    /// (models emit events, the registry counts them). Use a
+    /// [`memsync_trace::SharedSink`] to keep a handle for inspection.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+        self.instrumented = true;
+    }
+
+    /// Turns on instrumented stepping without an event stream: the
+    /// [`MetricsRegistry`] still sees every event (counters, grant-wait
+    /// histograms, occupancy marks), but nothing is buffered or written.
+    pub fn enable_metrics(&mut self) {
+        self.instrumented = true;
+    }
+
+    /// Flushes the attached sink (JSONL writers buffer).
+    pub fn flush_trace(&mut self) {
+        self.sink.flush();
     }
 
     /// Access a thread by name.
@@ -137,19 +157,46 @@ impl System {
 
     /// Advances the system one clock cycle.
     pub fn step(&mut self) {
+        let instrumented = self.instrumented;
+        // Sync banks come first in the trace's bank numbering; private
+        // per-thread port-A banks follow at `n_sync + thread_index`.
+        let n_sync = self.banks.len() as u16;
+
         // Traffic arrivals.
         for (thread, src) in self.sources.iter_mut() {
             if let Some(v) = src.poll(self.cycle) {
-                self.rx_queues
+                let q = self
+                    .rx_queues
                     .get_mut(thread)
-                    .expect("rx queue exists for every thread")
-                    .push_back(v);
+                    .expect("rx queue exists for every thread");
+                q.push_back(v);
+                if instrumented {
+                    let ti = self
+                        .threads
+                        .iter()
+                        .position(|t| t.name() == thread)
+                        .expect("source attached to a known thread");
+                    let mut tee = RecordingSink {
+                        sink: &mut *self.sink,
+                        registry: &mut self.metrics,
+                    };
+                    tee.emit(&TraceEvent {
+                        cycle: self.cycle,
+                        bank: 0,
+                        port: Port::Rx,
+                        addr: 0,
+                        kind: EventKind::QueuePush {
+                            thread: ti,
+                            depth: q.len(),
+                        },
+                    });
+                }
             }
         }
 
         // 1. Tick threads; collect held memory requests.
         let mut requests = Vec::with_capacity(self.threads.len());
-        for t in self.threads.iter_mut() {
+        for (ti, t) in self.threads.iter_mut().enumerate() {
             let name = t.name().to_owned();
             let q = self.rx_queues.get_mut(&name).expect("rx queue");
             let mut rx = q.front().copied();
@@ -157,6 +204,22 @@ impl System {
             let req = t.tick(&mut rx, true);
             if had && rx.is_none() {
                 q.pop_front();
+                if instrumented {
+                    let mut tee = RecordingSink {
+                        sink: &mut *self.sink,
+                        registry: &mut self.metrics,
+                    };
+                    tee.emit(&TraceEvent {
+                        cycle: self.cycle,
+                        bank: 0,
+                        port: Port::Rx,
+                        addr: 0,
+                        kind: EventKind::QueuePop {
+                            thread: ti,
+                            depth: q.len(),
+                        },
+                    });
+                }
             }
             requests.push(req);
         }
@@ -169,15 +232,30 @@ impl System {
             }
             let name = self.threads[ti].name().to_owned();
             let bank = self.private.get_mut(&name).expect("private bank");
-            match r.write {
+            let kind = match r.write {
                 Some(data) => {
                     bank.bram.write(r.addr, data);
                     self.threads[ti].deliver(MemResponse::Granted);
+                    EventKind::Write { producer: ti, data }
                 }
                 None => {
-                    bank.inflight = Some(bank.bram.read(r.addr));
+                    bank.inflight = Some((r.addr, bank.bram.read(r.addr)));
                     self.threads[ti].deliver(MemResponse::Granted);
+                    EventKind::ReadIssue { consumer: ti }
                 }
+            };
+            if instrumented {
+                let mut tee = RecordingSink {
+                    sink: &mut *self.sink,
+                    registry: &mut self.metrics,
+                };
+                tee.emit(&TraceEvent {
+                    cycle: self.cycle,
+                    bank: n_sync + ti as u16,
+                    port: Port::A,
+                    addr: r.addr,
+                    kind,
+                });
             }
         }
         // Deliver last-cycle private reads (before this cycle's reads land).
@@ -185,7 +263,8 @@ impl System {
         // below uses a snapshot taken before, handled by delivering first.
 
         // 3. Sync banks.
-        for (bank, model) in self.banks.iter_mut() {
+        for (bi, (bank, model)) in self.banks.iter_mut().enumerate() {
+            let bid = bi as u16;
             match model {
                 BankModel::Arbitrated(m) => {
                     let mut inputs = ArbInputs {
@@ -214,20 +293,36 @@ impl System {
                             PortClass::A => {}
                         }
                     }
-                    let out = m.step(&inputs);
+                    let out = if instrumented {
+                        let mut tee = RecordingSink {
+                            sink: &mut *self.sink,
+                            registry: &mut self.metrics,
+                        };
+                        m.step_traced(&inputs, bid, &mut tee)
+                    } else {
+                        m.step(&inputs)
+                    };
+                    if instrumented {
+                        self.metrics.observe_gauge(
+                            &format!("bank{bid}.deplist_occupancy"),
+                            m.deplist().occupancy() as u64,
+                        );
+                    }
                     // Data delivery for last cycle's issue first: a
                     // same-cycle producer write belongs to the *next*
                     // produce-consume round, so deliveries must be
                     // attributed before the new write is recorded.
+                    // (When instrumented, the model's Deliver/Write events
+                    // already fed the latency recorder via the registry.)
                     if let Some((c, data)) = out.c_data {
                         let cname = bank.consumers[c].clone();
-                        if let Some(ti) =
-                            self.threads.iter().position(|t| t.name() == cname)
-                        {
+                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
                             self.threads[ti].deliver(MemResponse::Data(data));
                         }
-                        if let Some(addr) = self.last_issue.get(&(bank.name.clone(), c)) {
-                            self.metrics.record_delivery(*addr, c, self.cycle);
+                        if !instrumented {
+                            if let Some(addr) = self.last_issue.get(&(bank.name.clone(), c)) {
+                                self.metrics.record_delivery(*addr, c, self.cycle);
+                            }
                         }
                     }
                     // Producer grants.
@@ -236,11 +331,11 @@ impl System {
                             continue;
                         }
                         let pname = bank.producers[p].clone();
-                        if let Some(ti) =
-                            self.threads.iter().position(|t| t.name() == pname)
-                        {
-                            if let Some(r) = requests[ti] {
-                                self.metrics.record_write(r.addr, self.cycle);
+                        if let Some(ti) = self.threads.iter().position(|t| t.name() == pname) {
+                            if !instrumented {
+                                if let Some(r) = requests[ti] {
+                                    self.metrics.record_write(r.addr, self.cycle);
+                                }
                             }
                             self.threads[ti].deliver(MemResponse::Granted);
                         }
@@ -251,9 +346,7 @@ impl System {
                             continue;
                         }
                         let cname = bank.consumers[c].clone();
-                        if let Some(ti) =
-                            self.threads.iter().position(|t| t.name() == cname)
-                        {
+                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
                             self.threads[ti].deliver(MemResponse::Granted);
                         }
                     }
@@ -292,20 +385,28 @@ impl System {
                             PortClass::A => {}
                         }
                     }
-                    let out = m.step(&inputs);
+                    let out = if instrumented {
+                        let mut tee = RecordingSink {
+                            sink: &mut *self.sink,
+                            registry: &mut self.metrics,
+                        };
+                        m.step_traced(&inputs, bid, &mut tee)
+                    } else {
+                        m.step(&inputs)
+                    };
                     // Deliveries before new writes (same-cycle attribution).
                     if let Some((c, data)) = out.c_data {
                         let cname = bank.consumers[c].clone();
-                        if let Some(ti) =
-                            self.threads.iter().position(|t| t.name() == cname)
-                        {
+                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
                             // The consumer is mid-read: grant + data in one
                             // delivery (the event releases the blocked read).
                             self.threads[ti].deliver(MemResponse::Granted);
                             self.threads[ti].deliver(MemResponse::Data(data));
                         }
-                        if let Some(addr) = inputs.c_addr[c] {
-                            self.metrics.record_delivery(addr, c, self.cycle);
+                        if !instrumented {
+                            if let Some(addr) = inputs.c_addr[c] {
+                                self.metrics.record_delivery(addr, c, self.cycle);
+                            }
                         }
                     }
                     for (p, granted) in out.p_grant.iter().enumerate() {
@@ -313,11 +414,11 @@ impl System {
                             continue;
                         }
                         let pname = bank.producers[p].clone();
-                        if let Some(ti) =
-                            self.threads.iter().position(|t| t.name() == pname)
-                        {
-                            if let Some(r) = requests[ti] {
-                                self.metrics.record_write(r.addr, self.cycle);
+                        if let Some(ti) = self.threads.iter().position(|t| t.name() == pname) {
+                            if !instrumented {
+                                if let Some(r) = requests[ti] {
+                                    self.metrics.record_write(r.addr, self.cycle);
+                                }
                             }
                             self.threads[ti].deliver(MemResponse::Granted);
                         }
@@ -327,11 +428,24 @@ impl System {
         }
 
         // 4. Deliver private-bank read data scheduled last cycle.
-        for t in self.threads.iter_mut() {
+        for (ti, t) in self.threads.iter_mut().enumerate() {
             let name = t.name().to_owned();
             let bank = self.private.get_mut(&name).expect("private bank");
-            if let Some(data) = bank.pending_delivery.take() {
+            if let Some((addr, data)) = bank.pending_delivery.take() {
                 t.deliver(MemResponse::Data(data));
+                if instrumented {
+                    let mut tee = RecordingSink {
+                        sink: &mut *self.sink,
+                        registry: &mut self.metrics,
+                    };
+                    tee.emit(&TraceEvent {
+                        cycle: self.cycle,
+                        bank: n_sync + ti as u16,
+                        port: Port::A,
+                        addr,
+                        kind: EventKind::Deliver { consumer: ti, data },
+                    });
+                }
             }
             // Promote this cycle's issue to next cycle's delivery.
             bank.pending_delivery = bank.inflight.take();
@@ -395,8 +509,14 @@ mod tests {
         // x1 itself is memory-resident (port D); the consumers' registers
         // prove the value crossed the shared memory.
         let x1 = call_function("f", &[0, 0]);
-        assert_eq!(sys.thread("t2").unwrap().var("y1"), Some(call_function("g", &[x1, 0])));
-        assert_eq!(sys.thread("t3").unwrap().var("z1"), Some(call_function("h", &[x1, 0])));
+        assert_eq!(
+            sys.thread("t2").unwrap().var("y1"),
+            Some(call_function("g", &[x1, 0]))
+        );
+        assert_eq!(
+            sys.thread("t3").unwrap().var("z1"),
+            Some(call_function("h", &[x1, 0]))
+        );
     }
 
     #[test]
@@ -405,8 +525,14 @@ mod tests {
         let mut sys = System::new(&sys_desc);
         assert!(sys.run_until_iterations(2, 2000), "threads make progress");
         let x1 = call_function("f", &[0, 0]);
-        assert_eq!(sys.thread("t2").unwrap().var("y1"), Some(call_function("g", &[x1, 0])));
-        assert_eq!(sys.thread("t3").unwrap().var("z1"), Some(call_function("h", &[x1, 0])));
+        assert_eq!(
+            sys.thread("t2").unwrap().var("y1"),
+            Some(call_function("g", &[x1, 0]))
+        );
+        assert_eq!(
+            sys.thread("t3").unwrap().var("z1"),
+            Some(call_function("h", &[x1, 0]))
+        );
     }
 
     #[test]
@@ -452,10 +578,14 @@ mod tests {
         // Two consumers contending on one bus: arbitration order makes the
         // second consumer's latency differ from the first's.
         let mut c = Compiler::new(FIGURE1_PACED);
-        c.organization(OrganizationKind::Arbitrated).skip_validation();
+        c.organization(OrganizationKind::Arbitrated)
+            .skip_validation();
         let compiled = c.compile().unwrap();
         let mut sys = System::new(&compiled);
-        sys.attach_source("t1", Box::new(crate::traffic::BernoulliSource::new(11, 0.05)));
+        sys.attach_source(
+            "t1",
+            Box::new(crate::traffic::BernoulliSource::new(11, 0.05)),
+        );
         for _ in 0..20_000 {
             sys.step();
         }
@@ -487,7 +617,11 @@ mod tests {
             sys.step();
         }
         let t = sys.thread("rx").unwrap();
-        assert!(t.iterations >= 10, "one message per period: {}", t.iterations);
+        assert!(
+            t.iterations >= 10,
+            "one message per period: {}",
+            t.iterations
+        );
         assert!(t.sent.len() >= 10);
         // Payloads pass through in order.
         assert_eq!(&t.sent[0..3], &[1, 2, 3]);

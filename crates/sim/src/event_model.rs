@@ -6,6 +6,7 @@
 
 use crate::bram_model::BramModel;
 use memsync_core::modulo::{ModuloSchedule, SelectionLogic, SelectionOutput};
+use memsync_trace::{EventKind, NullSink, Port, Role, TraceEvent, TraceSink};
 
 /// Per-cycle inputs.
 #[derive(Debug, Clone, Default)]
@@ -39,8 +40,8 @@ pub struct EventDrivenModel {
     producers: usize,
     consumers: usize,
     selection: SelectionLogic,
-    /// Read issued last cycle: (consumer, data arriving now).
-    inflight: Option<(usize, u32)>,
+    /// Read issued last cycle: (consumer, addr, data arriving now).
+    inflight: Option<(usize, u32, u32)>,
     a_inflight: Option<u32>,
     bram: BramModel,
     cycle: u64,
@@ -53,7 +54,11 @@ impl EventDrivenModel {
     ///
     /// Panics if the schedule names more producers/consumers than given.
     pub fn new(producers: usize, consumers: usize, schedule: ModuloSchedule) -> Self {
-        assert_eq!(schedule.producers(), producers, "schedule rows == producers");
+        assert_eq!(
+            schedule.producers(),
+            producers,
+            "schedule rows == producers"
+        );
         for p in 0..producers {
             for &c in schedule.order_of(p) {
                 assert!(c < consumers, "schedule names consumer {c} of {consumers}");
@@ -86,8 +91,32 @@ impl EventDrivenModel {
     ///
     /// Panics if the request vectors do not match the pseudo-port counts.
     pub fn step(&mut self, inputs: &EvtInputs) -> EvtOutputs {
+        self.step_traced(inputs, 0, &mut NullSink)
+    }
+
+    /// Advances one clock cycle, emitting cycle events to `sink` with
+    /// `bank` attribution. [`EventDrivenModel::step`] is this with a
+    /// [`NullSink`], which optimizes instrumentation away.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vectors do not match the pseudo-port counts.
+    pub fn step_traced(
+        &mut self,
+        inputs: &EvtInputs,
+        bank: u16,
+        sink: &mut dyn TraceSink,
+    ) -> EvtOutputs {
         assert_eq!(inputs.p_req.len(), self.producers, "p_req length");
         assert_eq!(inputs.c_addr.len(), self.consumers, "c_addr length");
+        let cycle = self.cycle;
+        let ev = |port: Port, addr: u32, kind: EventKind| TraceEvent {
+            cycle,
+            bank,
+            port,
+            addr,
+            kind,
+        };
         let mut out = EvtOutputs {
             p_grant: vec![false; self.producers],
             c_event: vec![false; self.consumers],
@@ -95,9 +124,17 @@ impl EventDrivenModel {
             a_data: self.a_inflight.take(),
         };
         // Deliver last cycle's read with its event pulse.
-        if let Some((i, d)) = self.inflight.take() {
+        if let Some((i, addr, d)) = self.inflight.take() {
             out.c_event[i] = true;
             out.c_data = Some((i, d));
+            sink.emit(&ev(
+                Port::B,
+                addr,
+                EventKind::Deliver {
+                    consumer: i,
+                    data: d,
+                },
+            ));
         }
 
         // Port A.
@@ -118,7 +155,30 @@ impl EventDrivenModel {
             let (addr, data) = inputs.p_req[wp].expect("checked above");
             self.bram.write(addr, data);
             out.p_grant[wp] = true;
+            if sink.enabled() {
+                sink.emit(&ev(Port::D, addr, EventKind::Write { producer: wp, data }));
+                sink.emit(&ev(
+                    Port::D,
+                    addr,
+                    EventKind::Grant {
+                        role: Role::Producer,
+                        index: wp,
+                    },
+                ));
+            }
         }
+        if sink.enabled() {
+            // Every other producer holding a write is blocked by the window
+            // (or by the ongoing service burst).
+            for (p, r) in inputs.p_req.iter().enumerate() {
+                if let Some((paddr, _)) = r {
+                    if !out.p_grant[p] {
+                        sink.emit(&ev(Port::D, *paddr, EventKind::WindowStall { producer: p }));
+                    }
+                }
+            }
+        }
+        let mut served: Option<usize> = None;
         match self.selection.step(producer_writes) {
             SelectionOutput::AwaitingProducer { .. } => {}
             SelectionOutput::Serve { consumer, .. } => {
@@ -129,7 +189,29 @@ impl EventDrivenModel {
                 // producers write when all consumers of the window are
                 // blocked. For robustness, an absent address reads 0.
                 let addr = inputs.c_addr[consumer].unwrap_or(0);
-                self.inflight = Some((consumer, self.bram.read(addr)));
+                self.inflight = Some((consumer, addr, self.bram.read(addr)));
+                served = Some(consumer);
+                if sink.enabled() {
+                    sink.emit(&ev(Port::B, addr, EventKind::ReadIssue { consumer }));
+                    sink.emit(&ev(
+                        Port::B,
+                        addr,
+                        EventKind::Grant {
+                            role: Role::Consumer,
+                            index: consumer,
+                        },
+                    ));
+                }
+            }
+        }
+        if sink.enabled() {
+            // Consumers holding reads outside their slot wait on the event.
+            for (c, r) in inputs.c_addr.iter().enumerate() {
+                if let Some(addr) = r {
+                    if served != Some(c) {
+                        sink.emit(&ev(Port::B, *addr, EventKind::DepWait { consumer: c }));
+                    }
+                }
             }
         }
 

@@ -16,7 +16,13 @@
 //! * [`engine`] — wires a [`memsync_core::CompiledSystem`] into a steppable
 //!   [`engine::System`];
 //! * [`traffic`] — Bernoulli/periodic arrival processes;
-//! * [`metrics`] — latency distributions and determinism checks.
+//! * [`metrics`] — latency distributions, counters, and determinism checks
+//!   (re-exported from [`memsync_trace`], where the apparatus now lives).
+//!
+//! Cycle-level observability: both wrapper models expose `step_traced`,
+//! and [`engine::System::set_sink`] routes every grant, stall, and
+//! delivery into a [`memsync_trace::TraceSink`] while the
+//! [`memsync_trace::MetricsRegistry`] counts them.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -30,5 +36,5 @@ pub mod thread_model;
 pub mod traffic;
 
 pub use engine::System;
-pub use metrics::{LatencyRecorder, LatencyStats};
+pub use metrics::{LatencyRecorder, LatencyStats, MetricsRegistry};
 pub use thread_model::{MemRequest, MemResponse, ThreadExec};

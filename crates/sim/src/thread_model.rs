@@ -65,6 +65,9 @@ pub struct ThreadExec {
     pub iterations: u64,
     /// Cycles executed.
     pub cycles: u64,
+    /// Cycles that ended with the thread blocked on memory or I/O — the
+    /// per-thread stall attribution the trace layer reports.
+    pub blocked_cycles: u64,
     /// Messages sent on the tx interface.
     pub sent: Vec<i64>,
     halted: bool,
@@ -83,6 +86,7 @@ impl ThreadExec {
             waiting: Waiting::None,
             iterations: 0,
             cycles: 0,
+            blocked_cycles: 0,
             sent: Vec::new(),
             halted: false,
         }
@@ -126,6 +130,14 @@ impl ThreadExec {
     /// thread is at a `recv`); `tx_ready` gates `send`. Returns the memory
     /// request the thread is holding at the end of the cycle, if any.
     pub fn tick(&mut self, rx: &mut Option<i64>, tx_ready: bool) -> Option<MemRequest> {
+        let req = self.tick_inner(rx, tx_ready);
+        if self.is_blocked() {
+            self.blocked_cycles += 1;
+        }
+        req
+    }
+
+    fn tick_inner(&mut self, rx: &mut Option<i64>, tx_ready: bool) -> Option<MemRequest> {
         self.cycles += 1;
         // Resolve blocking I/O first.
         match self.waiting.clone() {
@@ -159,7 +171,12 @@ impl ThreadExec {
 
     /// Feeds back a grant or read data for the held request.
     pub fn deliver(&mut self, resp: MemResponse) {
-        let Waiting::Mem { req, result, granted: _ } = self.waiting.clone() else {
+        let Waiting::Mem {
+            req,
+            result,
+            granted: _,
+        } = self.waiting.clone()
+        else {
             return;
         };
         match resp {
@@ -170,7 +187,11 @@ impl ThreadExec {
                     self.op_pos += 1;
                 } else {
                     // Read issued; data comes later.
-                    self.waiting = Waiting::Mem { req, result, granted: true };
+                    self.waiting = Waiting::Mem {
+                        req,
+                        result,
+                        granted: true,
+                    };
                 }
             }
             MemResponse::Data(d) => {
@@ -216,11 +237,8 @@ impl ThreadExec {
                     }
                 }
                 OpKind::Binary(bop) => {
-                    let v = eval_binary_datapath(
-                        bop,
-                        self.value(op.args[0]),
-                        self.value(op.args[1]),
-                    );
+                    let v =
+                        eval_binary_datapath(bop, self.value(op.args[0]), self.value(op.args[1]));
                     if let Some(t) = op.result {
                         self.temps.insert(t.0, v);
                     }
@@ -285,14 +303,22 @@ impl ThreadExec {
         self.op_pos = 0;
         self.state = match next {
             StateNext::Goto(t) => t,
-            StateNext::Branch { cond, then_state, else_state } => {
+            StateNext::Branch {
+                cond,
+                then_state,
+                else_state,
+            } => {
                 if self.value(cond) != 0 {
                     then_state
                 } else {
                     else_state
                 }
             }
-            StateNext::Switch { selector, arms, default } => {
+            StateNext::Switch {
+                selector,
+                arms,
+                default,
+            } => {
                 let sel = self.value(selector);
                 arms.iter()
                     .find(|(k, _)| i64::from(*k as u32) == sel || *k == sel)
@@ -308,7 +334,9 @@ impl ThreadExec {
 
     fn residency(&self, var: u32) -> (PortClass, u32) {
         match self.fsm.binding.residency_of(&self.fsm.vars[var as usize]) {
-            Residency::Memory { port, base_addr, .. } => (port, base_addr),
+            Residency::Memory {
+                port, base_addr, ..
+            } => (port, base_addr),
             Residency::Register => (PortClass::A, 0),
         }
     }
@@ -348,7 +376,10 @@ mod tests {
 
     #[test]
     fn straight_line_computes() {
-        let mut t = exec_of("thread t() { int a, b; a = 5; b = a * 3 + 1; }", MemBinding::new());
+        let mut t = exec_of(
+            "thread t() { int a, b; a = 5; b = a * 3 + 1; }",
+            MemBinding::new(),
+        );
         run_free(&mut t, 20);
         assert_eq!(t.var("a"), Some(5));
         assert_eq!(t.var("b"), Some(16));
@@ -438,7 +469,10 @@ mod tests {
         assert!(t.tick(&mut rx, true).is_some());
         t.deliver(MemResponse::Granted);
         let mut rx = None;
-        assert!(t.tick(&mut rx, true).is_none(), "read issued, awaiting data");
+        assert!(
+            t.tick(&mut rx, true).is_none(),
+            "read issued, awaiting data"
+        );
         t.deliver(MemResponse::Data(9));
         for _ in 0..10 {
             let mut rx = None;

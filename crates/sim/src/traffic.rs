@@ -6,8 +6,7 @@
 //! interfaces — Bernoulli per-cycle arrivals (the discrete-time analogue of
 //! Poisson traffic) and fixed-period arrivals for deterministic baselines.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use memsync_trace::Pcg32;
 
 /// A source of message arrivals, polled once per cycle.
 pub trait ArrivalProcess {
@@ -15,10 +14,16 @@ pub trait ArrivalProcess {
     fn poll(&mut self, cycle: u64) -> Option<i64>;
 }
 
+impl std::fmt::Debug for dyn ArrivalProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ArrivalProcess")
+    }
+}
+
 /// Bernoulli arrivals: each cycle a packet arrives with probability `p`.
 #[derive(Debug, Clone)]
 pub struct BernoulliSource {
-    rng: StdRng,
+    rng: Pcg32,
     p: f64,
     next_payload: i64,
 }
@@ -31,7 +36,11 @@ impl BernoulliSource {
     /// Panics unless `0.0 <= p <= 1.0`.
     pub fn new(seed: u64, p: f64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        BernoulliSource { rng: StdRng::seed_from_u64(seed), p, next_payload: 1 }
+        BernoulliSource {
+            rng: Pcg32::seed_from_u64(seed),
+            p,
+            next_payload: 1,
+        }
     }
 }
 
@@ -63,13 +72,17 @@ impl PeriodicSource {
     /// Panics if `period` is zero.
     pub fn new(period: u64, phase: u64) -> Self {
         assert!(period > 0, "period must be positive");
-        PeriodicSource { period, phase, next_payload: 1 }
+        PeriodicSource {
+            period,
+            phase,
+            next_payload: 1,
+        }
     }
 }
 
 impl ArrivalProcess for PeriodicSource {
     fn poll(&mut self, cycle: u64) -> Option<i64> {
-        if cycle >= self.phase && (cycle - self.phase) % self.period == 0 {
+        if cycle >= self.phase && (cycle - self.phase).is_multiple_of(self.period) {
             let v = self.next_payload;
             self.next_payload = self.next_payload.wrapping_add(1);
             Some(v)

@@ -8,11 +8,10 @@
 
 use crate::fsm::Fsm;
 use crate::ir::{OpKind, Temp, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Binding results for one FSM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BindingReport {
     /// Registers for declared variables (one each).
     pub var_registers: usize,
@@ -87,7 +86,11 @@ pub fn bind(fsm: &Fsm) -> BindingReport {
             // Back-edge uses (use state < def state) are loop-carried: the
             // value must survive the whole loop; extend to the full span.
             let (start, end) = if u < d { (0, fsm.states.len()) } else { (d, u) };
-            (end > start).then_some(Interval { temp: *t, start, end })
+            (end > start).then_some(Interval {
+                temp: *t,
+                start,
+                end,
+            })
         })
         .collect();
 
@@ -97,9 +100,7 @@ pub fn bind(fsm: &Fsm) -> BindingReport {
     let mut register_free_at: Vec<usize> = Vec::new();
     let mut assignment: BTreeMap<u32, usize> = BTreeMap::new();
     for iv in &intervals {
-        let slot = register_free_at
-            .iter()
-            .position(|&free| free <= iv.start);
+        let slot = register_free_at.iter().position(|&free| free <= iv.start);
         let reg = match slot {
             Some(r) => {
                 register_free_at[r] = iv.end;
@@ -135,7 +136,11 @@ mod tests {
             &program,
             &program.threads[0],
             &MemBinding::new(),
-            Constraints { alu_per_cycle: 1, mem_per_cycle: 1, max_chain: 1 },
+            Constraints {
+                alu_per_cycle: 1,
+                mem_per_cycle: 1,
+                max_chain: 1,
+            },
         )
         .unwrap()
     }

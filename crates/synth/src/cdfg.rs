@@ -18,11 +18,7 @@ use memsync_hic::error::{CompileError, Result, Span};
 /// from its declarations (callers are expected to have run
 /// [`memsync_hic::sema::analyze`] first, which catches this earlier with
 /// better messages).
-pub fn lower_thread(
-    program: &Program,
-    thread: &Thread,
-    binding: &MemBinding,
-) -> Result<DfThread> {
+pub fn lower_thread(program: &Program, thread: &Thread, binding: &MemBinding) -> Result<DfThread> {
     let mut ctx = Lowering {
         program,
         thread,
@@ -35,7 +31,8 @@ pub fn lower_thread(
     };
     for decl in thread.params.iter().chain(thread.decls.iter()) {
         ctx.vars.push(decl.name.clone());
-        ctx.widths.push(decl.ty.bit_width(Some(program)).unwrap_or(32));
+        ctx.widths
+            .push(decl.ty.bit_width(Some(program)).unwrap_or(32));
     }
     // Constants named by pragmas become pseudo-variables initialized by a
     // leading store so later reads resolve.
@@ -118,7 +115,10 @@ impl<'a> Lowering<'a> {
             self.widths.push(32);
             return Ok(VarId((self.vars.len() - 1) as u32));
         }
-        Err(CompileError::single(format!("unknown variable `{name}`"), span))
+        Err(CompileError::single(
+            format!("unknown variable `{name}`"),
+            span,
+        ))
     }
 
     /// Finishes the current block with `term`, returning its index.
@@ -134,7 +134,11 @@ impl<'a> Lowering<'a> {
             match &mut self.blocks[p.0].term {
                 t @ Terminator::Restart => *t = Terminator::Jump(target),
                 Terminator::Jump(t) if *t == usize::MAX => *t = target,
-                Terminator::Branch { then_block, else_block, .. } => {
+                Terminator::Branch {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
                     if *then_block == usize::MAX {
                         *then_block = target;
                     }
@@ -200,12 +204,20 @@ impl<'a> Lowering<'a> {
             }
             StmtKind::Recv { var } => {
                 let id = self.var_id(var, stmt.span)?;
-                self.current.push(DfOp { kind: OpKind::Recv { var: id }, args: vec![], result: None });
+                self.current.push(DfOp {
+                    kind: OpKind::Recv { var: id },
+                    args: vec![],
+                    result: None,
+                });
                 Ok(vec![])
             }
             StmtKind::Send { value } => {
                 let v = self.lower_expr(value)?;
-                self.current.push(DfOp { kind: OpKind::Send, args: vec![v], result: None });
+                self.current.push(DfOp {
+                    kind: OpKind::Send,
+                    args: vec![v],
+                    result: None,
+                });
                 Ok(vec![])
             }
             StmtKind::Expr(e) => {
@@ -213,7 +225,11 @@ impl<'a> Lowering<'a> {
                 Ok(vec![])
             }
             StmtKind::Block(body) => self.lower_stmts(body),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.lower_expr(cond)?;
                 let header = self.seal_current(Terminator::Branch {
                     cond: c,
@@ -263,7 +279,12 @@ impl<'a> Lowering<'a> {
                 }
                 Ok(vec![PendingBlock(header)])
             }
-            StmtKind::For { init, cond, step, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 let init_pending = self.lower_stmt(init)?;
                 debug_assert!(init_pending.is_empty(), "for-init is a simple assignment");
                 let pre = self.seal_current(Terminator::Jump(usize::MAX));
@@ -295,7 +316,11 @@ impl<'a> Lowering<'a> {
                 }
                 Ok(vec![PendingBlock(header)])
             }
-            StmtKind::Case { selector, arms, default } => {
+            StmtKind::Case {
+                selector,
+                arms,
+                default,
+            } => {
                 let sel = self.lower_expr(selector)?;
                 let header = self.seal_current(Terminator::Switch {
                     selector: sel,
@@ -357,7 +382,10 @@ impl<'a> Lowering<'a> {
             }
             Residency::Memory { write_dep, .. } => {
                 self.current.push(DfOp {
-                    kind: OpKind::MemWrite { var, dep: write_dep },
+                    kind: OpKind::MemWrite {
+                        var,
+                        dep: write_dep,
+                    },
                     args: vec![index, value],
                     result: None,
                 });
@@ -416,10 +444,7 @@ impl<'a> Lowering<'a> {
 
     fn lower_var_read(&mut self, name: &str, index: Value, span: Span) -> Result<Value> {
         let var = self.var_id(name, span)?;
-        let is_array = self
-            .thread
-            .var(name)
-            .is_some_and(|d| d.array_len.is_some());
+        let is_array = self.thread.var(name).is_some_and(|d| d.array_len.is_some());
         match self.binding.residency_of(name) {
             Residency::Register => {
                 if matches!(index, Value::Const(0)) && !is_array {
@@ -466,7 +491,10 @@ mod tests {
 
     #[test]
     fn straight_line_lowering() {
-        let t = lower("thread t() { int a, b; a = 1; b = a + 2; }", MemBinding::new());
+        let t = lower(
+            "thread t() { int a, b; a = 1; b = a + 2; }",
+            MemBinding::new(),
+        );
         assert_eq!(t.blocks.len(), 1);
         let ops = &t.blocks[0].ops;
         // store a, read-free add (a is a register read inline), store b

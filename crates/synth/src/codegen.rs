@@ -139,8 +139,7 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
     let mut holds: Vec<NetId> = Vec::with_capacity(n_states);
     let mut port_use: BTreeMap<PortClass, PortUse> = BTreeMap::new();
     // Per-var writers: (state idx, value net, extra condition net).
-    let mut var_writers: Vec<Vec<(usize, NetId, Option<NetId>)>> =
-        vec![Vec::new(); fsm.vars.len()];
+    let mut var_writers: Vec<Vec<(usize, NetId, Option<NetId>)>> = vec![Vec::new(); fsm.vars.len()];
     // Temp register writers: temp -> (state, value net, extra condition).
     let mut temp_writers: BTreeMap<u32, (usize, NetId, Option<NetId>)> = BTreeMap::new();
     // Send data muxing: (state, value net).
@@ -191,14 +190,30 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                 OpKind::Copy => {
                     let a = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[0]);
                     if let Some(t) = op.result {
-                        note_temp(&mut b, &binding, &mut temp_wire, &mut temp_writers, si, t, a);
+                        note_temp(
+                            &mut b,
+                            &binding,
+                            &mut temp_wire,
+                            &mut temp_writers,
+                            si,
+                            t,
+                            a,
+                        );
                     }
                 }
                 OpKind::Unary(u) => {
                     let a = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[0]);
                     let y = gen_unary(&mut b, *u, a, w);
                     if let Some(t) = op.result {
-                        note_temp(&mut b, &binding, &mut temp_wire, &mut temp_writers, si, t, y);
+                        note_temp(
+                            &mut b,
+                            &binding,
+                            &mut temp_wire,
+                            &mut temp_writers,
+                            si,
+                            t,
+                            y,
+                        );
                     }
                 }
                 OpKind::Binary(op2) => {
@@ -206,7 +221,15 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                     let c = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[1]);
                     let y = gen_binary(&mut b, *op2, a, c, w, op.args[1])?;
                     if let Some(t) = op.result {
-                        note_temp(&mut b, &binding, &mut temp_wire, &mut temp_writers, si, t, y);
+                        note_temp(
+                            &mut b,
+                            &binding,
+                            &mut temp_wire,
+                            &mut temp_writers,
+                            si,
+                            t,
+                            y,
+                        );
                     }
                 }
                 OpKind::Call(name) => {
@@ -217,7 +240,15 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                         .collect();
                     let y = gen_call(&mut b, name, &args, w);
                     if let Some(t) = op.result {
-                        note_temp(&mut b, &binding, &mut temp_wire, &mut temp_writers, si, t, y);
+                        note_temp(
+                            &mut b,
+                            &binding,
+                            &mut temp_wire,
+                            &mut temp_writers,
+                            si,
+                            t,
+                            y,
+                        );
                     }
                 }
                 OpKind::StoreVar { var } => {
@@ -230,24 +261,23 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                     let base = base_of(fsm, *var);
                     let addr = match op.args[0] {
                         Value::Const(c) => b.constant(
-                            (u64::from(base) + (c as u32 as u64))
-                                & ((1 << PORT_ADDR_WIDTH) - 1),
+                            (u64::from(base) + (c as u32 as u64)) & ((1 << PORT_ADDR_WIDTH) - 1),
                             PORT_ADDR_WIDTH,
                             "addr_k",
                         ),
                         idx_val => {
                             let idx = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, idx_val);
                             let idx10 = b.slice(idx, PORT_ADDR_WIDTH - 1, 0, "idx10");
-                            let basek =
-                                b.constant(u64::from(base), PORT_ADDR_WIDTH, "base");
+                            let basek = b.constant(u64::from(base), PORT_ADDR_WIDTH, "base");
                             b.add(basek, idx10, "addr")
                         }
                     };
-                    port_use
-                        .entry(port)
-                        .or_default()
-                        .accesses
-                        .push((si, addr, None, port != PortClass::A));
+                    port_use.entry(port).or_default().accesses.push((
+                        si,
+                        addr,
+                        None,
+                        port != PortClass::A,
+                    ));
                     if let Some(g) = grant[&port] {
                         let ng = b.not(g, "ngrant");
                         stall_terms.push(ng);
@@ -276,11 +306,12 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                     let idx10 = b.slice(idx, PORT_ADDR_WIDTH - 1, 0, "idx10");
                     let basek = b.constant(u64::from(base), PORT_ADDR_WIDTH, "base");
                     let addr = b.add(basek, idx10, "addr");
-                    port_use
-                        .entry(port)
-                        .or_default()
-                        .accesses
-                        .push((si, addr, Some(data), port != PortClass::A));
+                    port_use.entry(port).or_default().accesses.push((
+                        si,
+                        addr,
+                        Some(data),
+                        port != PortClass::A,
+                    ));
                     if let Some(g) = grant[&port] {
                         let ng = b.not(g, "ngrant");
                         stall_terms.push(ng);
@@ -324,7 +355,11 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
         let target = match &state.next {
             StateNext::Goto(t) => b.constant(*t as u64, sw, "tgt"),
             StateNext::Restart => b.constant(0, sw, "tgt"),
-            StateNext::Branch { cond, then_state, else_state } => {
+            StateNext::Branch {
+                cond,
+                then_state,
+                else_state,
+            } => {
                 let c = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, *cond);
                 let zero = b.constant(0, w, "z");
                 let taken = b.ne(c, zero, "taken");
@@ -332,7 +367,11 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                 let t0 = b.constant(*else_state as u64, sw, "t_else");
                 b.mux(taken, &[t0, t1], "tgt")
             }
-            StateNext::Switch { selector, arms, default } => {
+            StateNext::Switch {
+                selector,
+                arms,
+                default,
+            } => {
                 let sel = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, *selector);
                 let mut acc = b.constant(*default as u64, sw, "t_def");
                 for (k, t) in arms {
@@ -376,7 +415,11 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
             d = b.mux(cond, &[d, *value], "var_d");
             en_terms.push(cond);
         }
-        let en = if en_terms.len() == 1 { en_terms[0] } else { b.or(&en_terms, "var_en") };
+        let en = if en_terms.len() == 1 {
+            en_terms[0]
+        } else {
+            b.or(&en_terms, "var_en")
+        };
         b.register_en_into(d, en, q, 0);
     }
 
@@ -663,7 +706,10 @@ mod tests {
 
     #[test]
     fn straight_line_thread_validates() {
-        let m = gen("thread t() { int a, b; a = 1; b = a + 2; }", MemBinding::new());
+        let m = gen(
+            "thread t() { int a, b; a = 1; b = a + 2; }",
+            MemBinding::new(),
+        );
         validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
         assert!(m.is_sequential());
         assert!(m.port("state").is_some());
@@ -699,7 +745,9 @@ mod tests {
             MemBinding::new(),
         );
         validate(&m).unwrap_or_else(|e| panic!("{e:?}"));
-        for p in ["rx_data", "rx_valid", "rx_ready", "tx_data", "tx_valid", "tx_ready"] {
+        for p in [
+            "rx_data", "rx_valid", "rx_ready", "tx_data", "tx_valid", "tx_ready",
+        ] {
             assert!(m.port(p).is_some(), "missing {p}");
         }
     }

@@ -118,13 +118,7 @@ pub fn eval_binary_datapath(op: BinaryOp, a: i64, b: i64) -> i64 {
         BinaryOp::Add => ua.wrapping_add(ub),
         BinaryOp::Sub => ua.wrapping_sub(ub),
         BinaryOp::Mul => ua.wrapping_mul(ub),
-        BinaryOp::Div => {
-            if ub == 0 {
-                0
-            } else {
-                ua / ub
-            }
-        }
+        BinaryOp::Div => ua.checked_div(ub).unwrap_or(0),
         BinaryOp::Rem => {
             if ub == 0 {
                 0
@@ -201,7 +195,11 @@ mod tests {
     #[test]
     fn datapath_ops_are_32bit() {
         assert_eq!(eval_binary_datapath(BinaryOp::Add, 0xffff_ffff, 1), 0);
-        assert_eq!(eval_binary_datapath(BinaryOp::Lt, -1, 0), 0, "unsigned compare");
+        assert_eq!(
+            eval_binary_datapath(BinaryOp::Lt, -1, 0),
+            0,
+            "unsigned compare"
+        );
         assert_eq!(eval_unary_datapath(UnaryOp::BitNot, 0), 0xffff_ffff);
         assert_eq!(eval_unary_datapath(UnaryOp::Neg, 1), 0xffff_ffff);
     }

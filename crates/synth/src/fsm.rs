@@ -11,10 +11,9 @@ use crate::ir::{DfOp, DfThread, MemBinding, OpKind, Terminator, Value};
 use crate::schedule::{list_schedule, Constraints};
 use memsync_hic::ast::{Program, Thread};
 use memsync_hic::error::Result;
-use serde::{Deserialize, Serialize};
 
 /// Control transfer out of a state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StateNext {
     /// Unconditional transition.
     Goto(usize),
@@ -42,7 +41,7 @@ pub enum StateNext {
 }
 
 /// One FSM state.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FsmState {
     /// Operations issued in this state, in chaining order.
     pub ops: Vec<DfOp>,
@@ -68,7 +67,7 @@ impl FsmState {
 }
 
 /// A synthesized thread FSM.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Fsm {
     /// Thread name.
     pub thread: String,
@@ -122,25 +121,33 @@ impl Fsm {
                 } else {
                     match &block.term {
                         Terminator::Jump(t) => StateNext::Goto(block_start[*t]),
-                        Terminator::Branch { cond, then_block, else_block } => {
-                            StateNext::Branch {
-                                cond: *cond,
-                                then_state: block_start[*then_block],
-                                else_state: block_start[*else_block],
-                            }
-                        }
-                        Terminator::Switch { selector, arms, default } => StateNext::Switch {
+                        Terminator::Branch {
+                            cond,
+                            then_block,
+                            else_block,
+                        } => StateNext::Branch {
+                            cond: *cond,
+                            then_state: block_start[*then_block],
+                            else_state: block_start[*else_block],
+                        },
+                        Terminator::Switch {
+                            selector,
+                            arms,
+                            default,
+                        } => StateNext::Switch {
                             selector: *selector,
-                            arms: arms
-                                .iter()
-                                .map(|(v, t)| (*v, block_start[*t]))
-                                .collect(),
+                            arms: arms.iter().map(|(v, t)| (*v, block_start[*t])).collect(),
                             default: block_start[*default],
                         },
                         Terminator::Restart => StateNext::Restart,
                     }
                 };
-                states.push(FsmState { ops, next, block: bi, cycle });
+                states.push(FsmState {
+                    ops,
+                    next,
+                    block: bi,
+                    cycle,
+                });
             }
         }
         Fsm {
@@ -169,15 +176,11 @@ impl Fsm {
         for s in &self.states {
             for o in &s.ops {
                 match &o.kind {
-                    OpKind::MemRead { dep: Some(d), .. } => {
-                        if !deps.contains(&(d.clone(), false)) {
-                            deps.push((d.clone(), false));
-                        }
+                    OpKind::MemRead { dep: Some(d), .. } if !deps.contains(&(d.clone(), false)) => {
+                        deps.push((d.clone(), false));
                     }
-                    OpKind::MemWrite { dep: Some(d), .. } => {
-                        if !deps.contains(&(d.clone(), true)) {
-                            deps.push((d.clone(), true));
-                        }
+                    OpKind::MemWrite { dep: Some(d), .. } if !deps.contains(&(d.clone(), true)) => {
+                        deps.push((d.clone(), true));
                     }
                     _ => {}
                 }
@@ -203,13 +206,21 @@ mod tests {
 
     fn synth(src: &str, binding: MemBinding) -> Fsm {
         let program = parse(src).unwrap();
-        Fsm::synthesize(&program, &program.threads[0], &binding, Constraints::default())
-            .unwrap()
+        Fsm::synthesize(
+            &program,
+            &program.threads[0],
+            &binding,
+            Constraints::default(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn straight_line_states_chain() {
-        let fsm = synth("thread t() { int a, b; a = 1; b = a + 2; }", MemBinding::new());
+        let fsm = synth(
+            "thread t() { int a, b; a = 1; b = a + 2; }",
+            MemBinding::new(),
+        );
         assert!(!fsm.states.is_empty());
         // Terminal state restarts.
         let last = fsm.states.iter().find(|s| s.next == StateNext::Restart);
@@ -234,7 +245,11 @@ mod tests {
         for s in &fsm.states {
             match &s.next {
                 StateNext::Goto(t) => assert!(*t < fsm.states.len()),
-                StateNext::Branch { then_state, else_state, .. } => {
+                StateNext::Branch {
+                    then_state,
+                    else_state,
+                    ..
+                } => {
                     assert!(*then_state < fsm.states.len());
                     assert!(*else_state < fsm.states.len());
                 }
@@ -268,9 +283,11 @@ mod tests {
         // Some state must transition backwards (to a lower index).
         let back = fsm.states.iter().enumerate().any(|(i, s)| match &s.next {
             StateNext::Goto(t) => *t <= i,
-            StateNext::Branch { then_state, else_state, .. } => {
-                *then_state <= i || *else_state <= i
-            }
+            StateNext::Branch {
+                then_state,
+                else_state,
+                ..
+            } => *then_state <= i || *else_state <= i,
             _ => false,
         });
         assert!(back, "loop must produce a backward transition");

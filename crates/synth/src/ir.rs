@@ -6,12 +6,11 @@
 //! `memsync-core`) and passed in as a [`MemBinding`].
 
 use memsync_hic::ast::{BinaryOp, UnaryOp};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
 /// A virtual register holding an intermediate value.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Temp(pub u32);
 
 impl fmt::Display for Temp {
@@ -21,11 +20,11 @@ impl fmt::Display for Temp {
 }
 
 /// Index of a declared thread variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u32);
 
 /// An operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Value {
     /// An intermediate.
     Temp(Temp),
@@ -36,7 +35,7 @@ pub enum Value {
 }
 
 /// Operation kinds.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpKind {
     /// Copy of a single operand.
     Copy,
@@ -94,7 +93,7 @@ impl OpKind {
 }
 
 /// One three-address operation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DfOp {
     /// The operation.
     pub kind: OpKind,
@@ -105,7 +104,7 @@ pub struct DfOp {
 }
 
 /// Basic-block terminator.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(usize),
@@ -137,7 +136,11 @@ impl Terminator {
     pub fn successors(&self) -> Vec<usize> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { then_block, else_block, .. } => vec![*then_block, *else_block],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
             Terminator::Switch { arms, default, .. } => {
                 let mut s: Vec<usize> = arms.iter().map(|(_, t)| *t).collect();
                 s.push(*default);
@@ -149,7 +152,7 @@ impl Terminator {
 }
 
 /// A basic block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Block {
     /// Straight-line operations.
     pub ops: Vec<DfOp>,
@@ -158,7 +161,7 @@ pub struct Block {
 }
 
 /// Where a variable lives, and through which wrapper port its accesses go.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Residency {
     /// Fabric register (flip-flops inside the thread).
     Register,
@@ -177,7 +180,7 @@ pub enum Residency {
 }
 
 /// The four wrapper port classes of §3.1.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PortClass {
     /// Port A: single-cycle non-dependent accesses, direct to the BRAM.
     A,
@@ -202,7 +205,7 @@ impl fmt::Display for PortClass {
 }
 
 /// Memory residency decisions for one thread, keyed by variable name.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemBinding {
     /// Residency per variable; unlisted variables default to registers.
     pub residency: BTreeMap<String, Residency>,
@@ -218,7 +221,12 @@ impl MemBinding {
     pub fn place_in_memory(&mut self, var: impl Into<String>, port: PortClass, base_addr: u32) {
         self.residency.insert(
             var.into(),
-            Residency::Memory { port, base_addr, read_dep: None, write_dep: None },
+            Residency::Memory {
+                port,
+                base_addr,
+                read_dep: None,
+                write_dep: None,
+            },
         );
     }
 
@@ -233,13 +241,21 @@ impl MemBinding {
     ) {
         self.residency.insert(
             var.into(),
-            Residency::Memory { port, base_addr, read_dep, write_dep },
+            Residency::Memory {
+                port,
+                base_addr,
+                read_dep,
+                write_dep,
+            },
         );
     }
 
     /// Residency of a variable (register if unlisted).
     pub fn residency_of(&self, var: &str) -> Residency {
-        self.residency.get(var).cloned().unwrap_or(Residency::Register)
+        self.residency
+            .get(var)
+            .cloned()
+            .unwrap_or(Residency::Register)
     }
 
     /// Whether a variable is memory-resident.
@@ -249,7 +265,7 @@ impl MemBinding {
 }
 
 /// The dataflow function of one thread: declared variables plus blocks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DfThread {
     /// Thread name.
     pub name: String,
@@ -266,7 +282,10 @@ pub struct DfThread {
 impl DfThread {
     /// Looks up a variable id by name.
     pub fn var_id(&self, name: &str) -> Option<VarId> {
-        self.vars.iter().position(|v| v == name).map(|i| VarId(i as u32))
+        self.vars
+            .iter()
+            .position(|v| v == name)
+            .map(|i| VarId(i as u32))
     }
 
     /// Name of a variable.
@@ -288,8 +307,12 @@ mod tests {
     fn terminator_successors() {
         assert_eq!(Terminator::Jump(3).successors(), vec![3]);
         assert_eq!(
-            Terminator::Branch { cond: Value::Const(1), then_block: 1, else_block: 2 }
-                .successors(),
+            Terminator::Branch {
+                cond: Value::Const(1),
+                then_block: 1,
+                else_block: 2
+            }
+            .successors(),
             vec![1, 2]
         );
         let sw = Terminator::Switch {
@@ -320,7 +343,10 @@ mod tests {
 
     #[test]
     fn memory_op_classification() {
-        let read = OpKind::MemRead { var: VarId(0), dep: Some("mt1".into()) };
+        let read = OpKind::MemRead {
+            var: VarId(0),
+            dep: Some("mt1".into()),
+        };
         assert!(read.is_memory());
         assert_eq!(read.dep(), Some("mt1"));
         assert!(!OpKind::Copy.is_memory());

@@ -8,11 +8,10 @@
 //! chain up to a configurable depth within one cycle.
 
 use crate::ir::{Block, DfOp, OpKind, Temp, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Resource constraints for list scheduling.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Constraints {
     /// Simultaneous ALU (logic/arith/call) operations per cycle.
     pub alu_per_cycle: u32,
@@ -26,12 +25,16 @@ pub struct Constraints {
 
 impl Default for Constraints {
     fn default() -> Self {
-        Constraints { alu_per_cycle: 4, mem_per_cycle: 1, max_chain: 2 }
+        Constraints {
+            alu_per_cycle: 4,
+            mem_per_cycle: 1,
+            max_chain: 2,
+        }
     }
 }
 
 /// A scheduled block: every op paired with its issue cycle.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduledBlock {
     /// `(cycle, op)` pairs in issue order (cycles are non-decreasing).
     pub ops: Vec<(u32, DfOp)>,
@@ -44,7 +47,10 @@ pub struct ScheduledBlock {
 impl ScheduledBlock {
     /// Ops issued in a given cycle.
     pub fn ops_in_cycle(&self, cycle: u32) -> impl Iterator<Item = &DfOp> {
-        self.ops.iter().filter(move |(c, _)| *c == cycle).map(|(_, o)| o)
+        self.ops
+            .iter()
+            .filter(move |(c, _)| *c == cycle)
+            .map(|(_, o)| o)
     }
 }
 
@@ -146,7 +152,11 @@ pub fn list_schedule(block: &Block, constraints: Constraints) -> ScheduledBlock 
                 Value::Temp(t) => avail.get(t).copied(),
                 _ => Some(0),
             })
-            .chain(var_reads.iter().map(|v| var_last_write.get(v).copied().unwrap_or(0)))
+            .chain(
+                var_reads
+                    .iter()
+                    .map(|v| var_last_write.get(v).copied().unwrap_or(0)),
+            )
             .chain(var_write.iter().map(|v| {
                 var_last_access
                     .get(v)
@@ -238,7 +248,11 @@ pub fn list_schedule(block: &Block, constraints: Constraints) -> ScheduledBlock 
     };
     span = span.max(cond_ready + 1);
 
-    ScheduledBlock { ops: scheduled, cycles: span, cond_ready }
+    ScheduledBlock {
+        ops: scheduled,
+        cycles: span,
+        cond_ready,
+    }
 }
 
 #[cfg(test)]
@@ -287,8 +301,22 @@ mod tests {
     #[test]
     fn chaining_limits_ops_per_cycle() {
         let b = block_of("thread t() { int a, b; a = 1; b = a + 1 + 2 + 3 + 4 + 5; }");
-        let tight = list_schedule(&b, Constraints { alu_per_cycle: 8, mem_per_cycle: 1, max_chain: 1 });
-        let loose = list_schedule(&b, Constraints { alu_per_cycle: 8, mem_per_cycle: 1, max_chain: 8 });
+        let tight = list_schedule(
+            &b,
+            Constraints {
+                alu_per_cycle: 8,
+                mem_per_cycle: 1,
+                max_chain: 1,
+            },
+        );
+        let loose = list_schedule(
+            &b,
+            Constraints {
+                alu_per_cycle: 8,
+                mem_per_cycle: 1,
+                max_chain: 8,
+            },
+        );
         assert!(tight.cycles > loose.cycles);
     }
 
@@ -297,9 +325,28 @@ mod tests {
         let b = block_of(
             "thread t() { int a, b, c, d, e; a = 1; b = a + 1; c = a + 2; d = a + 3; e = a + 4; }",
         );
-        let one = list_schedule(&b, Constraints { alu_per_cycle: 1, mem_per_cycle: 1, max_chain: 1 });
-        let four = list_schedule(&b, Constraints { alu_per_cycle: 4, mem_per_cycle: 1, max_chain: 1 });
-        assert!(one.cycles > four.cycles, "{} vs {}", one.cycles, four.cycles);
+        let one = list_schedule(
+            &b,
+            Constraints {
+                alu_per_cycle: 1,
+                mem_per_cycle: 1,
+                max_chain: 1,
+            },
+        );
+        let four = list_schedule(
+            &b,
+            Constraints {
+                alu_per_cycle: 4,
+                mem_per_cycle: 1,
+                max_chain: 1,
+            },
+        );
+        assert!(
+            one.cycles > four.cycles,
+            "{} vs {}",
+            one.cycles,
+            four.cycles
+        );
     }
 
     #[test]
@@ -342,7 +389,10 @@ mod tests {
 
     #[test]
     fn empty_block_is_one_cycle() {
-        let b = Block { ops: vec![], term: crate::ir::Terminator::Restart };
+        let b = Block {
+            ops: vec![],
+            term: crate::ir::Terminator::Restart,
+        };
         let s = list_schedule(&b, Constraints::default());
         assert_eq!(s.cycles, 1);
     }

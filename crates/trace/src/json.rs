@@ -1,0 +1,226 @@
+//! A dependency-free JSON value builder.
+//!
+//! The repo builds offline (no crates.io), so `serde_json` is not
+//! available; this covers the small amount of JSON the metrics exporters
+//! and the `report --json` binary need. Objects preserve insertion order,
+//! which keeps every exporter deterministic.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Integer (rendered without a decimal point).
+    Int(i64),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Floating point (non-finite values render as `null`).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Adds a field to an object (panics on non-objects — builder misuse).
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_owned(), value)),
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Builder-style [`Json::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: Json) -> Json {
+        self.set(key, value);
+        self
+    }
+
+    /// Compact rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Num(f) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::UInt(u)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::UInt(u as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Num(f)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_structures_compactly() {
+        let j = Json::obj()
+            .with("name", "bank0".into())
+            .with("stalls", Json::UInt(3))
+            .with("util", Json::Num(0.5))
+            .with("tags", Json::Arr(vec!["a".into(), "b".into()]));
+        assert_eq!(
+            j.render(),
+            "{\"name\":\"bank0\",\"stalls\":3,\"util\":0.5,\"tags\":[\"a\",\"b\"]}"
+        );
+    }
+
+    #[test]
+    fn escapes_control_characters() {
+        let j = Json::Str("a\"b\\c\nd\u{1}".to_owned());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn pretty_output_is_indented_and_reparseable_shape() {
+        let j = Json::obj()
+            .with("x", Json::Int(-4))
+            .with("y", Json::Arr(vec![Json::Null]));
+        let p = j.pretty();
+        assert!(p.contains("\n  \"x\": -4"));
+        assert!(p.ends_with('}'));
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null");
+    }
+}

@@ -1,0 +1,213 @@
+//! Latency metrics: produce-to-consume delay distributions, the measurement
+//! behind the paper's determinism comparison (§3.1 vs §3.2).
+//!
+//! Previously `memsync_sim::metrics`; folded into this crate so the
+//! recorder lives next to the counter registry that embeds it.
+
+use std::collections::BTreeMap;
+
+/// Records per-(address, consumer) latencies between a producer write and
+/// the consumer's data delivery.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    last_write: BTreeMap<u32, u64>,
+    samples: BTreeMap<(u32, usize), Vec<u64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Notes a producer write to `addr` at `cycle`.
+    pub fn record_write(&mut self, addr: u32, cycle: u64) {
+        self.last_write.insert(addr, cycle);
+    }
+
+    /// Notes consumer `consumer` receiving data for `addr` at `cycle`.
+    pub fn record_delivery(&mut self, addr: u32, consumer: usize, cycle: u64) {
+        if let Some(&w) = self.last_write.get(&addr) {
+            self.samples
+                .entry((addr, consumer))
+                .or_default()
+                .push(cycle.saturating_sub(w));
+        }
+    }
+
+    /// All samples for one (address, consumer).
+    pub fn samples(&self, addr: u32, consumer: usize) -> &[u64] {
+        self.samples
+            .get(&(addr, consumer))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Summary over one (address, consumer) stream.
+    pub fn stats(&self, addr: u32, consumer: usize) -> Option<LatencyStats> {
+        let s = self.samples.get(&(addr, consumer))?;
+        LatencyStats::of(s)
+    }
+
+    /// Summary over every recorded stream pooled together.
+    pub fn pooled_stats(&self) -> Option<LatencyStats> {
+        let all: Vec<u64> = self.samples.values().flatten().copied().collect();
+        LatencyStats::of(&all)
+    }
+
+    /// Streams recorded, as `(addr, consumer)` keys.
+    pub fn streams(&self) -> Vec<(u32, usize)> {
+        self.samples.keys().copied().collect()
+    }
+}
+
+/// Summary statistics of a latency stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum latency (cycles).
+    pub min: u64,
+    /// Maximum latency (cycles).
+    pub max: u64,
+    /// Mean latency.
+    pub mean: f64,
+    /// Population variance.
+    pub variance: f64,
+}
+
+impl LatencyStats {
+    /// Computes statistics; `None` for empty input.
+    pub fn of(samples: &[u64]) -> Option<LatencyStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let count = samples.len();
+        let min = *samples.iter().min().expect("non-empty");
+        let max = *samples.iter().max().expect("non-empty");
+        let mean = samples.iter().sum::<u64>() as f64 / count as f64;
+        let variance = samples
+            .iter()
+            .map(|&s| {
+                let d = s as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        Some(LatencyStats {
+            count,
+            min,
+            max,
+            mean,
+            variance,
+        })
+    }
+
+    /// Whether every sample was identical — the §3.2 determinism property.
+    pub fn is_deterministic(&self) -> bool {
+        self.min == self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::percentile;
+
+    #[test]
+    fn records_latency_between_write_and_delivery() {
+        let mut r = LatencyRecorder::new();
+        r.record_write(4, 100);
+        r.record_delivery(4, 0, 103);
+        r.record_delivery(4, 1, 104);
+        assert_eq!(r.samples(4, 0), &[3]);
+        assert_eq!(r.samples(4, 1), &[4]);
+    }
+
+    #[test]
+    fn stats_detect_determinism() {
+        let s = LatencyStats::of(&[3, 3, 3]).unwrap();
+        assert!(s.is_deterministic());
+        assert_eq!(s.variance, 0.0);
+        let v = LatencyStats::of(&[3, 5, 7]).unwrap();
+        assert!(!v.is_deterministic());
+        assert!(v.variance > 0.0);
+        assert_eq!(v.mean, 5.0);
+    }
+
+    #[test]
+    fn delivery_without_write_is_ignored() {
+        let mut r = LatencyRecorder::new();
+        r.record_delivery(9, 0, 50);
+        assert!(r.samples(9, 0).is_empty());
+        assert!(r.pooled_stats().is_none());
+    }
+
+    #[test]
+    fn pooled_stats_cover_all_streams() {
+        let mut r = LatencyRecorder::new();
+        r.record_write(1, 0);
+        r.record_delivery(1, 0, 2);
+        r.record_write(2, 0);
+        r.record_delivery(2, 1, 6);
+        let p = r.pooled_stats().unwrap();
+        assert_eq!(p.count, 2);
+        assert_eq!(p.min, 2);
+        assert_eq!(p.max, 6);
+        assert_eq!(r.streams().len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_has_no_stats() {
+        let r = LatencyRecorder::new();
+        assert!(r.stats(0, 0).is_none());
+        assert!(r.pooled_stats().is_none());
+        assert!(r.streams().is_empty());
+        assert_eq!(r.samples(0, 0), &[] as &[u64]);
+        assert_eq!(LatencyStats::of(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_stats_and_percentiles() {
+        let mut r = LatencyRecorder::new();
+        r.record_write(8, 10);
+        r.record_delivery(8, 2, 15);
+        let s = r.stats(8, 2).unwrap();
+        assert_eq!((s.count, s.min, s.max), (1, 5, 5));
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.variance, 0.0);
+        assert!(s.is_deterministic());
+        // Every percentile of a single-sample stream is that sample.
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(percentile(r.samples(8, 2), q), Some(5));
+        }
+    }
+
+    #[test]
+    fn pooled_differs_from_per_stream() {
+        let mut r = LatencyRecorder::new();
+        r.record_write(1, 0);
+        r.record_delivery(1, 0, 3); // stream (1,0): [3]
+        r.record_delivery(1, 1, 9); // stream (1,1): [9]
+        let s0 = r.stats(1, 0).unwrap();
+        let s1 = r.stats(1, 1).unwrap();
+        assert!(s0.is_deterministic() && s1.is_deterministic());
+        let pooled = r.pooled_stats().unwrap();
+        assert_eq!(pooled.count, 2);
+        assert!(!pooled.is_deterministic(), "pooling mixes the streams");
+        assert_eq!(pooled.mean, 6.0);
+    }
+
+    #[test]
+    fn delivery_before_recorded_write_saturates_to_zero() {
+        let mut r = LatencyRecorder::new();
+        // The write is recorded at a later cycle than the delivery (the
+        // engine records grants after deliveries within one step); the
+        // latency clamps at zero instead of wrapping.
+        r.record_write(4, 100);
+        r.record_delivery(4, 0, 90);
+        assert_eq!(r.samples(4, 0), &[0]);
+        let s = r.stats(4, 0).unwrap();
+        assert_eq!((s.min, s.max), (0, 0));
+    }
+}

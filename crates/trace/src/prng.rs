@@ -1,0 +1,152 @@
+//! A small deterministic PRNG (PCG-XSH-RR 64/32).
+//!
+//! The repo builds offline, so the `rand` crate is unavailable; every
+//! stochastic component (traffic sources, workload generators, randomized
+//! tests) uses this generator instead. Seeding goes through SplitMix64 so
+//! small seeds still produce well-mixed streams, and the whole thing is
+//! deterministic by construction — a requirement for byte-identical traces.
+
+use std::ops::Range;
+
+const PCG_MUL: u64 = 6364136223846793005;
+
+/// Permuted congruential generator, 64-bit state, 32-bit output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    /// Seeds the generator; equal seeds give equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let initstate = splitmix64(&mut sm);
+        let initseq = splitmix64(&mut sm);
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (initseq << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(initstate);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform value in the half-open `range` (Lemire's unbiased method).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    pub fn gen_range(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end - range.start;
+        // Widening multiply rejection sampling.
+        loop {
+            let x = self.next_u64();
+            let m = (u128::from(x)) * (u128::from(span));
+            let low = m as u64;
+            if low >= span {
+                return range.start + (m >> 64) as u64;
+            }
+            let threshold = span.wrapping_neg() % span;
+            if low >= threshold {
+                return range.start + (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` in the half-open `range`.
+    pub fn gen_range_usize(&mut self, range: Range<usize>) -> usize {
+        self.gen_range(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform `u32` in the half-open `range`.
+    pub fn gen_range_u32(&mut self, range: Range<u32>) -> u32 {
+        self.gen_range(u64::from(range.start)..u64::from(range.end)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg32::seed_from_u64(7);
+        let mut b = Pcg32::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let sa: Vec<u32> = (0..8).map(|_| a.next_u32()).collect();
+        let sb: Vec<u32> = (0..8).map(|_| b.next_u32()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn gen_bool_rate_approximates_p() {
+        let mut rng = Pcg32::seed_from_u64(42);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values reachable: {seen:?}");
+    }
+}

@@ -1,0 +1,257 @@
+//! Trace sinks: where events go.
+//!
+//! Instrumentation sites hold a `&mut dyn TraceSink` and call
+//! [`TraceSink::emit`] per event. [`NullSink`] reports itself disabled so
+//! call sites can skip building events whose construction is not free
+//! (e.g. per-consumer stall scans), keeping the uninstrumented hot path
+//! within noise of the pre-instrumentation simulator.
+
+use crate::event::TraceEvent;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Destination of a cycle-event stream.
+pub trait TraceSink: std::fmt::Debug {
+    /// Records one event.
+    fn emit(&mut self, ev: &TraceEvent);
+
+    /// Whether emitting has any effect. Instrumentation may skip event
+    /// construction entirely when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Flushes buffered output (JSONL writers).
+    fn flush(&mut self) {}
+}
+
+/// Discards everything; `enabled()` is `false`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _ev: &TraceEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Collects every event in order (tests, the determinism regression).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// Events in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// Keeps the last `capacity` events; older ones are dropped (and counted).
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingBufferSink {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBufferSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the retained events into a `Vec` (e.g. for VCD export).
+    pub fn take(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn emit(&mut self, ev: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*ev);
+    }
+}
+
+/// Streams events as JSON Lines to any writer.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write + std::fmt::Debug> {
+    w: W,
+    /// Lines written so far.
+    pub lines: u64,
+}
+
+impl<W: Write + std::fmt::Debug> JsonlSink<W> {
+    /// Wraps a writer. Callers wanting buffering pass a `BufWriter`.
+    pub fn new(w: W) -> Self {
+        JsonlSink { w, lines: 0 }
+    }
+
+    /// Writes a raw metadata line (e.g. run headers between experiment
+    /// phases); `obj` must already be a complete JSON object.
+    pub fn write_meta(&mut self, obj: &str) {
+        let _ = writeln!(self.w, "{obj}");
+        self.lines += 1;
+    }
+
+    /// Consumes the sink, returning the writer after flushing.
+    pub fn into_inner(mut self) -> W {
+        let _ = self.w.flush();
+        self.w
+    }
+}
+
+impl<W: Write + std::fmt::Debug> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        let _ = writeln!(self.w, "{}", ev.to_jsonl());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.w.flush();
+    }
+}
+
+/// A cloneable handle to a shared sink, so a caller can hand one end to a
+/// `System` (which owns its sink) and keep the other to inspect events
+/// afterwards.
+#[derive(Debug, Default)]
+pub struct SharedSink<S: TraceSink>(Rc<RefCell<S>>);
+
+impl<S: TraceSink> SharedSink<S> {
+    /// Wraps a sink for sharing.
+    pub fn new(sink: S) -> Self {
+        SharedSink(Rc::new(RefCell::new(sink)))
+    }
+
+    /// Runs `f` with the inner sink borrowed.
+    pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.0.borrow())
+    }
+
+    /// Runs `f` with the inner sink borrowed mutably.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
+        f(&mut self.0.borrow_mut())
+    }
+}
+
+impl<S: TraceSink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        SharedSink(Rc::clone(&self.0))
+    }
+}
+
+impl<S: TraceSink> TraceSink for SharedSink<S> {
+    fn emit(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().emit(ev);
+    }
+
+    fn enabled(&self) -> bool {
+        self.0.borrow().enabled()
+    }
+
+    fn flush(&mut self) {
+        self.0.borrow_mut().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Port};
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            bank: 0,
+            port: Port::C,
+            addr: 1,
+            kind: EventKind::ArbStall { consumer: 0 },
+        }
+    }
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.emit(&ev(0));
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_and_counts_drops() {
+        let mut s = RingBufferSink::new(3);
+        for c in 0..5 {
+            s.emit(&ev(c));
+        }
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.dropped(), 2);
+        let cycles: Vec<u64> = s.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut s = JsonlSink::new(Vec::new());
+        s.emit(&ev(7));
+        s.emit(&ev(8));
+        s.write_meta("{\"meta\":1}");
+        let out = String::from_utf8(s.into_inner()).unwrap();
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.lines().next().unwrap().contains("\"c\":7"));
+    }
+
+    #[test]
+    fn shared_sink_exposes_events_after_moving_one_handle() {
+        let shared = SharedSink::new(VecSink::new());
+        let mut handle: Box<dyn TraceSink> = Box::new(shared.clone());
+        handle.emit(&ev(3));
+        assert_eq!(shared.with(|s| s.events.len()), 1);
+    }
+}

@@ -1,0 +1,283 @@
+//! VCD (Value Change Dump) export of trace-event streams, so captured
+//! traces open in ordinary waveform viewers (GTKWave & co).
+//!
+//! Events map onto signals as follows: pulse wires `bank{b}.grant_c{i}`,
+//! `bank{b}.grant_p{i}`, `bank{b}.stall_c{i}`, `bank{b}.depwait_c{i}`,
+//! `bank{b}.winstall_p{i}`, `bank{b}.write`, `bank{b}.read`, and
+//! `bank{b}.deliver_c{i}`; vector signals `bank{b}.data[31:0]` (last
+//! delivered word) and `queue{t}.depth[15:0]`. One VCD timestep is one
+//! clock cycle.
+
+use crate::event::{EventKind, Role, TraceEvent};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SignalKind {
+    Pulse,
+    Vector(u32),
+}
+
+/// VCD identifier code for the n-th signal (printable ASCII, base 94).
+fn idcode(mut n: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (n % 94)) as u8 as char);
+        n /= 94;
+        if n == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Signals touched by one event: `(name, kind, value)`.
+fn signals_of(ev: &TraceEvent) -> Vec<(String, SignalKind, u64)> {
+    let b = ev.bank;
+    match ev.kind {
+        EventKind::ReadIssue { .. } => {
+            vec![(format!("bank{b}.read"), SignalKind::Pulse, 1)]
+        }
+        EventKind::Grant {
+            role: Role::Consumer,
+            index,
+        } => {
+            vec![(format!("bank{b}.grant_c{index}"), SignalKind::Pulse, 1)]
+        }
+        EventKind::Grant {
+            role: Role::Producer,
+            index,
+        } => {
+            vec![(format!("bank{b}.grant_p{index}"), SignalKind::Pulse, 1)]
+        }
+        EventKind::ArbStall { consumer } => {
+            vec![(format!("bank{b}.stall_c{consumer}"), SignalKind::Pulse, 1)]
+        }
+        EventKind::DepWait { consumer } => {
+            vec![(format!("bank{b}.depwait_c{consumer}"), SignalKind::Pulse, 1)]
+        }
+        EventKind::WindowStall { producer } => {
+            vec![(
+                format!("bank{b}.winstall_p{producer}"),
+                SignalKind::Pulse,
+                1,
+            )]
+        }
+        EventKind::DepListHit { .. } => {
+            vec![(format!("bank{b}.deplist_hit"), SignalKind::Pulse, 1)]
+        }
+        EventKind::DepListMiss { .. } => {
+            vec![(format!("bank{b}.deplist_miss"), SignalKind::Pulse, 1)]
+        }
+        EventKind::Write { data, .. } => vec![
+            (format!("bank{b}.write"), SignalKind::Pulse, 1),
+            (
+                format!("bank{b}.data"),
+                SignalKind::Vector(32),
+                u64::from(data),
+            ),
+        ],
+        EventKind::Deliver { consumer, data } => vec![
+            (format!("bank{b}.deliver_c{consumer}"), SignalKind::Pulse, 1),
+            (
+                format!("bank{b}.data"),
+                SignalKind::Vector(32),
+                u64::from(data),
+            ),
+        ],
+        EventKind::QueuePush { thread, depth } | EventKind::QueuePop { thread, depth } => {
+            vec![(
+                format!("queue{thread}.depth"),
+                SignalKind::Vector(16),
+                depth as u64,
+            )]
+        }
+    }
+}
+
+/// Writes the event stream as a VCD document.
+///
+/// # Errors
+///
+/// Propagates I/O failures of the writer.
+pub fn export_vcd(events: &[TraceEvent], out: &mut impl Write) -> io::Result<()> {
+    // Pass 1: the signal dictionary.
+    let mut signals: BTreeMap<String, SignalKind> = BTreeMap::new();
+    let mut by_cycle: BTreeMap<u64, Vec<(String, SignalKind, u64)>> = BTreeMap::new();
+    for ev in events {
+        for (name, kind, value) in signals_of(ev) {
+            signals.entry(name.clone()).or_insert(kind);
+            by_cycle
+                .entry(ev.cycle)
+                .or_default()
+                .push((name, kind, value));
+        }
+    }
+
+    writeln!(out, "$date memsync-trace $end")?;
+    writeln!(out, "$version memsync-trace VCD exporter $end")?;
+    writeln!(out, "$timescale 1ns $end")?;
+    writeln!(out, "$scope module memsync $end")?;
+    let ids: BTreeMap<&String, String> = signals
+        .keys()
+        .enumerate()
+        .map(|(i, name)| (name, idcode(i)))
+        .collect();
+    for (name, kind) in &signals {
+        let width = match kind {
+            SignalKind::Pulse => 1,
+            SignalKind::Vector(w) => *w,
+        };
+        // VCD identifiers may not contain '.', so flatten it.
+        let vcd_name = name.replace('.', "_");
+        writeln!(out, "$var wire {width} {} {vcd_name} $end", ids[name])?;
+    }
+    writeln!(out, "$upscope $end")?;
+    writeln!(out, "$enddefinitions $end")?;
+
+    // Initial values: everything zero.
+    writeln!(out, "#0")?;
+    writeln!(out, "$dumpvars")?;
+    for (name, kind) in &signals {
+        match kind {
+            SignalKind::Pulse => writeln!(out, "0{}", ids[name])?,
+            SignalKind::Vector(_) => writeln!(out, "b0 {}", ids[name])?,
+        }
+    }
+    writeln!(out, "$end")?;
+
+    // Pass 2: walk cycles in order; pulses raised this cycle fall at the
+    // next emitted timestep unless re-raised.
+    let mut current: BTreeMap<&String, u64> = signals.keys().map(|k| (k, 0)).collect();
+    let cycles: Vec<u64> = by_cycle.keys().copied().collect();
+    for (i, &cycle) in cycles.iter().enumerate() {
+        let mut target: BTreeMap<&String, u64> = signals
+            .iter()
+            .map(|(name, kind)| {
+                let hold = match kind {
+                    SignalKind::Pulse => 0, // pulses fall unless re-raised
+                    SignalKind::Vector(_) => current[name],
+                };
+                (name, hold)
+            })
+            .collect();
+        for (name, _, value) in &by_cycle[&cycle] {
+            *target.get_mut(name).expect("signal registered") = *value;
+        }
+        let changes: Vec<(&String, u64)> = target
+            .iter()
+            .filter(|(name, v)| current[**name] != **v)
+            .map(|(name, v)| (*name, *v))
+            .collect();
+        if !changes.is_empty() {
+            writeln!(out, "#{cycle}")?;
+            for (name, v) in &changes {
+                match signals[*name] {
+                    SignalKind::Pulse => writeln!(out, "{}{}", v, ids[name])?,
+                    SignalKind::Vector(_) => writeln!(out, "b{:b} {}", v, ids[name])?,
+                }
+                *current.get_mut(name).expect("signal registered") = *v;
+            }
+        }
+        // Drop pulses one cycle later when the trace goes quiet there.
+        let next_traced = cycles.get(i + 1).copied();
+        if next_traced != Some(cycle + 1) {
+            let falling: Vec<&String> = signals
+                .iter()
+                .filter(|(name, kind)| **kind == SignalKind::Pulse && current[*name] != 0)
+                .map(|(name, _)| name)
+                .collect();
+            if !falling.is_empty() {
+                writeln!(out, "#{}", cycle + 1)?;
+                for name in falling {
+                    writeln!(out, "0{}", ids[name])?;
+                    *current.get_mut(name).expect("signal registered") = 0;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Port;
+
+    fn ev(cycle: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            bank: 0,
+            port: Port::C,
+            addr: 4,
+            kind,
+        }
+    }
+
+    #[test]
+    fn exports_header_vars_and_changes() {
+        let events = vec![
+            ev(
+                0,
+                EventKind::Write {
+                    producer: 0,
+                    data: 7,
+                },
+            ),
+            ev(
+                2,
+                EventKind::Grant {
+                    role: Role::Consumer,
+                    index: 1,
+                },
+            ),
+            ev(
+                3,
+                EventKind::Deliver {
+                    consumer: 1,
+                    data: 7,
+                },
+            ),
+        ];
+        let mut buf = Vec::new();
+        export_vcd(&events, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("$timescale 1ns $end"));
+        assert!(s.contains("bank0_write"));
+        assert!(s.contains("bank0_grant_c1"));
+        assert!(s.contains("bank0_deliver_c1"));
+        assert!(s.contains("b111 "), "data vector 7 dumped: {s}");
+        assert!(s.contains("#0\n") && s.contains("#2\n") && s.contains("#3\n"));
+    }
+
+    #[test]
+    fn pulses_fall_after_their_cycle() {
+        let events = vec![ev(5, EventKind::ArbStall { consumer: 0 })];
+        let mut buf = Vec::new();
+        export_vcd(&events, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let up = s.find("#5\n").expect("rise timestep");
+        let down = s.find("#6\n").expect("fall timestep");
+        assert!(up < down);
+    }
+
+    #[test]
+    fn idcodes_are_unique_and_printable() {
+        let codes: Vec<String> = (0..200).map(idcode).collect();
+        let mut dedup = codes.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len());
+        assert!(codes
+            .iter()
+            .all(|c| c.chars().all(|ch| ('!'..='~').contains(&ch))));
+    }
+
+    #[test]
+    fn empty_event_list_still_produces_valid_header() {
+        let mut buf = Vec::new();
+        export_vcd(&[], &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("$enddefinitions $end"));
+    }
+}

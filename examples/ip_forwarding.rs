@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             sim.step();
         }
         let egress_outputs: usize = (0..egress)
-            .map(|i| sim.thread(&format!("e{i}")).map(|t| t.sent.len()).unwrap_or(0))
+            .map(|i| {
+                sim.thread(&format!("e{i}"))
+                    .map(|t| t.sent.len())
+                    .unwrap_or(0)
+            })
             .sum();
         println!(
             "simulated 30k cycles: rx iterations {}, egress frames sent {}",

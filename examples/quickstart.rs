@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "dependency `{}`: producer {} -> consumers {:?} (dep_number {})",
                 dep.id,
                 dep.producer,
-                dep.consumers.iter().map(ToString::to_string).collect::<Vec<_>>(),
+                dep.consumers
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>(),
                 dep.dep_number()
             );
         }

@@ -3,7 +3,7 @@
 //! See the individual crates for detail:
 //! [`hic`](memsync_hic), [`synth`](memsync_synth), [`rtl`](memsync_rtl),
 //! [`fpga`](memsync_fpga), [`core`](memsync_core), [`sim`](memsync_sim),
-//! [`netapp`](memsync_netapp).
+//! [`netapp`](memsync_netapp), [`trace`](memsync_trace).
 pub use memsync_core as core;
 pub use memsync_fpga as fpga;
 pub use memsync_hic as hic;
@@ -11,3 +11,4 @@ pub use memsync_netapp as netapp;
 pub use memsync_rtl as rtl;
 pub use memsync_sim as sim;
 pub use memsync_synth as synth;
+pub use memsync_trace as trace;

@@ -31,9 +31,16 @@ fn forwarding_app_full_stack() {
             sim.step();
         }
         let rx_iters = sim.thread("rx").expect("rx exists").iterations;
-        assert!(rx_iters >= 100, "{kind}: rx stalled at {rx_iters} iterations");
+        assert!(
+            rx_iters >= 100,
+            "{kind}: rx stalled at {rx_iters} iterations"
+        );
         let frames: usize = (0..4)
-            .map(|i| sim.thread(&format!("e{i}")).map(|t| t.sent.len()).unwrap_or(0))
+            .map(|i| {
+                sim.thread(&format!("e{i}"))
+                    .map(|t| t.sent.len())
+                    .unwrap_or(0)
+            })
             .sum();
         assert!(frames > 0, "{kind}: no egress frames emitted");
     }
@@ -79,7 +86,11 @@ fn core_thread_runs_to_completion_each_packet() {
         sim.step();
     }
     let t = sim.thread("core").expect("core exists");
-    assert!(t.iterations >= 40, "run-to-completion per message: {}", t.iterations);
+    assert!(
+        t.iterations >= 40,
+        "run-to-completion per message: {}",
+        t.iterations
+    );
     assert_eq!(t.sent.len() as u64, t.iterations, "one send per iteration");
 }
 
@@ -87,7 +98,7 @@ fn core_thread_runs_to_completion_each_packet() {
 fn verilog_of_every_scenario_is_wellformed() {
     for egress in [2usize, 4, 8] {
         for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-            let mut c = Compiler::new(&app_source(egress));
+            let mut c = Compiler::new(app_source(egress));
             c.organization(kind);
             let system = c.compile().expect("compiles");
             let text = system.verilog();

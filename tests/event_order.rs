@@ -32,18 +32,39 @@ fn selection_logic_releases_y1_then_z1() {
     assert_eq!(schedule.latency_of(0, 1), Some(2), "z1 second");
     let mut sel = SelectionLogic::new(schedule);
     // Blocking until t1 writes.
-    assert!(matches!(sel.step(false), SelectionOutput::AwaitingProducer { producer: 0 }));
-    assert!(matches!(sel.step(true), SelectionOutput::AwaitingProducer { producer: 0 }));
+    assert!(matches!(
+        sel.step(false),
+        SelectionOutput::AwaitingProducer { producer: 0 }
+    ));
+    assert!(matches!(
+        sel.step(true),
+        SelectionOutput::AwaitingProducer { producer: 0 }
+    ));
     // Then y1 (consumer 0), then z1 (consumer 1), in that order.
-    assert_eq!(sel.step(false), SelectionOutput::Serve { producer: 0, consumer: 0, slot: 0 });
-    assert_eq!(sel.step(false), SelectionOutput::Serve { producer: 0, consumer: 1, slot: 1 });
+    assert_eq!(
+        sel.step(false),
+        SelectionOutput::Serve {
+            producer: 0,
+            consumer: 0,
+            slot: 0
+        }
+    );
+    assert_eq!(
+        sel.step(false),
+        SelectionOutput::Serve {
+            producer: 0,
+            consumer: 1,
+            slot: 1
+        }
+    );
 }
 
 #[test]
 fn full_system_serves_t2_before_t3_every_round() {
     let system = {
         let mut c = Compiler::new(FIGURE1);
-        c.organization(OrganizationKind::EventDriven).skip_validation();
+        c.organization(OrganizationKind::EventDriven)
+            .skip_validation();
         c.compile().expect("compiles")
     };
     // The allocation must have put t2 at slot 0 and t3 at slot 1.
@@ -52,7 +73,10 @@ fn full_system_serves_t2_before_t3_every_round() {
     assert_eq!(bank.service_order, vec![vec![0, 1]]);
 
     let mut sim = System::new(&system);
-    assert!(sim.run_until_iterations(10, 20_000), "system makes progress");
+    assert!(
+        sim.run_until_iterations(10, 20_000),
+        "system makes progress"
+    );
     // The recorded latencies must be exact and ordered: t2 (consumer 0)
     // strictly earlier than t3 (consumer 1), every single time.
     let streams = sim.metrics.streams();
@@ -75,7 +99,8 @@ fn reversed_pragma_order_reverses_service() {
         thread t3 () { int z1; #producer{mt1,[t1,x1]} z1 = x1; }
     "#;
     let mut c = Compiler::new(reversed);
-    c.organization(OrganizationKind::EventDriven).skip_validation();
+    c.organization(OrganizationKind::EventDriven)
+        .skip_validation();
     let system = c.compile().expect("compiles");
     let bank = &system.plan.sync_banks[0];
     assert_eq!(bank.consumers, vec!["t3".to_owned(), "t2".to_owned()]);
@@ -85,5 +110,8 @@ fn reversed_pragma_order_reverses_service() {
     let addr = sim.metrics.streams()[0].0;
     let t3_stats = sim.metrics.stats(addr, 0).expect("t3 is pseudo-port 0");
     let t2_stats = sim.metrics.stats(addr, 1).expect("t2 is pseudo-port 1");
-    assert!(t3_stats.min < t2_stats.min, "t3 served first under reversed order");
+    assert!(
+        t3_stats.min < t2_stats.min,
+        "t3 served first under reversed order"
+    );
 }

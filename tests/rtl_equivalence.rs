@@ -8,9 +8,8 @@ use memsync::core::spec::WrapperSpec;
 use memsync::core::{arbitrated, event_driven};
 use memsync::rtl::interp::Interp;
 use memsync::sim::arb_model::{ArbInputs, ArbitratedModel};
-use memsync::sim::event_model::{EvtInputs, EventDrivenModel};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use memsync::sim::event_model::{EventDrivenModel, EvtInputs};
+use memsync::trace::Pcg32;
 
 const ADDRS: [u32; 2] = [3, 9];
 
@@ -33,7 +32,7 @@ fn check_arbitrated(consumers: usize, seed: u64, cycles: usize) {
     }
     rtl.set("cfg_we", 0);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     // Consumer request state: Some(addr) while requesting.
     let mut c_req: Vec<Option<u32>> = vec![None; consumers];
     let mut pending_data: Option<(usize, u32)> = None; // model's data due
@@ -45,7 +44,7 @@ fn check_arbitrated(consumers: usize, seed: u64, cycles: usize) {
         let wdata = (cycle as u32).wrapping_mul(2654435761);
         for r in c_req.iter_mut() {
             if r.is_none() && rng.gen_bool(0.3) {
-                *r = Some(ADDRS[rng.gen_range(0..ADDRS.len())]);
+                *r = Some(ADDRS[rng.gen_range_usize(0..ADDRS.len())]);
             }
         }
 
@@ -143,7 +142,7 @@ fn check_event_driven(consumers: usize, seed: u64, cycles: usize) {
     let schedule = ModuloSchedule::new(vec![(0..consumers).collect()]).expect("valid");
     let mut model = EventDrivenModel::new(1, consumers, schedule);
 
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let addr = 5u32;
     for cycle in 0..cycles {
         let fire = rng.gen_bool(0.15);

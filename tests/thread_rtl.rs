@@ -18,7 +18,10 @@ fn build(src: &str) -> (Interp, ThreadExec) {
     .expect("synthesizes");
     let module = codegen::generate(&fsm).expect("codegen");
     memsync::rtl::validate::validate(&module).expect("valid netlist");
-    (Interp::new(&module).expect("interpretable"), ThreadExec::new(fsm))
+    (
+        Interp::new(&module).expect("interpretable"),
+        ThreadExec::new(fsm),
+    )
 }
 
 /// Runs both sides until each produced `count` sends; returns the value
@@ -75,7 +78,11 @@ fn collect_sends(src: &str, inputs: &[u32], count: usize) -> (Vec<u64>, Vec<i64>
 fn check(src: &str, inputs: &[u32], count: usize) {
     let (rtl, exec) = collect_sends(src, inputs, count);
     assert!(rtl.len() >= count, "RTL produced only {} sends", rtl.len());
-    assert!(exec.len() >= count, "executor produced only {} sends", exec.len());
+    assert!(
+        exec.len() >= count,
+        "executor produced only {} sends",
+        exec.len()
+    );
     for i in 0..count {
         assert_eq!(
             rtl[i],
