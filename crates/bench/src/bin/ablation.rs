@@ -3,14 +3,25 @@
 //! multiplexing (LUTs), never the sequential state; the event-driven
 //! organization requires schedule/ROM changes too.
 
+//!
+//! `--jobs N` fans the independent base-size measurements across worker
+//! threads (default: available parallelism); output is byte-identical for
+//! any job count.
+
 use memsync_bench::ablation_scalability;
+use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let jobs = jobs_arg(&args);
+    let bases = [2usize, 4, 7];
+    let results = parallel_map_slice(&bases, jobs, |&b| ablation_scalability(b));
+
     println!("Cost of adding one consumer (n -> n+1)\n");
     println!("| base n | org | LUT delta | FF delta | state machine changed |");
     println!("|--------|-----|-----------|----------|-----------------------|");
-    for base in [2usize, 4, 7] {
-        for r in ablation_scalability(base) {
+    for (base, rows) in bases.iter().zip(&results) {
+        for r in rows {
             println!(
                 "| {base} | {} | {:+} | {:+} | {} |",
                 r.organization,

@@ -2,85 +2,88 @@
 //! organization's consumer-read latency after a producer write is
 //! non-deterministic; the event-driven organization's is exact.
 //!
-//! `--trace <path>` streams every cycle event of every run as JSONL (one
-//! meta line per run header); `--metrics <path>` writes the counter and
-//! histogram registry of every run as one JSON document.
+//! `--jobs N` fans the independent (organization × consumers) runs across
+//! worker threads (default: available parallelism); output is
+//! byte-identical for any job count. `--trace <path>` streams every cycle
+//! event of every run as JSONL (one meta line per run header);
+//! `--metrics <path>` writes the counter and histogram registry of every
+//! run as one JSON document.
 
-use memsync_bench::{arg_value, latency_experiment_traced, SCENARIOS};
+use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
+use memsync_bench::{arg_value, latency_grid, latency_run};
 use memsync_core::OrganizationKind;
-use memsync_trace::{Json, JsonlSink, MetricsRegistry, NullSink, TraceSink};
-use std::fs::File;
-use std::io::BufWriter;
+use memsync_trace::Json;
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trace_path = arg_value(&args, "--trace");
     let metrics_path = arg_value(&args, "--metrics");
+    let jobs = jobs_arg(&args);
 
-    let mut jsonl = trace_path
-        .as_ref()
-        .map(|p| JsonlSink::new(BufWriter::new(File::create(p).expect("create trace file"))));
-    let mut null = NullSink;
-    let mut runs: Vec<Json> = Vec::new();
+    let grid = latency_grid();
+    let capture = trace_path.is_some();
+    let runs = parallel_map_slice(&grid, jobs, |&(kind, n)| {
+        latency_run(kind, n, 200, 0xC0FFEE, capture)
+    });
+    // The 8-consumer detail runs are independent too; fan them with the
+    // same worker pool.
+    let detail_kinds = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven];
+    let details = parallel_map_slice(&detail_kinds, jobs, |&kind| {
+        latency_run(kind, 8, 200, 0xC0FFEE, false)
+    });
 
     println!("Produce-to-consume latency, Bernoulli-paced producer, 200 writes\n");
     println!("| org | consumers | min | mean | max | variance | arb stalls | deterministic |");
     println!("|-----|-----------|-----|------|-----|----------|------------|---------------|");
-    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        for &n in &SCENARIOS {
-            let mut registry = MetricsRegistry::new();
-            let r = {
-                let sink: &mut dyn TraceSink = match jsonl.as_mut() {
-                    Some(s) => {
-                        s.write_meta(&format!(
-                            "{{\"meta\":\"run\",\"org\":\"{kind}\",\"consumers\":{n}}}"
-                        ));
-                        s
-                    }
-                    None => &mut null,
-                };
-                latency_experiment_traced(kind, n, 200, 0xC0FFEE, sink, &mut registry)
-            };
-            println!(
-                "| {kind} | {n} | {} | {:.2} | {} | {:.2} | {} | {} |",
-                r.pooled.min,
-                r.pooled.mean,
-                r.pooled.max,
-                r.pooled.variance,
-                registry.counter_sum("bank0.arb_stall."),
-                if r.all_deterministic { "yes" } else { "no" }
-            );
-            runs.push(
-                Json::obj()
-                    .with("org", kind.to_string().as_str().into())
-                    .with("consumers", n.into())
-                    .with("metrics", registry.to_json()),
-            );
-        }
+    let mut metric_runs: Vec<Json> = Vec::new();
+    for run in &runs {
+        let r = &run.result;
+        println!(
+            "| {} | {} | {} | {:.2} | {} | {:.2} | {} | {} |",
+            run.kind,
+            run.consumers,
+            r.pooled.min,
+            r.pooled.mean,
+            r.pooled.max,
+            r.pooled.variance,
+            run.registry.counter_sum("bank0.arb_stall."),
+            if r.all_deterministic { "yes" } else { "no" }
+        );
+        metric_runs.push(
+            Json::obj()
+                .with("org", run.kind.to_string().as_str().into())
+                .with("consumers", run.consumers.into())
+                .with("metrics", run.registry.to_json()),
+        );
     }
     println!("\nper-consumer detail (8 consumers):");
-    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        let mut registry = MetricsRegistry::new();
-        let r = latency_experiment_traced(kind, 8, 200, 0xC0FFEE, &mut null, &mut registry);
-        for (i, s) in r.per_consumer.iter().enumerate() {
+    for run in &details {
+        for (i, s) in run.result.per_consumer.iter().enumerate() {
             println!(
-                "  {kind} consumer {i}: min {} mean {:.2} max {} var {:.2}",
-                s.min, s.mean, s.max, s.variance
+                "  {} consumer {i}: min {} mean {:.2} max {} var {:.2}",
+                run.kind, s.min, s.mean, s.max, s.variance
             );
         }
     }
 
     if let Some(path) = &metrics_path {
-        let doc = Json::obj().with("runs", Json::Arr(runs));
+        let doc = Json::obj().with("runs", Json::Arr(metric_runs));
         std::fs::write(path, doc.pretty()).expect("write metrics file");
         println!("\nmetrics written to {path}");
     }
-    if let Some(s) = jsonl {
-        let lines = s.lines;
-        let _ = s.into_inner();
-        println!(
-            "trace written to {} ({lines} lines)",
-            trace_path.expect("path set")
-        );
+    if let Some(path) = &trace_path {
+        // Deterministic merge: concatenate each run's buffered trace in
+        // grid order, regardless of which worker finished first.
+        let mut f =
+            std::io::BufWriter::new(std::fs::File::create(path).expect("create trace file"));
+        let mut lines = 0u64;
+        for run in &runs {
+            let (bytes, n) = run.trace.as_ref().expect("capture was requested");
+            f.write_all(bytes).expect("write trace file");
+            lines += n;
+        }
+        f.flush().expect("flush trace file");
+        println!("trace written to {path} ({lines} lines)");
     }
 }

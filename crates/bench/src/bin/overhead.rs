@@ -2,11 +2,15 @@
 //! fraction of the forwarding core (paper: 5-20% of a ~1000-slice core,
 //! 5430-slice total application).
 //!
-//! `--trace <path>` / `--metrics <path>` additionally run the forwarding
-//! application through the cycle-accurate simulator with full
-//! instrumentation, streaming events as JSONL and dumping the counter
-//! registry (rx-queue depths, per-bank stalls and utilization) as JSON.
+//! `--jobs N` fans the independent (organization × egress) builds across
+//! worker threads (default: available parallelism); output is
+//! byte-identical for any job count. `--trace <path>` / `--metrics <path>`
+//! additionally run the forwarding application through the cycle-accurate
+//! simulator with full instrumentation, streaming events as JSONL and
+//! dumping the counter registry (rx-queue depths, per-bank stalls and
+//! utilization) as JSON.
 
+use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
 use memsync_bench::{arg_value, overhead_experiment, SCENARIOS};
 use memsync_core::OrganizationKind;
 use memsync_sim::traffic::BernoulliSource;
@@ -19,22 +23,29 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let trace_path = arg_value(&args, "--trace");
     let metrics_path = arg_value(&args, "--metrics");
+    let jobs = jobs_arg(&args);
+
+    let grid: Vec<(OrganizationKind, usize)> =
+        [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+            .iter()
+            .flat_map(|&k| SCENARIOS.iter().map(move |&n| (k, n)))
+            .collect();
+    let results = parallel_map_slice(&grid, jobs, |&(kind, n)| {
+        (kind, n, overhead_experiment(kind, n))
+    });
 
     println!("Synchronization overhead of the IP forwarding application\n");
     println!("| org | egress | core slices | sync slices | total | overhead | fmax (MHz) |");
     println!("|-----|--------|-------------|-------------|-------|----------|------------|");
-    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        for &n in &SCENARIOS {
-            let r = overhead_experiment(kind, n);
-            println!(
-                "| {kind} | {n} | {} | {} | {} | {:.1}% | {:.0} |",
-                r.core_slices,
-                r.sync_slices,
-                r.total_slices,
-                r.overhead_fraction * 100.0,
-                r.fmax_mhz
-            );
-        }
+    for (kind, n, r) in &results {
+        println!(
+            "| {kind} | {n} | {} | {} | {} | {:.1}% | {:.0} |",
+            r.core_slices,
+            r.sync_slices,
+            r.total_slices,
+            r.overhead_fraction * 100.0,
+            r.fmax_mhz
+        );
     }
     println!("\npaper band: 5-20% of the core functionality");
 

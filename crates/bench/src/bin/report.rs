@@ -1,14 +1,18 @@
 //! Runs every experiment and emits the measured section of EXPERIMENTS.md
 //! (markdown on stdout; `--json` for machine-readable output).
 //!
-//! `--trace <path>` streams the latency experiment's cycle events as JSONL;
-//! `--metrics <path>` writes its per-run counter/histogram registries.
+//! `--jobs N` fans the independent experiment cells (area tables,
+//! overhead builds, latency runs, ablation bases) across worker threads
+//! (default: available parallelism); output is byte-identical for any job
+//! count. `--trace <path>` streams the latency experiment's cycle events
+//! as JSONL; `--metrics <path>` writes its per-run counter/histogram
+//! registries.
 
+use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
 use memsync_bench::*;
 use memsync_core::OrganizationKind;
-use memsync_trace::{Json, JsonlSink, MetricsRegistry, NullSink, TraceSink};
-use std::fs::File;
-use std::io::BufWriter;
+use memsync_trace::Json;
+use std::io::Write;
 
 fn area_rows_json(rows: &[AreaRow]) -> Json {
     Json::Arr(
@@ -30,56 +34,55 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let trace_path = arg_value(&args, "--trace");
     let metrics_path = arg_value(&args, "--metrics");
-    let t1 = table_area(OrganizationKind::Arbitrated);
-    let t2 = table_area(OrganizationKind::EventDriven);
-    let overhead: Vec<_> = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+    let jobs = jobs_arg(&args);
+
+    let kinds = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven];
+    let mut tables = parallel_map_slice(&kinds, jobs, |&k| table_area(k));
+    let t2 = tables.pop().expect("two tables");
+    let t1 = tables.pop().expect("two tables");
+    let overhead_grid: Vec<(OrganizationKind, usize)> = kinds
         .iter()
-        .flat_map(|&k| {
-            SCENARIOS
-                .iter()
-                .map(move |&n| (k.to_string(), overhead_experiment(k, n)))
-        })
+        .flat_map(|&k| SCENARIOS.iter().map(move |&n| (k, n)))
         .collect();
-    let mut jsonl = trace_path
-        .as_ref()
-        .map(|p| JsonlSink::new(BufWriter::new(File::create(p).expect("create trace file"))));
-    let mut null = NullSink;
-    let mut metric_runs: Vec<Json> = Vec::new();
-    let mut latency = Vec::new();
-    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
-        for &n in &SCENARIOS {
-            let mut registry = MetricsRegistry::new();
-            let r = {
-                let sink: &mut dyn TraceSink = match jsonl.as_mut() {
-                    Some(s) => {
-                        s.write_meta(&format!(
-                            "{{\"meta\":\"run\",\"org\":\"{kind}\",\"consumers\":{n}}}"
-                        ));
-                        s
-                    }
-                    None => &mut null,
-                };
-                latency_experiment_traced(kind, n, 200, 0xC0FFEE, sink, &mut registry)
-            };
-            metric_runs.push(
-                Json::obj()
-                    .with("org", kind.to_string().as_str().into())
-                    .with("consumers", n.into())
-                    .with("metrics", registry.to_json()),
-            );
-            latency.push((kind.to_string(), r));
+    let overhead: Vec<_> = parallel_map_slice(&overhead_grid, jobs, |&(k, n)| {
+        (k.to_string(), overhead_experiment(k, n))
+    });
+    let grid = latency_grid();
+    let capture = trace_path.is_some();
+    let runs = parallel_map_slice(&grid, jobs, |&(kind, n)| {
+        latency_run(kind, n, 200, 0xC0FFEE, capture)
+    });
+    let latency: Vec<_> = runs
+        .iter()
+        .map(|run| (run.kind.to_string(), run.result.clone()))
+        .collect();
+    if let Some(p) = &trace_path {
+        // Deterministic merge: buffered per-run traces concatenated in
+        // grid order, independent of worker completion order.
+        let mut f = std::io::BufWriter::new(std::fs::File::create(p).expect("create trace file"));
+        for run in &runs {
+            let (bytes, _) = run.trace.as_ref().expect("capture was requested");
+            f.write_all(bytes).expect("write trace file");
         }
-    }
-    if let Some(s) = jsonl {
-        let _ = s.into_inner();
+        f.flush().expect("flush trace file");
     }
     if let Some(p) = &metrics_path {
+        let metric_runs: Vec<Json> = runs
+            .iter()
+            .map(|run| {
+                Json::obj()
+                    .with("org", run.kind.to_string().as_str().into())
+                    .with("consumers", run.consumers.into())
+                    .with("metrics", run.registry.to_json())
+            })
+            .collect();
         let doc = Json::obj().with("runs", Json::Arr(metric_runs));
         std::fs::write(p, doc.pretty()).expect("write metrics file");
     }
-    let ablation: Vec<_> = [2usize, 4, 7]
-        .iter()
-        .flat_map(|&b| ablation_scalability(b))
+    let bases = [2usize, 4, 7];
+    let ablation: Vec<_> = parallel_map_slice(&bases, jobs, |&b| ablation_scalability(b))
+        .into_iter()
+        .flatten()
         .collect();
 
     if json {

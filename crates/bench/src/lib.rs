@@ -8,13 +8,15 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
 use memsync_fpga::calibration::PAPER_ANCHORS;
 use memsync_fpga::report::{implement, ImplReport};
 use memsync_sim::arb_model::{ArbInputs, ArbitratedModel};
 use memsync_sim::event_model::{EventDrivenModel, EvtInputs};
 use memsync_sim::metrics::LatencyStats;
-use memsync_trace::{MetricsRegistry, NullSink, Pcg32, RecordingSink, TraceSink};
+use memsync_trace::{JsonlSink, MetricsRegistry, NullSink, Pcg32, RecordingSink, TraceSink};
 
 /// The paper's three scenarios: one producer with 2, 4, 8 consumers.
 pub const SCENARIOS: [usize; 3] = [2, 4, 8];
@@ -267,6 +269,90 @@ pub fn latency_experiment_traced(
         per_consumer,
         all_deterministic,
     }
+}
+
+/// Builds the uninstrumented reference workload the self-timing harness
+/// (`perf` bin) and the perf regression tests measure: the egress-4
+/// forwarding application compiled for the arbitrated organization, under
+/// Bernoulli rx traffic — the same full-system configuration the overhead
+/// experiment simulates, so hot-path regressions in the thread executor,
+/// wrapper models, and engine all show up.
+pub fn reference_system() -> memsync_sim::System {
+    let src = memsync_netapp::forwarding::app_source(4);
+    let mut compiler = memsync_core::Compiler::new(&src);
+    compiler
+        .organization(OrganizationKind::Arbitrated)
+        .skip_validation();
+    let compiled = compiler.compile().expect("forwarding app compiles");
+    let mut sys = memsync_sim::System::new(&compiled);
+    sys.attach_source(
+        "rx",
+        Box::new(memsync_sim::traffic::BernoulliSource::new(7, 0.1)),
+    );
+    sys
+}
+
+/// One (organization × consumer-count) cell of the latency sweep, run as
+/// an independent unit of work so [`sweep::parallel_map`] can fan the
+/// cells across threads.
+#[derive(Debug)]
+pub struct LatencyRun {
+    /// Organization simulated.
+    pub kind: OrganizationKind,
+    /// Consumer count.
+    pub consumers: usize,
+    /// Experiment result.
+    pub result: LatencyResult,
+    /// The run's private metrics registry.
+    pub registry: MetricsRegistry,
+    /// When trace capture was requested: the run's JSONL bytes (meta
+    /// header + every cycle event) and line count, buffered so the caller
+    /// can concatenate runs in deterministic config order.
+    pub trace: Option<(Vec<u8>, u64)>,
+}
+
+/// Runs one latency cell with a private registry and (optionally) a
+/// private in-memory trace buffer. Buffering the JSONL bytes per run —
+/// instead of streaming into a shared file sink — is what lets the sweep
+/// run cells on worker threads while keeping the merged trace file
+/// byte-identical to a serial run.
+pub fn latency_run(
+    kind: OrganizationKind,
+    consumers: usize,
+    writes: usize,
+    seed: u64,
+    capture_trace: bool,
+) -> LatencyRun {
+    let mut registry = MetricsRegistry::new();
+    let (result, trace) = if capture_trace {
+        let mut sink = JsonlSink::new(Vec::<u8>::new());
+        sink.write_meta(&format!(
+            "{{\"meta\":\"run\",\"org\":\"{kind}\",\"consumers\":{consumers}}}"
+        ));
+        let result =
+            latency_experiment_traced(kind, consumers, writes, seed, &mut sink, &mut registry);
+        let lines = sink.lines;
+        (result, Some((sink.into_inner(), lines)))
+    } else {
+        let result =
+            latency_experiment_traced(kind, consumers, writes, seed, &mut NullSink, &mut registry);
+        (result, None)
+    };
+    LatencyRun {
+        kind,
+        consumers,
+        result,
+        registry,
+        trace,
+    }
+}
+
+/// The (organization × consumer-count) grid both latency bins sweep.
+pub fn latency_grid() -> Vec<(OrganizationKind, usize)> {
+    [OrganizationKind::Arbitrated, OrganizationKind::EventDriven]
+        .iter()
+        .flat_map(|&k| SCENARIOS.iter().map(move |&n| (k, n)))
+        .collect()
 }
 
 /// Scalability ablation (E9): the netlist delta of adding one consumer.

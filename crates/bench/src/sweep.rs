@@ -1,0 +1,152 @@
+//! Parallel sweep runner: fans independent (config × organization × seed)
+//! experiment runs across scoped worker threads.
+//!
+//! The paper's evaluation sweeps the 1/2, 1/4, 1/8 producer/consumer cases
+//! across both memory organizations; every run is independent, so the
+//! harness binaries farm them out with [`parallel_map`] behind a
+//! `--jobs N` flag. Determinism is preserved by construction: workers pull
+//! indices from a shared work-stealing counter, but results are merged
+//! back **in input order** and all printing/serialization happens on the
+//! caller's thread afterwards — so output is byte-identical to the serial
+//! path for any worker count (the equivalence tests in
+//! `tests/parallel_equivalence.rs` assert this).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use by default: the host's available
+/// parallelism (1 when it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Parses `--jobs N` from argv; defaults to [`default_jobs`]. `--jobs 0`
+/// is clamped to 1.
+pub fn jobs_arg(args: &[String]) -> usize {
+    crate::arg_value(args, "--jobs")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(default_jobs)
+        .max(1)
+}
+
+/// Runs `f(0..n)` across `jobs` scoped worker threads with a
+/// work-stealing index counter, returning results in index order.
+///
+/// With `jobs <= 1` (or `n <= 1`) the closures run serially on the calling
+/// thread — the parallel path produces the same `Vec` in the same order,
+/// just faster.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn parallel_map<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(n));
+    let workers = jobs.min(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results
+                    .lock()
+                    .expect("a worker panicked while holding the results lock")
+                    .push((i, out));
+            });
+        }
+    });
+    let mut collected = results.into_inner().expect("workers joined");
+    debug_assert_eq!(collected.len(), n, "every index produced a result");
+    // Deterministic merge: completion order varies with scheduling, the
+    // returned order never does.
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Convenience: [`parallel_map`] over a slice of configurations.
+pub fn parallel_map_slice<'a, C, T, F>(configs: &'a [C], jobs: usize, f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&'a C) -> T + Sync,
+{
+    parallel_map(configs.len(), jobs, |i| f(&configs[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        for jobs in [1, 2, 4, 8] {
+            let out = parallel_map(17, jobs, |i| {
+                // Stagger completion: later indices finish earlier.
+                if jobs > 1 {
+                    std::thread::sleep(std::time::Duration::from_micros((17 - i as u64) * 50));
+                }
+                i * i
+            });
+            assert_eq!(
+                out,
+                (0..17).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = parallel_map(9, 1, |i| format!("row-{i}"));
+        let parallel = parallel_map(9, 4, |i| format!("row-{i}"));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_edge_counts() {
+        assert_eq!(parallel_map(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(1, 4, |i| i + 1), vec![1]);
+        // More jobs than work.
+        assert_eq!(parallel_map(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn slice_variant_borrows_configs() {
+        let configs = vec![("a", 1), ("b", 2), ("c", 3)];
+        let out = parallel_map_slice(&configs, 2, |&(name, n)| format!("{name}{n}"));
+        assert_eq!(out, vec!["a1", "b2", "c3"]);
+    }
+
+    #[test]
+    fn jobs_arg_parses_and_defaults() {
+        let args: Vec<String> = ["bin", "--jobs", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(jobs_arg(&args), 3);
+        let args: Vec<String> = ["bin", "--jobs", "0"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(jobs_arg(&args), 1, "clamped to one worker");
+        let args: Vec<String> = vec!["bin".into()];
+        assert_eq!(jobs_arg(&args), default_jobs());
+        let args: Vec<String> = ["bin", "--jobs", "x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(jobs_arg(&args), default_jobs(), "garbage falls back");
+    }
+}

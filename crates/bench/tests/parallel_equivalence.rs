@@ -1,0 +1,103 @@
+//! Determinism of the parallel sweep: every harness binary must produce
+//! byte-identical output with `--jobs 4` and `--jobs 1` — stdout, trace
+//! files, and metrics files alike. Work-stealing changes which worker runs
+//! which cell, never what the merged result looks like.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) -> Vec<u8> {
+    let out = Command::new(bin)
+        .args(args)
+        .output()
+        .expect("harness binary runs");
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("memsync-par-eq-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn latency_bin_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_latency");
+    let (t1, m1) = (tmp("lat-t1.jsonl"), tmp("lat-m1.json"));
+    let (t4, m4) = (tmp("lat-t4.jsonl"), tmp("lat-m4.json"));
+    // Point both runs at files whose *names* differ so stdout paths are
+    // compared via the file contents, then strip the path-bearing lines.
+    let s1 = run(
+        bin,
+        &[
+            "--jobs",
+            "1",
+            "--trace",
+            t1.to_str().unwrap(),
+            "--metrics",
+            m1.to_str().unwrap(),
+        ],
+    );
+    let s4 = run(
+        bin,
+        &[
+            "--jobs",
+            "4",
+            "--trace",
+            t4.to_str().unwrap(),
+            "--metrics",
+            m4.to_str().unwrap(),
+        ],
+    );
+    let strip = |out: &[u8]| -> Vec<String> {
+        String::from_utf8(out.to_vec())
+            .expect("utf8 stdout")
+            .lines()
+            .filter(|l| !l.contains("memsync-par-eq"))
+            .map(str::to_owned)
+            .collect()
+    };
+    assert_eq!(strip(&s1), strip(&s4), "stdout differs");
+    assert_eq!(
+        std::fs::read(&t1).unwrap(),
+        std::fs::read(&t4).unwrap(),
+        "trace files differ"
+    );
+    assert_eq!(
+        std::fs::read(&m1).unwrap(),
+        std::fs::read(&m4).unwrap(),
+        "metrics files differ"
+    );
+    for p in [t1, m1, t4, m4] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn overhead_bin_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_overhead");
+    let s1 = run(bin, &["--jobs", "1"]);
+    let s4 = run(bin, &["--jobs", "4"]);
+    assert_eq!(s1, s4);
+}
+
+#[test]
+fn report_bin_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_report");
+    let s1 = run(bin, &["--jobs", "1", "--json"]);
+    let s4 = run(bin, &["--jobs", "4", "--json"]);
+    assert_eq!(s1, s4);
+}
+
+#[test]
+fn ablation_bin_is_byte_identical_across_job_counts() {
+    let bin = env!("CARGO_BIN_EXE_ablation");
+    let s1 = run(bin, &["--jobs", "1"]);
+    let s4 = run(bin, &["--jobs", "4"]);
+    assert_eq!(s1, s4);
+}

@@ -50,6 +50,9 @@ pub struct ArbitratedModel {
     a_inflight: Option<u32>,
     bram: BramModel,
     cycle: u64,
+    /// Scratch eligibility mask for the decision stage (reused every cycle
+    /// so stepping allocates nothing).
+    eligible: Vec<bool>,
 }
 
 impl ArbitratedModel {
@@ -71,6 +74,7 @@ impl ArbitratedModel {
             a_inflight: None,
             bram: BramModel::new(),
             cycle: 0,
+            eligible: vec![false; consumers],
         }
     }
 
@@ -115,6 +119,27 @@ impl ArbitratedModel {
         bank: u16,
         sink: &mut dyn TraceSink,
     ) -> ArbOutputs {
+        let mut out = ArbOutputs::default();
+        self.step_traced_into(inputs, bank, sink, &mut out);
+        out
+    }
+
+    /// [`ArbitratedModel::step_traced`] into a caller-owned output buffer.
+    ///
+    /// The grant vectors are resized once (to the pseudo-port counts) and
+    /// then reused cycle after cycle, so a steady-state step performs no
+    /// heap allocation. The engine keeps one buffer per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vectors do not match the pseudo-port counts.
+    pub fn step_traced_into(
+        &mut self,
+        inputs: &ArbInputs,
+        bank: u16,
+        sink: &mut dyn TraceSink,
+        out: &mut ArbOutputs,
+    ) {
         assert_eq!(inputs.c_req.len(), self.consumers, "c_req length");
         assert_eq!(inputs.d_req.len(), self.producers, "d_req length");
         let cycle = self.cycle;
@@ -125,22 +150,22 @@ impl ArbitratedModel {
             addr,
             kind,
         };
-        let mut out = ArbOutputs {
-            c_grant: vec![false; self.consumers],
-            d_grant: vec![false; self.producers],
-            c_data: self.inflight.take().map(|(i, addr, d)| {
-                sink.emit(&ev(
-                    Port::C,
-                    addr,
-                    EventKind::Deliver {
-                        consumer: i,
-                        data: d,
-                    },
-                ));
-                (i, d)
-            }),
-            a_data: self.a_inflight.take(),
-        };
+        out.c_grant.clear();
+        out.c_grant.resize(self.consumers, false);
+        out.d_grant.clear();
+        out.d_grant.resize(self.producers, false);
+        out.c_data = self.inflight.take().map(|(i, addr, d)| {
+            sink.emit(&ev(
+                Port::C,
+                addr,
+                EventKind::Deliver {
+                    consumer: i,
+                    data: d,
+                },
+            ));
+            (i, d)
+        });
+        out.a_data = self.a_inflight.take();
 
         // Port A: direct, always served, one-cycle read latency.
         if let Some((addr, data, we)) = inputs.a_req {
@@ -226,13 +251,22 @@ impl ArbitratedModel {
         // Port C decision stage: when the pipe is free and no producer is
         // writing, round-robin among eligible consumers.
         if !any_d && self.pipe.is_none() && out.c_grant.iter().all(|g| !g) {
-            let eligible: Vec<bool> = inputs
-                .c_req
-                .iter()
-                .map(|r| r.is_some_and(|addr| self.deplist.is_pending(addr)))
-                .collect();
-            if let Some(winner) = self.rr.grant(&eligible) {
-                self.pipe = Some(winner);
+            let Self {
+                eligible,
+                deplist,
+                rr,
+                pipe,
+                ..
+            } = &mut *self;
+            eligible.clear();
+            eligible.extend(
+                inputs
+                    .c_req
+                    .iter()
+                    .map(|r| r.is_some_and(|addr| deplist.is_pending(addr))),
+            );
+            if let Some(winner) = rr.grant(eligible) {
+                *pipe = Some(winner);
             }
         }
 
@@ -255,7 +289,6 @@ impl ArbitratedModel {
         }
 
         self.cycle += 1;
-        out
     }
 }
 

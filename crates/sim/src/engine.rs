@@ -1,24 +1,41 @@
 //! The simulation engine: wires synthesized thread FSMs to behavioral
 //! memory-organization models and steps the whole system cycle by cycle.
+//!
+//! The hot path is fully interned (see [`crate::intern`]): thread and bank
+//! names are resolved to dense [`ThreadId`]/[`BankId`] indices once at
+//! [`System::new`] time, per-bank routing tables map pseudo-port slots to
+//! thread ids and back, and every per-cycle buffer (requests, wrapper
+//! inputs/outputs) is preallocated — an uninstrumented [`System::step`]
+//! performs no `String` clones, no map lookups, and no heap allocation.
 
-use crate::arb_model::{ArbInputs, ArbitratedModel};
+use crate::arb_model::{ArbInputs, ArbOutputs, ArbitratedModel};
 use crate::bram_model::BramModel;
-use crate::event_model::{EventDrivenModel, EvtInputs};
+use crate::event_model::{EventDrivenModel, EvtInputs, EvtOutputs};
+use crate::intern::{BankId, Interner, ThreadId};
 use crate::metrics::MetricsRegistry;
-use crate::thread_model::{MemResponse, ThreadExec};
+use crate::thread_model::{MemRequest, MemResponse, ThreadExec};
 use crate::traffic::ArrivalProcess;
 use memsync_core::alloc::SyncBank;
 use memsync_core::modulo::ModuloSchedule;
 use memsync_core::{CompiledSystem, OrganizationKind};
 use memsync_synth::ir::PortClass;
 use memsync_trace::{EventKind, NullSink, Port, RecordingSink, TraceEvent, TraceSink};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 
-/// One synchronization bank under simulation.
+/// One synchronization bank under simulation, with its per-cycle input and
+/// output buffers (reused every cycle — stepping allocates nothing).
 #[derive(Debug, Clone)]
 enum BankModel {
-    Arbitrated(ArbitratedModel),
-    EventDriven(EventDrivenModel),
+    Arbitrated {
+        model: ArbitratedModel,
+        inp: ArbInputs,
+        out: ArbOutputs,
+    },
+    EventDriven {
+        model: EventDrivenModel,
+        inp: EvtInputs,
+        out: EvtOutputs,
+    },
 }
 
 /// Per-thread private port-A bank with the one-cycle read latency.
@@ -31,17 +48,47 @@ struct PrivateBank {
     pending_delivery: Option<(u32, u32)>,
 }
 
+/// A sync bank plus the interned routing tables the per-cycle loop uses in
+/// place of name lookups.
+#[derive(Debug)]
+struct SimBank {
+    spec: SyncBank,
+    model: BankModel,
+    /// Consumer pseudo-port slot -> executing thread (None when the named
+    /// consumer did not compile to a thread).
+    consumer_thread: Vec<Option<ThreadId>>,
+    /// Producer pseudo-port slot -> executing thread.
+    producer_thread: Vec<Option<ThreadId>>,
+    /// Thread -> consumer pseudo-port slot in this bank.
+    consumer_slot: Vec<Option<u16>>,
+    /// Thread -> producer pseudo-port slot in this bank.
+    producer_slot: Vec<Option<u16>>,
+    /// Address of the last issued read per consumer slot, for latency
+    /// attribution when the data arrives a cycle later.
+    last_issue: Vec<Option<u32>>,
+    /// Precomputed `bank{b}.deplist_occupancy` gauge name (instrumented
+    /// stepping must not format strings per cycle either).
+    gauge_name: String,
+}
+
 /// A full system simulation.
 #[derive(Debug)]
 pub struct System {
     threads: Vec<ThreadExec>,
-    banks: Vec<(SyncBank, BankModel)>,
-    private: BTreeMap<String, PrivateBank>,
-    rx_queues: BTreeMap<String, VecDeque<i64>>,
-    sources: BTreeMap<String, Box<dyn ArrivalProcess>>,
-    /// Address of the last issued read per (bank, consumer pseudo-port),
-    /// for latency attribution when the data arrives a cycle later.
-    last_issue: BTreeMap<(String, usize), u32>,
+    banks: Vec<SimBank>,
+    /// Private port-A banks, indexed by [`ThreadId`].
+    private: Vec<PrivateBank>,
+    /// Rx message queues, indexed by [`ThreadId`].
+    rx_queues: Vec<VecDeque<i64>>,
+    /// Arrival processes, indexed by [`ThreadId`].
+    sources: Vec<Option<Box<dyn ArrivalProcess>>>,
+    /// `(guarded base addr, bank index)` sorted by address: requests route
+    /// by binary search instead of scanning every bank's guarded list.
+    addr_route: Vec<(u32, u32)>,
+    /// Reusable per-cycle request buffer, indexed by [`ThreadId`].
+    requests: Vec<Option<MemRequest>>,
+    /// Name tables for threads and banks (IDs are dense indices).
+    interner: Interner,
     cycle: u64,
     /// Counters, histograms, and produce-to-consume latency measurements.
     pub metrics: MetricsRegistry,
@@ -62,8 +109,19 @@ impl System {
     /// on the same compiled program).
     pub fn with_organization(compiled: &CompiledSystem, kind: OrganizationKind) -> Self {
         let threads: Vec<ThreadExec> = compiled.fsms.iter().cloned().map(ThreadExec::new).collect();
+        let interner = Interner::new(
+            compiled.fsms.iter().map(|f| f.thread.clone()).collect(),
+            compiled
+                .plan
+                .sync_banks
+                .iter()
+                .map(|b| b.name.clone())
+                .collect(),
+        );
+        let n_threads = threads.len();
         let mut banks = Vec::new();
-        for bank in &compiled.plan.sync_banks {
+        let mut addr_route: Vec<(u32, u32)> = Vec::new();
+        for (bi, bank) in compiled.plan.sync_banks.iter().enumerate() {
             let model = match kind {
                 OrganizationKind::Arbitrated => {
                     let mut m = ArbitratedModel::new(
@@ -75,37 +133,78 @@ impl System {
                         m.configure(g.base_addr, g.dep_number)
                             .expect("allocation fits the dependency list");
                     }
-                    BankModel::Arbitrated(m)
+                    BankModel::Arbitrated {
+                        model: m,
+                        inp: ArbInputs {
+                            c_req: vec![None; bank.consumers.len()],
+                            d_req: vec![None; bank.producers.len()],
+                            a_req: None,
+                        },
+                        out: ArbOutputs::default(),
+                    }
                 }
                 OrganizationKind::EventDriven => {
                     let schedule = ModuloSchedule::new(bank.service_order.clone())
                         .expect("allocation produced a valid schedule");
-                    BankModel::EventDriven(EventDrivenModel::new(
-                        bank.producers.len(),
-                        bank.consumers.len(),
-                        schedule,
-                    ))
+                    BankModel::EventDriven {
+                        model: EventDrivenModel::new(
+                            bank.producers.len(),
+                            bank.consumers.len(),
+                            schedule,
+                        ),
+                        inp: EvtInputs {
+                            p_req: vec![None; bank.producers.len()],
+                            c_addr: vec![None; bank.consumers.len()],
+                            a_req: None,
+                        },
+                        out: EvtOutputs::default(),
+                    }
                 }
             };
-            banks.push((bank.clone(), model));
+            // Slot <-> thread routing tables, interned once.
+            let mut consumer_thread = Vec::with_capacity(bank.consumers.len());
+            let mut producer_thread = Vec::with_capacity(bank.producers.len());
+            let mut consumer_slot = vec![None; n_threads];
+            let mut producer_slot = vec![None; n_threads];
+            for (slot, name) in bank.consumers.iter().enumerate() {
+                let tid = interner.thread_id(name);
+                consumer_thread.push(tid);
+                if let Some(t) = tid {
+                    consumer_slot[t.idx()] = Some(slot as u16);
+                }
+            }
+            for (slot, name) in bank.producers.iter().enumerate() {
+                let tid = interner.thread_id(name);
+                producer_thread.push(tid);
+                if let Some(t) = tid {
+                    producer_slot[t.idx()] = Some(slot as u16);
+                }
+            }
+            for g in &bank.guarded {
+                addr_route.push((g.base_addr, bi as u32));
+            }
+            let last_issue = vec![None; bank.consumers.len()];
+            banks.push(SimBank {
+                spec: bank.clone(),
+                model,
+                consumer_thread,
+                producer_thread,
+                consumer_slot,
+                producer_slot,
+                last_issue,
+                gauge_name: format!("bank{bi}.deplist_occupancy"),
+            });
         }
-        let private = compiled
-            .fsms
-            .iter()
-            .map(|f| (f.thread.clone(), PrivateBank::default()))
-            .collect();
-        let rx_queues = compiled
-            .fsms
-            .iter()
-            .map(|f| (f.thread.clone(), VecDeque::new()))
-            .collect();
+        addr_route.sort_unstable();
         System {
+            private: vec![PrivateBank::default(); n_threads],
+            rx_queues: vec![VecDeque::new(); n_threads],
+            sources: (0..n_threads).map(|_| None).collect(),
+            requests: Vec::with_capacity(n_threads),
             threads,
             banks,
-            private,
-            rx_queues,
-            sources: BTreeMap::new(),
-            last_issue: BTreeMap::new(),
+            addr_route,
+            interner,
             cycle: 0,
             metrics: MetricsRegistry::new(),
             sink: Box::new(NullSink),
@@ -116,6 +215,23 @@ impl System {
     /// Current cycle.
     pub fn cycle(&self) -> u64 {
         self.cycle
+    }
+
+    /// The thread/bank name tables. Trace consumers use this to render an
+    /// event's thread or bank index as a name lazily — the engine itself
+    /// never touches names after construction.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Id of a thread by name (cold-path lookup).
+    pub fn thread_id(&self, name: &str) -> Option<ThreadId> {
+        self.interner.thread_id(name)
+    }
+
+    /// Id of a sync bank by name (cold-path lookup).
+    pub fn bank_id(&self, name: &str) -> Option<BankId> {
+        self.interner.bank_id(name)
     }
 
     /// Routes cycle events to `sink` and turns on instrumented stepping
@@ -140,48 +256,78 @@ impl System {
 
     /// Access a thread by name.
     pub fn thread(&self, name: &str) -> Option<&ThreadExec> {
-        self.threads.iter().find(|t| t.name() == name)
+        self.interner
+            .thread_id(name)
+            .map(|id| &self.threads[id.idx()])
+    }
+
+    /// Access a thread by id.
+    pub fn thread_by_id(&self, id: ThreadId) -> &ThreadExec {
+        &self.threads[id.idx()]
+    }
+
+    /// The allocation-time spec of a sync bank.
+    pub fn bank_spec(&self, id: BankId) -> &SyncBank {
+        &self.banks[id.idx()].spec
     }
 
     /// Queues a message for a thread's `recv` interface.
     pub fn push_message(&mut self, thread: &str, value: i64) {
-        if let Some(q) = self.rx_queues.get_mut(thread) {
-            q.push_back(value);
+        if let Some(id) = self.interner.thread_id(thread) {
+            self.rx_queues[id.idx()].push_back(value);
         }
     }
 
     /// Attaches an arrival process to a thread's network interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` names no compiled thread.
     pub fn attach_source(&mut self, thread: &str, source: Box<dyn ArrivalProcess>) {
-        self.sources.insert(thread.to_owned(), source);
+        let id = self
+            .interner
+            .thread_id(thread)
+            .expect("source attached to a known thread");
+        self.sources[id.idx()] = Some(source);
     }
 
     /// Advances the system one clock cycle.
     pub fn step(&mut self) {
-        let instrumented = self.instrumented;
+        // Disjoint field borrows for the whole cycle: thread state, bank
+        // state, queues, and metrics are updated side by side.
+        let Self {
+            threads,
+            banks,
+            private,
+            rx_queues,
+            sources,
+            addr_route,
+            requests,
+            cycle,
+            metrics,
+            sink,
+            instrumented,
+            ..
+        } = self;
+        let instrumented = *instrumented;
+        let now = *cycle;
         // Sync banks come first in the trace's bank numbering; private
         // per-thread port-A banks follow at `n_sync + thread_index`.
-        let n_sync = self.banks.len() as u16;
+        let n_sync = banks.len() as u16;
 
         // Traffic arrivals.
-        for (thread, src) in self.sources.iter_mut() {
-            if let Some(v) = src.poll(self.cycle) {
-                let q = self
-                    .rx_queues
-                    .get_mut(thread)
-                    .expect("rx queue exists for every thread");
+        for (ti, src) in sources.iter_mut().enumerate() {
+            let Some(src) = src.as_mut() else { continue };
+            if let Some(v) = src.poll(now) {
+                let q = &mut rx_queues[ti];
                 q.push_back(v);
                 if instrumented {
-                    let ti = self
-                        .threads
-                        .iter()
-                        .position(|t| t.name() == thread)
-                        .expect("source attached to a known thread");
                     let mut tee = RecordingSink {
-                        sink: &mut *self.sink,
-                        registry: &mut self.metrics,
+                        sink: &mut **sink,
+                        registry: metrics,
                     };
                     tee.emit(&TraceEvent {
-                        cycle: self.cycle,
+                        cycle: now,
                         bank: 0,
                         port: Port::Rx,
                         addr: 0,
@@ -195,10 +341,8 @@ impl System {
         }
 
         // 1. Tick threads; collect held memory requests.
-        let mut requests = Vec::with_capacity(self.threads.len());
-        for (ti, t) in self.threads.iter_mut().enumerate() {
-            let name = t.name().to_owned();
-            let q = self.rx_queues.get_mut(&name).expect("rx queue");
+        requests.clear();
+        for (ti, (t, q)) in threads.iter_mut().zip(rx_queues.iter_mut()).enumerate() {
             let mut rx = q.front().copied();
             let had = rx.is_some();
             let req = t.tick(&mut rx, true);
@@ -206,11 +350,11 @@ impl System {
                 q.pop_front();
                 if instrumented {
                     let mut tee = RecordingSink {
-                        sink: &mut *self.sink,
-                        registry: &mut self.metrics,
+                        sink: &mut **sink,
+                        registry: metrics,
                     };
                     tee.emit(&TraceEvent {
-                        cycle: self.cycle,
+                        cycle: now,
                         bank: 0,
                         port: Port::Rx,
                         addr: 0,
@@ -230,27 +374,26 @@ impl System {
             if r.port != PortClass::A {
                 continue;
             }
-            let name = self.threads[ti].name().to_owned();
-            let bank = self.private.get_mut(&name).expect("private bank");
+            let bank = &mut private[ti];
             let kind = match r.write {
                 Some(data) => {
                     bank.bram.write(r.addr, data);
-                    self.threads[ti].deliver(MemResponse::Granted);
+                    threads[ti].deliver(MemResponse::Granted);
                     EventKind::Write { producer: ti, data }
                 }
                 None => {
                     bank.inflight = Some((r.addr, bank.bram.read(r.addr)));
-                    self.threads[ti].deliver(MemResponse::Granted);
+                    threads[ti].deliver(MemResponse::Granted);
                     EventKind::ReadIssue { consumer: ti }
                 }
             };
             if instrumented {
                 let mut tee = RecordingSink {
-                    sink: &mut *self.sink,
-                    registry: &mut self.metrics,
+                    sink: &mut **sink,
+                    registry: metrics,
                 };
                 tee.emit(&TraceEvent {
-                    cycle: self.cycle,
+                    cycle: now,
                     bank: n_sync + ti as u16,
                     port: Port::A,
                     addr: r.addr,
@@ -262,51 +405,84 @@ impl System {
         // NOTE: inflight was set this cycle for new reads; the delivery pass
         // below uses a snapshot taken before, handled by delivering first.
 
-        // 3. Sync banks.
-        for (bi, (bank, model)) in self.banks.iter_mut().enumerate() {
-            let bid = bi as u16;
-            match model {
-                BankModel::Arbitrated(m) => {
-                    let mut inputs = ArbInputs {
-                        c_req: vec![None; bank.consumers.len()],
-                        d_req: vec![None; bank.producers.len()],
-                        a_req: None,
-                    };
-                    for (ti, req) in requests.iter().enumerate() {
-                        let Some(r) = req else { continue };
-                        let name = self.threads[ti].name();
-                        if !bank.owns_addr(r.addr) {
-                            continue;
-                        }
-                        match r.port {
-                            PortClass::C | PortClass::B => {
-                                if let Some(p) = bank.consumer_port(name) {
-                                    inputs.c_req[p] = Some(r.addr);
-                                }
+        // 3a. Route sync requests into the per-bank input buffers.
+        for bank in banks.iter_mut() {
+            match &mut bank.model {
+                BankModel::Arbitrated { inp, .. } => {
+                    inp.c_req.fill(None);
+                    inp.d_req.fill(None);
+                    inp.a_req = None;
+                }
+                BankModel::EventDriven { inp, .. } => {
+                    inp.p_req.fill(None);
+                    inp.c_addr.fill(None);
+                    inp.a_req = None;
+                }
+            }
+        }
+        for (ti, req) in requests.iter().enumerate() {
+            let Some(r) = req else { continue };
+            if r.port == PortClass::A {
+                continue;
+            }
+            // Guarded addresses are globally unique (see alloc): binary
+            // search finds the owning bank without scanning guarded lists.
+            let Ok(pos) = addr_route.binary_search_by_key(&r.addr, |&(a, _)| a) else {
+                continue;
+            };
+            let bank = &mut banks[addr_route[pos].1 as usize];
+            match r.port {
+                PortClass::C | PortClass::B => {
+                    if let Some(slot) = bank.consumer_slot[ti] {
+                        match &mut bank.model {
+                            BankModel::Arbitrated { inp, .. } => {
+                                inp.c_req[slot as usize] = Some(r.addr);
                             }
-                            PortClass::D => {
-                                if let Some(p) = bank.producer_port(name) {
-                                    inputs.d_req[p] =
-                                        Some((r.addr, r.write.unwrap_or(0), r.dep_number));
-                                }
+                            BankModel::EventDriven { inp, .. } => {
+                                inp.c_addr[slot as usize] = Some(r.addr);
                             }
-                            PortClass::A => {}
                         }
                     }
-                    let out = if instrumented {
-                        let mut tee = RecordingSink {
-                            sink: &mut *self.sink,
-                            registry: &mut self.metrics,
-                        };
-                        m.step_traced(&inputs, bid, &mut tee)
-                    } else {
-                        m.step(&inputs)
-                    };
+                }
+                PortClass::D => {
+                    if let Some(slot) = bank.producer_slot[ti] {
+                        match &mut bank.model {
+                            BankModel::Arbitrated { inp, .. } => {
+                                inp.d_req[slot as usize] =
+                                    Some((r.addr, r.write.unwrap_or(0), r.dep_number));
+                            }
+                            BankModel::EventDriven { inp, .. } => {
+                                inp.p_req[slot as usize] = Some((r.addr, r.write.unwrap_or(0)));
+                            }
+                        }
+                    }
+                }
+                PortClass::A => {}
+            }
+        }
+
+        // 3b. Step each sync bank and feed grants/data back to threads.
+        for (bi, bank) in banks.iter_mut().enumerate() {
+            let bid = bi as u16;
+            let SimBank {
+                model,
+                consumer_thread,
+                producer_thread,
+                last_issue,
+                gauge_name,
+                ..
+            } = bank;
+            match model {
+                BankModel::Arbitrated { model: m, inp, out } => {
                     if instrumented {
-                        self.metrics.observe_gauge(
-                            &format!("bank{bid}.deplist_occupancy"),
-                            m.deplist().occupancy() as u64,
-                        );
+                        let mut tee = RecordingSink {
+                            sink: &mut **sink,
+                            registry: metrics,
+                        };
+                        m.step_traced_into(inp, bid, &mut tee, out);
+                        metrics.observe_gauge(gauge_name, m.deplist().occupancy() as u64);
+                    } else {
+                        m.step_traced_into(inp, bid, &mut NullSink, out);
                     }
                     // Data delivery for last cycle's issue first: a
                     // same-cycle producer write belongs to the *next*
@@ -315,13 +491,12 @@ impl System {
                     // (When instrumented, the model's Deliver/Write events
                     // already fed the latency recorder via the registry.)
                     if let Some((c, data)) = out.c_data {
-                        let cname = bank.consumers[c].clone();
-                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
-                            self.threads[ti].deliver(MemResponse::Data(data));
+                        if let Some(tid) = consumer_thread[c] {
+                            threads[tid.idx()].deliver(MemResponse::Data(data));
                         }
                         if !instrumented {
-                            if let Some(addr) = self.last_issue.get(&(bank.name.clone(), c)) {
-                                self.metrics.record_delivery(*addr, c, self.cycle);
+                            if let Some(addr) = last_issue[c] {
+                                metrics.record_delivery(addr, c, now);
                             }
                         }
                     }
@@ -330,14 +505,13 @@ impl System {
                         if !granted {
                             continue;
                         }
-                        let pname = bank.producers[p].clone();
-                        if let Some(ti) = self.threads.iter().position(|t| t.name() == pname) {
+                        if let Some(tid) = producer_thread[p] {
                             if !instrumented {
-                                if let Some(r) = requests[ti] {
-                                    self.metrics.record_write(r.addr, self.cycle);
+                                if let Some(r) = requests[tid.idx()] {
+                                    metrics.record_write(r.addr, now);
                                 }
                             }
-                            self.threads[ti].deliver(MemResponse::Granted);
+                            threads[tid.idx()].deliver(MemResponse::Granted);
                         }
                     }
                     // Consumer grants (read issued).
@@ -345,67 +519,40 @@ impl System {
                         if !granted {
                             continue;
                         }
-                        let cname = bank.consumers[c].clone();
-                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
-                            self.threads[ti].deliver(MemResponse::Granted);
+                        if let Some(tid) = consumer_thread[c] {
+                            threads[tid.idx()].deliver(MemResponse::Granted);
                         }
                     }
                     // Remember addresses at issue for delivery attribution.
                     for (c, granted) in out.c_grant.iter().enumerate() {
                         if *granted {
-                            if let Some(addr) = inputs.c_req[c] {
-                                self.last_issue.insert((bank.name.clone(), c), addr);
+                            if let Some(addr) = inp.c_req[c] {
+                                last_issue[c] = Some(addr);
                             }
                         }
                     }
                 }
-                BankModel::EventDriven(m) => {
-                    let mut inputs = EvtInputs {
-                        p_req: vec![None; bank.producers.len()],
-                        c_addr: vec![None; bank.consumers.len()],
-                        a_req: None,
-                    };
-                    for (ti, req) in requests.iter().enumerate() {
-                        let Some(r) = req else { continue };
-                        let name = self.threads[ti].name();
-                        if !bank.owns_addr(r.addr) {
-                            continue;
-                        }
-                        match r.port {
-                            PortClass::C | PortClass::B => {
-                                if let Some(p) = bank.consumer_port(name) {
-                                    inputs.c_addr[p] = Some(r.addr);
-                                }
-                            }
-                            PortClass::D => {
-                                if let Some(p) = bank.producer_port(name) {
-                                    inputs.p_req[p] = Some((r.addr, r.write.unwrap_or(0)));
-                                }
-                            }
-                            PortClass::A => {}
-                        }
-                    }
-                    let out = if instrumented {
+                BankModel::EventDriven { model: m, inp, out } => {
+                    if instrumented {
                         let mut tee = RecordingSink {
-                            sink: &mut *self.sink,
-                            registry: &mut self.metrics,
+                            sink: &mut **sink,
+                            registry: metrics,
                         };
-                        m.step_traced(&inputs, bid, &mut tee)
+                        m.step_traced_into(inp, bid, &mut tee, out);
                     } else {
-                        m.step(&inputs)
-                    };
+                        m.step_traced_into(inp, bid, &mut NullSink, out);
+                    }
                     // Deliveries before new writes (same-cycle attribution).
                     if let Some((c, data)) = out.c_data {
-                        let cname = bank.consumers[c].clone();
-                        if let Some(ti) = self.threads.iter().position(|t| t.name() == cname) {
+                        if let Some(tid) = consumer_thread[c] {
                             // The consumer is mid-read: grant + data in one
                             // delivery (the event releases the blocked read).
-                            self.threads[ti].deliver(MemResponse::Granted);
-                            self.threads[ti].deliver(MemResponse::Data(data));
+                            threads[tid.idx()].deliver(MemResponse::Granted);
+                            threads[tid.idx()].deliver(MemResponse::Data(data));
                         }
                         if !instrumented {
-                            if let Some(addr) = inputs.c_addr[c] {
-                                self.metrics.record_delivery(addr, c, self.cycle);
+                            if let Some(addr) = inp.c_addr[c] {
+                                metrics.record_delivery(addr, c, now);
                             }
                         }
                     }
@@ -413,14 +560,13 @@ impl System {
                         if !granted {
                             continue;
                         }
-                        let pname = bank.producers[p].clone();
-                        if let Some(ti) = self.threads.iter().position(|t| t.name() == pname) {
+                        if let Some(tid) = producer_thread[p] {
                             if !instrumented {
-                                if let Some(r) = requests[ti] {
-                                    self.metrics.record_write(r.addr, self.cycle);
+                                if let Some(r) = requests[tid.idx()] {
+                                    metrics.record_write(r.addr, now);
                                 }
                             }
-                            self.threads[ti].deliver(MemResponse::Granted);
+                            threads[tid.idx()].deliver(MemResponse::Granted);
                         }
                     }
                 }
@@ -428,18 +574,16 @@ impl System {
         }
 
         // 4. Deliver private-bank read data scheduled last cycle.
-        for (ti, t) in self.threads.iter_mut().enumerate() {
-            let name = t.name().to_owned();
-            let bank = self.private.get_mut(&name).expect("private bank");
+        for (ti, (t, bank)) in threads.iter_mut().zip(private.iter_mut()).enumerate() {
             if let Some((addr, data)) = bank.pending_delivery.take() {
                 t.deliver(MemResponse::Data(data));
                 if instrumented {
                     let mut tee = RecordingSink {
-                        sink: &mut *self.sink,
-                        registry: &mut self.metrics,
+                        sink: &mut **sink,
+                        registry: metrics,
                     };
                     tee.emit(&TraceEvent {
-                        cycle: self.cycle,
+                        cycle: now,
                         bank: n_sync + ti as u16,
                         port: Port::A,
                         addr,
@@ -451,7 +595,7 @@ impl System {
             bank.pending_delivery = bank.inflight.take();
         }
 
-        self.cycle += 1;
+        *cycle += 1;
     }
 
     /// Runs until every thread has completed at least `iterations`
@@ -548,6 +692,27 @@ mod tests {
                 "event-driven latency must be exact; got {stats:?}"
             );
         }
+    }
+
+    #[test]
+    fn interner_round_trips_thread_and_bank_names() {
+        let sys_desc = compiled(OrganizationKind::Arbitrated);
+        let sys = System::new(&sys_desc);
+        for name in ["t1", "t2", "t3"] {
+            let id = sys.thread_id(name).expect("thread interned");
+            assert_eq!(sys.interner().thread_name(id), name);
+            assert_eq!(sys.thread_by_id(id).name(), name);
+        }
+        assert_eq!(sys.thread_id("nope"), None);
+        // Allocation names banks sync0, sync1, ...; mt1 is the pragma label.
+        let bid = sys.bank_id("sync0").expect("bank interned");
+        assert_eq!(sys.interner().bank_name(bid), "sync0");
+        assert_eq!(sys.bank_spec(bid).name, "sync0");
+        assert_eq!(sys.bank_spec(bid).producers, vec!["t1".to_owned()]);
+        assert_eq!(
+            sys.bank_spec(bid).consumers,
+            vec!["t2".to_owned(), "t3".to_owned()]
+        );
     }
 
     /// Figure 1 with the producer paced by packet arrivals — §3.1's

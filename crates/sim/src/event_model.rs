@@ -107,6 +107,27 @@ impl EventDrivenModel {
         bank: u16,
         sink: &mut dyn TraceSink,
     ) -> EvtOutputs {
+        let mut out = EvtOutputs::default();
+        self.step_traced_into(inputs, bank, sink, &mut out);
+        out
+    }
+
+    /// [`EventDrivenModel::step_traced`] into a caller-owned output buffer.
+    ///
+    /// The pulse vectors are resized once and then reused cycle after
+    /// cycle, so a steady-state step performs no heap allocation. The
+    /// engine keeps one buffer per bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request vectors do not match the pseudo-port counts.
+    pub fn step_traced_into(
+        &mut self,
+        inputs: &EvtInputs,
+        bank: u16,
+        sink: &mut dyn TraceSink,
+        out: &mut EvtOutputs,
+    ) {
         assert_eq!(inputs.p_req.len(), self.producers, "p_req length");
         assert_eq!(inputs.c_addr.len(), self.consumers, "c_addr length");
         let cycle = self.cycle;
@@ -117,12 +138,12 @@ impl EventDrivenModel {
             addr,
             kind,
         };
-        let mut out = EvtOutputs {
-            p_grant: vec![false; self.producers],
-            c_event: vec![false; self.consumers],
-            c_data: None,
-            a_data: self.a_inflight.take(),
-        };
+        out.p_grant.clear();
+        out.p_grant.resize(self.producers, false);
+        out.c_event.clear();
+        out.c_event.resize(self.consumers, false);
+        out.c_data = None;
+        out.a_data = self.a_inflight.take();
         // Deliver last cycle's read with its event pulse.
         if let Some((i, addr, d)) = self.inflight.take() {
             out.c_event[i] = true;
@@ -216,7 +237,6 @@ impl EventDrivenModel {
         }
 
         self.cycle += 1;
-        out
     }
 }
 

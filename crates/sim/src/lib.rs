@@ -31,10 +31,12 @@ pub mod arb_model;
 pub mod bram_model;
 pub mod engine;
 pub mod event_model;
+pub mod intern;
 pub mod metrics;
 pub mod thread_model;
 pub mod traffic;
 
 pub use engine::System;
+pub use intern::{BankId, Interner, ThreadId};
 pub use metrics::{LatencyRecorder, LatencyStats, MetricsRegistry};
 pub use thread_model::{MemRequest, MemResponse, ThreadExec};

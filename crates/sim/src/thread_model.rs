@@ -11,8 +11,11 @@ use memsync_synth::eval::{
     call_function, eval_binary_datapath, eval_unary_datapath, mask_to_width,
 };
 use memsync_synth::fsm::{Fsm, StateNext};
-use memsync_synth::ir::{OpKind, PortClass, Residency, Value};
-use std::collections::BTreeMap;
+use memsync_synth::ir::{OpKind, PortClass, Residency, Temp, Value};
+
+/// Stack buffer size for datapath call arguments; calls with more spill to
+/// a (cold) heap path.
+const MAX_CALL_ARGS: usize = 8;
 
 /// A memory request a thread holds while blocked.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,7 +39,7 @@ pub enum MemResponse {
     Data(u32),
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Waiting {
     /// Executing freely.
     None,
@@ -57,7 +60,13 @@ enum Waiting {
 pub struct ThreadExec {
     fsm: Fsm,
     regs: Vec<i64>,
-    temps: BTreeMap<u32, i64>,
+    /// Temp values, indexed densely by [`Temp`] id (sized at construction
+    /// by scanning the FSM so the per-cycle path never reallocates).
+    temps: Vec<i64>,
+    /// Per-variable `(port, base_addr)`, resolved once at construction:
+    /// `MemBinding::residency_of` clones the dependency-name strings on
+    /// every call, which would put an allocation on every memory op.
+    residency: Vec<(PortClass, u32)>,
     state: usize,
     op_pos: usize,
     waiting: Waiting,
@@ -77,10 +86,36 @@ impl ThreadExec {
     /// Creates an executor over a synthesized FSM.
     pub fn new(fsm: Fsm) -> Self {
         let regs = vec![0; fsm.vars.len()];
+        // Size the dense temp table up front: the hot loop indexes it
+        // without ever growing.
+        let mut n_temps = 0usize;
+        for st in &fsm.states {
+            for op in &st.ops {
+                if let Some(t) = op.result {
+                    n_temps = n_temps.max(t.0 as usize + 1);
+                }
+                for a in &op.args {
+                    if let Value::Temp(t) = a {
+                        n_temps = n_temps.max(t.0 as usize + 1);
+                    }
+                }
+            }
+        }
+        let residency = fsm
+            .vars
+            .iter()
+            .map(|v| match fsm.binding.residency_of(v) {
+                Residency::Memory {
+                    port, base_addr, ..
+                } => (port, base_addr),
+                Residency::Register => (PortClass::A, 0),
+            })
+            .collect();
         ThreadExec {
             fsm,
             regs,
-            temps: BTreeMap::new(),
+            temps: vec![0; n_temps],
+            residency,
             state: 0,
             op_pos: 0,
             waiting: Waiting::None,
@@ -113,17 +148,8 @@ impl ThreadExec {
         self.halted = true;
     }
 
-    fn value(&self, v: Value) -> i64 {
-        match v {
-            Value::Const(c) => i64::from(c as u32),
-            Value::Var(id) => self.regs[id.0 as usize],
-            Value::Temp(t) => self.temps.get(&t.0).copied().unwrap_or(0),
-        }
-    }
-
     fn store_var(&mut self, id: u32, value: i64) {
-        let width = self.fsm.widths[id as usize].min(32);
-        self.regs[id as usize] = mask_to_width(value, width);
+        store_var_masked(&self.fsm.widths, &mut self.regs, id, value);
     }
 
     /// Advances one cycle. `rx` offers an incoming message (taken if the
@@ -140,7 +166,7 @@ impl ThreadExec {
     fn tick_inner(&mut self, rx: &mut Option<i64>, tx_ready: bool) -> Option<MemRequest> {
         self.cycles += 1;
         // Resolve blocking I/O first.
-        match self.waiting.clone() {
+        match self.waiting {
             Waiting::Recv { var } => {
                 if let Some(msg) = rx.take() {
                     self.store_var(var, msg);
@@ -175,7 +201,7 @@ impl ThreadExec {
             req,
             result,
             granted: _,
-        } = self.waiting.clone()
+        } = self.waiting
         else {
             return;
         };
@@ -196,7 +222,7 @@ impl ThreadExec {
             }
             MemResponse::Data(d) => {
                 if let Some(t) = result {
-                    self.temps.insert(t, i64::from(d));
+                    set_temp(&mut self.temps, Some(Temp(t)), i64::from(d));
                 }
                 self.waiting = Waiting::None;
                 self.op_pos += 1;
@@ -213,51 +239,73 @@ impl ThreadExec {
 
     /// Executes ops of the current state until a blocking op or the state
     /// completes (then takes the transition). At most one state per cycle.
+    ///
+    /// This is the simulator's innermost loop: ops are executed by
+    /// reference (no clones) and results land in the dense temp table, so
+    /// a cycle with no `send`/`recv` performs no heap allocation.
     fn run_state(&mut self) {
-        if self.fsm.states.is_empty() {
+        let ThreadExec {
+            fsm,
+            regs,
+            temps,
+            residency,
+            state,
+            op_pos,
+            waiting,
+            iterations,
+            ..
+        } = self;
+        if fsm.states.is_empty() {
             return;
         }
         loop {
-            let state = &self.fsm.states[self.state];
-            if self.op_pos >= state.ops.len() {
+            let st = &fsm.states[*state];
+            if *op_pos >= st.ops.len() {
                 break;
             }
-            let op = state.ops[self.op_pos].clone();
-            match op.kind {
+            let op = &st.ops[*op_pos];
+            match &op.kind {
                 OpKind::Copy => {
-                    let v = self.value(op.args[0]);
-                    if let Some(t) = op.result {
-                        self.temps.insert(t.0, v);
-                    }
+                    let v = value_of(regs, temps, op.args[0]);
+                    set_temp(temps, op.result, v);
                 }
                 OpKind::Unary(u) => {
-                    let v = eval_unary_datapath(u, self.value(op.args[0]));
-                    if let Some(t) = op.result {
-                        self.temps.insert(t.0, v);
-                    }
+                    let v = eval_unary_datapath(*u, value_of(regs, temps, op.args[0]));
+                    set_temp(temps, op.result, v);
                 }
                 OpKind::Binary(bop) => {
-                    let v =
-                        eval_binary_datapath(bop, self.value(op.args[0]), self.value(op.args[1]));
-                    if let Some(t) = op.result {
-                        self.temps.insert(t.0, v);
-                    }
+                    let v = eval_binary_datapath(
+                        *bop,
+                        value_of(regs, temps, op.args[0]),
+                        value_of(regs, temps, op.args[1]),
+                    );
+                    set_temp(temps, op.result, v);
                 }
-                OpKind::Call(ref name) => {
-                    let args: Vec<i64> = op.args.iter().map(|a| self.value(*a)).collect();
-                    let v = call_function(name, &args);
-                    if let Some(t) = op.result {
-                        self.temps.insert(t.0, v);
-                    }
+                OpKind::Call(name) => {
+                    // Datapath networks take a handful of inputs: evaluate
+                    // into a stack buffer, spilling to the heap only for
+                    // pathological arities.
+                    let v = if op.args.len() <= MAX_CALL_ARGS {
+                        let mut buf = [0i64; MAX_CALL_ARGS];
+                        for (slot, a) in buf.iter_mut().zip(op.args.iter()) {
+                            *slot = value_of(regs, temps, *a);
+                        }
+                        call_function(name, &buf[..op.args.len()])
+                    } else {
+                        let args: Vec<i64> =
+                            op.args.iter().map(|a| value_of(regs, temps, *a)).collect();
+                        call_function(name, &args)
+                    };
+                    set_temp(temps, op.result, v);
                 }
                 OpKind::StoreVar { var } => {
-                    let v = self.value(op.args[0]);
-                    self.store_var(var.0, v);
+                    let v = value_of(regs, temps, op.args[0]);
+                    store_var_masked(&fsm.widths, regs, var.0, v);
                 }
                 OpKind::MemRead { var, .. } => {
-                    let (port, base) = self.residency(var.0);
-                    let idx = self.value(op.args[0]) as u32;
-                    self.waiting = Waiting::Mem {
+                    let (port, base) = residency[var.0 as usize];
+                    let idx = value_of(regs, temps, op.args[0]) as u32;
+                    *waiting = Waiting::Mem {
                         req: MemRequest {
                             port,
                             addr: base.wrapping_add(idx),
@@ -269,12 +317,12 @@ impl ThreadExec {
                     };
                     return;
                 }
-                OpKind::MemWrite { var, ref dep } => {
-                    let (port, base) = self.residency(var.0);
-                    let idx = self.value(op.args[0]) as u32;
-                    let data = self.value(op.args[1]) as u32;
+                OpKind::MemWrite { var, dep } => {
+                    let (port, base) = residency[var.0 as usize];
+                    let idx = value_of(regs, temps, op.args[0]) as u32;
+                    let data = value_of(regs, temps, op.args[1]) as u32;
                     let dep_number = dep.as_ref().map(|_| 1).unwrap_or(0);
-                    self.waiting = Waiting::Mem {
+                    *waiting = Waiting::Mem {
                         req: MemRequest {
                             port,
                             addr: base.wrapping_add(idx),
@@ -287,31 +335,31 @@ impl ThreadExec {
                     return;
                 }
                 OpKind::Recv { var } => {
-                    self.waiting = Waiting::Recv { var: var.0 };
+                    *waiting = Waiting::Recv { var: var.0 };
                     return;
                 }
                 OpKind::Send => {
-                    let v = self.value(op.args[0]);
-                    self.waiting = Waiting::Send { value: v };
+                    let v = value_of(regs, temps, op.args[0]);
+                    *waiting = Waiting::Send { value: v };
                     return;
                 }
             }
-            self.op_pos += 1;
+            *op_pos += 1;
         }
         // State complete: take the transition (consumes the cycle).
-        let next = self.fsm.states[self.state].next.clone();
-        self.op_pos = 0;
-        self.state = match next {
-            StateNext::Goto(t) => t,
+        let st = &fsm.states[*state];
+        *op_pos = 0;
+        *state = match &st.next {
+            StateNext::Goto(t) => *t,
             StateNext::Branch {
                 cond,
                 then_state,
                 else_state,
             } => {
-                if self.value(cond) != 0 {
-                    then_state
+                if value_of(regs, temps, *cond) != 0 {
+                    *then_state
                 } else {
-                    else_state
+                    *else_state
                 }
             }
             StateNext::Switch {
@@ -319,26 +367,17 @@ impl ThreadExec {
                 arms,
                 default,
             } => {
-                let sel = self.value(selector);
+                let sel = value_of(regs, temps, *selector);
                 arms.iter()
                     .find(|(k, _)| i64::from(*k as u32) == sel || *k == sel)
                     .map(|(_, t)| *t)
-                    .unwrap_or(default)
+                    .unwrap_or(*default)
             }
             StateNext::Restart => {
-                self.iterations += 1;
+                *iterations += 1;
                 0
             }
         };
-    }
-
-    fn residency(&self, var: u32) -> (PortClass, u32) {
-        match self.fsm.binding.residency_of(&self.fsm.vars[var as usize]) {
-            Residency::Memory {
-                port, base_addr, ..
-            } => (port, base_addr),
-            Residency::Register => (PortClass::A, 0),
-        }
     }
 
     /// Whether the thread has been asked to halt and is at an iteration
@@ -346,6 +385,36 @@ impl ThreadExec {
     pub fn is_done(&self) -> bool {
         self.halted && self.state == 0 && self.op_pos == 0 && !self.is_blocked()
     }
+}
+
+// Free helpers over disjoint `ThreadExec` fields, so `run_state` can read
+// ops by reference while writing registers and temps.
+
+#[inline]
+fn value_of(regs: &[i64], temps: &[i64], v: Value) -> i64 {
+    match v {
+        Value::Const(c) => i64::from(c as u32),
+        Value::Var(id) => regs[id.0 as usize],
+        Value::Temp(t) => temps.get(t.0 as usize).copied().unwrap_or(0),
+    }
+}
+
+#[inline]
+fn set_temp(temps: &mut Vec<i64>, t: Option<Temp>, v: i64) {
+    if let Some(t) = t {
+        let i = t.0 as usize;
+        if i >= temps.len() {
+            // Cold: the table is pre-sized from the FSM at construction.
+            temps.resize(i + 1, 0);
+        }
+        temps[i] = v;
+    }
+}
+
+#[inline]
+fn store_var_masked(widths: &[u32], regs: &mut [i64], id: u32, value: i64) {
+    let width = widths[id as usize].min(32);
+    regs[id as usize] = mask_to_width(value, width);
 }
 
 #[cfg(test)]

@@ -1,0 +1,143 @@
+//! Golden-value equivalence: the interned engine must reproduce — exactly —
+//! the metrics the string-keyed seed engine produced on a fixed-seed
+//! workload. The constants below were captured from the pre-interning
+//! engine (BTreeMap-keyed banks/queues/sources) on this same program, seed,
+//! and cycle count; any divergence means the refactor changed simulated
+//! behavior, not just its speed.
+
+use memsync_core::{Compiler, OrganizationKind};
+use memsync_sim::traffic::BernoulliSource;
+use memsync_sim::System;
+
+/// Figure 1's three-thread dependency with Bernoulli-paced arrivals on the
+/// consumer's rx port (t1 consumes x1; t2/t3 produce it).
+const FIGURE1_PACED: &str = r#"
+    thread t1 () {
+        message pkt;
+        int x1, x2;
+        recv pkt;
+        #consumer{mt1,[t2,y1],[t3,z1]}
+        x1 = f(pkt, x2);
+    }
+    thread t2 () {
+        int y1, y2;
+        #producer{mt1,[t1,x1]}
+        y1 = g(x1, y2);
+    }
+    thread t3 () {
+        int z1, z2;
+        #producer{mt1,[t1,x1]}
+        z1 = h(x1, z2);
+    }
+"#;
+
+fn run(kind: OrganizationKind, instrumented: bool) -> System {
+    let mut c = Compiler::new(FIGURE1_PACED);
+    c.organization(kind).skip_validation();
+    let compiled = c.compile().expect("figure 1 compiles");
+    let mut sys = System::new(&compiled);
+    sys.attach_source("t1", Box::new(BernoulliSource::new(11, 0.05)));
+    if instrumented {
+        sys.enable_metrics();
+    }
+    for _ in 0..20_000 {
+        sys.step();
+    }
+    sys
+}
+
+#[test]
+fn arbitrated_uninstrumented_matches_seed_engine() {
+    let sys = run(OrganizationKind::Arbitrated, false);
+    let pooled = sys.metrics.pooled_stats().expect("samples recorded");
+    assert_eq!(pooled.count, 1792);
+    assert_eq!(pooled.min, 2);
+    assert_eq!(pooled.max, 5);
+    assert!(
+        (pooled.mean - 3.863281).abs() < 1e-6,
+        "mean {}",
+        pooled.mean
+    );
+    assert!(
+        (pooled.variance - 1.028741).abs() < 1e-6,
+        "variance {}",
+        pooled.variance
+    );
+    let s0 = sys.metrics.stats(0, 0).expect("stream (0,0)");
+    assert_eq!(s0.count, 896);
+    assert!((s0.mean - 3.983259).abs() < 1e-6);
+    let s1 = sys.metrics.stats(0, 1).expect("stream (0,1)");
+    assert_eq!(s1.count, 896);
+    assert!((s1.mean - 3.743304).abs() < 1e-6);
+    assert_eq!(sys.thread("t2").unwrap().var("y1"), Some(1529321783));
+    assert_eq!(sys.thread("t3").unwrap().var("z1"), Some(1525503287));
+    assert_eq!(sys.cycle(), 20_000);
+}
+
+#[test]
+fn arbitrated_instrumented_matches_seed_engine() {
+    let sys = run(OrganizationKind::Arbitrated, true);
+    for (name, want) in [
+        ("bank0.writes", 985),
+        ("bank0.reads", 1792),
+        ("bank0.grant.c0", 896),
+        ("bank0.grant.c1", 896),
+        ("bank0.grant.p0", 985),
+        ("bank0.grant.p1", 0),
+        ("bank0.deplist_hit", 985),
+        ("bank0.deplist_miss", 0),
+        ("queue0.push", 985),
+        ("queue0.pop", 985),
+    ] {
+        assert_eq!(sys.metrics.counter(name), want, "{name}");
+    }
+    // The instrumented latency path (trace events through the registry)
+    // agrees with the uninstrumented direct-recording path.
+    let pooled = sys.metrics.pooled_stats().expect("samples recorded");
+    assert_eq!((pooled.count, pooled.min, pooled.max), (1792, 2, 5));
+    assert!((pooled.mean - 3.863281).abs() < 1e-6);
+}
+
+#[test]
+fn event_driven_uninstrumented_matches_seed_engine() {
+    let sys = run(OrganizationKind::EventDriven, false);
+    let pooled = sys.metrics.pooled_stats().expect("samples recorded");
+    assert_eq!((pooled.count, pooled.min, pooled.max), (1970, 2, 3));
+    assert!((pooled.mean - 2.5).abs() < 1e-9);
+    assert!((pooled.variance - 0.25).abs() < 1e-9);
+    // §3.2 determinism: each consumer's latency is exact.
+    let s0 = sys.metrics.stats(0, 0).expect("stream (0,0)");
+    assert_eq!((s0.count, s0.min, s0.max), (985, 2, 2));
+    let s1 = sys.metrics.stats(0, 1).expect("stream (0,1)");
+    assert_eq!((s1.count, s1.min, s1.max), (985, 3, 3));
+    assert_eq!(sys.thread("t2").unwrap().var("y1"), Some(1529321783));
+    assert_eq!(sys.thread("t3").unwrap().var("z1"), Some(1525503287));
+}
+
+#[test]
+fn event_driven_instrumented_matches_seed_engine() {
+    let sys = run(OrganizationKind::EventDriven, true);
+    for (name, want) in [
+        ("bank0.writes", 985),
+        ("bank0.reads", 1970),
+        ("bank0.grant.c0", 985),
+        ("bank0.grant.c1", 985),
+        ("bank0.grant.p0", 985),
+        ("bank0.deplist_hit", 0),
+    ] {
+        assert_eq!(sys.metrics.counter(name), want, "{name}");
+    }
+    let pooled = sys.metrics.pooled_stats().expect("samples recorded");
+    assert_eq!((pooled.count, pooled.min, pooled.max), (1970, 2, 3));
+}
+
+#[test]
+fn instrumented_and_uninstrumented_latency_paths_agree() {
+    for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+        let a = run(kind, false);
+        let b = run(kind, true);
+        let pa = a.metrics.pooled_stats().expect("uninstrumented samples");
+        let pb = b.metrics.pooled_stats().expect("instrumented samples");
+        assert_eq!(pa, pb, "{kind}: the two recording paths must agree");
+    }
+}
