@@ -1,0 +1,140 @@
+//! Self-timing harness for the memsync-serve service path.
+//!
+//! Boots an in-process server on an ephemeral loopback port (4 shards of
+//! the egress-4 forwarding application, arbitrated organization) and
+//! drives it closed-loop from several client connections, measuring
+//! sustained packets/sec end to end: TCP framing, flow routing, bounded
+//! queues, paced simulator activations, and the reply path. Records the
+//! best-of-reps rate in `BENCH_serve.json` at the repo root.
+//!
+//! Modes:
+//!
+//! * default — full measurement (3 reps x 24k packets over 4 connections),
+//!   writes `BENCH_serve.json` (`--out <path>` overrides the location);
+//! * `--check` — CI smoke: a short measurement compared against the
+//!   `packets_per_sec` recorded in `BENCH_serve.json`; exits non-zero if
+//!   the current build is more than 3x slower than the recorded value.
+
+use memsync_bench::arg_value;
+use memsync_netapp::Workload;
+use memsync_serve::{Client, ServeConfig, Server};
+use memsync_trace::Json;
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+const CONNS: usize = 4;
+const BATCH: usize = 64;
+const ROUTES: usize = 64;
+
+/// Packets/sec over one rep: `conns` closed-loop connections submitting
+/// `jobs` batches of [`BATCH`] packets each.
+fn rep(addr: std::net::SocketAddr, conns: usize, jobs: usize, seed: u64) -> f64 {
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let w = Workload::generate(seed.wrapping_add(c as u64), jobs * BATCH, ROUTES);
+                let mut served = 0u64;
+                for chunk in w.packets.chunks(BATCH) {
+                    let r = client
+                        .submit_retry(chunk, false, 100_000)
+                        .expect("closed-loop submit");
+                    served += u64::from(r.forwarded) + u64::from(r.dropped);
+                }
+                served
+            })
+        })
+        .collect();
+    let t0 = Instant::now();
+    let served: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("load thread"))
+        .sum();
+    assert_eq!(served as usize, conns * jobs * BATCH, "lossless accounting");
+    served as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Best-of-`reps` sustained packets/sec against a fresh server.
+fn measure(jobs: usize, reps: usize) -> f64 {
+    let config = ServeConfig {
+        shards: SHARDS,
+        routes: ROUTES,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let mut best = 0.0f64;
+    for r in 0..reps {
+        best = best.max(rep(addr, CONNS, jobs, 0x5EED + r as u64));
+    }
+    server.stop();
+    server.wait();
+    best
+}
+
+fn bench_path(args: &[String]) -> String {
+    arg_value(args, "--out")
+        .unwrap_or_else(|| format!("{}/../../BENCH_serve.json", env!("CARGO_MANIFEST_DIR")))
+}
+
+/// Extracts the integer following `"key":` from a flat JSON document.
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = bench_path(&args);
+
+    if args.iter().any(|a| a == "--check") {
+        let doc = std::fs::read_to_string(&path).expect("BENCH_serve.json present at repo root");
+        let recorded = json_u64(&doc, "packets_per_sec").expect("packets_per_sec recorded");
+        let current = measure(20, 2);
+        let floor = recorded as f64 / 3.0;
+        println!(
+            "serve perf check: current {current:.0} pkts/sec, recorded {recorded}, floor {floor:.0}"
+        );
+        if cfg!(debug_assertions) {
+            // The recorded number is a release measurement; a debug build
+            // cannot meet it, so only release runs enforce the floor.
+            println!("debug build: threshold not enforced");
+            return;
+        }
+        if current < floor {
+            eprintln!("serve perf check FAILED: more than 3x slower than recorded");
+            std::process::exit(1);
+        }
+        println!("serve perf check passed");
+        return;
+    }
+
+    let jobs = 100;
+    println!(
+        "serve self-timing ({SHARDS} shards, {CONNS} conns x {jobs} jobs x {BATCH} packets, \
+         closed loop over loopback TCP)"
+    );
+    let pps = measure(jobs, 3);
+    println!("  end to end: {pps:.0} packets/sec");
+
+    let doc = Json::obj()
+        .with(
+            "workload",
+            "loopback closed-loop: 4 shards of forwarding app egress=4, arbitrated, \
+             64-route FIB, 4 conns, 64-packet batches"
+                .into(),
+        )
+        .with("shards", (SHARDS as u64).into())
+        .with("conns", (CONNS as u64).into())
+        .with("batch", (BATCH as u64).into())
+        .with("jobs_per_conn", (jobs as u64).into())
+        .with("reps", 3u64.into())
+        .with("packets_per_sec", (pps.round() as u64).into());
+    std::fs::write(&path, format!("{}\n", doc.pretty())).expect("write BENCH_serve.json");
+    println!("  written to {path}");
+}

@@ -196,6 +196,100 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_prefix_last_write_wins_repeatedly() {
+        let mut fib = Fib::new();
+        for hop in [1u32, 2, 3, 4] {
+            fib.insert(Route {
+                prefix: 0xc0a8_0000,
+                len: 16,
+                next_hop: hop,
+            });
+        }
+        assert_eq!(fib.len(), 1, "replacement never inflates the count");
+        assert_eq!(fib.lookup(0xc0a8_1234), Some(4));
+        // Replacing a /0 behaves the same (the root node is special-cased
+        // nowhere).
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 10,
+        });
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 11,
+        });
+        assert_eq!(fib.len(), 2);
+        assert_eq!(fib.lookup(0x0102_0304), Some(11));
+    }
+
+    #[test]
+    fn default_route_loses_to_any_longer_match() {
+        let mut fib = Fib::new();
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 99,
+        });
+        fib.insert(Route {
+            prefix: 0x8000_0000,
+            len: 1,
+            next_hop: 1,
+        });
+        // Addresses under the /1 take the /1; everything else falls back.
+        assert_eq!(fib.lookup(0xffff_ffff), Some(1));
+        assert_eq!(fib.lookup(0x7fff_ffff), Some(99));
+        assert_eq!(fib.lookup(0), Some(99));
+    }
+
+    #[test]
+    fn nested_prefixes_tie_break_to_the_longest_on_every_boundary() {
+        // A full nesting chain /0 ⊃ /8 ⊃ /16 ⊃ /24 ⊃ /32: each address
+        // picks exactly the deepest covering prefix, including addresses
+        // that diverge one bit past a shorter match.
+        let mut fib = Fib::new();
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 0,
+        });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 8,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0b_0000,
+            len: 16,
+            next_hop: 16,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0b_0c00,
+            len: 24,
+            next_hop: 24,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0b_0c0d,
+            len: 32,
+            next_hop: 32,
+        });
+        assert_eq!(fib.len(), 5);
+        assert_eq!(fib.lookup(0x0a0b_0c0d), Some(32), "exact host route");
+        assert_eq!(fib.lookup(0x0a0b_0c0c), Some(24), "one bit off the /32");
+        assert_eq!(fib.lookup(0x0a0b_0d00), Some(16), "outside the /24");
+        assert_eq!(fib.lookup(0x0a0c_0000), Some(8), "outside the /16");
+        assert_eq!(fib.lookup(0x0b00_0000), Some(0), "outside the /8");
+        // A sibling branch never inherits a cousin's longer match.
+        fib.insert(Route {
+            prefix: 0x0a0b_8000,
+            len: 17,
+            next_hop: 17,
+        });
+        assert_eq!(fib.lookup(0x0a0b_8001), Some(17));
+        assert_eq!(fib.lookup(0x0a0b_7fff), Some(16));
+    }
+
+    #[test]
     fn synthetic_table_is_usable() {
         let fib = synthetic_table(32);
         assert!(fib.len() > 20);

@@ -45,11 +45,14 @@ impl Ipv4Packet {
         b
     }
 
-    /// Parses a 20-byte header.
+    /// Parses a 20-byte header. Strict: this is the decode path of the
+    /// serve frame codec, so anything the model cannot round-trip is
+    /// rejected rather than silently reinterpreted.
     ///
     /// # Errors
     ///
-    /// Rejects non-IPv4 or short headers.
+    /// Rejects short headers, non-IPv4 versions, IHL ≠ 5 (options are not
+    /// modeled), and headers whose stored checksum does not match.
     pub fn from_bytes(b: &[u8]) -> Result<Self, ParsePacketError> {
         if b.len() < 20 {
             return Err(ParsePacketError::Truncated);
@@ -57,14 +60,24 @@ impl Ipv4Packet {
         if b[0] >> 4 != 4 {
             return Err(ParsePacketError::NotIpv4);
         }
-        Ok(Ipv4Packet {
+        if b[0] & 0x0f != 5 {
+            return Err(ParsePacketError::BadIhl(b[0] & 0x0f));
+        }
+        let p = Ipv4Packet {
             src: u32::from_be_bytes([b[12], b[13], b[14], b[15]]),
             dst: u32::from_be_bytes([b[16], b[17], b[18], b[19]]),
             ttl: b[8],
             protocol: b[9],
             total_len: u16::from_be_bytes([b[2], b[3]]),
             checksum: u16::from_be_bytes([b[10], b[11]]),
-        })
+        };
+        if !p.checksum_ok() {
+            return Err(ParsePacketError::BadChecksum {
+                stored: p.checksum,
+                computed: p.compute_checksum(),
+            });
+        }
+        Ok(p)
     }
 
     /// RFC 1071 header checksum over the serialized header (with the
@@ -114,6 +127,15 @@ pub enum ParsePacketError {
     Truncated,
     /// Version field is not 4.
     NotIpv4,
+    /// IHL is not 5 (the model carries no options).
+    BadIhl(u8),
+    /// Stored header checksum does not match the computed one.
+    BadChecksum {
+        /// Checksum carried in the header.
+        stored: u16,
+        /// Checksum recomputed over the header.
+        computed: u16,
+    },
 }
 
 impl std::fmt::Display for ParsePacketError {
@@ -121,6 +143,13 @@ impl std::fmt::Display for ParsePacketError {
         match self {
             ParsePacketError::Truncated => f.write_str("truncated header"),
             ParsePacketError::NotIpv4 => f.write_str("not an IPv4 header"),
+            ParsePacketError::BadIhl(ihl) => write!(f, "unsupported IHL {ihl} (expected 5)"),
+            ParsePacketError::BadChecksum { stored, computed } => {
+                write!(
+                    f,
+                    "bad header checksum {stored:#06x} (computed {computed:#06x})"
+                )
+            }
         }
     }
 }
@@ -218,6 +247,50 @@ mod tests {
         let mut b = [0u8; 20];
         b[0] = 0x60; // IPv6
         assert_eq!(Ipv4Packet::from_bytes(&b), Err(ParsePacketError::NotIpv4));
+    }
+
+    #[test]
+    fn strict_round_trip_over_the_wire_format() {
+        // The serve frame codec ships exactly these 20 bytes; every field
+        // the model carries must survive serialize → strict parse.
+        for (src, dst, ttl, proto, len) in [
+            (0u32, 0u32, 1u8, 0u8, 20u16),
+            (0xffff_ffff, 0xffff_ffff, 255, 255, 65535),
+            (0x0a00_0001, 0xc0a8_0101, 64, 6, 1500),
+        ] {
+            let p = Ipv4Packet::new(src, dst, ttl, proto, len);
+            let q = Ipv4Packet::from_bytes(&p.to_bytes()).unwrap();
+            assert_eq!(p, q);
+            assert_eq!(p.to_bytes(), q.to_bytes(), "byte-identical re-encode");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_ihl() {
+        let mut b = Ipv4Packet::new(1, 2, 64, 6, 100).to_bytes();
+        b[0] = 0x46; // version 4, IHL 6 (20 bytes of options not modeled)
+        assert_eq!(Ipv4Packet::from_bytes(&b), Err(ParsePacketError::BadIhl(6)));
+    }
+
+    #[test]
+    fn parse_rejects_corrupted_checksum() {
+        let p = Ipv4Packet::new(1, 2, 64, 6, 100);
+        let mut b = p.to_bytes();
+        b[10] ^= 0x01; // flip a checksum bit
+        match Ipv4Packet::from_bytes(&b) {
+            Err(ParsePacketError::BadChecksum { stored, computed }) => {
+                assert_eq!(stored, p.checksum ^ 0x0100);
+                assert_eq!(computed, p.checksum);
+            }
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
+        // Corrupting a covered field without fixing the checksum fails too.
+        let mut b = p.to_bytes();
+        b[8] = b[8].wrapping_add(1); // ttl
+        assert!(matches!(
+            Ipv4Packet::from_bytes(&b),
+            Err(ParsePacketError::BadChecksum { .. })
+        ));
     }
 
     #[test]

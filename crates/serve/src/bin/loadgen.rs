@@ -1,0 +1,165 @@
+//! The `loadgen` bin: seeded traffic against a memsync-serve instance.
+//!
+//! ```text
+//! loadgen --addr 127.0.0.1:7171 [--conns 8] [--jobs 100] [--batch 32]
+//!         [--seed 42] [--routes 64] [--verify] [--open-loop]
+//!         [--drain] [--shutdown]
+//! ```
+//!
+//! `--conns` connections each submit `--jobs` batches of `--batch`
+//! seeded [`Workload`](memsync_netapp::Workload) packets. Closed-loop
+//! (default) retries `Busy` with backoff, so every generated packet is
+//! eventually served; `--open-loop` submits once and counts refused
+//! batches instead. `--routes` must match the server's FIB.
+//!
+//! Exits non-zero on any verify mismatch or on a forwarded+dropped total
+//! that does not account for every accepted packet. With `--drain` the
+//! run finishes with a drain frame (and checks it succeeds); `--shutdown`
+//! additionally stops the server.
+
+use memsync_netapp::Workload;
+use memsync_serve::client::BatchResult;
+use memsync_serve::Client;
+use std::time::Instant;
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn num_arg(args: &[String], key: &str, default: u64) -> u64 {
+    arg_value(args, key)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{key} wants a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// One connection's closed- or open-loop run.
+fn run_conn(
+    addr: &str,
+    seed: u64,
+    jobs: usize,
+    batch: usize,
+    routes: usize,
+    verify: bool,
+    open_loop: bool,
+) -> (BatchResult, u64, u64) {
+    let mut client = Client::connect(addr).expect("connect to serve");
+    let w = Workload::generate(seed, jobs * batch, routes);
+    let mut totals = BatchResult::default();
+    let mut submitted = 0u64;
+    let mut refused = 0u64;
+    for chunk in w.packets.chunks(batch) {
+        if open_loop {
+            match client.submit(chunk, verify).expect("submit") {
+                memsync_serve::Response::Batch {
+                    forwarded,
+                    dropped,
+                    mismatches,
+                } => {
+                    totals.forwarded += forwarded;
+                    totals.dropped += dropped;
+                    totals.mismatches += mismatches;
+                    submitted += chunk.len() as u64;
+                }
+                memsync_serve::Response::Busy(_) => refused += 1,
+                other => panic!("unexpected submit response: {other:?}"),
+            }
+        } else {
+            let r = client
+                .submit_retry(chunk, verify, 10_000)
+                .expect("closed-loop submit");
+            totals.forwarded += r.forwarded;
+            totals.dropped += r.dropped;
+            totals.mismatches += r.mismatches;
+            totals.busy_retries += r.busy_retries;
+            submitted += chunk.len() as u64;
+        }
+    }
+    (totals, submitted, refused)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let conns = num_arg(&args, "--conns", 8) as usize;
+    let jobs = num_arg(&args, "--jobs", 100) as usize;
+    let batch = num_arg(&args, "--batch", 32) as usize;
+    let seed = num_arg(&args, "--seed", 42);
+    let routes = num_arg(&args, "--routes", 64) as usize;
+    let verify = args.iter().any(|a| a == "--verify");
+    let open_loop = args.iter().any(|a| a == "--open-loop");
+
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..conns)
+        .map(|c| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_conn(
+                    &addr,
+                    seed.wrapping_add(c as u64),
+                    jobs,
+                    batch,
+                    routes,
+                    verify,
+                    open_loop,
+                )
+            })
+        })
+        .collect();
+    let mut totals = BatchResult::default();
+    let mut submitted = 0u64;
+    let mut refused = 0u64;
+    for h in handles {
+        let (t, s, r) = h.join().expect("loadgen connection thread");
+        totals.forwarded += t.forwarded;
+        totals.dropped += t.dropped;
+        totals.mismatches += t.mismatches;
+        totals.busy_retries += t.busy_retries;
+        submitted += s;
+        refused += r;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let served = u64::from(totals.forwarded) + u64::from(totals.dropped);
+    println!(
+        "submitted {submitted} packets over {conns} conns in {elapsed:.2}s \
+         ({:.0} pkts/sec)",
+        submitted as f64 / elapsed
+    );
+    println!(
+        "forwarded {} dropped {} mismatches {} busy_retries {} refused_batches {refused}",
+        totals.forwarded, totals.dropped, totals.mismatches, totals.busy_retries
+    );
+
+    let mut failed = false;
+    if totals.mismatches > 0 {
+        eprintln!("FAIL: {} verify mismatches", totals.mismatches);
+        failed = true;
+    }
+    if served != submitted {
+        eprintln!("FAIL: served {served} != submitted {submitted} (silent loss)");
+        failed = true;
+    }
+
+    if args.iter().any(|a| a == "--drain" || a == "--shutdown") {
+        let mut client = Client::connect(addr.as_str()).expect("connect for drain");
+        match client.drain() {
+            Ok(()) => println!("drain complete"),
+            Err(e) => {
+                eprintln!("FAIL: drain failed: {e}");
+                failed = true;
+            }
+        }
+        if args.iter().any(|a| a == "--shutdown") {
+            client.shutdown().expect("shutdown frame");
+            println!("shutdown sent");
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

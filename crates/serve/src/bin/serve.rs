@@ -1,0 +1,53 @@
+//! The `serve` bin: run a memsync-serve instance until a shutdown frame.
+//!
+//! ```text
+//! serve [--addr 127.0.0.1:7171] [--shards 4] [--egress 4] [--routes 64]
+//!       [--queue-cap 64] [--batch-max 64] [--org arbitrated|event-driven]
+//! ```
+//!
+//! Prints `listening on <addr>` once the socket is bound (the loopback CI
+//! job waits for that line), then blocks until a client sends a shutdown
+//! frame and exits 0.
+
+use memsync_core::OrganizationKind;
+use memsync_serve::{ServeConfig, Server};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn usize_arg(args: &[String], key: &str, default: usize) -> usize {
+    arg_value(args, key)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{key} wants a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let defaults = ServeConfig::default();
+    let config = ServeConfig {
+        shards: usize_arg(&args, "--shards", defaults.shards),
+        egress: usize_arg(&args, "--egress", defaults.egress),
+        routes: usize_arg(&args, "--routes", defaults.routes),
+        queue_cap: usize_arg(&args, "--queue-cap", defaults.queue_cap),
+        batch_max: usize_arg(&args, "--batch-max", defaults.batch_max),
+        organization: match arg_value(&args, "--org").as_deref() {
+            None | Some("arbitrated") => OrganizationKind::Arbitrated,
+            Some("event-driven") => OrganizationKind::EventDriven,
+            Some(other) => panic!("unknown organization {other}"),
+        },
+        ..defaults
+    };
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let shards = config.shards;
+    let server = Server::start(addr.as_str(), config).expect("bind serve address");
+    println!("listening on {} ({} shards)", server.local_addr(), shards);
+    server.wait();
+    println!("shutdown complete");
+}

@@ -1,0 +1,193 @@
+//! A thin blocking client for the frame protocol.
+//!
+//! Used by `loadgen`, the loopback e2e test, and the `perf_serve` bench —
+//! one connection, synchronous request/response, [`Client::submit_retry`]
+//! layering a bounded exponential backoff over `Busy` responses so
+//! closed-loop callers observe backpressure without losing packets.
+
+use crate::frame::{read_frame, write_frame, Request, Response};
+use memsync_netapp::Ipv4Packet;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One blocking connection to a memsync-serve instance.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+/// Totals reported back for a submitted batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchResult {
+    /// Packets the service forwarded.
+    pub forwarded: u32,
+    /// Packets the service dropped (TTL expiry or FIB miss).
+    pub dropped: u32,
+    /// Verify-mode frame mismatches (should always be zero).
+    pub mismatches: u32,
+    /// `Busy` responses absorbed before the batch was accepted.
+    pub busy_retries: u32,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// One request/response round trip.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `InvalidData` when the server closes mid-response
+    /// or replies with garbage.
+    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.writer, &req.encode())?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed before responding",
+            )),
+        }
+    }
+
+    /// Submits one batch without retrying `Busy`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; `Other` on a server-side `Error` response.
+    pub fn submit(&mut self, packets: &[Ipv4Packet], verify: bool) -> io::Result<Response> {
+        self.roundtrip(&Request::Submit {
+            packets: packets.to_vec(),
+            verify,
+        })
+    }
+
+    /// Submits a batch, absorbing `Busy` with bounded exponential backoff
+    /// (1ms doubling to 64ms, up to `max_retries` attempts).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a server `Error` response, or exhausted retries
+    /// (`WouldBlock`).
+    pub fn submit_retry(
+        &mut self,
+        packets: &[Ipv4Packet],
+        verify: bool,
+        max_retries: u32,
+    ) -> io::Result<BatchResult> {
+        let mut backoff = Duration::from_millis(1);
+        let mut busy_retries = 0u32;
+        loop {
+            match self.submit(packets, verify)? {
+                Response::Batch {
+                    forwarded,
+                    dropped,
+                    mismatches,
+                } => {
+                    return Ok(BatchResult {
+                        forwarded,
+                        dropped,
+                        mismatches,
+                        busy_retries,
+                    })
+                }
+                Response::Busy(_) => {
+                    if busy_retries >= max_retries {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            "server busy: retries exhausted",
+                        ));
+                    }
+                    busy_retries += 1;
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_millis(64));
+                }
+                Response::Error(e) => return Err(io::Error::other(e)),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected response to submit: {other:?}"),
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Fetches the stats frame (a JSON document).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or a non-stats response.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(doc) => Ok(doc),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to stats: {other:?}"),
+            )),
+        }
+    }
+
+    /// Drains the service: refuses new submits, waits until every shard
+    /// is quiescent.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Other` when the server reports a drain timeout.
+    pub fn drain(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Drain)? {
+            Response::Drained => Ok(()),
+            Response::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to drain: {other:?}"),
+            )),
+        }
+    }
+
+    /// Drains and shuts the service down.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures or an unexpected response.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to shutdown: {other:?}"),
+            )),
+        }
+    }
+
+    /// Fault injection: asks the service to crash shard `shard` on its
+    /// next activation (the supervisor restarts it).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or `Other` when the shard index is out of range.
+    pub fn kill_shard(&mut self, shard: u16) -> io::Result<()> {
+        match self.roundtrip(&Request::Kill(shard))? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(io::Error::other(e)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected response to kill: {other:?}"),
+            )),
+        }
+    }
+}

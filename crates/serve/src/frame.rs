@@ -1,0 +1,399 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every frame is a big-endian `u32` payload length followed by the
+//! payload; the first payload byte is the frame type. Request types live
+//! below `0x80`, response types at or above it. The full layout is
+//! documented in EXPERIMENTS.md ("Serving traffic").
+//!
+//! Packets travel as the exact 20-byte header [`Ipv4Packet::to_bytes`]
+//! emits; the decode side uses the strict [`Ipv4Packet::from_bytes`]
+//! (IHL and checksum validated), so a corrupted header is rejected at the
+//! frame boundary instead of flowing into a shard.
+
+use memsync_netapp::packet::ParsePacketError;
+use memsync_netapp::Ipv4Packet;
+use std::io::{self, Read, Write};
+
+/// Hard ceiling on a frame payload (1 MiB) — a malformed length prefix
+/// must not allocate unbounded memory.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Submit flag bit: run the per-packet verify mode (software pipeline
+/// model + FIB oracle) on this batch.
+pub const FLAG_VERIFY: u8 = 0x01;
+
+/// A request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Forward a batch of packets. `verify` enables the per-packet oracle
+    /// check; mismatches come back in [`Response::Batch`].
+    Submit {
+        /// Parsed packet headers, in submission order.
+        packets: Vec<Ipv4Packet>,
+        /// Whether to cross-check every packet against the software model.
+        verify: bool,
+    },
+    /// Ask for the merged stats frame (JSON).
+    Stats,
+    /// Stop accepting new submits, let in-flight packets complete, reply
+    /// [`Response::Drained`] once every shard is idle.
+    Drain,
+    /// Drain, then stop the whole service (the server process exits 0).
+    Shutdown,
+    /// Fault injection: make shard `shard` panic on its next activation
+    /// (exercises the supervisor restart path).
+    Kill(u16),
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Generic acknowledgement (shutdown, kill).
+    Ok,
+    /// A submit batch completed.
+    Batch {
+        /// Packets the oracle classified as forwarded.
+        forwarded: u32,
+        /// Packets dropped (TTL expiry or no route).
+        dropped: u32,
+        /// Verify-mode mismatches (0 when verify was off).
+        mismatches: u32,
+    },
+    /// Backpressure: a target shard queue was full; *nothing* from the
+    /// submit was enqueued. The payload names the first full shard.
+    Busy(u16),
+    /// The merged stats frame as a JSON document.
+    Stats(String),
+    /// Drain completed: queues empty, shards idle.
+    Drained,
+    /// The request failed; nothing was silently dropped — the message
+    /// says what happened.
+    Error(String),
+}
+
+/// Decode failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded [`MAX_PAYLOAD`] or the payload was
+    /// structurally malformed.
+    Malformed(String),
+    /// A submitted packet header failed the strict parse.
+    BadPacket(ParsePacketError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+            FrameError::BadPacket(e) => write!(f, "bad packet in submit: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ---- request encode/decode -------------------------------------------
+
+const REQ_SUBMIT: u8 = 0x01;
+const REQ_STATS: u8 = 0x02;
+const REQ_DRAIN: u8 = 0x03;
+const REQ_SHUTDOWN: u8 = 0x04;
+const REQ_KILL: u8 = 0x05;
+const RSP_OK: u8 = 0x80;
+const RSP_BATCH: u8 = 0x81;
+const RSP_BUSY: u8 = 0x82;
+const RSP_STATS: u8 = 0x83;
+const RSP_DRAINED: u8 = 0x84;
+const RSP_ERROR: u8 = 0x85;
+
+impl Request {
+    /// Serializes the request payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Submit { packets, verify } => {
+                let mut v = Vec::with_capacity(4 + packets.len() * 20);
+                v.push(REQ_SUBMIT);
+                v.push(if *verify { FLAG_VERIFY } else { 0 });
+                v.extend_from_slice(&(packets.len() as u16).to_be_bytes());
+                for p in packets {
+                    v.extend_from_slice(&p.to_bytes());
+                }
+                v
+            }
+            Request::Stats => vec![REQ_STATS],
+            Request::Drain => vec![REQ_DRAIN],
+            Request::Shutdown => vec![REQ_SHUTDOWN],
+            Request::Kill(shard) => {
+                let mut v = vec![REQ_KILL];
+                v.extend_from_slice(&shard.to_be_bytes());
+                v
+            }
+        }
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown types, length mismatches, and (for submits) any
+    /// packet header the strict parser rejects.
+    pub fn decode(payload: &[u8]) -> Result<Request, FrameError> {
+        let (&ty, body) = payload
+            .split_first()
+            .ok_or_else(|| FrameError::Malformed("empty payload".into()))?;
+        match ty {
+            REQ_SUBMIT => {
+                if body.len() < 3 {
+                    return Err(FrameError::Malformed("short submit header".into()));
+                }
+                let verify = body[0] & FLAG_VERIFY != 0;
+                let count = u16::from_be_bytes([body[1], body[2]]) as usize;
+                let bytes = &body[3..];
+                if bytes.len() != count * 20 {
+                    return Err(FrameError::Malformed(format!(
+                        "submit length {} != {count} packets x 20",
+                        bytes.len()
+                    )));
+                }
+                let mut packets = Vec::with_capacity(count);
+                for chunk in bytes.chunks_exact(20) {
+                    packets.push(Ipv4Packet::from_bytes(chunk).map_err(FrameError::BadPacket)?);
+                }
+                Ok(Request::Submit { packets, verify })
+            }
+            REQ_STATS => Ok(Request::Stats),
+            REQ_DRAIN => Ok(Request::Drain),
+            REQ_SHUTDOWN => Ok(Request::Shutdown),
+            REQ_KILL => {
+                if body.len() != 2 {
+                    return Err(FrameError::Malformed("kill wants a u16 shard".into()));
+                }
+                Ok(Request::Kill(u16::from_be_bytes([body[0], body[1]])))
+            }
+            other => Err(FrameError::Malformed(format!(
+                "unknown request {other:#04x}"
+            ))),
+        }
+    }
+}
+
+impl Response {
+    /// Serializes the response payload (without the length prefix).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Ok => vec![RSP_OK],
+            Response::Batch {
+                forwarded,
+                dropped,
+                mismatches,
+            } => {
+                let mut v = Vec::with_capacity(13);
+                v.push(RSP_BATCH);
+                v.extend_from_slice(&forwarded.to_be_bytes());
+                v.extend_from_slice(&dropped.to_be_bytes());
+                v.extend_from_slice(&mismatches.to_be_bytes());
+                v
+            }
+            Response::Busy(shard) => {
+                let mut v = vec![RSP_BUSY];
+                v.extend_from_slice(&shard.to_be_bytes());
+                v
+            }
+            Response::Stats(json) => {
+                let mut v = Vec::with_capacity(1 + json.len());
+                v.push(RSP_STATS);
+                v.extend_from_slice(json.as_bytes());
+                v
+            }
+            Response::Drained => vec![RSP_DRAINED],
+            Response::Error(msg) => {
+                let mut v = Vec::with_capacity(1 + msg.len());
+                v.push(RSP_ERROR);
+                v.extend_from_slice(msg.as_bytes());
+                v
+            }
+        }
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown types and length mismatches.
+    pub fn decode(payload: &[u8]) -> Result<Response, FrameError> {
+        let (&ty, body) = payload
+            .split_first()
+            .ok_or_else(|| FrameError::Malformed("empty payload".into()))?;
+        let utf8 = |b: &[u8]| {
+            String::from_utf8(b.to_vec()).map_err(|_| FrameError::Malformed("non-utf8 text".into()))
+        };
+        match ty {
+            RSP_OK => Ok(Response::Ok),
+            RSP_BATCH => {
+                if body.len() != 12 {
+                    return Err(FrameError::Malformed("batch wants 3 x u32".into()));
+                }
+                let f = u32::from_be_bytes(body[0..4].try_into().expect("checked"));
+                let d = u32::from_be_bytes(body[4..8].try_into().expect("checked"));
+                let m = u32::from_be_bytes(body[8..12].try_into().expect("checked"));
+                Ok(Response::Batch {
+                    forwarded: f,
+                    dropped: d,
+                    mismatches: m,
+                })
+            }
+            RSP_BUSY => {
+                if body.len() != 2 {
+                    return Err(FrameError::Malformed("busy wants a u16 shard".into()));
+                }
+                Ok(Response::Busy(u16::from_be_bytes([body[0], body[1]])))
+            }
+            RSP_STATS => Ok(Response::Stats(utf8(body)?)),
+            RSP_DRAINED => Ok(Response::Drained),
+            RSP_ERROR => Ok(Response::Error(utf8(body)?)),
+            other => Err(FrameError::Malformed(format!(
+                "unknown response {other:#04x}"
+            ))),
+        }
+    }
+}
+
+// ---- framed I/O -------------------------------------------------------
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures (including write-deadline expiry).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates I/O failures and rejects frames above [`MAX_PAYLOAD`] with
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_PAYLOAD} cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_netapp::Workload;
+
+    #[test]
+    fn request_round_trips() {
+        let w = Workload::generate(3, 5, 8);
+        let reqs = [
+            Request::Submit {
+                packets: w.packets.clone(),
+                verify: true,
+            },
+            Request::Submit {
+                packets: Vec::new(),
+                verify: false,
+            },
+            Request::Stats,
+            Request::Drain,
+            Request::Shutdown,
+            Request::Kill(3),
+        ];
+        for r in reqs {
+            assert_eq!(Request::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let rsps = [
+            Response::Ok,
+            Response::Batch {
+                forwarded: 7,
+                dropped: 2,
+                mismatches: 0,
+            },
+            Response::Busy(2),
+            Response::Stats("{\"x\":1}".into()),
+            Response::Drained,
+            Response::Error("nope".into()),
+        ];
+        for r in rsps {
+            assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn submit_rejects_corrupted_packet_bytes() {
+        let w = Workload::generate(3, 2, 8);
+        let mut bytes = Request::Submit {
+            packets: w.packets.clone(),
+            verify: false,
+        }
+        .encode();
+        // Flip a TTL byte inside the first packed header: the strict
+        // parser must catch the checksum mismatch at the frame boundary.
+        bytes[4 + 8] ^= 0xff;
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(FrameError::BadPacket(ParsePacketError::BadChecksum { .. }))
+        ));
+    }
+
+    #[test]
+    fn submit_rejects_length_mismatch() {
+        let mut bytes = Request::Submit {
+            packets: Workload::generate(1, 2, 8).packets,
+            verify: false,
+        }
+        .encode();
+        bytes.truncate(bytes.len() - 1);
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn framed_io_round_trips_and_detects_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_PAYLOAD as u32 + 1).to_be_bytes());
+        let mut r = &buf[..];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

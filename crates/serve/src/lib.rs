@@ -1,0 +1,108 @@
+//! # memsync-serve — a sharded, batching packet-forwarding service
+//!
+//! The paper's evaluation vehicle is a two-port IP packet-forwarding
+//! application fed by probabilistic traffic; everything in this repository
+//! so far runs that application against pre-generated in-memory traces.
+//! This crate is the front end that turns it into a network service: a
+//! multi-threaded TCP server that runs compiled hic forwarding systems as
+//! N sharded [`memsync_sim::System`] instances and forwards real packets
+//! through them — the same "many independent requesters multiplexed onto
+//! a fixed set of ports with bounded latency" problem the memory
+//! organizations solve on-chip, lifted to the process boundary.
+//!
+//! Architecture (std-only — no async runtime, the workspace builds
+//! offline):
+//!
+//! * [`frame`] — the length-prefixed binary frame protocol (submit packet
+//!   batch / query stats / drain / shutdown / fault-inject kill);
+//! * [`pipeline`] — the software model of the compiled forwarding
+//!   pipeline (expected egress frames per descriptor) and the
+//!   [`memsync_netapp::Workload::reference_forward`]-style FIB oracle
+//!   behind the per-packet `verify` mode;
+//! * [`queue`] — bounded per-shard job queues with explicit backpressure:
+//!   queue-full means a `Busy` response, never unbounded buffering;
+//! * [`router`] — dst-prefix flow hashing and all-or-nothing multi-shard
+//!   batch submission;
+//! * [`shard`] — shard threads batching up to K packets per simulator
+//!   activation to amortize per-`step()` overhead;
+//! * [`supervisor`] — restarts a panicked shard on its surviving queue
+//!   and counts `shard_restarts`;
+//! * [`server`] — the TCP acceptor loop, per-connection read/write
+//!   deadlines, graceful drain (in-flight packets complete, new submits
+//!   refused);
+//! * [`stats`] — per-shard [`memsync_trace::MetricsRegistry`] instances
+//!   merged into one stats frame (throughput, queue-depth high-water,
+//!   batch-size histogram, p50/p99 service latency);
+//! * [`client`] — a blocking client used by the `loadgen` bin, the
+//!   loopback tests, and the self-timing harness.
+//!
+//! The wire protocol, backpressure semantics, and `BENCH_serve.json`
+//! schema are documented in `EXPERIMENTS.md` ("Serving traffic").
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod frame;
+pub mod pipeline;
+pub mod queue;
+pub mod router;
+pub mod server;
+pub mod shard;
+pub mod stats;
+pub mod supervisor;
+
+pub use client::Client;
+pub use frame::{Request, Response};
+pub use server::Server;
+
+use memsync_core::OrganizationKind;
+use std::time::Duration;
+
+/// Service configuration. `Default` matches the acceptance setup:
+/// 4 shards of the egress-4 forwarding application under the arbitrated
+/// organization, 64-route synthetic FIB.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard simulator instances (each its own thread).
+    pub shards: usize,
+    /// Egress consumer count of the compiled forwarding application.
+    pub egress: usize,
+    /// Memory organization the shards simulate.
+    pub organization: OrganizationKind,
+    /// Route count of the synthetic FIB (must match the loadgen's).
+    pub routes: usize,
+    /// Bounded shard queue capacity, in jobs. A full queue refuses the
+    /// whole submit with `Busy`.
+    pub queue_cap: usize,
+    /// Maximum packets coalesced into one simulator activation.
+    pub batch_max: usize,
+    /// Per-connection idle read deadline; a connection that stays silent
+    /// this long is closed.
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// How long an acceptor waits for shard outcomes before reporting a
+    /// submit as failed.
+    pub job_timeout: Duration,
+    /// Test hook: artificial per-activation delay, to make backpressure
+    /// observable deterministically in the loopback tests.
+    pub shard_throttle: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            egress: 4,
+            organization: OrganizationKind::Arbitrated,
+            routes: 64,
+            queue_cap: 64,
+            batch_max: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            job_timeout: Duration::from_secs(60),
+            shard_throttle: None,
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Bounded per-shard job queues with explicit backpressure.
+//!
+//! Each shard owns one [`ShardQueue`]: acceptor threads push whole jobs
+//! (`try`-only — a full queue is a [`crate::frame::Response::Busy`], never
+//! unbounded buffering), the shard thread pops them with a timeout so it
+//! can notice drain/stop flags. The queue outlives the shard thread: when
+//! the supervisor restarts a panicked shard, queued jobs survive and are
+//! processed by the replacement.
+
+use memsync_netapp::Ipv4Packet;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The result a shard reports for one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobOutcome {
+    /// Packets the oracle classified as forwarded.
+    pub forwarded: u32,
+    /// Packets dropped (TTL expiry or no route).
+    pub dropped: u32,
+    /// Verify-mode mismatches between simulator egress and the model.
+    pub mismatches: u32,
+}
+
+/// One unit of shard work: a sub-batch of packets that all hash to the
+/// same shard, plus the channel the outcome goes back on.
+#[derive(Debug)]
+pub struct Job {
+    /// Packets to forward, in submission order.
+    pub packets: Vec<Ipv4Packet>,
+    /// Whether to run the verify oracle on every packet.
+    pub verify: bool,
+    /// Outcome channel back to the accepting connection. Dropping the
+    /// job (e.g. a shard panic mid-batch) drops the sender, which the
+    /// acceptor observes as a failed submit — never a silent loss.
+    pub reply: Sender<JobOutcome>,
+    /// When the job entered the queue (service-latency attribution).
+    pub enqueued: Instant,
+}
+
+/// A bounded MPSC job queue (mutex + condvar; the push side is `try`-only
+/// so producers never block on a full queue).
+#[derive(Debug)]
+pub struct ShardQueue {
+    inner: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    cap: usize,
+    /// Highest depth ever observed at push time (stats frame).
+    high_water: AtomicUsize,
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // A shard panicking while the acceptor holds no job invariant worth
+    // protecting: the queue content stays valid, so recover the guard.
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl ShardQueue {
+    /// Creates a queue holding at most `cap` jobs.
+    pub fn new(cap: usize) -> Self {
+        ShardQueue {
+            inner: Mutex::new(VecDeque::with_capacity(cap)),
+            available: Condvar::new(),
+            cap,
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Capacity in jobs.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        unpoison(self.inner.lock()).len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Highest depth ever observed at push time.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Locks the queue for a multi-queue atomic submit (see
+    /// [`crate::router::Router::submit`]). The guard exposes capacity
+    /// checking and pushing while held.
+    pub(crate) fn lock(&self) -> MutexGuard<'_, VecDeque<Job>> {
+        unpoison(self.inner.lock())
+    }
+
+    /// Pushes under an already-held guard, updating the high-water mark
+    /// and waking the shard.
+    pub(crate) fn push_locked(&self, guard: &mut MutexGuard<'_, VecDeque<Job>>, job: Job) {
+        guard.push_back(job);
+        let depth = guard.len();
+        self.high_water.fetch_max(depth, Ordering::Relaxed);
+        self.available.notify_one();
+    }
+
+    /// Tries to push one job; `Err(job)` hands it back when the queue is
+    /// full (the caller answers `Busy`).
+    pub fn try_push(&self, job: Job) -> Result<(), Job> {
+        let mut g = self.lock();
+        if g.len() >= self.cap {
+            return Err(job);
+        }
+        self.push_locked(&mut g, job);
+        Ok(())
+    }
+
+    /// Pops one job, waiting up to `timeout` — shards poll this so stop
+    /// and kill flags are observed between activations.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
+        let mut g = unpoison(self.inner.lock());
+        if let Some(job) = g.pop_front() {
+            return Some(job);
+        }
+        // One lock held into the wait: a push between the check and the
+        // wait cannot slip its notification past us.
+        let (mut g, _) = self
+            .available
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        g.pop_front()
+    }
+
+    /// Pops without waiting (batch coalescing inside one activation).
+    pub fn try_pop(&self) -> Option<Job> {
+        unpoison(self.inner.lock()).pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn job(n: usize) -> (Job, std::sync::mpsc::Receiver<JobOutcome>) {
+        let (tx, rx) = channel();
+        (
+            Job {
+                packets: vec![Ipv4Packet::new(1, 2, 10, 6, 40); n],
+                verify: false,
+                reply: tx,
+                enqueued: Instant::now(),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn bounded_push_reports_full() {
+        let q = ShardQueue::new(2);
+        let (a, _ra) = job(1);
+        let (b, _rb) = job(1);
+        let (c, _rc) = job(1);
+        assert!(q.try_push(a).is_ok());
+        assert!(q.try_push(b).is_ok());
+        let rejected = q.try_push(c).unwrap_err();
+        assert_eq!(rejected.packets.len(), 1, "job handed back intact");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.high_water(), 2);
+        // Draining one slot reopens the queue.
+        assert!(q.try_pop().is_some());
+        assert!(q.try_push(rejected).is_ok());
+    }
+
+    #[test]
+    fn pop_timeout_sees_pushes_and_times_out_empty() {
+        let q = ShardQueue::new(4);
+        assert!(q.pop_timeout(Duration::from_millis(5)).is_none());
+        let (a, _ra) = job(3);
+        q.try_push(a).unwrap();
+        let got = q.pop_timeout(Duration::from_millis(100)).unwrap();
+        assert_eq!(got.packets.len(), 3);
+        assert!(q.is_empty());
+    }
+}

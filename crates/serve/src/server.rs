@@ -1,0 +1,301 @@
+//! The TCP front end: accept loop, per-connection acceptor threads,
+//! drain/shutdown choreography.
+//!
+//! Each connection gets its own acceptor thread speaking the frame
+//! protocol with read/write deadlines. Submits are split by flow hash and
+//! enqueued all-or-nothing ([`Router::submit`]); a full shard queue turns
+//! into an immediate `Busy` response — the service never buffers beyond
+//! the bounded queues. Drain flips a flag (new submits refused), waits
+//! for every shard to go quiescent, and answers `Drained`; shutdown
+//! drains, stops the shard fleet and the accept loop, and unblocks
+//! [`Server::wait`] so the `serve` bin can exit 0.
+
+use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
+use crate::router::Router;
+use crate::stats::{stats_json, ServerCounters};
+use crate::supervisor::{Supervisor, SupervisorHandle};
+use crate::ServeConfig;
+use std::io;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Shared state every acceptor sees.
+#[derive(Debug)]
+struct Shared {
+    router: Router,
+    supervisor: SupervisorHandle,
+    counters: ServerCounters,
+    config: ServeConfig,
+    stop: Arc<AtomicBool>,
+    draining: AtomicBool,
+    started: Instant,
+}
+
+/// A running service instance.
+#[derive(Debug)]
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Granularity of the accept/read polling loops: short enough that stop
+/// and drain flags are observed promptly, long enough to stay cheap.
+const POLL: Duration = Duration::from_millis(50);
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the shard
+    /// fleet, the supervisor, and the accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
+        assert!(config.shards > 0, "at least one shard");
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let supervisor = Supervisor::start(&config, Arc::clone(&stop)).monitor_in_background();
+        let router = Router::new(
+            supervisor
+                .shards()
+                .iter()
+                .map(|s| Arc::clone(&s.queue))
+                .collect(),
+        );
+        let shared = Arc::new(Shared {
+            router,
+            supervisor,
+            counters: ServerCounters::default(),
+            config,
+            stop: Arc::clone(&stop),
+            draining: AtomicBool::new(false),
+            started: Instant::now(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::Builder::new()
+            .name("memsync-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared))
+            .expect("accept thread spawns");
+        Ok(Server {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Total shard restarts so far.
+    pub fn shard_restarts(&self) -> u64 {
+        self.shared.supervisor.restarts()
+    }
+
+    /// Whether a shutdown has been requested (frame or [`Server::stop`]).
+    pub fn stopped(&self) -> bool {
+        self.shared.stop.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the service shuts down (via a shutdown frame or
+    /// [`Server::stop`]), then joins every thread.
+    pub fn wait(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Requests shutdown from the host process (equivalent to a shutdown
+    /// frame, minus the drain).
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::Release);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    while !shared.stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let conn_shared = Arc::clone(shared);
+                let h = std::thread::Builder::new()
+                    .name("memsync-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &conn_shared);
+                    })
+                    .expect("connection thread spawns");
+                conns.push(h);
+                conns.retain(|c| !c.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    // The supervisor joins the shard fleet once the stop flag is up.
+    // (SupervisorHandle::join consumes; the Arc keeps it alive here, so
+    // just give the monitor a beat to wind down its threads.)
+}
+
+/// Handles one connection until EOF, deadline expiry, or service stop.
+fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    // Short socket timeouts + an idle budget: reads poll so the stop flag
+    // is honored, but a silent peer is dropped once the configured read
+    // deadline accumulates.
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    let mut reader = io::BufReader::new(stream.try_clone()?);
+    let mut writer = io::BufWriter::new(stream);
+    let mut idle = Duration::ZERO;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => return Ok(()), // clean close
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                idle += POLL;
+                if idle >= shared.config.read_timeout {
+                    return Ok(()); // read deadline: drop the silent peer
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        idle = Duration::ZERO;
+        let (response, shutdown) = match Request::decode(&payload) {
+            Ok(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                (handle_request(req, shared), is_shutdown)
+            }
+            Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
+                (Response::Error(e.to_string()), false)
+            }
+        };
+        write_frame(&mut writer, &response.encode())?;
+        if shutdown {
+            shared.stop.store(true, Ordering::Release);
+            return Ok(());
+        }
+    }
+}
+
+fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+    match req {
+        Request::Submit { packets, verify } => handle_submit(&packets, verify, shared),
+        Request::Stats => Response::Stats(stats_json(
+            shared.supervisor.shards(),
+            &shared.counters,
+            shared.supervisor.restarts(),
+            shared.draining.load(Ordering::Acquire),
+            shared.started,
+        )),
+        Request::Drain => {
+            shared.draining.store(true, Ordering::Release);
+            if wait_quiescent(shared, shared.config.job_timeout) {
+                Response::Drained
+            } else {
+                Response::Error("drain timed out".into())
+            }
+        }
+        Request::Shutdown => {
+            shared.draining.store(true, Ordering::Release);
+            wait_quiescent(shared, shared.config.job_timeout);
+            Response::Ok
+        }
+        Request::Kill(shard) => {
+            let Some(s) = shared.supervisor.shards().get(shard as usize) else {
+                return Response::Error(format!("no shard {shard}"));
+            };
+            s.die.store(true, Ordering::Release);
+            Response::Ok
+        }
+    }
+}
+
+fn wait_quiescent(shared: &Arc<Shared>, timeout: Duration) -> bool {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if shared.supervisor.quiescent() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    shared.supervisor.quiescent()
+}
+
+fn handle_submit(
+    packets: &[memsync_netapp::Ipv4Packet],
+    verify: bool,
+    shared: &Arc<Shared>,
+) -> Response {
+    if shared.draining.load(Ordering::Acquire) {
+        return Response::Error("draining: new submits refused".into());
+    }
+    if packets.is_empty() {
+        return Response::Batch {
+            forwarded: 0,
+            dropped: 0,
+            mismatches: 0,
+        };
+    }
+    let (tx, rx) = channel();
+    let jobs = match shared.router.submit(packets, verify, &tx) {
+        Ok(n) => n,
+        Err(shard) => {
+            shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            return Response::Busy(shard);
+        }
+    };
+    drop(tx); // the shard-held clones are now the only senders
+    shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+    let mut forwarded = 0u32;
+    let mut dropped = 0u32;
+    let mut mismatches = 0u32;
+    for _ in 0..jobs {
+        match rx.recv_timeout(shared.config.job_timeout) {
+            Ok(out) => {
+                forwarded += out.forwarded;
+                dropped += out.dropped;
+                mismatches += out.mismatches;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // A shard died mid-batch; the supervisor is restarting it.
+                // The submit is reported failed — the client retries; no
+                // silent loss, no double processing of the lost job.
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error("shard failed mid-batch; resubmit".into());
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                return Response::Error("job timed out".into());
+            }
+        }
+    }
+    Response::Batch {
+        forwarded,
+        dropped,
+        mismatches,
+    }
+}

@@ -1,0 +1,295 @@
+//! Shard threads: each owns one compiled forwarding system and batches
+//! queued packets through it.
+//!
+//! A shard activation pops as many jobs as fit under
+//! [`crate::ServeConfig::batch_max`] packets and runs them through the
+//! simulator in one go — amortizing queue locking, stats updates, and
+//! egress draining over up to K packets. *Within* the activation,
+//! injection is paced one descriptor at a time: guarded locations have
+//! sampling semantics (a producer overwrites an unconsumed value, exactly
+//! like the paper's dependency-guarded memory), so an unpaced burst would
+//! silently lose packets — see
+//! `pipeline::tests::unpaced_injection_overwrites_and_loses_packets`.
+//! Outcomes are classified with the FIB oracle; in verify mode every
+//! egress frame is additionally checked against the software pipeline
+//! model ([`crate::pipeline::expected_frame`]).
+
+use crate::pipeline::{expected_frame, oracle_forwards};
+use crate::queue::{Job, JobOutcome, ShardQueue};
+use crate::ServeConfig;
+use memsync_netapp::fib::synthetic_table;
+use memsync_netapp::{Fib, Ipv4Packet};
+use memsync_sim::{System, ThreadId};
+use memsync_trace::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Upper bound on simulator cycles per activation, scaled by batch size —
+/// a stalled pipeline is a shard bug and must surface as a panic (the
+/// supervisor restarts the shard; the in-flight job's reply channel drops
+/// so the client sees an error, not silence).
+const CYCLES_PER_PACKET_BUDGET: u64 = 2_000;
+
+/// Shared handles between a shard thread, the supervisor, and the stats
+/// collector. The queue and flags survive a shard panic; the simulator
+/// does not (the replacement thread builds a fresh one).
+#[derive(Debug)]
+pub struct ShardCtx {
+    /// Shard index (stable across restarts).
+    pub id: usize,
+    /// The shard's bounded job queue.
+    pub queue: Arc<ShardQueue>,
+    /// Serve-level metrics for this shard (merged into stats frames).
+    pub stats: Arc<Mutex<MetricsRegistry>>,
+    /// Service-wide stop flag (set by shutdown).
+    pub stop: Arc<AtomicBool>,
+    /// Fault injection: when set, the shard panics on its next
+    /// activation (cleared by the replacement).
+    pub die: Arc<AtomicBool>,
+    /// False while the shard is mid-activation (drain waits on this).
+    pub idle: Arc<AtomicBool>,
+    /// Service configuration.
+    pub config: ServeConfig,
+}
+
+/// Builds the shard's simulator: the forwarding application compiled for
+/// the configured egress width and organization.
+fn build_system(config: &ServeConfig) -> (System, Vec<ThreadId>) {
+    let src = memsync_netapp::forwarding::app_source(config.egress);
+    let mut compiler = memsync_core::Compiler::new(&src);
+    compiler.organization(config.organization).skip_validation();
+    let compiled = compiler.compile().expect("forwarding app compiles");
+    let sys = System::new(&compiled);
+    let ids = (0..config.egress)
+        .map(|i| {
+            sys.thread_id(&format!("e{i}"))
+                .expect("egress thread compiled")
+        })
+        .collect();
+    (sys, ids)
+}
+
+/// Processes one coalesced batch: simulate, classify, verify, reply.
+fn process_batch(
+    sys: &mut System,
+    egress: &[ThreadId],
+    fib: &Fib,
+    jobs: Vec<Job>,
+    shard_id: usize,
+    stats: &Mutex<MetricsRegistry>,
+) {
+    let n: usize = jobs.iter().map(|j| j.packets.len()).sum();
+    let cycles_before = sys.cycle();
+    for (k, desc) in jobs
+        .iter()
+        .flat_map(|j| j.packets.iter().map(Ipv4Packet::descriptor))
+        .enumerate()
+    {
+        sys.push_messages("rx", [i64::from(desc)]);
+        assert!(
+            sys.run_until_sent(egress, k + 1, CYCLES_PER_PACKET_BUDGET),
+            "shard {shard_id}: simulator stalled at packet {k} of {n}"
+        );
+    }
+    let frames: Vec<Vec<i64>> = egress.iter().map(|id| sys.drain_sent(*id)).collect();
+    let sim_cycles = sys.cycle() - cycles_before;
+
+    // Walk the concatenated batch job by job, packet by packet.
+    let mut offset = 0usize;
+    let mut totals = JobOutcome::default();
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    for job in &jobs {
+        let mut out = JobOutcome::default();
+        for (k, p) in job.packets.iter().enumerate() {
+            if oracle_forwards(p, fib) {
+                out.forwarded += 1;
+            } else {
+                out.dropped += 1;
+            }
+            if job.verify {
+                let desc = p.descriptor();
+                let bad = frames
+                    .iter()
+                    .enumerate()
+                    .any(|(i, f)| f[offset + k] != i64::from(expected_frame(desc, i)));
+                if bad {
+                    out.mismatches += 1;
+                }
+            }
+        }
+        offset += job.packets.len();
+        totals.forwarded += out.forwarded;
+        totals.dropped += out.dropped;
+        totals.mismatches += out.mismatches;
+        outcomes.push(out);
+    }
+
+    // Record stats *before* replying: a client that queries stats right
+    // after its submit response must already see this batch.
+    {
+        let mut reg = stats.lock().unwrap_or_else(PoisonError::into_inner);
+        reg.add("serve.packets", n as u64);
+        reg.add("serve.forwarded", u64::from(totals.forwarded));
+        reg.add("serve.dropped", u64::from(totals.dropped));
+        reg.add("serve.mismatches", u64::from(totals.mismatches));
+        reg.add("serve.sim_cycles", sim_cycles);
+        reg.inc("serve.batches");
+        reg.record("serve.batch_size", n as u64);
+        for job in &jobs {
+            reg.record(
+                "serve.service_latency_us",
+                job.enqueued.elapsed().as_micros() as u64,
+            );
+        }
+    }
+    for (job, out) in jobs.into_iter().zip(outcomes) {
+        // A receiver that went away (connection dropped mid-flight) is
+        // not the shard's problem.
+        let _ = job.reply.send(out);
+    }
+}
+
+/// The shard thread body: loops popping and processing batches until the
+/// stop flag rises. Panics (deliberate via the kill flag, or real bugs)
+/// unwind out of here into the supervisor's restart path.
+pub fn run(ctx: &ShardCtx) {
+    let (mut sys, egress) = build_system(&ctx.config);
+    let fib = synthetic_table(ctx.config.routes);
+    while !ctx.stop.load(Ordering::Acquire) {
+        let Some(first) = ctx.queue.pop_timeout(Duration::from_millis(20)) else {
+            continue;
+        };
+        ctx.idle.store(false, Ordering::Release);
+        if ctx.die.swap(false, Ordering::AcqRel) {
+            // Put the job back? No — the kill emulates a crash mid-batch:
+            // the job is dropped, its reply channel closes, and the
+            // acceptor reports the submit as failed. Lossy only in the
+            // sense a real crash is; never silent.
+            panic!("shard {} killed by fault injection", ctx.id);
+        }
+        // Coalesce follow-on jobs up to the activation budget.
+        let mut jobs = vec![first];
+        let mut packets: usize = jobs[0].packets.len();
+        while packets < ctx.config.batch_max {
+            match ctx.queue.try_pop() {
+                Some(j) => {
+                    packets += j.packets.len();
+                    jobs.push(j);
+                }
+                None => break,
+            }
+        }
+        if let Some(throttle) = ctx.config.shard_throttle {
+            std::thread::sleep(throttle);
+        }
+        process_batch(&mut sys, &egress, &fib, jobs, ctx.id, &ctx.stats);
+        if ctx.queue.is_empty() {
+            ctx.idle.store(true, Ordering::Release);
+        }
+    }
+    ctx.idle.store(true, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memsync_netapp::Workload;
+    use std::sync::mpsc::channel;
+    use std::time::Instant;
+
+    fn ctx(config: ServeConfig) -> ShardCtx {
+        ShardCtx {
+            id: 0,
+            queue: Arc::new(ShardQueue::new(config.queue_cap)),
+            stats: Arc::new(Mutex::new(MetricsRegistry::new())),
+            stop: Arc::new(AtomicBool::new(false)),
+            die: Arc::new(AtomicBool::new(false)),
+            idle: Arc::new(AtomicBool::new(true)),
+            config,
+        }
+    }
+
+    #[test]
+    fn shard_processes_a_batch_matching_the_oracle() {
+        let config = ServeConfig {
+            egress: 2,
+            routes: 16,
+            ..ServeConfig::default()
+        };
+        let ctx = ctx(config.clone());
+        let w = Workload::generate(77, 40, config.routes);
+        let (fwd, drop) = w.reference_forward();
+        let (tx, rx) = channel();
+        ctx.queue
+            .try_push(Job {
+                packets: w.packets.clone(),
+                verify: true,
+                reply: tx,
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        // One manual activation instead of the full thread loop.
+        let (mut sys, egress) = build_system(&ctx.config);
+        let fib = synthetic_table(ctx.config.routes);
+        let job = ctx.queue.try_pop().unwrap();
+        process_batch(&mut sys, &egress, &fib, vec![job], 0, &ctx.stats);
+        let out = rx.recv().unwrap();
+        assert_eq!(out.forwarded as usize, fwd);
+        assert_eq!(out.dropped as usize, drop);
+        assert_eq!(out.mismatches, 0, "hardware matches the model");
+        let reg = ctx.stats.lock().unwrap();
+        assert_eq!(reg.counter("serve.packets"), 40);
+        assert_eq!(reg.counter("serve.batches"), 1);
+        assert_eq!(reg.histogram("serve.batch_size").unwrap().samples(), &[40]);
+        assert!(reg.counter("serve.sim_cycles") > 0);
+        assert_eq!(
+            reg.histogram("serve.service_latency_us")
+                .unwrap()
+                .summary()
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn per_shard_counts_are_seed_deterministic() {
+        // Same packets, two fresh shards: byte-identical counters.
+        let config = ServeConfig {
+            egress: 2,
+            routes: 16,
+            ..ServeConfig::default()
+        };
+        let w = Workload::generate(123, 64, config.routes);
+        let mut counts = Vec::new();
+        for _ in 0..2 {
+            let ctx = ctx(config.clone());
+            let (mut sys, egress) = build_system(&ctx.config);
+            let fib = synthetic_table(ctx.config.routes);
+            let (tx, rx) = channel();
+            process_batch(
+                &mut sys,
+                &egress,
+                &fib,
+                vec![Job {
+                    packets: w.packets.clone(),
+                    verify: true,
+                    reply: tx,
+                    enqueued: Instant::now(),
+                }],
+                0,
+                &ctx.stats,
+            );
+            let out = rx.recv().unwrap();
+            let reg = ctx.stats.lock().unwrap();
+            counts.push((
+                out,
+                reg.counter("serve.forwarded"),
+                reg.counter("serve.dropped"),
+                reg.counter("serve.sim_cycles"),
+            ));
+        }
+        assert_eq!(counts[0], counts[1]);
+    }
+}

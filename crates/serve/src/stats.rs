@@ -1,0 +1,154 @@
+//! The stats frame: per-shard registries merged into one JSON document.
+//!
+//! Each shard records into its own [`MetricsRegistry`] (no cross-shard
+//! lock traffic on the hot path); a stats request snapshots every shard,
+//! merges them with [`MetricsRegistry::merge`], and renders one document:
+//! service totals, throughput, backpressure counters, queue-depth
+//! high-water marks, the batch-size histogram, and p50/p99 service
+//! latency.
+
+use crate::supervisor::PublicShard;
+use memsync_trace::{Json, MetricsRegistry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::PoisonError;
+use std::time::Instant;
+
+/// Server-global counters the acceptors maintain (everything per-shard
+/// lives in the shard registries).
+#[derive(Debug, Default)]
+pub struct ServerCounters {
+    /// Submit batches accepted (enqueued on every target shard).
+    pub accepted: AtomicU64,
+    /// Submit batches refused with `Busy` (a shard queue was full).
+    pub busy: AtomicU64,
+    /// Submits that failed after acceptance (shard died mid-batch).
+    pub errors: AtomicU64,
+}
+
+/// Renders the merged stats frame.
+///
+/// `draining` and `restarts` come from the server; `started` anchors the
+/// throughput computation (forwarded+dropped packets over uptime).
+pub fn stats_json(
+    shards: &[PublicShard],
+    counters: &ServerCounters,
+    restarts: u64,
+    draining: bool,
+    started: Instant,
+) -> String {
+    let mut merged = MetricsRegistry::new();
+    let mut per_shard = Vec::with_capacity(shards.len());
+    for (i, s) in shards.iter().enumerate() {
+        let reg = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        let snapshot = reg.clone();
+        drop(reg);
+        merged.merge(&snapshot);
+        let mut obj = Json::obj()
+            .with("shard", i.into())
+            .with("packets", snapshot.counter("serve.packets").into())
+            .with("forwarded", snapshot.counter("serve.forwarded").into())
+            .with("dropped", snapshot.counter("serve.dropped").into())
+            .with("mismatches", snapshot.counter("serve.mismatches").into())
+            .with("batches", snapshot.counter("serve.batches").into())
+            .with("sim_cycles", snapshot.counter("serve.sim_cycles").into())
+            .with("queue_depth_highwater", s.queue.high_water().into())
+            .with("queue_depth", s.queue.len().into());
+        if let Some(h) = snapshot
+            .histogram("serve.batch_size")
+            .and_then(|h| h.summary())
+        {
+            obj.set("batch_size", h.to_json());
+        }
+        if let Some(h) = snapshot
+            .histogram("serve.service_latency_us")
+            .and_then(|h| h.summary())
+        {
+            obj.set("service_latency_us", h.to_json());
+        }
+        per_shard.push(obj);
+    }
+
+    let uptime = started.elapsed().as_secs_f64().max(1e-9);
+    let packets = merged.counter("serve.packets");
+    let mut doc = Json::obj()
+        .with("shards", shards.len().into())
+        .with("uptime_secs", uptime.into())
+        .with("draining", draining.into())
+        .with("shard_restarts", restarts.into())
+        .with("accepted", counters.accepted.load(Ordering::Relaxed).into())
+        .with("busy", counters.busy.load(Ordering::Relaxed).into())
+        .with("errors", counters.errors.load(Ordering::Relaxed).into())
+        .with("packets", packets.into())
+        .with("forwarded", merged.counter("serve.forwarded").into())
+        .with("dropped", merged.counter("serve.dropped").into())
+        .with("mismatches", merged.counter("serve.mismatches").into())
+        .with("batches", merged.counter("serve.batches").into())
+        .with("sim_cycles", merged.counter("serve.sim_cycles").into())
+        .with("packets_per_sec", (packets as f64 / uptime).into());
+    if let Some(h) = merged
+        .histogram("serve.batch_size")
+        .and_then(|h| h.summary())
+    {
+        doc.set("batch_size", h.to_json());
+    }
+    if let Some(h) = merged
+        .histogram("serve.service_latency_us")
+        .and_then(|h| h.summary())
+    {
+        doc.set("service_latency_us", h.to_json());
+    }
+    doc.set("per_shard", Json::Arr(per_shard));
+    doc.render()
+}
+
+/// Pulls an unsigned integer field out of a flat stats JSON document —
+/// good enough for the loadgen/tests to read totals without a parser.
+pub fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ShardQueue;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn stats_json_merges_shards_and_is_parseable() {
+        let mk = |forwarded: u64, dropped: u64| {
+            let mut r = MetricsRegistry::new();
+            r.add("serve.packets", forwarded + dropped);
+            r.add("serve.forwarded", forwarded);
+            r.add("serve.dropped", dropped);
+            r.add("serve.batches", 1);
+            r.record("serve.batch_size", forwarded + dropped);
+            r.record("serve.service_latency_us", 100);
+            PublicShard {
+                queue: Arc::new(ShardQueue::new(4)),
+                stats: Arc::new(Mutex::new(r)),
+                die: Arc::new(AtomicBool::new(false)),
+                idle: Arc::new(AtomicBool::new(true)),
+            }
+        };
+        let shards = vec![mk(10, 2), mk(5, 3)];
+        let counters = ServerCounters::default();
+        counters.accepted.store(2, Ordering::Relaxed);
+        counters.busy.store(1, Ordering::Relaxed);
+        let doc = stats_json(&shards, &counters, 1, false, Instant::now());
+        assert_eq!(json_u64(&doc, "forwarded"), Some(15));
+        assert_eq!(json_u64(&doc, "dropped"), Some(5));
+        assert_eq!(json_u64(&doc, "packets"), Some(20));
+        assert_eq!(json_u64(&doc, "busy"), Some(1));
+        assert_eq!(json_u64(&doc, "shard_restarts"), Some(1));
+        assert!(doc.contains("\"per_shard\""));
+        assert!(doc.contains("\"p99\""), "latency percentiles present");
+        assert!(doc.contains("\"queue_depth_highwater\""));
+    }
+}

@@ -1,0 +1,256 @@
+//! Shard supervision: spawn, monitor, restart.
+//!
+//! Shard threads can die — deliberately through the kill fault-injection
+//! frame, or through a real bug (e.g. a stalled simulator trips the
+//! cycle-budget assertion). The supervisor polls the join handles; when a
+//! shard exits while the service is still running it increments
+//! `shard_restarts` and respawns the shard **on the same queue**, so jobs
+//! that were queued behind the crash survive and only the batch that was
+//! mid-flight is reported as failed (its reply channel drops).
+
+use crate::queue::ShardQueue;
+use crate::shard::{self, ShardCtx};
+use crate::ServeConfig;
+use memsync_trace::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handles for one supervised shard.
+#[derive(Debug)]
+pub struct ShardHandle {
+    /// The shard's job queue (outlives any one thread incarnation).
+    pub queue: Arc<ShardQueue>,
+    /// The shard's serve-level metrics (shared across incarnations).
+    pub stats: Arc<Mutex<MetricsRegistry>>,
+    /// Fault-injection flag (the kill frame sets it).
+    pub die: Arc<AtomicBool>,
+    /// Idle flag (drain waits for it).
+    pub idle: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// Spawns and supervises the shard fleet.
+#[derive(Debug)]
+pub struct Supervisor {
+    shards: Vec<ShardHandle>,
+    stop: Arc<AtomicBool>,
+    restarts: Arc<AtomicU64>,
+    config: ServeConfig,
+}
+
+fn spawn_shard(
+    id: usize,
+    queue: Arc<ShardQueue>,
+    stats: Arc<Mutex<MetricsRegistry>>,
+    stop: Arc<AtomicBool>,
+    die: Arc<AtomicBool>,
+    idle: Arc<AtomicBool>,
+    config: ServeConfig,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("memsync-shard-{id}"))
+        .spawn(move || {
+            let ctx = ShardCtx {
+                id,
+                queue,
+                stats,
+                stop,
+                die,
+                idle,
+                config,
+            };
+            shard::run(&ctx);
+        })
+        .expect("shard thread spawns")
+}
+
+impl Supervisor {
+    /// Spawns `config.shards` shard threads plus the monitor thread.
+    pub fn start(config: &ServeConfig, stop: Arc<AtomicBool>) -> Supervisor {
+        let shards: Vec<ShardHandle> = (0..config.shards)
+            .map(|id| {
+                let queue = Arc::new(ShardQueue::new(config.queue_cap));
+                let stats = Arc::new(Mutex::new(MetricsRegistry::new()));
+                let die = Arc::new(AtomicBool::new(false));
+                let idle = Arc::new(AtomicBool::new(true));
+                let thread = spawn_shard(
+                    id,
+                    Arc::clone(&queue),
+                    Arc::clone(&stats),
+                    Arc::clone(&stop),
+                    Arc::clone(&die),
+                    Arc::clone(&idle),
+                    config.clone(),
+                );
+                ShardHandle {
+                    queue,
+                    stats,
+                    die,
+                    idle,
+                    thread: Some(thread),
+                }
+            })
+            .collect();
+        Supervisor {
+            shards,
+            stop,
+            restarts: Arc::new(AtomicU64::new(0)),
+            config: config.clone(),
+        }
+    }
+
+    /// Shard handles (queues, stats, flags).
+    pub fn shards(&self) -> &[ShardHandle] {
+        &self.shards
+    }
+
+    /// Total shard restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// The restart counter handle (stats frames read it).
+    pub fn restarts_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.restarts)
+    }
+
+    /// Whether every queue is empty and every shard idle — the drain
+    /// completion condition.
+    pub fn quiescent(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.idle.load(Ordering::Acquire))
+    }
+
+    /// One monitor pass: respawn any shard whose thread exited while the
+    /// service is running. Returns how many shards were restarted.
+    pub fn check_and_restart(&mut self) -> usize {
+        if self.stop.load(Ordering::Acquire) {
+            return 0;
+        }
+        let mut restarted = 0;
+        for (id, shard) in self.shards.iter_mut().enumerate() {
+            let dead = shard
+                .thread
+                .as_ref()
+                .map(JoinHandle::is_finished)
+                .unwrap_or(true);
+            if !dead {
+                continue;
+            }
+            if let Some(t) = shard.thread.take() {
+                // The panic payload already unwound; surface it in logs.
+                if let Err(e) = t.join() {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("unknown panic");
+                    eprintln!("[supervisor] shard {id} died: {msg}; restarting");
+                }
+            }
+            shard.die.store(false, Ordering::Release);
+            shard.idle.store(true, Ordering::Release);
+            shard.thread = Some(spawn_shard(
+                id,
+                Arc::clone(&shard.queue),
+                Arc::clone(&shard.stats),
+                Arc::clone(&self.stop),
+                Arc::clone(&shard.die),
+                Arc::clone(&shard.idle),
+                self.config.clone(),
+            ));
+            self.restarts.fetch_add(1, Ordering::Relaxed);
+            restarted += 1;
+        }
+        restarted
+    }
+
+    /// Moves monitoring onto a background thread polling every few
+    /// milliseconds until the stop flag rises.
+    pub fn monitor_in_background(mut self) -> SupervisorHandle {
+        let stop = Arc::clone(&self.stop);
+        let restarts = Arc::clone(&self.restarts);
+        let shards_public: Vec<PublicShard> = self
+            .shards
+            .iter()
+            .map(|s| PublicShard {
+                queue: Arc::clone(&s.queue),
+                stats: Arc::clone(&s.stats),
+                die: Arc::clone(&s.die),
+                idle: Arc::clone(&s.idle),
+            })
+            .collect();
+        let monitor = std::thread::Builder::new()
+            .name("memsync-supervisor".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    self.check_and_restart();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                // Final join of every shard on the way out.
+                for shard in self.shards.iter_mut() {
+                    if let Some(t) = shard.thread.take() {
+                        let _ = t.join();
+                    }
+                }
+            })
+            .expect("supervisor thread spawns");
+        SupervisorHandle {
+            shards: shards_public,
+            restarts,
+            monitor: Some(monitor),
+        }
+    }
+}
+
+/// The shard surfaces the server needs after supervision moves to the
+/// background: queue, stats, and flags — everything but the join handle.
+#[derive(Debug, Clone)]
+pub struct PublicShard {
+    /// The shard's job queue.
+    pub queue: Arc<ShardQueue>,
+    /// The shard's serve-level metrics.
+    pub stats: Arc<Mutex<MetricsRegistry>>,
+    /// Fault-injection flag.
+    pub die: Arc<AtomicBool>,
+    /// Idle flag.
+    pub idle: Arc<AtomicBool>,
+}
+
+/// A running background supervisor.
+#[derive(Debug)]
+pub struct SupervisorHandle {
+    shards: Vec<PublicShard>,
+    restarts: Arc<AtomicU64>,
+    monitor: Option<JoinHandle<()>>,
+}
+
+impl SupervisorHandle {
+    /// Shard surfaces.
+    pub fn shards(&self) -> &[PublicShard] {
+        &self.shards
+    }
+
+    /// Total restarts so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts.load(Ordering::Relaxed)
+    }
+
+    /// Drain completion condition: all queues empty, all shards idle.
+    pub fn quiescent(&self) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.queue.is_empty() && s.idle.load(Ordering::Acquire))
+    }
+
+    /// Joins the monitor (which joins the shards). Call after raising the
+    /// stop flag.
+    pub fn join(mut self) {
+        if let Some(m) = self.monitor.take() {
+            let _ = m.join();
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! End-to-end loopback tests: a real server on 127.0.0.1, real TCP
+//! clients, the full frame protocol.
+
+use memsync_netapp::Workload;
+use memsync_serve::client::BatchResult;
+use memsync_serve::stats::json_u64;
+use memsync_serve::{Client, Request, Response, ServeConfig, Server};
+use std::time::Duration;
+
+/// A small, fast config for tests: 2 shards of the egress-2 app.
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        egress: 2,
+        routes: 16,
+        job_timeout: Duration::from_secs(30),
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn loopback_verify_run_matches_the_oracle_and_drains_clean() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let w = Workload::generate(42, 400, 16);
+    let (fwd, drop) = w.reference_forward();
+    let mut client = Client::connect(addr).expect("connect");
+    let mut totals = BatchResult::default();
+    for chunk in w.packets.chunks(50) {
+        let r = client.submit_retry(chunk, true, 1000).expect("submit");
+        totals.forwarded += r.forwarded;
+        totals.dropped += r.dropped;
+        totals.mismatches += r.mismatches;
+    }
+    assert_eq!(totals.forwarded as usize, fwd);
+    assert_eq!(totals.dropped as usize, drop);
+    assert_eq!(totals.mismatches, 0, "simulated frames match the model");
+
+    // Stats reflect the traffic.
+    let doc = client.stats().expect("stats");
+    assert_eq!(json_u64(&doc, "packets"), Some(400));
+    assert_eq!(json_u64(&doc, "mismatches"), Some(0));
+    assert_eq!(json_u64(&doc, "shard_restarts"), Some(0));
+    assert!(doc.contains("\"per_shard\""));
+    assert!(doc.contains("\"service_latency_us\""));
+
+    // Graceful drain, then shutdown; wait() returns (bin would exit 0).
+    client.drain().expect("drain");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn per_shard_counts_are_identical_across_same_seed_runs() {
+    let mut shard_counts = Vec::new();
+    for _ in 0..2 {
+        let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let w = Workload::generate(7, 300, 16);
+        for chunk in w.packets.chunks(32) {
+            client.submit_retry(chunk, true, 1000).expect("submit");
+        }
+        client.drain().expect("drain");
+        let doc = client.stats().expect("stats");
+        // Per-shard forwarded/dropped live in the per_shard array after the
+        // totals; comparing the whole tail compares them all at once.
+        let tail = doc
+            .split("\"per_shard\"")
+            .nth(1)
+            .expect("per_shard present")
+            .to_string();
+        // Strip timing-dependent fields (latency summaries, batch sizes,
+        // queue depth) — keep the deterministic counters.
+        let counts: Vec<u64> = ["packets", "forwarded", "dropped", "mismatches"]
+            .iter()
+            .flat_map(|k| {
+                let needle = format!("\"{k}\":");
+                let mut out = Vec::new();
+                let mut rest = tail.as_str();
+                while let Some(at) = rest.find(&needle) {
+                    let after = &rest[at + needle.len()..];
+                    let end = after
+                        .find(|c: char| !c.is_ascii_digit())
+                        .unwrap_or(after.len());
+                    out.push(after[..end].parse::<u64>().unwrap());
+                    rest = &after[end..];
+                }
+                out
+            })
+            .collect();
+        shard_counts.push(counts);
+        client.shutdown().expect("shutdown");
+        server.wait();
+    }
+    assert_eq!(
+        shard_counts[0], shard_counts[1],
+        "same seed => byte-identical per-shard forwarded/dropped counts"
+    );
+    assert!(!shard_counts[0].is_empty());
+}
+
+#[test]
+fn backpressure_is_observable_and_lossless() {
+    // One slow shard with a 1-deep queue: concurrent submits must see Busy
+    // (counted in stats), and every accepted packet must still be served.
+    let config = ServeConfig {
+        shards: 1,
+        egress: 2,
+        routes: 16,
+        queue_cap: 1,
+        shard_throttle: Some(Duration::from_millis(30)),
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let w = Workload::generate(9, 120, 16);
+    let (fwd, drop) = w.reference_forward();
+    let handles: Vec<_> = w
+        .packets
+        .chunks(20)
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                c.submit_retry(&chunk, false, 10_000).expect("submit")
+            })
+        })
+        .collect();
+    let mut totals = BatchResult::default();
+    for h in handles {
+        let r = h.join().expect("client thread");
+        totals.forwarded += r.forwarded;
+        totals.dropped += r.dropped;
+        totals.busy_retries += r.busy_retries;
+    }
+    // Lossless: every packet classified despite the contention.
+    assert_eq!(totals.forwarded as usize, fwd);
+    assert_eq!(totals.dropped as usize, drop);
+    assert!(
+        totals.busy_retries > 0,
+        "6 concurrent submits against a 1-deep throttled queue must hit Busy"
+    );
+
+    let mut client = Client::connect(addr).expect("connect");
+    let doc = client.stats().expect("stats");
+    assert!(json_u64(&doc, "busy").unwrap() > 0, "busy counted in stats");
+    assert_eq!(json_u64(&doc, "packets"), Some(120), "no silent drops");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn killed_shard_restarts_and_service_keeps_serving() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Warm both shards, then kill shard 0.
+    let w = Workload::generate(3, 100, 16);
+    client
+        .submit_retry(&w.packets[..50], false, 1000)
+        .expect("warm");
+    client.kill_shard(0).expect("kill accepted");
+
+    // Keep submitting until the supervisor has restarted the shard; the
+    // submit that lands on the dying shard comes back as an error (the
+    // crash is visible, not silent) and a retry succeeds.
+    let mut saw_error = false;
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor never restarted the shard"
+        );
+        match client.submit_retry(&w.packets[50..], false, 1000) {
+            Ok(_) if server.shard_restarts() >= 1 => break,
+            Ok(_) => {}
+            Err(e) => {
+                // shard failed mid-batch => acceptor error; reconnect is
+                // not needed (the connection survives), just retry.
+                saw_error = true;
+                let _ = e;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.shard_restarts(), 1);
+    let doc = client.stats().expect("stats");
+    assert_eq!(json_u64(&doc, "shard_restarts"), Some(1));
+    // The service still serves correctly after the restart.
+    let r = client
+        .submit_retry(&w.packets, true, 1000)
+        .expect("post-restart");
+    assert_eq!(r.mismatches, 0);
+    let _ = saw_error; // whether the kill raced a submit is timing-dependent
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn protocol_rejects_garbage_without_dropping_the_connection() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // An unknown request type gets an Error response, and the connection
+    // keeps working afterwards.
+    let rsp = client.roundtrip(&Request::Kill(999)).expect("kill oob");
+    assert!(matches!(rsp, Response::Error(_)), "out-of-range shard");
+    let doc = client.stats().expect("stats still works");
+    assert_eq!(json_u64(&doc, "shards"), Some(2));
+
+    // Draining refuses new submits with an explicit error.
+    client.drain().expect("drain");
+    let w = Workload::generate(1, 4, 16);
+    let rsp = client
+        .submit(&w.packets, false)
+        .expect("submit while draining");
+    assert!(
+        matches!(rsp, Response::Error(_)),
+        "draining refuses submits"
+    );
+    client.shutdown().expect("shutdown");
+    server.wait();
+}

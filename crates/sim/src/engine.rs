@@ -278,6 +278,55 @@ impl System {
         }
     }
 
+    /// Queues a batch of messages for a thread's `recv` interface — the
+    /// shard-facing submit path of `memsync-serve`: one lock of the system
+    /// per batch instead of one call per packet.
+    pub fn push_messages<I>(&mut self, thread: &str, values: I)
+    where
+        I: IntoIterator<Item = i64>,
+    {
+        if let Some(id) = self.interner.thread_id(thread) {
+            self.rx_queues[id.idx()].extend(values);
+        }
+    }
+
+    /// Messages currently queued on a thread's `recv` interface.
+    pub fn rx_queue_len(&self, thread: &str) -> usize {
+        self.interner
+            .thread_id(thread)
+            .map(|id| self.rx_queues[id.idx()].len())
+            .unwrap_or(0)
+    }
+
+    /// Messages a thread has sent on its tx interface so far.
+    pub fn sent_count(&self, id: ThreadId) -> usize {
+        self.threads[id.idx()].sent.len()
+    }
+
+    /// Takes (and clears) everything a thread has sent on its tx
+    /// interface. Long-running drivers (the serve shards) drain egress
+    /// output batch by batch so `sent` never grows without bound.
+    pub fn drain_sent(&mut self, id: ThreadId) -> Vec<i64> {
+        std::mem::take(&mut self.threads[id.idx()].sent)
+    }
+
+    /// Steps until every thread in `ids` has sent at least `target`
+    /// messages in total (since construction or the last drain plus what
+    /// `sent_count` showed), or `max_cycles` elapse. Returns whether the
+    /// target was reached — the batch-activation primitive the serve
+    /// shards use: submit K descriptors, run until K egress frames emerge.
+    pub fn run_until_sent(&mut self, ids: &[ThreadId], target: usize, max_cycles: u64) -> bool {
+        let done =
+            |threads: &[ThreadExec]| ids.iter().all(|id| threads[id.idx()].sent.len() >= target);
+        for _ in 0..max_cycles {
+            if done(&self.threads) {
+                return true;
+            }
+            self.step();
+        }
+        done(&self.threads)
+    }
+
     /// Attaches an arrival process to a thread's network interface.
     ///
     /// # Panics
@@ -760,6 +809,37 @@ mod tests {
             pooled.max > pooled.min,
             "contended arbitration should spread latencies: {pooled:?}"
         );
+    }
+
+    #[test]
+    fn batch_submit_runs_until_sent_and_drains() {
+        let src = r#"
+            thread rx () {
+                message m;
+                int v;
+                recv m;
+                v = m + 1;
+                send v;
+            }
+        "#;
+        let mut c = Compiler::new(src);
+        c.skip_validation();
+        let compiled = c.compile().unwrap();
+        let mut sys = System::new(&compiled);
+        let rx = sys.thread_id("rx").unwrap();
+        sys.push_messages("rx", [10i64, 20, 30]);
+        assert_eq!(sys.rx_queue_len("rx"), 3);
+        assert!(sys.run_until_sent(&[rx], 3, 10_000), "batch completes");
+        assert_eq!(sys.rx_queue_len("rx"), 0);
+        assert_eq!(sys.drain_sent(rx), vec![11, 21, 31]);
+        assert_eq!(sys.sent_count(rx), 0, "drained");
+        // A second batch starts from a clean sent buffer.
+        sys.push_messages("rx", [40i64]);
+        assert!(sys.run_until_sent(&[rx], 1, 10_000));
+        assert_eq!(sys.drain_sent(rx), vec![41]);
+        // Unknown thread names are ignored / empty, matching push_message.
+        sys.push_messages("nope", [1i64]);
+        assert_eq!(sys.rx_queue_len("nope"), 0);
     }
 
     #[test]

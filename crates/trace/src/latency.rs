@@ -59,6 +59,17 @@ impl LatencyRecorder {
     pub fn streams(&self) -> Vec<(u32, usize)> {
         self.samples.keys().copied().collect()
     }
+
+    /// Folds another recorder's samples into this one (per-stream
+    /// concatenation). Open produce rounds (`last_write` entries with no
+    /// delivery yet) are not carried over: merging is meant for recorders
+    /// whose measurement windows are closed, e.g. per-shard registries
+    /// snapshotted for a stats frame.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        for (key, samples) in &other.samples {
+            self.samples.entry(*key).or_default().extend(samples);
+        }
+    }
 }
 
 /// Summary statistics of a latency stream.

@@ -276,6 +276,33 @@ impl MetricsRegistry {
         }
     }
 
+    /// Folds another registry into this one: counters sum, histograms
+    /// concatenate their samples (percentile summaries of the merged
+    /// histogram equal those of recording every sample into one registry —
+    /// `percentile` is order-independent), high-water marks keep the
+    /// maximum, latency streams concatenate, and the utilization span
+    /// covers both. In-flight grant-wait state (`wait_since`) is *not*
+    /// merged: merge operates on closed measurement windows, e.g. the
+    /// per-shard registries a serve stats frame aggregates.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms
+                .entry(k.clone())
+                .or_default()
+                .samples
+                .extend(&h.samples);
+        }
+        for (k, v) in &other.highwater {
+            let slot = self.highwater.entry(k.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        self.latency.merge(&other.latency);
+        self.last_cycle = self.last_cycle.max(other.last_cycle);
+    }
+
     /// Per-bank utilization: BRAM-active cycles (reads + writes) over the
     /// observed cycle span, for every bank with any activity.
     pub fn utilization(&self) -> Vec<(String, f64)> {

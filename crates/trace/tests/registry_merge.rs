@@ -1,0 +1,138 @@
+//! Merge semantics of [`MetricsRegistry`] — the aggregation behind
+//! memsync-serve's per-shard stats frames. Merging N registries must be
+//! indistinguishable (counters, histogram percentiles, latency streams,
+//! high-water marks) from recording every sample into one registry.
+
+use memsync_trace::{MetricsRegistry, Pcg32};
+
+#[test]
+fn merge_sums_counters_and_maxes_highwater() {
+    let mut a = MetricsRegistry::new();
+    let mut b = MetricsRegistry::new();
+    a.add("serve.forwarded", 7);
+    a.add("serve.dropped", 1);
+    b.add("serve.forwarded", 5);
+    b.add("serve.busy", 3);
+    a.observe_gauge("serve.queue_depth", 4);
+    b.observe_gauge("serve.queue_depth", 9);
+    b.observe_gauge("serve.batchq", 2);
+    a.merge(&b);
+    assert_eq!(a.counter("serve.forwarded"), 12);
+    assert_eq!(a.counter("serve.dropped"), 1);
+    assert_eq!(a.counter("serve.busy"), 3);
+    assert_eq!(a.highwater("serve.queue_depth"), Some(9));
+    assert_eq!(a.highwater("serve.batchq"), Some(2));
+}
+
+#[test]
+fn merge_concatenates_histograms_preserving_percentiles() {
+    let mut a = MetricsRegistry::new();
+    let mut b = MetricsRegistry::new();
+    let mut one = MetricsRegistry::new();
+    for v in 0..100u64 {
+        // Interleave samples between the two shards.
+        if v % 3 == 0 {
+            a.record("serve.batch_size", v);
+        } else {
+            b.record("serve.batch_size", v);
+        }
+        one.record("serve.batch_size", v);
+    }
+    a.merge(&b);
+    let merged = a.histogram("serve.batch_size").unwrap().summary().unwrap();
+    let single = one
+        .histogram("serve.batch_size")
+        .unwrap()
+        .summary()
+        .unwrap();
+    assert_eq!(merged, single, "order of recording must not matter");
+    assert_eq!(merged.count, 100);
+}
+
+#[test]
+fn merge_concatenates_latency_streams() {
+    let mut a = MetricsRegistry::new();
+    let mut b = MetricsRegistry::new();
+    a.record_write(4, 10);
+    a.record_delivery(4, 0, 13);
+    b.record_write(4, 100);
+    b.record_delivery(4, 0, 105);
+    b.record_write(8, 0);
+    b.record_delivery(8, 1, 2);
+    a.merge(&b);
+    assert_eq!(a.latency.samples(4, 0), &[3, 5]);
+    assert_eq!(a.latency.samples(8, 1), &[2]);
+    assert_eq!(a.streams().len(), 2);
+}
+
+/// Seeded property sweep: arbitrary samples split across K registries and
+/// merged give the same counters, percentile summaries, and pooled latency
+/// statistics as one registry that saw everything.
+#[test]
+fn property_split_then_merge_equals_single_registry() {
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from_u64(0xC0FFEE ^ seed);
+        let shards = 1 + (seed as usize % 4);
+        let mut parts: Vec<MetricsRegistry> = (0..shards).map(|_| MetricsRegistry::new()).collect();
+        let mut one = MetricsRegistry::new();
+        for i in 0..400u64 {
+            let shard = rng.gen_range_usize(0..shards);
+            match rng.gen_range(0..4) {
+                0 => {
+                    let n = rng.gen_range(1..10);
+                    parts[shard].add("c.events", n);
+                    one.add("c.events", n);
+                }
+                1 => {
+                    let v = rng.gen_range(0..1000);
+                    parts[shard].record("h.latency", v);
+                    one.record("h.latency", v);
+                }
+                2 => {
+                    let v = rng.gen_range(0..64);
+                    parts[shard].observe_gauge("g.depth", v);
+                    one.observe_gauge("g.depth", v);
+                }
+                _ => {
+                    // A closed produce-consume round within one shard.
+                    let addr = 4 * (1 + (i as u32 % 3));
+                    let lat = rng.gen_range(1..20);
+                    parts[shard].record_write(addr, i * 100);
+                    parts[shard].record_delivery(addr, shard, i * 100 + lat);
+                    one.record_write(addr, i * 100);
+                    one.record_delivery(addr, shard, i * 100 + lat);
+                }
+            }
+        }
+        let mut merged = MetricsRegistry::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(
+            merged.counter("c.events"),
+            one.counter("c.events"),
+            "seed {seed}"
+        );
+        assert_eq!(
+            merged.histogram("h.latency").map(|h| h.summary()),
+            one.histogram("h.latency").map(|h| h.summary()),
+            "histogram percentiles must survive the split (seed {seed})"
+        );
+        assert_eq!(merged.highwater("g.depth"), one.highwater("g.depth"));
+        let (mp, op) = (merged.pooled_stats(), one.pooled_stats());
+        match (mp, op) {
+            (None, None) => {}
+            (Some(m), Some(o)) => {
+                assert_eq!(m.count, o.count, "seed {seed}");
+                assert_eq!(m.min, o.min);
+                assert_eq!(m.max, o.max);
+                assert!((m.mean - o.mean).abs() < 1e-9);
+            }
+            other => panic!("pooled stats diverged: {other:?}"),
+        }
+        // Merging must also be associative with an empty identity.
+        let mut id = MetricsRegistry::new();
+        id.merge(&merged);
+        assert_eq!(id.counter("c.events"), merged.counter("c.events"));
+    }
+}
