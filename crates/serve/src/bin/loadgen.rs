@@ -89,6 +89,11 @@ fn main() {
     let conns = num_arg(&args, "--conns", 8) as usize;
     let jobs = num_arg(&args, "--jobs", 100) as usize;
     let batch = num_arg(&args, "--batch", 32) as usize;
+    let max_batch = memsync_serve::frame::MAX_SUBMIT_PACKETS;
+    assert!(
+        batch >= 1 && batch <= max_batch,
+        "--batch must be 1..={max_batch} (one submit frame), got {batch}"
+    );
     let seed = num_arg(&args, "--seed", 42);
     let routes = num_arg(&args, "--routes", 64) as usize;
     let verify = args.iter().any(|a| a == "--verify");

@@ -18,6 +18,13 @@ use std::io::{self, Read, Write};
 /// must not allocate unbounded memory.
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
+/// Most packets one submit frame can carry. Two limits apply — the u16
+/// count field (65535) and the [`MAX_PAYLOAD`] frame cap (2-byte submit
+/// header + 2-byte count + 20 bytes per packet) — and the frame cap is
+/// the tighter one. Encoding a larger batch panics on the sending side
+/// instead of truncating the count on the wire.
+pub const MAX_SUBMIT_PACKETS: usize = (MAX_PAYLOAD - 4) / 20;
+
 /// Submit flag bit: run the per-packet verify mode (software pipeline
 /// model + FIB oracle) on this batch.
 pub const FLAG_VERIFY: u8 = 0x01;
@@ -111,6 +118,11 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         match self {
             Request::Submit { packets, verify } => {
+                assert!(
+                    packets.len() <= MAX_SUBMIT_PACKETS,
+                    "submit of {} packets exceeds the {MAX_SUBMIT_PACKETS}-packet frame cap",
+                    packets.len()
+                );
                 let mut v = Vec::with_capacity(4 + packets.len() * 20);
                 v.push(REQ_SUBMIT);
                 v.push(if *verify { FLAG_VERIFY } else { 0 });
@@ -272,30 +284,115 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     w.flush()
 }
 
-/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
-/// connection cleanly at a frame boundary.
+/// Incremental frame decoder that survives read timeouts.
+///
+/// `read_exact` discards its progress on `WouldBlock`/`TimedOut`, so a
+/// socket with a short read timeout (the server polls so stop/drain flags
+/// are honored) would lose the bytes of a partially received frame and
+/// re-enter the stream mid-frame — permanently desyncing the connection.
+/// `FrameReader` instead keeps the partial length prefix and payload
+/// across calls: after a timeout error, calling [`FrameReader::read`]
+/// again resumes exactly where the stream left off.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    prefix: [u8; 4],
+    prefix_got: usize,
+    payload: Option<Vec<u8>>,
+    payload_got: usize,
+}
+
+impl FrameReader {
+    /// A decoder positioned at a frame boundary.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
+    }
+
+    /// Bytes consumed toward the frame currently being decoded (0 at a
+    /// frame boundary). Callers use this to distinguish an idle peer
+    /// (no bytes — a timeout is harmless) from a stalled one and to
+    /// notice progress between timeouts.
+    pub fn progress(&self) -> usize {
+        self.prefix_got + self.payload_got
+    }
+
+    /// Reads (or resumes reading) one length-prefixed frame. `Ok(None)`
+    /// means the peer closed the connection cleanly **at a frame
+    /// boundary**; an EOF after any byte of a frame was consumed is an
+    /// `UnexpectedEof` error, not a clean close.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (state is preserved across
+    /// `WouldBlock`/`TimedOut`, so the call can be retried) and rejects
+    /// frames above [`MAX_PAYLOAD`] with [`io::ErrorKind::InvalidData`].
+    pub fn read(&mut self, r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+        while self.payload.is_none() {
+            match r.read(&mut self.prefix[self.prefix_got..]) {
+                Ok(0) => {
+                    if self.prefix_got == 0 {
+                        return Ok(None); // clean close at a frame boundary
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!("peer closed {} bytes into a length prefix", self.prefix_got),
+                    ));
+                }
+                Ok(n) => {
+                    self.prefix_got += n;
+                    if self.prefix_got == 4 {
+                        let len = u32::from_be_bytes(self.prefix) as usize;
+                        if len > MAX_PAYLOAD {
+                            return Err(io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("frame of {len} bytes exceeds the {MAX_PAYLOAD} cap"),
+                            ));
+                        }
+                        self.payload = Some(vec![0u8; len]);
+                        self.payload_got = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        loop {
+            let buf = self.payload.as_mut().expect("payload allocated above");
+            if self.payload_got == buf.len() {
+                let done = self.payload.take().expect("payload allocated above");
+                self.prefix_got = 0;
+                self.payload_got = 0;
+                return Ok(Some(done));
+            }
+            match r.read(&mut buf[self.payload_got..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        format!(
+                            "peer closed {} bytes into a {}-byte payload",
+                            self.payload_got,
+                            buf.len()
+                        ),
+                    ));
+                }
+                Ok(n) => self.payload_got += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Reads one length-prefixed frame from a blocking stream. `Ok(None)`
+/// means the peer closed the connection cleanly at a frame boundary; an
+/// EOF inside a frame (even inside the length prefix) is an
+/// `UnexpectedEof` error.
 ///
 /// # Errors
 ///
 /// Propagates I/O failures and rejects frames above [`MAX_PAYLOAD`] with
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len = [0u8; 4];
-    match r.read_exact(&mut len) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
-    }
-    let len = u32::from_be_bytes(len) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_PAYLOAD} cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    FrameReader::new().read(r)
 }
 
 #[cfg(test)]
@@ -395,5 +492,94 @@ mod tests {
             read_frame(&mut r).unwrap_err().kind(),
             io::ErrorKind::InvalidData
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the")]
+    fn oversize_submit_encode_panics_instead_of_truncating() {
+        let p = Workload::generate(1, 1, 8).packets[0];
+        let _ = Request::Submit {
+            packets: vec![p; MAX_SUBMIT_PACKETS + 1],
+            verify: false,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn eof_mid_prefix_is_an_error_not_a_clean_close() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        for cut in 1..4 {
+            let mut r = &buf[..cut];
+            assert_eq!(
+                read_frame(&mut r).unwrap_err().kind(),
+                io::ErrorKind::UnexpectedEof,
+                "peer died {cut} bytes into the prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn eof_mid_payload_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut r = &buf[..buf.len() - 2];
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    /// Hands out `chunk` bytes per read, interleaving a `WouldBlock`
+    /// before every chunk — models a socket read timeout firing mid-frame.
+    struct Stutter<'a> {
+        data: &'a [u8],
+        pos: usize,
+        chunk: usize,
+        block_next: bool,
+    }
+
+    impl Read for Stutter<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "stutter"));
+            }
+            self.block_next = true;
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts_without_desync() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first frame, long enough to straddle reads").unwrap();
+        write_frame(&mut buf, b"second").unwrap();
+        let mut r = Stutter {
+            data: &buf,
+            pos: 0,
+            chunk: 3,
+            block_next: true,
+        };
+        let mut fr = FrameReader::new();
+        let mut frames: Vec<Vec<u8>> = Vec::new();
+        let mut saw_midframe_timeout = false;
+        while frames.len() < 2 {
+            match fr.read(&mut r) {
+                Ok(Some(p)) => frames.push(p),
+                Ok(None) => panic!("stream closed early"),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    saw_midframe_timeout |= fr.progress() > 0;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(saw_midframe_timeout, "test must exercise mid-frame timeouts");
+        assert_eq!(frames[0], b"first frame, long enough to straddle reads");
+        assert_eq!(frames[1], b"second");
+        assert_eq!(fr.progress(), 0, "back at a frame boundary");
     }
 }

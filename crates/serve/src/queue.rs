@@ -9,7 +9,7 @@
 
 use memsync_netapp::Ipv4Packet;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -121,8 +121,30 @@ impl ShardQueue {
     /// Pops one job, waiting up to `timeout` — shards poll this so stop
     /// and kill flags are observed between activations.
     pub fn pop_timeout(&self, timeout: Duration) -> Option<Job> {
+        self.pop_timeout_inner(timeout, None)
+    }
+
+    /// Like [`ShardQueue::pop_timeout`], but clears `idle` **before the
+    /// queue lock is released** whenever a job comes out. Drain checks
+    /// `queue.is_empty() && idle` (in that order, and `is_empty` takes
+    /// this same lock), so it can never observe the window where the pop
+    /// emptied the queue but the shard has not yet marked itself busy.
+    pub fn pop_timeout_busy(&self, timeout: Duration, idle: &AtomicBool) -> Option<Job> {
+        self.pop_timeout_inner(timeout, Some(idle))
+    }
+
+    fn pop_timeout_inner(&self, timeout: Duration, idle: Option<&AtomicBool>) -> Option<Job> {
+        let take = |g: &mut VecDeque<Job>| {
+            let job = g.pop_front();
+            if job.is_some() {
+                if let Some(idle) = idle {
+                    idle.store(false, Ordering::Release);
+                }
+            }
+            job
+        };
         let mut g = unpoison(self.inner.lock());
-        if let Some(job) = g.pop_front() {
+        if let Some(job) = take(&mut g) {
             return Some(job);
         }
         // One lock held into the wait: a push between the check and the
@@ -131,7 +153,7 @@ impl ShardQueue {
             .available
             .wait_timeout(g, timeout)
             .unwrap_or_else(PoisonError::into_inner);
-        g.pop_front()
+        take(&mut g)
     }
 
     /// Pops without waiting (batch coalescing inside one activation).
@@ -173,6 +195,27 @@ mod tests {
         // Draining one slot reopens the queue.
         assert!(q.try_pop().is_some());
         assert!(q.try_push(rejected).is_ok());
+    }
+
+    #[test]
+    fn busy_pop_clears_idle_with_the_job_never_without() {
+        let q = ShardQueue::new(4);
+        let idle = AtomicBool::new(true);
+        // Timing out empty must leave the idle flag alone.
+        assert!(q
+            .pop_timeout_busy(Duration::from_millis(5), &idle)
+            .is_none());
+        assert!(idle.load(Ordering::Acquire));
+        let (a, _ra) = job(1);
+        q.try_push(a).unwrap();
+        // Popping a job marks the shard busy before the caller even sees
+        // it — so an observer that finds the queue empty afterwards is
+        // guaranteed to also find idle == false.
+        assert!(q
+            .pop_timeout_busy(Duration::from_millis(100), &idle)
+            .is_some());
+        assert!(q.is_empty());
+        assert!(!idle.load(Ordering::Acquire));
     }
 
     #[test]

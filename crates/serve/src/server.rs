@@ -10,7 +10,7 @@
 //! drains, stops the shard fleet and the accept loop, and unblocks
 //! [`Server::wait`] so the `serve` bin can exit 0.
 
-use crate::frame::{read_frame, write_frame, FrameError, Request, Response};
+use crate::frame::{write_frame, FrameError, FrameReader, Request, Response};
 use crate::router::Router;
 use crate::stats::{stats_json, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
@@ -164,26 +164,41 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     stream.set_write_timeout(Some(shared.config.write_timeout))?;
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
+    // The decoder keeps partial-frame state across read timeouts, so the
+    // POLL-sized socket timeout never discards bytes of an in-flight
+    // frame — a client that pauses mid-frame resumes cleanly.
+    let mut frames = FrameReader::new();
     let mut idle = Duration::ZERO;
+    let mut last_progress = 0usize;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
         }
-        let payload = match read_frame(&mut reader) {
+        let payload = match frames.read(&mut reader) {
             Ok(Some(p)) => p,
             Ok(None) => return Ok(()), // clean close
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // The read deadline budgets *stalls*: any frame progress
+                // since the last timeout resets it, so only a peer that
+                // is idle (or frozen mid-frame) for the full deadline is
+                // dropped — and dropping closes the connection, never
+                // resyncing mid-stream.
+                if frames.progress() != last_progress {
+                    last_progress = frames.progress();
+                    idle = Duration::ZERO;
+                }
                 idle += POLL;
                 if idle >= shared.config.read_timeout {
-                    return Ok(()); // read deadline: drop the silent peer
+                    return Ok(()); // read deadline: drop the stalled peer
                 }
                 continue;
             }
             Err(e) => return Err(e),
         };
         idle = Duration::ZERO;
+        last_progress = 0;
         let (response, shutdown) = match Request::decode(&payload) {
             Ok(req) => {
                 let is_shutdown = matches!(req, Request::Shutdown);

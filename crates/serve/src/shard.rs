@@ -157,10 +157,15 @@ pub fn run(ctx: &ShardCtx) {
     let (mut sys, egress) = build_system(&ctx.config);
     let fib = synthetic_table(ctx.config.routes);
     while !ctx.stop.load(Ordering::Acquire) {
-        let Some(first) = ctx.queue.pop_timeout(Duration::from_millis(20)) else {
+        // The busy pop clears the idle flag under the queue lock, so a
+        // drain that sees the queue empty afterwards also sees the shard
+        // busy — quiescent() can't fire mid-handoff.
+        let Some(first) = ctx
+            .queue
+            .pop_timeout_busy(Duration::from_millis(20), &ctx.idle)
+        else {
             continue;
         };
-        ctx.idle.store(false, Ordering::Release);
         if ctx.die.swap(false, Ordering::AcqRel) {
             // Put the job back? No — the kill emulates a crash mid-batch:
             // the job is dropped, its reply channel closes, and the

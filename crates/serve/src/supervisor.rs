@@ -140,6 +140,13 @@ impl Supervisor {
             if !dead {
                 continue;
             }
+            // Re-check stop per shard: if it rose after this pass began,
+            // a shard that exited *because of* stop must not be counted
+            // as a crash and respawned (the respawn would just exit, but
+            // shard_restarts would lie).
+            if self.stop.load(Ordering::Acquire) {
+                return restarted;
+            }
             if let Some(t) = shard.thread.take() {
                 // The panic payload already unwound; surface it in logs.
                 if let Err(e) = t.join() {

@@ -200,6 +200,62 @@ fn killed_shard_restarts_and_service_keeps_serving() {
 }
 
 #[test]
+fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
+    use std::io::Write;
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let w = Workload::generate(5, 40, 16);
+    let (fwd, drop) = w.reference_forward();
+    let payload = Request::Submit {
+        packets: w.packets.clone(),
+        verify: true,
+    }
+    .encode();
+    let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+    framed.extend_from_slice(&payload);
+
+    // Dribble the frame with pauses well past the server's 50ms read
+    // poll — one cut inside the 4-byte length prefix, two inside the
+    // payload. The server's read timeouts must resume the partial frame,
+    // not discard it and re-enter the stream mid-frame.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut pos = 0usize;
+    for &n in &[2usize, 7, 300] {
+        stream.write_all(&framed[pos..pos + n]).unwrap();
+        stream.flush().unwrap();
+        pos += n;
+        std::thread::sleep(Duration::from_millis(120));
+    }
+    stream.write_all(&framed[pos..]).unwrap();
+    stream.flush().unwrap();
+
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    let rsp = memsync_serve::frame::read_frame(&mut reader)
+        .expect("read response")
+        .expect("response frame, not a close");
+    match Response::decode(&rsp).expect("decode response") {
+        Response::Batch {
+            forwarded,
+            dropped,
+            mismatches,
+        } => {
+            assert_eq!(forwarded as usize, fwd);
+            assert_eq!(dropped as usize, drop);
+            assert_eq!(mismatches, 0);
+        }
+        other => panic!("expected Batch, got {other:?}"),
+    }
+    std::mem::drop(reader);
+    std::mem::drop(stream);
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
 fn protocol_rejects_garbage_without_dropping_the_connection() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
     let mut client = Client::connect(server.local_addr()).expect("connect");
