@@ -36,6 +36,43 @@ pub struct DependencyList {
     capacity: usize,
 }
 
+/// Outcome of a guarded producer write attempt.
+///
+/// The paper's guarded locations have *sampling* semantics: a producer
+/// write is always accepted when the address is listed, even if the
+/// previous value has unconsumed reads outstanding — the old value is
+/// silently superseded. [`WriteOutcome::Accepted`] makes that overwrite
+/// explicit so the simulator can count it (the `lost_updates` detector)
+/// instead of losing data silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// No matching entry: the address is not guarded, write refused (§3.1).
+    Rejected,
+    /// The entry was re-armed.
+    Accepted {
+        /// The previous produce–consume cycle was still open: consumers had
+        /// not drained the counter, and their pending value is now gone.
+        overwrote_unconsumed: bool,
+    },
+}
+
+impl WriteOutcome {
+    /// Whether the write was accepted (an entry matched).
+    pub fn accepted(self) -> bool {
+        matches!(self, WriteOutcome::Accepted { .. })
+    }
+
+    /// Whether the write destroyed a value with outstanding consumer reads.
+    pub fn lost_update(self) -> bool {
+        matches!(
+            self,
+            WriteOutcome::Accepted {
+                overwrote_unconsumed: true
+            }
+        )
+    }
+}
+
 /// Outcome of a guarded read attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReadOutcome {
@@ -118,15 +155,31 @@ impl DependencyList {
     /// Producer write through port D: allowed only when a matching entry
     /// exists with dep_number > 0 (§3.1); re-arms the counter.
     ///
-    /// Returns whether the write was accepted.
+    /// Returns whether the write was accepted. Overwrite-blind convenience
+    /// wrapper around [`DependencyList::producer_write_checked`] — callers
+    /// that must account for lost updates (the simulator's guarded-write
+    /// path) use the checked form.
     pub fn producer_write(&mut self, addr: u32) -> bool {
+        self.producer_write_checked(addr).accepted()
+    }
+
+    /// The counted guarded-write helper: like
+    /// [`DependencyList::producer_write`], but reports whether the re-arm
+    /// overwrote a value whose consumers had not all read yet
+    /// ([`WriteOutcome::lost_update`]). Every guarded overwrite in the
+    /// system flows through here — there is no other path that re-arms an
+    /// entry.
+    pub fn producer_write_checked(&mut self, addr: u32) -> WriteOutcome {
         match self.entries.iter_mut().find(|e| e.base_addr == addr) {
             Some(e) if e.dep_number > 0 => {
+                let overwrote_unconsumed = e.armed && e.remaining > 0;
                 e.remaining = e.dep_number;
                 e.armed = true;
-                true
+                WriteOutcome::Accepted {
+                    overwrote_unconsumed,
+                }
             }
-            _ => false,
+            _ => WriteOutcome::Rejected,
         }
     }
 
@@ -258,6 +311,32 @@ mod tests {
         assert!(dl.configure(1, 0).is_err());
         assert!(dl.configure(1, 16).is_err());
         assert!(dl.configure(1, 15).is_ok());
+    }
+
+    #[test]
+    fn checked_write_reports_overwrite_of_unconsumed_value() {
+        let mut dl = DependencyList::new(4);
+        dl.configure(0x30, 2).unwrap();
+        // First write of a cycle: nothing pending, no loss.
+        assert_eq!(
+            dl.producer_write_checked(0x30),
+            WriteOutcome::Accepted {
+                overwrote_unconsumed: false
+            }
+        );
+        // Re-write before any consumer read: the pending value is lost.
+        assert!(dl.producer_write_checked(0x30).lost_update());
+        // Partially drained still counts: one of two reads outstanding.
+        dl.consumer_read(0x30);
+        assert!(dl.producer_write_checked(0x30).lost_update());
+        // Fully drained: the next write opens a fresh cycle cleanly.
+        dl.consumer_read(0x30);
+        dl.consumer_read(0x30);
+        assert!(!dl.producer_write_checked(0x30).lost_update());
+        // Unlisted addresses are rejected, never counted as lost.
+        let out = dl.producer_write_checked(0x99);
+        assert_eq!(out, WriteOutcome::Rejected);
+        assert!(!out.accepted() && !out.lost_update());
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! memsync-lint — static hazard analysis for hic programs.
+//!
+//! Usage: `memsync-lint [--json] [--unpaced] FILE...`
+//!
+//! Runs the `memsync_hic::hazards` pass over each file and prints one
+//! report per file (human-readable, or one JSON document per line with
+//! `--json`). By default `recv` statements are assumed paced (the
+//! memsync-serve injection regime); `--unpaced` analyzes under
+//! free-running arrivals instead — "what breaks if pacing is removed?".
+//!
+//! Exit status: 0 when every file is hazard-free, 1 when any hazard was
+//! found, 2 on usage, I/O, or compile errors.
+
+use memsync_hic::hazards::{self, PacingAssumption};
+use memsync_hic::Severity;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: memsync-lint [--json] [--unpaced] FILE...";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut pacing = PacingAssumption::PacedArrivals;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--unpaced" => pacing = PacingAssumption::FreeRunning,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("memsync-lint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut worst: u8 = 0;
+    for path in &files {
+        let status = lint_file(path, pacing, json);
+        worst = worst.max(status);
+    }
+    ExitCode::from(worst)
+}
+
+/// Lints one file; returns the exit status it alone would produce.
+fn lint_file(path: &str, pacing: PacingAssumption, json: bool) -> u8 {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memsync-lint: {path}: {e}");
+            return 2;
+        }
+    };
+    match hazards::check_source(&source, pacing) {
+        Err(e) => {
+            if json {
+                let doc = memsync_trace::Json::obj()
+                    .with("file", memsync_trace::Json::Str(path.to_owned()))
+                    .with("error", memsync_trace::Json::Str(e.to_string()));
+                println!("{}", doc.render());
+            } else {
+                for d in e.diagnostics() {
+                    eprintln!("{path}:{d}");
+                }
+            }
+            2
+        }
+        Ok((report, diagnostics)) => {
+            let errors = diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            if json {
+                let doc = report
+                    .to_json()
+                    .with("file", memsync_trace::Json::Str(path.to_owned()))
+                    .with("compile_errors", errors.into());
+                println!("{}", doc.render());
+            } else {
+                for d in diagnostics {
+                    eprintln!("{path}:{d}");
+                }
+                for h in &report.hazards {
+                    println!("{path}:{h}");
+                }
+                if report.is_clean() {
+                    println!("{path}: clean ({} assumed)", report.pacing.as_str());
+                }
+            }
+            if !report.is_clean() {
+                1
+            } else if errors > 0 {
+                2
+            } else {
+                0
+            }
+        }
+    }
+}

@@ -14,6 +14,11 @@
 //!   lifetimes, and pragma-free dependency *inference*;
 //! * [`depgraph`] — the memory-access graph and operation-order graph that
 //!   drive BRAM allocation downstream;
+//! * [`hazards`] — static hazard analysis over the compiled program: the
+//!   lost-update bug class (a producer re-firing before every consumer has
+//!   read, silently overwritten under the paper's sampling semantics),
+//!   consume-before-produce, deadlock cycles, and dead/undeclared
+//!   dependencies. Driven by the `memsync-lint` binary;
 //! * [`pretty`] — canonical source rendering (round-trip tested).
 //!
 //! # Examples
@@ -43,6 +48,7 @@
 pub mod ast;
 pub mod depgraph;
 pub mod error;
+pub mod hazards;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
@@ -52,6 +58,7 @@ pub mod usedef;
 
 pub use ast::Program;
 pub use error::{CompileError, Diagnostic, Severity, Span};
+pub use hazards::{Hazard, HazardCode, HazardReport, PacingAssumption};
 pub use sema::{Analysis, Dependency, Endpoint};
 
 /// Parses and analyzes a hic source string in one step.

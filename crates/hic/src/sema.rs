@@ -126,26 +126,43 @@ impl Analysis {
 /// # }
 /// ```
 pub fn analyze(program: &Program) -> Result<Analysis> {
+    let (analysis, diagnostics) = analyze_lossy(program);
+    if diagnostics
+        .iter()
+        .any(|d| d.severity == crate::error::Severity::Error)
+    {
+        Err(CompileError::new(diagnostics))
+    } else {
+        Ok(analysis)
+    }
+}
+
+/// Best-effort semantic analysis that never fails: returns whatever could
+/// be resolved plus every diagnostic found (errors first, then warnings).
+///
+/// [`analyze`] is this with a hard stop on errors. The lenient form exists
+/// for the hazard pass and `memsync-lint`: a program strict analysis
+/// rejects (a statically deadlocked corpus program, say) still carries
+/// enough resolved structure to hazard-check, and the lint wants to report
+/// the deadlock as a *hazard with a span*, not an opaque compile failure.
+pub fn analyze_lossy(program: &Program) -> (Analysis, Vec<Diagnostic>) {
     let mut ctx = Context::default();
     ctx.check_type_defs(program);
     ctx.check_threads(program);
     ctx.collect_pragmas(program);
     ctx.resolve_dependencies(program);
     ctx.check_deadlock();
-    if ctx.errors.is_empty() {
-        let mut dependencies: Vec<Dependency> = ctx.dependencies.into_values().collect();
-        dependencies.sort_by(|a, b| a.id.cmp(&b.id));
-        Ok(Analysis {
-            dependencies,
-            constants: ctx.constants,
-            interfaces: ctx.interfaces,
-            warnings: ctx.warnings,
-        })
-    } else {
-        let mut all = ctx.errors;
-        all.extend(ctx.warnings);
-        Err(CompileError::new(all))
-    }
+    let mut dependencies: Vec<Dependency> = ctx.dependencies.into_values().collect();
+    dependencies.sort_by(|a, b| a.id.cmp(&b.id));
+    let analysis = Analysis {
+        dependencies,
+        constants: ctx.constants,
+        interfaces: ctx.interfaces,
+        warnings: ctx.warnings.clone(),
+    };
+    let mut diagnostics = ctx.errors;
+    diagnostics.extend(ctx.warnings);
+    (analysis, diagnostics)
 }
 
 #[derive(Default)]
@@ -490,15 +507,22 @@ impl Context {
         for thread in &program.threads {
             let thread_name = thread.name.clone();
             let mut claims: Vec<(String, Endpoint, Endpoint, Span)> = Vec::new();
+            let mut misplaced: Vec<(String, Span)> = Vec::new();
             crate::ast::walk_stmts(&thread.body, &mut |stmt: &Stmt| {
                 for pragma in &stmt.pragmas {
                     if let Pragma::Producer { dep, sources, span } = pragma {
-                        // The annotated statement's reads identify which local
-                        // variable receives the produced value; the pragma's
-                        // endpoint names the producing (thread, var).
+                        // The annotated statement's write target identifies
+                        // which local variable receives the produced value;
+                        // the pragma's endpoint names the producing
+                        // (thread, var). Anything but an assignment or recv
+                        // has no receiving variable and is rejected.
                         let consumed_into = match &stmt.kind {
                             StmtKind::Assign { target, .. } => target.base().to_owned(),
-                            _ => String::new(),
+                            StmtKind::Recv { var } => var.clone(),
+                            _ => {
+                                misplaced.push((dep.clone(), *span));
+                                continue;
+                            }
                         };
                         for s in sources {
                             claims.push((
@@ -511,6 +535,12 @@ impl Context {
                     }
                 }
             });
+            for (dep, span) in misplaced {
+                self.error(
+                    format!("`#producer{{{dep}, ...}}` must annotate an assignment or recv"),
+                    span,
+                );
+            }
             self.producer_claims.extend(claims);
         }
 
@@ -803,6 +833,31 @@ mod tests {
         let src = "thread t() { int a; #consumer{m,[t,a]} if (a) { a = 1; } }";
         let err = analyze(&parse(src).unwrap()).unwrap_err();
         assert!(err.to_string().contains("must annotate an assignment"));
+    }
+
+    #[test]
+    fn rejects_producer_on_non_write() {
+        let src = r#"
+            thread p () { int v; #consumer{m,[c,x]} v = 1; }
+            thread c () { int x; #producer{m,[p,v]} if (x) { x = v; } }
+        "#;
+        let err = analyze(&parse(src).unwrap()).unwrap_err();
+        assert!(
+            err.to_string()
+                .contains("`#producer{m, ...}` must annotate an assignment or recv"),
+            "got: {err}"
+        );
+    }
+
+    #[test]
+    fn lossy_analysis_resolves_dependencies_despite_deadlock() {
+        let src = r#"
+            thread a () { int v, x; #consumer{m1,[b,y]} v = 1; #producer{m2,[b,w]} x = w; }
+            thread b () { int w, y; #consumer{m2,[a,x]} w = 1; #producer{m1,[a,v]} y = v; }
+        "#;
+        let (analysis, diags) = analyze_lossy(&parse(src).unwrap());
+        assert_eq!(analysis.dependencies.len(), 2);
+        assert!(diags.iter().any(|d| d.message.contains("static deadlock")));
     }
 
     #[test]

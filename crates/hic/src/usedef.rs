@@ -40,6 +40,11 @@ pub struct Cfg {
     pub thread: String,
     /// Nodes, indexed by id; node 0 is the entry.
     pub nodes: Vec<CfgNode>,
+    /// Ids of the nodes at which one run-to-completion iteration ends.
+    /// Their edges back to node 0 (if any) are the wrap-around restart
+    /// edges added by [`Cfg::build`], not intra-iteration control flow;
+    /// analyses over a single iteration stop here.
+    pub exits: Vec<usize>,
 }
 
 impl Cfg {
@@ -50,7 +55,7 @@ impl Cfg {
         // Threads run to completion per message and restart; model the
         // wrap-around so liveness across iterations is visible.
         if let Some(first) = builder.nodes.first().map(|n| n.id) {
-            for e in exits {
+            for &e in &exits {
                 if !builder.nodes[e].succs.contains(&first) {
                     builder.nodes[e].succs.push(first);
                 }
@@ -59,6 +64,7 @@ impl Cfg {
         Cfg {
             thread: thread.name.clone(),
             nodes: builder.nodes,
+            exits,
         }
     }
 
@@ -286,6 +292,20 @@ impl CfgBuilder {
     }
 }
 
+/// The local variable into which `var` (produced elsewhere) is first read:
+/// the single definition of the earliest node reading `var`. This matches
+/// the pragma convention, where the `#consumer` sink names the *receiving*
+/// variable (`[t2, y1]` for `y1 = g(x1, ...)`), not the producer's name.
+/// Falls back to `var` itself when no reading node defines exactly one
+/// local (e.g. the value is only forwarded into a `send`).
+fn receiving_var(cfg: &Cfg, var: &str) -> String {
+    cfg.nodes
+        .iter()
+        .find(|n| n.uses.contains(var) && n.defs.len() == 1)
+        .and_then(|n| n.defs.iter().next().cloned())
+        .unwrap_or_else(|| var.to_owned())
+}
+
 fn expr_reads(expr: &Expr) -> BTreeSet<String> {
     let mut reads = Vec::new();
     expr.collect_reads(&mut reads);
@@ -333,7 +353,7 @@ pub fn infer_dependencies(program: &Program) -> Vec<Dependency> {
             });
             entry
                 .consumers
-                .push(Endpoint::new(name.clone(), var.clone()));
+                .push(Endpoint::new(name.clone(), receiving_var(cfg, &var)));
         }
     }
     // Order consumers by thread declaration order.
@@ -440,9 +460,21 @@ mod tests {
         let deps = infer_dependencies(&program);
         assert_eq!(deps.len(), 1);
         assert_eq!(deps[0].producer, Endpoint::new("t1", "x1"));
-        assert_eq!(deps[0].consumers.len(), 2);
-        assert_eq!(deps[0].consumers[0].thread, "t2");
-        assert_eq!(deps[0].consumers[1].thread, "t3");
+        // Consumer endpoints carry the *receiving* variable, exactly as
+        // the pragma form `#consumer{mt1,[t2,y1],[t3,z1]}` would name them.
+        assert_eq!(
+            deps[0].consumers,
+            vec![Endpoint::new("t2", "y1"), Endpoint::new("t3", "z1")]
+        );
+    }
+
+    #[test]
+    fn exits_mark_iteration_boundaries() {
+        let cfg = cfg_of("thread t() { int a, b; a = 1; if (a) { b = 2; } b = 3; }");
+        // Only the final statement ends an iteration; its wrap edge
+        // returns to the entry.
+        assert_eq!(cfg.exits, vec![3]);
+        assert!(cfg.nodes[3].succs.contains(&0));
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //! failure is a diagnostic. Random inputs come from a seeded [`Pcg32`]
 //! stream so failures replay exactly.
 
-use memsync_hic::{lexer, parser};
+use memsync_hic::hazards::{self, PacingAssumption};
+use memsync_hic::{lexer, parser, sema};
 use memsync_trace::Pcg32;
 
 /// A random string of printable ASCII, newlines, and tabs.
@@ -30,6 +31,85 @@ fn parser_never_panics() {
     for _ in 0..512 {
         let input = fuzz_string(&mut rng, 200);
         let _ = parser::parse(&input);
+    }
+}
+
+/// A random program shaped like real pragma-carrying code: a handful of
+/// threads with declarations, statements, and `#consumer` / `#producer` /
+/// `#constant` pragmas whose ids and endpoints are drawn (often
+/// inconsistently) from small pools — exercising exactly the cross-
+/// validation and hazard paths, not just the tokenizer.
+fn fuzz_pragma_program(rng: &mut Pcg32) -> String {
+    let threads = rng.gen_range_usize(1..4);
+    let deps = ["m0", "m1", "m2"];
+    let vars = ["v", "w", "x"];
+    let mut src = String::new();
+    for t in 0..threads {
+        src.push_str(&format!("thread t{t} () {{ int v, w, x; message m;\n"));
+        if rng.gen_range_usize(0..2) == 0 {
+            src.push_str("recv m;\n");
+        }
+        for _ in 0..rng.gen_range_usize(1..5) {
+            let dep = deps[rng.gen_range_usize(0..deps.len())];
+            let var = vars[rng.gen_range_usize(0..vars.len())];
+            let peer = rng.gen_range_usize(0..threads);
+            let pvar = vars[rng.gen_range_usize(0..vars.len())];
+            match rng.gen_range_usize(0..6) {
+                0 => src.push_str(&format!(
+                    "#consumer{{{dep},[t{peer},{pvar}]}} {var} = {var} + 1;\n"
+                )),
+                1 => src.push_str(&format!(
+                    "#producer{{{dep},[t{peer},{pvar}]}} {var} = {pvar};\n"
+                )),
+                // Misplaced pragmas: on control flow, not a write.
+                2 => src.push_str(&format!(
+                    "#producer{{{dep},[t{peer},{pvar}]}} if ({var}) {{ {var} = 1; }}\n"
+                )),
+                3 => src.push_str(&format!("#constant{{k{t}, {}}} x = k{t};\n", peer)),
+                4 => src.push_str(&format!("if ({var}) {{ {var} = 2; }} else {{ w = 3; }}\n")),
+                _ => src.push_str(&format!("{var} = {var} * 2;\n")),
+            }
+        }
+        if rng.gen_range_usize(0..2) == 0 {
+            src.push_str("send w;\n");
+        }
+        src.push_str("}\n");
+    }
+    src
+}
+
+/// Semantic analysis and the hazard pass must never panic on any program
+/// the parser accepts — malformed pragma pairings (dangling deps,
+/// mismatched endpoints, self-dependencies, misplaced pragmas) all come
+/// out as diagnostics or hazards.
+#[test]
+fn sema_and_hazards_never_panic_on_pragma_shaped_programs() {
+    let mut rng = Pcg32::seed_from_u64(0xF022_0003);
+    for _ in 0..512 {
+        let src = fuzz_pragma_program(&mut rng);
+        let Ok(program) = parser::parse(&src) else {
+            panic!("generator produced unparseable source:\n{src}");
+        };
+        let (analysis, _diags) = sema::analyze_lossy(&program);
+        for pacing in [
+            PacingAssumption::PacedArrivals,
+            PacingAssumption::FreeRunning,
+        ] {
+            let report = hazards::check(&program, &analysis, pacing);
+            // JSON rendering must hold for arbitrary reports too.
+            let _ = report.to_json().render();
+        }
+    }
+}
+
+/// Raw fuzz strings through the whole front-end: whatever parses must
+/// also analyze and hazard-check without panicking.
+#[test]
+fn full_front_end_never_panics_on_fuzz_strings() {
+    let mut rng = Pcg32::seed_from_u64(0xF022_0004);
+    for _ in 0..512 {
+        let input = fuzz_string(&mut rng, 200);
+        let _ = hazards::check_source(&input, PacingAssumption::PacedArrivals);
     }
 }
 

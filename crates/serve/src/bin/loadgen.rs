@@ -150,6 +150,25 @@ fn main() {
         failed = true;
     }
 
+    // The server-side lost-update detector must stay at zero: paced
+    // injection never overwrites an unconsumed guarded value, so any
+    // count here is a pacing regression (see `memsync_hic::hazards`).
+    {
+        let mut client = Client::connect(addr.as_str()).expect("connect for stats");
+        let doc = client.stats().expect("stats frame");
+        match memsync_serve::stats::json_u64(&doc, "lost_updates") {
+            Some(0) => {}
+            Some(n) => {
+                eprintln!("FAIL: server reports {n} lost updates (unpaced overwrite)");
+                failed = true;
+            }
+            None => {
+                eprintln!("FAIL: stats frame missing lost_updates: {doc}");
+                failed = true;
+            }
+        }
+    }
+
     if args.iter().any(|a| a == "--drain" || a == "--shutdown") {
         let mut client = Client::connect(addr.as_str()).expect("connect for drain");
         match client.drain() {

@@ -577,7 +577,10 @@ mod tests {
                 Err(e) => panic!("unexpected error: {e}"),
             }
         }
-        assert!(saw_midframe_timeout, "test must exercise mid-frame timeouts");
+        assert!(
+            saw_midframe_timeout,
+            "test must exercise mid-frame timeouts"
+        );
         assert_eq!(frames[0], b"first frame, long enough to straddle reads");
         assert_eq!(frames[1], b"second");
         assert_eq!(fr.progress(), 0, "back at a frame boundary");

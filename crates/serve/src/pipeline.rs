@@ -110,6 +110,11 @@ mod tests {
                     );
                 }
             }
+            assert_eq!(
+                sys.lost_updates(),
+                0,
+                "paced injection must not overwrite unconsumed values under {kind}"
+            );
         }
     }
 
@@ -132,6 +137,12 @@ mod tests {
         assert!(
             got < w.packets.len(),
             "sampling semantics should lose unpaced packets (got {got})"
+        );
+        // The dynamic detector agrees: the runtime counter catches the
+        // same bug class the static pass (`memsync-lint --unpaced`) flags.
+        assert!(
+            sys.lost_updates() > 0,
+            "unpaced overwrites must be counted as lost updates"
         );
     }
 

@@ -81,6 +81,7 @@ fn process_batch(
 ) {
     let n: usize = jobs.iter().map(|j| j.packets.len()).sum();
     let cycles_before = sys.cycle();
+    let lost_before = sys.lost_updates();
     for (k, desc) in jobs
         .iter()
         .flat_map(|j| j.packets.iter().map(Ipv4Packet::descriptor))
@@ -94,6 +95,10 @@ fn process_batch(
     }
     let frames: Vec<Vec<i64>> = egress.iter().map(|id| sys.drain_sent(*id)).collect();
     let sim_cycles = sys.cycle() - cycles_before;
+    // Paced injection means no producer ever overwrites an unconsumed
+    // guarded value; a nonzero delta here is the lost-update bug the
+    // static pass (`memsync-lint`) guards against, resurfacing at runtime.
+    let lost_updates = sys.lost_updates() - lost_before;
 
     // Walk the concatenated batch job by job, packet by packet.
     let mut offset = 0usize;
@@ -133,6 +138,7 @@ fn process_batch(
         reg.add("serve.forwarded", u64::from(totals.forwarded));
         reg.add("serve.dropped", u64::from(totals.dropped));
         reg.add("serve.mismatches", u64::from(totals.mismatches));
+        reg.add("serve.lost_updates", lost_updates);
         reg.add("serve.sim_cycles", sim_cycles);
         reg.inc("serve.batches");
         reg.record("serve.batch_size", n as u64);
@@ -246,6 +252,11 @@ mod tests {
         let reg = ctx.stats.lock().unwrap();
         assert_eq!(reg.counter("serve.packets"), 40);
         assert_eq!(reg.counter("serve.batches"), 1);
+        assert_eq!(
+            reg.counter("serve.lost_updates"),
+            0,
+            "paced injection must never overwrite an unconsumed guarded value"
+        );
         assert_eq!(reg.histogram("serve.batch_size").unwrap().samples(), &[40]);
         assert!(reg.counter("serve.sim_cycles") > 0);
         assert_eq!(

@@ -49,6 +49,10 @@ pub fn stats_json(
             .with("forwarded", snapshot.counter("serve.forwarded").into())
             .with("dropped", snapshot.counter("serve.dropped").into())
             .with("mismatches", snapshot.counter("serve.mismatches").into())
+            .with(
+                "lost_updates",
+                snapshot.counter("serve.lost_updates").into(),
+            )
             .with("batches", snapshot.counter("serve.batches").into())
             .with("sim_cycles", snapshot.counter("serve.sim_cycles").into())
             .with("queue_depth_highwater", s.queue.high_water().into())
@@ -82,6 +86,7 @@ pub fn stats_json(
         .with("forwarded", merged.counter("serve.forwarded").into())
         .with("dropped", merged.counter("serve.dropped").into())
         .with("mismatches", merged.counter("serve.mismatches").into())
+        .with("lost_updates", merged.counter("serve.lost_updates").into())
         .with("batches", merged.counter("serve.batches").into())
         .with("sim_cycles", merged.counter("serve.sim_cycles").into())
         .with("packets_per_sec", (packets as f64 / uptime).into());
@@ -145,6 +150,7 @@ mod tests {
         assert_eq!(json_u64(&doc, "forwarded"), Some(15));
         assert_eq!(json_u64(&doc, "dropped"), Some(5));
         assert_eq!(json_u64(&doc, "packets"), Some(20));
+        assert_eq!(json_u64(&doc, "lost_updates"), Some(0));
         assert_eq!(json_u64(&doc, "busy"), Some(1));
         assert_eq!(json_u64(&doc, "shard_restarts"), Some(1));
         assert!(doc.contains("\"per_shard\""));

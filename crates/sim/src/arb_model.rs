@@ -53,6 +53,9 @@ pub struct ArbitratedModel {
     /// Scratch eligibility mask for the decision stage (reused every cycle
     /// so stepping allocates nothing).
     eligible: Vec<bool>,
+    /// Producer writes that overwrote a guarded value with unconsumed
+    /// reads outstanding (the sampling-semantics lost-update detector).
+    lost_updates: u64,
 }
 
 impl ArbitratedModel {
@@ -75,6 +78,7 @@ impl ArbitratedModel {
             bram: BramModel::new(),
             cycle: 0,
             eligible: vec![false; consumers],
+            lost_updates: 0,
         }
     }
 
@@ -95,6 +99,14 @@ impl ArbitratedModel {
     /// Direct view of the dependency list (tests, metrics).
     pub fn deplist(&self) -> &DependencyList {
         &self.deplist
+    }
+
+    /// Producer writes so far that overwrote a guarded value before every
+    /// consumer read it — the dynamic lost-update detector. Always 0 for
+    /// programs whose producers are correctly paced; `> 0` means data was
+    /// silently dropped by the sampling semantics of §3.1.
+    pub fn lost_updates(&self) -> u64 {
+        self.lost_updates
     }
 
     /// Advances one clock cycle.
@@ -182,11 +194,16 @@ impl ArbitratedModel {
             inputs.d_req.iter().enumerate().find(|(_, r)| r.is_some())
         {
             // A write needs a matching entry (§3.1); the dependency number
-            // is supplied by the producer and re-arms the counter.
+            // is supplied by the producer and re-arms the counter. The
+            // checked write is the single counted overwrite path: a re-arm
+            // while reads are outstanding destroys the pending value.
             let matched = self.deplist.lookup(addr).is_some();
             if matched {
-                let accepted = self.deplist.producer_write(addr);
-                debug_assert!(accepted);
+                let outcome = self.deplist.producer_write_checked(addr);
+                debug_assert!(outcome.accepted());
+                if outcome.lost_update() {
+                    self.lost_updates += 1;
+                }
                 let _ = dep; // dep_number is fixed at configuration time
                 self.bram.write(addr, data);
                 out.d_grant[j] = true;
@@ -426,6 +443,32 @@ mod tests {
         m.step(&inp); // read issued
         let out = m.step(&idle(1, 1));
         assert_eq!(out.a_data, Some(55));
+    }
+
+    #[test]
+    fn lost_updates_count_overwrites_of_unconsumed_values() {
+        let mut m = ArbitratedModel::new(1, 1, 4);
+        m.configure(0x8, 1).unwrap();
+        assert_eq!(m.lost_updates(), 0);
+        // First write: clean.
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x8, 1, 1));
+        m.step(&wr);
+        assert_eq!(m.lost_updates(), 0);
+        // Second write before the consumer reads: the value is lost.
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x8, 2, 1));
+        m.step(&wr);
+        assert_eq!(m.lost_updates(), 1);
+        // Consumer drains; the next write is clean again.
+        let mut rd = idle(1, 1);
+        rd.c_req[0] = Some(0x8);
+        m.step(&rd); // decision
+        m.step(&rd); // issue (read granted, counter drained)
+        let mut wr = idle(1, 1);
+        wr.d_req[0] = Some((0x8, 3, 1));
+        m.step(&wr);
+        assert_eq!(m.lost_updates(), 1);
     }
 
     #[test]

@@ -1,5 +1,14 @@
 //! Behavioral model of one 18 Kb BRAM bank (512×36 view, 32-bit payload),
 //! with the synchronous one-cycle read latency of the real block.
+//!
+//! The raw bank knows nothing about guarding: `write` unconditionally
+//! overwrites. That is correct because every *guarded* write in the
+//! system reaches a bank only through a wrapper's counted path — the
+//! arbitrated model's `DependencyList::producer_write_checked` or the
+//! event-driven model's window admission — both of which account for
+//! overwrites of unconsumed values in their `lost_updates` counters.
+//! Port A traffic (private per-thread state, lookup tables) is unguarded
+//! by construction and overwrites freely.
 
 /// Words in the bank.
 pub const BANK_WORDS: usize = 512;

@@ -327,6 +327,22 @@ impl System {
         done(&self.threads)
     }
 
+    /// Total guarded-location overwrites of unconsumed values across every
+    /// sync bank — the dynamic lost-update detector. A correctly paced
+    /// program keeps this at 0; any increment means a producer re-fired
+    /// before all consumers in its dependency list read, and the sampling
+    /// semantics of §3.1 silently dropped the pending value. The static
+    /// counterpart is `memsync_hic::hazards` (the `lost_update` hazard).
+    pub fn lost_updates(&self) -> u64 {
+        self.banks
+            .iter()
+            .map(|b| match &b.model {
+                BankModel::Arbitrated { model, .. } => model.lost_updates(),
+                BankModel::EventDriven { model, .. } => model.lost_updates(),
+            })
+            .sum()
+    }
+
     /// Attaches an arrival process to a thread's network interface.
     ///
     /// # Panics

@@ -45,6 +45,20 @@ pub struct EventDrivenModel {
     a_inflight: Option<u32>,
     bram: BramModel,
     cycle: u64,
+    /// Consumers of the last accepted write still owed their slot. The
+    /// selection logic only admits a write when the previous burst is
+    /// fully served, so this organization converts would-be overwrites
+    /// into [`memsync_trace::EventKind::WindowStall`] backpressure — but
+    /// the invariant is asserted by counting, not assumed: guarded-write
+    /// audit for the lost-update detector.
+    outstanding: usize,
+    /// Per-producer service-burst length (schedule row length), fixed at
+    /// construction so the counted write path allocates nothing.
+    burst_len: Vec<usize>,
+    /// Writes accepted while the previous value had unserved consumers —
+    /// structurally impossible here (see `outstanding`), counted anyway so
+    /// both organizations expose the same detector.
+    lost_updates: u64,
 }
 
 impl EventDrivenModel {
@@ -64,6 +78,7 @@ impl EventDrivenModel {
                 assert!(c < consumers, "schedule names consumer {c} of {consumers}");
             }
         }
+        let burst_len = (0..producers).map(|p| schedule.order_of(p).len()).collect();
         EventDrivenModel {
             producers,
             consumers,
@@ -72,6 +87,9 @@ impl EventDrivenModel {
             a_inflight: None,
             bram: BramModel::new(),
             cycle: 0,
+            outstanding: 0,
+            burst_len,
+            lost_updates: 0,
         }
     }
 
@@ -83,6 +101,14 @@ impl EventDrivenModel {
     /// Which producer currently holds the selection window.
     pub fn window_producer(&self) -> usize {
         self.selection.window_producer()
+    }
+
+    /// Writes accepted while a previous value still had unserved
+    /// consumers. The selection window makes this structurally impossible
+    /// (§3.2 blocks the producer instead), so this stays 0 — it exists so
+    /// the guarded-write audit covers both organizations with one counter.
+    pub fn lost_updates(&self) -> u64 {
+        self.lost_updates
     }
 
     /// Advances one clock cycle.
@@ -174,6 +200,14 @@ impl EventDrivenModel {
         let producer_writes = !serving && inputs.p_req[wp].is_some();
         if producer_writes {
             let (addr, data) = inputs.p_req[wp].expect("checked above");
+            // Counted guarded-write path: a write admitted while the
+            // previous burst had unserved consumers would overwrite an
+            // unconsumed value. The window blocks exactly that, so the
+            // counter stays 0 — but it is counted, not assumed.
+            if self.outstanding > 0 {
+                self.lost_updates += 1;
+            }
+            self.outstanding = self.burst_len[wp];
             self.bram.write(addr, data);
             out.p_grant[wp] = true;
             if sink.enabled() {
@@ -211,6 +245,7 @@ impl EventDrivenModel {
                 // blocked. For robustness, an absent address reads 0.
                 let addr = inputs.c_addr[consumer].unwrap_or(0);
                 self.inflight = Some((consumer, addr, self.bram.read(addr)));
+                self.outstanding = self.outstanding.saturating_sub(1);
                 served = Some(consumer);
                 if sink.enabled() {
                     sink.emit(&ev(Port::B, addr, EventKind::ReadIssue { consumer }));
@@ -338,6 +373,21 @@ mod tests {
         let mut inp = idle(2, 2);
         inp.p_req[1] = Some((2, 5));
         assert!(m.step(&inp).p_grant[1]);
+    }
+
+    #[test]
+    fn event_driven_never_loses_updates() {
+        // Audit pin: the window converts would-be overwrites into
+        // backpressure, so the lost-update counter must stay 0 even under
+        // a producer hammering writes every cycle.
+        let mut m = figure1_model();
+        for round in 0..20u32 {
+            let mut inp = idle(1, 2);
+            inp.p_req[0] = Some((4, round));
+            inp.c_addr = vec![Some(4), Some(4)];
+            m.step(&inp);
+        }
+        assert_eq!(m.lost_updates(), 0);
     }
 
     #[test]

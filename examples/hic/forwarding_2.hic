@@ -1,0 +1,66 @@
+
+thread rx () {
+    message pkt;
+    int dstp, ttl, ver, flags, desc;
+    #interface{eth0, "gige"}
+    recv pkt;
+    dstp = (pkt >> 8) & 16777215;
+    ttl = pkt & 255;
+    ver = (pkt >> 28) & 15;
+    flags = (pkt >> 24) & 15;
+    if (ttl > 1) {
+        #consumer{m_rx,[lkp,key]}
+        desc = (dstp << 8) | (ttl - 1);
+    } else {
+        desc = 0;
+    }
+}
+
+thread lkp () {
+    int key, idx0, idx1, node, hop, route;
+    int tbl0[256], tbl1[256];
+    #producer{m_rx,[rx,desc]}
+    key = desc;
+    idx0 = (key >> 24) & 255;
+    node = tbl0[idx0];
+    if ((node & 1) == 1) {
+        idx1 = (key >> 16) & 255;
+        hop = tbl1[idx1];
+    } else {
+        hop = node >> 1;
+    }
+    #consumer{m_lkp,[fwd,rinfo]}
+    route = (hop << 16) | (key & 65535);
+}
+
+thread fwd () {
+    int rinfo, hop, meta, sum, csum, outv;
+    #producer{m_lkp,[lkp,route]}
+    rinfo = route;
+    hop = (rinfo >> 16) & 65535;
+    meta = rinfo & 65535;
+    sum = (meta & 255) + ((meta >> 8) & 255) + hop;
+    sum = (sum & 65535) + (sum >> 16);
+    sum = (sum & 65535) + (sum >> 16);
+    csum = (~sum) & 65535;
+    #consumer{m_fwd,[e0,od0],[e1,od1]}
+    outv = (hop << 20) | (csum << 4) | 5;
+}
+
+thread e0 () {
+    int od0, frame0, crc0;
+    #producer{m_fwd,[fwd,outv]}
+    od0 = outv;
+    crc0 = g(od0, 17);
+    frame0 = od0 ^ (crc0 << 1);
+    send frame0;
+}
+
+thread e1 () {
+    int od1, frame1, crc1;
+    #producer{m_fwd,[fwd,outv]}
+    od1 = outv;
+    crc1 = g(od1, 18);
+    frame1 = od1 ^ (crc1 << 1);
+    send frame1;
+}

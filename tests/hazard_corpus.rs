@@ -1,0 +1,145 @@
+//! The hazard corpus: known-good and known-bad hic programs with pinned
+//! hazard codes, plus the checked-in forwarding sources that must stay
+//! clean and in sync with the generator.
+//!
+//! Corpus files live in `tests/hazards/*.hic`. The first comment line is
+//! a header `// expect: <code...>` (or `// expect: clean`); an optional
+//! `// pacing: free-running` line selects the arrival assumption
+//! (default: paced, matching `memsync-lint` without `--unpaced`).
+//!
+//! Regenerate `examples/hic/*.hic` with
+//! `MEMSYNC_REGEN=1 cargo test --test hazard_corpus`.
+
+use memsync_hic::hazards::{self, PacingAssumption};
+use std::path::{Path, PathBuf};
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn hic_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hic"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Parses the `// expect:` / `// pacing:` header of a corpus file.
+fn parse_header(source: &str, path: &Path) -> (Vec<String>, PacingAssumption) {
+    let mut expect = None;
+    let mut pacing = PacingAssumption::PacedArrivals;
+    for line in source.lines() {
+        let Some(rest) = line.trim().strip_prefix("//") else {
+            break;
+        };
+        let rest = rest.trim();
+        if let Some(codes) = rest.strip_prefix("expect:") {
+            let mut codes: Vec<String> = codes.split_whitespace().map(str::to_owned).collect();
+            if codes == ["clean"] {
+                codes.clear();
+            }
+            codes.sort();
+            expect = Some(codes);
+        } else if let Some(p) = rest.strip_prefix("pacing:") {
+            pacing = match p.trim() {
+                "free-running" => PacingAssumption::FreeRunning,
+                "paced" => PacingAssumption::PacedArrivals,
+                other => panic!("{}: unknown pacing `{other}`", path.display()),
+            };
+        }
+    }
+    (
+        expect.unwrap_or_else(|| panic!("{}: missing `// expect:` header", path.display())),
+        pacing,
+    )
+}
+
+#[test]
+fn corpus_hazard_codes_are_exact() {
+    let dir = repo_path("tests/hazards");
+    let files = hic_files(&dir);
+    assert!(files.len() >= 8, "corpus unexpectedly small: {files:?}");
+    for path in files {
+        let source = std::fs::read_to_string(&path).unwrap();
+        let (expect, pacing) = parse_header(&source, &path);
+        let (report, _diags) = hazards::check_source(&source, pacing)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        assert_eq!(
+            report.codes(),
+            expect,
+            "{} under {:?}: hazards {:#?}",
+            path.display(),
+            pacing,
+            report.hazards
+        );
+    }
+}
+
+#[test]
+fn checked_in_forwarding_sources_match_the_generator() {
+    let regen = std::env::var_os("MEMSYNC_REGEN").is_some();
+    for egress in [2usize, 4] {
+        let want = memsync_netapp::forwarding::app_source(egress);
+        let path = repo_path(&format!("examples/hic/forwarding_{egress}.hic"));
+        if regen {
+            std::fs::write(&path, &want).unwrap();
+            continue;
+        }
+        let got = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} (run MEMSYNC_REGEN=1)", path.display()));
+        assert_eq!(
+            got,
+            want,
+            "{} is stale; regenerate with MEMSYNC_REGEN=1 cargo test --test hazard_corpus",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn checked_in_examples_are_hazard_free_when_paced() {
+    for path in hic_files(&repo_path("examples/hic")) {
+        let source = std::fs::read_to_string(&path).unwrap();
+        let (report, diags) = hazards::check_source(&source, PacingAssumption::PacedArrivals)
+            .unwrap_or_else(|e| panic!("{}: parse failed: {e}", path.display()));
+        assert!(
+            report.is_clean(),
+            "{}: unexpected hazards {:#?}",
+            path.display(),
+            report.hazards
+        );
+        assert!(
+            !diags
+                .iter()
+                .any(|d| d.severity == memsync_hic::Severity::Error),
+            "{}: compile errors {diags:?}",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn forwarding_app_fires_lost_update_when_pacing_is_removed() {
+    // The acceptance criterion for the static side: the exact source the
+    // serve shards run, analyzed as if the PR 3 pacing workaround were
+    // removed, must flag the rx producer.
+    let source = memsync_netapp::forwarding::app_source(2);
+    let (report, _) = hazards::check_source(&source, PacingAssumption::FreeRunning).unwrap();
+    assert!(
+        report.has(memsync_hic::HazardCode::LostUpdate),
+        "free-running forwarding app must lose updates: {:#?}",
+        report.hazards
+    );
+    assert!(
+        report
+            .hazards
+            .iter()
+            .any(|h| h.code == memsync_hic::HazardCode::LostUpdate
+                && h.dep.as_deref() == Some("m_rx")),
+        "the recv-fed m_rx dependency is the one pacing protects: {:#?}",
+        report.hazards
+    );
+}

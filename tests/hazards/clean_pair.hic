@@ -1,0 +1,6 @@
+// expect: clean
+// A recv-paced producer/consumer pair: under paced arrivals a new message
+// only lands after the consumer drained the previous value, so successive
+// produces of `d` are always separated by a consume.
+thread p () { message m; int v; recv m; #consumer{d,[c,w]} v = m; }
+thread c () { int w; #producer{d,[p,v]} w = v; send w; }

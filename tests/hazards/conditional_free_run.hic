@@ -1,0 +1,6 @@
+// expect: consume_before_produce lost_update
+// pacing: free-running
+// Both bug classes at once: the produce is conditional (some iterations
+// skip it) and, free-running, nothing separates two produces either.
+thread p () { message m; int v; recv m; if (m) { #consumer{d,[c,w]} v = m; } }
+thread c () { int w; #producer{d,[p,v]} w = v; send w; }

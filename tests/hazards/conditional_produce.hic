@@ -1,0 +1,6 @@
+// expect: consume_before_produce
+// The produce of `d` sits under a condition: an iteration taking the
+// other arm completes without writing `v`, leaving the consumer blocked
+// on a value that round never produced.
+thread p () { message m; int v; recv m; if (m) { #consumer{d,[c,w]} v = m; } send m; }
+thread c () { int w; #producer{d,[p,v]} w = v; }

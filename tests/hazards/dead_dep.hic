@@ -1,0 +1,5 @@
+// expect: dead_dependency
+// `d` is declared by the producer but no thread ever acknowledges it via
+// #producer: every write arms a counter nobody drains.
+thread p () { message m; int v; recv m; #consumer{d,[c,w]} v = m; }
+thread c () { int w; w = 1; send w; }

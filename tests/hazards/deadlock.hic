@@ -1,0 +1,6 @@
+// expect: deadlock_cycle
+// a waits on b's produce of m2 while b waits on a's produce of m1: a
+// cycle in the thread-level producer/consumer graph. Strict analysis
+// rejects this program; the lint still reports it with hazard structure.
+thread a () { int v, x; #consumer{m1,[b,y]} v = 1; #producer{m2,[b,w]} x = w; }
+thread b () { int w, y; #consumer{m2,[a,x]} w = 1; #producer{m1,[a,v]} y = v; }

@@ -1,0 +1,6 @@
+// expect: lost_update
+// Two writes to the guarded variable in one iteration with no consume in
+// between: the second write overwrites the first before `c` can read it,
+// pacing or not.
+thread p () { message m; int v; recv m; #consumer{d,[c,w]} v = m; v = v + 1; }
+thread c () { int w; #producer{d,[p,v]} w = v; send w; }

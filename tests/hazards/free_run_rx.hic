@@ -1,0 +1,7 @@
+// expect: lost_update
+// pacing: free-running
+// The same clean pair, analyzed as if arrivals were free-running (the
+// memsync-serve pacing workaround removed): recv no longer separates
+// produces of `d`, so back-to-back messages overwrite the guarded value.
+thread p () { message m; int v; recv m; #consumer{d,[c,w]} v = m; }
+thread c () { int w; #producer{d,[p,v]} w = v; send w; }

@@ -1,0 +1,7 @@
+// expect: lost_update
+// A producer with no recv and no guarded consume free-runs: it re-arms
+// `d` every iteration, far faster than the consumer's guarded read can
+// drain it. Hazardous under any arrival assumption; the differential
+// test drives this program and watches the runtime counter climb.
+thread p () { int v; #consumer{d,[c,w]} v = 1; }
+thread c () { int w; #producer{d,[p,v]} w = v; send w; }

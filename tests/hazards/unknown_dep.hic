@@ -1,0 +1,5 @@
+// expect: unknown_dependency
+// `c` reads `v`, which only `p` defines, but no pragma declares the
+// dependency: use-def inference exposes the unguarded shared access.
+thread p () { message m; int v; recv m; v = m; }
+thread c () { int w; w = v; send w; }

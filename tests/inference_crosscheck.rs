@@ -1,0 +1,79 @@
+//! Cross-validation of the two dependency-extraction paths: pragma
+//! resolution (`sema::analyze`) and pragma-free use-def inference
+//! (`usedef::infer_dependencies`) must describe the same producer and
+//! consumer endpoints on every checked-in program that carries pragmas.
+//!
+//! Inferred consumer *order* follows thread declaration order while the
+//! pragma form encodes the static service order, so consumers are
+//! compared as sets of endpoints, not sequences.
+
+use memsync_hic::{parser, sema, usedef, Endpoint};
+use std::collections::BTreeSet;
+
+const FIGURE1: &str = r#"
+    thread t1 () { int x1, xtmp, x2; #consumer{mt1,[t2,y1],[t3,z1]} x1 = f(xtmp, x2); }
+    thread t2 () { int y1, y2; #producer{mt1,[t1,x1]} y1 = g(x1, y2); }
+    thread t3 () { int z1, z2; #producer{mt1,[t1,x1]} z1 = h(x1, z2); }
+"#;
+
+fn crosscheck(name: &str, source: &str) {
+    let program = parser::parse(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let analysis = sema::analyze(&program).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let inferred = usedef::infer_dependencies(&program);
+    for declared in &analysis.dependencies {
+        let found = inferred
+            .iter()
+            .find(|i| i.producer == declared.producer)
+            .unwrap_or_else(|| {
+                panic!(
+                    "{name}: pragma dependency `{}` ({}) not recovered by inference: {inferred:#?}",
+                    declared.id, declared.producer
+                )
+            });
+        let declared_consumers: BTreeSet<&Endpoint> = declared.consumers.iter().collect();
+        let inferred_consumers: BTreeSet<&Endpoint> = found.consumers.iter().collect();
+        assert_eq!(
+            declared_consumers, inferred_consumers,
+            "{name}: consumer endpoints diverge for `{}`",
+            declared.id
+        );
+    }
+    // The reverse direction: everything inference finds must be declared
+    // (otherwise the hazard pass reports `unknown_dependency` — the clean
+    // examples depend on this holding).
+    let declared: BTreeSet<&Endpoint> = analysis.dependencies.iter().map(|d| &d.producer).collect();
+    for i in &inferred {
+        assert!(
+            declared.contains(&i.producer),
+            "{name}: inference found undeclared dependency {i:#?}"
+        );
+    }
+}
+
+#[test]
+fn figure1_pragmas_and_inference_agree() {
+    crosscheck("figure1", FIGURE1);
+}
+
+#[test]
+fn forwarding_app_pragmas_and_inference_agree() {
+    for egress in [2usize, 4, 8] {
+        crosscheck(
+            &format!("app_source({egress})"),
+            &memsync_netapp::forwarding::app_source(egress),
+        );
+    }
+}
+
+#[test]
+fn clean_corpus_programs_agree() {
+    for file in [
+        "clean_pair.hic",
+        "free_run_rx.hic",
+        "producer_free_runner.hic",
+    ] {
+        let path = format!("{}/tests/hazards/{file}", env!("CARGO_MANIFEST_DIR"));
+        let source = std::fs::read_to_string(&path).unwrap();
+        crosscheck(file, &source);
+    }
+}

@@ -1,0 +1,77 @@
+//! Pretty-printer round-trip property over every checked-in hic program:
+//! `parse ∘ pretty` must be the identity on the canonical rendering, and
+//! semantic analysis must see the same program on both sides.
+
+use memsync_hic::{parser, pretty, sema};
+use std::path::{Path, PathBuf};
+
+fn all_hic_sources() -> Vec<(String, String)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut sources = Vec::new();
+    for dir in ["tests/hazards", "examples/hic"] {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(root.join(dir))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|x| x == "hic"))
+            .collect();
+        files.sort();
+        for f in files {
+            sources.push((
+                f.display().to_string(),
+                std::fs::read_to_string(&f).unwrap(),
+            ));
+        }
+    }
+    for egress in [2usize, 4, 8] {
+        sources.push((
+            format!("app_source({egress})"),
+            memsync_netapp::forwarding::app_source(egress),
+        ));
+    }
+    sources.push((
+        "core_source(4)".to_owned(),
+        memsync_netapp::forwarding::core_source(4),
+    ));
+    sources
+}
+
+#[test]
+fn pretty_roundtrip_is_a_fixpoint() {
+    for (name, source) in all_hic_sources() {
+        let program = parser::parse(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let printed = pretty::program_to_string(&program);
+        let reparsed =
+            parser::parse(&printed).unwrap_or_else(|e| panic!("{name}: reparse: {e}\n{printed}"));
+        let reprinted = pretty::program_to_string(&reparsed);
+        assert_eq!(printed, reprinted, "{name}: pretty is not a fixpoint");
+    }
+}
+
+#[test]
+fn pretty_roundtrip_preserves_semantics() {
+    for (name, source) in all_hic_sources() {
+        let program = parser::parse(&source).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (analysis, diags) = sema::analyze_lossy(&program);
+        let reparsed = parser::parse(&pretty::program_to_string(&program))
+            .unwrap_or_else(|e| panic!("{name}: reparse: {e}"));
+        let (analysis2, diags2) = sema::analyze_lossy(&reparsed);
+        // Dependencies must match exactly (ids, endpoints, order); spans
+        // shift with the rendering, so compare span-insensitively.
+        let strip = |a: &memsync_hic::Analysis| {
+            a.dependencies
+                .iter()
+                .map(|d| (d.id.clone(), d.producer.clone(), d.consumers.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            strip(&analysis),
+            strip(&analysis2),
+            "{name}: dependencies drifted"
+        );
+        assert_eq!(analysis.constants, analysis2.constants, "{name}");
+        assert_eq!(analysis.interfaces, analysis2.interfaces, "{name}");
+        let msgs =
+            |d: &[memsync_hic::Diagnostic]| d.iter().map(|d| d.message.clone()).collect::<Vec<_>>();
+        assert_eq!(msgs(&diags), msgs(&diags2), "{name}: diagnostics drifted");
+    }
+}
