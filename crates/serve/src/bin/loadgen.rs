@@ -3,23 +3,26 @@
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--conns 8] [--jobs 100] [--batch 32]
 //!         [--seed 42] [--routes 64] [--verify] [--open-loop]
-//!         [--drain] [--shutdown]
+//!         [--backend sim|fast|differential] [--drain] [--shutdown]
 //! ```
 //!
 //! `--conns` connections each submit `--jobs` batches of `--batch`
 //! seeded [`Workload`](memsync_netapp::Workload) packets. Closed-loop
 //! (default) retries `Busy` with backoff, so every generated packet is
 //! eventually served; `--open-loop` submits once and counts refused
-//! batches instead. `--routes` must match the server's FIB.
+//! batches instead. `--routes` must match the server's FIB (checked
+//! against the negotiated [`ServerHello`](memsync_serve::ServerHello));
+//! `--backend` asserts which engine the server is running.
 //!
-//! Exits non-zero on any verify mismatch or on a forwarded+dropped total
-//! that does not account for every accepted packet. With `--drain` the
+//! Exits non-zero on any verify mismatch, on a forwarded+dropped total
+//! that does not account for every accepted packet, or (via the typed
+//! stats snapshot) on any server-side lost update. With `--drain` the
 //! run finishes with a drain frame (and checks it succeeds); `--shutdown`
 //! additionally stops the server.
 
 use memsync_netapp::Workload;
 use memsync_serve::client::BatchResult;
-use memsync_serve::Client;
+use memsync_serve::{BackendKind, Client, Response, SubmitOptions};
 use std::time::Instant;
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -38,6 +41,13 @@ fn num_arg(args: &[String], key: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn connect(addr: &str) -> Client {
+    Client::builder()
+        .retries(10_000)
+        .connect(addr)
+        .expect("connect to serve")
+}
+
 /// One connection's closed- or open-loop run.
 fn run_conn(
     addr: &str,
@@ -45,18 +55,23 @@ fn run_conn(
     jobs: usize,
     batch: usize,
     routes: usize,
-    verify: bool,
+    options: SubmitOptions,
     open_loop: bool,
 ) -> (BatchResult, u64, u64) {
-    let mut client = Client::connect(addr).expect("connect to serve");
+    let mut client = connect(addr);
+    assert_eq!(
+        client.server().routes as usize,
+        routes,
+        "--routes disagrees with the server's FIB"
+    );
     let w = Workload::generate(seed, jobs * batch, routes);
     let mut totals = BatchResult::default();
     let mut submitted = 0u64;
     let mut refused = 0u64;
     for chunk in w.packets.chunks(batch) {
         if open_loop {
-            match client.submit(chunk, verify).expect("submit") {
-                memsync_serve::Response::Batch {
+            match client.submit_once(chunk, options).expect("submit") {
+                Response::Batch {
                     forwarded,
                     dropped,
                     mismatches,
@@ -66,13 +81,11 @@ fn run_conn(
                     totals.mismatches += mismatches;
                     submitted += chunk.len() as u64;
                 }
-                memsync_serve::Response::Busy(_) => refused += 1,
+                Response::Busy(_) => refused += 1,
                 other => panic!("unexpected submit response: {other:?}"),
             }
         } else {
-            let r = client
-                .submit_retry(chunk, verify, 10_000)
-                .expect("closed-loop submit");
+            let r = client.submit(chunk, options).expect("closed-loop submit");
             totals.forwarded += r.forwarded;
             totals.dropped += r.dropped;
             totals.mismatches += r.mismatches;
@@ -96,8 +109,30 @@ fn main() {
     );
     let seed = num_arg(&args, "--seed", 42);
     let routes = num_arg(&args, "--routes", 64) as usize;
-    let verify = args.iter().any(|a| a == "--verify");
+    let options = SubmitOptions::new().verify(args.iter().any(|a| a == "--verify"));
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let expect_backend = arg_value(&args, "--backend").map(|v| {
+        v.parse::<BackendKind>()
+            .unwrap_or_else(|e| panic!("--backend: {e}"))
+    });
+
+    // One connection up front to report (and check) what we negotiated.
+    {
+        let probe = connect(addr.as_str());
+        let hello = *probe.server();
+        println!(
+            "negotiated protocol v{} with {} backend ({} shards, {} egress, {} routes)",
+            hello.version, hello.backend, hello.shards, hello.egress, hello.routes
+        );
+        if let Some(expected) = expect_backend {
+            assert_eq!(
+                hello.backend, expected,
+                "server runs the {} backend, --backend asked for {expected}",
+                hello.backend
+            );
+        }
+        drop(probe);
+    }
 
     let t0 = Instant::now();
     let handles: Vec<_> = (0..conns)
@@ -110,7 +145,7 @@ fn main() {
                     jobs,
                     batch,
                     routes,
-                    verify,
+                    options,
                     open_loop,
                 )
             })
@@ -153,24 +188,29 @@ fn main() {
     // The server-side lost-update detector must stay at zero: paced
     // injection never overwrites an unconsumed guarded value, so any
     // count here is a pacing regression (see `memsync_hic::hazards`).
+    // The typed snapshot also exposes supervisor restarts — a shard that
+    // crashed under plain traffic is a failure even if totals added up.
     {
-        let mut client = Client::connect(addr.as_str()).expect("connect for stats");
-        let doc = client.stats().expect("stats frame");
-        match memsync_serve::stats::json_u64(&doc, "lost_updates") {
-            Some(0) => {}
-            Some(n) => {
-                eprintln!("FAIL: server reports {n} lost updates (unpaced overwrite)");
-                failed = true;
-            }
-            None => {
-                eprintln!("FAIL: stats frame missing lost_updates: {doc}");
-                failed = true;
-            }
+        let mut client = connect(addr.as_str());
+        let snap = client.stats().expect("stats frame");
+        if snap.lost_updates > 0 {
+            eprintln!(
+                "FAIL: server reports {} lost updates (unpaced overwrite)",
+                snap.lost_updates
+            );
+            failed = true;
+        }
+        if snap.shard_restarts > 0 {
+            eprintln!(
+                "FAIL: {} shard restarts during an uninjected run",
+                snap.shard_restarts
+            );
+            failed = true;
         }
     }
 
     if args.iter().any(|a| a == "--drain" || a == "--shutdown") {
-        let mut client = Client::connect(addr.as_str()).expect("connect for drain");
+        let mut client = connect(addr.as_str());
         match client.drain() {
             Ok(()) => println!("drain complete"),
             Err(e) => {

@@ -3,14 +3,18 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7171] [--shards 4] [--egress 4] [--routes 64]
 //!       [--queue-cap 64] [--batch-max 64] [--org arbitrated|event-driven]
+//!       [--backend sim|fast|differential]
 //! ```
 //!
-//! Prints `listening on <addr>` once the socket is bound (the loopback CI
-//! job waits for that line), then blocks until a client sends a shutdown
-//! frame and exits 0.
+//! `--backend` picks the forwarding engine each shard runs: `sim` (the
+//! cycle-accurate reference), `fast` (the compiled functional fast path),
+//! or `differential` (both, cross-checked frame by frame — a divergence
+//! crashes the shard loudly). Prints `listening on <addr>` once the
+//! socket is bound (the loopback CI job waits for that line), then blocks
+//! until a client sends a shutdown frame and exits 0.
 
 use memsync_core::OrganizationKind;
-use memsync_serve::{ServeConfig, Server};
+use memsync_serve::{BackendKind, ServeConfig, Server};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -42,12 +46,23 @@ fn main() {
             Some("event-driven") => OrganizationKind::EventDriven,
             Some(other) => panic!("unknown organization {other}"),
         },
+        backend: match arg_value(&args, "--backend") {
+            None => defaults.backend,
+            Some(v) => v
+                .parse::<BackendKind>()
+                .unwrap_or_else(|e| panic!("--backend: {e}")),
+        },
         ..defaults
     };
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let shards = config.shards;
+    let backend = config.backend;
     let server = Server::start(addr.as_str(), config).expect("bind serve address");
-    println!("listening on {} ({} shards)", server.local_addr(), shards);
+    println!(
+        "listening on {} ({} shards, {backend} backend)",
+        server.local_addr(),
+        shards
+    );
     server.wait();
     println!("shutdown complete");
 }

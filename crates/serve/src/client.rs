@@ -1,21 +1,191 @@
 //! A thin blocking client for the frame protocol.
 //!
-//! Used by `loadgen`, the loopback e2e test, and the `perf_serve` bench —
-//! one connection, synchronous request/response, [`Client::submit_retry`]
-//! layering a bounded exponential backoff over `Busy` responses so
-//! closed-loop callers observe backpressure without losing packets.
+//! Used by `loadgen`, the loopback e2e tests, and the `perf_serve` bench.
+//! Connections are built through [`Client::builder`]: the builder carries
+//! socket deadlines and the busy-retry budget, and `connect` performs the
+//! protocol-v2 `Hello` negotiation before handing the connection over —
+//! so a [`Client`] in your hands has always already agreed on a version
+//! and knows the server's capabilities ([`Client::server`]).
+//!
+//! Failures are typed ([`ClientError`]): protocol violations, server-side
+//! errors, exhausted backpressure retries, and locally validated misuse
+//! (e.g. a [`Client::kill_shard`] index outside the negotiated shard
+//! count) are distinct variants, not stringly `io::Error`s.
 
-use crate::frame::{read_frame, write_frame, Request, Response};
+use crate::frame::{
+    read_frame, write_frame, Request, Response, ServerHello, SubmitOptions, PROTOCOL_VERSION,
+};
+use crate::snapshot::StatsSnapshot;
 use memsync_netapp::Ipv4Packet;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-/// One blocking connection to a memsync-serve instance.
+/// Everything that can go wrong between a client and a server.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed (connect, read, write, deadline expiry).
+    Io(io::Error),
+    /// The peer violated the frame protocol: garbage bytes, an
+    /// unexpected response type, or a close mid-response.
+    Protocol(String),
+    /// The server refused the request with a typed error frame.
+    Server(String),
+    /// Version negotiation failed — the peer does not speak a protocol
+    /// version in our supported range (e.g. a pre-`Hello` v1 server).
+    Unsupported(String),
+    /// The server answered `Busy` more times than the configured retry
+    /// budget allows; nothing from the last attempt was enqueued.
+    Busy {
+        /// First full shard named by the final `Busy` response.
+        shard: u16,
+        /// Attempts made (initial + retries).
+        attempts: u32,
+    },
+    /// Local validation: the shard index does not exist on the server
+    /// this connection negotiated with. Nothing was sent.
+    ShardOutOfRange {
+        /// The requested shard index.
+        shard: u16,
+        /// The negotiated shard count ([`ServerHello::shards`]).
+        shards: u16,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+            ClientError::Unsupported(m) => write!(f, "version negotiation failed: {m}"),
+            ClientError::Busy { shard, attempts } => write!(
+                f,
+                "server busy (shard {shard} full) after {attempts} attempts"
+            ),
+            ClientError::ShardOutOfRange { shard, shards } => write!(
+                f,
+                "shard {shard} out of range: the server has {shards} shards"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Configures and opens [`Client`] connections.
+#[derive(Debug, Clone)]
+pub struct ClientBuilder {
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
+    retries: u32,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            read_timeout: None,
+            write_timeout: None,
+            retries: 32,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Socket read deadline (default: none — block forever).
+    #[must_use]
+    pub fn read_timeout(mut self, t: Duration) -> ClientBuilder {
+        self.read_timeout = Some(t);
+        self
+    }
+
+    /// Socket write deadline (default: none).
+    #[must_use]
+    pub fn write_timeout(mut self, t: Duration) -> ClientBuilder {
+        self.write_timeout = Some(t);
+        self
+    }
+
+    /// How many `Busy` responses [`Client::submit`] absorbs (with bounded
+    /// exponential backoff) before giving up. Default 32.
+    #[must_use]
+    pub fn retries(mut self, n: u32) -> ClientBuilder {
+        self.retries = n;
+        self
+    }
+
+    /// Connects and negotiates the protocol version.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failures; [`ClientError::Unsupported`]
+    /// when the peer refuses our version range or does not speak `Hello`
+    /// at all (a v1 server answers the unknown request with an error
+    /// frame, which maps here); [`ClientError::Protocol`] on garbage.
+    pub fn connect(self, addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_write_timeout(self.write_timeout)?;
+        let mut client = Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            hello: ServerHello {
+                version: 0,
+                capabilities: 0,
+                backend: crate::backend::BackendKind::Sim,
+                shards: 0,
+                egress: 0,
+                routes: 0,
+            },
+            retries: self.retries,
+        };
+        match client.roundtrip(&Request::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello(h) => {
+                if h.version != PROTOCOL_VERSION {
+                    return Err(ClientError::Unsupported(format!(
+                        "server settled on protocol v{} but this client speaks v{PROTOCOL_VERSION}",
+                        h.version
+                    )));
+                }
+                client.hello = h;
+                Ok(client)
+            }
+            // A v1 server does not know REQ_HELLO and answers with its
+            // (v1-decodable) error frame; a v2 server outside our range
+            // answers the same way. Both are "we could not agree".
+            Response::Error(e) => Err(ClientError::Unsupported(e)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to hello: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// One blocking, version-negotiated connection to a memsync-serve
+/// instance.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    hello: ServerHello,
+    retries: u32,
 }
 
 /// Totals reported back for a submitted batch.
@@ -32,67 +202,78 @@ pub struct BatchResult {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Starts building a connection.
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// Connects with default options (no deadlines, 32 busy retries).
     ///
     /// # Errors
     ///
-    /// Propagates connection failures.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(Client {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-        })
+    /// See [`ClientBuilder::connect`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::builder().connect(addr)
+    }
+
+    /// What the server declared at connect time: settled protocol
+    /// version, backend capability bits, the serving backend, and the
+    /// shard/egress/route geometry.
+    pub fn server(&self) -> &ServerHello {
+        &self.hello
     }
 
     /// One request/response round trip.
     ///
     /// # Errors
     ///
-    /// I/O failures, or `InvalidData` when the server closes mid-response
-    /// or replies with garbage.
-    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+    /// I/O failures, or [`ClientError::Protocol`] when the server closes
+    /// mid-response or replies with garbage.
+    pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
         write_frame(&mut self.writer, &req.encode())?;
         match read_frame(&mut self.reader)? {
-            Some(payload) => Response::decode(&payload)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
-            None => Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed before responding",
+            Some(payload) => {
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            None => Err(ClientError::Protocol(
+                "server closed before responding".into(),
             )),
         }
     }
 
-    /// Submits one batch without retrying `Busy`.
+    /// Submits one batch without retrying `Busy` — the raw response, for
+    /// open-loop callers that implement their own pacing.
     ///
     /// # Errors
     ///
-    /// I/O failures; `Other` on a server-side `Error` response.
-    pub fn submit(&mut self, packets: &[Ipv4Packet], verify: bool) -> io::Result<Response> {
+    /// I/O failures or a garbled response.
+    pub fn submit_once(
+        &mut self,
+        packets: &[Ipv4Packet],
+        options: SubmitOptions,
+    ) -> Result<Response, ClientError> {
         self.roundtrip(&Request::Submit {
             packets: packets.to_vec(),
-            verify,
+            options,
         })
     }
 
     /// Submits a batch, absorbing `Busy` with bounded exponential backoff
-    /// (1ms doubling to 64ms, up to `max_retries` attempts).
+    /// (1ms doubling to 64ms) up to the builder-configured retry budget.
     ///
     /// # Errors
     ///
-    /// I/O failures, a server `Error` response, or exhausted retries
-    /// (`WouldBlock`).
-    pub fn submit_retry(
+    /// I/O failures, [`ClientError::Server`] on a server error frame, or
+    /// [`ClientError::Busy`] once retries are exhausted.
+    pub fn submit(
         &mut self,
         packets: &[Ipv4Packet],
-        verify: bool,
-        max_retries: u32,
-    ) -> io::Result<BatchResult> {
+        options: SubmitOptions,
+    ) -> Result<BatchResult, ClientError> {
         let mut backoff = Duration::from_millis(1);
         let mut busy_retries = 0u32;
         loop {
-            match self.submit(packets, verify)? {
+            match self.submit_once(packets, options)? {
                 Response::Batch {
                     forwarded,
                     dropped,
@@ -105,40 +286,50 @@ impl Client {
                         busy_retries,
                     })
                 }
-                Response::Busy(_) => {
-                    if busy_retries >= max_retries {
-                        return Err(io::Error::new(
-                            io::ErrorKind::WouldBlock,
-                            "server busy: retries exhausted",
-                        ));
+                Response::Busy(shard) => {
+                    if busy_retries >= self.retries {
+                        return Err(ClientError::Busy {
+                            shard,
+                            attempts: busy_retries + 1,
+                        });
                     }
                     busy_retries += 1;
                     std::thread::sleep(backoff);
                     backoff = (backoff * 2).min(Duration::from_millis(64));
                 }
-                Response::Error(e) => return Err(io::Error::other(e)),
+                Response::Error(e) => return Err(ClientError::Server(e)),
                 other => {
-                    return Err(io::Error::new(
-                        io::ErrorKind::InvalidData,
-                        format!("unexpected response to submit: {other:?}"),
-                    ))
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response to submit: {other:?}"
+                    )))
                 }
             }
         }
     }
 
-    /// Fetches the stats frame (a JSON document).
+    /// Fetches and decodes the stats frame.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, a non-stats response, or a stats document that does
+    /// not decode (both map to [`ClientError::Protocol`]).
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        let doc = self.stats_raw()?;
+        StatsSnapshot::decode(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Fetches the raw stats JSON document (for humans and log files;
+    /// typed callers want [`Client::stats`]).
     ///
     /// # Errors
     ///
     /// I/O failures or a non-stats response.
-    pub fn stats(&mut self) -> io::Result<String> {
+    pub fn stats_raw(&mut self) -> Result<String, ClientError> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(doc) => Ok(doc),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response to stats: {other:?}"),
-            )),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
         }
     }
 
@@ -147,15 +338,15 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures, or `Other` when the server reports a drain timeout.
-    pub fn drain(&mut self) -> io::Result<()> {
+    /// I/O failures, or [`ClientError::Server`] when the server reports a
+    /// drain timeout.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Drain)? {
             Response::Drained => Ok(()),
-            Response::Error(e) => Err(io::Error::other(e)),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response to drain: {other:?}"),
-            )),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to drain: {other:?}"
+            ))),
         }
     }
 
@@ -164,30 +355,63 @@ impl Client {
     /// # Errors
     ///
     /// I/O failures or an unexpected response.
-    pub fn shutdown(&mut self) -> io::Result<()> {
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.roundtrip(&Request::Shutdown)? {
             Response::Ok => Ok(()),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response to shutdown: {other:?}"),
-            )),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
         }
     }
 
     /// Fault injection: asks the service to crash shard `shard` on its
-    /// next activation (the supervisor restarts it).
+    /// next activation (the supervisor restarts it). The index is
+    /// validated against the negotiated [`ServerHello::shards`] before
+    /// anything hits the wire.
     ///
     /// # Errors
     ///
-    /// I/O failures, or `Other` when the shard index is out of range.
-    pub fn kill_shard(&mut self, shard: u16) -> io::Result<()> {
+    /// [`ClientError::ShardOutOfRange`] locally for a bad index; I/O
+    /// failures or [`ClientError::Server`] otherwise.
+    pub fn kill_shard(&mut self, shard: u16) -> Result<(), ClientError> {
+        if shard >= self.hello.shards {
+            return Err(ClientError::ShardOutOfRange {
+                shard,
+                shards: self.hello.shards,
+            });
+        }
         match self.roundtrip(&Request::Kill(shard))? {
             Response::Ok => Ok(()),
-            Response::Error(e) => Err(io::Error::other(e)),
-            other => Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unexpected response to kill: {other:?}"),
-            )),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to kill: {other:?}"
+            ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_errors_render_their_context() {
+        let e = ClientError::ShardOutOfRange {
+            shard: 9,
+            shards: 4,
+        };
+        assert_eq!(
+            e.to_string(),
+            "shard 9 out of range: the server has 4 shards"
+        );
+        let e = ClientError::Busy {
+            shard: 2,
+            attempts: 5,
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("5 attempts"));
+        let e: ClientError = io::Error::new(io::ErrorKind::TimedOut, "deadline").into();
+        assert!(matches!(e, ClientError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

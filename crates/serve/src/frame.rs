@@ -5,14 +5,33 @@
 //! below `0x80`, response types at or above it. The full layout is
 //! documented in EXPERIMENTS.md ("Serving traffic").
 //!
+//! **Protocol v2 (this build)** is negotiated at connect time: the client
+//! speaks first with [`Request::Hello`] carrying the version range it
+//! supports, and the server answers [`Response::Hello`] with the settled
+//! version plus a [`ServerHello`] capability block (which forwarding
+//! backends the build supports, which one is serving, shard count, egress
+//! width, FIB routes). Any other first request is refused with a typed
+//! [`Response::Error`] and a clean close — never a frame desync. A v1
+//! client (pre-`Hello`) talking to a v2 server therefore gets an explicit
+//! error it already knows how to decode, and a v2 client talking to a v1
+//! server maps the v1 `unknown request` error onto a typed
+//! `Unsupported` connect failure.
+//!
 //! Packets travel as the exact 20-byte header [`Ipv4Packet::to_bytes`]
 //! emits; the decode side uses the strict [`Ipv4Packet::from_bytes`]
 //! (IHL and checksum validated), so a corrupted header is rejected at the
 //! frame boundary instead of flowing into a shard.
 
+use crate::backend::BackendKind;
 use memsync_netapp::packet::ParsePacketError;
 use memsync_netapp::Ipv4Packet;
 use std::io::{self, Read, Write};
+
+/// The protocol version this build speaks. Version 1 was the PR 3 wire
+/// protocol without the connect-time handshake; version 2 added
+/// [`Request::Hello`]/[`Response::Hello`] negotiation, [`SubmitOptions`]
+/// flags, and backend capability bits.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Hard ceiling on a frame payload (1 MiB) — a malformed length prefix
 /// must not allocate unbounded memory.
@@ -29,16 +48,88 @@ pub const MAX_SUBMIT_PACKETS: usize = (MAX_PAYLOAD - 4) / 20;
 /// model + FIB oracle) on this batch.
 pub const FLAG_VERIFY: u8 = 0x01;
 
+/// Typed per-submit options — the wire flags byte, decoded. Replaces the
+/// bare `verify: bool` of protocol v1 so new flags extend the struct
+/// instead of sprouting positional booleans through every layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Cross-check every packet against the software pipeline model and
+    /// FIB oracle; mismatches come back in [`Response::Batch`].
+    pub verify: bool,
+}
+
+impl SubmitOptions {
+    /// Default options: no verification.
+    pub fn new() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Sets the per-packet verify mode.
+    #[must_use]
+    pub fn verify(mut self, on: bool) -> SubmitOptions {
+        self.verify = on;
+        self
+    }
+
+    /// The wire flags byte.
+    pub fn to_flags(self) -> u8 {
+        if self.verify {
+            FLAG_VERIFY
+        } else {
+            0
+        }
+    }
+
+    /// Decodes a wire flags byte (unknown bits are ignored for forward
+    /// compatibility within a negotiated version).
+    pub fn from_flags(flags: u8) -> SubmitOptions {
+        SubmitOptions {
+            verify: flags & FLAG_VERIFY != 0,
+        }
+    }
+}
+
+/// What a server tells a client at connect time: the settled protocol
+/// version and the serving capabilities the client may rely on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The protocol version the server settled on (currently always
+    /// [`PROTOCOL_VERSION`]).
+    pub version: u16,
+    /// Capability bits: which forwarding backends this build supports
+    /// (see [`crate::backend::CAP_SIM`] and friends).
+    pub capabilities: u8,
+    /// The backend actually serving this instance.
+    pub backend: BackendKind,
+    /// Shard count — [`Request::Kill`] indices are validated against it
+    /// client-side.
+    pub shards: u16,
+    /// Egress consumer count of the compiled forwarding application.
+    pub egress: u16,
+    /// Route count of the server's synthetic FIB (the loadgen must
+    /// generate against the same table).
+    pub routes: u32,
+}
+
 /// A request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// Forward a batch of packets. `verify` enables the per-packet oracle
-    /// check; mismatches come back in [`Response::Batch`].
+    /// Protocol negotiation — must be the first frame on a connection.
+    /// Carries the closed range of protocol versions the client speaks;
+    /// the server settles on one ([`Response::Hello`]) or refuses with a
+    /// typed error and closes.
+    Hello {
+        /// Lowest protocol version the client accepts.
+        min_version: u16,
+        /// Highest protocol version the client accepts.
+        max_version: u16,
+    },
+    /// Forward a batch of packets.
     Submit {
         /// Parsed packet headers, in submission order.
         packets: Vec<Ipv4Packet>,
-        /// Whether to cross-check every packet against the software model.
-        verify: bool,
+        /// Typed per-submit options (verify mode, future flags).
+        options: SubmitOptions,
     },
     /// Ask for the merged stats frame (JSON).
     Stats,
@@ -55,6 +146,9 @@ pub enum Request {
 /// A response frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
+    /// The settled protocol version and server capabilities (the answer
+    /// to [`Request::Hello`]).
+    Hello(ServerHello),
     /// Generic acknowledgement (shutdown, kill).
     Ok,
     /// A submit batch completed.
@@ -106,18 +200,41 @@ const REQ_STATS: u8 = 0x02;
 const REQ_DRAIN: u8 = 0x03;
 const REQ_SHUTDOWN: u8 = 0x04;
 const REQ_KILL: u8 = 0x05;
+const REQ_HELLO: u8 = 0x06;
 const RSP_OK: u8 = 0x80;
 const RSP_BATCH: u8 = 0x81;
 const RSP_BUSY: u8 = 0x82;
 const RSP_STATS: u8 = 0x83;
 const RSP_DRAINED: u8 = 0x84;
 const RSP_ERROR: u8 = 0x85;
+const RSP_HELLO: u8 = 0x86;
 
 impl Request {
+    /// The request's wire name (error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Submit { .. } => "submit",
+            Request::Stats => "stats",
+            Request::Drain => "drain",
+            Request::Shutdown => "shutdown",
+            Request::Kill(_) => "kill",
+        }
+    }
+
     /// Serializes the request payload (without the length prefix).
     pub fn encode(&self) -> Vec<u8> {
         match self {
-            Request::Submit { packets, verify } => {
+            Request::Hello {
+                min_version,
+                max_version,
+            } => {
+                let mut v = vec![REQ_HELLO];
+                v.extend_from_slice(&min_version.to_be_bytes());
+                v.extend_from_slice(&max_version.to_be_bytes());
+                v
+            }
+            Request::Submit { packets, options } => {
                 assert!(
                     packets.len() <= MAX_SUBMIT_PACKETS,
                     "submit of {} packets exceeds the {MAX_SUBMIT_PACKETS}-packet frame cap",
@@ -125,7 +242,7 @@ impl Request {
                 );
                 let mut v = Vec::with_capacity(4 + packets.len() * 20);
                 v.push(REQ_SUBMIT);
-                v.push(if *verify { FLAG_VERIFY } else { 0 });
+                v.push(options.to_flags());
                 v.extend_from_slice(&(packets.len() as u16).to_be_bytes());
                 for p in packets {
                     v.extend_from_slice(&p.to_bytes());
@@ -154,11 +271,20 @@ impl Request {
             .split_first()
             .ok_or_else(|| FrameError::Malformed("empty payload".into()))?;
         match ty {
+            REQ_HELLO => {
+                if body.len() != 4 {
+                    return Err(FrameError::Malformed("hello wants 2 x u16".into()));
+                }
+                Ok(Request::Hello {
+                    min_version: u16::from_be_bytes([body[0], body[1]]),
+                    max_version: u16::from_be_bytes([body[2], body[3]]),
+                })
+            }
             REQ_SUBMIT => {
                 if body.len() < 3 {
                     return Err(FrameError::Malformed("short submit header".into()));
                 }
-                let verify = body[0] & FLAG_VERIFY != 0;
+                let options = SubmitOptions::from_flags(body[0]);
                 let count = u16::from_be_bytes([body[1], body[2]]) as usize;
                 let bytes = &body[3..];
                 if bytes.len() != count * 20 {
@@ -171,7 +297,7 @@ impl Request {
                 for chunk in bytes.chunks_exact(20) {
                     packets.push(Ipv4Packet::from_bytes(chunk).map_err(FrameError::BadPacket)?);
                 }
-                Ok(Request::Submit { packets, verify })
+                Ok(Request::Submit { packets, options })
             }
             REQ_STATS => Ok(Request::Stats),
             REQ_DRAIN => Ok(Request::Drain),
@@ -193,6 +319,17 @@ impl Response {
     /// Serializes the response payload (without the length prefix).
     pub fn encode(&self) -> Vec<u8> {
         match self {
+            Response::Hello(h) => {
+                let mut v = Vec::with_capacity(13);
+                v.push(RSP_HELLO);
+                v.extend_from_slice(&h.version.to_be_bytes());
+                v.push(h.capabilities);
+                v.push(h.backend.wire_code());
+                v.extend_from_slice(&h.shards.to_be_bytes());
+                v.extend_from_slice(&h.egress.to_be_bytes());
+                v.extend_from_slice(&h.routes.to_be_bytes());
+                v
+            }
             Response::Ok => vec![RSP_OK],
             Response::Batch {
                 forwarded,
@@ -240,6 +377,22 @@ impl Response {
             String::from_utf8(b.to_vec()).map_err(|_| FrameError::Malformed("non-utf8 text".into()))
         };
         match ty {
+            RSP_HELLO => {
+                if body.len() != 12 {
+                    return Err(FrameError::Malformed("hello wants 12 bytes".into()));
+                }
+                let backend = BackendKind::from_wire(body[3]).ok_or_else(|| {
+                    FrameError::Malformed(format!("unknown backend code {:#04x}", body[3]))
+                })?;
+                Ok(Response::Hello(ServerHello {
+                    version: u16::from_be_bytes([body[0], body[1]]),
+                    capabilities: body[2],
+                    backend,
+                    shards: u16::from_be_bytes([body[4], body[5]]),
+                    egress: u16::from_be_bytes([body[6], body[7]]),
+                    routes: u32::from_be_bytes(body[8..12].try_into().expect("checked")),
+                }))
+            }
             RSP_OK => Ok(Response::Ok),
             RSP_BATCH => {
                 if body.len() != 12 {
@@ -404,13 +557,17 @@ mod tests {
     fn request_round_trips() {
         let w = Workload::generate(3, 5, 8);
         let reqs = [
+            Request::Hello {
+                min_version: 1,
+                max_version: PROTOCOL_VERSION,
+            },
             Request::Submit {
                 packets: w.packets.clone(),
-                verify: true,
+                options: SubmitOptions::new().verify(true),
             },
             Request::Submit {
                 packets: Vec::new(),
-                verify: false,
+                options: SubmitOptions::new(),
             },
             Request::Stats,
             Request::Drain,
@@ -425,6 +582,14 @@ mod tests {
     #[test]
     fn response_round_trips() {
         let rsps = [
+            Response::Hello(ServerHello {
+                version: PROTOCOL_VERSION,
+                capabilities: crate::backend::capability_bits(),
+                backend: BackendKind::Differential,
+                shards: 4,
+                egress: 4,
+                routes: 64,
+            }),
             Response::Ok,
             Response::Batch {
                 forwarded: 7,
@@ -446,7 +611,7 @@ mod tests {
         let w = Workload::generate(3, 2, 8);
         let mut bytes = Request::Submit {
             packets: w.packets.clone(),
-            verify: false,
+            options: SubmitOptions::new(),
         }
         .encode();
         // Flip a TTL byte inside the first packed header: the strict
@@ -462,7 +627,7 @@ mod tests {
     fn submit_rejects_length_mismatch() {
         let mut bytes = Request::Submit {
             packets: Workload::generate(1, 2, 8).packets,
-            verify: false,
+            options: SubmitOptions::new(),
         }
         .encode();
         bytes.truncate(bytes.len() - 1);
@@ -500,7 +665,7 @@ mod tests {
         let p = Workload::generate(1, 1, 8).packets[0];
         let _ = Request::Submit {
             packets: vec![p; MAX_SUBMIT_PACKETS + 1],
-            verify: false,
+            options: SubmitOptions::new(),
         }
         .encode();
     }

@@ -13,8 +13,14 @@
 //! Architecture (std-only — no async runtime, the workspace builds
 //! offline):
 //!
-//! * [`frame`] — the length-prefixed binary frame protocol (submit packet
-//!   batch / query stats / drain / shutdown / fault-inject kill);
+//! * [`frame`] — the length-prefixed binary frame protocol (protocol-v2
+//!   `Hello` negotiation / submit packet batch / query stats / drain /
+//!   shutdown / fault-inject kill);
+//! * [`backend`] — the pluggable [`backend::ForwardingBackend`] trait and
+//!   its three engines: cycle-accurate [`backend::SimBackend`] (the
+//!   reference), functional [`backend::FastBackend`] (the compiled fast
+//!   path), and [`backend::DifferentialBackend`] (both, cross-checked
+//!   frame by frame);
 //! * [`pipeline`] — the software model of the compiled forwarding
 //!   pipeline (expected egress frames per descriptor) and the
 //!   [`memsync_netapp::Workload::reference_forward`]-style FIB oracle
@@ -33,8 +39,12 @@
 //! * [`stats`] — per-shard [`memsync_trace::MetricsRegistry`] instances
 //!   merged into one stats frame (throughput, queue-depth high-water,
 //!   batch-size histogram, p50/p99 service latency);
+//! * [`snapshot`] — the typed [`snapshot::StatsSnapshot`] decode of the
+//!   stats frame (a dependency-free JSON parser);
 //! * [`client`] — a blocking client used by the `loadgen` bin, the
-//!   loopback tests, and the self-timing harness.
+//!   loopback tests, and the self-timing harness; built via
+//!   [`Client::builder`], it negotiates the protocol version and backend
+//!   capabilities at connect time.
 //!
 //! The wire protocol, backpressure semantics, and `BENCH_serve.json`
 //! schema are documented in `EXPERIMENTS.md` ("Serving traffic").
@@ -42,6 +52,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backend;
 pub mod client;
 pub mod frame;
 pub mod pipeline;
@@ -49,12 +60,15 @@ pub mod queue;
 pub mod router;
 pub mod server;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 pub mod supervisor;
 
-pub use client::Client;
-pub use frame::{Request, Response};
+pub use backend::{BackendKind, ForwardingBackend};
+pub use client::{Client, ClientError};
+pub use frame::{Request, Response, ServerHello, SubmitOptions, PROTOCOL_VERSION};
 pub use server::Server;
+pub use snapshot::StatsSnapshot;
 
 use memsync_core::OrganizationKind;
 use std::time::Duration;
@@ -68,8 +82,11 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Egress consumer count of the compiled forwarding application.
     pub egress: usize,
-    /// Memory organization the shards simulate.
+    /// Memory organization the shards simulate (relevant to the `sim`
+    /// and `differential` backends; the fast path is organization-free).
     pub organization: OrganizationKind,
+    /// Which forwarding backend each shard runs.
+    pub backend: BackendKind,
     /// Route count of the synthetic FIB (must match the loadgen's).
     pub routes: usize,
     /// Bounded shard queue capacity, in jobs. A full queue refuses the
@@ -96,6 +113,7 @@ impl Default for ServeConfig {
             shards: 4,
             egress: 4,
             organization: OrganizationKind::Arbitrated,
+            backend: BackendKind::Sim,
             routes: 64,
             queue_cap: 64,
             batch_max: 64,

@@ -13,7 +13,7 @@
 //! same FIB lookup [`memsync_netapp::Workload::reference_forward`] uses.
 
 use memsync_netapp::{Fib, Ipv4Packet};
-use memsync_synth::eval::call_function;
+use memsync_synth::eval::{call_function_seeded, name_seed};
 
 /// What `rx` hands to `lkp` for a given input descriptor: the dst prefix
 /// shifted back into place with a decremented TTL, or 0 when the TTL is
@@ -30,27 +30,75 @@ pub fn expected_descriptor(desc: u32) -> u32 {
     }
 }
 
-/// The frame egress consumer `egress_index` must `send` for an input
-/// descriptor, replicating the compiled pipeline on the 32-bit datapath.
-/// The lkp tables are BRAM-resident and never written, so the table walk
-/// reads zeros — exactly what the simulated BRAMs return.
+/// The forwarding pipeline executed functionally: rx parse, lkp table
+/// walk, fwd checksum fold, and the per-egress CRC scramble, all on the
+/// 32-bit datapath the compiled threads use. Construction pre-hashes the
+/// `g()` mix seed once, so [`PipelineModel::frame`] is cheap enough to be
+/// a serving engine ([`crate::backend::FastBackend`]), not just a
+/// verify-mode oracle.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineModel {
+    g_seed: u64,
+}
+
+impl Default for PipelineModel {
+    fn default() -> Self {
+        PipelineModel::new()
+    }
+}
+
+impl PipelineModel {
+    /// A model with the `g()` seed precomputed.
+    pub fn new() -> PipelineModel {
+        PipelineModel {
+            g_seed: name_seed("g"),
+        }
+    }
+
+    /// The rx/lkp/fwd front of the pipeline: the output word `fwd` hands
+    /// to *every* egress consumer for an input descriptor. The per-egress
+    /// work ([`PipelineModel::scramble`]) only differs in the CRC seed, so
+    /// batch engines compute the carrier once per descriptor and scramble
+    /// it per consumer instead of re-walking the whole pipeline.
+    pub fn carrier(&self, desc: u32) -> u32 {
+        let key = expected_descriptor(desc);
+        // lkp: node = tbl0[idx0] = 0 -> even -> hop = node >> 1 = 0.
+        // (The lkp tables are BRAM-resident and never written, so the
+        // table walk reads zeros — exactly what the simulated BRAMs
+        // return.)
+        let hop = 0u32;
+        let route = (hop << 16) | (key & 0xffff);
+        // fwd: TTL/checksum arithmetic.
+        let rinfo = route;
+        let hop = (rinfo >> 16) & 0xffff;
+        let meta = rinfo & 0xffff;
+        let mut sum = (meta & 0xff) + ((meta >> 8) & 0xff) + hop;
+        sum = (sum & 0xffff) + (sum >> 16);
+        sum = (sum & 0xffff) + (sum >> 16);
+        let csum = !sum & 0xffff;
+        (hop << 20) | (csum << 4) | 5
+    }
+
+    /// The per-egress tail: `e{i}` sends `od ^ (g(od, 17 + i) << 1)`, all
+    /// in the 32-bit domain, where `od` is the shared carrier word.
+    pub fn scramble(&self, carrier: u32, egress_index: usize) -> u32 {
+        let crc = call_function_seeded(self.g_seed, &[i64::from(carrier), 17 + egress_index as i64])
+            as u32;
+        carrier ^ (crc << 1)
+    }
+
+    /// The frame egress consumer `egress_index` must `send` for an input
+    /// descriptor, replicating the compiled pipeline on the 32-bit
+    /// datapath.
+    pub fn frame(&self, desc: u32, egress_index: usize) -> u32 {
+        self.scramble(self.carrier(desc), egress_index)
+    }
+}
+
+/// One-shot convenience over [`PipelineModel::frame`] for the per-packet
+/// verify path.
 pub fn expected_frame(desc: u32, egress_index: usize) -> u32 {
-    let key = expected_descriptor(desc);
-    // lkp: node = tbl0[idx0] = 0 -> even -> hop = node >> 1 = 0.
-    let hop = 0u32;
-    let route = (hop << 16) | (key & 0xffff);
-    // fwd: TTL/checksum arithmetic.
-    let rinfo = route;
-    let hop = (rinfo >> 16) & 0xffff;
-    let meta = rinfo & 0xffff;
-    let mut sum = (meta & 0xff) + ((meta >> 8) & 0xff) + hop;
-    sum = (sum & 0xffff) + (sum >> 16);
-    sum = (sum & 0xffff) + (sum >> 16);
-    let csum = !sum & 0xffff;
-    let outv = (hop << 20) | (csum << 4) | 5;
-    // e{i}: od ^ (g(od, 17 + i) << 1), all in the 32-bit domain.
-    let crc = call_function("g", &[i64::from(outv), 17 + egress_index as i64]) as u32;
-    outv ^ (crc << 1)
+    PipelineModel::new().frame(desc, egress_index)
 }
 
 /// Whether the reference data path forwards this packet: TTL survives the

@@ -7,6 +7,7 @@
 //! the supervisor restarts a panicked shard, queued jobs survive and are
 //! processed by the replacement.
 
+use crate::frame::SubmitOptions;
 use memsync_netapp::Ipv4Packet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -31,8 +32,8 @@ pub struct JobOutcome {
 pub struct Job {
     /// Packets to forward, in submission order.
     pub packets: Vec<Ipv4Packet>,
-    /// Whether to run the verify oracle on every packet.
-    pub verify: bool,
+    /// Typed submit options (verify mode, future flags).
+    pub options: SubmitOptions,
     /// Outcome channel back to the accepting connection. Dropping the
     /// job (e.g. a shard panic mid-batch) drops the sender, which the
     /// acceptor observes as a failed submit — never a silent loss.
@@ -172,7 +173,7 @@ mod tests {
         (
             Job {
                 packets: vec![Ipv4Packet::new(1, 2, 10, 6, 40); n],
-                verify: false,
+                options: SubmitOptions::new(),
                 reply: tx,
                 enqueued: Instant::now(),
             },

@@ -8,6 +8,7 @@
 //! shard order (a total order, so concurrent acceptors cannot deadlock),
 //! checking every capacity, and only then committing the pushes.
 
+use crate::frame::SubmitOptions;
 use crate::queue::{Job, JobOutcome, ShardQueue};
 use memsync_netapp::Ipv4Packet;
 use std::sync::mpsc::Sender;
@@ -81,7 +82,7 @@ impl Router {
     pub fn submit(
         &self,
         packets: &[Ipv4Packet],
-        verify: bool,
+        options: SubmitOptions,
         reply: &Sender<JobOutcome>,
     ) -> Result<usize, u16> {
         let groups = split_by_shard(packets, self.queues.len());
@@ -108,7 +109,7 @@ impl Router {
                 guard,
                 Job {
                     packets: group,
-                    verify,
+                    options,
                     reply: reply.clone(),
                     enqueued: now,
                 },
@@ -171,12 +172,12 @@ mod tests {
         let p0 = *w.packets.iter().find(|p| shard_of(p.dst, 2) == 0).unwrap();
         let p1 = *w.packets.iter().find(|p| shard_of(p.dst, 2) == 1).unwrap();
         // Fill shard 1.
-        assert_eq!(router.submit(&[p1], false, &tx), Ok(1));
+        assert_eq!(router.submit(&[p1], SubmitOptions::new(), &tx), Ok(1));
         let before0 = queues[0].len();
         // A spanning batch must refuse entirely: shard 1 is full.
-        assert_eq!(router.submit(&[p0, p1], false, &tx), Err(1));
+        assert_eq!(router.submit(&[p0, p1], SubmitOptions::new(), &tx), Err(1));
         assert_eq!(queues[0].len(), before0, "shard 0 saw no partial enqueue");
         // Shard-0-only traffic still flows.
-        assert_eq!(router.submit(&[p0], false, &tx), Ok(1));
+        assert_eq!(router.submit(&[p0], SubmitOptions::new(), &tx), Ok(1));
     }
 }

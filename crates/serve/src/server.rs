@@ -2,15 +2,23 @@
 //! drain/shutdown choreography.
 //!
 //! Each connection gets its own acceptor thread speaking the frame
-//! protocol with read/write deadlines. Submits are split by flow hash and
-//! enqueued all-or-nothing ([`Router::submit`]); a full shard queue turns
-//! into an immediate `Busy` response — the service never buffers beyond
-//! the bounded queues. Drain flips a flag (new submits refused), waits
-//! for every shard to go quiescent, and answers `Drained`; shutdown
-//! drains, stops the shard fleet and the accept loop, and unblocks
-//! [`Server::wait`] so the `serve` bin can exit 0.
+//! protocol with read/write deadlines. The first frame on a connection
+//! must be a [`Request::Hello`]: the server settles the protocol version
+//! and answers with its capability block ([`crate::frame::ServerHello`]);
+//! any other first frame — including a v1 client's bare submit — gets a
+//! typed error and a clean close, never a frame desync. Submits are split
+//! by flow hash and enqueued all-or-nothing ([`Router::submit`]); a full
+//! shard queue turns into an immediate `Busy` response — the service
+//! never buffers beyond the bounded queues. Drain flips a flag (new
+//! submits refused), waits for every shard to go quiescent, and answers
+//! `Drained`; shutdown drains, stops the shard fleet and the accept loop,
+//! and unblocks [`Server::wait`] so the `serve` bin can exit 0.
 
-use crate::frame::{write_frame, FrameError, FrameReader, Request, Response};
+use crate::backend;
+use crate::frame::{
+    write_frame, FrameError, FrameReader, Request, Response, ServerHello, SubmitOptions,
+    PROTOCOL_VERSION,
+};
 use crate::router::Router;
 use crate::stats::{stats_json, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
@@ -162,6 +170,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     // deadline accumulates.
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(shared.config.write_timeout))?;
+    // Request/response over small frames: Nagle only adds latency here
+    // (the client side disables it too).
+    stream.set_nodelay(true)?;
     let mut reader = io::BufReader::new(stream.try_clone()?);
     let mut writer = io::BufWriter::new(stream);
     // The decoder keeps partial-frame state across read timeouts, so the
@@ -170,6 +181,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     let mut frames = FrameReader::new();
     let mut idle = Duration::ZERO;
     let mut last_progress = 0usize;
+    // Protocol v2: nothing but Hello is served until the handshake
+    // settles a version.
+    let mut greeted = false;
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
@@ -199,29 +213,88 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
         };
         idle = Duration::ZERO;
         last_progress = 0;
-        let (response, shutdown) = match Request::decode(&payload) {
+        let (response, action) = match Request::decode(&payload) {
+            Ok(Request::Hello {
+                min_version,
+                max_version,
+            }) => {
+                // Idempotent: a repeated Hello after greeting just
+                // re-states the capability block.
+                if min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= max_version {
+                    greeted = true;
+                    (Response::Hello(server_hello(shared)), Action::Continue)
+                } else {
+                    (
+                        Response::Error(format!(
+                            "no common protocol version: client speaks \
+                             {min_version}..={max_version}, server speaks {PROTOCOL_VERSION}"
+                        )),
+                        Action::Close,
+                    )
+                }
+            }
+            Ok(req) if !greeted => (
+                // A pre-handshake request means the peer does not speak
+                // protocol v2 (or skipped the handshake). RSP_ERROR has
+                // existed since v1, so even an old client decodes this
+                // cleanly; closing keeps the stream at a frame boundary.
+                Response::Error(format!(
+                    "expected hello before {}: this server speaks protocol \
+                     v{PROTOCOL_VERSION}, which negotiates at connect time",
+                    req.name()
+                )),
+                Action::Close,
+            ),
             Ok(req) => {
-                let is_shutdown = matches!(req, Request::Shutdown);
-                (handle_request(req, shared), is_shutdown)
+                let action = if matches!(req, Request::Shutdown) {
+                    Action::Shutdown
+                } else {
+                    Action::Continue
+                };
+                (handle_request(req, shared), action)
             }
             Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
-                (Response::Error(e.to_string()), false)
+                (Response::Error(e.to_string()), Action::Continue)
             }
         };
         write_frame(&mut writer, &response.encode())?;
-        if shutdown {
-            shared.stop.store(true, Ordering::Release);
-            return Ok(());
+        match action {
+            Action::Continue => {}
+            Action::Close => return Ok(()),
+            Action::Shutdown => {
+                shared.stop.store(true, Ordering::Release);
+                return Ok(());
+            }
         }
+    }
+}
+
+/// What a connection does after answering a frame.
+enum Action {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+fn server_hello(shared: &Shared) -> ServerHello {
+    ServerHello {
+        version: PROTOCOL_VERSION,
+        capabilities: backend::capability_bits(),
+        backend: shared.config.backend,
+        shards: shared.config.shards as u16,
+        egress: shared.config.egress as u16,
+        routes: shared.config.routes as u32,
     }
 }
 
 fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
     match req {
-        Request::Submit { packets, verify } => handle_submit(&packets, verify, shared),
+        Request::Hello { .. } => unreachable!("hello handled in the connection loop"),
+        Request::Submit { packets, options } => handle_submit(&packets, options, shared),
         Request::Stats => Response::Stats(stats_json(
             shared.supervisor.shards(),
             &shared.counters,
+            shared.config.backend,
             shared.supervisor.restarts(),
             shared.draining.load(Ordering::Acquire),
             shared.started,
@@ -262,7 +335,7 @@ fn wait_quiescent(shared: &Arc<Shared>, timeout: Duration) -> bool {
 
 fn handle_submit(
     packets: &[memsync_netapp::Ipv4Packet],
-    verify: bool,
+    options: SubmitOptions,
     shared: &Arc<Shared>,
 ) -> Response {
     if shared.draining.load(Ordering::Acquire) {
@@ -276,7 +349,7 @@ fn handle_submit(
         };
     }
     let (tx, rx) = channel();
-    let jobs = match shared.router.submit(packets, verify, &tx) {
+    let jobs = match shared.router.submit(packets, options, &tx) {
         Ok(n) => n,
         Err(shard) => {
             shared.counters.busy.fetch_add(1, Ordering::Relaxed);

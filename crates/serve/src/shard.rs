@@ -1,38 +1,77 @@
-//! Shard threads: each owns one compiled forwarding system and batches
-//! queued packets through it.
+//! Shard threads: each owns one forwarding backend and batches queued
+//! packets through it.
 //!
 //! A shard activation pops as many jobs as fit under
 //! [`crate::ServeConfig::batch_max`] packets and runs them through the
-//! simulator in one go — amortizing queue locking, stats updates, and
-//! egress draining over up to K packets. *Within* the activation,
-//! injection is paced one descriptor at a time: guarded locations have
-//! sampling semantics (a producer overwrites an unconsumed value, exactly
-//! like the paper's dependency-guarded memory), so an unpaced burst would
-//! silently lose packets — see
-//! `pipeline::tests::unpaced_injection_overwrites_and_loses_packets`.
-//! Outcomes are classified with the FIB oracle; in verify mode every
-//! egress frame is additionally checked against the software pipeline
-//! model ([`crate::pipeline::expected_frame`]).
+//! configured [`ForwardingBackend`] in one go — amortizing queue locking,
+//! stats updates, and egress draining over up to K packets. The backend
+//! contract guarantees lossless, in-order frames per descriptor: the
+//! cycle-accurate [`crate::backend::SimBackend`] paces injection
+//! internally (guarded locations have sampling semantics — an unpaced
+//! burst would silently lose packets, see
+//! `pipeline::tests::unpaced_injection_overwrites_and_loses_packets`),
+//! the [`crate::backend::FastBackend`] is paced by construction, and
+//! [`crate::backend::DifferentialBackend`] cross-checks both. Outcomes
+//! are classified with the FIB oracle; in verify mode every egress frame
+//! is additionally checked against the software pipeline model
+//! ([`crate::pipeline::expected_frame`]).
 
-use crate::pipeline::{expected_frame, oracle_forwards};
+use crate::backend::{self, ForwardingBackend};
+use crate::pipeline::PipelineModel;
 use crate::queue::{Job, JobOutcome, ShardQueue};
 use crate::ServeConfig;
 use memsync_netapp::fib::synthetic_table;
 use memsync_netapp::{Fib, Ipv4Packet};
-use memsync_sim::{System, ThreadId};
 use memsync_trace::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
-/// Upper bound on simulator cycles per activation, scaled by batch size —
-/// a stalled pipeline is a shard bug and must surface as a panic (the
-/// supervisor restarts the shard; the in-flight job's reply channel drops
-/// so the client sees an error, not silence).
-const CYCLES_PER_PACKET_BUDGET: u64 = 2_000;
+/// A direct-mapped route-resolution cache in front of the FIB trie.
+///
+/// Flow routing sends every packet of a dst prefix to the same shard, so
+/// a shard's batches are dominated by repeat destinations; caching the
+/// "does this dst resolve?" verdict turns the per-packet trie walk into
+/// an array probe. Classification stays exactly
+/// [`crate::pipeline::oracle_forwards`]: forward = TTL survives the
+/// decrement AND the dst resolves — the TTL decrement never changes the
+/// dst, so the resolution verdict is a pure function of the address
+/// (pinned by `classifier_agrees_with_the_oracle` below).
+struct RouteCache<'a> {
+    fib: &'a Fib,
+    /// `dst << 1 | resolves`, or `u64::MAX` for an empty slot.
+    slots: Vec<u64>,
+}
+
+impl<'a> RouteCache<'a> {
+    const SLOTS: usize = 1024;
+
+    fn new(fib: &'a Fib) -> Self {
+        RouteCache {
+            fib,
+            slots: vec![u64::MAX; Self::SLOTS],
+        }
+    }
+
+    /// Whether the oracle data path forwards this packet.
+    fn forwards(&mut self, p: &Ipv4Packet) -> bool {
+        if p.ttl <= 1 {
+            return false;
+        }
+        let idx = (p.dst.wrapping_mul(0x9e37_79b9) >> 22) as usize;
+        let tag = u64::from(p.dst) << 1;
+        let slot = self.slots[idx];
+        if slot >> 1 == tag >> 1 && slot != u64::MAX {
+            return slot & 1 == 1;
+        }
+        let resolves = self.fib.lookup(p.dst).is_some();
+        self.slots[idx] = tag | u64::from(resolves);
+        resolves
+    }
+}
 
 /// Shared handles between a shard thread, the supervisor, and the stats
-/// collector. The queue and flags survive a shard panic; the simulator
+/// collector. The queue and flags survive a shard panic; the backend
 /// does not (the replacement thread builds a fresh one).
 #[derive(Debug)]
 pub struct ShardCtx {
@@ -53,52 +92,37 @@ pub struct ShardCtx {
     pub config: ServeConfig,
 }
 
-/// Builds the shard's simulator: the forwarding application compiled for
-/// the configured egress width and organization.
-fn build_system(config: &ServeConfig) -> (System, Vec<ThreadId>) {
-    let src = memsync_netapp::forwarding::app_source(config.egress);
-    let mut compiler = memsync_core::Compiler::new(&src);
-    compiler.organization(config.organization).skip_validation();
-    let compiled = compiler.compile().expect("forwarding app compiles");
-    let sys = System::new(&compiled);
-    let ids = (0..config.egress)
-        .map(|i| {
-            sys.thread_id(&format!("e{i}"))
-                .expect("egress thread compiled")
-        })
-        .collect();
-    (sys, ids)
-}
-
-/// Processes one coalesced batch: simulate, classify, verify, reply.
+/// Processes one coalesced batch: execute, classify, verify, reply.
 fn process_batch(
-    sys: &mut System,
-    egress: &[ThreadId],
-    fib: &Fib,
+    backend: &mut dyn ForwardingBackend,
+    model: &PipelineModel,
+    classifier: &mut RouteCache<'_>,
     jobs: Vec<Job>,
     shard_id: usize,
     stats: &Mutex<MetricsRegistry>,
 ) {
-    let n: usize = jobs.iter().map(|j| j.packets.len()).sum();
-    let cycles_before = sys.cycle();
-    let lost_before = sys.lost_updates();
-    for (k, desc) in jobs
+    let descriptors: Vec<u32> = jobs
         .iter()
         .flat_map(|j| j.packets.iter().map(Ipv4Packet::descriptor))
-        .enumerate()
-    {
-        sys.push_messages("rx", [i64::from(desc)]);
-        assert!(
-            sys.run_until_sent(egress, k + 1, CYCLES_PER_PACKET_BUDGET),
-            "shard {shard_id}: simulator stalled at packet {k} of {n}"
+        .collect();
+    let n = descriptors.len();
+    let before = backend.metrics();
+    let lost_before = backend.lost_updates();
+    backend.submit_batch(&descriptors);
+    let frames = backend.drain_egress();
+    for (i, f) in frames.iter().enumerate() {
+        assert_eq!(
+            f.len(),
+            n,
+            "shard {shard_id}: egress e{i} returned {} frames for {n} descriptors",
+            f.len()
         );
     }
-    let frames: Vec<Vec<i64>> = egress.iter().map(|id| sys.drain_sent(*id)).collect();
-    let sim_cycles = sys.cycle() - cycles_before;
-    // Paced injection means no producer ever overwrites an unconsumed
-    // guarded value; a nonzero delta here is the lost-update bug the
-    // static pass (`memsync-lint`) guards against, resurfacing at runtime.
-    let lost_updates = sys.lost_updates() - lost_before;
+    let sim_cycles = backend.metrics().sim_cycles - before.sim_cycles;
+    // A conforming backend never overwrites an unconsumed guarded value;
+    // a nonzero delta here is the lost-update bug the static pass
+    // (`memsync-lint`) guards against, resurfacing at runtime.
+    let lost_updates = backend.lost_updates() - lost_before;
 
     // Walk the concatenated batch job by job, packet by packet.
     let mut offset = 0usize;
@@ -107,17 +131,17 @@ fn process_batch(
     for job in &jobs {
         let mut out = JobOutcome::default();
         for (k, p) in job.packets.iter().enumerate() {
-            if oracle_forwards(p, fib) {
+            if classifier.forwards(p) {
                 out.forwarded += 1;
             } else {
                 out.dropped += 1;
             }
-            if job.verify {
+            if job.options.verify {
                 let desc = p.descriptor();
                 let bad = frames
                     .iter()
                     .enumerate()
-                    .any(|(i, f)| f[offset + k] != i64::from(expected_frame(desc, i)));
+                    .any(|(i, f)| f[offset + k] != model.frame(desc, i));
                 if bad {
                     out.mismatches += 1;
                 }
@@ -157,11 +181,14 @@ fn process_batch(
 }
 
 /// The shard thread body: loops popping and processing batches until the
-/// stop flag rises. Panics (deliberate via the kill flag, or real bugs)
-/// unwind out of here into the supervisor's restart path.
+/// stop flag rises. Panics (deliberate via the kill flag, real bugs, or a
+/// differential-backend divergence) unwind out of here into the
+/// supervisor's restart path.
 pub fn run(ctx: &ShardCtx) {
-    let (mut sys, egress) = build_system(&ctx.config);
+    let mut backend = backend::build(&ctx.config);
+    let model = PipelineModel::new();
     let fib = synthetic_table(ctx.config.routes);
+    let mut classifier = RouteCache::new(&fib);
     while !ctx.stop.load(Ordering::Acquire) {
         // The busy pop clears the idle flag under the queue lock, so a
         // drain that sees the queue empty afterwards also sees the shard
@@ -194,7 +221,14 @@ pub fn run(ctx: &ShardCtx) {
         if let Some(throttle) = ctx.config.shard_throttle {
             std::thread::sleep(throttle);
         }
-        process_batch(&mut sys, &egress, &fib, jobs, ctx.id, &ctx.stats);
+        process_batch(
+            backend.as_mut(),
+            &model,
+            &mut classifier,
+            jobs,
+            ctx.id,
+            &ctx.stats,
+        );
         if ctx.queue.is_empty() {
             ctx.idle.store(true, Ordering::Release);
         }
@@ -205,6 +239,8 @@ pub fn run(ctx: &ShardCtx) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BackendKind;
+    use crate::frame::SubmitOptions;
     use memsync_netapp::Workload;
     use std::sync::mpsc::channel;
     use std::time::Instant;
@@ -222,51 +258,96 @@ mod tests {
     }
 
     #[test]
-    fn shard_processes_a_batch_matching_the_oracle() {
-        let config = ServeConfig {
-            egress: 2,
-            routes: 16,
-            ..ServeConfig::default()
-        };
-        let ctx = ctx(config.clone());
-        let w = Workload::generate(77, 40, config.routes);
-        let (fwd, drop) = w.reference_forward();
-        let (tx, rx) = channel();
-        ctx.queue
-            .try_push(Job {
-                packets: w.packets.clone(),
-                verify: true,
-                reply: tx,
-                enqueued: Instant::now(),
-            })
-            .unwrap();
-        // One manual activation instead of the full thread loop.
-        let (mut sys, egress) = build_system(&ctx.config);
-        let fib = synthetic_table(ctx.config.routes);
-        let job = ctx.queue.try_pop().unwrap();
-        process_batch(&mut sys, &egress, &fib, vec![job], 0, &ctx.stats);
-        let out = rx.recv().unwrap();
-        assert_eq!(out.forwarded as usize, fwd);
-        assert_eq!(out.dropped as usize, drop);
-        assert_eq!(out.mismatches, 0, "hardware matches the model");
-        let reg = ctx.stats.lock().unwrap();
-        assert_eq!(reg.counter("serve.packets"), 40);
-        assert_eq!(reg.counter("serve.batches"), 1);
-        assert_eq!(
-            reg.counter("serve.lost_updates"),
-            0,
-            "paced injection must never overwrite an unconsumed guarded value"
-        );
-        assert_eq!(reg.histogram("serve.batch_size").unwrap().samples(), &[40]);
-        assert!(reg.counter("serve.sim_cycles") > 0);
-        assert_eq!(
-            reg.histogram("serve.service_latency_us")
-                .unwrap()
-                .summary()
-                .unwrap()
-                .count,
-            1
-        );
+    fn shard_processes_a_batch_matching_the_oracle_on_every_backend() {
+        for kind in [
+            BackendKind::Sim,
+            BackendKind::Fast,
+            BackendKind::Differential,
+        ] {
+            let config = ServeConfig {
+                egress: 2,
+                routes: 16,
+                backend: kind,
+                ..ServeConfig::default()
+            };
+            let ctx = ctx(config.clone());
+            let w = Workload::generate(77, 40, config.routes);
+            let (fwd, drop) = w.reference_forward();
+            let (tx, rx) = channel();
+            ctx.queue
+                .try_push(Job {
+                    packets: w.packets.clone(),
+                    options: SubmitOptions::new().verify(true),
+                    reply: tx,
+                    enqueued: Instant::now(),
+                })
+                .unwrap();
+            // One manual activation instead of the full thread loop.
+            let mut backend = backend::build(&ctx.config);
+            let model = PipelineModel::new();
+            let fib = synthetic_table(ctx.config.routes);
+            let mut classifier = RouteCache::new(&fib);
+            let job = ctx.queue.try_pop().unwrap();
+            process_batch(
+                backend.as_mut(),
+                &model,
+                &mut classifier,
+                vec![job],
+                0,
+                &ctx.stats,
+            );
+            let out = rx.recv().unwrap();
+            assert_eq!(out.forwarded as usize, fwd, "{kind}");
+            assert_eq!(out.dropped as usize, drop, "{kind}");
+            assert_eq!(out.mismatches, 0, "{kind}: backend matches the model");
+            let reg = ctx.stats.lock().unwrap();
+            assert_eq!(reg.counter("serve.packets"), 40);
+            assert_eq!(reg.counter("serve.batches"), 1);
+            assert_eq!(
+                reg.counter("serve.lost_updates"),
+                0,
+                "{kind}: a conforming backend never overwrites an unconsumed value"
+            );
+            assert_eq!(reg.histogram("serve.batch_size").unwrap().samples(), &[40]);
+            if kind == BackendKind::Fast {
+                assert_eq!(reg.counter("serve.sim_cycles"), 0, "no simulator ran");
+            } else {
+                assert!(reg.counter("serve.sim_cycles") > 0);
+            }
+            assert_eq!(
+                reg.histogram("serve.service_latency_us")
+                    .unwrap()
+                    .summary()
+                    .unwrap()
+                    .count,
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_agrees_with_the_oracle() {
+        // The cached classifier must give the verdict oracle_forwards
+        // gives, including on repeat destinations (cache hits), TTL-dead
+        // packets sharing a dst with live ones, and colliding slots.
+        let fib = synthetic_table(64);
+        let mut cache = RouteCache::new(&fib);
+        let mut w = Workload::generate(31, 500, 64);
+        w.packets[5].ttl = 1;
+        w.packets[6].ttl = 0;
+        let mut dead_dup = w.packets[0];
+        dead_dup.ttl = 1;
+        w.packets.push(dead_dup);
+        // Two passes so the second is all cache hits.
+        for _ in 0..2 {
+            for p in &w.packets {
+                assert_eq!(
+                    cache.forwards(p),
+                    crate::pipeline::oracle_forwards(p, &fib),
+                    "classifier diverged from the oracle for {p:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -281,16 +362,18 @@ mod tests {
         let mut counts = Vec::new();
         for _ in 0..2 {
             let ctx = ctx(config.clone());
-            let (mut sys, egress) = build_system(&ctx.config);
+            let mut backend = backend::build(&ctx.config);
+            let model = PipelineModel::new();
             let fib = synthetic_table(ctx.config.routes);
+            let mut classifier = RouteCache::new(&fib);
             let (tx, rx) = channel();
             process_batch(
-                &mut sys,
-                &egress,
-                &fib,
+                backend.as_mut(),
+                &model,
+                &mut classifier,
                 vec![Job {
                     packets: w.packets.clone(),
-                    verify: true,
+                    options: SubmitOptions::new().verify(true),
                     reply: tx,
                     enqueued: Instant::now(),
                 }],

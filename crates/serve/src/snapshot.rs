@@ -1,0 +1,241 @@
+//! Typed decode of the stats frame.
+//!
+//! The server renders its merged stats as one JSON document
+//! ([`crate::stats::stats_json`]); clients used to get that back as a raw
+//! `String` and grep it. [`StatsSnapshot`] decodes the document into a
+//! struct (via the dependency-free [`memsync_trace::Json`] parser) so
+//! callers — `loadgen --verify`, the loopback tests, operators' tooling —
+//! read `snapshot.lost_updates`, not string matches. The raw document
+//! stays reachable through [`crate::Client::stats_raw`] for humans and
+//! log pipelines.
+
+use crate::backend::BackendKind;
+use memsync_trace::Json;
+
+/// Decoded per-shard counters from the `per_shard` array.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: u64,
+    /// Packets this shard executed.
+    pub packets: u64,
+    /// Packets the oracle classified as forwarded.
+    pub forwarded: u64,
+    /// Packets dropped (TTL expiry or no route).
+    pub dropped: u64,
+    /// Verify-mode mismatches.
+    pub mismatches: u64,
+    /// Guarded-location overwrites observed by this shard's backend.
+    pub lost_updates: u64,
+    /// Batch activations.
+    pub batches: u64,
+    /// Simulator cycles consumed (0 under the fast backend).
+    pub sim_cycles: u64,
+    /// Jobs currently queued.
+    pub queue_depth: u64,
+    /// Highest queue depth ever observed at push time.
+    pub queue_depth_highwater: u64,
+}
+
+/// The merged stats frame, decoded.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsSnapshot {
+    /// Shard count.
+    pub shards: u64,
+    /// The forwarding backend serving this instance.
+    pub backend: Option<BackendKind>,
+    /// Server uptime in seconds.
+    pub uptime_secs: f64,
+    /// Whether a drain is in progress (new submits refused).
+    pub draining: bool,
+    /// Shards restarted by the supervisor so far.
+    pub shard_restarts: u64,
+    /// Submit batches accepted.
+    pub accepted: u64,
+    /// Submit batches refused with `Busy`.
+    pub busy: u64,
+    /// Submits that failed after acceptance.
+    pub errors: u64,
+    /// Total packets executed.
+    pub packets: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+    /// Packets dropped.
+    pub dropped: u64,
+    /// Verify-mode mismatches.
+    pub mismatches: u64,
+    /// Guarded-location overwrites across every shard (must be 0).
+    pub lost_updates: u64,
+    /// Batch activations across every shard.
+    pub batches: u64,
+    /// Simulator cycles across every shard.
+    pub sim_cycles: u64,
+    /// Sustained packets/sec since the server started.
+    pub packets_per_sec: f64,
+    /// Per-shard breakdown.
+    pub per_shard: Vec<ShardSnapshot>,
+}
+
+/// Decode failures: the document did not parse, or a required field was
+/// missing or mistyped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeStatsError(pub String);
+
+impl std::fmt::Display for DecodeStatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad stats frame: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeStatsError {}
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, DecodeStatsError> {
+    doc.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| DecodeStatsError(format!("missing or non-integer field {key:?}")))
+}
+
+fn req_f64(doc: &Json, key: &str) -> Result<f64, DecodeStatsError> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| DecodeStatsError(format!("missing or non-numeric field {key:?}")))
+}
+
+impl StatsSnapshot {
+    /// Decodes a stats JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Fails on JSON syntax errors and on missing/mistyped required
+    /// fields. Unknown fields are ignored (new servers may add them).
+    pub fn decode(doc: &str) -> Result<StatsSnapshot, DecodeStatsError> {
+        let j = Json::parse(doc).map_err(|e| DecodeStatsError(e.to_string()))?;
+        let backend = match j.get("backend").and_then(Json::as_str) {
+            // An unknown backend name means a newer server; the typed
+            // counters below still decode, so don't refuse the frame.
+            Some(name) => name.parse::<BackendKind>().ok(),
+            None => None,
+        };
+        let mut per_shard = Vec::new();
+        if let Some(items) = j.get("per_shard").and_then(Json::as_arr) {
+            for item in items {
+                per_shard.push(ShardSnapshot {
+                    shard: req_u64(item, "shard")?,
+                    packets: req_u64(item, "packets")?,
+                    forwarded: req_u64(item, "forwarded")?,
+                    dropped: req_u64(item, "dropped")?,
+                    mismatches: req_u64(item, "mismatches")?,
+                    lost_updates: req_u64(item, "lost_updates")?,
+                    batches: req_u64(item, "batches")?,
+                    sim_cycles: req_u64(item, "sim_cycles")?,
+                    queue_depth: req_u64(item, "queue_depth")?,
+                    queue_depth_highwater: req_u64(item, "queue_depth_highwater")?,
+                });
+            }
+        }
+        Ok(StatsSnapshot {
+            shards: req_u64(&j, "shards")?,
+            backend,
+            uptime_secs: req_f64(&j, "uptime_secs")?,
+            draining: j
+                .get("draining")
+                .and_then(Json::as_bool)
+                .ok_or_else(|| DecodeStatsError("missing field \"draining\"".into()))?,
+            shard_restarts: req_u64(&j, "shard_restarts")?,
+            accepted: req_u64(&j, "accepted")?,
+            busy: req_u64(&j, "busy")?,
+            errors: req_u64(&j, "errors")?,
+            packets: req_u64(&j, "packets")?,
+            forwarded: req_u64(&j, "forwarded")?,
+            dropped: req_u64(&j, "dropped")?,
+            mismatches: req_u64(&j, "mismatches")?,
+            lost_updates: req_u64(&j, "lost_updates")?,
+            batches: req_u64(&j, "batches")?,
+            sim_cycles: req_u64(&j, "sim_cycles")?,
+            packets_per_sec: req_f64(&j, "packets_per_sec")?,
+            per_shard,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ShardQueue;
+    use crate::stats::{stats_json, ServerCounters};
+    use crate::supervisor::PublicShard;
+    use memsync_trace::MetricsRegistry;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Instant;
+
+    #[test]
+    fn snapshot_decodes_a_real_stats_document() {
+        let mk = |forwarded: u64, dropped: u64| {
+            let mut r = MetricsRegistry::new();
+            r.add("serve.packets", forwarded + dropped);
+            r.add("serve.forwarded", forwarded);
+            r.add("serve.dropped", dropped);
+            r.add("serve.batches", 1);
+            r.record("serve.batch_size", forwarded + dropped);
+            r.record("serve.service_latency_us", 100);
+            PublicShard {
+                queue: Arc::new(ShardQueue::new(4)),
+                stats: Arc::new(Mutex::new(r)),
+                die: Arc::new(AtomicBool::new(false)),
+                idle: Arc::new(AtomicBool::new(true)),
+            }
+        };
+        let shards = vec![mk(10, 2), mk(5, 3)];
+        let counters = ServerCounters::default();
+        counters.accepted.store(2, Ordering::Relaxed);
+        counters.busy.store(1, Ordering::Relaxed);
+        let doc = stats_json(
+            &shards,
+            &counters,
+            BackendKind::Fast,
+            3,
+            true,
+            Instant::now(),
+        );
+        let snap = StatsSnapshot::decode(&doc).expect("decodes");
+        assert_eq!(snap.shards, 2);
+        assert_eq!(snap.backend, Some(BackendKind::Fast));
+        assert!(snap.draining);
+        assert_eq!(snap.shard_restarts, 3);
+        assert_eq!(snap.accepted, 2);
+        assert_eq!(snap.busy, 1);
+        assert_eq!(snap.packets, 20);
+        assert_eq!(snap.forwarded, 15);
+        assert_eq!(snap.dropped, 5);
+        assert_eq!(snap.lost_updates, 0);
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard[0].forwarded, 10);
+        assert_eq!(snap.per_shard[1].dropped, 3);
+        assert!(snap.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_and_incomplete_documents() {
+        assert!(StatsSnapshot::decode("{not json").is_err());
+        let e = StatsSnapshot::decode("{\"shards\": 2}").unwrap_err();
+        assert!(e.to_string().contains("uptime_secs"), "{e}");
+    }
+
+    #[test]
+    fn unknown_backend_names_do_not_refuse_the_frame() {
+        // A newer server with a backend this client does not know about
+        // still yields typed counters.
+        let doc = stats_json(
+            &[],
+            &ServerCounters::default(),
+            BackendKind::Sim,
+            0,
+            false,
+            Instant::now(),
+        )
+        .replace("\"sim\"", "\"quantum\"");
+        let snap = StatsSnapshot::decode(&doc).expect("decodes");
+        assert_eq!(snap.backend, None);
+    }
+}

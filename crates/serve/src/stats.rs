@@ -7,6 +7,7 @@
 //! high-water marks, the batch-size histogram, and p50/p99 service
 //! latency.
 
+use crate::backend::BackendKind;
 use crate::supervisor::PublicShard;
 use memsync_trace::{Json, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -32,6 +33,7 @@ pub struct ServerCounters {
 pub fn stats_json(
     shards: &[PublicShard],
     counters: &ServerCounters,
+    backend: BackendKind,
     restarts: u64,
     draining: bool,
     started: Instant,
@@ -76,6 +78,7 @@ pub fn stats_json(
     let packets = merged.counter("serve.packets");
     let mut doc = Json::obj()
         .with("shards", shards.len().into())
+        .with("backend", Json::Str(backend.to_string()))
         .with("uptime_secs", uptime.into())
         .with("draining", draining.into())
         .with("shard_restarts", restarts.into())
@@ -146,7 +149,15 @@ mod tests {
         let counters = ServerCounters::default();
         counters.accepted.store(2, Ordering::Relaxed);
         counters.busy.store(1, Ordering::Relaxed);
-        let doc = stats_json(&shards, &counters, 1, false, Instant::now());
+        let doc = stats_json(
+            &shards,
+            &counters,
+            BackendKind::Sim,
+            1,
+            false,
+            Instant::now(),
+        );
+        assert!(doc.contains("\"backend\":\"sim\""), "{doc}");
         assert_eq!(json_u64(&doc, "forwarded"), Some(15));
         assert_eq!(json_u64(&doc, "dropped"), Some(5));
         assert_eq!(json_u64(&doc, "packets"), Some(20));

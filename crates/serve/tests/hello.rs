@@ -1,0 +1,218 @@
+//! Protocol-v2 version negotiation: both compatibility directions must
+//! degrade into clean, typed rejections — never a frame desync.
+//!
+//! * old client → new server: the first frame is not a `Hello`, so the
+//!   server answers with `RSP_ERROR` (a frame type that has existed since
+//!   v1, so the old client decodes it) and closes at a frame boundary;
+//! * new client → old server: the v1 server answers the unknown `Hello`
+//!   request with its error frame, which the client maps onto a typed
+//!   [`ClientError::Unsupported`].
+
+use memsync_serve::frame::{read_frame, write_frame};
+use memsync_serve::{
+    Client, ClientError, Request, Response, ServeConfig, Server, SubmitOptions, PROTOCOL_VERSION,
+};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        egress: 2,
+        routes: 16,
+        ..ServeConfig::default()
+    }
+}
+
+/// Raw-stream helper: one request frame out, one response frame back.
+fn raw_roundtrip(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    req: &Request,
+) -> Option<Response> {
+    write_frame(stream, &req.encode()).expect("write");
+    read_frame(reader)
+        .expect("read")
+        .map(|p| Response::decode(&p).expect("decode"))
+}
+
+#[test]
+fn handshake_settles_version_and_exposes_capabilities() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let client = Client::connect(server.local_addr()).expect("connect");
+    let h = client.server();
+    assert_eq!(h.version, PROTOCOL_VERSION);
+    assert_eq!(h.shards, 2);
+    assert_eq!(h.egress, 2);
+    assert_eq!(h.routes, 16);
+    assert_eq!(
+        h.capabilities,
+        memsync_serve::backend::capability_bits(),
+        "this build supports all three backends"
+    );
+    assert!(
+        h.capabilities & h.backend.cap_bit() != 0,
+        "serving backend is a supported one"
+    );
+}
+
+#[test]
+fn submit_before_hello_is_refused_with_a_v1_decodable_error() {
+    // Simulates a v1 client: no handshake, straight to business.
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+
+    let w = memsync_netapp::Workload::generate(1, 4, 16);
+    let rsp = raw_roundtrip(
+        &mut stream,
+        &mut reader,
+        &Request::Submit {
+            packets: w.packets,
+            options: SubmitOptions::new(),
+        },
+    )
+    .expect("a response frame, not a slammed connection");
+    match rsp {
+        // RSP_ERROR is a v1 frame type: the old client can decode this.
+        Response::Error(msg) => {
+            assert!(msg.contains("hello"), "error names the fix: {msg}");
+            assert!(msg.contains("submit"), "error names the offense: {msg}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The server closes cleanly at a frame boundary — the next read is a
+    // clean EOF (Ok(None)), not a desynced byte stream or a reset.
+    assert!(
+        read_frame(&mut reader).expect("clean close").is_none(),
+        "connection closed at a frame boundary after the rejection"
+    );
+}
+
+#[test]
+fn stats_and_kill_before_hello_are_also_refused() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    for req in [Request::Stats, Request::Kill(0), Request::Drain] {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let rsp = raw_roundtrip(&mut stream, &mut reader, &req).expect("response");
+        assert!(
+            matches!(rsp, Response::Error(_)),
+            "{req:?} before hello must be refused"
+        );
+    }
+}
+
+#[test]
+fn version_range_outside_the_server_is_rejected_with_both_sides_named() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    for (min, max) in [(0, 1), (3, 9), (0, 0)] {
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let rsp = raw_roundtrip(
+            &mut stream,
+            &mut reader,
+            &Request::Hello {
+                min_version: min,
+                max_version: max,
+            },
+        )
+        .expect("response");
+        match rsp {
+            Response::Error(msg) => {
+                assert!(
+                    msg.contains(&format!("{min}..={max}")),
+                    "names the client range: {msg}"
+                );
+                assert!(
+                    msg.contains(&PROTOCOL_VERSION.to_string()),
+                    "names the server version: {msg}"
+                );
+            }
+            other => panic!("expected Error for {min}..={max}, got {other:?}"),
+        }
+        assert!(
+            read_frame(&mut reader).expect("clean close").is_none(),
+            "closed at a frame boundary"
+        );
+    }
+}
+
+#[test]
+fn repeated_hello_is_idempotent() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let hello = Request::Hello {
+        min_version: PROTOCOL_VERSION,
+        max_version: PROTOCOL_VERSION,
+    };
+    let first = raw_roundtrip(&mut stream, &mut reader, &hello).expect("first hello");
+    let second = raw_roundtrip(&mut stream, &mut reader, &hello).expect("second hello");
+    assert_eq!(first, second, "hello re-states the same capability block");
+    // And the connection still serves.
+    let rsp = raw_roundtrip(&mut stream, &mut reader, &Request::Stats).expect("stats");
+    assert!(matches!(rsp, Response::Stats(_)));
+}
+
+#[test]
+fn new_client_against_an_old_server_maps_to_a_typed_unsupported_error() {
+    // Simulates a v1 server: accepts one connection, answers every frame
+    // (including the Hello it has never heard of) with its v1 error.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let old_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        if read_frame(&mut reader).expect("read").is_some() {
+            // v1 decode path: unknown request type 0x06.
+            write_frame(
+                &mut stream,
+                &Response::Error("malformed frame: unknown request 0x06".into()).encode(),
+            )
+            .expect("write error");
+        }
+    });
+
+    match Client::connect(addr) {
+        Err(ClientError::Unsupported(msg)) => {
+            assert!(
+                msg.contains("unknown request"),
+                "carries the v1 error: {msg}"
+            );
+        }
+        Ok(_) => panic!("connect must not succeed against a v1 server"),
+        Err(other) => panic!("expected Unsupported, got {other}"),
+    }
+    old_server.join().unwrap();
+}
+
+#[test]
+fn client_side_kill_validation_uses_the_negotiated_shard_count() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert_eq!(client.server().shards, 2);
+    // In range: accepted by the server.
+    client.kill_shard(1).expect("shard 1 exists");
+    // Out of range: refused locally, typed, nothing sent.
+    match client.kill_shard(2) {
+        Err(ClientError::ShardOutOfRange {
+            shard: 2,
+            shards: 2,
+        }) => {}
+        other => panic!("expected ShardOutOfRange, got {other:?}"),
+    }
+}

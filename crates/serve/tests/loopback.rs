@@ -1,10 +1,13 @@
 //! End-to-end loopback tests: a real server on 127.0.0.1, real TCP
-//! clients, the full frame protocol.
+//! clients, the full frame protocol (including the protocol-v2 `Hello`
+//! handshake every connection now opens with).
 
 use memsync_netapp::Workload;
 use memsync_serve::client::BatchResult;
-use memsync_serve::stats::json_u64;
-use memsync_serve::{Client, Request, Response, ServeConfig, Server};
+use memsync_serve::{
+    BackendKind, Client, ClientError, Request, Response, ServeConfig, Server, SubmitOptions,
+    PROTOCOL_VERSION,
+};
 use std::time::Duration;
 
 /// A small, fast config for tests: 2 shards of the egress-2 app.
@@ -18,6 +21,13 @@ fn test_config() -> ServeConfig {
     }
 }
 
+fn connect(addr: std::net::SocketAddr) -> Client {
+    Client::builder()
+        .retries(10_000)
+        .connect(addr)
+        .expect("connect")
+}
+
 #[test]
 fn loopback_verify_run_matches_the_oracle_and_drains_clean() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
@@ -25,10 +35,18 @@ fn loopback_verify_run_matches_the_oracle_and_drains_clean() {
 
     let w = Workload::generate(42, 400, 16);
     let (fwd, drop) = w.reference_forward();
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = connect(addr);
+    // The negotiated capability block mirrors the config.
+    assert_eq!(client.server().version, PROTOCOL_VERSION);
+    assert_eq!(client.server().backend, BackendKind::Sim);
+    assert_eq!(client.server().shards, 2);
+    assert_eq!(client.server().egress, 2);
+    assert_eq!(client.server().routes, 16);
+
+    let verify = SubmitOptions::new().verify(true);
     let mut totals = BatchResult::default();
     for chunk in w.packets.chunks(50) {
-        let r = client.submit_retry(chunk, true, 1000).expect("submit");
+        let r = client.submit(chunk, verify).expect("submit");
         totals.forwarded += r.forwarded;
         totals.dropped += r.dropped;
         totals.mismatches += r.mismatches;
@@ -37,12 +55,23 @@ fn loopback_verify_run_matches_the_oracle_and_drains_clean() {
     assert_eq!(totals.dropped as usize, drop);
     assert_eq!(totals.mismatches, 0, "simulated frames match the model");
 
-    // Stats reflect the traffic.
-    let doc = client.stats().expect("stats");
-    assert_eq!(json_u64(&doc, "packets"), Some(400));
-    assert_eq!(json_u64(&doc, "mismatches"), Some(0));
-    assert_eq!(json_u64(&doc, "shard_restarts"), Some(0));
-    assert!(doc.contains("\"per_shard\""));
+    // The typed stats snapshot reflects the traffic.
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.packets, 400);
+    assert_eq!(snap.mismatches, 0);
+    assert_eq!(snap.shard_restarts, 0);
+    assert_eq!(snap.lost_updates, 0);
+    assert_eq!(snap.backend, Some(BackendKind::Sim));
+    assert_eq!(snap.shards, 2);
+    assert_eq!(snap.per_shard.len(), 2);
+    assert_eq!(
+        snap.per_shard.iter().map(|s| s.packets).sum::<u64>(),
+        400,
+        "per-shard packets add up to the total"
+    );
+    // The raw document stays available and carries the histograms the
+    // typed snapshot does not model.
+    let doc = client.stats_raw().expect("raw stats");
     assert!(doc.contains("\"service_latency_us\""));
 
     // Graceful drain, then shutdown; wait() returns (bin would exit 0).
@@ -56,38 +85,20 @@ fn per_shard_counts_are_identical_across_same_seed_runs() {
     let mut shard_counts = Vec::new();
     for _ in 0..2 {
         let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
-        let mut client = Client::connect(server.local_addr()).expect("connect");
+        let mut client = connect(server.local_addr());
         let w = Workload::generate(7, 300, 16);
+        let verify = SubmitOptions::new().verify(true);
         for chunk in w.packets.chunks(32) {
-            client.submit_retry(chunk, true, 1000).expect("submit");
+            client.submit(chunk, verify).expect("submit");
         }
         client.drain().expect("drain");
-        let doc = client.stats().expect("stats");
-        // Per-shard forwarded/dropped live in the per_shard array after the
-        // totals; comparing the whole tail compares them all at once.
-        let tail = doc
-            .split("\"per_shard\"")
-            .nth(1)
-            .expect("per_shard present")
-            .to_string();
-        // Strip timing-dependent fields (latency summaries, batch sizes,
-        // queue depth) — keep the deterministic counters.
-        let counts: Vec<u64> = ["packets", "forwarded", "dropped", "mismatches"]
+        let snap = client.stats().expect("stats");
+        // Keep the deterministic counters; timing-dependent fields
+        // (latency summaries, queue depth) live outside the comparison.
+        let counts: Vec<(u64, u64, u64, u64)> = snap
+            .per_shard
             .iter()
-            .flat_map(|k| {
-                let needle = format!("\"{k}\":");
-                let mut out = Vec::new();
-                let mut rest = tail.as_str();
-                while let Some(at) = rest.find(&needle) {
-                    let after = &rest[at + needle.len()..];
-                    let end = after
-                        .find(|c: char| !c.is_ascii_digit())
-                        .unwrap_or(after.len());
-                    out.push(after[..end].parse::<u64>().unwrap());
-                    rest = &after[end..];
-                }
-                out
-            })
+            .map(|s| (s.packets, s.forwarded, s.dropped, s.mismatches))
             .collect();
         shard_counts.push(counts);
         client.shutdown().expect("shutdown");
@@ -95,7 +106,7 @@ fn per_shard_counts_are_identical_across_same_seed_runs() {
     }
     assert_eq!(
         shard_counts[0], shard_counts[1],
-        "same seed => byte-identical per-shard forwarded/dropped counts"
+        "same seed => identical per-shard forwarded/dropped counts"
     );
     assert!(!shard_counts[0].is_empty());
 }
@@ -123,8 +134,8 @@ fn backpressure_is_observable_and_lossless() {
         .map(|chunk| {
             let chunk = chunk.to_vec();
             std::thread::spawn(move || {
-                let mut c = Client::connect(addr).expect("connect");
-                c.submit_retry(&chunk, false, 10_000).expect("submit")
+                let mut c = connect(addr);
+                c.submit(&chunk, SubmitOptions::new()).expect("submit")
             })
         })
         .collect();
@@ -143,10 +154,10 @@ fn backpressure_is_observable_and_lossless() {
         "6 concurrent submits against a 1-deep throttled queue must hit Busy"
     );
 
-    let mut client = Client::connect(addr).expect("connect");
-    let doc = client.stats().expect("stats");
-    assert!(json_u64(&doc, "busy").unwrap() > 0, "busy counted in stats");
-    assert_eq!(json_u64(&doc, "packets"), Some(120), "no silent drops");
+    let mut client = connect(addr);
+    let snap = client.stats().expect("stats");
+    assert!(snap.busy > 0, "busy counted in stats");
+    assert_eq!(snap.packets, 120, "no silent drops");
     client.shutdown().expect("shutdown");
     server.wait();
 }
@@ -155,12 +166,12 @@ fn backpressure_is_observable_and_lossless() {
 fn killed_shard_restarts_and_service_keeps_serving() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
     let addr = server.local_addr();
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = connect(addr);
 
     // Warm both shards, then kill shard 0.
     let w = Workload::generate(3, 100, 16);
     client
-        .submit_retry(&w.packets[..50], false, 1000)
+        .submit(&w.packets[..50], SubmitOptions::new())
         .expect("warm");
     client.kill_shard(0).expect("kill accepted");
 
@@ -174,7 +185,7 @@ fn killed_shard_restarts_and_service_keeps_serving() {
             std::time::Instant::now() < deadline,
             "supervisor never restarted the shard"
         );
-        match client.submit_retry(&w.packets[50..], false, 1000) {
+        match client.submit(&w.packets[50..], SubmitOptions::new()) {
             Ok(_) if server.shard_restarts() >= 1 => break,
             Ok(_) => {}
             Err(e) => {
@@ -187,11 +198,11 @@ fn killed_shard_restarts_and_service_keeps_serving() {
         std::thread::sleep(Duration::from_millis(10));
     }
     assert_eq!(server.shard_restarts(), 1);
-    let doc = client.stats().expect("stats");
-    assert_eq!(json_u64(&doc, "shard_restarts"), Some(1));
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.shard_restarts, 1);
     // The service still serves correctly after the restart.
     let r = client
-        .submit_retry(&w.packets, true, 1000)
+        .submit(&w.packets, SubmitOptions::new().verify(true))
         .expect("post-restart");
     assert_eq!(r.mismatches, 0);
     let _ = saw_error; // whether the kill raced a submit is timing-dependent
@@ -205,11 +216,33 @@ fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
     let addr = server.local_addr();
 
+    // Raw stream (no Client): open with a well-formed Hello so the
+    // handshake settles, then dribble the submit frame.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
+    memsync_serve::frame::write_frame(
+        &mut stream,
+        &Request::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .expect("hello");
+    let hello_rsp = memsync_serve::frame::read_frame(&mut reader)
+        .expect("read hello response")
+        .expect("hello response frame");
+    assert!(matches!(
+        Response::decode(&hello_rsp).expect("decode hello"),
+        Response::Hello(_)
+    ));
+
     let w = Workload::generate(5, 40, 16);
     let (fwd, drop) = w.reference_forward();
     let payload = Request::Submit {
         packets: w.packets.clone(),
-        verify: true,
+        options: SubmitOptions::new().verify(true),
     }
     .encode();
     let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
@@ -219,8 +252,6 @@ fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
     // poll — one cut inside the 4-byte length prefix, two inside the
     // payload. The server's read timeouts must resume the partial frame,
     // not discard it and re-enter the stream mid-frame.
-    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
-    stream.set_nodelay(true).unwrap();
     let mut pos = 0usize;
     for &n in &[2usize, 7, 300] {
         stream.write_all(&framed[pos..pos + n]).unwrap();
@@ -231,7 +262,6 @@ fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
     stream.write_all(&framed[pos..]).unwrap();
     stream.flush().unwrap();
 
-    let mut reader = std::io::BufReader::new(stream.try_clone().unwrap());
     let rsp = memsync_serve::frame::read_frame(&mut reader)
         .expect("read response")
         .expect("response frame, not a close");
@@ -250,7 +280,7 @@ fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
     std::mem::drop(reader);
     std::mem::drop(stream);
 
-    let mut client = Client::connect(addr).expect("connect");
+    let mut client = connect(addr);
     client.shutdown().expect("shutdown");
     server.wait();
 }
@@ -258,20 +288,29 @@ fn slow_writer_pausing_mid_frame_does_not_desync_the_stream() {
 #[test]
 fn protocol_rejects_garbage_without_dropping_the_connection() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
-    let mut client = Client::connect(server.local_addr()).expect("connect");
+    let mut client = connect(server.local_addr());
 
-    // An unknown request type gets an Error response, and the connection
-    // keeps working afterwards.
+    // An out-of-range kill never leaves the client: the index is checked
+    // against the negotiated shard count.
+    match client.kill_shard(999) {
+        Err(ClientError::ShardOutOfRange {
+            shard: 999,
+            shards: 2,
+        }) => {}
+        other => panic!("expected ShardOutOfRange, got {other:?}"),
+    }
+    // Forcing the raw frame through anyway still gets a server-side
+    // error, and the connection keeps working afterwards.
     let rsp = client.roundtrip(&Request::Kill(999)).expect("kill oob");
     assert!(matches!(rsp, Response::Error(_)), "out-of-range shard");
-    let doc = client.stats().expect("stats still works");
-    assert_eq!(json_u64(&doc, "shards"), Some(2));
+    let snap = client.stats().expect("stats still works");
+    assert_eq!(snap.shards, 2);
 
     // Draining refuses new submits with an explicit error.
     client.drain().expect("drain");
     let w = Workload::generate(1, 4, 16);
     let rsp = client
-        .submit(&w.packets, false)
+        .submit_once(&w.packets, SubmitOptions::new())
         .expect("submit while draining");
     assert!(
         matches!(rsp, Response::Error(_)),

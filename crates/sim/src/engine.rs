@@ -327,6 +327,31 @@ impl System {
         done(&self.threads)
     }
 
+    /// Paced batch submission: pushes `values` onto `thread`'s rx queue
+    /// one at a time, running the system after each push until every
+    /// thread in `egress` has sent `base + k + 1` messages (`base` is the
+    /// undrained sent count before this batch). Pacing matters: guarded
+    /// locations have sampling semantics, so an unpaced burst would
+    /// overwrite unconsumed values and silently lose messages. Returns
+    /// `false` if any value fails to emerge within `budget_per_value`
+    /// cycles (a stalled pipeline).
+    pub fn submit_paced(
+        &mut self,
+        thread: &str,
+        egress: &[ThreadId],
+        values: &[i64],
+        base: usize,
+        budget_per_value: u64,
+    ) -> bool {
+        for (k, &v) in values.iter().enumerate() {
+            self.push_message(thread, v);
+            if !self.run_until_sent(egress, base + k + 1, budget_per_value) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Total guarded-location overwrites of unconsumed values across every
     /// sync bank — the dynamic lost-update detector. A correctly paced
     /// program keeps this at 0; any increment means a producer re-fired

@@ -9,7 +9,10 @@
 use memsync_trace::Pcg32;
 
 /// A source of message arrivals, polled once per cycle.
-pub trait ArrivalProcess {
+///
+/// `Send` so a [`crate::System`] owning attached sources can move onto a
+/// worker thread (the serve crate builds backends per shard thread).
+pub trait ArrivalProcess: Send {
     /// Returns the message payload if one arrives this cycle.
     fn poll(&mut self, cycle: u64) -> Option<i64>;
 }

@@ -72,7 +72,14 @@ pub fn name_seed(name: &str) -> u64 {
 /// 32-bit datapath domain so the generated RTL network (built from
 /// `Shl`/`Shr`/`Or`/`Xor`/`Add` primitives) produces bit-identical results.
 pub fn call_function(name: &str, args: &[i64]) -> i64 {
-    let mut acc = name_seed(name) as u32;
+    call_function_seeded(name_seed(name), args)
+}
+
+/// [`call_function`] with the name hash precomputed — hot callers (the
+/// serve fast-path backend evaluates one `g()` per packet per egress
+/// consumer) hash the name once and fold only the arguments per call.
+pub fn call_function_seeded(seed: u64, args: &[i64]) -> i64 {
+    let mut acc = seed as u32;
     for &a in args {
         let a = a as u32;
         acc = acc.rotate_left(5) ^ a;

@@ -7,13 +7,15 @@
 //! within noise of the pre-instrumentation simulator.
 
 use crate::event::TraceEvent;
-use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Destination of a cycle-event stream.
-pub trait TraceSink: std::fmt::Debug {
+///
+/// `Send` so a simulator owning its sink can move whole onto a worker
+/// thread (the serve crate runs one `System` per shard thread).
+pub trait TraceSink: std::fmt::Debug + Send {
     /// Records one event.
     fn emit(&mut self, ev: &TraceEvent);
 
@@ -148,7 +150,7 @@ impl<W: Write + std::fmt::Debug> JsonlSink<W> {
     }
 }
 
-impl<W: Write + std::fmt::Debug> TraceSink for JsonlSink<W> {
+impl<W: Write + std::fmt::Debug + Send> TraceSink for JsonlSink<W> {
     fn emit(&mut self, ev: &TraceEvent) {
         let _ = writeln!(self.w, "{}", ev.to_jsonl());
         self.lines += 1;
@@ -161,44 +163,45 @@ impl<W: Write + std::fmt::Debug> TraceSink for JsonlSink<W> {
 
 /// A cloneable handle to a shared sink, so a caller can hand one end to a
 /// `System` (which owns its sink) and keep the other to inspect events
-/// afterwards.
+/// afterwards. Mutex-backed (not `RefCell`) so the handle satisfies the
+/// trait's `Send` bound and survives the `System` moving threads.
 #[derive(Debug, Default)]
-pub struct SharedSink<S: TraceSink>(Rc<RefCell<S>>);
+pub struct SharedSink<S: TraceSink>(Arc<Mutex<S>>);
 
 impl<S: TraceSink> SharedSink<S> {
     /// Wraps a sink for sharing.
     pub fn new(sink: S) -> Self {
-        SharedSink(Rc::new(RefCell::new(sink)))
+        SharedSink(Arc::new(Mutex::new(sink)))
     }
 
     /// Runs `f` with the inner sink borrowed.
     pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
-        f(&self.0.borrow())
+        f(&self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Runs `f` with the inner sink borrowed mutably.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut S) -> R) -> R {
-        f(&mut self.0.borrow_mut())
+        f(&mut self.0.lock().unwrap_or_else(PoisonError::into_inner))
     }
 }
 
 impl<S: TraceSink> Clone for SharedSink<S> {
     fn clone(&self) -> Self {
-        SharedSink(Rc::clone(&self.0))
+        SharedSink(Arc::clone(&self.0))
     }
 }
 
 impl<S: TraceSink> TraceSink for SharedSink<S> {
     fn emit(&mut self, ev: &TraceEvent) {
-        self.0.borrow_mut().emit(ev);
+        self.with_mut(|s| s.emit(ev));
     }
 
     fn enabled(&self) -> bool {
-        self.0.borrow().enabled()
+        self.with(TraceSink::enabled)
     }
 
     fn flush(&mut self) {
-        self.0.borrow_mut().flush();
+        self.with_mut(TraceSink::flush);
     }
 }
 
