@@ -10,6 +10,13 @@
 //! path) — and the best-of-reps rates land in `BENCH_serve.json` at the
 //! repo root.
 //!
+//! The fast backend is measured twice: with request tracing disabled
+//! (`fast_packets_per_sec_traced_off` — the hot path must pay nothing for
+//! the tracing plane when it is off) and with tracing enabled
+//! (`fast_packets_per_sec_traced` — the instrumented rate). The recorded
+//! traced-off rate is the floor the tracing plane's zero-cost-when-off
+//! contract is enforced against.
+//!
 //! Modes:
 //!
 //! * default — full measurement per backend (3 reps x 8 conns x
@@ -17,12 +24,13 @@
 //!   overrides);
 //! * `--check` — CI smoke: short measurements compared against the
 //!   recorded values; exits non-zero (release builds only) when the sim
-//!   backend is more than 3x slower than recorded or the fast backend
-//!   fails to clear 10x the *current* sim rate.
+//!   backend is more than 3x slower than recorded, the traced-off fast
+//!   backend fails to clear 10x the *current* sim rate, or enabling
+//!   tracing costs more than half the traced-off rate.
 
 use memsync_bench::arg_value;
 use memsync_netapp::Workload;
-use memsync_serve::{BackendKind, Client, ServeConfig, Server, SubmitOptions};
+use memsync_serve::{BackendKind, Client, ServeConfig, Server, SubmitOptions, TracingConfig};
 use memsync_trace::Json;
 use std::time::Instant;
 
@@ -34,6 +42,23 @@ const ROUTES: usize = 64;
 /// The fast backend must beat the sim backend by at least this factor —
 /// the whole point of a compiled fast path.
 const FAST_OVER_SIM_FLOOR: f64 = 10.0;
+
+/// Enabling tracing must keep at least this fraction of the traced-off
+/// rate in the CI check. The design target is <2% overhead (the recorded
+/// `traced_overhead_pct` in `BENCH_serve.json` documents the measured
+/// value); loopback CI runners are too noisy to enforce 2%, so the check
+/// fails only on a gross regression.
+const TRACED_OVER_OFF_FLOOR: f64 = 0.5;
+
+/// Tracing configuration for the instrumented measurement: enabled with
+/// default sampling, no span export (file IO is not part of the hot-path
+/// contract).
+fn traced_config() -> TracingConfig {
+    TracingConfig {
+        enabled: true,
+        ..TracingConfig::default()
+    }
+}
 
 /// Packets/sec over one rep: `conns` closed-loop connections submitting
 /// `jobs` batches of [`BATCH`] packets each.
@@ -67,13 +92,14 @@ fn rep(addr: std::net::SocketAddr, conns: usize, jobs: usize, seed: u64) -> f64 
 }
 
 /// Best-of-`reps` sustained packets/sec against a fresh server running
-/// `backend`.
-fn measure(backend: BackendKind, jobs: usize, reps: usize) -> f64 {
+/// `backend` with the given tracing configuration.
+fn measure(backend: BackendKind, jobs: usize, reps: usize, tracing: TracingConfig) -> f64 {
     let config = ServeConfig {
         shards: SHARDS,
         routes: ROUTES,
         backend,
         batch_max: BATCH,
+        tracing,
         ..ServeConfig::default()
     };
     let server = Server::start("127.0.0.1:0", config).expect("bind loopback");
@@ -112,16 +138,19 @@ fn main() {
         let recorded = json_u64(&doc, "sim_packets_per_sec")
             .or_else(|| json_u64(&doc, "packets_per_sec"))
             .expect("sim_packets_per_sec recorded");
-        let sim = measure(BackendKind::Sim, 8, 2);
+        let sim = measure(BackendKind::Sim, 8, 2, TracingConfig::default());
         // The fast backend finishes a jobs=8 rep in tens of milliseconds,
         // where connect/warmup costs dominate and understate the rate —
         // give it enough jobs for the steady state to show.
-        let fast = measure(BackendKind::Fast, 24, 2);
+        let fast = measure(BackendKind::Fast, 24, 2, TracingConfig::default());
+        let traced = measure(BackendKind::Fast, 24, 2, traced_config());
         let floor = recorded as f64 / 3.0;
         println!(
             "serve perf check: sim {sim:.0} pkts/sec (recorded {recorded}, floor {floor:.0}), \
-             fast {fast:.0} pkts/sec ({:.1}x sim, floor {FAST_OVER_SIM_FLOOR:.0}x)",
-            fast / sim
+             fast {fast:.0} pkts/sec ({:.1}x sim, floor {FAST_OVER_SIM_FLOOR:.0}x), \
+             traced {traced:.0} pkts/sec ({:+.1}% vs traced-off)",
+            fast / sim,
+            (traced / fast - 1.0) * 100.0
         );
         if cfg!(debug_assertions) {
             // The recorded number is a release measurement; a debug build
@@ -136,9 +165,16 @@ fn main() {
         }
         if fast < sim * FAST_OVER_SIM_FLOOR {
             eprintln!(
-                "serve perf check FAILED: fast backend only {:.1}x the sim backend \
-                 (needs {FAST_OVER_SIM_FLOOR:.0}x)",
+                "serve perf check FAILED: traced-off fast backend only {:.1}x the sim \
+                 backend (needs {FAST_OVER_SIM_FLOOR:.0}x)",
                 fast / sim
+            );
+            failed = true;
+        }
+        if traced < fast * TRACED_OVER_OFF_FLOOR {
+            eprintln!(
+                "serve perf check FAILED: tracing-enabled rate {traced:.0} fell below \
+                 {TRACED_OVER_OFF_FLOOR}x the traced-off rate {fast:.0}"
             );
             failed = true;
         }
@@ -154,13 +190,16 @@ fn main() {
         "serve self-timing ({SHARDS} shards, {CONNS} conns x {jobs} jobs x {BATCH} packets, \
          closed loop over loopback TCP)"
     );
-    let sim = measure(BackendKind::Sim, jobs, 3);
+    let sim = measure(BackendKind::Sim, jobs, 3, TracingConfig::default());
     println!("  sim backend:  {sim:.0} packets/sec");
-    let fast = measure(BackendKind::Fast, jobs, 3);
+    let fast = measure(BackendKind::Fast, jobs, 3, TracingConfig::default());
     println!(
-        "  fast backend: {fast:.0} packets/sec ({:.1}x sim)",
+        "  fast backend: {fast:.0} packets/sec ({:.1}x sim, tracing off)",
         fast / sim
     );
+    let traced = measure(BackendKind::Fast, jobs, 3, traced_config());
+    let overhead_pct = (1.0 - traced / fast) * 100.0;
+    println!("  fast backend: {traced:.0} packets/sec (tracing on, {overhead_pct:+.1}% overhead)");
 
     let doc = Json::obj()
         .with(
@@ -178,6 +217,22 @@ fn main() {
         .with("reps", 3u64.into())
         .with("sim_packets_per_sec", (sim.round() as u64).into())
         .with("fast_packets_per_sec", (fast.round() as u64).into())
+        // The tracing-plane contract fields: the traced-off rate is the
+        // canonical fast rate (tracing disabled must cost nothing), the
+        // traced rate is the instrumented path, and the overhead is the
+        // measured gap (design target: under 2%).
+        .with(
+            "fast_packets_per_sec_traced_off",
+            (fast.round() as u64).into(),
+        )
+        .with(
+            "fast_packets_per_sec_traced",
+            (traced.round() as u64).into(),
+        )
+        .with(
+            "traced_overhead_pct",
+            ((overhead_pct * 10.0).round() / 10.0).into(),
+        )
         .with("fast_over_sim", ((fast / sim * 10.0).round() / 10.0).into())
         // Legacy key, kept pointing at the reference backend so older
         // tooling reading `packets_per_sec` keeps working.

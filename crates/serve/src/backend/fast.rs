@@ -21,6 +21,7 @@ pub struct FastBackend {
     /// Accumulated frames, one buffer per egress consumer.
     buffers: Vec<Vec<u32>>,
     descriptors: u64,
+    frames: u64,
 }
 
 impl FastBackend {
@@ -30,6 +31,7 @@ impl FastBackend {
             model: PipelineModel::new(),
             buffers: vec![Vec::new(); egress],
             descriptors: 0,
+            frames: 0,
         }
     }
 }
@@ -52,6 +54,8 @@ impl ForwardingBackend for FastBackend {
             }
         }
         self.descriptors += descriptors.len() as u64;
+        // Every descriptor filled one lane per egress consumer.
+        self.frames += (descriptors.len() * self.buffers.len()) as u64;
     }
 
     fn drain_egress(&mut self) -> Vec<Vec<u32>> {
@@ -66,6 +70,7 @@ impl ForwardingBackend for FastBackend {
         BackendMetrics {
             sim_cycles: 0,
             descriptors: self.descriptors,
+            frames: self.frames,
         }
     }
 }

@@ -119,6 +119,11 @@ pub struct BackendMetrics {
     pub sim_cycles: u64,
     /// Descriptors executed so far.
     pub descriptors: u64,
+    /// Egress frames emitted so far (summed over egress consumers) — the
+    /// backend-reported inner detail for request tracing. The fast
+    /// backend counts frames as its lanes fill at submit time; the sim
+    /// backend counts them as they drain.
+    pub frames: u64,
 }
 
 /// What a shard needs from a forwarding engine — nothing more.
@@ -237,11 +242,13 @@ mod tests {
         assert_eq!(fast_lost, 0, "fast is paced by construction");
         assert_eq!(fast_m.descriptors, 200);
         assert_eq!(fast_m.sim_cycles, 0, "no simulator behind the fast path");
+        assert_eq!(fast_m.frames, 200 * egress as u64, "one frame per lane");
         for org in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
             let (sim_frames, sim_lost, sim_m) =
                 run_backend(Box::new(SimBackend::new(egress, org)), &descs, 32);
             assert_eq!(sim_lost, 0, "paced sim injection never overwrites");
             assert!(sim_m.sim_cycles > 0);
+            assert_eq!(sim_m.frames, fast_m.frames, "same frames counted");
             assert_eq!(
                 sim_frames, fast_frames,
                 "sim ({org}) and fast egress diverged"
@@ -261,6 +268,7 @@ mod tests {
         let (frames, lost, m) = run_backend(build(&config), &descs, 25);
         assert_eq!(lost, 0);
         assert_eq!(m.descriptors, 150);
+        assert_eq!(m.frames, 150 * 2, "reference frames attributed");
         let (fast_frames, _, _) = run_backend(Box::new(FastBackend::new(2)), &descs, 25);
         assert_eq!(frames, fast_frames);
     }

@@ -30,6 +30,7 @@ pub struct SimBackend {
     /// Frames sent since the last drain (the pacing target base).
     undrained: usize,
     descriptors: u64,
+    frames: u64,
 }
 
 impl SimBackend {
@@ -53,6 +54,7 @@ impl SimBackend {
             organization,
             undrained: 0,
             descriptors: 0,
+            frames: 0,
         }
     }
 
@@ -87,7 +89,8 @@ impl ForwardingBackend for SimBackend {
 
     fn drain_egress(&mut self) -> Vec<Vec<u32>> {
         self.undrained = 0;
-        self.egress
+        let frames: Vec<Vec<u32>> = self
+            .egress
             .iter()
             .map(|&id| {
                 self.sys
@@ -96,7 +99,9 @@ impl ForwardingBackend for SimBackend {
                     .map(|f| f as u32)
                     .collect()
             })
-            .collect()
+            .collect();
+        self.frames += frames.iter().map(|f| f.len() as u64).sum::<u64>();
+        frames
     }
 
     fn lost_updates(&self) -> u64 {
@@ -107,6 +112,7 @@ impl ForwardingBackend for SimBackend {
         BackendMetrics {
             sim_cycles: self.sys.cycle(),
             descriptors: self.descriptors,
+            frames: self.frames,
         }
     }
 }

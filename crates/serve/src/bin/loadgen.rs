@@ -4,6 +4,7 @@
 //! loadgen --addr 127.0.0.1:7171 [--conns 8] [--jobs 100] [--batch 32]
 //!         [--seed 42] [--routes 64] [--verify] [--open-loop]
 //!         [--backend sim|fast|differential] [--drain] [--shutdown]
+//!         [--spans] [--stats-interval MS]
 //! ```
 //!
 //! `--conns` connections each submit `--jobs` batches of `--batch`
@@ -14,6 +15,14 @@
 //! against the negotiated [`ServerHello`](memsync_serve::ServerHello));
 //! `--backend` asserts which engine the server is running.
 //!
+//! `--spans` tags every submit with a client-assigned span id
+//! (`conn << 32 | batch_index`), so a `--trace-spans` server exports
+//! spans the offline waterfall can correlate back to this run. It
+//! requires the server to advertise the tracing capability.
+//! `--stats-interval MS` subscribes a side connection to the server's
+//! stats stream and prints one machine-readable `STATS` line per push.
+//!
+//! Every run ends with one `SUMMARY key=value ...` line for scripts.
 //! Exits non-zero on any verify mismatch, on a forwarded+dropped total
 //! that does not account for every accepted packet, or (via the typed
 //! stats snapshot) on any server-side lost update. With `--drain` the
@@ -23,7 +32,9 @@
 use memsync_netapp::Workload;
 use memsync_serve::client::BatchResult;
 use memsync_serve::{BackendKind, Client, Response, SubmitOptions};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -48,15 +59,19 @@ fn connect(addr: &str) -> Client {
         .expect("connect to serve")
 }
 
-/// One connection's closed- or open-loop run.
+/// One connection's closed- or open-loop run. With `spans`, each submit
+/// carries the client-assigned span id `conn << 32 | batch_index`.
+#[allow(clippy::too_many_arguments)]
 fn run_conn(
     addr: &str,
+    conn: u64,
     seed: u64,
     jobs: usize,
     batch: usize,
     routes: usize,
-    options: SubmitOptions,
+    base_options: SubmitOptions,
     open_loop: bool,
+    spans: bool,
 ) -> (BatchResult, u64, u64) {
     let mut client = connect(addr);
     assert_eq!(
@@ -68,7 +83,12 @@ fn run_conn(
     let mut totals = BatchResult::default();
     let mut submitted = 0u64;
     let mut refused = 0u64;
-    for chunk in w.packets.chunks(batch) {
+    for (i, chunk) in w.packets.chunks(batch).enumerate() {
+        let options = if spans {
+            base_options.span(conn << 32 | i as u64)
+        } else {
+            base_options
+        };
         if open_loop {
             match client.submit_once(chunk, options).expect("submit") {
                 Response::Batch {
@@ -111,6 +131,14 @@ fn main() {
     let routes = num_arg(&args, "--routes", 64) as usize;
     let options = SubmitOptions::new().verify(args.iter().any(|a| a == "--verify"));
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let spans = args.iter().any(|a| a == "--spans");
+    let stats_interval = arg_value(&args, "--stats-interval").map(|v| {
+        let ms: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--stats-interval wants milliseconds, got {v}"));
+        assert!(ms > 0, "--stats-interval must be nonzero");
+        Duration::from_millis(ms)
+    });
     let expect_backend = arg_value(&args, "--backend").map(|v| {
         v.parse::<BackendKind>()
             .unwrap_or_else(|e| panic!("--backend: {e}"))
@@ -131,8 +159,37 @@ fn main() {
                 hello.backend
             );
         }
+        if (spans || stats_interval.is_some()) && !probe.supports_tracing() {
+            panic!("--spans/--stats-interval need a server that advertises the tracing capability");
+        }
         drop(probe);
     }
+
+    // The stats-stream monitor rides a dedicated connection so its pushes
+    // never interleave with submit traffic. It stops at the first push
+    // after the load threads finish.
+    let stop = Arc::new(AtomicBool::new(false));
+    let monitor = stats_interval.map(|every| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        let run_start = Instant::now();
+        std::thread::spawn(move || {
+            let mut client = connect(addr.as_str());
+            client
+                .stats_stream(every, |snap| {
+                    println!(
+                        "STATS t={:.2} packets={} pps={:.0} queue_restarts={} lost_updates={}",
+                        run_start.elapsed().as_secs_f64(),
+                        snap.packets,
+                        snap.packets_per_sec,
+                        snap.shard_restarts,
+                        snap.lost_updates
+                    );
+                    !stop.load(Ordering::Relaxed)
+                })
+                .expect("stats stream");
+        })
+    });
 
     let t0 = Instant::now();
     let handles: Vec<_> = (0..conns)
@@ -141,12 +198,14 @@ fn main() {
             std::thread::spawn(move || {
                 run_conn(
                     &addr,
+                    c as u64,
                     seed.wrapping_add(c as u64),
                     jobs,
                     batch,
                     routes,
                     options,
                     open_loop,
+                    spans,
                 )
             })
         })
@@ -164,6 +223,10 @@ fn main() {
         refused += r;
     }
     let elapsed = t0.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    if let Some(m) = monitor {
+        m.join().expect("stats monitor thread");
+    }
     let served = u64::from(totals.forwarded) + u64::from(totals.dropped);
     println!(
         "submitted {submitted} packets over {conns} conns in {elapsed:.2}s \
@@ -190,7 +253,7 @@ fn main() {
     // count here is a pacing regression (see `memsync_hic::hazards`).
     // The typed snapshot also exposes supervisor restarts — a shard that
     // crashed under plain traffic is a failure even if totals added up.
-    {
+    let (lost_updates, shard_restarts) = {
         let mut client = connect(addr.as_str());
         let snap = client.stats().expect("stats frame");
         if snap.lost_updates > 0 {
@@ -207,7 +270,20 @@ fn main() {
             );
             failed = true;
         }
-    }
+        (snap.lost_updates, snap.shard_restarts)
+    };
+
+    // One machine-readable line for scripts (CI greps this).
+    println!(
+        "SUMMARY submitted={submitted} forwarded={} dropped={} mismatches={} \
+         busy_retries={} refused={refused} elapsed_s={elapsed:.3} pps={:.0} \
+         lost_updates={lost_updates} shard_restarts={shard_restarts}",
+        totals.forwarded,
+        totals.dropped,
+        totals.mismatches,
+        totals.busy_retries,
+        submitted as f64 / elapsed
+    );
 
     if args.iter().any(|a| a == "--drain" || a == "--shutdown") {
         let mut client = connect(addr.as_str());

@@ -1,0 +1,299 @@
+//! The `memsync-top` bin: live per-shard telemetry, plus offline span
+//! waterfalls.
+//!
+//! ```text
+//! memsync-top [--addr 127.0.0.1:7171] [--interval-ms 1000] [--frames N]
+//!             [--raw]
+//! memsync-top --replay SPANS.jsonl [--slowest N]
+//! ```
+//!
+//! Live mode subscribes to the server's stats stream (one push per
+//! `--interval-ms`) and renders per-shard throughput, queue depth, stage
+//! p50–p99, lost-update and restart counters. On a terminal each frame
+//! redraws in place; piped output prints one block per push. `--frames N`
+//! stops after N pushes (0 = run until the stream ends); `--raw` prints
+//! the raw JSON stats documents instead of rendering.
+//!
+//! Replay mode reads a `serve --trace-spans` JSONL file and reconstructs
+//! the run offline: per-stage percentiles over every span plus a
+//! waterfall of the `--slowest N` (default 5) spans. Exits non-zero when
+//! the file is unreadable or contains no spans.
+
+use memsync_serve::snapshot::{StageSummarySnapshot, StatsSnapshot};
+use memsync_serve::Client;
+use memsync_trace::SpanRecord;
+use std::io::IsTerminal;
+use std::time::{Duration, Instant};
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn num_arg(args: &[String], key: &str, default: u64) -> u64 {
+    arg_value(args, key)
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{key} wants a number, got {v}"))
+        })
+        .unwrap_or(default)
+}
+
+/// Nanoseconds, human-scaled.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Percentile over a sorted slice (nearest-rank on the closed interval).
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+// ---------------------------------------------------------------- replay
+
+/// Offline waterfall from a `--trace-spans` JSONL file.
+fn replay(path: &str, slowest: usize) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut spans = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match SpanRecord::parse(line) {
+            Some(s) => spans.push(s),
+            None => skipped += 1,
+        }
+    }
+    if spans.is_empty() {
+        return Err(format!(
+            "{path}: no span records ({skipped} non-span lines)"
+        ));
+    }
+    let shard_count = spans.iter().map(|s| s.shard).max().unwrap_or(0) as usize + 1;
+    let packets: u64 = spans.iter().map(|s| s.packets).sum();
+    println!(
+        "{path}: {} spans over {shard_count} shards, {packets} packets \
+         ({skipped} non-span lines skipped)",
+        spans.len()
+    );
+
+    // Per-stage percentiles over every span — the same numbers the live
+    // stats stream reports as bucketized summaries.
+    println!();
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50", "p90", "p99", "max"
+    );
+    for stage_idx in 0..6 {
+        let name = spans[0].stages()[stage_idx].0;
+        let mut vals: Vec<u64> = spans.iter().map(|s| s.stages()[stage_idx].1).collect();
+        vals.sort_unstable();
+        println!(
+            "{:<10} {:>8} {:>10} {:>10} {:>10} {:>10}",
+            name,
+            vals.len(),
+            fmt_ns(percentile(&vals, 0.50)),
+            fmt_ns(percentile(&vals, 0.90)),
+            fmt_ns(percentile(&vals, 0.99)),
+            fmt_ns(*vals.last().unwrap()),
+        );
+    }
+
+    // Waterfall of the slowest spans: one proportional bar per span,
+    // stages marked by their initial (d/q/c/x/e/w).
+    let mut by_total = spans.clone();
+    by_total.sort_unstable_by_key(|s| std::cmp::Reverse(s.total_ns()));
+    by_total.truncate(slowest);
+    println!();
+    println!(
+        "slowest {} spans (d=decode q=queue c=coalesce x=execute e=egress w=write):",
+        by_total.len()
+    );
+    const BAR: usize = 48;
+    for s in &by_total {
+        let total = s.total_ns().max(1);
+        let mut bar = String::new();
+        for (i, (_, ns)) in s.stages().iter().enumerate() {
+            let cells = (*ns as f64 / total as f64 * BAR as f64).round() as usize;
+            let mark = ['d', 'q', 'c', 'x', 'e', 'w'][i];
+            bar.extend(std::iter::repeat_n(mark, cells));
+        }
+        println!(
+            "  span {:>18} shard {:>2} {:>5} pkts {:>9} |{bar:<BAR$}|",
+            format_span_id(s),
+            s.shard,
+            s.packets,
+            fmt_ns(s.total_ns()),
+        );
+    }
+    Ok(())
+}
+
+/// Span id for display: client ids verbatim, server ids with an `s` tag.
+fn format_span_id(s: &SpanRecord) -> String {
+    if s.client_assigned {
+        format!("{:#x}", s.span)
+    } else {
+        format!("s{:#x}", s.span & !(1 << 63))
+    }
+}
+
+// ------------------------------------------------------------------ live
+
+/// One rendered frame of the live dashboard.
+fn render(snap: &StatsSnapshot, prev: Option<&(StatsSnapshot, Instant)>, clear: bool) {
+    if clear {
+        // Redraw in place on a terminal.
+        print!("\x1b[2J\x1b[H");
+    }
+    let inst_pps = prev.map(|(p, at)| {
+        let dt = at.elapsed().as_secs_f64().max(1e-9);
+        (snap.packets.saturating_sub(p.packets)) as f64 / dt
+    });
+    let backend = snap.backend.map_or_else(|| "?".into(), |b| b.to_string());
+    println!(
+        "memsync-top — {backend} backend, {} shards, up {:.0}s{}",
+        snap.shards,
+        snap.uptime_secs,
+        if snap.draining { ", DRAINING" } else { "" }
+    );
+    println!(
+        "packets {} (avg {:.0} pkts/s{}) busy {} errors {} lost_updates {} \
+         restarts {} carryover {}",
+        snap.packets,
+        snap.packets_per_sec,
+        inst_pps.map_or_else(String::new, |p| format!(", now {p:.0}")),
+        snap.busy,
+        snap.errors,
+        snap.lost_updates,
+        snap.shard_restarts,
+        snap.restart_carryover,
+    );
+    if let Some(spans) = &snap.spans {
+        println!(
+            "tracing {} — {} spans seen, {} exported, sample 1/{}, slow ≥ {}",
+            if spans.enabled { "on" } else { "off" },
+            spans.seen,
+            spans.exported,
+            spans.sample_every,
+            fmt_ns(spans.slow_ns),
+        );
+    }
+    if !snap.stages.is_empty() {
+        println!();
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p90", "p99"
+        );
+        for StageSummarySnapshot {
+            stage,
+            count,
+            p50,
+            p90,
+            p99,
+            ..
+        } in &snap.stages
+        {
+            let name = stage.trim_end_matches("_ns");
+            println!(
+                "{name:<12} {count:>10} {:>10} {:>10} {:>10}",
+                fmt_ns(*p50),
+                fmt_ns(*p90),
+                fmt_ns(*p99)
+            );
+        }
+    }
+    println!();
+    println!(
+        "{:<6} {:>10} {:>9} {:>7} {:>9} {:>6} {:>6} {:>10}",
+        "shard", "packets", "pkts/s", "queue", "highwater", "lost", "drops", "carryover"
+    );
+    for s in &snap.per_shard {
+        let shard_pps = prev
+            .and_then(|(p, at)| {
+                p.per_shard
+                    .iter()
+                    .find(|q| q.shard == s.shard)
+                    .map(|q| (s.packets.saturating_sub(q.packets), at))
+            })
+            .map(|(d, at)| d as f64 / at.elapsed().as_secs_f64().max(1e-9));
+        println!(
+            "{:<6} {:>10} {:>9} {:>7} {:>9} {:>6} {:>6} {:>10}",
+            s.shard,
+            s.packets,
+            shard_pps.map_or_else(|| "-".into(), |p| format!("{p:.0}")),
+            s.queue_depth,
+            s.queue_depth_highwater,
+            s.lost_updates,
+            s.dropped,
+            s.restart_carryover,
+        );
+    }
+}
+
+/// Live dashboard over the stats stream. Returns once `frames` pushes
+/// rendered (or the stream ends).
+fn live(addr: &str, interval: Duration, frames: u64, raw: bool) {
+    let mut client = Client::connect(addr).expect("connect to serve");
+    if raw {
+        // Raw mode polls the plain stats frame: one JSON document per
+        // interval, no rendering — good for log pipelines. A closed pipe
+        // (e.g. `| head`) ends the loop instead of panicking.
+        use std::io::Write;
+        let mut n = 0u64;
+        let stdout = std::io::stdout();
+        loop {
+            let doc = client.stats_raw().expect("stats frame");
+            if writeln!(stdout.lock(), "{doc}").is_err() {
+                return;
+            }
+            n += 1;
+            if frames > 0 && n >= frames {
+                return;
+            }
+            std::thread::sleep(interval);
+        }
+    }
+    if !client.supports_tracing() {
+        eprintln!("server does not advertise the tracing capability; no stats stream");
+        std::process::exit(1);
+    }
+    let clear = std::io::stdout().is_terminal();
+    let mut prev: Option<(StatsSnapshot, Instant)> = None;
+    let mut n = 0u64;
+    client
+        .stats_stream(interval, |snap| {
+            render(&snap, prev.as_ref(), clear);
+            prev = Some((snap, Instant::now()));
+            n += 1;
+            frames == 0 || n < frames
+        })
+        .expect("stats stream");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = arg_value(&args, "--replay") {
+        let slowest = num_arg(&args, "--slowest", 5) as usize;
+        if let Err(e) = replay(&path, slowest) {
+            eprintln!("FAIL: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
+    let interval = Duration::from_millis(num_arg(&args, "--interval-ms", 1000).max(1));
+    let frames = num_arg(&args, "--frames", 0);
+    let raw = args.iter().any(|a| a == "--raw");
+    live(&addr, interval, frames, raw);
+}

@@ -4,6 +4,7 @@
 //! serve [--addr 127.0.0.1:7171] [--shards 4] [--egress 4] [--routes 64]
 //!       [--queue-cap 64] [--batch-max 64] [--org arbitrated|event-driven]
 //!       [--backend sim|fast|differential]
+//!       [--tracing] [--trace-spans FILE] [--trace-sample N] [--trace-slow-us N]
 //! ```
 //!
 //! `--backend` picks the forwarding engine each shard runs: `sim` (the
@@ -12,9 +13,16 @@
 //! crashes the shard loudly). Prints `listening on <addr>` once the
 //! socket is bound (the loopback CI job waits for that line), then blocks
 //! until a client sends a shutdown frame and exits 0.
+//!
+//! Tracing is off by default (the hot path stays allocation-free).
+//! `--tracing` turns on per-request stage timing; `--trace-spans FILE`
+//! additionally exports every span as JSONL to `FILE` (and implies
+//! `--tracing`). `--trace-sample N` keeps 1-in-N spans in the live rings
+//! (default 16); `--trace-slow-us N` sets the always-keep slow threshold
+//! in microseconds (default 5000).
 
 use memsync_core::OrganizationKind;
-use memsync_serve::{BackendKind, ServeConfig, Server};
+use memsync_serve::{BackendKind, ServeConfig, Server, TracingConfig};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -35,7 +43,27 @@ fn usize_arg(args: &[String], key: &str, default: usize) -> usize {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let defaults = ServeConfig::default();
+    let trace_defaults = TracingConfig::default();
+    let spans_path = arg_value(&args, "--trace-spans");
+    let tracing = TracingConfig {
+        enabled: args.iter().any(|a| a == "--tracing") || spans_path.is_some(),
+        sample_every: usize_arg(
+            &args,
+            "--trace-sample",
+            trace_defaults.sample_every as usize,
+        ) as u32,
+        slow_ns: arg_value(&args, "--trace-slow-us")
+            .map(|v| {
+                let us: u64 = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--trace-slow-us wants a number, got {v}"));
+                us.saturating_mul(1_000)
+            })
+            .unwrap_or(trace_defaults.slow_ns),
+        spans_path,
+    };
     let config = ServeConfig {
+        tracing,
         shards: usize_arg(&args, "--shards", defaults.shards),
         egress: usize_arg(&args, "--egress", defaults.egress),
         routes: usize_arg(&args, "--routes", defaults.routes),
@@ -57,12 +85,23 @@ fn main() {
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let shards = config.shards;
     let backend = config.backend;
+    let trace_note = if config.tracing.enabled {
+        match &config.tracing.spans_path {
+            Some(p) => format!("tracing on, spans -> {p}"),
+            None => "tracing on".into(),
+        }
+    } else {
+        String::new()
+    };
     let server = Server::start(addr.as_str(), config).expect("bind serve address");
     println!(
         "listening on {} ({} shards, {backend} backend)",
         server.local_addr(),
         shards
     );
+    if !trace_note.is_empty() {
+        println!("{trace_note}");
+    }
     server.wait();
     println!("shutdown complete");
 }

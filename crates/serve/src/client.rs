@@ -13,7 +13,8 @@
 //! count) are distinct variants, not stringly `io::Error`s.
 
 use crate::frame::{
-    read_frame, write_frame, Request, Response, ServerHello, SubmitOptions, PROTOCOL_VERSION,
+    read_frame, write_frame, Request, Response, ServerHello, SubmitOptions, CAP_TRACING,
+    PROTOCOL_VERSION,
 };
 use crate::snapshot::StatsSnapshot;
 use memsync_netapp::Ipv4Packet;
@@ -223,6 +224,12 @@ impl Client {
         &self.hello
     }
 
+    /// Whether the server advertised the request-tracing capability
+    /// (span-tagged submits, stats streaming) at connect time.
+    pub fn supports_tracing(&self) -> bool {
+        self.hello.capabilities & CAP_TRACING != 0
+    }
+
     /// One request/response round trip.
     ///
     /// # Errors
@@ -246,12 +253,22 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// I/O failures or a garbled response.
+    /// I/O failures or a garbled response; [`ClientError::Unsupported`]
+    /// locally (nothing sent) when the options carry a span id but the
+    /// server never advertised the tracing capability — an older server
+    /// would reject the unknown submit flag byte.
     pub fn submit_once(
         &mut self,
         packets: &[Ipv4Packet],
         options: SubmitOptions,
     ) -> Result<Response, ClientError> {
+        if options.span_id.is_some() && !self.supports_tracing() {
+            return Err(ClientError::Unsupported(
+                "server does not advertise the tracing capability; \
+                 span-tagged submits would not decode there"
+                    .into(),
+            ));
+        }
         self.roundtrip(&Request::Submit {
             packets: packets.to_vec(),
             options,
@@ -316,6 +333,70 @@ impl Client {
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         let doc = self.stats_raw()?;
         StatsSnapshot::decode(&doc).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Subscribes to the live stats stream: the server pushes a snapshot
+    /// immediately and then every `interval` until the callback returns
+    /// `false`. Returns the final snapshot (a fresh non-push stats
+    /// response marking the stream boundary).
+    ///
+    /// The stop choreography rides the protocol's design: *any* client
+    /// frame ends a stream server-side, so the client sends a plain
+    /// `Stats` request, discards pushes still in flight, and the typed
+    /// `Stats` (not `StatsPush`) response is the unambiguous end marker.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unsupported`] locally when the server never
+    /// advertised the tracing capability; I/O failures; a push document
+    /// that does not decode or an unexpected frame
+    /// ([`ClientError::Protocol`]); [`ClientError::Server`] if the server
+    /// refuses the subscription (e.g. a zero interval).
+    pub fn stats_stream(
+        &mut self,
+        interval: Duration,
+        mut on_push: impl FnMut(StatsSnapshot) -> bool,
+    ) -> Result<StatsSnapshot, ClientError> {
+        if !self.supports_tracing() {
+            return Err(ClientError::Unsupported(
+                "server does not advertise the tracing capability (stats streaming)".into(),
+            ));
+        }
+        let interval_ms = u32::try_from(interval.as_millis()).unwrap_or(u32::MAX);
+        write_frame(
+            &mut self.writer,
+            &Request::StatsStream { interval_ms }.encode(),
+        )?;
+        let mut stopping = false;
+        loop {
+            let payload = read_frame(&mut self.reader)?
+                .ok_or_else(|| ClientError::Protocol("server closed mid-stream".into()))?;
+            let rsp =
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))?;
+            match rsp {
+                Response::StatsPush(doc) => {
+                    if stopping {
+                        continue; // a push that was already in flight
+                    }
+                    let snap = StatsSnapshot::decode(&doc)
+                        .map_err(|e| ClientError::Protocol(e.to_string()))?;
+                    if !on_push(snap) {
+                        write_frame(&mut self.writer, &Request::Stats.encode())?;
+                        stopping = true;
+                    }
+                }
+                Response::Stats(doc) if stopping => {
+                    return StatsSnapshot::decode(&doc)
+                        .map_err(|e| ClientError::Protocol(e.to_string()));
+                }
+                Response::Error(e) => return Err(ClientError::Server(e)),
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response in stats stream: {other:?}"
+                    )))
+                }
+            }
+        }
     }
 
     /// Fetches the raw stats JSON document (for humans and log files;

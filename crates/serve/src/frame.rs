@@ -38,15 +38,27 @@ pub const PROTOCOL_VERSION: u16 = 2;
 pub const MAX_PAYLOAD: usize = 1 << 20;
 
 /// Most packets one submit frame can carry. Two limits apply — the u16
-/// count field (65535) and the [`MAX_PAYLOAD`] frame cap (2-byte submit
-/// header + 2-byte count + 20 bytes per packet) — and the frame cap is
+/// count field (65535) and the [`MAX_PAYLOAD`] frame cap (the largest
+/// submit header is 12 bytes — type, flags, optional 8-byte span id,
+/// 2-byte count — plus 20 bytes per packet) — and the frame cap is
 /// the tighter one. Encoding a larger batch panics on the sending side
 /// instead of truncating the count on the wire.
-pub const MAX_SUBMIT_PACKETS: usize = (MAX_PAYLOAD - 4) / 20;
+pub const MAX_SUBMIT_PACKETS: usize = (MAX_PAYLOAD - 12) / 20;
 
 /// Submit flag bit: run the per-packet verify mode (software pipeline
 /// model + FIB oracle) on this batch.
 pub const FLAG_VERIFY: u8 = 0x01;
+
+/// Submit flag bit: the submit carries a client-assigned 8-byte span id
+/// between the flags byte and the packet count (request tracing). Only
+/// valid against servers advertising [`CAP_TRACING`]; the client refuses
+/// locally otherwise.
+pub const FLAG_SPAN: u8 = 0x02;
+
+/// Hello capability bit: the server supports request tracing (span-tagged
+/// submits via [`FLAG_SPAN`]) and [`Request::StatsStream`]. Lives above
+/// the backend capability bits ([`crate::backend::CAP_SIM`] and friends).
+pub const CAP_TRACING: u8 = 0x08;
 
 /// Typed per-submit options — the wire flags byte, decoded. Replaces the
 /// bare `verify: bool` of protocol v1 so new flags extend the struct
@@ -56,10 +68,14 @@ pub struct SubmitOptions {
     /// Cross-check every packet against the software pipeline model and
     /// FIB oracle; mismatches come back in [`Response::Batch`].
     pub verify: bool,
+    /// Client-assigned span id for request tracing ([`FLAG_SPAN`] on the
+    /// wire). `None` leaves the batch untagged; a tracing-enabled server
+    /// then assigns its own id (high bit set).
+    pub span_id: Option<u64>,
 }
 
 impl SubmitOptions {
-    /// Default options: no verification.
+    /// Default options: no verification, no span tag.
     pub fn new() -> SubmitOptions {
         SubmitOptions::default()
     }
@@ -71,20 +87,33 @@ impl SubmitOptions {
         self
     }
 
+    /// Tags the batch with a client-assigned span id.
+    #[must_use]
+    pub fn span(mut self, id: u64) -> SubmitOptions {
+        self.span_id = Some(id);
+        self
+    }
+
     /// The wire flags byte.
     pub fn to_flags(self) -> u8 {
+        let mut flags = 0;
         if self.verify {
-            FLAG_VERIFY
-        } else {
-            0
+            flags |= FLAG_VERIFY;
         }
+        if self.span_id.is_some() {
+            flags |= FLAG_SPAN;
+        }
+        flags
     }
 
     /// Decodes a wire flags byte (unknown bits are ignored for forward
-    /// compatibility within a negotiated version).
+    /// compatibility within a negotiated version). The span id itself
+    /// travels in the submit body, not the flags byte — the submit
+    /// decoder fills it in when [`FLAG_SPAN`] is set.
     pub fn from_flags(flags: u8) -> SubmitOptions {
         SubmitOptions {
             verify: flags & FLAG_VERIFY != 0,
+            span_id: None,
         }
     }
 }
@@ -133,6 +162,15 @@ pub enum Request {
     },
     /// Ask for the merged stats frame (JSON).
     Stats,
+    /// Subscribe to pushed stats: the server sends a
+    /// [`Response::StatsPush`] immediately and then roughly every
+    /// `interval_ms` until the client sends any other frame (which is
+    /// answered normally and ends the stream). Capability-gated behind
+    /// [`CAP_TRACING`].
+    StatsStream {
+        /// Push interval in milliseconds (must be nonzero).
+        interval_ms: u32,
+    },
     /// Stop accepting new submits, let in-flight packets complete, reply
     /// [`Response::Drained`] once every shard is idle.
     Drain,
@@ -165,6 +203,12 @@ pub enum Response {
     Busy(u16),
     /// The merged stats frame as a JSON document.
     Stats(String),
+    /// One pushed stats document of an active [`Request::StatsStream`].
+    /// Deliberately a distinct frame type from [`Response::Stats`]: a
+    /// client stopping a stream sends a plain [`Request::Stats`] and
+    /// discards pushes until the non-push `Stats` answer arrives, which
+    /// marks the stream cleanly ended with no frame ambiguity.
+    StatsPush(String),
     /// Drain completed: queues empty, shards idle.
     Drained,
     /// The request failed; nothing was silently dropped — the message
@@ -201,6 +245,7 @@ const REQ_DRAIN: u8 = 0x03;
 const REQ_SHUTDOWN: u8 = 0x04;
 const REQ_KILL: u8 = 0x05;
 const REQ_HELLO: u8 = 0x06;
+const REQ_STATS_STREAM: u8 = 0x07;
 const RSP_OK: u8 = 0x80;
 const RSP_BATCH: u8 = 0x81;
 const RSP_BUSY: u8 = 0x82;
@@ -208,6 +253,7 @@ const RSP_STATS: u8 = 0x83;
 const RSP_DRAINED: u8 = 0x84;
 const RSP_ERROR: u8 = 0x85;
 const RSP_HELLO: u8 = 0x86;
+const RSP_STATS_PUSH: u8 = 0x87;
 
 impl Request {
     /// The request's wire name (error messages).
@@ -216,6 +262,7 @@ impl Request {
             Request::Hello { .. } => "hello",
             Request::Submit { .. } => "submit",
             Request::Stats => "stats",
+            Request::StatsStream { .. } => "stats-stream",
             Request::Drain => "drain",
             Request::Shutdown => "shutdown",
             Request::Kill(_) => "kill",
@@ -240,9 +287,12 @@ impl Request {
                     "submit of {} packets exceeds the {MAX_SUBMIT_PACKETS}-packet frame cap",
                     packets.len()
                 );
-                let mut v = Vec::with_capacity(4 + packets.len() * 20);
+                let mut v = Vec::with_capacity(12 + packets.len() * 20);
                 v.push(REQ_SUBMIT);
                 v.push(options.to_flags());
+                if let Some(span) = options.span_id {
+                    v.extend_from_slice(&span.to_be_bytes());
+                }
                 v.extend_from_slice(&(packets.len() as u16).to_be_bytes());
                 for p in packets {
                     v.extend_from_slice(&p.to_bytes());
@@ -250,6 +300,11 @@ impl Request {
                 v
             }
             Request::Stats => vec![REQ_STATS],
+            Request::StatsStream { interval_ms } => {
+                let mut v = vec![REQ_STATS_STREAM];
+                v.extend_from_slice(&interval_ms.to_be_bytes());
+                v
+            }
             Request::Drain => vec![REQ_DRAIN],
             Request::Shutdown => vec![REQ_SHUTDOWN],
             Request::Kill(shard) => {
@@ -284,9 +339,23 @@ impl Request {
                 if body.len() < 3 {
                     return Err(FrameError::Malformed("short submit header".into()));
                 }
-                let options = SubmitOptions::from_flags(body[0]);
-                let count = u16::from_be_bytes([body[1], body[2]]) as usize;
-                let bytes = &body[3..];
+                let flags = body[0];
+                let mut options = SubmitOptions::from_flags(flags);
+                let mut rest = &body[1..];
+                if flags & FLAG_SPAN != 0 {
+                    // An 8-byte big-endian span id precedes the count.
+                    if rest.len() < 8 {
+                        return Err(FrameError::Malformed("span flag without a span id".into()));
+                    }
+                    options.span_id =
+                        Some(u64::from_be_bytes(rest[..8].try_into().expect("checked")));
+                    rest = &rest[8..];
+                }
+                if rest.len() < 2 {
+                    return Err(FrameError::Malformed("short submit header".into()));
+                }
+                let count = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+                let bytes = &rest[2..];
                 if bytes.len() != count * 20 {
                     return Err(FrameError::Malformed(format!(
                         "submit length {} != {count} packets x 20",
@@ -300,6 +369,14 @@ impl Request {
                 Ok(Request::Submit { packets, options })
             }
             REQ_STATS => Ok(Request::Stats),
+            REQ_STATS_STREAM => {
+                if body.len() != 4 {
+                    return Err(FrameError::Malformed("stats-stream wants a u32".into()));
+                }
+                Ok(Request::StatsStream {
+                    interval_ms: u32::from_be_bytes(body.try_into().expect("checked")),
+                })
+            }
             REQ_DRAIN => Ok(Request::Drain),
             REQ_SHUTDOWN => Ok(Request::Shutdown),
             REQ_KILL => {
@@ -351,6 +428,12 @@ impl Response {
             Response::Stats(json) => {
                 let mut v = Vec::with_capacity(1 + json.len());
                 v.push(RSP_STATS);
+                v.extend_from_slice(json.as_bytes());
+                v
+            }
+            Response::StatsPush(json) => {
+                let mut v = Vec::with_capacity(1 + json.len());
+                v.push(RSP_STATS_PUSH);
                 v.extend_from_slice(json.as_bytes());
                 v
             }
@@ -414,6 +497,7 @@ impl Response {
                 Ok(Response::Busy(u16::from_be_bytes([body[0], body[1]])))
             }
             RSP_STATS => Ok(Response::Stats(utf8(body)?)),
+            RSP_STATS_PUSH => Ok(Response::StatsPush(utf8(body)?)),
             RSP_DRAINED => Ok(Response::Drained),
             RSP_ERROR => Ok(Response::Error(utf8(body)?)),
             other => Err(FrameError::Malformed(format!(
@@ -569,7 +653,12 @@ mod tests {
                 packets: Vec::new(),
                 options: SubmitOptions::new(),
             },
+            Request::Submit {
+                packets: w.packets.clone(),
+                options: SubmitOptions::new().verify(true).span(0xDEAD_BEEF_0042),
+            },
             Request::Stats,
+            Request::StatsStream { interval_ms: 250 },
             Request::Drain,
             Request::Shutdown,
             Request::Kill(3),
@@ -598,6 +687,7 @@ mod tests {
             },
             Response::Busy(2),
             Response::Stats("{\"x\":1}".into()),
+            Response::StatsPush("{\"x\":2}".into()),
             Response::Drained,
             Response::Error("nope".into()),
         ];
@@ -621,6 +711,21 @@ mod tests {
             Request::decode(&bytes),
             Err(FrameError::BadPacket(ParsePacketError::BadChecksum { .. }))
         ));
+    }
+
+    #[test]
+    fn span_flag_without_span_id_is_malformed() {
+        // A frame claiming FLAG_SPAN but truncated before the 8-byte id.
+        let bytes = [REQ_SUBMIT, FLAG_SPAN, 0x00, 0x01, 0x02];
+        assert!(matches!(
+            Request::decode(&bytes),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn tracing_capability_is_distinct_from_backend_bits() {
+        assert_eq!(CAP_TRACING & crate::backend::capability_bits(), 0);
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //!   batch-size histogram, p50/p99 service latency);
 //! * [`snapshot`] — the typed [`snapshot::StatsSnapshot`] decode of the
 //!   stats frame (a dependency-free JSON parser);
+//! * [`tracing`] — request-scoped spans: per-stage timings from decode to
+//!   socket write, sampled span rings, live stage histograms, and JSONL
+//!   span export (`serve --trace-spans`); zero-cost when disabled;
 //! * [`client`] — a blocking client used by the `loadgen` bin, the
 //!   loopback tests, and the self-timing harness; built via
 //!   [`Client::builder`], it negotiates the protocol version and backend
@@ -63,12 +66,14 @@ pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod supervisor;
+pub mod tracing;
 
 pub use backend::{BackendKind, ForwardingBackend};
 pub use client::{Client, ClientError};
 pub use frame::{Request, Response, ServerHello, SubmitOptions, PROTOCOL_VERSION};
 pub use server::Server;
 pub use snapshot::StatsSnapshot;
+pub use tracing::{ServeTracer, TracingConfig};
 
 use memsync_core::OrganizationKind;
 use std::time::Duration;
@@ -105,6 +110,9 @@ pub struct ServeConfig {
     /// Test hook: artificial per-activation delay, to make backpressure
     /// observable deterministically in the loopback tests.
     pub shard_throttle: Option<Duration>,
+    /// Request tracing (spans, stage histograms, JSONL export). Disabled
+    /// by default; disabled means zero instrumentation cost.
+    pub tracing: TracingConfig,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +129,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             job_timeout: Duration::from_secs(60),
             shard_throttle: None,
+            tracing: TracingConfig::default(),
         }
     }
 }

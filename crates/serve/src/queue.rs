@@ -8,6 +8,7 @@
 //! processed by the replacement.
 
 use crate::frame::SubmitOptions;
+use crate::tracing::StageTimings;
 use memsync_netapp::Ipv4Packet;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -24,6 +25,9 @@ pub struct JobOutcome {
     pub dropped: u32,
     /// Verify-mode mismatches between simulator egress and the model.
     pub mismatches: u32,
+    /// Shard-side stage timings, present only when request tracing is
+    /// enabled (the acceptor folds these into the batch's span).
+    pub timings: Option<StageTimings>,
 }
 
 /// One unit of shard work: a sub-batch of packets that all hash to the

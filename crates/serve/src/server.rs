@@ -17,11 +17,12 @@
 use crate::backend;
 use crate::frame::{
     write_frame, FrameError, FrameReader, Request, Response, ServerHello, SubmitOptions,
-    PROTOCOL_VERSION,
+    CAP_TRACING, PROTOCOL_VERSION,
 };
 use crate::router::Router;
 use crate::stats::{stats_json, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
+use crate::tracing::{PendingSpan, ServeTracer};
 use crate::ServeConfig;
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -41,6 +42,7 @@ struct Shared {
     stop: Arc<AtomicBool>,
     draining: AtomicBool,
     started: Instant,
+    tracer: ServeTracer,
 }
 
 /// A running service instance.
@@ -61,12 +63,13 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind failures.
+    /// Propagates bind failures and span-export file creation failures.
     pub fn start(addr: impl ToSocketAddrs, config: ServeConfig) -> io::Result<Server> {
         assert!(config.shards > 0, "at least one shard");
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let tracer = ServeTracer::new(config.tracing.clone(), config.shards)?;
         let stop = Arc::new(AtomicBool::new(false));
         let supervisor = Supervisor::start(&config, Arc::clone(&stop)).monitor_in_background();
         let router = Router::new(
@@ -84,6 +87,7 @@ impl Server {
             stop: Arc::clone(&stop),
             draining: AtomicBool::new(false),
             started: Instant::now(),
+            tracer,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -124,6 +128,13 @@ impl Server {
     /// frame, minus the drain).
     pub fn stop(&self) {
         self.shared.stop.store(true, Ordering::Release);
+        self.shared.tracer.flush();
+    }
+
+    /// The request tracer (span rings, live stage histograms). Always
+    /// present; disabled unless [`crate::TracingConfig::enabled`] was set.
+    pub fn tracer(&self) -> &ServeTracer {
+        &self.shared.tracer
     }
 }
 
@@ -184,6 +195,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     // Protocol v2: nothing but Hello is served until the handshake
     // settles a version.
     let mut greeted = false;
+    // StatsStream state: while `Some`, the poll branch below pushes a
+    // snapshot every interval. Any subsequent client frame ends the
+    // stream (and is served normally).
+    let mut stream_every: Option<Duration> = None;
+    let mut last_push = Instant::now();
     loop {
         if shared.stop.load(Ordering::Acquire) {
             return Ok(());
@@ -203,9 +219,24 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     last_progress = frames.progress();
                     idle = Duration::ZERO;
                 }
-                idle += POLL;
-                if idle >= shared.config.read_timeout {
-                    return Ok(()); // read deadline: drop the stalled peer
+                if let Some(every) = stream_every {
+                    // A streaming subscriber is deliberately quiet; the
+                    // pushes are the liveness signal, so the idle budget
+                    // does not accumulate (a dead peer still surfaces —
+                    // as a write error on the next push).
+                    idle = Duration::ZERO;
+                    if last_push.elapsed() >= every {
+                        write_frame(
+                            &mut writer,
+                            &Response::StatsPush(render_stats(shared)).encode(),
+                        )?;
+                        last_push = Instant::now();
+                    }
+                } else {
+                    idle += POLL;
+                    if idle >= shared.config.read_timeout {
+                        return Ok(()); // read deadline: drop the stalled peer
+                    }
                 }
                 continue;
             }
@@ -213,7 +244,12 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
         };
         idle = Duration::ZERO;
         last_progress = 0;
-        let (response, action) = match Request::decode(&payload) {
+        // Any complete client frame terminates an active stats stream;
+        // the StatsStream arm below re-arms it for a fresh subscription.
+        stream_every = None;
+        let trace = shared.tracer.enabled();
+        let decode_started = trace.then(Instant::now);
+        let (response, action, pending) = match Request::decode(&payload) {
             Ok(Request::Hello {
                 min_version,
                 max_version,
@@ -222,7 +258,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 // re-states the capability block.
                 if min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= max_version {
                     greeted = true;
-                    (Response::Hello(server_hello(shared)), Action::Continue)
+                    (
+                        Response::Hello(server_hello(shared)),
+                        Action::Continue,
+                        None,
+                    )
                 } else {
                     (
                         Response::Error(format!(
@@ -230,6 +270,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                              {min_version}..={max_version}, server speaks {PROTOCOL_VERSION}"
                         )),
                         Action::Close,
+                        None,
                     )
                 }
             }
@@ -244,20 +285,47 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     req.name()
                 )),
                 Action::Close,
+                None,
             ),
+            Ok(Request::StatsStream { interval_ms }) => {
+                if interval_ms == 0 {
+                    (
+                        Response::Error("stats-stream interval must be nonzero".into()),
+                        Action::Continue,
+                        None,
+                    )
+                } else {
+                    stream_every = Some(Duration::from_millis(u64::from(interval_ms)));
+                    last_push = Instant::now();
+                    // First push rides the response immediately; the
+                    // cadence continues from the poll branch above.
+                    (
+                        Response::StatsPush(render_stats(shared)),
+                        Action::Continue,
+                        None,
+                    )
+                }
+            }
             Ok(req) => {
                 let action = if matches!(req, Request::Shutdown) {
                     Action::Shutdown
                 } else {
                     Action::Continue
                 };
-                (handle_request(req, shared), action)
+                let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let (response, pending) = handle_request(req, shared, decode_ns);
+                (response, action, pending)
             }
             Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
-                (Response::Error(e.to_string()), Action::Continue)
+                (Response::Error(e.to_string()), Action::Continue, None)
             }
         };
+        let write_started = pending.as_ref().map(|_| Instant::now());
         write_frame(&mut writer, &response.encode())?;
+        if let Some(p) = pending {
+            let write_ns = write_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            shared.tracer.finish(&p, write_ns);
+        }
         match action {
             Action::Continue => {}
             Action::Close => return Ok(()),
@@ -279,7 +347,10 @@ enum Action {
 fn server_hello(shared: &Shared) -> ServerHello {
     ServerHello {
         version: PROTOCOL_VERSION,
-        capabilities: backend::capability_bits(),
+        // Tracing (span-tagged submits, StatsStream) is a protocol
+        // capability of this server build, advertised alongside the
+        // backend bits.
+        capabilities: backend::capability_bits() | CAP_TRACING,
         backend: shared.config.backend,
         shards: shared.config.shards as u16,
         egress: shared.config.egress as u16,
@@ -287,37 +358,53 @@ fn server_hello(shared: &Shared) -> ServerHello {
     }
 }
 
-fn handle_request(req: Request, shared: &Arc<Shared>) -> Response {
+/// Renders the current stats document (the Stats response and every
+/// StatsPush share this).
+fn render_stats(shared: &Arc<Shared>) -> String {
+    stats_json(
+        shared.supervisor.shards(),
+        &shared.counters,
+        shared.config.backend,
+        shared.supervisor.restarts(),
+        shared.draining.load(Ordering::Acquire),
+        shared.started,
+        Some(&shared.tracer),
+    )
+}
+
+fn handle_request(
+    req: Request,
+    shared: &Arc<Shared>,
+    decode_ns: u64,
+) -> (Response, Option<PendingSpan>) {
     match req {
         Request::Hello { .. } => unreachable!("hello handled in the connection loop"),
-        Request::Submit { packets, options } => handle_submit(&packets, options, shared),
-        Request::Stats => Response::Stats(stats_json(
-            shared.supervisor.shards(),
-            &shared.counters,
-            shared.config.backend,
-            shared.supervisor.restarts(),
-            shared.draining.load(Ordering::Acquire),
-            shared.started,
-        )),
+        Request::StatsStream { .. } => {
+            unreachable!("stats-stream handled in the connection loop")
+        }
+        Request::Submit { packets, options } => handle_submit(&packets, options, shared, decode_ns),
+        Request::Stats => (Response::Stats(render_stats(shared)), None),
         Request::Drain => {
             shared.draining.store(true, Ordering::Release);
+            shared.tracer.flush();
             if wait_quiescent(shared, shared.config.job_timeout) {
-                Response::Drained
+                (Response::Drained, None)
             } else {
-                Response::Error("drain timed out".into())
+                (Response::Error("drain timed out".into()), None)
             }
         }
         Request::Shutdown => {
             shared.draining.store(true, Ordering::Release);
             wait_quiescent(shared, shared.config.job_timeout);
-            Response::Ok
+            shared.tracer.flush();
+            (Response::Ok, None)
         }
         Request::Kill(shard) => {
             let Some(s) = shared.supervisor.shards().get(shard as usize) else {
-                return Response::Error(format!("no shard {shard}"));
+                return (Response::Error(format!("no shard {shard}")), None);
             };
             s.die.store(true, Ordering::Release);
-            Response::Ok
+            (Response::Ok, None)
         }
     }
 }
@@ -337,23 +424,44 @@ fn handle_submit(
     packets: &[memsync_netapp::Ipv4Packet],
     options: SubmitOptions,
     shared: &Arc<Shared>,
-) -> Response {
+    decode_ns: u64,
+) -> (Response, Option<PendingSpan>) {
     if shared.draining.load(Ordering::Acquire) {
-        return Response::Error("draining: new submits refused".into());
+        return (
+            Response::Error("draining: new submits refused".into()),
+            None,
+        );
     }
     if packets.is_empty() {
-        return Response::Batch {
-            forwarded: 0,
-            dropped: 0,
-            mismatches: 0,
-        };
+        return (
+            Response::Batch {
+                forwarded: 0,
+                dropped: 0,
+                mismatches: 0,
+            },
+            None,
+        );
     }
+    // When tracing is off the span id a client may have tagged is simply
+    // ignored — the shard produced no timings, so there is no span to
+    // build and nothing to allocate.
+    let mut pending = if shared.tracer.enabled() {
+        let (span_id, client_assigned) = shared.tracer.assign(options.span_id);
+        Some(PendingSpan {
+            span_id,
+            client_assigned,
+            decode_ns,
+            timings: Vec::new(),
+        })
+    } else {
+        None
+    };
     let (tx, rx) = channel();
     let jobs = match shared.router.submit(packets, options, &tx) {
         Ok(n) => n,
         Err(shard) => {
             shared.counters.busy.fetch_add(1, Ordering::Relaxed);
-            return Response::Busy(shard);
+            return (Response::Busy(shard), None);
         }
     };
     drop(tx); // the shard-held clones are now the only senders
@@ -367,23 +475,32 @@ fn handle_submit(
                 forwarded += out.forwarded;
                 dropped += out.dropped;
                 mismatches += out.mismatches;
+                if let (Some(p), Some(t)) = (pending.as_mut(), out.timings) {
+                    p.timings.push(t);
+                }
             }
             Err(RecvTimeoutError::Disconnected) => {
                 // A shard died mid-batch; the supervisor is restarting it.
                 // The submit is reported failed — the client retries; no
                 // silent loss, no double processing of the lost job.
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                return Response::Error("shard failed mid-batch; resubmit".into());
+                return (
+                    Response::Error("shard failed mid-batch; resubmit".into()),
+                    None,
+                );
             }
             Err(RecvTimeoutError::Timeout) => {
                 shared.counters.errors.fetch_add(1, Ordering::Relaxed);
-                return Response::Error("job timed out".into());
+                return (Response::Error("job timed out".into()), None);
             }
         }
     }
-    Response::Batch {
-        forwarded,
-        dropped,
-        mismatches,
-    }
+    (
+        Response::Batch {
+            forwarded,
+            dropped,
+            mismatches,
+        },
+        pending,
+    )
 }

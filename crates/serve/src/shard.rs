@@ -19,13 +19,14 @@
 use crate::backend::{self, ForwardingBackend};
 use crate::pipeline::PipelineModel;
 use crate::queue::{Job, JobOutcome, ShardQueue};
+use crate::tracing::StageTimings;
 use crate::ServeConfig;
 use memsync_netapp::fib::synthetic_table;
 use memsync_netapp::{Fib, Ipv4Packet};
 use memsync_trace::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A direct-mapped route-resolution cache in front of the FIB trie.
 ///
@@ -93,6 +94,11 @@ pub struct ShardCtx {
 }
 
 /// Processes one coalesced batch: execute, classify, verify, reply.
+///
+/// `picked_at` is the instant the activation popped its first job —
+/// `Some` only when request tracing is on. Everything timing-related
+/// hangs off it: `None` means not a single `Instant::now` call on this
+/// path.
 fn process_batch(
     backend: &mut dyn ForwardingBackend,
     model: &PipelineModel,
@@ -100,6 +106,7 @@ fn process_batch(
     jobs: Vec<Job>,
     shard_id: usize,
     stats: &Mutex<MetricsRegistry>,
+    picked_at: Option<Instant>,
 ) {
     let descriptors: Vec<u32> = jobs
         .iter()
@@ -108,6 +115,7 @@ fn process_batch(
     let n = descriptors.len();
     let before = backend.metrics();
     let lost_before = backend.lost_updates();
+    let exec_start = picked_at.map(|_| Instant::now());
     backend.submit_batch(&descriptors);
     let frames = backend.drain_egress();
     for (i, f) in frames.iter().enumerate() {
@@ -118,11 +126,13 @@ fn process_batch(
             f.len()
         );
     }
-    let sim_cycles = backend.metrics().sim_cycles - before.sim_cycles;
+    let after = backend.metrics();
+    let sim_cycles = after.sim_cycles - before.sim_cycles;
     // A conforming backend never overwrites an unconsumed guarded value;
     // a nonzero delta here is the lost-update bug the static pass
     // (`memsync-lint`) guards against, resurfacing at runtime.
     let lost_updates = backend.lost_updates() - lost_before;
+    let egress_start = picked_at.map(|_| Instant::now());
 
     // Walk the concatenated batch job by job, packet by packet.
     let mut offset = 0usize;
@@ -154,6 +164,29 @@ fn process_batch(
         outcomes.push(out);
     }
 
+    // Attach stage timings to every outcome. Queue residency is per job;
+    // coalesce/execute/egress are activation-level durations attributed
+    // whole to each job in the batch (documented on [`StageTimings`]), as
+    // are the backend-reported sim-cycle and frame deltas.
+    if let (Some(pick), Some(exec_s), Some(egress_s)) = (picked_at, exec_start, egress_start) {
+        let coalesce_ns = exec_s.saturating_duration_since(pick).as_nanos() as u64;
+        let execute_ns = egress_s.saturating_duration_since(exec_s).as_nanos() as u64;
+        let egress_ns = egress_s.elapsed().as_nanos() as u64;
+        let frames_emitted = after.frames - before.frames;
+        for (job, out) in jobs.iter().zip(outcomes.iter_mut()) {
+            out.timings = Some(StageTimings {
+                shard: shard_id as u16,
+                packets: job.packets.len() as u32,
+                queue_ns: pick.saturating_duration_since(job.enqueued).as_nanos() as u64,
+                coalesce_ns,
+                execute_ns,
+                egress_ns,
+                sim_cycles,
+                frames: frames_emitted,
+            });
+        }
+    }
+
     // Record stats *before* replying: a client that queries stats right
     // after its submit response must already see this batch.
     {
@@ -171,6 +204,17 @@ fn process_batch(
                 "serve.service_latency_us",
                 job.enqueued.elapsed().as_micros() as u64,
             );
+        }
+        // Shard-side stage histograms feed the live tracing views; the
+        // identical numbers ride the outcomes into span records, so the
+        // offline JSONL and the stats frame agree bucket for bucket.
+        for out in &outcomes {
+            if let Some(t) = out.timings {
+                reg.record_bucket("serve.stage.queue_ns", t.queue_ns);
+                reg.record_bucket("serve.stage.coalesce_ns", t.coalesce_ns);
+                reg.record_bucket("serve.stage.execute_ns", t.execute_ns);
+                reg.record_bucket("serve.stage.egress_ns", t.egress_ns);
+            }
         }
     }
     for (job, out) in jobs.into_iter().zip(outcomes) {
@@ -199,6 +243,7 @@ pub fn run(ctx: &ShardCtx) {
         else {
             continue;
         };
+        let picked_at = ctx.config.tracing.enabled.then(Instant::now);
         if ctx.die.swap(false, Ordering::AcqRel) {
             // Put the job back? No — the kill emulates a crash mid-batch:
             // the job is dropped, its reply channel closes, and the
@@ -228,6 +273,7 @@ pub fn run(ctx: &ShardCtx) {
             jobs,
             ctx.id,
             &ctx.stats,
+            picked_at,
         );
         if ctx.queue.is_empty() {
             ctx.idle.store(true, Ordering::Release);
@@ -295,8 +341,10 @@ mod tests {
                 vec![job],
                 0,
                 &ctx.stats,
+                None,
             );
             let out = rx.recv().unwrap();
+            assert_eq!(out.timings, None, "{kind}: tracing off, no timings");
             assert_eq!(out.forwarded as usize, fwd, "{kind}");
             assert_eq!(out.dropped as usize, drop, "{kind}");
             assert_eq!(out.mismatches, 0, "{kind}: backend matches the model");
@@ -323,6 +371,63 @@ mod tests {
                 1
             );
         }
+    }
+
+    #[test]
+    fn traced_batch_attaches_timings_and_stage_histograms() {
+        let config = ServeConfig {
+            egress: 2,
+            routes: 16,
+            backend: BackendKind::Fast,
+            ..ServeConfig::default()
+        };
+        let ctx = ctx(config.clone());
+        let w = Workload::generate(9, 24, config.routes);
+        let mut backend = backend::build(&ctx.config);
+        let model = PipelineModel::new();
+        let fib = synthetic_table(ctx.config.routes);
+        let mut classifier = RouteCache::new(&fib);
+        let (tx, rx) = channel();
+        let enqueued = Instant::now();
+        process_batch(
+            backend.as_mut(),
+            &model,
+            &mut classifier,
+            vec![Job {
+                packets: w.packets.clone(),
+                options: SubmitOptions::new(),
+                reply: tx,
+                enqueued,
+            }],
+            3,
+            &ctx.stats,
+            Some(Instant::now()),
+        );
+        let out = rx.recv().unwrap();
+        let t = out.timings.expect("tracing on attaches timings");
+        assert_eq!(t.shard, 3);
+        assert_eq!(t.packets, 24);
+        assert_eq!(t.frames, 24 * 2, "one frame per egress lane");
+        assert_eq!(t.sim_cycles, 0, "fast backend reports no cycles");
+        let reg = ctx.stats.lock().unwrap();
+        for stage in [
+            "serve.stage.queue_ns",
+            "serve.stage.coalesce_ns",
+            "serve.stage.execute_ns",
+            "serve.stage.egress_ns",
+        ] {
+            let h = reg.bucket_histogram(stage).unwrap_or_else(|| {
+                panic!("stage histogram {stage} missing");
+            });
+            assert_eq!(h.count(), 1, "{stage}: one sample per job");
+        }
+        // The histogram saw the same number the span will carry.
+        assert_eq!(
+            reg.bucket_histogram("serve.stage.execute_ns")
+                .unwrap()
+                .max(),
+            Some(t.execute_ns)
+        );
     }
 
     #[test]
@@ -379,6 +484,7 @@ mod tests {
                 }],
                 0,
                 &ctx.stats,
+                None,
             );
             let out = rx.recv().unwrap();
             let reg = ctx.stats.lock().unwrap();

@@ -35,6 +35,70 @@ pub struct ShardSnapshot {
     pub queue_depth: u64,
     /// Highest queue depth ever observed at push time.
     pub queue_depth_highwater: u64,
+    /// Packet total latched at this shard's most recent supervisor
+    /// restart (0 while the original incarnation lives). Nonzero proves
+    /// pre-restart traffic still counts in the totals above.
+    pub restart_carryover: u64,
+}
+
+impl ShardSnapshot {
+    /// Every key a per-shard stats object can carry, required first.
+    /// `batch_size`, `service_latency_us`, and `stages` appear once the
+    /// shard has traffic (respectively traced traffic). The completeness
+    /// test in this module pins the document against this list.
+    pub const DOCUMENT_FIELDS: &'static [&'static str] = &[
+        "shard",
+        "packets",
+        "forwarded",
+        "dropped",
+        "mismatches",
+        "lost_updates",
+        "batches",
+        "sim_cycles",
+        "queue_depth_highwater",
+        "queue_depth",
+        "restart_carryover",
+        "batch_size",
+        "service_latency_us",
+        "stages",
+    ];
+}
+
+/// One traced stage's latency summary from the `stages` object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageSummarySnapshot {
+    /// Stage name (`decode_ns`, `queue_ns`, `coalesce_ns`, `execute_ns`,
+    /// `egress_ns`, `write_ns`).
+    pub stage: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Smallest observed value (nanoseconds).
+    pub min: u64,
+    /// Largest observed value (nanoseconds).
+    pub max: u64,
+    /// Mean (nanoseconds).
+    pub mean: f64,
+    /// Median, as a bucket upper bound clamped to the observed range.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// The `spans` section: request-tracing status and ring totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpansSnapshot {
+    /// Whether request tracing is on.
+    pub enabled: bool,
+    /// Recent-ring sampling stride.
+    pub sample_every: u64,
+    /// Slow-span threshold in nanoseconds.
+    pub slow_ns: u64,
+    /// Spans finished so far, summed over shards.
+    pub seen: u64,
+    /// JSONL span lines exported so far.
+    pub exported: u64,
 }
 
 /// The merged stats frame, decoded.
@@ -72,8 +136,50 @@ pub struct StatsSnapshot {
     pub sim_cycles: u64,
     /// Sustained packets/sec since the server started.
     pub packets_per_sec: f64,
+    /// Summed per-shard restart carryover (see
+    /// [`ShardSnapshot::restart_carryover`]).
+    pub restart_carryover: u64,
+    /// Traced stage latency summaries, in the document's pipeline order.
+    /// Empty when tracing is off (the `stages` object is absent).
+    pub stages: Vec<StageSummarySnapshot>,
+    /// Request-tracing status (absent from documents rendered without a
+    /// tracer — pre-tracing servers and bare test fixtures).
+    pub spans: Option<SpansSnapshot>,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardSnapshot>,
+}
+
+impl StatsSnapshot {
+    /// Every key a top-level stats document can carry, required first.
+    /// `batch_size` and `service_latency_us` appear once the server has
+    /// traffic; `stages` once tracing recorded samples; `spans` whenever
+    /// the document was rendered by a tracing-aware server. The
+    /// completeness test in this module pins the document against this
+    /// list.
+    pub const DOCUMENT_FIELDS: &'static [&'static str] = &[
+        "shards",
+        "backend",
+        "uptime_secs",
+        "draining",
+        "shard_restarts",
+        "restart_carryover",
+        "accepted",
+        "busy",
+        "errors",
+        "packets",
+        "forwarded",
+        "dropped",
+        "mismatches",
+        "lost_updates",
+        "batches",
+        "sim_cycles",
+        "packets_per_sec",
+        "batch_size",
+        "service_latency_us",
+        "stages",
+        "spans",
+        "per_shard",
+    ];
 }
 
 /// Decode failures: the document did not parse, or a required field was
@@ -130,9 +236,38 @@ impl StatsSnapshot {
                     sim_cycles: req_u64(item, "sim_cycles")?,
                     queue_depth: req_u64(item, "queue_depth")?,
                     queue_depth_highwater: req_u64(item, "queue_depth_highwater")?,
+                    restart_carryover: req_u64(item, "restart_carryover").unwrap_or(0),
                 });
             }
         }
+        let mut stages = Vec::new();
+        if let Some(Json::Obj(fields)) = j.get("stages") {
+            for (stage, v) in fields {
+                stages.push(StageSummarySnapshot {
+                    stage: stage.clone(),
+                    count: req_u64(v, "count")?,
+                    min: req_u64(v, "min")?,
+                    max: req_u64(v, "max")?,
+                    mean: req_f64(v, "mean")?,
+                    p50: req_u64(v, "p50")?,
+                    p90: req_u64(v, "p90")?,
+                    p99: req_u64(v, "p99")?,
+                });
+            }
+        }
+        let spans = match j.get("spans") {
+            Some(s) => Some(SpansSnapshot {
+                enabled: s
+                    .get("enabled")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| DecodeStatsError("missing field \"spans.enabled\"".into()))?,
+                sample_every: req_u64(s, "sample_every")?,
+                slow_ns: req_u64(s, "slow_ns")?,
+                seen: req_u64(s, "seen")?,
+                exported: req_u64(s, "exported")?,
+            }),
+            None => None,
+        };
         Ok(StatsSnapshot {
             shards: req_u64(&j, "shards")?,
             backend,
@@ -153,6 +288,10 @@ impl StatsSnapshot {
             batches: req_u64(&j, "batches")?,
             sim_cycles: req_u64(&j, "sim_cycles")?,
             packets_per_sec: req_f64(&j, "packets_per_sec")?,
+            // Absent on documents from pre-tracing servers: default 0.
+            restart_carryover: req_u64(&j, "restart_carryover").unwrap_or(0),
+            stages,
+            spans,
             per_shard,
         })
     }
@@ -162,31 +301,34 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
     use crate::queue::ShardQueue;
-    use crate::stats::{stats_json, ServerCounters};
+    use crate::stats::{stats_json, ServerCounters, STAGE_METRICS};
     use crate::supervisor::PublicShard;
+    use crate::tracing::{PendingSpan, ServeTracer, StageTimings, TracingConfig};
     use memsync_trace::MetricsRegistry;
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex};
     use std::time::Instant;
 
+    fn mk(forwarded: u64, dropped: u64, carryover: u64) -> PublicShard {
+        let mut r = MetricsRegistry::new();
+        r.add("serve.packets", forwarded + dropped);
+        r.add("serve.forwarded", forwarded);
+        r.add("serve.dropped", dropped);
+        r.add("serve.batches", 1);
+        r.record("serve.batch_size", forwarded + dropped);
+        r.record("serve.service_latency_us", 100);
+        PublicShard {
+            queue: Arc::new(ShardQueue::new(4)),
+            stats: Arc::new(Mutex::new(r)),
+            die: Arc::new(AtomicBool::new(false)),
+            idle: Arc::new(AtomicBool::new(true)),
+            carryover: Arc::new(AtomicU64::new(carryover)),
+        }
+    }
+
     #[test]
     fn snapshot_decodes_a_real_stats_document() {
-        let mk = |forwarded: u64, dropped: u64| {
-            let mut r = MetricsRegistry::new();
-            r.add("serve.packets", forwarded + dropped);
-            r.add("serve.forwarded", forwarded);
-            r.add("serve.dropped", dropped);
-            r.add("serve.batches", 1);
-            r.record("serve.batch_size", forwarded + dropped);
-            r.record("serve.service_latency_us", 100);
-            PublicShard {
-                queue: Arc::new(ShardQueue::new(4)),
-                stats: Arc::new(Mutex::new(r)),
-                die: Arc::new(AtomicBool::new(false)),
-                idle: Arc::new(AtomicBool::new(true)),
-            }
-        };
-        let shards = vec![mk(10, 2), mk(5, 3)];
+        let shards = vec![mk(10, 2, 7), mk(5, 3, 0)];
         let counters = ServerCounters::default();
         counters.accepted.store(2, Ordering::Relaxed);
         counters.busy.store(1, Ordering::Relaxed);
@@ -197,12 +339,14 @@ mod tests {
             3,
             true,
             Instant::now(),
+            None,
         );
         let snap = StatsSnapshot::decode(&doc).expect("decodes");
         assert_eq!(snap.shards, 2);
         assert_eq!(snap.backend, Some(BackendKind::Fast));
         assert!(snap.draining);
         assert_eq!(snap.shard_restarts, 3);
+        assert_eq!(snap.restart_carryover, 7);
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.busy, 1);
         assert_eq!(snap.packets, 20);
@@ -211,8 +355,11 @@ mod tests {
         assert_eq!(snap.lost_updates, 0);
         assert_eq!(snap.per_shard.len(), 2);
         assert_eq!(snap.per_shard[0].forwarded, 10);
+        assert_eq!(snap.per_shard[0].restart_carryover, 7);
         assert_eq!(snap.per_shard[1].dropped, 3);
         assert!(snap.uptime_secs >= 0.0);
+        assert!(snap.stages.is_empty(), "no tracer, no stages");
+        assert_eq!(snap.spans, None, "no tracer, no spans section");
     }
 
     #[test]
@@ -233,9 +380,137 @@ mod tests {
             0,
             false,
             Instant::now(),
+            None,
         )
         .replace("\"sim\"", "\"quantum\"");
         let snap = StatsSnapshot::decode(&doc).expect("decodes");
         assert_eq!(snap.backend, None);
+    }
+
+    /// Renders a fully-populated stats document: traffic on one shard,
+    /// every stage histogram recorded, a live tracer with one finished
+    /// span.
+    fn full_document() -> String {
+        let shards = vec![mk(10, 2, 3)];
+        {
+            let mut reg = shards[0].stats.lock().unwrap();
+            for (_, metric) in STAGE_METRICS.iter().skip(1).take(4) {
+                reg.record_bucket(metric, 900);
+            }
+        }
+        let tracer = ServeTracer::new(
+            TracingConfig {
+                enabled: true,
+                ..TracingConfig::default()
+            },
+            1,
+        )
+        .unwrap();
+        tracer.finish(
+            &PendingSpan {
+                span_id: 1,
+                client_assigned: false,
+                decode_ns: 100,
+                timings: vec![StageTimings {
+                    shard: 0,
+                    packets: 12,
+                    queue_ns: 900,
+                    coalesce_ns: 900,
+                    execute_ns: 900,
+                    egress_ns: 900,
+                    sim_cycles: 0,
+                    frames: 24,
+                }],
+            },
+            200,
+        );
+        stats_json(
+            &shards,
+            &ServerCounters::default(),
+            BackendKind::Fast,
+            1,
+            false,
+            Instant::now(),
+            Some(&tracer),
+        )
+    }
+
+    fn object_keys(j: &Json) -> Vec<String> {
+        match j {
+            Json::Obj(fields) => fields.iter().map(|(k, _)| k.clone()).collect(),
+            other => panic!("expected an object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn document_fields_cover_the_rendered_stats_document_exactly() {
+        // Satellite completeness pin: a field added to the document but
+        // not to DOCUMENT_FIELDS (or vice versa) fails here; a field
+        // added to DOCUMENT_FIELDS but not the typed snapshot fails the
+        // exhaustive destructure below.
+        let doc = full_document();
+        let j = Json::parse(&doc).unwrap();
+        let keys = object_keys(&j);
+        assert_eq!(
+            keys,
+            StatsSnapshot::DOCUMENT_FIELDS,
+            "top-level stats document keys drifted from \
+             StatsSnapshot::DOCUMENT_FIELDS"
+        );
+        let per_shard = j.get("per_shard").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            object_keys(&per_shard[0]),
+            ShardSnapshot::DOCUMENT_FIELDS,
+            "per-shard object keys drifted from ShardSnapshot::DOCUMENT_FIELDS"
+        );
+
+        // Exhaustive destructures: adding a struct field without updating
+        // this test (and the decode) is a compile error here; adding a
+        // document field without a typed counterpart trips the key
+        // assertions above first.
+        let snap = StatsSnapshot::decode(&doc).expect("full document decodes");
+        let StatsSnapshot {
+            shards: _,
+            backend,
+            uptime_secs: _,
+            draining: _,
+            shard_restarts,
+            accepted: _,
+            busy: _,
+            errors: _,
+            packets,
+            forwarded: _,
+            dropped: _,
+            mismatches: _,
+            lost_updates: _,
+            batches: _,
+            sim_cycles: _,
+            packets_per_sec: _,
+            restart_carryover,
+            stages,
+            spans,
+            per_shard,
+        } = snap;
+        assert_eq!(backend, Some(BackendKind::Fast));
+        assert_eq!((packets, shard_restarts, restart_carryover), (12, 1, 3));
+        // All six stages present: four shard-side plus decode/write.
+        assert_eq!(stages.len(), STAGE_METRICS.len(), "{stages:?}");
+        let spans = spans.expect("spans section present with a tracer");
+        assert!(spans.enabled);
+        assert_eq!(spans.seen, 1);
+        let ShardSnapshot {
+            shard: _,
+            packets: _,
+            forwarded: _,
+            dropped: _,
+            mismatches: _,
+            lost_updates: _,
+            batches: _,
+            sim_cycles: _,
+            queue_depth: _,
+            queue_depth_highwater: _,
+            restart_carryover: shard_carry,
+        } = per_shard[0];
+        assert_eq!(shard_carry, 3);
     }
 }

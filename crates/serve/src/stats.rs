@@ -9,10 +9,37 @@
 
 use crate::backend::BackendKind;
 use crate::supervisor::PublicShard;
+use crate::tracing::ServeTracer;
 use memsync_trace::{Json, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::PoisonError;
 use std::time::Instant;
+
+/// The traced stages rendered into a registry's `stages` object, in
+/// pipeline order. The four shard stages live in the shard registries;
+/// decode/write come from the tracer's frontend registry.
+pub const STAGE_METRICS: [(&str, &str); 6] = [
+    ("decode_ns", "serve.stage.decode_ns"),
+    ("queue_ns", "serve.stage.queue_ns"),
+    ("coalesce_ns", "serve.stage.coalesce_ns"),
+    ("execute_ns", "serve.stage.execute_ns"),
+    ("egress_ns", "serve.stage.egress_ns"),
+    ("write_ns", "serve.stage.write_ns"),
+];
+
+/// Renders the non-empty stage histograms of `reg` as a `stages` object
+/// (stage name → bucket summary), or `None` when nothing was traced.
+fn stages_json(reg: &MetricsRegistry) -> Option<Json> {
+    let mut obj = Json::obj();
+    let mut any = false;
+    for (stage, metric) in STAGE_METRICS {
+        if let Some(s) = reg.bucket_histogram(metric).and_then(|h| h.summary()) {
+            obj.set(stage, s.to_json());
+            any = true;
+        }
+    }
+    any.then_some(obj)
+}
 
 /// Server-global counters the acceptors maintain (everything per-shard
 /// lives in the shard registries).
@@ -30,6 +57,9 @@ pub struct ServerCounters {
 ///
 /// `draining` and `restarts` come from the server; `started` anchors the
 /// throughput computation (forwarded+dropped packets over uptime).
+/// `tracer` (when the caller has one — the server always does) adds the
+/// `spans` section and folds the connection-side decode/write stage
+/// histograms into the merged `stages` object.
 pub fn stats_json(
     shards: &[PublicShard],
     counters: &ServerCounters,
@@ -37,14 +67,18 @@ pub fn stats_json(
     restarts: u64,
     draining: bool,
     started: Instant,
+    tracer: Option<&ServeTracer>,
 ) -> String {
     let mut merged = MetricsRegistry::new();
     let mut per_shard = Vec::with_capacity(shards.len());
+    let mut carryover_total = 0u64;
     for (i, s) in shards.iter().enumerate() {
         let reg = s.stats.lock().unwrap_or_else(PoisonError::into_inner);
         let snapshot = reg.clone();
         drop(reg);
         merged.merge(&snapshot);
+        let carryover = s.carryover.load(Ordering::Relaxed);
+        carryover_total += carryover;
         let mut obj = Json::obj()
             .with("shard", i.into())
             .with("packets", snapshot.counter("serve.packets").into())
@@ -58,7 +92,8 @@ pub fn stats_json(
             .with("batches", snapshot.counter("serve.batches").into())
             .with("sim_cycles", snapshot.counter("serve.sim_cycles").into())
             .with("queue_depth_highwater", s.queue.high_water().into())
-            .with("queue_depth", s.queue.len().into());
+            .with("queue_depth", s.queue.len().into())
+            .with("restart_carryover", carryover.into());
         if let Some(h) = snapshot
             .histogram("serve.batch_size")
             .and_then(|h| h.summary())
@@ -71,7 +106,13 @@ pub fn stats_json(
         {
             obj.set("service_latency_us", h.to_json());
         }
+        if let Some(stages) = stages_json(&snapshot) {
+            obj.set("stages", stages);
+        }
         per_shard.push(obj);
+    }
+    if let Some(t) = tracer {
+        t.merge_frontend_into(&mut merged);
     }
 
     let uptime = started.elapsed().as_secs_f64().max(1e-9);
@@ -82,6 +123,7 @@ pub fn stats_json(
         .with("uptime_secs", uptime.into())
         .with("draining", draining.into())
         .with("shard_restarts", restarts.into())
+        .with("restart_carryover", carryover_total.into())
         .with("accepted", counters.accepted.load(Ordering::Relaxed).into())
         .with("busy", counters.busy.load(Ordering::Relaxed).into())
         .with("errors", counters.errors.load(Ordering::Relaxed).into())
@@ -105,6 +147,12 @@ pub fn stats_json(
     {
         doc.set("service_latency_us", h.to_json());
     }
+    if let Some(stages) = stages_json(&merged) {
+        doc.set("stages", stages);
+    }
+    if let Some(t) = tracer {
+        doc.set("spans", t.to_json());
+    }
     doc.set("per_shard", Json::Arr(per_shard));
     doc.render()
 }
@@ -125,27 +173,30 @@ pub fn json_u64(doc: &str, key: &str) -> Option<u64> {
 mod tests {
     use super::*;
     use crate::queue::ShardQueue;
+    use crate::tracing::{PendingSpan, StageTimings, TracingConfig};
     use std::sync::atomic::AtomicBool;
     use std::sync::{Arc, Mutex};
 
+    fn mk_shard(forwarded: u64, dropped: u64, carryover: u64) -> PublicShard {
+        let mut r = MetricsRegistry::new();
+        r.add("serve.packets", forwarded + dropped);
+        r.add("serve.forwarded", forwarded);
+        r.add("serve.dropped", dropped);
+        r.add("serve.batches", 1);
+        r.record("serve.batch_size", forwarded + dropped);
+        r.record("serve.service_latency_us", 100);
+        PublicShard {
+            queue: Arc::new(ShardQueue::new(4)),
+            stats: Arc::new(Mutex::new(r)),
+            die: Arc::new(AtomicBool::new(false)),
+            idle: Arc::new(AtomicBool::new(true)),
+            carryover: Arc::new(AtomicU64::new(carryover)),
+        }
+    }
+
     #[test]
     fn stats_json_merges_shards_and_is_parseable() {
-        let mk = |forwarded: u64, dropped: u64| {
-            let mut r = MetricsRegistry::new();
-            r.add("serve.packets", forwarded + dropped);
-            r.add("serve.forwarded", forwarded);
-            r.add("serve.dropped", dropped);
-            r.add("serve.batches", 1);
-            r.record("serve.batch_size", forwarded + dropped);
-            r.record("serve.service_latency_us", 100);
-            PublicShard {
-                queue: Arc::new(ShardQueue::new(4)),
-                stats: Arc::new(Mutex::new(r)),
-                die: Arc::new(AtomicBool::new(false)),
-                idle: Arc::new(AtomicBool::new(true)),
-            }
-        };
-        let shards = vec![mk(10, 2), mk(5, 3)];
+        let shards = vec![mk_shard(10, 2, 4), mk_shard(5, 3, 0)];
         let counters = ServerCounters::default();
         counters.accepted.store(2, Ordering::Relaxed);
         counters.busy.store(1, Ordering::Relaxed);
@@ -156,6 +207,7 @@ mod tests {
             1,
             false,
             Instant::now(),
+            None,
         );
         assert!(doc.contains("\"backend\":\"sim\""), "{doc}");
         assert_eq!(json_u64(&doc, "forwarded"), Some(15));
@@ -164,8 +216,76 @@ mod tests {
         assert_eq!(json_u64(&doc, "lost_updates"), Some(0));
         assert_eq!(json_u64(&doc, "busy"), Some(1));
         assert_eq!(json_u64(&doc, "shard_restarts"), Some(1));
+        assert_eq!(
+            json_u64(&doc, "restart_carryover"),
+            Some(4),
+            "per-shard carryover sums to the top level"
+        );
         assert!(doc.contains("\"per_shard\""));
         assert!(doc.contains("\"p99\""), "latency percentiles present");
         assert!(doc.contains("\"queue_depth_highwater\""));
+        assert!(
+            !doc.contains("\"stages\""),
+            "no tracing, no stage section: {doc}"
+        );
+    }
+
+    #[test]
+    fn traced_stats_carry_stage_summaries_and_the_spans_section() {
+        let shards = vec![mk_shard(10, 2, 0)];
+        {
+            let mut reg = shards[0].stats.lock().unwrap();
+            for (_, metric) in STAGE_METRICS.iter().skip(1).take(4) {
+                reg.record_bucket(metric, 1500);
+            }
+        }
+        let tracer = ServeTracer::new(
+            TracingConfig {
+                enabled: true,
+                ..TracingConfig::default()
+            },
+            1,
+        )
+        .unwrap();
+        tracer.finish(
+            &PendingSpan {
+                span_id: 7,
+                client_assigned: true,
+                decode_ns: 800,
+                timings: vec![StageTimings {
+                    shard: 0,
+                    packets: 12,
+                    queue_ns: 1500,
+                    coalesce_ns: 1500,
+                    execute_ns: 1500,
+                    egress_ns: 1500,
+                    sim_cycles: 0,
+                    frames: 24,
+                }],
+            },
+            300,
+        );
+        let doc = stats_json(
+            &shards,
+            &ServerCounters::default(),
+            BackendKind::Fast,
+            0,
+            false,
+            Instant::now(),
+            Some(&tracer),
+        );
+        for key in ["\"stages\"", "\"decode_ns\"", "\"execute_ns\"", "\"spans\""] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        assert_eq!(json_u64(&doc, "seen"), Some(1));
+        // The merged stage summary reflects the recorded sample.
+        let snap = crate::snapshot::StatsSnapshot::decode(&doc).expect("decodes");
+        let stages = snap.stages;
+        assert!(
+            stages
+                .iter()
+                .any(|s| s.stage == "execute_ns" && s.count == 1),
+            "{stages:?}"
+        );
     }
 }

@@ -7,6 +7,13 @@
 //! `shard_restarts` and respawns the shard **on the same queue**, so jobs
 //! that were queued behind the crash survive and only the batch that was
 //! mid-flight is reported as failed (its reply channel drops).
+//!
+//! The replacement also runs on the same stats registry — a restart never
+//! zeroes a shard's contribution to the merged stats frame. The packet
+//! total at the moment of the most recent restart is latched per shard as
+//! `restart_carryover`, so stats consumers can both verify pre-restart
+//! traffic survived and attribute how much of a shard's total predates
+//! its newest incarnation.
 
 use crate::queue::ShardQueue;
 use crate::shard::{self, ShardCtx};
@@ -28,6 +35,11 @@ pub struct ShardHandle {
     pub die: Arc<AtomicBool>,
     /// Idle flag (drain waits for it).
     pub idle: Arc<AtomicBool>,
+    /// `serve.packets` total latched at the shard's most recent restart
+    /// (0 while the original incarnation lives). Because the registry is
+    /// shared across incarnations, a nonzero value proves pre-restart
+    /// traffic still counts in the merged stats frame.
+    pub carryover: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -89,6 +101,7 @@ impl Supervisor {
                     stats,
                     die,
                     idle,
+                    carryover: Arc::new(AtomicU64::new(0)),
                     thread: Some(thread),
                 }
             })
@@ -158,6 +171,18 @@ impl Supervisor {
                     eprintln!("[supervisor] shard {id} died: {msg}; restarting");
                 }
             }
+            // Latch the packet total the dead incarnation left behind.
+            // The registry itself is *not* reset — the replacement keeps
+            // accumulating on it — so the merged stats frame never loses
+            // pre-restart traffic; the latch makes that auditable.
+            {
+                let total = shard
+                    .stats
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .counter("serve.packets");
+                shard.carryover.store(total, Ordering::Relaxed);
+            }
             shard.die.store(false, Ordering::Release);
             shard.idle.store(true, Ordering::Release);
             shard.thread = Some(spawn_shard(
@@ -188,6 +213,7 @@ impl Supervisor {
                 stats: Arc::clone(&s.stats),
                 die: Arc::clone(&s.die),
                 idle: Arc::clone(&s.idle),
+                carryover: Arc::clone(&s.carryover),
             })
             .collect();
         let monitor = std::thread::Builder::new()
@@ -225,6 +251,9 @@ pub struct PublicShard {
     pub die: Arc<AtomicBool>,
     /// Idle flag.
     pub idle: Arc<AtomicBool>,
+    /// Packet total latched at the most recent restart (see
+    /// [`ShardHandle::carryover`]).
+    pub carryover: Arc<AtomicU64>,
 }
 
 /// A running background supervisor.

@@ -48,12 +48,66 @@ fn handshake_settles_version_and_exposes_capabilities() {
     assert_eq!(h.routes, 16);
     assert_eq!(
         h.capabilities,
-        memsync_serve::backend::capability_bits(),
-        "this build supports all three backends"
+        memsync_serve::backend::capability_bits() | memsync_serve::frame::CAP_TRACING,
+        "this build supports all three backends and request tracing"
     );
     assert!(
         h.capabilities & h.backend.cap_bit() != 0,
         "serving backend is a supported one"
+    );
+    assert!(client.supports_tracing(), "tracing capability surfaced");
+}
+
+#[test]
+fn span_tagged_submit_against_a_server_without_the_capability_is_refused_locally() {
+    // Simulates a v2 server one build older than this client: same
+    // protocol version, but no CAP_TRACING in its hello. A span-tagged
+    // submit must fail client-side with a typed Unsupported — nothing is
+    // sent, so the old server never sees a flag byte it cannot decode.
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().unwrap();
+    let old_server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().expect("accept");
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut served = 0usize;
+        while let Some(payload) = read_frame(&mut reader).expect("read") {
+            let rsp = match Request::decode(&payload).expect("decode") {
+                Request::Hello { .. } => {
+                    Response::Hello(memsync_serve::ServerHello {
+                        version: PROTOCOL_VERSION,
+                        // Backends only — no CAP_TRACING.
+                        capabilities: memsync_serve::backend::capability_bits(),
+                        backend: memsync_serve::BackendKind::Sim,
+                        shards: 2,
+                        egress: 2,
+                        routes: 16,
+                    })
+                }
+                other => panic!("nothing but hello should arrive, got {other:?}"),
+            };
+            write_frame(&mut stream, &rsp.encode()).expect("write");
+            served += 1;
+        }
+        served
+    });
+
+    let mut client = Client::connect(addr).expect("hello succeeds without tracing");
+    assert!(!client.supports_tracing());
+    let w = memsync_netapp::Workload::generate(2, 4, 16);
+    let err = client
+        .submit(&w.packets, SubmitOptions::new().span(42))
+        .expect_err("span-tagged submit must be refused locally");
+    match err {
+        ClientError::Unsupported(msg) => {
+            assert!(msg.contains("tracing"), "names the capability: {msg}");
+        }
+        other => panic!("expected Unsupported, got {other:?}"),
+    }
+    drop(client);
+    assert_eq!(
+        old_server.join().unwrap(),
+        1,
+        "only the hello reached the wire"
     );
 }
 

@@ -20,6 +20,10 @@
 //!   the registry, previously `memsync_sim::metrics`);
 //! * [`vcd`] — exports event streams as VCD so traces open in waveform
 //!   viewers;
+//! * [`bucket`] — fixed-footprint log2 [`BucketHistogram`]s for long-lived
+//!   processes (the serve stage-latency histograms);
+//! * [`span`] — request-scoped [`SpanRecord`]s: per-stage timings of one
+//!   submit batch through the serving stack, JSONL-exportable;
 //! * [`json`] — a dependency-free JSON value builder used by the JSONL
 //!   sink and the metrics exporters;
 //! * [`prng`] — a small deterministic PCG generator so traces are
@@ -28,17 +32,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bucket;
 pub mod event;
 pub mod json;
 pub mod latency;
 pub mod prng;
 pub mod registry;
 pub mod sink;
+pub mod span;
 pub mod vcd;
 
+pub use bucket::{BucketHistogram, BucketSummary};
 pub use event::{EventKind, Port, Role, TraceEvent};
 pub use json::Json;
 pub use latency::{LatencyRecorder, LatencyStats};
 pub use prng::Pcg32;
 pub use registry::{HistSummary, Histogram, MetricsRegistry, RecordingSink};
 pub use sink::{JsonlSink, NullSink, RingBufferSink, SharedSink, TraceSink, VecSink};
+pub use span::SpanRecord;

@@ -21,6 +21,7 @@
 //!   `bank{b}.grant_wait.consumers`;
 //! * high-water marks `bank{b}.deplist_occupancy` and `queue{t}.depth`.
 
+use crate::bucket::BucketHistogram;
 use crate::event::{EventKind, Port, Role, TraceEvent};
 use crate::json::Json;
 use crate::latency::{LatencyRecorder, LatencyStats};
@@ -113,6 +114,7 @@ impl HistSummary {
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, Histogram>,
+    buckets: BTreeMap<String, BucketHistogram>,
     highwater: BTreeMap<String, u64>,
     /// Produce-to-consume latency streams (the former
     /// `memsync_sim::metrics::LatencyRecorder`).
@@ -164,6 +166,23 @@ impl MetricsRegistry {
     /// A histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Records a sample into a fixed-footprint log2 [`BucketHistogram`]
+    /// (the long-lived-process counterpart of [`MetricsRegistry::record`]:
+    /// O(1) memory, exact min/max, bucket-resolution percentiles).
+    pub fn record_bucket(&mut self, name: &str, v: u64) {
+        self.buckets.entry(name.to_owned()).or_default().record(v);
+    }
+
+    /// A bucketed histogram by name.
+    pub fn bucket_histogram(&self, name: &str) -> Option<&BucketHistogram> {
+        self.buckets.get(name)
+    }
+
+    /// Every bucketed histogram, in name order.
+    pub fn bucket_histograms(&self) -> impl Iterator<Item = (&str, &BucketHistogram)> {
+        self.buckets.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Raises a high-water mark (keeps the maximum ever observed).
@@ -295,6 +314,9 @@ impl MetricsRegistry {
                 .samples
                 .extend(&h.samples);
         }
+        for (k, h) in &other.buckets {
+            self.buckets.entry(k.clone()).or_default().merge(h);
+        }
         for (k, v) in &other.highwater {
             let slot = self.highwater.entry(k.clone()).or_insert(0);
             *slot = (*slot).max(*v);
@@ -342,6 +364,12 @@ impl MetricsRegistry {
                 hists.set(k, s.to_json());
             }
         }
+        let mut buckets = Json::obj();
+        for (k, h) in &self.buckets {
+            if let Some(s) = h.summary() {
+                buckets.set(k, s.to_json());
+            }
+        }
         let mut util = Json::obj();
         for (bank, u) in self.utilization() {
             util.set(&bank, u.into());
@@ -377,6 +405,7 @@ impl MetricsRegistry {
             .with("counters", counters)
             .with("highwater", hw)
             .with("histograms", hists)
+            .with("buckets", buckets)
             .with("utilization", util)
             .with(
                 "latency",
@@ -554,11 +583,13 @@ mod tests {
             },
         ));
         r.observe_gauge("bank0.deplist_occupancy", 3);
+        r.record_bucket("stage.queue_ns", 17);
         let s = r.to_json().render();
         for key in [
             "counters",
             "highwater",
             "histograms",
+            "buckets",
             "utilization",
             "latency",
             "pooled",

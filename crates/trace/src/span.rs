@@ -1,0 +1,176 @@
+//! Request-scoped span records for the serving stack.
+//!
+//! A span covers one submit batch's trip through one shard:
+//! `decode → queue-wait → batch-coalesce → backend-execute → egress encode
+//! → socket write`. The serve crate builds these on the connection thread
+//! after the response is written and exports them as JSON Lines (one
+//! object per line, `kind:"span"`), reusing the
+//! [`JsonlSink`](crate::sink::JsonlSink) machinery, so a whole loadgen run
+//! can be reconstructed offline into a per-stage waterfall.
+
+use crate::json::Json;
+
+/// Per-stage timing record of one submit batch through one shard.
+///
+/// All durations are nanoseconds. Batch-level stages (coalesce, execute,
+/// egress) are measured once per shard activation and attributed whole to
+/// every job in the batch — a span answers "what did this request
+/// experience", not "what did this request exclusively consume".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanRecord {
+    /// Span id: client-assigned (high bit clear) or server-assigned
+    /// (high bit set) when the client did not tag the batch.
+    pub span: u64,
+    /// Whether the id came from the client.
+    pub client_assigned: bool,
+    /// Shard that executed this slice of the batch.
+    pub shard: u16,
+    /// Packets routed to this shard under this span.
+    pub packets: u64,
+    /// Request frame decode time on the connection thread.
+    pub decode_ns: u64,
+    /// Queue residency: submit enqueue to shard pickup.
+    pub queue_ns: u64,
+    /// Coalesce window: shard pickup to backend submit (batching more
+    /// jobs from the queue).
+    pub coalesce_ns: u64,
+    /// Backend execution: submit_batch through egress drain.
+    pub execute_ns: u64,
+    /// Egress classification/verification after the drain.
+    pub egress_ns: u64,
+    /// Response frame encode + socket write on the connection thread.
+    pub write_ns: u64,
+    /// Backend-reported simulator cycles consumed by the activation
+    /// (zero on the fast backend).
+    pub sim_cycles: u64,
+    /// Backend-reported egress frames emitted by the activation.
+    pub frames: u64,
+}
+
+impl SpanRecord {
+    /// Sum of every stage duration (the span's end-to-end service time as
+    /// seen from the server).
+    pub fn total_ns(&self) -> u64 {
+        self.decode_ns
+            .saturating_add(self.queue_ns)
+            .saturating_add(self.coalesce_ns)
+            .saturating_add(self.execute_ns)
+            .saturating_add(self.egress_ns)
+            .saturating_add(self.write_ns)
+    }
+
+    /// Renders the span as a JSON object (`kind:"span"`).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("kind", "span".into())
+            .with("span", self.span.into())
+            .with("client_assigned", self.client_assigned.into())
+            .with("shard", u64::from(self.shard).into())
+            .with("packets", self.packets.into())
+            .with("decode_ns", self.decode_ns.into())
+            .with("queue_ns", self.queue_ns.into())
+            .with("coalesce_ns", self.coalesce_ns.into())
+            .with("execute_ns", self.execute_ns.into())
+            .with("egress_ns", self.egress_ns.into())
+            .with("write_ns", self.write_ns.into())
+            .with("sim_cycles", self.sim_cycles.into())
+            .with("frames", self.frames.into())
+    }
+
+    /// One JSONL line (compact [`SpanRecord::to_json`]).
+    pub fn to_jsonl(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses a JSONL line back into a span. Returns `None` for lines
+    /// that are not spans (e.g. meta headers) or are missing fields — the
+    /// offline waterfall reader skips those.
+    pub fn parse(line: &str) -> Option<SpanRecord> {
+        let j = Json::parse(line.trim()).ok()?;
+        if j.get("kind").and_then(Json::as_str) != Some("span") {
+            return None;
+        }
+        let u = |key: &str| j.get(key).and_then(Json::as_u64);
+        Some(SpanRecord {
+            span: u("span")?,
+            client_assigned: j.get("client_assigned").and_then(Json::as_bool)?,
+            shard: u16::try_from(u("shard")?).ok()?,
+            packets: u("packets")?,
+            decode_ns: u("decode_ns")?,
+            queue_ns: u("queue_ns")?,
+            coalesce_ns: u("coalesce_ns")?,
+            execute_ns: u("execute_ns")?,
+            egress_ns: u("egress_ns")?,
+            write_ns: u("write_ns")?,
+            sim_cycles: u("sim_cycles")?,
+            frames: u("frames")?,
+        })
+    }
+
+    /// Stage names in waterfall order, paired with each stage's duration.
+    pub fn stages(&self) -> [(&'static str, u64); 6] {
+        [
+            ("decode", self.decode_ns),
+            ("queue", self.queue_ns),
+            ("coalesce", self.coalesce_ns),
+            ("execute", self.execute_ns),
+            ("egress", self.egress_ns),
+            ("write", self.write_ns),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanRecord {
+        SpanRecord {
+            span: 0x1234,
+            client_assigned: true,
+            shard: 3,
+            packets: 100,
+            decode_ns: 10,
+            queue_ns: 20,
+            coalesce_ns: 30,
+            execute_ns: 40,
+            egress_ns: 50,
+            write_ns: 60,
+            sim_cycles: 7,
+            frames: 2,
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let s = sample();
+        let line = s.to_jsonl();
+        assert!(line.contains("\"kind\":\"span\""));
+        assert_eq!(SpanRecord::parse(&line), Some(s));
+    }
+
+    #[test]
+    fn total_is_stage_sum() {
+        assert_eq!(sample().total_ns(), 210);
+        let stages = sample().stages();
+        assert_eq!(stages.iter().map(|(_, v)| v).sum::<u64>(), 210);
+        assert_eq!(stages[0].0, "decode");
+        assert_eq!(stages[5].0, "write");
+    }
+
+    #[test]
+    fn parse_skips_non_span_lines() {
+        assert_eq!(SpanRecord::parse("{\"kind\":\"meta\",\"run\":1}"), None);
+        assert_eq!(SpanRecord::parse("not json"), None);
+        assert_eq!(SpanRecord::parse("{\"kind\":\"span\"}"), None);
+    }
+
+    #[test]
+    fn server_assigned_ids_survive_the_high_bit() {
+        let mut s = sample();
+        s.span = (1 << 63) | 42;
+        s.client_assigned = false;
+        let line = s.to_jsonl();
+        assert_eq!(SpanRecord::parse(&line), Some(s));
+    }
+}

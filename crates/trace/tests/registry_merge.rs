@@ -3,7 +3,8 @@
 //! indistinguishable (counters, histogram percentiles, latency streams,
 //! high-water marks) from recording every sample into one registry.
 
-use memsync_trace::{MetricsRegistry, Pcg32};
+use memsync_trace::bucket::{bucket_index, BUCKETS};
+use memsync_trace::{BucketHistogram, LatencyRecorder, MetricsRegistry, Pcg32};
 
 #[test]
 fn merge_sums_counters_and_maxes_highwater() {
@@ -135,4 +136,190 @@ fn property_split_then_merge_equals_single_registry() {
         id.merge(&merged);
         assert_eq!(id.counter("c.events"), merged.counter("c.events"));
     }
+}
+
+// ----------------------------------------------------------------------
+// BucketHistogram merge — the aggregation behind the tracing plane's
+// stage percentiles. The serve stats frame merges per-shard bucket
+// histograms; these properties pin that the merge is loss-free at the
+// bucket resolution, including the edges (empty identity, boundary
+// values, saturating counts).
+
+fn summaries_equal(a: &BucketHistogram, b: &BucketHistogram) {
+    assert_eq!(a.buckets(), b.buckets(), "bucket counts differ");
+    assert_eq!(a.count(), b.count());
+    assert_eq!(a.min(), b.min());
+    assert_eq!(a.max(), b.max());
+    for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(a.percentile(q), b.percentile(q), "p{q} differs");
+    }
+}
+
+#[test]
+fn bucket_merge_with_empty_is_identity_both_ways() {
+    let mut full = BucketHistogram::new();
+    for v in [0u64, 1, 2, 1023, 1024, u64::MAX] {
+        full.record(v);
+    }
+    let reference = full.clone();
+
+    // full ⊕ empty = full.
+    full.merge(&BucketHistogram::new());
+    summaries_equal(&full, &reference);
+
+    // empty ⊕ full = full (including exact min/max, which start at the
+    // empty histogram's sentinel values u64::MAX / 0).
+    let mut empty = BucketHistogram::new();
+    empty.merge(&reference);
+    summaries_equal(&empty, &reference);
+
+    // empty ⊕ empty stays empty, not a phantom sample.
+    let mut e2 = BucketHistogram::new();
+    e2.merge(&BucketHistogram::new());
+    assert_eq!(e2.count(), 0);
+    assert_eq!(e2.min(), None);
+    assert_eq!(e2.summary(), None);
+}
+
+#[test]
+fn bucket_merge_saturates_counts_and_sums() {
+    let mut a = BucketHistogram::new();
+    let mut b = BucketHistogram::new();
+    for h in [&mut a, &mut b] {
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+    }
+    a.merge(&b);
+    assert_eq!(a.count(), 4);
+    assert_eq!(a.max(), Some(u64::MAX));
+    // The running sum saturates instead of wrapping: the mean stays at
+    // the top of the range rather than collapsing toward zero.
+    assert!(a.mean().unwrap() >= (u64::MAX / 4) as f64);
+    assert_eq!(a.percentile(1.0), Some(u64::MAX));
+}
+
+#[test]
+fn bucket_split_at_boundaries_equals_single_recording() {
+    // Adversarial split: every sample sits exactly on a bucket boundary
+    // (2^k - 1 closes bucket k, 2^k opens bucket k+1), the worst case for
+    // any off-by-one in the merge's bucket arithmetic.
+    for k in 1..63u32 {
+        let below = (1u64 << k) - 1;
+        let at = 1u64 << k;
+        assert_eq!(
+            bucket_index(below) + 1,
+            bucket_index(at),
+            "2^{k}-1 and 2^{k} straddle a boundary"
+        );
+        let mut single = BucketHistogram::new();
+        let mut left = BucketHistogram::new();
+        let mut right = BucketHistogram::new();
+        for (i, v) in [below, at, below, at, at].into_iter().enumerate() {
+            single.record(v);
+            if i % 2 == 0 {
+                left.record(v);
+            } else {
+                right.record(v);
+            }
+        }
+        left.merge(&right);
+        summaries_equal(&left, &single);
+    }
+}
+
+#[test]
+fn property_bucket_split_then_merge_equals_single_histogram() {
+    for seed in 0..20u64 {
+        let mut rng = Pcg32::seed_from_u64(0xB0C4E7 ^ seed);
+        let shards = 1 + (seed as usize % 5);
+        let mut parts: Vec<BucketHistogram> = (0..shards).map(|_| BucketHistogram::new()).collect();
+        let mut single = BucketHistogram::new();
+        for _ in 0..500 {
+            // Spread samples across the full bucket range, biased onto
+            // boundaries: 2^k - 1, 2^k, 2^k + 1, or a random offset.
+            let k = rng.gen_range(0..(BUCKETS as u64 - 1)) as u32;
+            let base = 1u64 << k.min(62);
+            let v = match rng.gen_range(0..4) {
+                0 => base - 1,
+                1 => base,
+                2 => base.saturating_add(1),
+                _ => base.saturating_add(rng.gen_range(0..base.max(1))),
+            };
+            parts[rng.gen_range_usize(0..shards)].record(v);
+            single.record(v);
+        }
+        let mut merged = BucketHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        summaries_equal(&merged, &single);
+        // Fold order must not matter either (associativity).
+        let mut reversed = BucketHistogram::new();
+        for p in parts.iter().rev() {
+            reversed.merge(p);
+        }
+        summaries_equal(&reversed, &merged);
+    }
+}
+
+// ----------------------------------------------------------------------
+// LatencyRecorder merge edges: empty identities, stream union, and the
+// documented closed-window contract (open produce rounds do not leak
+// across a merge).
+
+#[test]
+fn latency_merge_with_empty_is_identity() {
+    let mut full = LatencyRecorder::new();
+    full.record_write(4, 10);
+    full.record_delivery(4, 0, 13);
+    let reference_samples = full.samples(4, 0).to_vec();
+
+    full.merge(&LatencyRecorder::new());
+    assert_eq!(full.samples(4, 0), reference_samples.as_slice());
+
+    let mut empty = LatencyRecorder::new();
+    empty.merge(&full);
+    assert_eq!(empty.samples(4, 0), reference_samples.as_slice());
+    assert_eq!(empty.streams(), full.streams());
+    assert_eq!(empty.pooled_stats(), full.pooled_stats());
+}
+
+#[test]
+fn latency_merge_unions_disjoint_streams_and_pools_shared_ones() {
+    let mut a = LatencyRecorder::new();
+    let mut b = LatencyRecorder::new();
+    // Shared stream (4, 0): samples 3 from a, 5 from b.
+    a.record_write(4, 10);
+    a.record_delivery(4, 0, 13);
+    b.record_write(4, 100);
+    b.record_delivery(4, 0, 105);
+    // Disjoint stream (8, 1) only in b.
+    b.record_write(8, 0);
+    b.record_delivery(8, 1, 7);
+    a.merge(&b);
+    assert_eq!(a.samples(4, 0), &[3, 5]);
+    assert_eq!(a.samples(8, 1), &[7]);
+    assert_eq!(a.streams().len(), 2);
+    let pooled = a.pooled_stats().unwrap();
+    assert_eq!(pooled.count, 3);
+    assert_eq!((pooled.min, pooled.max), (3, 7));
+}
+
+#[test]
+fn latency_merge_does_not_leak_open_produce_rounds() {
+    // Documented closed-window contract: a `record_write` with no
+    // delivery yet is measurement state, not a sample, and merging must
+    // not let a later delivery in the *destination* recorder pair against
+    // the source's open write.
+    let mut open = LatencyRecorder::new();
+    open.record_write(4, 1000);
+    let mut dst = LatencyRecorder::new();
+    dst.merge(&open);
+    dst.record_delivery(4, 0, 1003);
+    assert!(
+        dst.samples(4, 0).is_empty(),
+        "the open write must not cross the merge"
+    );
+    assert!(dst.streams().is_empty());
+    assert_eq!(dst.pooled_stats(), None);
 }
