@@ -82,6 +82,176 @@ impl Fib {
         }
         best
     }
+
+    /// All routes in the table, in depth-first (prefix, ascending-bit)
+    /// order. Each stored prefix appears exactly once — duplicates were
+    /// already collapsed by [`Fib::insert`]'s replace semantics.
+    pub fn routes(&self) -> Vec<Route> {
+        fn walk(node: &Node, prefix: u32, len: u8, out: &mut Vec<Route>) {
+            if let Some(next_hop) = node.next_hop {
+                out.push(Route {
+                    prefix,
+                    len,
+                    next_hop,
+                });
+            }
+            for (bit, child) in node.children.iter().enumerate() {
+                if let Some(child) = child {
+                    walk(child, prefix | ((bit as u32) << (31 - len)), len + 1, out);
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len);
+        walk(&self.root, 0, 0, &mut out);
+        out
+    }
+}
+
+/// A DIR-24-8 flat-table longest-prefix classifier compiled from a
+/// [`Fib`].
+///
+/// The classic two-level layout: a 2^24-entry top table indexed by the
+/// high 24 address bits resolves every prefix of length ≤ 24 in a single
+/// load, and slots covered by a longer prefix point at a 256-entry
+/// overflow block indexed by the low byte. Next hops are interned so the
+/// tables hold dense `u16` codes:
+///
+/// * `0` — no route covers the slot;
+/// * `1..=0x7fff` — direct hit, next hop is `hops[code - 1]`;
+/// * `0x8000 | block` — (top table only) consult overflow block `block`.
+///
+/// Lookups are two dependent loads worst case, no pointer chasing and no
+/// branches on prefix length — the shape the batched forwarding path
+/// wants. Build cost is O(routes × covered slots) into ~32 MiB of table,
+/// so compile once per route table and share (the serve layer builds one
+/// per supervisor, not per shard incarnation). Agreement with the trie
+/// oracle over random tables is pinned by `tests/dir24_8.rs`.
+#[derive(Debug, Clone)]
+pub struct Dir24_8 {
+    tbl24: Vec<u16>,
+    overflow: Vec<u16>,
+    hops: Vec<u32>,
+}
+
+/// Direct-hit codes are 15-bit, so at most this many distinct next hops
+/// can be interned (far above any modeled table).
+const MAX_HOPS: usize = 0x7fff;
+/// Top-level entries with this bit set index an overflow block.
+const OVERFLOW_BIT: u16 = 0x8000;
+
+impl Dir24_8 {
+    /// Compiles the classifier from a trie.
+    pub fn from_fib(fib: &Fib) -> Self {
+        Self::from_routes(&fib.routes())
+    }
+
+    /// Compiles the classifier from a route list. Routes are applied in
+    /// ascending prefix-length order (stable, so a later duplicate of the
+    /// same prefix wins) — longer prefixes overwrite the slots of the
+    /// shorter ones they nest inside, which is exactly longest-prefix
+    /// semantics once lookups read the final table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid routes (host bits set, `len > 32`), more than
+    /// 32767 distinct next hops, or more than 32767 overflow blocks.
+    pub fn from_routes(routes: &[Route]) -> Self {
+        let mut sorted: Vec<Route> = routes.to_vec();
+        sorted.sort_by_key(|r| r.len);
+        let mut dir = Dir24_8 {
+            tbl24: vec![0u16; 1 << 24],
+            overflow: Vec::new(),
+            hops: Vec::new(),
+        };
+        for route in sorted {
+            assert!(route.len <= 32, "prefix length out of range");
+            if route.len < 32 {
+                assert_eq!(
+                    route.prefix & ((1u64 << (32 - route.len)) - 1) as u32,
+                    0,
+                    "host bits set in prefix"
+                );
+            }
+            let code = dir.intern(route.next_hop);
+            if route.len <= 24 {
+                // ≤24 routes are applied before any overflow block exists
+                // (ascending-length order), so a plain range fill is safe.
+                let start = (route.prefix >> 8) as usize;
+                let span = 1usize << (24 - route.len);
+                dir.tbl24[start..start + span].fill(code);
+            } else {
+                let slot = (route.prefix >> 8) as usize;
+                let entry = dir.tbl24[slot];
+                let block = if entry & OVERFLOW_BIT != 0 {
+                    (entry & !OVERFLOW_BIT) as usize
+                } else {
+                    // Promote the slot: seed a fresh block with the ≤24
+                    // route that covered it (same code space), then point
+                    // the slot at the block.
+                    let block = dir.overflow.len() / 256;
+                    assert!(block < MAX_HOPS, "overflow block space exhausted");
+                    dir.overflow.resize(dir.overflow.len() + 256, entry);
+                    dir.tbl24[slot] = OVERFLOW_BIT | block as u16;
+                    block
+                };
+                let low = (route.prefix & 0xff) as usize;
+                let span = 1usize << (32 - route.len);
+                dir.overflow[block * 256 + low..block * 256 + low + span].fill(code);
+            }
+        }
+        dir
+    }
+
+    /// Interns a next hop, returning its direct-hit code (`index + 1`).
+    fn intern(&mut self, hop: u32) -> u16 {
+        let idx = match self.hops.iter().position(|&h| h == hop) {
+            Some(idx) => idx,
+            None => {
+                assert!(self.hops.len() < MAX_HOPS, "next-hop space exhausted");
+                self.hops.push(hop);
+                self.hops.len() - 1
+            }
+        };
+        (idx + 1) as u16
+    }
+
+    /// Longest-prefix match; agrees with [`Fib::lookup`] on the table the
+    /// classifier was compiled from.
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let entry = self.tbl24[(addr >> 8) as usize];
+        let code = if entry & OVERFLOW_BIT != 0 {
+            self.overflow[((entry & !OVERFLOW_BIT) as usize) * 256 + (addr & 0xff) as usize]
+        } else {
+            entry
+        };
+        if code == 0 {
+            None
+        } else {
+            Some(self.hops[code as usize - 1])
+        }
+    }
+
+    /// Batched lookup: one verdict per address, written into `hops`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn lookup_batch(&self, addrs: &[u32], hops: &mut [Option<u32>]) {
+        assert_eq!(addrs.len(), hops.len(), "one verdict slot per address");
+        for (addr, hop) in addrs.iter().zip(hops.iter_mut()) {
+            *hop = self.lookup(*addr);
+        }
+    }
+
+    /// Number of allocated overflow blocks (diagnostics).
+    pub fn overflow_blocks(&self) -> usize {
+        self.overflow.len() / 256
+    }
+
+    /// Number of distinct interned next hops.
+    pub fn distinct_hops(&self) -> usize {
+        self.hops.len()
+    }
 }
 
 /// Builds a deterministic synthetic table of `n` routes spread over the
@@ -296,5 +466,128 @@ mod tests {
         // Everything resolves at least to the default route.
         assert!(fib.lookup(0x0102_0304).is_some());
         assert_eq!(fib.lookup(0xc0a8_0105), Some(201));
+    }
+
+    #[test]
+    fn routes_round_trips_through_a_fresh_trie() {
+        let fib = synthetic_table(32);
+        let routes = fib.routes();
+        assert_eq!(routes.len(), fib.len());
+        let mut rebuilt = Fib::new();
+        for r in &routes {
+            rebuilt.insert(*r);
+        }
+        assert_eq!(rebuilt.len(), fib.len());
+        assert_eq!(rebuilt.routes(), routes, "stable enumeration order");
+        for addr in [0u32, 0x0a05_0000, 0xc0a8_0123, 0xffff_ffff] {
+            assert_eq!(rebuilt.lookup(addr), fib.lookup(addr));
+        }
+    }
+
+    #[test]
+    fn dir24_8_matches_the_trie_on_the_synthetic_table() {
+        let fib = synthetic_table(64);
+        let dir = Dir24_8::from_fib(&fib);
+        for addr in [
+            0u32,
+            0x0a00_0000,
+            0x0a05_1234,
+            0xc0a8_0105,
+            0xc0a8_1505,
+            0x0102_0304,
+            0xffff_ffff,
+        ] {
+            assert_eq!(dir.lookup(addr), fib.lookup(addr), "addr {addr:#010x}");
+        }
+    }
+
+    #[test]
+    fn dir24_8_overflow_blocks_resolve_long_prefixes() {
+        // A /26 and a /32 nested inside a /24 inside a /16: the shared
+        // tbl24 slot must promote to an overflow block that still serves
+        // the shorter covering routes for unmatched low bytes.
+        let mut fib = Fib::new();
+        fib.insert(Route {
+            prefix: 0xc0a8_0000,
+            len: 16,
+            next_hop: 1,
+        });
+        fib.insert(Route {
+            prefix: 0xc0a8_0100,
+            len: 24,
+            next_hop: 2,
+        });
+        fib.insert(Route {
+            prefix: 0xc0a8_0140,
+            len: 26,
+            next_hop: 3,
+        });
+        fib.insert(Route {
+            prefix: 0xc0a8_0142,
+            len: 32,
+            next_hop: 4,
+        });
+        let dir = Dir24_8::from_fib(&fib);
+        assert_eq!(dir.overflow_blocks(), 1, "one promoted slot");
+        assert_eq!(dir.distinct_hops(), 4);
+        for addr in [
+            0xc0a8_0142u32, // the host route
+            0xc0a8_0141,    // inside the /26, one off the /32
+            0xc0a8_017f,    // last address of the /26
+            0xc0a8_0180,    // past the /26, back on the /24
+            0xc0a8_0100,    // first address of the /24
+            0xc0a8_0200,    // sibling /24 slot, served by the /16
+            0xc0a9_0000,    // outside the /16 entirely
+        ] {
+            assert_eq!(dir.lookup(addr), fib.lookup(addr), "addr {addr:#010x}");
+        }
+        assert_eq!(dir.lookup(0xc0a8_0142), Some(4));
+        assert_eq!(dir.lookup(0xc0a9_0000), None);
+    }
+
+    #[test]
+    fn dir24_8_duplicate_prefix_last_wins() {
+        // from_routes applies equal-length routes in list order, so the
+        // later duplicate must win — mirroring Fib::insert's replace.
+        let routes = [
+            Route {
+                prefix: 0x0a00_0000,
+                len: 8,
+                next_hop: 1,
+            },
+            Route {
+                prefix: 0x0a00_0000,
+                len: 8,
+                next_hop: 7,
+            },
+        ];
+        let dir = Dir24_8::from_routes(&routes);
+        assert_eq!(dir.lookup(0x0a01_0203), Some(7));
+    }
+
+    #[test]
+    fn dir24_8_empty_and_default_edges() {
+        let empty = Dir24_8::from_routes(&[]);
+        assert_eq!(empty.lookup(0), None);
+        assert_eq!(empty.lookup(0xffff_ffff), None);
+        let default_only = Dir24_8::from_routes(&[Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 9,
+        }]);
+        assert_eq!(default_only.lookup(0), Some(9));
+        assert_eq!(default_only.lookup(0xffff_ffff), Some(9));
+    }
+
+    #[test]
+    fn dir24_8_lookup_batch_matches_scalar() {
+        let fib = synthetic_table(32);
+        let dir = Dir24_8::from_fib(&fib);
+        let addrs: Vec<u32> = (0..256).map(|i| i * 0x0101_0101).collect();
+        let mut batch = vec![None; addrs.len()];
+        dir.lookup_batch(&addrs, &mut batch);
+        for (addr, got) in addrs.iter().zip(&batch) {
+            assert_eq!(*got, dir.lookup(*addr));
+        }
     }
 }

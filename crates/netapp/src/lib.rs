@@ -8,7 +8,8 @@
 //!
 //! * [`packet`] — IPv4/Ethernet headers, RFC 1071 checksums, the forwarding
 //!   transform;
-//! * [`fib`] — binary-trie longest-prefix match;
+//! * [`fib`] — binary-trie longest-prefix match plus the flat
+//!   [`fib::Dir24_8`] classifier compiled from it;
 //! * [`forwarding`] — hic source generators ([`forwarding::app_source`],
 //!   [`forwarding::core_source`]);
 //! * [`workload`] — seeded packet traces and the software oracle.
@@ -21,6 +22,6 @@ pub mod forwarding;
 pub mod packet;
 pub mod workload;
 
-pub use fib::{Fib, Route};
+pub use fib::{Dir24_8, Fib, Route};
 pub use packet::{EthernetFrame, Ipv4Packet};
 pub use workload::Workload;

@@ -54,50 +54,50 @@ impl ForwardingBackend for DifferentialBackend {
         self.candidate.submit_batch(descriptors);
     }
 
-    fn drain_egress(&mut self) -> Vec<Vec<u32>> {
-        let want = self.reference.drain_egress();
-        let got = self.candidate.drain_egress();
-        assert_eq!(
-            want.len(),
-            got.len(),
-            "differential: egress width diverged ({} vs {})",
-            self.reference.kind(),
-            self.candidate.kind()
-        );
-        for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+    fn drain_egress(&mut self) -> &[Vec<u32>] {
+        let (rk, ck) = (self.reference.kind(), self.candidate.kind());
+        // The comparison borrows both engines' views; it happens in an
+        // inner scope so the reference can be re-drained for the returned
+        // view afterwards (drains are stable until the next submit, so
+        // the second call hands back the same lanes without copying).
+        let drained = {
+            let want = self.reference.drain_egress();
+            let got = self.candidate.drain_egress();
             assert_eq!(
-                w.len(),
-                g.len(),
-                "differential: egress e{i} frame count diverged after {} descriptors \
-                 ({}: {} frames, {}: {})",
-                self.checked,
-                self.reference.kind(),
-                w.len(),
-                self.candidate.kind(),
-                g.len()
+                want.len(),
+                got.len(),
+                "differential: egress width diverged ({rk} vs {ck})"
             );
-            for (k, (wf, gf)) in w.iter().zip(g).enumerate() {
+            for (i, (w, g)) in want.iter().zip(got).enumerate() {
                 assert_eq!(
-                    wf,
-                    gf,
-                    "differential: egress e{i} frame {k} diverged after {} descriptors \
-                     ({}: {wf:#010x}, {}: {gf:#010x})",
+                    w.len(),
+                    g.len(),
+                    "differential: egress e{i} frame count diverged after {} descriptors \
+                     ({rk}: {} frames, {ck}: {})",
                     self.checked,
-                    self.reference.kind(),
-                    self.candidate.kind()
+                    w.len(),
+                    g.len()
                 );
+                for (k, (wf, gf)) in w.iter().zip(g).enumerate() {
+                    assert_eq!(
+                        wf,
+                        gf,
+                        "differential: egress e{i} frame {k} diverged after {} descriptors \
+                         ({rk}: {wf:#010x}, {ck}: {gf:#010x})",
+                        self.checked
+                    );
+                }
             }
-        }
+            want.first().map_or(0, |w| w.len() as u64)
+        };
         let (rl, cl) = (self.reference.lost_updates(), self.candidate.lost_updates());
         assert_eq!(
             rl,
             cl,
-            "differential: lost-update counters diverged ({}: {rl}, {}: {cl})",
-            self.reference.kind(),
-            self.candidate.kind()
+            "differential: lost-update counters diverged ({rk}: {rl}, {ck}: {cl})"
         );
-        self.checked += want.first().map_or(0, |w| w.len() as u64);
-        want
+        self.checked += drained;
+        self.reference.drain_egress()
     }
 
     fn lost_updates(&self) -> u64 {
@@ -125,6 +125,7 @@ mod tests {
     struct LyingBackend {
         inner: FastBackend,
         corrupt_at: usize,
+        frames: Vec<Vec<u32>>,
     }
 
     impl ForwardingBackend for LyingBackend {
@@ -134,12 +135,12 @@ mod tests {
         fn submit_batch(&mut self, descriptors: &[u32]) {
             self.inner.submit_batch(descriptors);
         }
-        fn drain_egress(&mut self) -> Vec<Vec<u32>> {
-            let mut frames = self.inner.drain_egress();
-            if let Some(f) = frames[0].get_mut(self.corrupt_at) {
+        fn drain_egress(&mut self) -> &[Vec<u32>] {
+            self.frames = self.inner.drain_egress().to_vec();
+            if let Some(f) = self.frames[0].get_mut(self.corrupt_at) {
                 *f ^= 0x1;
             }
-            frames
+            &self.frames
         }
         fn lost_updates(&self) -> u64 {
             self.inner.lost_updates()
@@ -182,6 +183,7 @@ mod tests {
             Box::new(LyingBackend {
                 inner: FastBackend::new(2),
                 corrupt_at: 5,
+                frames: Vec::new(),
             }),
         );
         b.submit_batch(&descs(12, 10));
@@ -200,7 +202,7 @@ mod tests {
                 // Drops the last descriptor — the lost-packet bug class.
                 self.0.submit_batch(&d[..d.len() - 1]);
             }
-            fn drain_egress(&mut self) -> Vec<Vec<u32>> {
+            fn drain_egress(&mut self) -> &[Vec<u32>] {
                 self.0.drain_egress()
             }
             fn lost_updates(&self) -> u64 {

@@ -1,37 +1,80 @@
 //! The compiled fast path: the forwarding pipeline executed functionally,
 //! descriptor in, frames out — no cycle-accurate machinery.
 //!
-//! [`FastBackend`] is [`crate::pipeline::PipelineModel`] (the per-packet
-//! verify oracle, byte-matched to the simulator's egress under both
-//! memory organizations) promoted into a batch execution engine: the
-//! `g()` mix is pre-seeded at construction, per-egress output buffers are
-//! reused across batches, and a whole batch runs as a tight loop over
-//! [`memsync_synth::eval::call_function_seeded`]. Because execution is a
-//! pure function of each descriptor there is no shared guarded state to
-//! overwrite — the backend is paced *by construction* and
-//! `lost_updates()` is structurally 0.
+//! [`FastBackend`] runs [`crate::pipeline::PipelineModel`]'s batch
+//! kernels: one structure-of-arrays pass computes every carrier for the
+//! submitted batch ([`PipelineModel::carrier_batch`]), then one pass per
+//! egress consumer scrambles the carriers straight into that consumer's
+//! arena lane ([`PipelineModel::scramble_batch`]). The lanes double as
+//! the zero-copy egress buffers: [`ForwardingBackend::drain_egress`]
+//! hands them out as a borrowed view and the next submit recycles their
+//! storage, so the steady state allocates nothing (pinned by
+//! `tests/fast_zero_alloc.rs`). Because execution is a pure function of
+//! each descriptor there is no shared guarded state to overwrite — the
+//! backend is paced *by construction* and `lost_updates()` is
+//! structurally 0.
+//!
+//! [`FastBackend::scalar`] keeps the old descriptor-at-a-time loop
+//! (scalar `carrier()`/`scramble()` per packet) selectable as the
+//! measurable baseline the `batch_over_scalar` benchmark field compares
+//! against; both modes are byte-identical by the pipeline pin tests.
+//!
+//! [`PipelineModel::carrier_batch`]: crate::pipeline::PipelineModel::carrier_batch
+//! [`PipelineModel::scramble_batch`]: crate::pipeline::PipelineModel::scramble_batch
 
 use super::{BackendKind, BackendMetrics, ForwardingBackend};
 use crate::pipeline::PipelineModel;
 
-/// Functional batch execution of the compiled forwarding pipeline.
+/// Lane-parallel batch execution of the compiled forwarding pipeline.
 #[derive(Debug)]
 pub struct FastBackend {
     model: PipelineModel,
-    /// Accumulated frames, one buffer per egress consumer.
-    buffers: Vec<Vec<u32>>,
+    /// Arena frame buffers, one lane per egress consumer. Accumulate
+    /// across submits; recycled (capacity kept) on the first submit after
+    /// a drain.
+    lanes: Vec<Vec<u32>>,
+    /// Per-batch carrier scratch shared by every egress pass.
+    carriers: Vec<u32>,
+    /// Set by `drain_egress`; the next submit clears the consumed lanes.
+    drained: bool,
+    /// Run the descriptor-at-a-time scalar loop instead of the batch
+    /// kernels (benchmark baseline).
+    scalar: bool,
     descriptors: u64,
     frames: u64,
 }
 
 impl FastBackend {
-    /// An engine emitting frames for `egress` consumers.
+    /// A batch engine emitting frames for `egress` consumers.
     pub fn new(egress: usize) -> FastBackend {
         FastBackend {
             model: PipelineModel::new(),
-            buffers: vec![Vec::new(); egress],
+            lanes: vec![Vec::new(); egress],
+            carriers: Vec::new(),
+            drained: false,
+            scalar: false,
             descriptors: 0,
             frames: 0,
+        }
+    }
+
+    /// The same engine forced onto the scalar per-descriptor path — the
+    /// baseline the batch kernels are benchmarked against
+    /// (`batch_over_scalar` in `BENCH_serve.json`).
+    pub fn scalar(egress: usize) -> FastBackend {
+        FastBackend {
+            scalar: true,
+            ..FastBackend::new(egress)
+        }
+    }
+
+    /// Recycles lanes consumed by the previous drain.
+    fn recycle(&mut self) {
+        if self.drained {
+            for lane in &mut self.lanes {
+                lane.clear();
+            }
+            self.drained = false;
         }
     }
 }
@@ -42,24 +85,39 @@ impl ForwardingBackend for FastBackend {
     }
 
     fn submit_batch(&mut self, descriptors: &[u32]) {
-        for buf in &mut self.buffers {
-            buf.reserve(descriptors.len());
-        }
-        // Descriptor-outer so the rx/lkp/fwd carrier is computed once per
-        // packet and only the cheap per-egress scramble runs per consumer.
-        for &d in descriptors {
-            let carrier = self.model.carrier(d);
-            for (i, buf) in self.buffers.iter_mut().enumerate() {
-                buf.push(self.model.scramble(carrier, i));
+        self.recycle();
+        let n = descriptors.len();
+        if self.scalar {
+            // Descriptor-outer baseline: carrier once per packet, scalar
+            // scramble per consumer.
+            for &d in descriptors {
+                let carrier = self.model.carrier(d);
+                for (i, lane) in self.lanes.iter_mut().enumerate() {
+                    lane.push(self.model.scramble(carrier, i));
+                }
+            }
+        } else {
+            // Structure-of-arrays: one branch-free pass fills the carrier
+            // scratch, then one pass per egress consumer writes frames in
+            // place into that consumer's lane.
+            self.carriers.clear();
+            self.carriers.resize(n, 0);
+            self.model.carrier_batch(descriptors, &mut self.carriers);
+            for (i, lane) in self.lanes.iter_mut().enumerate() {
+                let start = lane.len();
+                lane.resize(start + n, 0);
+                self.model
+                    .scramble_batch(&self.carriers, i, &mut lane[start..]);
             }
         }
-        self.descriptors += descriptors.len() as u64;
-        // Every descriptor filled one lane per egress consumer.
-        self.frames += (descriptors.len() * self.buffers.len()) as u64;
+        self.descriptors += n as u64;
+        // Every descriptor filled one slot per egress lane.
+        self.frames += (n * self.lanes.len()) as u64;
     }
 
-    fn drain_egress(&mut self) -> Vec<Vec<u32>> {
-        self.buffers.iter_mut().map(std::mem::take).collect()
+    fn drain_egress(&mut self) -> &[Vec<u32>] {
+        self.drained = true;
+        &self.lanes
     }
 
     fn lost_updates(&self) -> u64 {
@@ -97,9 +155,39 @@ mod tests {
             }
         }
         assert_eq!(b.metrics().descriptors, 64);
-        // Drain resets the buffers; nothing lingers into the next batch.
+        // The drained lanes are recycled; nothing lingers into the next
+        // batch.
         b.submit_batch(&descs[..2]);
         assert_eq!(b.drain_egress()[0].len(), 2);
+    }
+
+    #[test]
+    fn scalar_mode_is_byte_identical_to_batch_mode() {
+        let w = Workload::generate(77, 200, 16);
+        let descs: Vec<u32> = w.packets.iter().map(|p| p.descriptor()).collect();
+        let mut batch = FastBackend::new(4);
+        let mut scalar = FastBackend::scalar(4);
+        for chunk in descs.chunks(48) {
+            batch.submit_batch(chunk);
+            scalar.submit_batch(chunk);
+        }
+        assert_eq!(batch.metrics(), scalar.metrics());
+        assert_eq!(batch.drain_egress(), scalar.drain_egress());
+    }
+
+    #[test]
+    fn drain_view_is_stable_until_the_next_submit() {
+        let descs = [0xc0a8_0140u32, 0x0a0b_0c02, 0x0000_0001];
+        let mut b = FastBackend::new(2);
+        b.submit_batch(&descs);
+        let first: Vec<Vec<u32>> = b.drain_egress().to_vec();
+        // A second drain with no intervening submit sees the same frames.
+        assert_eq!(b.drain_egress(), &first[..]);
+        // The next submit recycles the storage for the new batch only.
+        b.submit_batch(&descs[..1]);
+        let second = b.drain_egress();
+        assert_eq!(second[0].len(), 1);
+        assert_eq!(second[0][0], first[0][0]);
     }
 
     #[test]

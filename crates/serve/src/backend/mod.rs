@@ -9,9 +9,10 @@
 //!   either memory organization. The reference semantics; throughput is
 //!   bounded by simulation speed.
 //! * [`FastBackend`] — the compiled forwarding pipeline executed
-//!   functionally (the per-packet oracle of [`crate::pipeline`], promoted
-//!   into a batch engine with the `g()` mix pre-seeded). Paced by
-//!   construction, so `lost_updates` is structurally 0.
+//!   functionally as a lane-parallel batch engine (the branch-free
+//!   structure-of-arrays kernels of [`crate::pipeline`], byte-pinned to
+//!   the per-packet oracle). Paced by construction, so `lost_updates` is
+//!   structurally 0.
 //! * [`DifferentialBackend`] — runs a reference and a candidate backend
 //!   side by side and fails loudly on any egress or lost-update
 //!   divergence. The honesty backstop: serve traffic at fast-path speed
@@ -146,13 +147,21 @@ pub trait ForwardingBackend: Send {
 
     /// Executes a batch of packet descriptors. Frames accumulate until
     /// the next [`ForwardingBackend::drain_egress`]; multiple submits may
-    /// precede one drain.
+    /// precede one drain. Execution counters (including `frames`) advance
+    /// at submit time, so a caller can read [`ForwardingBackend::metrics`]
+    /// for the batch *before* draining.
     fn submit_batch(&mut self, descriptors: &[u32]);
 
-    /// Takes every accumulated egress frame: one `Vec` per egress
-    /// consumer, each holding one frame per undrained descriptor, in
-    /// submission order.
-    fn drain_egress(&mut self) -> Vec<Vec<u32>>;
+    /// Every accumulated egress frame as a borrowed view: one lane per
+    /// egress consumer, each holding one frame per undrained descriptor,
+    /// in submission order.
+    ///
+    /// Zero-copy contract: the lanes are the backend's own arena buffers,
+    /// handed out in place — no per-batch clone. The view stays valid (and
+    /// repeated drains return the same frames) until the next
+    /// [`ForwardingBackend::submit_batch`], which recycles the drained
+    /// lanes' storage for the next batch.
+    fn drain_egress(&mut self) -> &[Vec<u32>];
 
     /// Cumulative guarded-location overwrites of unconsumed values — the
     /// dynamic lost-update detector. Must stay 0 for a conforming
@@ -191,11 +200,11 @@ mod tests {
         let mut frames: Vec<Vec<u32>> = Vec::new();
         for batch in descs.chunks(chunk) {
             b.submit_batch(batch);
-            for (i, f) in b.drain_egress().into_iter().enumerate() {
+            for (i, f) in b.drain_egress().iter().enumerate() {
                 if frames.len() <= i {
                     frames.push(Vec::new());
                 }
-                frames[i].extend(f);
+                frames[i].extend_from_slice(f);
             }
         }
         (frames, b.lost_updates(), b.metrics())

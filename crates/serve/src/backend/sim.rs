@@ -27,8 +27,13 @@ pub struct SimBackend {
     sys: System,
     egress: Vec<ThreadId>,
     organization: OrganizationKind,
-    /// Frames sent since the last drain (the pacing target base).
-    undrained: usize,
+    /// Accumulated frames, one lane per egress consumer; the zero-copy
+    /// view `drain_egress` hands out. Pulled out of the simulator at
+    /// submit time (so the pacing base stays 0 and metrics advance with
+    /// the submit), recycled on the first submit after a drain.
+    lanes: Vec<Vec<u32>>,
+    /// Set by `drain_egress`; the next submit clears the consumed lanes.
+    drained: bool,
     descriptors: u64,
     frames: u64,
 }
@@ -52,7 +57,8 @@ impl SimBackend {
             sys,
             egress: ids,
             organization,
-            undrained: 0,
+            lanes: vec![Vec::new(); egress],
+            drained: false,
             descriptors: 0,
             frames: 0,
         }
@@ -70,38 +76,35 @@ impl ForwardingBackend for SimBackend {
     }
 
     fn submit_batch(&mut self, descriptors: &[u32]) {
+        if self.drained {
+            for lane in &mut self.lanes {
+                lane.clear();
+            }
+            self.drained = false;
+        }
         let values: Vec<i64> = descriptors.iter().map(|&d| i64::from(d)).collect();
         assert!(
-            self.sys.submit_paced(
-                "rx",
-                &self.egress,
-                &values,
-                self.undrained,
-                CYCLES_PER_PACKET_BUDGET,
-            ),
+            self.sys
+                .submit_paced("rx", &self.egress, &values, 0, CYCLES_PER_PACKET_BUDGET),
             "simulator ({}) stalled inside a {}-descriptor batch",
             self.organization,
             descriptors.len()
         );
-        self.undrained += descriptors.len();
+        // Pull the batch's frames into the egress lanes now: the
+        // simulator's sent queues go back to empty (pacing base 0) and
+        // the frame counter advances with the submit, per the trait
+        // contract.
+        for (lane, &id) in self.lanes.iter_mut().zip(&self.egress) {
+            let sent = self.sys.drain_sent(id);
+            self.frames += sent.len() as u64;
+            lane.extend(sent.into_iter().map(|f| f as u32));
+        }
         self.descriptors += descriptors.len() as u64;
     }
 
-    fn drain_egress(&mut self) -> Vec<Vec<u32>> {
-        self.undrained = 0;
-        let frames: Vec<Vec<u32>> = self
-            .egress
-            .iter()
-            .map(|&id| {
-                self.sys
-                    .drain_sent(id)
-                    .into_iter()
-                    .map(|f| f as u32)
-                    .collect()
-            })
-            .collect();
-        self.frames += frames.iter().map(|f| f.len() as u64).sum::<u64>();
-        frames
+    fn drain_egress(&mut self) -> &[Vec<u32>] {
+        self.drained = true;
+        &self.lanes
     }
 
     fn lost_updates(&self) -> u64 {
@@ -149,7 +152,7 @@ mod tests {
         b.submit_batch(&descs[..8]);
         b.submit_batch(&descs[8..]);
         let frames = b.drain_egress();
-        for per_egress in &frames {
+        for per_egress in frames {
             assert_eq!(per_egress.len(), 20, "both submits drained together");
         }
         // Drained: the next round starts from an empty egress buffer.

@@ -13,8 +13,8 @@
 //! count) are distinct variants, not stringly `io::Error`s.
 
 use crate::frame::{
-    read_frame, write_frame, Request, Response, ServerHello, SubmitOptions, CAP_TRACING,
-    PROTOCOL_VERSION,
+    encode_submit_into, read_frame, write_frame, Request, Response, ServerHello, SubmitOptions,
+    CAP_TRACING, PROTOCOL_VERSION,
 };
 use crate::snapshot::StatsSnapshot;
 use memsync_netapp::Ipv4Packet;
@@ -144,6 +144,7 @@ impl ClientBuilder {
         let mut client = Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
+            encode_buf: Vec::new(),
             hello: ServerHello {
                 version: 0,
                 capabilities: 0,
@@ -185,6 +186,9 @@ impl ClientBuilder {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    /// Reusable submit encode scratch: a stream of same-size batches
+    /// serializes with zero allocations per submit.
+    encode_buf: Vec<u8>,
     hello: ServerHello,
     retries: u32,
 }
@@ -269,10 +273,18 @@ impl Client {
                     .into(),
             ));
         }
-        self.roundtrip(&Request::Submit {
-            packets: packets.to_vec(),
-            options,
-        })
+        // Encode straight from the caller's slice into the reusable
+        // scratch — no Vec<Ipv4Packet> clone, no per-submit allocation.
+        encode_submit_into(packets, options, &mut self.encode_buf);
+        write_frame(&mut self.writer, &self.encode_buf)?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => {
+                Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))
+            }
+            None => Err(ClientError::Protocol(
+                "server closed before responding".into(),
+            )),
+        }
     }
 
     /// Submits a batch, absorbing `Busy` with bounded exponential backoff

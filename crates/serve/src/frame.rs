@@ -282,21 +282,8 @@ impl Request {
                 v
             }
             Request::Submit { packets, options } => {
-                assert!(
-                    packets.len() <= MAX_SUBMIT_PACKETS,
-                    "submit of {} packets exceeds the {MAX_SUBMIT_PACKETS}-packet frame cap",
-                    packets.len()
-                );
-                let mut v = Vec::with_capacity(12 + packets.len() * 20);
-                v.push(REQ_SUBMIT);
-                v.push(options.to_flags());
-                if let Some(span) = options.span_id {
-                    v.extend_from_slice(&span.to_be_bytes());
-                }
-                v.extend_from_slice(&(packets.len() as u16).to_be_bytes());
-                for p in packets {
-                    v.extend_from_slice(&p.to_bytes());
-                }
+                let mut v = Vec::new();
+                encode_submit_into(packets, *options, &mut v);
                 v
             }
             Request::Stats => vec![REQ_STATS],
@@ -336,36 +323,8 @@ impl Request {
                 })
             }
             REQ_SUBMIT => {
-                if body.len() < 3 {
-                    return Err(FrameError::Malformed("short submit header".into()));
-                }
-                let flags = body[0];
-                let mut options = SubmitOptions::from_flags(flags);
-                let mut rest = &body[1..];
-                if flags & FLAG_SPAN != 0 {
-                    // An 8-byte big-endian span id precedes the count.
-                    if rest.len() < 8 {
-                        return Err(FrameError::Malformed("span flag without a span id".into()));
-                    }
-                    options.span_id =
-                        Some(u64::from_be_bytes(rest[..8].try_into().expect("checked")));
-                    rest = &rest[8..];
-                }
-                if rest.len() < 2 {
-                    return Err(FrameError::Malformed("short submit header".into()));
-                }
-                let count = u16::from_be_bytes([rest[0], rest[1]]) as usize;
-                let bytes = &rest[2..];
-                if bytes.len() != count * 20 {
-                    return Err(FrameError::Malformed(format!(
-                        "submit length {} != {count} packets x 20",
-                        bytes.len()
-                    )));
-                }
-                let mut packets = Vec::with_capacity(count);
-                for chunk in bytes.chunks_exact(20) {
-                    packets.push(Ipv4Packet::from_bytes(chunk).map_err(FrameError::BadPacket)?);
-                }
+                let mut packets = Vec::new();
+                let options = decode_submit_into(payload, &mut packets)?;
                 Ok(Request::Submit { packets, options })
             }
             REQ_STATS => Ok(Request::Stats),
@@ -395,54 +354,59 @@ impl Request {
 impl Response {
     /// Serializes the response payload (without the length prefix).
     pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode_into(&mut v);
+        v
+    }
+
+    /// Serializes the response payload into `out`, which is cleared
+    /// first. A connection reuses one scratch buffer across responses so
+    /// steady-state encoding allocates nothing once the buffer has grown
+    /// to the largest response it has carried.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         match self {
             Response::Hello(h) => {
-                let mut v = Vec::with_capacity(13);
-                v.push(RSP_HELLO);
-                v.extend_from_slice(&h.version.to_be_bytes());
-                v.push(h.capabilities);
-                v.push(h.backend.wire_code());
-                v.extend_from_slice(&h.shards.to_be_bytes());
-                v.extend_from_slice(&h.egress.to_be_bytes());
-                v.extend_from_slice(&h.routes.to_be_bytes());
-                v
+                out.reserve(13);
+                out.push(RSP_HELLO);
+                out.extend_from_slice(&h.version.to_be_bytes());
+                out.push(h.capabilities);
+                out.push(h.backend.wire_code());
+                out.extend_from_slice(&h.shards.to_be_bytes());
+                out.extend_from_slice(&h.egress.to_be_bytes());
+                out.extend_from_slice(&h.routes.to_be_bytes());
             }
-            Response::Ok => vec![RSP_OK],
+            Response::Ok => out.push(RSP_OK),
             Response::Batch {
                 forwarded,
                 dropped,
                 mismatches,
             } => {
-                let mut v = Vec::with_capacity(13);
-                v.push(RSP_BATCH);
-                v.extend_from_slice(&forwarded.to_be_bytes());
-                v.extend_from_slice(&dropped.to_be_bytes());
-                v.extend_from_slice(&mismatches.to_be_bytes());
-                v
+                out.reserve(13);
+                out.push(RSP_BATCH);
+                out.extend_from_slice(&forwarded.to_be_bytes());
+                out.extend_from_slice(&dropped.to_be_bytes());
+                out.extend_from_slice(&mismatches.to_be_bytes());
             }
             Response::Busy(shard) => {
-                let mut v = vec![RSP_BUSY];
-                v.extend_from_slice(&shard.to_be_bytes());
-                v
+                out.push(RSP_BUSY);
+                out.extend_from_slice(&shard.to_be_bytes());
             }
             Response::Stats(json) => {
-                let mut v = Vec::with_capacity(1 + json.len());
-                v.push(RSP_STATS);
-                v.extend_from_slice(json.as_bytes());
-                v
+                out.reserve(1 + json.len());
+                out.push(RSP_STATS);
+                out.extend_from_slice(json.as_bytes());
             }
             Response::StatsPush(json) => {
-                let mut v = Vec::with_capacity(1 + json.len());
-                v.push(RSP_STATS_PUSH);
-                v.extend_from_slice(json.as_bytes());
-                v
+                out.reserve(1 + json.len());
+                out.push(RSP_STATS_PUSH);
+                out.extend_from_slice(json.as_bytes());
             }
-            Response::Drained => vec![RSP_DRAINED],
+            Response::Drained => out.push(RSP_DRAINED),
             Response::Error(msg) => {
-                let mut v = Vec::with_capacity(1 + msg.len());
-                v.push(RSP_ERROR);
-                v.extend_from_slice(msg.as_bytes());
-                v
+                out.reserve(1 + msg.len());
+                out.push(RSP_ERROR);
+                out.extend_from_slice(msg.as_bytes());
             }
         }
     }
@@ -507,6 +471,99 @@ impl Response {
     }
 }
 
+/// Encodes a submit payload straight from a packet slice into `out`
+/// (cleared first) — the allocation-free path [`crate::Client`] uses on
+/// its hot loop: no intermediate `Vec<Ipv4Packet>` clone and, once the
+/// buffer has grown to the working batch size, no allocation per submit.
+/// `Request::Submit`'s own `encode` delegates here, so both paths emit
+/// identical bytes.
+///
+/// # Panics
+///
+/// Panics when `packets` exceeds [`MAX_SUBMIT_PACKETS`] — the frame cap
+/// must fail on the sending side, never truncate the count on the wire.
+pub fn encode_submit_into(packets: &[Ipv4Packet], options: SubmitOptions, out: &mut Vec<u8>) {
+    assert!(
+        packets.len() <= MAX_SUBMIT_PACKETS,
+        "submit of {} packets exceeds the {MAX_SUBMIT_PACKETS}-packet frame cap",
+        packets.len()
+    );
+    out.clear();
+    out.reserve(12 + packets.len() * 20);
+    out.push(REQ_SUBMIT);
+    out.push(options.to_flags());
+    if let Some(span) = options.span_id {
+        out.extend_from_slice(&span.to_be_bytes());
+    }
+    out.extend_from_slice(&(packets.len() as u16).to_be_bytes());
+    for p in packets {
+        out.extend_from_slice(&p.to_bytes());
+    }
+}
+
+/// True when `payload` carries a submit request — the dispatch test the
+/// server uses to route a frame onto the scratch-buffer decode path
+/// ([`decode_submit_into`]) without constructing a [`Request`].
+pub fn is_submit(payload: &[u8]) -> bool {
+    payload.first() == Some(&REQ_SUBMIT)
+}
+
+/// Decodes a submit payload's packets into a reusable buffer (cleared
+/// first) and returns the batch's options — the server-side twin of
+/// [`encode_submit_into`]. A connection keeps one packet scratch across
+/// submits, so the steady state performs no per-batch packet-vector
+/// allocation. [`Request::decode`] delegates its submit arm here, so both
+/// paths accept exactly the same frames.
+///
+/// # Errors
+///
+/// Fails when the payload is not a submit frame, on length mismatches,
+/// and on any packet header the strict parser rejects.
+pub fn decode_submit_into(
+    payload: &[u8],
+    packets: &mut Vec<Ipv4Packet>,
+) -> Result<SubmitOptions, FrameError> {
+    packets.clear();
+    let (&ty, body) = payload
+        .split_first()
+        .ok_or_else(|| FrameError::Malformed("empty payload".into()))?;
+    if ty != REQ_SUBMIT {
+        return Err(FrameError::Malformed(format!(
+            "expected a submit frame, got {ty:#04x}"
+        )));
+    }
+    if body.len() < 3 {
+        return Err(FrameError::Malformed("short submit header".into()));
+    }
+    let flags = body[0];
+    let mut options = SubmitOptions::from_flags(flags);
+    let mut rest = &body[1..];
+    if flags & FLAG_SPAN != 0 {
+        // An 8-byte big-endian span id precedes the count.
+        if rest.len() < 8 {
+            return Err(FrameError::Malformed("span flag without a span id".into()));
+        }
+        options.span_id = Some(u64::from_be_bytes(rest[..8].try_into().expect("checked")));
+        rest = &rest[8..];
+    }
+    if rest.len() < 2 {
+        return Err(FrameError::Malformed("short submit header".into()));
+    }
+    let count = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+    let bytes = &rest[2..];
+    if bytes.len() != count * 20 {
+        return Err(FrameError::Malformed(format!(
+            "submit length {} != {count} packets x 20",
+            bytes.len()
+        )));
+    }
+    packets.reserve(count);
+    for chunk in bytes.chunks_exact(20) {
+        packets.push(Ipv4Packet::from_bytes(chunk).map_err(FrameError::BadPacket)?);
+    }
+    Ok(options)
+}
+
 // ---- framed I/O -------------------------------------------------------
 
 /// Writes one length-prefixed frame.
@@ -530,11 +587,23 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 /// `FrameReader` instead keeps the partial length prefix and payload
 /// across calls: after a timeout error, calling [`FrameReader::read`]
 /// again resumes exactly where the stream left off.
+///
+/// The payload buffer is owned by the reader and reused across frames:
+/// [`FrameReader::read`] hands out a borrowed view, valid until the next
+/// call, so a long-lived connection pays no per-frame payload allocation
+/// once the buffer has grown to the largest frame it has carried.
 #[derive(Debug, Default)]
 pub struct FrameReader {
     prefix: [u8; 4],
     prefix_got: usize,
-    payload: Option<Vec<u8>>,
+    /// Reusable payload storage. `buf.len()` is the high-water mark, not
+    /// the current frame's length — `expected` carries that — so a
+    /// smaller frame after a larger one reuses the bytes without a
+    /// re-zeroing pass.
+    buf: Vec<u8>,
+    /// Length of the frame currently being decoded (`None` while the
+    /// length prefix is still incomplete).
+    expected: Option<usize>,
     payload_got: usize,
 }
 
@@ -557,13 +626,16 @@ impl FrameReader {
     /// boundary**; an EOF after any byte of a frame was consumed is an
     /// `UnexpectedEof` error, not a clean close.
     ///
+    /// The returned slice borrows the reader's internal buffer and is
+    /// valid until the next `read` call.
+    ///
     /// # Errors
     ///
     /// Propagates I/O failures (state is preserved across
     /// `WouldBlock`/`TimedOut`, so the call can be retried) and rejects
     /// frames above [`MAX_PAYLOAD`] with [`io::ErrorKind::InvalidData`].
-    pub fn read(&mut self, r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-        while self.payload.is_none() {
+    pub fn read(&mut self, r: &mut impl Read) -> io::Result<Option<&[u8]>> {
+        while self.expected.is_none() {
             match r.read(&mut self.prefix[self.prefix_got..]) {
                 Ok(0) => {
                     if self.prefix_got == 0 {
@@ -584,7 +656,14 @@ impl FrameReader {
                                 format!("frame of {len} bytes exceeds the {MAX_PAYLOAD} cap"),
                             ));
                         }
-                        self.payload = Some(vec![0u8; len]);
+                        // Grow-only: every byte of `buf[..len]` is
+                        // overwritten by reads before the slice is
+                        // returned, so shrinking (or re-zeroing reused
+                        // capacity) would be wasted work.
+                        if self.buf.len() < len {
+                            self.buf.resize(len, 0);
+                        }
+                        self.expected = Some(len);
                         self.payload_got = 0;
                     }
                 }
@@ -593,21 +672,20 @@ impl FrameReader {
             }
         }
         loop {
-            let buf = self.payload.as_mut().expect("payload allocated above");
-            if self.payload_got == buf.len() {
-                let done = self.payload.take().expect("payload allocated above");
+            let len = self.expected.expect("length decoded above");
+            if self.payload_got == len {
+                self.expected = None;
                 self.prefix_got = 0;
                 self.payload_got = 0;
-                return Ok(Some(done));
+                return Ok(Some(&self.buf[..len]));
             }
-            match r.read(&mut buf[self.payload_got..]) {
+            match r.read(&mut self.buf[self.payload_got..len]) {
                 Ok(0) => {
                     return Err(io::Error::new(
                         io::ErrorKind::UnexpectedEof,
                         format!(
-                            "peer closed {} bytes into a {}-byte payload",
-                            self.payload_got,
-                            buf.len()
+                            "peer closed {} bytes into a {len}-byte payload",
+                            self.payload_got
                         ),
                     ));
                 }
@@ -629,7 +707,8 @@ impl FrameReader {
 /// Propagates I/O failures and rejects frames above [`MAX_PAYLOAD`] with
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    FrameReader::new().read(r)
+    let mut fr = FrameReader::new();
+    Ok(fr.read(r)?.map(<[u8]>::to_vec))
 }
 
 #[cfg(test)]
@@ -693,6 +772,23 @@ mod tests {
         ];
         for r in rsps {
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn encode_into_a_reused_buffer_matches_encode() {
+        // One scratch buffer across differently-sized responses: each
+        // encode must clear the previous payload, never append to it.
+        let rsps = [
+            Response::Stats("{\"a\":1,\"padding\":\"xxxxxxxxxxxxxxxx\"}".into()),
+            Response::Ok,
+            Response::Busy(7),
+            Response::Error("short".into()),
+        ];
+        let mut scratch = Vec::new();
+        for r in &rsps {
+            r.encode_into(&mut scratch);
+            assert_eq!(scratch, r.encode());
         }
     }
 
@@ -839,7 +935,7 @@ mod tests {
         let mut saw_midframe_timeout = false;
         while frames.len() < 2 {
             match fr.read(&mut r) {
-                Ok(Some(p)) => frames.push(p),
+                Ok(Some(p)) => frames.push(p.to_vec()),
                 Ok(None) => panic!("stream closed early"),
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     saw_midframe_timeout |= fr.progress() > 0;

@@ -93,6 +93,97 @@ impl PipelineModel {
     pub fn frame(&self, desc: u32, egress_index: usize) -> u32 {
         self.scramble(self.carrier(desc), egress_index)
     }
+
+    /// [`PipelineModel::carrier`] over a whole batch: one carrier per
+    /// descriptor, written into `out`.
+    ///
+    /// The body is a branch-free rewrite of the scalar pipeline front
+    /// (the TTL-expiry drop marker becomes a mask select) applied over
+    /// [`BATCH_LANES`]-wide chunks with fixed trip counts, which is the
+    /// structure-of-arrays shape LLVM autovectorizes. The scalar
+    /// [`PipelineModel::carrier`] stays the oracle; byte-for-byte
+    /// equality is pinned by `batch_kernels_match_scalar_byte_for_byte`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn carrier_batch(&self, descs: &[u32], out: &mut [u32]) {
+        assert_eq!(descs.len(), out.len(), "one carrier per descriptor");
+        let mut d_lanes = descs.chunks_exact(BATCH_LANES);
+        let mut o_lanes = out.chunks_exact_mut(BATCH_LANES);
+        for (d, o) in (&mut d_lanes).zip(&mut o_lanes) {
+            for (desc, slot) in d.iter().zip(o.iter_mut()) {
+                *slot = carrier_lane(*desc);
+            }
+        }
+        for (desc, slot) in d_lanes.remainder().iter().zip(o_lanes.into_remainder()) {
+            *slot = carrier_lane(*desc);
+        }
+    }
+
+    /// [`PipelineModel::scramble`] over a whole batch of carriers for one
+    /// egress consumer, written into `out`. Branch-free lanes like
+    /// [`PipelineModel::carrier_batch`]; the `g()` fold is inlined with
+    /// the egress-dependent second argument (and its rotate) hoisted out
+    /// of the loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length.
+    pub fn scramble_batch(&self, carriers: &[u32], egress_index: usize, out: &mut [u32]) {
+        assert_eq!(carriers.len(), out.len(), "one frame per carrier");
+        let seed = self.g_seed as u32;
+        let arg2 = (17i64 + egress_index as i64) as u32;
+        let arg2_rot = arg2.rotate_left(13);
+        let mut c_lanes = carriers.chunks_exact(BATCH_LANES);
+        let mut o_lanes = out.chunks_exact_mut(BATCH_LANES);
+        for (c, o) in (&mut c_lanes).zip(&mut o_lanes) {
+            for (carrier, slot) in c.iter().zip(o.iter_mut()) {
+                *slot = scramble_lane(seed, *carrier, arg2, arg2_rot);
+            }
+        }
+        for (carrier, slot) in c_lanes.remainder().iter().zip(o_lanes.into_remainder()) {
+            *slot = scramble_lane(seed, *carrier, arg2, arg2_rot);
+        }
+    }
+}
+
+/// Lane width of the batch kernels: chunks of this many descriptors run
+/// as fixed-trip-count inner loops (16 × u32 fills a 512-bit vector; on
+/// 256-bit targets LLVM splits each lane into two registers).
+pub const BATCH_LANES: usize = 16;
+
+/// Branch-free [`PipelineModel::carrier`]: `expected_descriptor`'s
+/// TTL-expiry branch becomes an all-ones/all-zeros mask select, and the
+/// zero `hop` from the BRAM-resident lkp tables is folded away.
+#[inline]
+fn carrier_lane(desc: u32) -> u32 {
+    let dstp = (desc >> 8) & 0x00ff_ffff;
+    let ttl = desc & 0xff;
+    // Keep the key iff ttl > 1, else the in-band drop marker 0.
+    let live = 0u32.wrapping_sub(u32::from(ttl > 1));
+    let key = ((dstp << 8) | (ttl.wrapping_sub(1) & 0xff)) & live;
+    // lkp reads zeroed BRAMs (hop = 0), so only the meta bytes feed the
+    // checksum fold; the fold rounds stay for fidelity with the scalar
+    // path even though two byte adds can never carry past 16 bits.
+    let meta = key & 0xffff;
+    let mut sum = (meta & 0xff) + ((meta >> 8) & 0xff);
+    sum = (sum & 0xffff) + (sum >> 16);
+    sum = (sum & 0xffff) + (sum >> 16);
+    let csum = !sum & 0xffff;
+    (csum << 4) | 5
+}
+
+/// One lane of the inlined `g()` fold + XOR scramble
+/// (`carrier ^ (g(carrier, 17 + i) << 1)` in the 32-bit domain).
+#[inline]
+fn scramble_lane(seed: u32, carrier: u32, arg2: u32, arg2_rot: u32) -> u32 {
+    let mut acc = seed;
+    acc = acc.rotate_left(5) ^ carrier;
+    acc = acc.wrapping_add(carrier.rotate_left(13));
+    acc = acc.rotate_left(5) ^ arg2;
+    acc = acc.wrapping_add(arg2_rot);
+    carrier ^ (acc << 1)
 }
 
 /// One-shot convenience over [`PipelineModel::frame`] for the per-packet
@@ -192,6 +283,58 @@ mod tests {
             sys.lost_updates() > 0,
             "unpaced overwrites must be counted as lost updates"
         );
+    }
+
+    /// Descriptor set covering every branchy edge the branch-free lanes
+    /// must reproduce: TTL 0/1 (drop marker), 2 (smallest survivor), 255,
+    /// all-ones and all-zeros prefixes, plus a seeded random spread.
+    fn edge_descriptors() -> Vec<u32> {
+        let mut descs = vec![
+            0x0000_0000,
+            0x0000_0001,
+            0x0000_0002,
+            0x0000_00ff,
+            0xffff_ff00,
+            0xffff_ff01,
+            0xffff_ff02,
+            0xffff_ffff,
+            0xc0a8_0140,
+            0x0a0b_0c02,
+        ];
+        let mut state = 0xD5C4_B3A2_9180_7060u64;
+        for _ in 0..1000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            descs.push((state >> 32) as u32);
+        }
+        descs
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar_byte_for_byte() {
+        let model = PipelineModel::new();
+        let descs = edge_descriptors();
+        // Odd lengths exercise both the full BATCH_LANES chunks and every
+        // possible remainder width (including 0 and a sub-lane batch).
+        for n in [0usize, 1, 7, 15, 16, 17, 31, 64, 100, descs.len()] {
+            let batch = &descs[..n];
+            let mut carriers = vec![0u32; n];
+            model.carrier_batch(batch, &mut carriers);
+            for (desc, got) in batch.iter().zip(&carriers) {
+                assert_eq!(*got, model.carrier(*desc), "carrier for {desc:#010x}");
+            }
+            for egress in 0..5 {
+                let mut frames = vec![0u32; n];
+                model.scramble_batch(&carriers, egress, &mut frames);
+                for ((desc, carrier), got) in batch.iter().zip(&carriers).zip(&frames) {
+                    assert_eq!(
+                        *got,
+                        model.scramble(*carrier, egress),
+                        "scramble e{egress} for {desc:#010x}"
+                    );
+                    assert_eq!(*got, model.frame(*desc, egress), "frame composition");
+                }
+            }
+        }
     }
 
     #[test]

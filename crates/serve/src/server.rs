@@ -16,10 +16,10 @@
 
 use crate::backend;
 use crate::frame::{
-    write_frame, FrameError, FrameReader, Request, Response, ServerHello, SubmitOptions,
-    CAP_TRACING, PROTOCOL_VERSION,
+    decode_submit_into, is_submit, write_frame, FrameError, FrameReader, Request, Response,
+    ServerHello, SubmitOptions, CAP_TRACING, PROTOCOL_VERSION,
 };
-use crate::router::Router;
+use crate::router::{Router, ShardSplitter};
 use crate::stats::{stats_json, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
 use crate::tracing::{PendingSpan, ServeTracer};
@@ -190,6 +190,13 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     // POLL-sized socket timeout never discards bytes of an in-flight
     // frame — a client that pauses mid-frame resumes cleanly.
     let mut frames = FrameReader::new();
+    // Per-connection scratch, reused across requests: the decoded submit
+    // packets, the submit splitter (per-shard group buffers), and the
+    // response encode buffer. Steady state serves a stream of batches
+    // with no per-request allocation in any of them.
+    let mut packets: Vec<memsync_netapp::Ipv4Packet> = Vec::new();
+    let mut splitter = ShardSplitter::new(shared.router.shards());
+    let mut encoded = Vec::new();
     let mut idle = Duration::ZERO;
     let mut last_progress = 0usize;
     // Protocol v2: nothing but Hello is served until the handshake
@@ -226,10 +233,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     // as a write error on the next push).
                     idle = Duration::ZERO;
                     if last_push.elapsed() >= every {
-                        write_frame(
-                            &mut writer,
-                            &Response::StatsPush(render_stats(shared)).encode(),
-                        )?;
+                        Response::StatsPush(render_stats(shared)).encode_into(&mut encoded);
+                        write_frame(&mut writer, &encoded)?;
                         last_push = Instant::now();
                     }
                 } else {
@@ -249,7 +254,28 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
         stream_every = None;
         let trace = shared.tracer.enabled();
         let decode_started = trace.then(Instant::now);
-        let (response, action, pending) = match Request::decode(&payload) {
+        // Submit fast path: decode the batch straight into the
+        // connection's packet scratch. Going through `Request::decode`
+        // would build a fresh `Vec<Ipv4Packet>` per batch — at large
+        // batch sizes that is an mmap/munmap round trip per request.
+        if greeted && is_submit(payload) {
+            let (response, pending) = match decode_submit_into(payload, &mut packets) {
+                Ok(options) => {
+                    let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    handle_submit(&packets, options, shared, &mut splitter, decode_ns)
+                }
+                Err(e) => (Response::Error(e.to_string()), None),
+            };
+            let write_started = pending.as_ref().map(|_| Instant::now());
+            response.encode_into(&mut encoded);
+            write_frame(&mut writer, &encoded)?;
+            if let Some(p) = pending {
+                let write_ns = write_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                shared.tracer.finish(&p, write_ns);
+            }
+            continue;
+        }
+        let (response, action, pending) = match Request::decode(payload) {
             Ok(Request::Hello {
                 min_version,
                 max_version,
@@ -313,7 +339,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     Action::Continue
                 };
                 let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                let (response, pending) = handle_request(req, shared, decode_ns);
+                let (response, pending) = handle_request(req, shared, &mut splitter, decode_ns);
                 (response, action, pending)
             }
             Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
@@ -321,7 +347,8 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
             }
         };
         let write_started = pending.as_ref().map(|_| Instant::now());
-        write_frame(&mut writer, &response.encode())?;
+        response.encode_into(&mut encoded);
+        write_frame(&mut writer, &encoded)?;
         if let Some(p) = pending {
             let write_ns = write_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
             shared.tracer.finish(&p, write_ns);
@@ -375,6 +402,7 @@ fn render_stats(shared: &Arc<Shared>) -> String {
 fn handle_request(
     req: Request,
     shared: &Arc<Shared>,
+    splitter: &mut ShardSplitter,
     decode_ns: u64,
 ) -> (Response, Option<PendingSpan>) {
     match req {
@@ -382,7 +410,9 @@ fn handle_request(
         Request::StatsStream { .. } => {
             unreachable!("stats-stream handled in the connection loop")
         }
-        Request::Submit { packets, options } => handle_submit(&packets, options, shared, decode_ns),
+        Request::Submit { packets, options } => {
+            handle_submit(&packets, options, shared, splitter, decode_ns)
+        }
         Request::Stats => (Response::Stats(render_stats(shared)), None),
         Request::Drain => {
             shared.draining.store(true, Ordering::Release);
@@ -424,6 +454,7 @@ fn handle_submit(
     packets: &[memsync_netapp::Ipv4Packet],
     options: SubmitOptions,
     shared: &Arc<Shared>,
+    splitter: &mut ShardSplitter,
     decode_ns: u64,
 ) -> (Response, Option<PendingSpan>) {
     if shared.draining.load(Ordering::Acquire) {
@@ -457,7 +488,7 @@ fn handle_submit(
         None
     };
     let (tx, rx) = channel();
-    let jobs = match shared.router.submit(packets, options, &tx) {
+    let jobs = match shared.router.submit(splitter, packets, options, &tx) {
         Ok(n) => n,
         Err(shard) => {
             shared.counters.busy.fetch_add(1, Ordering::Relaxed);

@@ -21,25 +21,53 @@ use crate::pipeline::PipelineModel;
 use crate::queue::{Job, JobOutcome, ShardQueue};
 use crate::tracing::StageTimings;
 use crate::ServeConfig;
-use memsync_netapp::fib::synthetic_table;
+use memsync_netapp::fib::{synthetic_table, Dir24_8};
 use memsync_netapp::{Fib, Ipv4Packet};
 use memsync_trace::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-/// A direct-mapped route-resolution cache in front of the FIB trie.
+/// The route-lookup state every shard shares: the binary-trie [`Fib`]
+/// (the semantic reference) and the flat [`Dir24_8`] classifier compiled
+/// from it (what the hot path probes — two dependent loads per address
+/// instead of a trie walk).
+///
+/// The flat table costs ~32 MiB, so the supervisor builds **one**
+/// `Arc<ShardTables>` per service and hands clones to every shard —
+/// including restarted incarnations, which must not pay the rebuild.
+#[derive(Debug)]
+pub struct ShardTables {
+    /// The trie the table was compiled from (oracle / verify reference).
+    pub fib: Fib,
+    /// The DIR-24-8 classifier serving hot-path lookups.
+    pub dir: Dir24_8,
+}
+
+impl ShardTables {
+    /// Builds the synthetic `routes`-entry table and compiles the flat
+    /// classifier from it.
+    pub fn build(routes: usize) -> ShardTables {
+        let fib = synthetic_table(routes);
+        let dir = Dir24_8::from_fib(&fib);
+        ShardTables { fib, dir }
+    }
+}
+
+/// A direct-mapped route-resolution cache in front of the [`Dir24_8`]
+/// classifier.
 ///
 /// Flow routing sends every packet of a dst prefix to the same shard, so
 /// a shard's batches are dominated by repeat destinations; caching the
-/// "does this dst resolve?" verdict turns the per-packet trie walk into
-/// an array probe. Classification stays exactly
+/// "does this dst resolve?" verdict turns even the flat-table probe into
+/// a single array access. Classification stays exactly
 /// [`crate::pipeline::oracle_forwards`]: forward = TTL survives the
 /// decrement AND the dst resolves — the TTL decrement never changes the
-/// dst, so the resolution verdict is a pure function of the address
-/// (pinned by `classifier_agrees_with_the_oracle` below).
+/// dst, so the resolution verdict is a pure function of the address, and
+/// `Dir24_8` agrees with the trie by the differential property test
+/// (pinned end to end by `classifier_agrees_with_the_oracle` below).
 struct RouteCache<'a> {
-    fib: &'a Fib,
+    dir: &'a Dir24_8,
     /// `dst << 1 | resolves`, or `u64::MAX` for an empty slot.
     slots: Vec<u64>,
 }
@@ -47,9 +75,9 @@ struct RouteCache<'a> {
 impl<'a> RouteCache<'a> {
     const SLOTS: usize = 1024;
 
-    fn new(fib: &'a Fib) -> Self {
+    fn new(dir: &'a Dir24_8) -> Self {
         RouteCache {
-            fib,
+            dir,
             slots: vec![u64::MAX; Self::SLOTS],
         }
     }
@@ -65,10 +93,30 @@ impl<'a> RouteCache<'a> {
         if slot >> 1 == tag >> 1 && slot != u64::MAX {
             return slot & 1 == 1;
         }
-        let resolves = self.fib.lookup(p.dst).is_some();
+        let resolves = self.dir.lookup(p.dst).is_some();
         self.slots[idx] = tag | u64::from(resolves);
         resolves
     }
+
+    /// Classifies a whole job's packets: `(forwarded, dropped)` counts.
+    /// One tight loop per job keeps classification on the batched path
+    /// next to the vectorized execute/egress stages.
+    fn classify_batch(&mut self, packets: &[Ipv4Packet]) -> (u32, u32) {
+        let mut forwarded = 0u32;
+        for p in packets {
+            forwarded += u32::from(self.forwards(p));
+        }
+        (forwarded, packets.len() as u32 - forwarded)
+    }
+}
+
+/// Reusable per-activation scratch: the concatenated descriptor batch and
+/// the per-job outcomes. Lives across activations so the steady-state
+/// batch path performs no allocation.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    descriptors: Vec<u32>,
+    outcomes: Vec<JobOutcome>,
 }
 
 /// Shared handles between a shard thread, the supervisor, and the stats
@@ -89,6 +137,9 @@ pub struct ShardCtx {
     pub die: Arc<AtomicBool>,
     /// False while the shard is mid-activation (drain waits on this).
     pub idle: Arc<AtomicBool>,
+    /// Route tables shared across shards *and* restarts (the flat
+    /// classifier is too big to rebuild per incarnation).
+    pub tables: Arc<ShardTables>,
     /// Service configuration.
     pub config: ServeConfig,
 }
@@ -99,33 +150,31 @@ pub struct ShardCtx {
 /// `Some` only when request tracing is on. Everything timing-related
 /// hangs off it: `None` means not a single `Instant::now` call on this
 /// path.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     backend: &mut dyn ForwardingBackend,
     model: &PipelineModel,
     classifier: &mut RouteCache<'_>,
-    jobs: Vec<Job>,
+    jobs: &mut Vec<Job>,
+    scratch: &mut BatchScratch,
     shard_id: usize,
     stats: &Mutex<MetricsRegistry>,
     picked_at: Option<Instant>,
 ) {
-    let descriptors: Vec<u32> = jobs
-        .iter()
-        .flat_map(|j| j.packets.iter().map(Ipv4Packet::descriptor))
-        .collect();
-    let n = descriptors.len();
+    scratch.descriptors.clear();
+    for j in jobs.iter() {
+        scratch
+            .descriptors
+            .extend(j.packets.iter().map(Ipv4Packet::descriptor));
+    }
+    let n = scratch.descriptors.len();
     let before = backend.metrics();
     let lost_before = backend.lost_updates();
     let exec_start = picked_at.map(|_| Instant::now());
-    backend.submit_batch(&descriptors);
-    let frames = backend.drain_egress();
-    for (i, f) in frames.iter().enumerate() {
-        assert_eq!(
-            f.len(),
-            n,
-            "shard {shard_id}: egress e{i} returned {} frames for {n} descriptors",
-            f.len()
-        );
-    }
+    backend.submit_batch(&scratch.descriptors);
+    // Counters advance at submit time (the backend contract), so the
+    // batch's deltas are read *before* the zero-copy drain borrows the
+    // backend for the rest of the activation.
     let after = backend.metrics();
     let sim_cycles = after.sim_cycles - before.sim_cycles;
     // A conforming backend never overwrites an unconsumed guarded value;
@@ -134,34 +183,46 @@ fn process_batch(
     let lost_updates = backend.lost_updates() - lost_before;
     let egress_start = picked_at.map(|_| Instant::now());
 
-    // Walk the concatenated batch job by job, packet by packet.
-    let mut offset = 0usize;
+    // Walk the concatenated batch job by job against the borrowed egress
+    // lanes — the backend's own arena buffers, never copied out.
+    scratch.outcomes.clear();
     let mut totals = JobOutcome::default();
-    let mut outcomes = Vec::with_capacity(jobs.len());
-    for job in &jobs {
-        let mut out = JobOutcome::default();
-        for (k, p) in job.packets.iter().enumerate() {
-            if classifier.forwards(p) {
-                out.forwarded += 1;
-            } else {
-                out.dropped += 1;
-            }
+    {
+        let frames = backend.drain_egress();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!(
+                f.len(),
+                n,
+                "shard {shard_id}: egress e{i} returned {} frames for {n} descriptors",
+                f.len()
+            );
+        }
+        let mut offset = 0usize;
+        for job in jobs.iter() {
+            let (forwarded, dropped) = classifier.classify_batch(&job.packets);
+            let mut out = JobOutcome {
+                forwarded,
+                dropped,
+                ..JobOutcome::default()
+            };
             if job.options.verify {
-                let desc = p.descriptor();
-                let bad = frames
-                    .iter()
-                    .enumerate()
-                    .any(|(i, f)| f[offset + k] != model.frame(desc, i));
-                if bad {
-                    out.mismatches += 1;
+                for (k, p) in job.packets.iter().enumerate() {
+                    let desc = p.descriptor();
+                    let bad = frames
+                        .iter()
+                        .enumerate()
+                        .any(|(i, f)| f[offset + k] != model.frame(desc, i));
+                    if bad {
+                        out.mismatches += 1;
+                    }
                 }
             }
+            offset += job.packets.len();
+            totals.forwarded += out.forwarded;
+            totals.dropped += out.dropped;
+            totals.mismatches += out.mismatches;
+            scratch.outcomes.push(out);
         }
-        offset += job.packets.len();
-        totals.forwarded += out.forwarded;
-        totals.dropped += out.dropped;
-        totals.mismatches += out.mismatches;
-        outcomes.push(out);
     }
 
     // Attach stage timings to every outcome. Queue residency is per job;
@@ -173,7 +234,7 @@ fn process_batch(
         let execute_ns = egress_s.saturating_duration_since(exec_s).as_nanos() as u64;
         let egress_ns = egress_s.elapsed().as_nanos() as u64;
         let frames_emitted = after.frames - before.frames;
-        for (job, out) in jobs.iter().zip(outcomes.iter_mut()) {
+        for (job, out) in jobs.iter().zip(scratch.outcomes.iter_mut()) {
             out.timings = Some(StageTimings {
                 shard: shard_id as u16,
                 packets: job.packets.len() as u32,
@@ -199,7 +260,7 @@ fn process_batch(
         reg.add("serve.sim_cycles", sim_cycles);
         reg.inc("serve.batches");
         reg.record("serve.batch_size", n as u64);
-        for job in &jobs {
+        for job in jobs.iter() {
             reg.record(
                 "serve.service_latency_us",
                 job.enqueued.elapsed().as_micros() as u64,
@@ -208,7 +269,7 @@ fn process_batch(
         // Shard-side stage histograms feed the live tracing views; the
         // identical numbers ride the outcomes into span records, so the
         // offline JSONL and the stats frame agree bucket for bucket.
-        for out in &outcomes {
+        for out in &scratch.outcomes {
             if let Some(t) = out.timings {
                 reg.record_bucket("serve.stage.queue_ns", t.queue_ns);
                 reg.record_bucket("serve.stage.coalesce_ns", t.coalesce_ns);
@@ -217,7 +278,9 @@ fn process_batch(
             }
         }
     }
-    for (job, out) in jobs.into_iter().zip(outcomes) {
+    // Drain (not consume) both vectors so their capacity survives into
+    // the next activation.
+    for (job, out) in jobs.drain(..).zip(scratch.outcomes.drain(..)) {
         // A receiver that went away (connection dropped mid-flight) is
         // not the shard's problem.
         let _ = job.reply.send(out);
@@ -231,8 +294,9 @@ fn process_batch(
 pub fn run(ctx: &ShardCtx) {
     let mut backend = backend::build(&ctx.config);
     let model = PipelineModel::new();
-    let fib = synthetic_table(ctx.config.routes);
-    let mut classifier = RouteCache::new(&fib);
+    let mut classifier = RouteCache::new(&ctx.tables.dir);
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut scratch = BatchScratch::default();
     while !ctx.stop.load(Ordering::Acquire) {
         // The busy pop clears the idle flag under the queue lock, so a
         // drain that sees the queue empty afterwards also sees the shard
@@ -251,8 +315,11 @@ pub fn run(ctx: &ShardCtx) {
             // sense a real crash is; never silent.
             panic!("shard {} killed by fault injection", ctx.id);
         }
-        // Coalesce follow-on jobs up to the activation budget.
-        let mut jobs = vec![first];
+        // Coalesce follow-on jobs up to the activation budget, into the
+        // activation-scratch vec (drained by process_batch, capacity
+        // kept).
+        jobs.clear();
+        jobs.push(first);
         let mut packets: usize = jobs[0].packets.len();
         while packets < ctx.config.batch_max {
             match ctx.queue.try_pop() {
@@ -270,7 +337,8 @@ pub fn run(ctx: &ShardCtx) {
             backend.as_mut(),
             &model,
             &mut classifier,
-            jobs,
+            &mut jobs,
+            &mut scratch,
             ctx.id,
             &ctx.stats,
             picked_at,
@@ -299,6 +367,7 @@ mod tests {
             stop: Arc::new(AtomicBool::new(false)),
             die: Arc::new(AtomicBool::new(false)),
             idle: Arc::new(AtomicBool::new(true)),
+            tables: Arc::new(ShardTables::build(config.routes)),
             config,
         }
     }
@@ -331,14 +400,14 @@ mod tests {
             // One manual activation instead of the full thread loop.
             let mut backend = backend::build(&ctx.config);
             let model = PipelineModel::new();
-            let fib = synthetic_table(ctx.config.routes);
-            let mut classifier = RouteCache::new(&fib);
+            let mut classifier = RouteCache::new(&ctx.tables.dir);
             let job = ctx.queue.try_pop().unwrap();
             process_batch(
                 backend.as_mut(),
                 &model,
                 &mut classifier,
-                vec![job],
+                &mut vec![job],
+                &mut BatchScratch::default(),
                 0,
                 &ctx.stats,
                 None,
@@ -385,20 +454,20 @@ mod tests {
         let w = Workload::generate(9, 24, config.routes);
         let mut backend = backend::build(&ctx.config);
         let model = PipelineModel::new();
-        let fib = synthetic_table(ctx.config.routes);
-        let mut classifier = RouteCache::new(&fib);
+        let mut classifier = RouteCache::new(&ctx.tables.dir);
         let (tx, rx) = channel();
         let enqueued = Instant::now();
         process_batch(
             backend.as_mut(),
             &model,
             &mut classifier,
-            vec![Job {
+            &mut vec![Job {
                 packets: w.packets.clone(),
                 options: SubmitOptions::new(),
                 reply: tx,
                 enqueued,
             }],
+            &mut BatchScratch::default(),
             3,
             &ctx.stats,
             Some(Instant::now()),
@@ -432,11 +501,12 @@ mod tests {
 
     #[test]
     fn classifier_agrees_with_the_oracle() {
-        // The cached classifier must give the verdict oracle_forwards
-        // gives, including on repeat destinations (cache hits), TTL-dead
-        // packets sharing a dst with live ones, and colliding slots.
-        let fib = synthetic_table(64);
-        let mut cache = RouteCache::new(&fib);
+        // The cached classifier — now probing the flat Dir24_8 table —
+        // must give the verdict oracle_forwards gives against the trie,
+        // including on repeat destinations (cache hits), TTL-dead packets
+        // sharing a dst with live ones, and colliding slots.
+        let tables = ShardTables::build(64);
+        let mut cache = RouteCache::new(&tables.dir);
         let mut w = Workload::generate(31, 500, 64);
         w.packets[5].ttl = 1;
         w.packets[6].ttl = 0;
@@ -448,11 +518,20 @@ mod tests {
             for p in &w.packets {
                 assert_eq!(
                     cache.forwards(p),
-                    crate::pipeline::oracle_forwards(p, &fib),
+                    crate::pipeline::oracle_forwards(p, &tables.fib),
                     "classifier diverged from the oracle for {p:?}"
                 );
             }
         }
+        // classify_batch is just the loop above, batched.
+        let want = w
+            .packets
+            .iter()
+            .filter(|p| crate::pipeline::oracle_forwards(p, &tables.fib))
+            .count() as u32;
+        let (forwarded, dropped) = cache.classify_batch(&w.packets);
+        assert_eq!(forwarded, want);
+        assert_eq!(dropped, w.packets.len() as u32 - want);
     }
 
     #[test]
@@ -469,19 +548,19 @@ mod tests {
             let ctx = ctx(config.clone());
             let mut backend = backend::build(&ctx.config);
             let model = PipelineModel::new();
-            let fib = synthetic_table(ctx.config.routes);
-            let mut classifier = RouteCache::new(&fib);
+            let mut classifier = RouteCache::new(&ctx.tables.dir);
             let (tx, rx) = channel();
             process_batch(
                 backend.as_mut(),
                 &model,
                 &mut classifier,
-                vec![Job {
+                &mut vec![Job {
                     packets: w.packets.clone(),
                     options: SubmitOptions::new().verify(true),
                     reply: tx,
                     enqueued: Instant::now(),
                 }],
+                &mut BatchScratch::default(),
                 0,
                 &ctx.stats,
                 None,

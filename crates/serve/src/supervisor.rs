@@ -16,7 +16,7 @@
 //! its newest incarnation.
 
 use crate::queue::ShardQueue;
-use crate::shard::{self, ShardCtx};
+use crate::shard::{self, ShardCtx, ShardTables};
 use crate::ServeConfig;
 use memsync_trace::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -49,9 +49,13 @@ pub struct Supervisor {
     shards: Vec<ShardHandle>,
     stop: Arc<AtomicBool>,
     restarts: Arc<AtomicU64>,
+    /// Route tables shared by every shard and every restart incarnation —
+    /// the ~32 MiB flat classifier is built exactly once per service.
+    tables: Arc<ShardTables>,
     config: ServeConfig,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_shard(
     id: usize,
     queue: Arc<ShardQueue>,
@@ -59,6 +63,7 @@ fn spawn_shard(
     stop: Arc<AtomicBool>,
     die: Arc<AtomicBool>,
     idle: Arc<AtomicBool>,
+    tables: Arc<ShardTables>,
     config: ServeConfig,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -71,6 +76,7 @@ fn spawn_shard(
                 stop,
                 die,
                 idle,
+                tables,
                 config,
             };
             shard::run(&ctx);
@@ -81,6 +87,7 @@ fn spawn_shard(
 impl Supervisor {
     /// Spawns `config.shards` shard threads plus the monitor thread.
     pub fn start(config: &ServeConfig, stop: Arc<AtomicBool>) -> Supervisor {
+        let tables = Arc::new(ShardTables::build(config.routes));
         let shards: Vec<ShardHandle> = (0..config.shards)
             .map(|id| {
                 let queue = Arc::new(ShardQueue::new(config.queue_cap));
@@ -94,6 +101,7 @@ impl Supervisor {
                     Arc::clone(&stop),
                     Arc::clone(&die),
                     Arc::clone(&idle),
+                    Arc::clone(&tables),
                     config.clone(),
                 );
                 ShardHandle {
@@ -110,6 +118,7 @@ impl Supervisor {
             shards,
             stop,
             restarts: Arc::new(AtomicU64::new(0)),
+            tables,
             config: config.clone(),
         }
     }
@@ -192,6 +201,7 @@ impl Supervisor {
                 Arc::clone(&self.stop),
                 Arc::clone(&shard.die),
                 Arc::clone(&shard.idle),
+                Arc::clone(&self.tables),
                 self.config.clone(),
             ));
             self.restarts.fetch_add(1, Ordering::Relaxed);

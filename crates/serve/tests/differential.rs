@@ -32,7 +32,7 @@ fn run_backend(
     let mut out = vec![Vec::new(); EGRESS];
     for batch in descriptors.chunks(chunk) {
         b.submit_batch(batch);
-        for (i, f) in b.drain_egress().into_iter().enumerate() {
+        for (i, f) in b.drain_egress().iter().enumerate() {
             out[i].extend(f);
         }
     }
