@@ -24,6 +24,13 @@
 //! both batch (structure-of-arrays) and scalar (descriptor-at-a-time
 //! baseline) modes; `batch_over_scalar` records the speedup.
 //!
+//! The reactor frontend is measured twice: the same 8-conn closed-loop
+//! workload as the threads rows (`reactor_packets_per_sec`, directly
+//! comparable to `fast_packets_per_sec`), and a 5000-connection fan-in
+//! (`reactor5k_*` — 5000 live connections each pipelining one 200-packet
+//! verify batch per round, one million packets per timed round, zero
+//! mismatches enforced inside the measurement).
+//!
 //! Modes:
 //!
 //! * default — full measurement per backend (3 reps x 8 conns x
@@ -39,7 +46,9 @@
 use memsync_bench::arg_value;
 use memsync_netapp::Workload;
 use memsync_serve::backend::{FastBackend, ForwardingBackend};
-use memsync_serve::{BackendKind, Client, ServeConfig, Server, SubmitOptions, TracingConfig};
+use memsync_serve::{
+    BackendKind, Client, FrontendKind, Response, ServeConfig, Server, SubmitOptions, TracingConfig,
+};
 use memsync_trace::Json;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
@@ -113,14 +122,16 @@ fn rep(addr: std::net::SocketAddr, conns: usize, jobs: usize, seed: u64) -> f64 
     served as f64 / t0.elapsed().as_secs_f64()
 }
 
-/// Boots a fresh server running `backend` under `tracing`.
-fn boot(backend: BackendKind, tracing: TracingConfig) -> Server {
+/// Boots a fresh server running `backend` under `tracing`, served by
+/// `frontend`.
+fn boot(backend: BackendKind, tracing: TracingConfig, frontend: FrontendKind) -> Server {
     let config = ServeConfig {
         shards: SHARDS,
         routes: ROUTES,
         backend,
         batch_max: BATCH,
         tracing,
+        frontend,
         ..ServeConfig::default()
     };
     Server::start("127.0.0.1:0", config).expect("bind loopback")
@@ -129,7 +140,20 @@ fn boot(backend: BackendKind, tracing: TracingConfig) -> Server {
 /// Best-of-`reps` sustained packets/sec against a fresh server running
 /// `backend`, after one untimed warmup rep.
 fn measure(backend: BackendKind, jobs: usize, reps: usize, tracing: TracingConfig) -> f64 {
-    let server = boot(backend, tracing);
+    measure_frontend(backend, jobs, reps, tracing, FrontendKind::Threads)
+}
+
+/// Like [`measure`], parameterized on the connection frontend — the
+/// threads-vs-reactor comparison drives the same closed-loop reps against
+/// both so the numbers differ only in the connection plane.
+fn measure_frontend(
+    backend: BackendKind,
+    jobs: usize,
+    reps: usize,
+    tracing: TracingConfig,
+    frontend: FrontendKind,
+) -> f64 {
+    let server = boot(backend, tracing, frontend);
     let addr = server.local_addr();
     let _ = rep(addr, CONNS, jobs.min(4), 0x3A3A); // warmup: caches, lanes, FIB
     let mut best = 0.0f64;
@@ -148,8 +172,12 @@ fn measure(backend: BackendKind, jobs: usize, reps: usize, tracing: TracingConfi
 /// run second, which is what used to let the reported overhead go
 /// negative.
 fn measure_traced_pair(jobs: usize, reps: usize) -> (f64, f64) {
-    let off_server = boot(BackendKind::Fast, TracingConfig::default());
-    let traced_server = boot(BackendKind::Fast, traced_config());
+    let off_server = boot(
+        BackendKind::Fast,
+        TracingConfig::default(),
+        FrontendKind::Threads,
+    );
+    let traced_server = boot(BackendKind::Fast, traced_config(), FrontendKind::Threads);
     let (off_addr, traced_addr) = (off_server.local_addr(), traced_server.local_addr());
     let _ = rep(off_addr, CONNS, jobs.min(4), 0x3A3A);
     let _ = rep(traced_addr, CONNS, jobs.min(4), 0x3A3A);
@@ -163,6 +191,107 @@ fn measure_traced_pair(jobs: usize, reps: usize) -> (f64, f64) {
         s.wait();
     }
     (off, traced)
+}
+
+/// The 5000-connection fan-in measurement: `conns` live connections to a
+/// reactor-frontend fast-backend server, multiplexed onto 8 worker
+/// threads that pipeline one verify-mode `batch`-packet submit per
+/// connection per round (send on every connection, then collect every
+/// response). One warmup round, then `rounds` timed rounds; returns the
+/// best round's packets/sec. Panics on any verify mismatch, lost update,
+/// or shard restart — at this fan-in those are correctness regressions,
+/// not noise.
+fn measure_reactor_fanin(conns: usize, batch: usize, rounds: usize) -> f64 {
+    memsync_serve::raise_fd_limit();
+    let config = ServeConfig {
+        shards: SHARDS,
+        routes: ROUTES,
+        backend: BackendKind::Fast,
+        batch_max: BATCH,
+        queue_cap: 1024,
+        frontend: FrontendKind::Reactor,
+        max_conns: conns + 16,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind loopback");
+    let addr = server.local_addr();
+    let workers = 8;
+    // Two barrier crossings bracket each round: workers arrive before
+    // sending and after collecting, and the main thread times the gap.
+    let round_barrier = Arc::new(Barrier::new(workers + 1));
+    let handles: Vec<_> = (0..workers)
+        .map(|k| {
+            let rb = Arc::clone(&round_barrier);
+            std::thread::spawn(move || {
+                let mut lanes: Vec<_> = (k..conns)
+                    .step_by(workers)
+                    .map(|g| {
+                        let client = Client::builder().connect(addr).expect("open fan-in lane");
+                        let w = Workload::generate(0xFA71 + g as u64, batch, ROUTES);
+                        (client, w.packets)
+                    })
+                    .collect();
+                let verify = SubmitOptions::new().verify(true);
+                let mut served = 0u64;
+                for _ in 0..=rounds {
+                    rb.wait();
+                    for (client, packets) in &mut lanes {
+                        client.submit_send(packets, verify).expect("pipelined send");
+                    }
+                    for (client, packets) in &mut lanes {
+                        loop {
+                            match client.submit_recv().expect("pipelined recv") {
+                                Response::Batch {
+                                    forwarded,
+                                    dropped,
+                                    mismatches,
+                                } => {
+                                    assert_eq!(mismatches, 0, "verify mismatch at fan-in");
+                                    served += u64::from(forwarded) + u64::from(dropped);
+                                    break;
+                                }
+                                Response::Busy(_) => {
+                                    std::thread::sleep(Duration::from_millis(1));
+                                    client.submit_send(packets, verify).expect("busy resend");
+                                }
+                                other => panic!("unexpected submit response: {other:?}"),
+                            }
+                        }
+                    }
+                    rb.wait();
+                }
+                served
+            })
+        })
+        .collect();
+    let mut best = 0.0f64;
+    for r in 0..=rounds {
+        round_barrier.wait();
+        let t0 = Instant::now();
+        round_barrier.wait();
+        if r > 0 {
+            // Round 0 is the untimed warmup (caches, FIB, kernel buffers).
+            best = best.max((conns * batch) as f64 / t0.elapsed().as_secs_f64());
+        }
+    }
+    let served: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("fan-in worker"))
+        .sum();
+    assert_eq!(
+        served,
+        ((rounds + 1) * conns * batch) as u64,
+        "lossless accounting across the fan-in"
+    );
+    let mut client = Client::connect(addr).expect("stats connection");
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.lost_updates, 0, "lost updates at fan-in");
+    assert_eq!(snap.shard_restarts, 0, "shard restarts at fan-in");
+    assert_eq!(snap.mismatches, 0, "server-side mismatch count");
+    drop(client);
+    server.stop();
+    server.wait();
+    best
 }
 
 /// Raw kernel rate: descriptors/sec through a [`FastBackend`] submit →
@@ -227,20 +356,32 @@ fn main() {
             .or_else(|| json_u64(&doc, "packets_per_sec"))
             .expect("sim_packets_per_sec recorded");
         let recorded_fast = json_u64(&doc, "fast_packets_per_sec").unwrap_or(0);
+        let recorded_5k = json_u64(&doc, "reactor5k_packets_per_sec");
         let sim = measure(BackendKind::Sim, 8, 2, TracingConfig::default());
         // The fast backend finishes a jobs=8 rep in tens of milliseconds,
         // where connect/warmup costs dominate and understate the rate —
         // give it enough jobs for the steady state to show.
         let (fast, traced) = measure_traced_pair(24, 2);
+        let reactor = measure_frontend(
+            BackendKind::Fast,
+            24,
+            2,
+            TracingConfig::default(),
+            FrontendKind::Reactor,
+        );
+        let reactor5k = measure_reactor_fanin(5_000, 200, 1);
         let batch = measure_backend_rate(false, Duration::from_millis(200));
         let floor = recorded as f64 / 3.0;
         println!(
             "serve perf check: sim {sim:.0} pkts/sec (recorded {recorded}, floor {floor:.0}), \
              fast {fast:.0} pkts/sec ({:.1}x sim, floor {FAST_OVER_SIM_FLOOR:.0}x), \
              traced {traced:.0} pkts/sec ({:+.1}% vs traced-off), \
-             batch kernels {batch:.0} pkts/sec (recorded e2e fast {recorded_fast})",
+             reactor {reactor:.0} pkts/sec (recorded fast e2e {recorded_fast}), \
+             reactor 5k-conn fan-in {reactor5k:.0} pkts/sec (recorded {:?}), \
+             batch kernels {batch:.0} pkts/sec",
             fast / sim,
-            (traced / fast - 1.0) * 100.0
+            (traced / fast - 1.0) * 100.0,
+            recorded_5k
         );
         if cfg!(debug_assertions) {
             // The recorded numbers are release measurements; a debug build
@@ -275,6 +416,25 @@ fn main() {
             );
             failed = true;
         }
+        // The reactor serves the same closed-loop workload as the
+        // blocking frontend; more than 3x below the recorded blocking
+        // fast rate means the event loop itself regressed.
+        if reactor < recorded_fast as f64 / 3.0 {
+            eprintln!(
+                "serve perf check FAILED: reactor frontend {reactor:.0} pkts/sec fell below \
+                 a third of the recorded threads-frontend fast rate {recorded_fast}"
+            );
+            failed = true;
+        }
+        if let Some(recorded_5k) = recorded_5k {
+            if reactor5k < recorded_5k as f64 / 3.0 {
+                eprintln!(
+                    "serve perf check FAILED: 5k-conn fan-in {reactor5k:.0} pkts/sec fell \
+                     below a third of the recorded rate {recorded_5k}"
+                );
+                failed = true;
+            }
+        }
         if failed {
             std::process::exit(1);
         }
@@ -298,6 +458,19 @@ fn main() {
     // artifact by construction; clamp so noise never records a negative.
     let overhead_pct = ((1.0 - traced / fast) * 100.0).max(0.0);
     println!("  fast backend: {traced:.0} packets/sec (tracing on, {overhead_pct:.1}% overhead)");
+    let reactor = measure_frontend(
+        BackendKind::Fast,
+        jobs,
+        3,
+        TracingConfig::default(),
+        FrontendKind::Reactor,
+    );
+    println!(
+        "  fast backend: {reactor:.0} packets/sec (reactor frontend, {:.2}x threads)",
+        reactor / fast
+    );
+    let reactor5k = measure_reactor_fanin(5_000, 200, 2);
+    println!("  fast backend: {reactor5k:.0} packets/sec (reactor, 5000-conn verify fan-in)");
     let batch = measure_backend_rate(false, Duration::from_millis(500));
     let scalar = measure_backend_rate(true, Duration::from_millis(500));
     println!(
@@ -339,6 +512,23 @@ fn main() {
             ((overhead_pct * 10.0).round() / 10.0).into(),
         )
         .with("fast_over_sim", ((fast / sim * 10.0).round() / 10.0).into())
+        // The reactor frontend serving the same 8-conn closed-loop
+        // workload as the threads rows above, plus the conns=5000 row:
+        // 5000 live connections each pipelining one 200-packet verify
+        // batch per round (1M packets per timed round, zero mismatches
+        // enforced in-measurement).
+        .with("reactor_packets_per_sec", (reactor.round() as u64).into())
+        .with(
+            "reactor_over_threads",
+            ((reactor / fast * 100.0).round() / 100.0).into(),
+        )
+        .with("reactor5k_conns", 5_000u64.into())
+        .with("reactor5k_batch", 200u64.into())
+        .with("reactor5k_packets_per_round", 1_000_000u64.into())
+        .with(
+            "reactor5k_packets_per_sec",
+            (reactor5k.round() as u64).into(),
+        )
         // Raw kernel rates: the batch fast path with no service around
         // it, and the scalar descriptor-at-a-time baseline it replaced.
         .with("fast_batch_packets_per_sec", (batch.round() as u64).into())

@@ -80,8 +80,7 @@ impl ForwardingBackend for DifferentialBackend {
                 );
                 for (k, (wf, gf)) in w.iter().zip(g).enumerate() {
                     assert_eq!(
-                        wf,
-                        gf,
+                        wf, gf,
                         "differential: egress e{i} frame {k} diverged after {} descriptors \
                          ({rk}: {wf:#010x}, {ck}: {gf:#010x})",
                         self.checked
@@ -92,8 +91,7 @@ impl ForwardingBackend for DifferentialBackend {
         };
         let (rl, cl) = (self.reference.lost_updates(), self.candidate.lost_updates());
         assert_eq!(
-            rl,
-            cl,
+            rl, cl,
             "differential: lost-update counters diverged ({rk}: {rl}, {ck}: {cl})"
         );
         self.checked += drained;

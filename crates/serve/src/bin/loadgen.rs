@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen --addr 127.0.0.1:7171 [--conns 8] [--jobs 100] [--batch 32]
-//!         [--seed 42] [--routes 64] [--verify] [--open-loop]
+//!         [--seed 42] [--routes 64] [--verify] [--open-loop] [--ramp MS]
 //!         [--backend sim|fast|differential] [--drain] [--shutdown]
 //!         [--spans] [--stats-interval MS]
 //! ```
@@ -15,12 +15,28 @@
 //! against the negotiated [`ServerHello`](memsync_serve::ServerHello));
 //! `--backend` asserts which engine the server is running.
 //!
+//! `--ramp MS` switches to fan-in mode for high connection counts: a
+//! small pool of worker threads (at most 8) multiplexes all `--conns`
+//! connections instead of one thread each, opens are paced evenly across
+//! the `MS`-millisecond ramp window, and each worker pipelines submits —
+//! send on every connection first, then collect every response — so all
+//! connections stay in flight at once. Connections that fail to open are
+//! counted (`open_failures` in the summary) and skipped, not fatal. The
+//! ramp/open phase is excluded from the timed throughput window.
+//! Fan-in mode is closed-loop only (`Busy` is resent after a pause).
+//!
 //! `--spans` tags every submit with a client-assigned span id
 //! (`conn << 32 | batch_index`), so a `--trace-spans` server exports
 //! spans the offline waterfall can correlate back to this run. It
 //! requires the server to advertise the tracing capability.
 //! `--stats-interval MS` subscribes a side connection to the server's
 //! stats stream and prints one machine-readable `STATS` line per push.
+//!
+//! Every batch round trip is timed client-side; the summary reports the
+//! nearest-rank p50/p99 in microseconds (`rtt_p50_us`/`rtt_p99_us`). In
+//! fan-in mode the clock runs from a lane's pipelined send to its
+//! response being collected, so it is completion latency under full
+//! fan-in, not an isolated ping.
 //!
 //! Every run ends with one `SUMMARY key=value ...` line for scripts.
 //! Exits non-zero on any verify mismatch, on a forwarded+dropped total
@@ -33,7 +49,7 @@ use memsync_netapp::Workload;
 use memsync_serve::client::BatchResult;
 use memsync_serve::{BackendKind, Client, Response, SubmitOptions};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -72,7 +88,7 @@ fn run_conn(
     base_options: SubmitOptions,
     open_loop: bool,
     spans: bool,
-) -> (BatchResult, u64, u64) {
+) -> (BatchResult, u64, u64, Vec<u64>) {
     let mut client = connect(addr);
     assert_eq!(
         client.server().routes as usize,
@@ -83,12 +99,14 @@ fn run_conn(
     let mut totals = BatchResult::default();
     let mut submitted = 0u64;
     let mut refused = 0u64;
+    let mut rtts = Vec::with_capacity(jobs);
     for (i, chunk) in w.packets.chunks(batch).enumerate() {
         let options = if spans {
             base_options.span(conn << 32 | i as u64)
         } else {
             base_options
         };
+        let sent = Instant::now();
         if open_loop {
             match client.submit_once(chunk, options).expect("submit") {
                 Response::Batch {
@@ -100,6 +118,7 @@ fn run_conn(
                     totals.dropped += dropped;
                     totals.mismatches += mismatches;
                     submitted += chunk.len() as u64;
+                    rtts.push(sent.elapsed().as_nanos() as u64);
                 }
                 Response::Busy(_) => refused += 1,
                 other => panic!("unexpected submit response: {other:?}"),
@@ -111,9 +130,135 @@ fn run_conn(
             totals.mismatches += r.mismatches;
             totals.busy_retries += r.busy_retries;
             submitted += chunk.len() as u64;
+            rtts.push(sent.elapsed().as_nanos() as u64);
         }
     }
-    (totals, submitted, refused)
+    (totals, submitted, refused, rtts)
+}
+
+/// One fan-in worker: owns every `workers`-th connection (interleaved so
+/// each worker's open deadlines are evenly spaced across the ramp), opens
+/// each at its paced deadline, then drives all of them through `jobs`
+/// pipelined rounds — send one batch on every connection first, then
+/// collect every response — so the worker keeps all its connections in
+/// flight instead of serializing round trips. Returns the aggregated
+/// batch totals, packets submitted, the open-failure count, and one
+/// send-to-collected latency sample per completed batch (the pipelined
+/// completion time a real client would observe at this fan-in, not an
+/// isolated ping).
+#[allow(clippy::too_many_arguments)]
+fn run_fanin_worker(
+    addr: &str,
+    worker: usize,
+    workers: usize,
+    conns: usize,
+    epoch: Instant,
+    ramp: Duration,
+    start: &Barrier,
+    seed: u64,
+    jobs: usize,
+    batch: usize,
+    routes: usize,
+    base_options: SubmitOptions,
+    spans: bool,
+) -> (BatchResult, u64, u64, Vec<u64>) {
+    struct Lane {
+        client: Client,
+        packets: Vec<memsync_netapp::Ipv4Packet>,
+        span_base: u64,
+    }
+    let mut lanes: Vec<Lane> = Vec::new();
+    let mut open_failures = 0u64;
+    for g in (worker..conns).step_by(workers) {
+        let due = epoch + ramp.mul_f64(g as f64 / conns as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match Client::builder().connect(addr) {
+            Ok(client) => {
+                assert_eq!(
+                    client.server().routes as usize,
+                    routes,
+                    "--routes disagrees with the server's FIB"
+                );
+                let w = Workload::generate(seed.wrapping_add(g as u64), jobs * batch, routes);
+                lanes.push(Lane {
+                    client,
+                    packets: w.packets,
+                    span_base: (g as u64) << 32,
+                });
+            }
+            Err(e) => {
+                eprintln!("open failure for connection {g}: {e}");
+                open_failures += 1;
+            }
+        }
+    }
+    // Every worker finished its ramp; the timed window starts at this
+    // barrier (the main thread waits on it too, then stamps t0).
+    start.wait();
+    let mut totals = BatchResult::default();
+    let mut submitted = 0u64;
+    let mut rtts = Vec::with_capacity(jobs * lanes.len());
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(lanes.len());
+    for round in 0..jobs {
+        sent_at.clear();
+        for lane in &mut lanes {
+            let chunk = &lane.packets[round * batch..(round + 1) * batch];
+            let options = if spans {
+                base_options.span(lane.span_base | round as u64)
+            } else {
+                base_options
+            };
+            sent_at.push(Instant::now());
+            lane.client
+                .submit_send(chunk, options)
+                .expect("pipelined submit send");
+        }
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            loop {
+                match lane.client.submit_recv().expect("pipelined submit recv") {
+                    Response::Batch {
+                        forwarded,
+                        dropped,
+                        mismatches,
+                    } => {
+                        totals.forwarded += forwarded;
+                        totals.dropped += dropped;
+                        totals.mismatches += mismatches;
+                        submitted += batch as u64;
+                        rtts.push(sent_at[i].elapsed().as_nanos() as u64);
+                        break;
+                    }
+                    Response::Busy(_) => {
+                        totals.busy_retries += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                        let chunk = &lane.packets[round * batch..(round + 1) * batch];
+                        let options = if spans {
+                            base_options.span(lane.span_base | round as u64)
+                        } else {
+                            base_options
+                        };
+                        lane.client
+                            .submit_send(chunk, options)
+                            .expect("busy resend");
+                    }
+                    other => panic!("unexpected submit response: {other:?}"),
+                }
+            }
+        }
+    }
+    (totals, submitted, open_failures, rtts)
+}
+
+/// Nearest-rank percentile over an unsorted sample set, in microseconds.
+/// Returns 0 when no batches completed (pure open-loop refusal runs).
+fn percentile_us(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((p * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] / 1_000
 }
 
 fn main() {
@@ -131,6 +276,13 @@ fn main() {
     let routes = num_arg(&args, "--routes", 64) as usize;
     let options = SubmitOptions::new().verify(args.iter().any(|a| a == "--verify"));
     let open_loop = args.iter().any(|a| a == "--open-loop");
+    let ramp = arg_value(&args, "--ramp").map(|v| {
+        let ms: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--ramp wants milliseconds, got {v}"));
+        Duration::from_millis(ms)
+    });
+    memsync_serve::raise_fd_limit();
     let spans = args.iter().any(|a| a == "--spans");
     let stats_interval = arg_value(&args, "--stats-interval").map(|v| {
         let ms: u64 = v
@@ -191,38 +343,78 @@ fn main() {
         })
     });
 
-    let t0 = Instant::now();
-    let handles: Vec<_> = (0..conns)
-        .map(|c| {
-            let addr = addr.clone();
-            std::thread::spawn(move || {
-                run_conn(
-                    &addr,
-                    c as u64,
-                    seed.wrapping_add(c as u64),
-                    jobs,
-                    batch,
-                    routes,
-                    options,
-                    open_loop,
-                    spans,
-                )
-            })
-        })
-        .collect();
     let mut totals = BatchResult::default();
     let mut submitted = 0u64;
     let mut refused = 0u64;
-    for h in handles {
-        let (t, s, r) = h.join().expect("loadgen connection thread");
-        totals.forwarded += t.forwarded;
-        totals.dropped += t.dropped;
-        totals.mismatches += t.mismatches;
-        totals.busy_retries += t.busy_retries;
-        submitted += s;
-        refused += r;
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
+    let mut open_failures = 0u64;
+    let mut rtts: Vec<u64> = Vec::new();
+    let elapsed = if let Some(ramp) = ramp {
+        // Fan-in mode: a bounded worker pool multiplexes all connections
+        // with pipelined submits; the paced open phase is untimed.
+        assert!(
+            !open_loop,
+            "--open-loop is not supported with --ramp (fan-in is closed-loop)"
+        );
+        let workers = conns.clamp(1, 8);
+        let start = Arc::new(Barrier::new(workers + 1));
+        let epoch = Instant::now();
+        let handles: Vec<_> = (0..workers)
+            .map(|k| {
+                let addr = addr.clone();
+                let start = Arc::clone(&start);
+                std::thread::spawn(move || {
+                    run_fanin_worker(
+                        &addr, k, workers, conns, epoch, ramp, &start, seed, jobs, batch, routes,
+                        options, spans,
+                    )
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        for h in handles {
+            let (t, s, o, r) = h.join().expect("fan-in worker thread");
+            totals.forwarded += t.forwarded;
+            totals.dropped += t.dropped;
+            totals.mismatches += t.mismatches;
+            totals.busy_retries += t.busy_retries;
+            submitted += s;
+            open_failures += o;
+            rtts.extend(r);
+        }
+        t0.elapsed().as_secs_f64()
+    } else {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let addr = addr.clone();
+                std::thread::spawn(move || {
+                    run_conn(
+                        &addr,
+                        c as u64,
+                        seed.wrapping_add(c as u64),
+                        jobs,
+                        batch,
+                        routes,
+                        options,
+                        open_loop,
+                        spans,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (t, s, r, l) = h.join().expect("loadgen connection thread");
+            totals.forwarded += t.forwarded;
+            totals.dropped += t.dropped;
+            totals.mismatches += t.mismatches;
+            totals.busy_retries += t.busy_retries;
+            submitted += s;
+            refused += r;
+            rtts.extend(l);
+        }
+        t0.elapsed().as_secs_f64()
+    };
     stop.store(true, Ordering::Relaxed);
     if let Some(m) = monitor {
         m.join().expect("stats monitor thread");
@@ -237,10 +429,20 @@ fn main() {
         "forwarded {} dropped {} mismatches {} busy_retries {} refused_batches {refused}",
         totals.forwarded, totals.dropped, totals.mismatches, totals.busy_retries
     );
+    rtts.sort_unstable();
+    let (rtt_p50_us, rtt_p99_us) = (percentile_us(&rtts, 0.50), percentile_us(&rtts, 0.99));
+    println!(
+        "batch rtt p50 {rtt_p50_us}µs p99 {rtt_p99_us}µs ({} samples)",
+        rtts.len()
+    );
 
     let mut failed = false;
     if totals.mismatches > 0 {
         eprintln!("FAIL: {} verify mismatches", totals.mismatches);
+        failed = true;
+    }
+    if open_failures > 0 {
+        eprintln!("FAIL: {open_failures} connection opens failed");
         failed = true;
     }
     if served != submitted {
@@ -275,8 +477,10 @@ fn main() {
 
     // One machine-readable line for scripts (CI greps this).
     println!(
-        "SUMMARY submitted={submitted} forwarded={} dropped={} mismatches={} \
+        "SUMMARY submitted={submitted} conns={conns} open_failures={open_failures} \
+         forwarded={} dropped={} mismatches={} \
          busy_retries={} refused={refused} elapsed_s={elapsed:.3} pps={:.0} \
+         rtt_p50_us={rtt_p50_us} rtt_p99_us={rtt_p99_us} \
          lost_updates={lost_updates} shard_restarts={shard_restarts}",
         totals.forwarded,
         totals.dropped,

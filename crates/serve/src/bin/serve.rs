@@ -4,6 +4,7 @@
 //! serve [--addr 127.0.0.1:7171] [--shards 4] [--egress 4] [--routes 64]
 //!       [--queue-cap 64] [--batch-max 64] [--org arbitrated|event-driven]
 //!       [--backend sim|fast|differential]
+//!       [--frontend threads|reactor] [--reactor-threads N] [--max-conns N]
 //!       [--tracing] [--trace-spans FILE] [--trace-sample N] [--trace-slow-us N]
 //! ```
 //!
@@ -14,6 +15,13 @@
 //! socket is bound (the loopback CI job waits for that line), then blocks
 //! until a client sends a shutdown frame and exits 0.
 //!
+//! `--frontend` picks the connection plane: `threads` (default; one
+//! blocking thread per connection) or `reactor` (epoll event loop —
+//! thousands of connections on a few threads). `--reactor-threads N`
+//! sets the reactor thread count (0 = one per CPU); `--max-conns` caps
+//! open connections (default 10000, both frontends). The soft fd limit
+//! is raised to the hard limit at startup either way.
+//!
 //! Tracing is off by default (the hot path stays allocation-free).
 //! `--tracing` turns on per-request stage timing; `--trace-spans FILE`
 //! additionally exports every span as JSONL to `FILE` (and implies
@@ -22,7 +30,7 @@
 //! in microseconds (default 5000).
 
 use memsync_core::OrganizationKind;
-use memsync_serve::{BackendKind, ServeConfig, Server, TracingConfig};
+use memsync_serve::{BackendKind, FrontendKind, ServeConfig, Server, TracingConfig};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
     args.iter()
@@ -80,11 +88,21 @@ fn main() {
                 .parse::<BackendKind>()
                 .unwrap_or_else(|e| panic!("--backend: {e}")),
         },
+        frontend: match arg_value(&args, "--frontend") {
+            None => defaults.frontend,
+            Some(v) => v
+                .parse::<FrontendKind>()
+                .unwrap_or_else(|e| panic!("--frontend: {e}")),
+        },
+        reactor_threads: usize_arg(&args, "--reactor-threads", defaults.reactor_threads),
+        max_conns: usize_arg(&args, "--max-conns", defaults.max_conns),
         ..defaults
     };
+    memsync_serve::raise_fd_limit();
     let addr = arg_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7171".into());
     let shards = config.shards;
     let backend = config.backend;
+    let frontend = config.frontend;
     let trace_note = if config.tracing.enabled {
         match &config.tracing.spans_path {
             Some(p) => format!("tracing on, spans -> {p}"),
@@ -95,7 +113,7 @@ fn main() {
     };
     let server = Server::start(addr.as_str(), config).expect("bind serve address");
     println!(
-        "listening on {} ({} shards, {backend} backend)",
+        "listening on {} ({} shards, {backend} backend, {frontend} frontend)",
         server.local_addr(),
         shards
     );

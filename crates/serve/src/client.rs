@@ -266,6 +266,29 @@ impl Client {
         packets: &[Ipv4Packet],
         options: SubmitOptions,
     ) -> Result<Response, ClientError> {
+        self.submit_send(packets, options)?;
+        self.submit_recv()
+    }
+
+    /// Sends one submit frame without waiting for its response — the
+    /// pipelined half of [`Client::submit_once`]. A fan-in driver (one
+    /// thread multiplexing many connections, like `loadgen --ramp`) sends
+    /// on every connection first and then collects the responses with
+    /// [`Client::submit_recv`], keeping all connections in flight at once
+    /// instead of serializing round trips. Responses arrive in send order
+    /// on each connection; interleaving other requests between a
+    /// `submit_send` and its `submit_recv` would desync the pairing.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; [`ClientError::Unsupported`] locally (nothing sent)
+    /// for span-tagged submits against a server without the tracing
+    /// capability.
+    pub fn submit_send(
+        &mut self,
+        packets: &[Ipv4Packet],
+        options: SubmitOptions,
+    ) -> Result<(), ClientError> {
         if options.span_id.is_some() && !self.supports_tracing() {
             return Err(ClientError::Unsupported(
                 "server does not advertise the tracing capability; \
@@ -277,6 +300,16 @@ impl Client {
         // scratch — no Vec<Ipv4Packet> clone, no per-submit allocation.
         encode_submit_into(packets, options, &mut self.encode_buf);
         write_frame(&mut self.writer, &self.encode_buf)?;
+        Ok(())
+    }
+
+    /// Receives the response to an earlier [`Client::submit_send`].
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, or [`ClientError::Protocol`] when the server closes
+    /// mid-response or replies with garbage.
+    pub fn submit_recv(&mut self) -> Result<Response, ClientError> {
         match read_frame(&mut self.reader)? {
             Some(payload) => {
                 Response::decode(&payload).map_err(|e| ClientError::Protocol(e.to_string()))

@@ -697,6 +697,108 @@ impl FrameReader {
     }
 }
 
+/// Nonblocking write-side twin of [`FrameReader`]: a per-connection
+/// egress queue with `WouldBlock`-resumable partial writes.
+///
+/// The blocking server writes responses with [`write_frame`], which
+/// blocks until the socket accepts every byte. A readiness-driven
+/// frontend cannot block: it enqueues the encoded payload here (the
+/// length prefix is added by `enqueue`) and calls [`FrameWriter::write`]
+/// whenever the socket reports writable. A partial write leaves the
+/// cursor mid-frame; the next call resumes at the exact byte where the
+/// kernel stopped accepting, so frame boundaries are never corrupted by
+/// backpressure.
+///
+/// The buffer is reused across frames: fully drained, it resets to
+/// empty; partially drained, `enqueue` compacts the unsent tail to the
+/// front before appending, so a long-lived connection's buffer is
+/// bounded by its egress high-water mark, not its lifetime.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    buf: Vec<u8>,
+    pos: usize,
+    high_water: usize,
+}
+
+impl FrameWriter {
+    /// An empty egress queue.
+    pub fn new() -> FrameWriter {
+        FrameWriter::default()
+    }
+
+    /// Appends one frame (length prefix + `payload`) to the egress queue.
+    pub fn enqueue(&mut self, payload: &[u8]) {
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 0 {
+            // Compact the unsent tail to the front so the buffer tracks
+            // the pending byte count instead of growing for the life of
+            // the connection.
+            self.buf.copy_within(self.pos.., 0);
+            let pending = self.buf.len() - self.pos;
+            self.buf.truncate(pending);
+            self.pos = 0;
+        }
+        self.buf.reserve(4 + payload.len());
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        self.buf.extend_from_slice(payload);
+        self.high_water = self.high_water.max(self.pending());
+    }
+
+    /// Bytes enqueued but not yet accepted by the sink.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether nothing is waiting to be written.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Largest pending byte count ever observed (egress memory bound).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Writes as much of the queue as `w` accepts. Returns `Ok(true)`
+    /// when the queue drained completely and `Ok(false)` when the sink
+    /// stopped accepting bytes (`WouldBlock` — keep write interest and
+    /// call again on the next writable event).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than `WouldBlock`/`Interrupted`; a
+    /// sink that accepts zero bytes surfaces as `WriteZero`. The cursor
+    /// is preserved across every error, so retrying never corrupts a
+    /// frame boundary.
+    pub fn write(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "sink accepted zero bytes of a pending frame",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return Ok(false)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
 /// Reads one length-prefixed frame from a blocking stream. `Ok(None)`
 /// means the peer closed the connection cleanly at a frame boundary; an
 /// EOF inside a frame (even inside the length prefix) is an
@@ -950,5 +1052,209 @@ mod tests {
         assert_eq!(frames[0], b"first frame, long enough to straddle reads");
         assert_eq!(frames[1], b"second");
         assert_eq!(fr.progress(), 0, "back at a frame boundary");
+    }
+
+    /// Serves bytes up to `cut`, then raises exactly one `WouldBlock`,
+    /// then serves the rest — a timeout at one chosen byte boundary.
+    struct SplitReader<'a> {
+        data: &'a [u8],
+        pos: usize,
+        cut: usize,
+        blocked: bool,
+    }
+
+    impl Read for SplitReader<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos == self.cut && !self.blocked {
+                self.blocked = true;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "split"));
+            }
+            let end = if self.pos < self.cut {
+                self.cut
+            } else {
+                self.data.len()
+            };
+            let n = buf.len().min(end - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_after_a_timeout_at_every_byte_boundary() {
+        // One submit frame exercising every wire region — length prefix,
+        // type byte, flags, 8-byte span id, count, packed packet headers —
+        // with a timeout injected at each byte boundary in turn. The
+        // resumed decode must match the uninterrupted one exactly.
+        let w = Workload::generate(4, 3, 8);
+        let options = SubmitOptions::new()
+            .verify(true)
+            .span(0x0123_4567_89AB_CDEF);
+        let mut payload = Vec::new();
+        encode_submit_into(&w.packets, options, &mut payload);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        for cut in 1..wire.len() {
+            let mut r = SplitReader {
+                data: &wire,
+                pos: 0,
+                cut,
+                blocked: false,
+            };
+            let mut fr = FrameReader::new();
+            let got = loop {
+                match fr.read(&mut r) {
+                    Ok(Some(p)) => break p.to_vec(),
+                    Ok(None) => panic!("clean close with cut={cut}"),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        assert_eq!(fr.progress(), cut, "progress preserved at cut={cut}");
+                    }
+                    Err(e) => panic!("cut={cut}: {e}"),
+                }
+            };
+            assert_eq!(got, payload, "resumed frame bytes at cut={cut}");
+            let mut packets = Vec::new();
+            let opts = decode_submit_into(&got, &mut packets).expect("decodes");
+            assert_eq!(opts, options, "cut={cut}");
+            assert_eq!(packets, w.packets, "cut={cut}");
+        }
+    }
+
+    /// Accepts one byte per write, interleaving a `WouldBlock` before
+    /// every byte — a maximally congested nonblocking socket.
+    struct TrickleSink {
+        out: Vec<u8>,
+        block_next: bool,
+    }
+
+    impl Write for TrickleSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.block_next {
+                self.block_next = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "trickle"));
+            }
+            self.block_next = true;
+            self.out.push(buf[0]);
+            Ok(1)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_resumes_partial_writes_byte_for_byte() {
+        // Queue several encoded responses, then drain through a sink that
+        // blocks before every single byte. The emitted stream must be
+        // byte-identical to the blocking path's write_frame output.
+        let rsps = [
+            Response::Batch {
+                forwarded: 9000,
+                dropped: 17,
+                mismatches: 0,
+            },
+            Response::Error("slow down".into()),
+            Response::Ok,
+            Response::Stats("{\"pending\":true}".into()),
+        ];
+        let mut want = Vec::new();
+        let mut scratch = Vec::new();
+        for r in &rsps {
+            r.encode_into(&mut scratch);
+            write_frame(&mut want, &scratch).unwrap();
+        }
+        let mut fw = FrameWriter::new();
+        for r in &rsps {
+            r.encode_into(&mut scratch);
+            fw.enqueue(&scratch);
+        }
+        assert_eq!(fw.pending(), want.len());
+        let mut sink = TrickleSink {
+            out: Vec::new(),
+            block_next: true,
+        };
+        let mut stalls = 0;
+        loop {
+            match fw.write(&mut sink) {
+                Ok(true) => break,
+                Ok(false) => stalls += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(stalls, want.len(), "one WouldBlock per byte");
+        assert_eq!(sink.out, want, "nonblocking egress matches write_frame");
+        assert!(fw.is_empty());
+        assert_eq!(fw.high_water(), want.len());
+    }
+
+    /// Accepts at most `cap` bytes total, then `WouldBlock`s forever.
+    struct CappedSink {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for CappedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.out.len() == self.cap {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.cap - self.out.len());
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frame_writer_compacts_mid_frame_and_tracks_high_water() {
+        // Stall a frame mid-payload, enqueue another behind it, then let
+        // the sink drain: frame boundaries survive the compaction and the
+        // high-water mark records the worst pending byte count.
+        let a = b"aaaaaaaaaaaaaaaa"; // 16 + 4 prefix = 20 wire bytes
+        let b = b"bb"; // 2 + 4 prefix = 6 wire bytes
+        let mut want = Vec::new();
+        write_frame(&mut want, a).unwrap();
+        write_frame(&mut want, b).unwrap();
+
+        let mut fw = FrameWriter::new();
+        fw.enqueue(a);
+        let mut sink = CappedSink {
+            out: Vec::new(),
+            cap: 7,
+        };
+        assert!(!fw.write(&mut sink).unwrap(), "sink stalls mid-frame");
+        assert_eq!(fw.pending(), 20 - 7);
+        fw.enqueue(b); // compacts the unsent 13-byte tail to the front
+        assert_eq!(fw.pending(), 13 + 6);
+        assert_eq!(fw.high_water(), 20, "worst pending was the full frame A");
+
+        sink.cap = want.len();
+        assert!(fw.write(&mut sink).unwrap(), "drains once the sink opens");
+        assert_eq!(sink.out, want, "frame boundaries survive compaction");
+        assert!(fw.is_empty());
+        assert_eq!(fw.high_water(), 20, "high water is a running maximum");
+    }
+
+    #[test]
+    fn frame_writer_zero_byte_write_is_an_error() {
+        struct Dead;
+        impl Write for Dead {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Ok(0)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut fw = FrameWriter::new();
+        fw.enqueue(b"x");
+        assert_eq!(
+            fw.write(&mut Dead).unwrap_err().kind(),
+            io::ErrorKind::WriteZero
+        );
+        assert_eq!(fw.pending(), 5, "cursor preserved across the error");
     }
 }

@@ -53,13 +53,17 @@
 //! schema are documented in `EXPERIMENTS.md` ("Serving traffic").
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`): the reactor's syscall shim is the one audited
+// `#![allow(unsafe_code)]` island — everything else stays safe Rust.
+#![deny(unsafe_code)]
 
 pub mod backend;
 pub mod client;
 pub mod frame;
 pub mod pipeline;
 pub mod queue;
+#[cfg(unix)]
+pub mod reactor;
 pub mod router;
 pub mod server;
 pub mod shard;
@@ -76,7 +80,65 @@ pub use snapshot::StatsSnapshot;
 pub use tracing::{ServeTracer, TracingConfig};
 
 use memsync_core::OrganizationKind;
+use std::fmt;
+use std::str::FromStr;
 use std::time::Duration;
+
+/// Which connection-handling frontend the server runs.
+///
+/// Both frontends speak the same protocol against the same
+/// router/shard/tracing plane; they differ only in how connections are
+/// multiplexed onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendKind {
+    /// One blocking OS thread per connection (the original frontend).
+    /// Simple and fine up to a few hundred connections.
+    #[default]
+    Threads,
+    /// Readiness-driven event loop ([`reactor`]): a few reactor threads
+    /// multiplex every connection via epoll (`poll(2)` on non-Linux
+    /// unix), sized for thousands of concurrent connections. Unix-only.
+    Reactor,
+}
+
+impl fmt::Display for FrontendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FrontendKind::Threads => "threads",
+            FrontendKind::Reactor => "reactor",
+        })
+    }
+}
+
+impl FromStr for FrontendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(FrontendKind::Threads),
+            "reactor" => Ok(FrontendKind::Reactor),
+            other => Err(format!(
+                "unknown frontend '{other}' (expected threads|reactor)"
+            )),
+        }
+    }
+}
+
+/// Raises the process's soft open-file limit to the hard limit and
+/// returns the resulting soft limit (0 when the limit could not even be
+/// read). High-fan-in runs (`--frontend reactor`, `loadgen --conns`)
+/// call this so 5k+ sockets don't trip the default 1024-fd soft limit.
+/// No-op returning 0 on non-unix platforms.
+pub fn raise_fd_limit() -> u64 {
+    #[cfg(unix)]
+    {
+        reactor::sys::raise_nofile_limit()
+    }
+    #[cfg(not(unix))]
+    {
+        0
+    }
+}
 
 /// Service configuration. `Default` matches the acceptance setup:
 /// 4 shards of the egress-4 forwarding application under the arbitrated
@@ -113,6 +175,16 @@ pub struct ServeConfig {
     /// Request tracing (spans, stage histograms, JSONL export). Disabled
     /// by default; disabled means zero instrumentation cost.
     pub tracing: TracingConfig,
+    /// Connection-handling frontend (blocking thread-per-connection or
+    /// the epoll reactor).
+    pub frontend: FrontendKind,
+    /// Reactor event-loop thread count; 0 means one per available CPU.
+    /// Ignored by the `threads` frontend.
+    pub reactor_threads: usize,
+    /// Maximum concurrently open client connections (both frontends).
+    /// Connections over the cap receive a protocol `Error` frame and are
+    /// closed, keeping fd headroom for the ones already being served.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +202,9 @@ impl Default for ServeConfig {
             job_timeout: Duration::from_secs(60),
             shard_throttle: None,
             tracing: TracingConfig::default(),
+            frontend: FrontendKind::default(),
+            reactor_threads: 0,
+            max_conns: 10_000,
         }
     }
 }

@@ -11,9 +11,10 @@ use crate::frame::SubmitOptions;
 use crate::tracing::StageTimings;
 use memsync_netapp::Ipv4Packet;
 use std::collections::VecDeque;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::mpsc::{SendError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// The result a shard reports for one job.
@@ -30,6 +31,90 @@ pub struct JobOutcome {
     pub timings: Option<StageTimings>,
 }
 
+/// Wakes a frontend when a job outcome becomes observable.
+///
+/// The blocking frontend parks each connection thread on its outcome
+/// channel, so delivery alone unblocks it. A readiness-driven frontend
+/// (the reactor) multiplexes thousands of connections on one thread that
+/// parks in the poller — an mpsc send cannot interrupt that park. Shards
+/// are frontend-agnostic: they call [`Reply::send`], and the reply wakes
+/// whatever registered interest. The trait lives here (not in the
+/// reactor) so the queue layer carries no dependency on any particular
+/// frontend's poller type.
+pub trait ReplyWaker: Send + Sync + fmt::Debug {
+    /// Signal the owning frontend that an outcome (or a channel close)
+    /// is ready to collect. Must be nonblocking and safe to call from a
+    /// shard thread; spurious calls are allowed.
+    fn wake(&self);
+}
+
+/// The outcome path of one job: the mpsc sender the shard reports on,
+/// plus an optional waker for event-driven frontends.
+///
+/// The channel is kept (rather than replaced by the waker) because its
+/// disconnect semantics carry a signal a bare callback cannot: a shard
+/// that panics mid-batch *drops* its jobs, and the acceptor observes the
+/// hung-up channel as a failed submit — never a silent loss. The waker
+/// only fires on delivery and on drop, so disconnect detection must also
+/// run from a periodic sweep on the frontend side.
+#[derive(Clone)]
+pub struct Reply {
+    tx: Sender<JobOutcome>,
+    waker: Option<Arc<dyn ReplyWaker>>,
+}
+
+impl Reply {
+    /// A reply with no waker — for frontends that block on the receiver.
+    pub fn new(tx: Sender<JobOutcome>) -> Reply {
+        Reply { tx, waker: None }
+    }
+
+    /// A reply that calls `waker` after every outcome delivery (and when
+    /// the last clone drops, covering shard-death mid-batch).
+    pub fn with_waker(tx: Sender<JobOutcome>, waker: Arc<dyn ReplyWaker>) -> Reply {
+        Reply {
+            tx,
+            waker: Some(waker),
+        }
+    }
+
+    /// Delivers one outcome, then wakes the frontend (if any waker is
+    /// attached). The send error is the receiver having hung up — the
+    /// acceptor gave up on the batch — which callers may ignore.
+    ///
+    /// # Errors
+    ///
+    /// `SendError` when the receiving frontend already dropped the
+    /// channel (e.g. the job outlived its connection).
+    pub fn send(&self, outcome: JobOutcome) -> Result<(), SendError<JobOutcome>> {
+        let sent = self.tx.send(outcome);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+        sent
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        // A dropped clone may be the channel's last sender (shard panic
+        // unwinding its queued jobs): wake so the frontend promptly sees
+        // the disconnect instead of waiting for its sweep tick. Spurious
+        // wakes from ordinary drops are harmless.
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
+    }
+}
+
+impl fmt::Debug for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Reply")
+            .field("waker", &self.waker.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// One unit of shard work: a sub-batch of packets that all hash to the
 /// same shard, plus the channel the outcome goes back on.
 #[derive(Debug)]
@@ -38,10 +123,10 @@ pub struct Job {
     pub packets: Vec<Ipv4Packet>,
     /// Typed submit options (verify mode, future flags).
     pub options: SubmitOptions,
-    /// Outcome channel back to the accepting connection. Dropping the
-    /// job (e.g. a shard panic mid-batch) drops the sender, which the
+    /// Outcome path back to the accepting connection. Dropping the job
+    /// (e.g. a shard panic mid-batch) drops the reply, which the
     /// acceptor observes as a failed submit — never a silent loss.
-    pub reply: Sender<JobOutcome>,
+    pub reply: Reply,
     /// When the job entered the queue (service-latency attribution).
     pub enqueued: Instant,
 }
@@ -178,7 +263,7 @@ mod tests {
             Job {
                 packets: vec![Ipv4Packet::new(1, 2, 10, 6, 40); n],
                 options: SubmitOptions::new(),
-                reply: tx,
+                reply: Reply::new(tx),
                 enqueued: Instant::now(),
             },
             rx,
@@ -221,6 +306,29 @@ mod tests {
             .is_some());
         assert!(q.is_empty());
         assert!(!idle.load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn reply_wakes_on_send_and_on_drop() {
+        #[derive(Debug, Default)]
+        struct CountWaker(std::sync::atomic::AtomicUsize);
+        impl ReplyWaker for CountWaker {
+            fn wake(&self) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let waker = Arc::new(CountWaker::default());
+        let (tx, rx) = channel();
+        let reply = Reply::with_waker(tx, Arc::clone(&waker) as Arc<dyn ReplyWaker>);
+        assert!(reply.send(JobOutcome::default()).is_ok());
+        assert_eq!(waker.0.load(Ordering::Relaxed), 1, "send wakes");
+        assert!(rx.try_recv().is_ok());
+        // A dropped clone wakes too — that is how a frontend learns about
+        // shard death (the job's reply drops without ever sending).
+        drop(reply.clone());
+        assert_eq!(waker.0.load(Ordering::Relaxed), 2, "drop wakes");
+        drop(reply);
+        assert!(rx.recv().is_err(), "channel disconnects after last drop");
     }
 
     #[test]

@@ -1,0 +1,1156 @@
+//! The readiness-driven frontend: a few reactor threads multiplex every
+//! connection through an epoll (or `poll(2)`) event loop.
+//!
+//! The blocking frontend burns one OS thread (and its stack) per
+//! connection; at thousands of connections the scheduler, not the
+//! forwarding backend, becomes the bottleneck. This module serves the
+//! same frame protocol against the same [`Router`]/shard/tracing plane
+//! from `config.reactor_threads` event loops. It is the process-level
+//! analogue of the paper's multi-port memory controller: many requesters
+//! multiplexed onto a fixed set of banked service ports, with per-
+//! requester flow control instead of unbounded buffering.
+//!
+//! Per connection the loop keeps a small state machine:
+//!
+//! * **reads** go through the resumable [`FrameReader`] — its partial-
+//!   frame resume across `WouldBlock` (originally built for blocking-
+//!   read timeouts) is exactly the nonblocking-read contract;
+//! * **writes** go through the [`FrameWriter`] egress queue, resuming
+//!   partial writes on writable events;
+//! * **backpressure** is by interest, not by buffering: a connection
+//!   with an in-flight submit, a saturated target shard, or more than
+//!   [`EGRESS_HIGH_WATER`] bytes of unread responses has its read
+//!   interest dropped — the bytes back up into the peer's socket, and
+//!   server-side memory stays bounded. Read interest re-arms when the
+//!   egress queue falls under [`EGRESS_LOW_WATER`] (hysteresis, so
+//!   interest doesn't flap around the threshold).
+//!
+//! A submit that hits a full shard queue is *deferred* (at most one per
+//! connection — the packets stay in the connection's scratch) and
+//! retried when shard outcomes wake the loop; only a defer that outlives
+//! `job_timeout` becomes a `Busy` response. That converts the blocking
+//! frontend's Busy-storm under fan-in into flow control, while keeping
+//! the same all-or-nothing router semantics.
+//!
+//! Shard threads wake the loop through the [`Reply`] waker (a self-pipe
+//! registered at token 0), so outcome collection is event-driven; a
+//! periodic sweep catches what wakes cannot (deadlines, idle peers, and
+//! shard death noticed via channel disconnect).
+
+use crate::frame::{
+    decode_submit_into, is_submit, FrameError, FrameReader, FrameWriter, Request, Response,
+    SubmitOptions, PROTOCOL_VERSION,
+};
+use crate::queue::{JobOutcome, Reply, ReplyWaker};
+use crate::router::ShardSplitter;
+use crate::server::{
+    is_fd_exhaustion, reject_over_capacity, render_stats, server_hello, Shared, ACCEPT_BACKOFF_MAX,
+    ACCEPT_BACKOFF_MIN, POLL,
+};
+use crate::tracing::PendingSpan;
+use memsync_netapp::Ipv4Packet;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+mod poller;
+pub(crate) mod sys;
+
+use poller::{Event, Interest, WakeReceiver, Waker};
+
+/// Egress bytes at which a connection's read interest is dropped: the
+/// peer is not consuming responses, so the server stops consuming its
+/// requests rather than buffering without bound.
+pub const EGRESS_HIGH_WATER: usize = 256 * 1024;
+
+/// Egress bytes under which read interest re-arms after a high-water
+/// pause (must be well under [`EGRESS_HIGH_WATER`] so interest changes
+/// don't flap around a single threshold).
+pub const EGRESS_LOW_WATER: usize = EGRESS_HIGH_WATER / 4;
+
+/// Sweep cadence for everything wakes can't deliver: work deadlines,
+/// idle-peer deadlines, stats-stream pushes, and shard-death channel
+/// disconnects.
+const TICK: Duration = Duration::from_millis(25);
+
+/// Poller token of the wake pipe; connection tokens are `slot + 1`.
+const WAKE_TOKEN: u64 = 0;
+
+/// Spawns the reactor frontend: `config.reactor_threads` event loops
+/// (0 = one per available CPU) plus the sharding accept thread. Returns
+/// every spawned handle; they all exit once `shared.stop` is raised.
+pub(crate) fn spawn(listener: TcpListener, shared: Arc<Shared>) -> io::Result<Vec<JoinHandle<()>>> {
+    let threads = match shared.config.reactor_threads {
+        0 => std::thread::available_parallelism().map_or(1, usize::from),
+        n => n,
+    };
+    let mut handles = Vec::with_capacity(threads + 1);
+    let mut inboxes = Vec::with_capacity(threads);
+    for i in 0..threads {
+        let (tx, rx) = channel::<TcpStream>();
+        let (waker, wake_rx) = poller::waker_pair()?;
+        let waker = Arc::new(waker);
+        let mut reactor = Reactor::new(Arc::clone(&shared), rx, Arc::clone(&waker), wake_rx)?;
+        inboxes.push((tx, waker));
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("memsync-reactor-{i}"))
+                .spawn(move || reactor.run())
+                .map_err(|e| io::Error::new(e.kind(), "reactor thread spawn failed"))?,
+        );
+    }
+    let accept_shared = Arc::clone(&shared);
+    handles.push(
+        std::thread::Builder::new()
+            .name("memsync-accept".into())
+            .spawn(move || accept_loop(&listener, &accept_shared, &inboxes))
+            .map_err(|e| io::Error::new(e.kind(), "accept thread spawn failed"))?,
+    );
+    Ok(handles)
+}
+
+/// Accepts connections and deals them round-robin across the reactor
+/// threads, enforcing the connection cap and pausing (with backoff)
+/// under fd exhaustion instead of hot-spinning.
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    inboxes: &[(Sender<TcpStream>, Arc<Waker>)],
+) {
+    // The listener gets its own tiny poller so accept wakes on demand
+    // but still observes the stop flag every POLL.
+    let mut accept_poller = poller::Poller::new().ok();
+    if let Some(p) = accept_poller.as_mut() {
+        if p.register(
+            listener.as_raw_fd(),
+            0,
+            Interest {
+                readable: true,
+                writable: false,
+            },
+        )
+        .is_err()
+        {
+            accept_poller = None;
+        }
+    }
+    let mut events = Vec::new();
+    let mut next = 0usize;
+    let mut backoff = ACCEPT_BACKOFF_MIN;
+    while !shared.stop.load(Ordering::Acquire) {
+        match accept_poller.as_mut() {
+            Some(p) => {
+                events.clear();
+                let _ = p.wait(&mut events, POLL);
+            }
+            // Degraded mode (poller construction failed): plain polling.
+            None => std::thread::sleep(POLL),
+        }
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    backoff = ACCEPT_BACKOFF_MIN;
+                    if shared.frontend.conns_open.load(Ordering::Relaxed)
+                        >= shared.config.max_conns as u64
+                    {
+                        reject_over_capacity(stream, shared);
+                        continue;
+                    }
+                    // Accepted sockets do not inherit the listener's
+                    // nonblocking flag; set it before the reactor ever
+                    // touches the stream.
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    shared.frontend.conn_opened();
+                    let (tx, waker) = &inboxes[next % inboxes.len()];
+                    next = next.wrapping_add(1);
+                    if tx.send(stream).is_ok() {
+                        waker.wake();
+                    } else {
+                        shared.frontend.conn_closed();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if is_fd_exhaustion(&e) => {
+                    shared
+                        .frontend
+                        .accept_pauses
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    break;
+                }
+                Err(_) => {
+                    std::thread::sleep(POLL);
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Outstanding submit: outcomes still being collected from the shards.
+#[derive(Debug)]
+struct PendingSubmit {
+    rx: Receiver<JobOutcome>,
+    jobs_left: usize,
+    forwarded: u32,
+    dropped: u32,
+    mismatches: u32,
+    span: Option<PendingSpan>,
+    deadline: Instant,
+}
+
+/// Submit parked on a full shard queue; the packets stay in the
+/// connection scratch and the submit retries on shard-completion wakes.
+#[derive(Debug)]
+struct DeferredSubmit {
+    options: SubmitOptions,
+    decode_ns: u64,
+    blocked_shard: u16,
+    deadline: Instant,
+}
+
+/// Drain/shutdown response parked until the shard fleet is quiescent.
+#[derive(Debug)]
+struct PendingControl {
+    shutdown: bool,
+    deadline: Instant,
+}
+
+/// What a connection is waiting on. While non-`Idle`, reads are paused:
+/// one request is in flight per connection at a time, which is what
+/// bounds server-side memory per connection.
+#[derive(Debug, Default)]
+enum Work {
+    #[default]
+    Idle,
+    Submit(PendingSubmit),
+    Deferred(DeferredSubmit),
+    Control(PendingControl),
+}
+
+/// Per-connection state machine.
+#[derive(Debug)]
+struct Conn {
+    stream: TcpStream,
+    frames: FrameReader,
+    out: FrameWriter,
+    /// Decoded submit scratch (also the parked packets of a deferral).
+    packets: Vec<Ipv4Packet>,
+    splitter: ShardSplitter,
+    encoded: Vec<u8>,
+    greeted: bool,
+    work: Work,
+    /// In the reactor's work list (dedup flag).
+    queued: bool,
+    /// Close once the egress queue drains.
+    closing: bool,
+    /// Raise the service stop flag once the egress queue drains (the
+    /// connection that requested shutdown gets its `Ok` first).
+    shutdown_after: bool,
+    /// Current registered interest (to skip no-op poller syscalls).
+    read_on: bool,
+    write_on: bool,
+    /// Read interest dropped for egress high-water (hysteresis state).
+    read_paused_hw: bool,
+    /// Idle-deadline bookkeeping: last frame/progress/write activity.
+    last_activity: Instant,
+    last_seen_progress: usize,
+    stream_every: Option<Duration>,
+    last_push: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, shards: usize) -> Conn {
+        let now = Instant::now();
+        Conn {
+            stream,
+            frames: FrameReader::new(),
+            out: FrameWriter::new(),
+            packets: Vec::new(),
+            splitter: ShardSplitter::new(shards),
+            encoded: Vec::new(),
+            greeted: false,
+            work: Work::Idle,
+            queued: false,
+            closing: false,
+            shutdown_after: false,
+            read_on: true,
+            write_on: false,
+            read_paused_hw: false,
+            last_activity: now,
+            last_seen_progress: 0,
+            stream_every: None,
+            last_push: now,
+        }
+    }
+
+    /// Encodes `rsp` onto the egress queue and opportunistically flushes.
+    ///
+    /// # Errors
+    ///
+    /// A hard write failure — the connection is dead.
+    fn send(&mut self, rsp: &Response) -> io::Result<()> {
+        rsp.encode_into(&mut self.encoded);
+        self.out.enqueue(&self.encoded);
+        self.flush().map(|_| ())
+    }
+
+    /// Drives the egress queue; `Ok(drained)`.
+    fn flush(&mut self) -> io::Result<bool> {
+        self.out.write(&mut &self.stream)
+    }
+
+    fn idle(&self) -> bool {
+        matches!(self.work, Work::Idle)
+    }
+}
+
+/// How a read step ended (computed under the connection borrow, acted on
+/// after it is released).
+enum ReadStep {
+    Frame,
+    Closed,
+    Blocked,
+    Failed,
+}
+
+/// One event-loop thread: owns a poller, its deal of the connections,
+/// and the wake pipe shard threads signal through.
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: poller::Poller,
+    waker: Arc<Waker>,
+    wake_rx: WakeReceiver,
+    inbox: Receiver<TcpStream>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Slots with outstanding work, deduplicated via `Conn::queued`.
+    work: Vec<usize>,
+    /// Reactor-level copy of the frame being dispatched. One memcpy per
+    /// frame, so the borrow of the connection's `FrameReader` ends
+    /// before dispatch mutates the rest of the connection.
+    scratch: Vec<u8>,
+    last_sweep: Instant,
+    /// Sweep scratch (avoid per-tick allocation).
+    due_push: Vec<usize>,
+    due_close: Vec<usize>,
+}
+
+impl Reactor {
+    fn new(
+        shared: Arc<Shared>,
+        inbox: Receiver<TcpStream>,
+        waker: Arc<Waker>,
+        wake_rx: WakeReceiver,
+    ) -> io::Result<Reactor> {
+        let mut poller = poller::Poller::new()?;
+        poller.register(
+            wake_rx.raw_fd(),
+            WAKE_TOKEN,
+            Interest {
+                readable: true,
+                writable: false,
+            },
+        )?;
+        Ok(Reactor {
+            shared,
+            poller,
+            waker,
+            wake_rx,
+            inbox,
+            conns: Vec::new(),
+            free: Vec::new(),
+            work: Vec::new(),
+            scratch: Vec::new(),
+            last_sweep: Instant::now(),
+            due_push: Vec::new(),
+            due_close: Vec::new(),
+        })
+    }
+
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            // With work outstanding, cap the park so deadlines and
+            // missed wakes are still observed promptly.
+            let timeout = if self.work.is_empty() { POLL } else { TICK };
+            events.clear();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // A broken poller is unrecoverable for this thread; back
+                // off so a persistent failure doesn't spin.
+                std::thread::sleep(POLL);
+            }
+            for ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    self.wake_rx.drain();
+                    continue;
+                }
+                let idx = (ev.token - 1) as usize;
+                if ev.writable {
+                    self.drive_write(idx);
+                }
+                if ev.readable {
+                    self.drive_read(idx);
+                }
+            }
+            self.adopt_new_conns();
+            self.process_work();
+            self.sweep();
+        }
+        self.shutdown_all();
+    }
+
+    /// Moves accepted connections from the inbox into poller slots.
+    fn adopt_new_conns(&mut self) {
+        while let Ok(stream) = self.inbox.try_recv() {
+            let idx = self.free.pop().unwrap_or_else(|| {
+                self.conns.push(None);
+                self.conns.len() - 1
+            });
+            let token = idx as u64 + 1;
+            let registered = self.poller.register(
+                stream.as_raw_fd(),
+                token,
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            );
+            if registered.is_err() {
+                self.free.push(idx);
+                self.shared.frontend.conn_closed();
+                continue;
+            }
+            self.conns[idx] = Some(Conn::new(stream, self.shared.router.shards()));
+        }
+    }
+
+    fn conn_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.conns.get_mut(idx).and_then(Option::as_mut)
+    }
+
+    /// Reads and dispatches frames until the connection blocks, closes,
+    /// pauses (in-flight work / egress high-water), or fails.
+    fn drive_read(&mut self, idx: usize) {
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.closing || !conn.idle() || conn.out.pending() >= EGRESS_HIGH_WATER {
+                break;
+            }
+            let step = {
+                let Conn { frames, stream, .. } = conn;
+                match frames.read(&mut &*stream) {
+                    Ok(Some(payload)) => {
+                        self.scratch.clear();
+                        self.scratch.extend_from_slice(payload);
+                        ReadStep::Frame
+                    }
+                    Ok(None) => ReadStep::Closed,
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::Interrupted =>
+                    {
+                        ReadStep::Blocked
+                    }
+                    Err(_) => ReadStep::Failed,
+                }
+            };
+            match step {
+                ReadStep::Frame => self.handle_frame(idx),
+                ReadStep::Blocked => break,
+                ReadStep::Closed | ReadStep::Failed => {
+                    self.close_conn(idx);
+                    return;
+                }
+            }
+        }
+        self.update_interest(idx);
+    }
+
+    /// Flushes pending egress on a writable event.
+    fn drive_write(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        if conn.out.is_empty() {
+            return;
+        }
+        match conn.flush() {
+            Ok(_) => {
+                conn.last_activity = Instant::now();
+                self.after_io(idx);
+            }
+            Err(_) => self.close_conn(idx),
+        }
+    }
+
+    /// Dispatches the frame sitting in `self.scratch`. Mirrors the
+    /// blocking `serve_connection` dispatch arm for arm, with the
+    /// blocking waits replaced by [`Work`] states.
+    fn handle_frame(&mut self, idx: usize) {
+        let shared = Arc::clone(&self.shared);
+        let decode_started = shared.tracer.enabled().then(Instant::now);
+        let greeted = {
+            let Some(conn) = self.conn_mut(idx) else {
+                return;
+            };
+            conn.last_activity = Instant::now();
+            // Any complete client frame ends an active stats stream.
+            conn.stream_every = None;
+            conn.greeted
+        };
+        // Submit fast path (same rationale as the blocking frontend:
+        // decode into the connection's packet scratch, no fresh Vec).
+        if greeted && is_submit(&self.scratch) {
+            let decoded = {
+                let (scratch, conns) = (&self.scratch, &mut self.conns);
+                let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
+                    return;
+                };
+                decode_submit_into(scratch, &mut conn.packets)
+            };
+            match decoded {
+                Ok(options) => {
+                    let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    self.start_submit(idx, options, decode_ns);
+                }
+                Err(e) => self.respond(idx, &Response::Error(e.to_string())),
+            }
+            return;
+        }
+        match Request::decode(&self.scratch) {
+            Ok(Request::Hello {
+                min_version,
+                max_version,
+            }) => {
+                if min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= max_version {
+                    if let Some(conn) = self.conn_mut(idx) {
+                        conn.greeted = true;
+                    }
+                    self.respond(idx, &Response::Hello(server_hello(&shared)));
+                } else {
+                    self.respond_close(
+                        idx,
+                        &Response::Error(format!(
+                            "no common protocol version: client speaks \
+                             {min_version}..={max_version}, server speaks {PROTOCOL_VERSION}"
+                        )),
+                    );
+                }
+            }
+            Ok(req) if !greeted => {
+                self.respond_close(
+                    idx,
+                    &Response::Error(format!(
+                        "expected hello before {}: this server speaks protocol \
+                         v{PROTOCOL_VERSION}, which negotiates at connect time",
+                        req.name()
+                    )),
+                );
+            }
+            Ok(Request::StatsStream { interval_ms }) => {
+                if interval_ms == 0 {
+                    self.respond(
+                        idx,
+                        &Response::Error("stats-stream interval must be nonzero".into()),
+                    );
+                } else {
+                    if let Some(conn) = self.conn_mut(idx) {
+                        conn.stream_every = Some(Duration::from_millis(u64::from(interval_ms)));
+                        conn.last_push = Instant::now();
+                    }
+                    self.respond(idx, &Response::StatsPush(render_stats(&shared)));
+                }
+            }
+            Ok(Request::Submit { .. }) => {
+                unreachable!("greeted submits take the fast path above")
+            }
+            Ok(Request::Stats) => {
+                self.respond(idx, &Response::Stats(render_stats(&shared)));
+            }
+            Ok(Request::Drain) => {
+                shared.draining.store(true, Ordering::Release);
+                shared.tracer.flush();
+                self.park_control(idx, false);
+            }
+            Ok(Request::Shutdown) => {
+                shared.draining.store(true, Ordering::Release);
+                self.park_control(idx, true);
+            }
+            Ok(Request::Kill(shard)) => {
+                let rsp = match shared.supervisor.shards().get(shard as usize) {
+                    Some(s) => {
+                        s.die.store(true, Ordering::Release);
+                        Response::Ok
+                    }
+                    None => Response::Error(format!("no shard {shard}")),
+                };
+                self.respond(idx, &rsp);
+            }
+            Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
+                self.respond(idx, &Response::Error(e.to_string()));
+            }
+        }
+    }
+
+    /// Parks a drain/shutdown until the shard fleet is quiescent; the
+    /// response goes out from `poll_control`.
+    fn park_control(&mut self, idx: usize, shutdown: bool) {
+        let deadline = Instant::now() + self.shared.config.job_timeout;
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.work = Work::Control(PendingControl { shutdown, deadline });
+        }
+        self.enqueue_work(idx);
+        // Resolve immediately when already quiescent.
+        self.poll_control(idx);
+    }
+
+    /// Routes the decoded submit in the connection scratch, parking it
+    /// as deferred work when a target shard queue is full.
+    fn start_submit(&mut self, idx: usize, options: SubmitOptions, decode_ns: u64) {
+        let shared = Arc::clone(&self.shared);
+        if shared.draining.load(Ordering::Acquire) {
+            self.respond(
+                idx,
+                &Response::Error("draining: new submits refused".into()),
+            );
+            return;
+        }
+        let empty = match self.conn_mut(idx) {
+            Some(conn) => conn.packets.is_empty(),
+            None => return,
+        };
+        if empty {
+            self.respond(
+                idx,
+                &Response::Batch {
+                    forwarded: 0,
+                    dropped: 0,
+                    mismatches: 0,
+                },
+            );
+            return;
+        }
+        match self.try_submit(idx, options, decode_ns) {
+            Ok(()) => {}
+            Err(shard) => {
+                // Full target shard: defer instead of answering Busy.
+                // Reads stay paused (the Work state gates them), so the
+                // server holds exactly one parked batch per connection —
+                // backpressure, not a Busy-storm.
+                let deadline = Instant::now() + shared.config.job_timeout;
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.work = Work::Deferred(DeferredSubmit {
+                        options,
+                        decode_ns,
+                        blocked_shard: shard,
+                        deadline,
+                    });
+                }
+                shared
+                    .frontend
+                    .deferred_submits
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.frontend.deferred_now.fetch_add(1, Ordering::Relaxed);
+                shared.frontend.read_pauses.fetch_add(1, Ordering::Relaxed);
+                self.enqueue_work(idx);
+            }
+        }
+    }
+
+    /// Attempts the router submit for the packets parked in the
+    /// connection scratch. `Ok` means the connection is now in
+    /// `Work::Submit`; `Err(shard)` hands back the full shard.
+    fn try_submit(
+        &mut self,
+        idx: usize,
+        options: SubmitOptions,
+        decode_ns: u64,
+    ) -> Result<(), u16> {
+        let shared = Arc::clone(&self.shared);
+        let (tx, rx) = channel();
+        let reply = Reply::with_waker(tx, Arc::clone(&self.waker) as Arc<dyn ReplyWaker>);
+        let submitted = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return Ok(());
+            };
+            let Conn {
+                splitter, packets, ..
+            } = conn;
+            shared.router.submit(splitter, packets, options, &reply)
+        };
+        drop(reply); // the shard-held clones are now the only senders
+        match submitted {
+            Ok(jobs) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+                let span = if shared.tracer.enabled() {
+                    let (span_id, client_assigned) = shared.tracer.assign(options.span_id);
+                    Some(PendingSpan {
+                        span_id,
+                        client_assigned,
+                        decode_ns,
+                        timings: Vec::new(),
+                    })
+                } else {
+                    None
+                };
+                let deadline = Instant::now() + shared.config.job_timeout;
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.work = Work::Submit(PendingSubmit {
+                        rx,
+                        jobs_left: jobs,
+                        forwarded: 0,
+                        dropped: 0,
+                        mismatches: 0,
+                        span,
+                        deadline,
+                    });
+                }
+                self.enqueue_work(idx);
+                // An empty split (jobs == 0) resolves on the spot.
+                self.poll_submit(idx);
+                Ok(())
+            }
+            Err(shard) => Err(shard),
+        }
+    }
+
+    fn enqueue_work(&mut self, idx: usize) {
+        // Field-path access keeps the `conns` borrow disjoint from the
+        // `work` push below.
+        if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+            if !conn.queued {
+                conn.queued = true;
+                self.work.push(idx);
+            }
+        }
+    }
+
+    /// Drives every parked connection one step; connections whose work
+    /// is still outstanding stay in the list.
+    fn process_work(&mut self) {
+        if self.work.is_empty() {
+            return;
+        }
+        let list = std::mem::take(&mut self.work);
+        for idx in list {
+            match self.conn_mut(idx) {
+                Some(conn) => conn.queued = false,
+                None => continue,
+            }
+            match self.conn_mut(idx).map(|c| match &c.work {
+                Work::Idle => 0u8,
+                Work::Submit(_) => 1,
+                Work::Deferred(_) => 2,
+                Work::Control(_) => 3,
+            }) {
+                Some(1) => self.poll_submit(idx),
+                Some(2) => self.poll_deferred(idx),
+                Some(3) => self.poll_control(idx),
+                _ => {}
+            }
+            if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {
+                if !conn.idle() && !conn.queued {
+                    conn.queued = true;
+                    self.work.push(idx);
+                }
+            }
+        }
+    }
+
+    /// Collects available shard outcomes for an in-flight submit,
+    /// finishing (or failing) the batch when they are all in.
+    fn poll_submit(&mut self, idx: usize) {
+        enum Verdict {
+            Pending,
+            Finished,
+            TimedOut,
+            ShardDied,
+        }
+        let verdict = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let Work::Submit(p) = &mut conn.work else {
+                return;
+            };
+            loop {
+                if p.jobs_left == 0 {
+                    break Verdict::Finished;
+                }
+                match p.rx.try_recv() {
+                    Ok(out) => {
+                        p.jobs_left -= 1;
+                        p.forwarded += out.forwarded;
+                        p.dropped += out.dropped;
+                        p.mismatches += out.mismatches;
+                        if let (Some(span), Some(t)) = (p.span.as_mut(), out.timings) {
+                            span.timings.push(t);
+                        }
+                    }
+                    Err(TryRecvError::Empty) => {
+                        if Instant::now() >= p.deadline {
+                            break Verdict::TimedOut;
+                        }
+                        break Verdict::Pending;
+                    }
+                    Err(TryRecvError::Disconnected) => break Verdict::ShardDied,
+                }
+            }
+        };
+        match verdict {
+            Verdict::Pending => {}
+            Verdict::Finished => {
+                let Some(conn) = self.conn_mut(idx) else {
+                    return;
+                };
+                let Work::Submit(p) = std::mem::take(&mut conn.work) else {
+                    return;
+                };
+                let rsp = Response::Batch {
+                    forwarded: p.forwarded,
+                    dropped: p.dropped,
+                    mismatches: p.mismatches,
+                };
+                let write_started = p.span.as_ref().map(|_| Instant::now());
+                self.respond(idx, &rsp);
+                if let Some(span) = p.span {
+                    let write_ns = write_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                    self.shared.tracer.finish(&span, write_ns);
+                }
+            }
+            Verdict::TimedOut => {
+                self.fail_submit(idx, "job timed out");
+            }
+            Verdict::ShardDied => {
+                self.fail_submit(idx, "shard failed mid-batch; resubmit");
+            }
+        }
+    }
+
+    fn fail_submit(&mut self, idx: usize, msg: &str) {
+        self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.work = Work::Idle;
+        }
+        self.respond(idx, &Response::Error(msg.into()));
+    }
+
+    /// Retries a deferred submit; past its deadline it becomes the
+    /// `Busy` the blocking frontend would have answered immediately.
+    fn poll_deferred(&mut self, idx: usize) {
+        let (options, decode_ns, blocked_shard, expired) = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let Work::Deferred(d) = &conn.work else {
+                return;
+            };
+            (
+                d.options,
+                d.decode_ns,
+                d.blocked_shard,
+                Instant::now() >= d.deadline,
+            )
+        };
+        if expired {
+            self.shared
+                .frontend
+                .deferred_now
+                .fetch_sub(1, Ordering::Relaxed);
+            self.shared.counters.busy.fetch_add(1, Ordering::Relaxed);
+            if let Some(conn) = self.conn_mut(idx) {
+                conn.work = Work::Idle;
+            }
+            self.respond(idx, &Response::Busy(blocked_shard));
+            return;
+        }
+        match self.try_submit(idx, options, decode_ns) {
+            Ok(()) => {
+                self.shared
+                    .frontend
+                    .deferred_now
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            Err(shard) => {
+                if let Some(conn) = self.conn_mut(idx) {
+                    if let Work::Deferred(d) = &mut conn.work {
+                        d.blocked_shard = shard;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resolves a parked drain/shutdown once every shard queue is empty,
+    /// every shard idle, and no submit is deferred anywhere.
+    fn poll_control(&mut self, idx: usize) {
+        let (shutdown, deadline) = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let Work::Control(c) = &conn.work else {
+                return;
+            };
+            (c.shutdown, c.deadline)
+        };
+        let quiesced = self.shared.supervisor.quiescent()
+            && self.shared.frontend.deferred_now.load(Ordering::Relaxed) == 0;
+        let expired = Instant::now() >= deadline;
+        if !quiesced && !expired {
+            return;
+        }
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.work = Work::Idle;
+        }
+        if shutdown {
+            // Mirrors the blocking frontend: shutdown answers Ok even on
+            // a drain timeout; the stop flag goes up once the response
+            // has left this connection's egress queue.
+            self.shared.tracer.flush();
+            if let Some(conn) = self.conn_mut(idx) {
+                conn.shutdown_after = true;
+            }
+            self.respond(idx, &Response::Ok);
+        } else if quiesced {
+            self.respond(idx, &Response::Drained);
+        } else {
+            self.respond(idx, &Response::Error("drain timed out".into()));
+        }
+    }
+
+    /// Enqueues a response, opportunistically flushes, and re-evaluates
+    /// interest. Write failures close the connection.
+    fn respond(&mut self, idx: usize, rsp: &Response) {
+        let (sent, high_water) = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let sent = conn.send(rsp);
+            (sent, conn.out.high_water() as u64)
+        };
+        self.shared
+            .frontend
+            .egress_highwater
+            .fetch_max(high_water, Ordering::Relaxed);
+        if sent.is_err() {
+            self.close_conn(idx);
+            return;
+        }
+        self.after_io(idx);
+    }
+
+    /// `respond`, then close once the egress queue drains.
+    fn respond_close(&mut self, idx: usize, rsp: &Response) {
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.closing = true;
+        }
+        self.respond(idx, rsp);
+    }
+
+    /// Post-I/O bookkeeping: finish closes/shutdowns whose egress has
+    /// drained, then recompute poller interest.
+    fn after_io(&mut self, idx: usize) {
+        let Some(conn) = self.conn_mut(idx) else {
+            return;
+        };
+        let drained = conn.out.is_empty();
+        let closing = conn.closing;
+        let shutdown_after = conn.shutdown_after;
+        if drained && shutdown_after {
+            self.shared.stop.store(true, Ordering::Release);
+            self.shared.tracer.flush();
+            self.close_conn(idx);
+            return;
+        }
+        if drained && closing {
+            self.close_conn(idx);
+            return;
+        }
+        self.update_interest(idx);
+    }
+
+    /// Recomputes and applies this connection's poller interest.
+    ///
+    /// Read interest is the backpressure valve: off while a request is
+    /// in flight (or deferred), off while the peer lets `out` back up
+    /// past the high-water mark, back on under the low-water mark.
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+            return;
+        };
+        let pending = conn.out.pending();
+        if pending >= EGRESS_HIGH_WATER {
+            conn.read_paused_hw = true;
+        } else if pending < EGRESS_LOW_WATER {
+            conn.read_paused_hw = false;
+        }
+        let want_read = !conn.closing && conn.idle() && !conn.read_paused_hw;
+        let want_write = pending > 0;
+        if want_read == conn.read_on && want_write == conn.write_on {
+            return;
+        }
+        if conn.read_on && !want_read && !conn.closing {
+            self.shared
+                .frontend
+                .read_pauses
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        let fd = conn.stream.as_raw_fd();
+        let token = idx as u64 + 1;
+        let applied = self.poller.modify(
+            fd,
+            token,
+            Interest {
+                readable: want_read,
+                writable: want_write,
+            },
+        );
+        match applied {
+            Ok(()) => {
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.read_on = want_read;
+                    conn.write_on = want_write;
+                }
+            }
+            Err(_) => self.close_conn(idx),
+        }
+    }
+
+    /// Time-driven duties wakes can't cover: stats-stream pushes, idle
+    /// deadlines, and (via `process_work` each loop) work deadlines.
+    fn sweep(&mut self) {
+        if self.last_sweep.elapsed() < TICK {
+            return;
+        }
+        self.last_sweep = Instant::now();
+        let now = Instant::now();
+        let read_timeout = self.shared.config.read_timeout;
+        self.due_push.clear();
+        self.due_close.clear();
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
+            // Frame progress counts as activity, exactly like the
+            // blocking frontend's stall budget.
+            let progress = conn.frames.progress();
+            if progress != conn.last_seen_progress {
+                conn.last_seen_progress = progress;
+                conn.last_activity = now;
+            }
+            if let Some(every) = conn.stream_every {
+                // Streaming subscribers are deliberately quiet: pushes
+                // are the liveness signal (a dead peer surfaces as a
+                // write error), so the idle deadline does not apply.
+                conn.last_activity = now;
+                if now.duration_since(conn.last_push) >= every
+                    && conn.idle()
+                    && !conn.closing
+                    && conn.out.pending() < EGRESS_HIGH_WATER
+                {
+                    conn.last_push = now;
+                    self.due_push.push(idx);
+                }
+            } else if conn.idle()
+                && !conn.closing
+                && conn.out.is_empty()
+                && now.duration_since(conn.last_activity) >= read_timeout
+            {
+                self.due_close.push(idx);
+            }
+        }
+        if !self.due_push.is_empty() {
+            let doc = render_stats(&self.shared);
+            let due = std::mem::take(&mut self.due_push);
+            for idx in &due {
+                self.respond(*idx, &Response::StatsPush(doc.clone()));
+            }
+            self.due_push = due;
+        }
+        let due = std::mem::take(&mut self.due_close);
+        for idx in &due {
+            self.close_conn(*idx);
+        }
+        self.due_close = due;
+    }
+
+    fn close_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        if matches!(conn.work, Work::Deferred(_)) {
+            self.shared
+                .frontend
+                .deferred_now
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+        if conn.shutdown_after {
+            // The shutdown requester vanished before its Ok drained;
+            // honor the shutdown anyway.
+            self.shared.stop.store(true, Ordering::Release);
+            self.shared.tracer.flush();
+        }
+        self.shared.frontend.conn_closed();
+        self.free.push(idx);
+    }
+
+    fn shutdown_all(&mut self) {
+        for idx in 0..self.conns.len() {
+            if self.conns[idx].is_some() {
+                self.close_conn(idx);
+            }
+        }
+    }
+}
+
+impl Drop for Reactor {
+    fn drop(&mut self) {
+        self.shutdown_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fd_exhaustion_codes_classify_and_others_do_not() {
+        assert!(
+            is_fd_exhaustion(&io::Error::from_raw_os_error(24)),
+            "EMFILE"
+        );
+        assert!(
+            is_fd_exhaustion(&io::Error::from_raw_os_error(23)),
+            "ENFILE"
+        );
+        for kind in [
+            io::ErrorKind::WouldBlock,
+            io::ErrorKind::ConnectionReset,
+            io::ErrorKind::PermissionDenied,
+        ] {
+            assert!(!is_fd_exhaustion(&io::Error::from(kind)), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn water_marks_leave_hysteresis_room() {
+        const { assert!(EGRESS_LOW_WATER * 2 <= EGRESS_HIGH_WATER) };
+        const { assert!(EGRESS_LOW_WATER > 0) };
+    }
+}

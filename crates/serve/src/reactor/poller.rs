@@ -1,0 +1,391 @@
+//! Safe readiness-polling facade over the platform backend: epoll on
+//! Linux, `poll(2)` elsewhere on unix, plus the self-pipe [`Waker`] that
+//! lets shard threads interrupt a parked reactor.
+
+use crate::queue::ReplyWaker;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+use super::sys;
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Readable readiness (or peer close / error).
+    pub(crate) readable: bool,
+    /// Writable readiness.
+    pub(crate) writable: bool,
+}
+
+/// One readiness event, keyed by the registration's token.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token passed at registration time.
+    pub(crate) token: u64,
+    /// The fd is readable — or errored/hung up, which is surfaced as
+    /// readable so the next read observes the failure.
+    pub(crate) readable: bool,
+    /// The fd is writable (errors surface here too, for conns that are
+    /// only waiting to flush).
+    pub(crate) writable: bool,
+}
+
+fn timeout_ms(timeout: Duration) -> i32 {
+    // Round up so sub-millisecond timeouts don't become busy-spins.
+    i32::try_from(timeout.as_millis().max(1)).unwrap_or(i32::MAX)
+}
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::Poller;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::*;
+    use sys::epoll;
+
+    /// Epoll-backed poller (level-triggered).
+    #[derive(Debug)]
+    pub(crate) struct Poller {
+        epfd: RawFd,
+        buf: Vec<epoll::EpollEvent>,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                epfd: epoll::create()?,
+                buf: vec![epoll::EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn mask(interest: Interest) -> u32 {
+            let mut m = epoll::EPOLLRDHUP;
+            if interest.readable {
+                m |= epoll::EPOLLIN;
+            }
+            if interest.writable {
+                m |= epoll::EPOLLOUT;
+            }
+            m
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            epoll::ctl(
+                self.epfd,
+                epoll::EPOLL_CTL_ADD,
+                fd,
+                Self::mask(interest),
+                token,
+            )
+        }
+
+        pub(crate) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            epoll::ctl(
+                self.epfd,
+                epoll::EPOLL_CTL_MOD,
+                fd,
+                Self::mask(interest),
+                token,
+            )
+        }
+
+        pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            epoll::ctl(self.epfd, epoll::EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Waits up to `timeout`, appending readiness to `events`.
+        pub(crate) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Duration,
+        ) -> io::Result<()> {
+            let n = epoll::wait(self.epfd, &mut self.buf, timeout_ms(timeout))?;
+            for ev in &self.buf[..n] {
+                // Copy fields out of the (packed) event before use.
+                let bits = { ev.events };
+                let token = { ev.data };
+                events.push(Event {
+                    token,
+                    readable: bits
+                        & (epoll::EPOLLIN | epoll::EPOLLERR | epoll::EPOLLHUP | epoll::EPOLLRDHUP)
+                        != 0,
+                    writable: bits & (epoll::EPOLLOUT | epoll::EPOLLERR | epoll::EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+pub(crate) use fallback::Poller;
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod fallback {
+    use super::*;
+    use sys::pollsys;
+
+    /// `poll(2)`-backed poller: a flat pollfd array plus a parallel token
+    /// array, scanned linearly per wait.
+    #[derive(Debug)]
+    pub(crate) struct Poller {
+        fds: Vec<pollsys::PollFd>,
+        tokens: Vec<u64>,
+    }
+
+    impl Poller {
+        pub(crate) fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        fn mask(interest: Interest) -> i16 {
+            let mut m = 0i16;
+            if interest.readable {
+                m |= pollsys::POLLIN;
+            }
+            if interest.writable {
+                m |= pollsys::POLLOUT;
+            }
+            m
+        }
+
+        fn position(&self, fd: RawFd) -> io::Result<usize> {
+            self.fds
+                .iter()
+                .position(|p| p.fd == fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+        }
+
+        pub(crate) fn register(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            if self.position(fd).is_ok() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.fds.push(pollsys::PollFd {
+                fd,
+                events: Self::mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        pub(crate) fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.fds[i].events = Self::mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        pub(crate) fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self.position(fd)?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            Ok(())
+        }
+
+        pub(crate) fn wait(
+            &mut self,
+            events: &mut Vec<Event>,
+            timeout: Duration,
+        ) -> io::Result<()> {
+            if self.fds.is_empty() {
+                std::thread::sleep(timeout);
+                return Ok(());
+            }
+            let n = pollsys::wait(&mut self.fds, timeout_ms(timeout))?;
+            if n == 0 {
+                return Ok(());
+            }
+            for (p, &token) in self.fds.iter().zip(&self.tokens) {
+                let r = p.revents;
+                if r == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: r & (pollsys::POLLIN | pollsys::POLLERR | pollsys::POLLHUP) != 0,
+                    writable: r & (pollsys::POLLOUT | pollsys::POLLERR | pollsys::POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Self-pipe waker: writing one byte to the send half makes the read
+/// half (registered in the poller at [`super::WAKE_TOKEN`]) readable,
+/// un-parking the reactor. Shard threads hold this through
+/// [`Reply`](crate::queue::Reply), so outcome delivery interrupts the
+/// poller park instead of waiting out the timeout.
+#[derive(Debug)]
+pub(crate) struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Signals the reactor; coalesces naturally (a full pipe means a
+    /// wake is already pending, so `WouldBlock` is success).
+    pub(crate) fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+impl ReplyWaker for Waker {
+    fn wake(&self) {
+        Waker::wake(self);
+    }
+}
+
+/// The poller-side read half of a waker pipe.
+#[derive(Debug)]
+pub(crate) struct WakeReceiver {
+    rx: UnixStream,
+}
+
+impl WakeReceiver {
+    pub(crate) fn raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Drains every pending wake byte (level-triggered pollers would
+    /// otherwise re-report the pipe forever).
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            match (&self.rx).read(&mut buf) {
+                Ok(0) => break,
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+/// A connected waker pair: the `Waker` is shared with shard threads and
+/// the accept loop; the receiver is registered in the owning poller.
+pub(crate) fn waker_pair() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReceiver { rx }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_unparks_a_waiting_poller_and_drains() {
+        let (waker, rx) = waker_pair().unwrap();
+        let mut poller = Poller::new().unwrap();
+        poller
+            .register(
+                rx.raw_fd(),
+                7,
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )
+            .unwrap();
+        // Many wakes coalesce into at least one readable event.
+        for _ in 0..10 {
+            waker.wake();
+        }
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Duration::from_millis(500))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 7 && e.readable),
+            "wake pipe reports readable"
+        );
+        rx.drain();
+        // Drained: a short wait now times out with no events.
+        events.clear();
+        poller.wait(&mut events, Duration::from_millis(20)).unwrap();
+        assert!(events.iter().all(|e| e.token != 7), "drain clears the pipe");
+    }
+
+    #[test]
+    fn poller_tracks_interest_changes_on_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new().unwrap();
+        // Write interest on an idle socket: immediately writable.
+        poller
+            .register(
+                server.as_raw_fd(),
+                3,
+                Interest {
+                    readable: true,
+                    writable: true,
+                },
+            )
+            .unwrap();
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Duration::from_millis(500))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.writable));
+        // Drop write interest: an empty socket stops reporting.
+        poller
+            .modify(
+                server.as_raw_fd(),
+                3,
+                Interest {
+                    readable: true,
+                    writable: false,
+                },
+            )
+            .unwrap();
+        events.clear();
+        poller.wait(&mut events, Duration::from_millis(20)).unwrap();
+        assert!(events.is_empty(), "no readiness without data or interest");
+        // Peer data arrives: readable fires.
+        (&client).write_all(b"x").unwrap();
+        events.clear();
+        poller
+            .wait(&mut events, Duration::from_millis(500))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+}

@@ -9,9 +9,8 @@
 //! checking every capacity, and only then committing the pushes.
 
 use crate::frame::SubmitOptions;
-use crate::queue::{Job, JobOutcome, ShardQueue};
+use crate::queue::{Job, Reply, ShardQueue};
 use memsync_netapp::Ipv4Packet;
-use std::sync::mpsc::Sender;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -148,7 +147,7 @@ impl Router {
         splitter: &mut ShardSplitter,
         packets: &[Ipv4Packet],
         options: SubmitOptions,
-        reply: &Sender<JobOutcome>,
+        reply: &Reply,
     ) -> Result<usize, u16> {
         assert_eq!(
             splitter.shards(),
@@ -262,6 +261,7 @@ mod tests {
         let mut splitter = ShardSplitter::new(2);
         let w = Workload::generate(11, 64, 16);
         let (tx, _rx) = channel();
+        let tx = Reply::new(tx);
         // Find one packet per shard.
         let p0 = *w.packets.iter().find(|p| shard_of(p.dst, 2) == 0).unwrap();
         let p1 = *w.packets.iter().find(|p| shard_of(p.dst, 2) == 1).unwrap();

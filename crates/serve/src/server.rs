@@ -19,11 +19,12 @@ use crate::frame::{
     decode_submit_into, is_submit, write_frame, FrameError, FrameReader, Request, Response,
     ServerHello, SubmitOptions, CAP_TRACING, PROTOCOL_VERSION,
 };
+use crate::queue::Reply;
 use crate::router::{Router, ShardSplitter};
-use crate::stats::{stats_json, ServerCounters};
+use crate::stats::{stats_json, FrontendStats, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
 use crate::tracing::{PendingSpan, ServeTracer};
-use crate::ServeConfig;
+use crate::{FrontendKind, ServeConfig};
 use std::io;
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -32,17 +33,18 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Shared state every acceptor sees.
+/// Shared state every frontend (acceptor thread or reactor) sees.
 #[derive(Debug)]
-struct Shared {
-    router: Router,
-    supervisor: SupervisorHandle,
-    counters: ServerCounters,
-    config: ServeConfig,
-    stop: Arc<AtomicBool>,
-    draining: AtomicBool,
-    started: Instant,
-    tracer: ServeTracer,
+pub(crate) struct Shared {
+    pub(crate) router: Router,
+    pub(crate) supervisor: SupervisorHandle,
+    pub(crate) counters: ServerCounters,
+    pub(crate) config: ServeConfig,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) draining: AtomicBool,
+    pub(crate) started: Instant,
+    pub(crate) tracer: ServeTracer,
+    pub(crate) frontend: FrontendStats,
 }
 
 /// A running service instance.
@@ -50,12 +52,61 @@ struct Shared {
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
-    accept_thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 /// Granularity of the accept/read polling loops: short enough that stop
 /// and drain flags are observed promptly, long enough to stay cheap.
-const POLL: Duration = Duration::from_millis(50);
+pub(crate) const POLL: Duration = Duration::from_millis(50);
+
+/// First pause after an fd-exhaustion accept failure; doubles up to
+/// [`ACCEPT_BACKOFF_MAX`] while the condition persists.
+pub(crate) const ACCEPT_BACKOFF_MIN: Duration = Duration::from_millis(10);
+/// Longest fd-exhaustion accept pause.
+pub(crate) const ACCEPT_BACKOFF_MAX: Duration = Duration::from_secs(1);
+
+/// Whether an accept failure means the process (`EMFILE`) or system
+/// (`ENFILE`) is out of file descriptors. Retrying immediately cannot
+/// succeed — the accept loop must pause and let connections close.
+pub(crate) fn is_fd_exhaustion(e: &io::Error) -> bool {
+    #[cfg(unix)]
+    {
+        matches!(e.raw_os_error(), Some(23) | Some(24)) // ENFILE | EMFILE
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = e;
+        false
+    }
+}
+
+/// Tells an over-cap client why it is being dropped: a best-effort
+/// blocking write of the `Error` response frame (decodable by every
+/// protocol version — `RSP_ERROR` has existed since v1) before close,
+/// so the peer sees a reason instead of a bare RST.
+pub(crate) fn reject_over_capacity(stream: TcpStream, shared: &Shared) {
+    shared.frontend.conn_rejects.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+    let mut payload = Vec::new();
+    Response::Error(format!(
+        "connection limit reached ({} open); retry later",
+        shared.config.max_conns
+    ))
+    .encode_into(&mut payload);
+    let mut stream = stream;
+    let _ = write_frame(&mut stream, &payload);
+}
+
+/// Decrements the open-connection gauge when a connection ends, however
+/// it ends (including an acceptor thread unwinding).
+pub(crate) struct ConnGuard(pub(crate) Arc<Shared>);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.frontend.conn_closed();
+    }
+}
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port), spawns the shard
@@ -79,6 +130,7 @@ impl Server {
                 .map(|s| Arc::clone(&s.queue))
                 .collect(),
         );
+        let frontend = config.frontend;
         let shared = Arc::new(Shared {
             router,
             supervisor,
@@ -88,16 +140,34 @@ impl Server {
             draining: AtomicBool::new(false),
             started: Instant::now(),
             tracer,
+            frontend: FrontendStats::default(),
         });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = std::thread::Builder::new()
-            .name("memsync-accept".into())
-            .spawn(move || accept_loop(&listener, &accept_shared))
-            .expect("accept thread spawns");
+        let threads = match frontend {
+            FrontendKind::Threads => {
+                let accept_shared = Arc::clone(&shared);
+                vec![std::thread::Builder::new()
+                    .name("memsync-accept".into())
+                    .spawn(move || accept_loop(&listener, &accept_shared))
+                    .expect("accept thread spawns")]
+            }
+            FrontendKind::Reactor => {
+                #[cfg(unix)]
+                {
+                    crate::reactor::spawn(listener, Arc::clone(&shared))?
+                }
+                #[cfg(not(unix))]
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::Unsupported,
+                        "the reactor frontend requires a unix platform",
+                    ));
+                }
+            }
+        };
         Ok(Server {
             shared,
             local_addr,
-            accept_thread: Some(accept_thread),
+            threads,
         })
     }
 
@@ -119,7 +189,7 @@ impl Server {
     /// Blocks until the service shuts down (via a shutdown frame or
     /// [`Server::stop`]), then joins every thread.
     pub fn wait(mut self) {
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -141,7 +211,7 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         self.stop();
-        if let Some(t) = self.accept_thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -149,20 +219,56 @@ impl Drop for Server {
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut backoff = ACCEPT_BACKOFF_MIN;
     while !shared.stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {
+                backoff = ACCEPT_BACKOFF_MIN;
+                if shared.frontend.conns_open.load(Ordering::Relaxed)
+                    >= shared.config.max_conns as u64
+                {
+                    reject_over_capacity(stream, shared);
+                    continue;
+                }
+                shared.frontend.conn_opened();
                 let conn_shared = Arc::clone(shared);
-                let h = std::thread::Builder::new()
+                let spawned = std::thread::Builder::new()
                     .name("memsync-conn".into())
                     .spawn(move || {
+                        let _guard = ConnGuard(Arc::clone(&conn_shared));
                         let _ = serve_connection(stream, &conn_shared);
-                    })
-                    .expect("connection thread spawns");
-                conns.push(h);
-                conns.retain(|c| !c.is_finished());
+                    });
+                match spawned {
+                    Ok(h) => {
+                        conns.push(h);
+                        conns.retain(|c| !c.is_finished());
+                    }
+                    Err(_) => {
+                        // Thread exhaustion behaves like fd exhaustion:
+                        // undo the gauge (the closure never ran, so no
+                        // guard exists) and back off.
+                        shared.frontend.conn_closed();
+                        shared
+                            .frontend
+                            .accept_pauses
+                            .fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(e) if is_fd_exhaustion(&e) => {
+                // Hot-spinning on EMFILE burns the CPU the open
+                // connections need to finish (and free fds). Pause with
+                // exponential backoff instead.
+                shared
+                    .frontend
+                    .accept_pauses
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(ACCEPT_BACKOFF_MAX);
+            }
             Err(_) => std::thread::sleep(POLL),
         }
     }
@@ -371,7 +477,7 @@ enum Action {
     Shutdown,
 }
 
-fn server_hello(shared: &Shared) -> ServerHello {
+pub(crate) fn server_hello(shared: &Shared) -> ServerHello {
     ServerHello {
         version: PROTOCOL_VERSION,
         // Tracing (span-tagged submits, StatsStream) is a protocol
@@ -386,8 +492,8 @@ fn server_hello(shared: &Shared) -> ServerHello {
 }
 
 /// Renders the current stats document (the Stats response and every
-/// StatsPush share this).
-fn render_stats(shared: &Arc<Shared>) -> String {
+/// StatsPush share this, in both frontends).
+pub(crate) fn render_stats(shared: &Shared) -> String {
     stats_json(
         shared.supervisor.shards(),
         &shared.counters,
@@ -396,6 +502,7 @@ fn render_stats(shared: &Arc<Shared>) -> String {
         shared.draining.load(Ordering::Acquire),
         shared.started,
         Some(&shared.tracer),
+        Some((shared.config.frontend, &shared.frontend)),
     )
 }
 
@@ -488,6 +595,7 @@ fn handle_submit(
         None
     };
     let (tx, rx) = channel();
+    let tx = Reply::new(tx);
     let jobs = match shared.router.submit(splitter, packets, options, &tx) {
         Ok(n) => n,
         Err(shard) => {

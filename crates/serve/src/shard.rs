@@ -355,6 +355,7 @@ mod tests {
     use super::*;
     use crate::backend::BackendKind;
     use crate::frame::SubmitOptions;
+    use crate::queue::Reply;
     use memsync_netapp::Workload;
     use std::sync::mpsc::channel;
     use std::time::Instant;
@@ -393,7 +394,7 @@ mod tests {
                 .try_push(Job {
                     packets: w.packets.clone(),
                     options: SubmitOptions::new().verify(true),
-                    reply: tx,
+                    reply: Reply::new(tx),
                     enqueued: Instant::now(),
                 })
                 .unwrap();
@@ -464,7 +465,7 @@ mod tests {
             &mut vec![Job {
                 packets: w.packets.clone(),
                 options: SubmitOptions::new(),
-                reply: tx,
+                reply: Reply::new(tx),
                 enqueued,
             }],
             &mut BatchScratch::default(),
@@ -557,7 +558,7 @@ mod tests {
                 &mut vec![Job {
                     packets: w.packets.clone(),
                     options: SubmitOptions::new().verify(true),
-                    reply: tx,
+                    reply: Reply::new(tx),
                     enqueued: Instant::now(),
                 }],
                 &mut BatchScratch::default(),

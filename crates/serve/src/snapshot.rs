@@ -101,6 +101,30 @@ pub struct SpansSnapshot {
     pub exported: u64,
 }
 
+/// The `frontend` section: connection-plane counters from whichever
+/// frontend (`threads` or `reactor`) is serving.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrontendSnapshot {
+    /// Frontend name (`threads` or `reactor`).
+    pub kind: String,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Highest concurrently-open connection count ever observed.
+    pub conns_peak: u64,
+    /// Connections refused over the connection cap.
+    pub conn_rejects: u64,
+    /// Accept-loop pauses forced by fd or thread exhaustion.
+    pub accept_pauses: u64,
+    /// Times a frontend stopped reading a connection for backpressure.
+    pub read_pauses: u64,
+    /// Submits deferred on a full shard queue (reactor only).
+    pub deferred_submits: u64,
+    /// Deferred submits currently parked.
+    pub deferred_now: u64,
+    /// Largest per-connection egress queue ever observed, in bytes.
+    pub egress_highwater_bytes: u64,
+}
+
 /// The merged stats frame, decoded.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
@@ -145,6 +169,9 @@ pub struct StatsSnapshot {
     /// Request-tracing status (absent from documents rendered without a
     /// tracer — pre-tracing servers and bare test fixtures).
     pub spans: Option<SpansSnapshot>,
+    /// Connection-plane counters (absent from documents rendered by
+    /// pre-frontend servers and bare test fixtures).
+    pub frontend: Option<FrontendSnapshot>,
     /// Per-shard breakdown.
     pub per_shard: Vec<ShardSnapshot>,
 }
@@ -178,6 +205,7 @@ impl StatsSnapshot {
         "service_latency_us",
         "stages",
         "spans",
+        "frontend",
         "per_shard",
     ];
 }
@@ -268,6 +296,24 @@ impl StatsSnapshot {
             }),
             None => None,
         };
+        let frontend = match j.get("frontend") {
+            Some(f) => Some(FrontendSnapshot {
+                kind: f
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| DecodeStatsError("missing field \"frontend.kind\"".into()))?
+                    .to_string(),
+                conns_open: req_u64(f, "conns_open")?,
+                conns_peak: req_u64(f, "conns_peak")?,
+                conn_rejects: req_u64(f, "conn_rejects")?,
+                accept_pauses: req_u64(f, "accept_pauses")?,
+                read_pauses: req_u64(f, "read_pauses")?,
+                deferred_submits: req_u64(f, "deferred_submits")?,
+                deferred_now: req_u64(f, "deferred_now")?,
+                egress_highwater_bytes: req_u64(f, "egress_highwater_bytes")?,
+            }),
+            None => None,
+        };
         Ok(StatsSnapshot {
             shards: req_u64(&j, "shards")?,
             backend,
@@ -292,6 +338,7 @@ impl StatsSnapshot {
             restart_carryover: req_u64(&j, "restart_carryover").unwrap_or(0),
             stages,
             spans,
+            frontend,
             per_shard,
         })
     }
@@ -301,9 +348,10 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
     use crate::queue::ShardQueue;
-    use crate::stats::{stats_json, ServerCounters, STAGE_METRICS};
+    use crate::stats::{stats_json, FrontendStats, ServerCounters, STAGE_METRICS};
     use crate::supervisor::PublicShard;
     use crate::tracing::{PendingSpan, ServeTracer, StageTimings, TracingConfig};
+    use crate::FrontendKind;
     use memsync_trace::MetricsRegistry;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex};
@@ -340,6 +388,7 @@ mod tests {
             true,
             Instant::now(),
             None,
+            None,
         );
         let snap = StatsSnapshot::decode(&doc).expect("decodes");
         assert_eq!(snap.shards, 2);
@@ -360,6 +409,7 @@ mod tests {
         assert!(snap.uptime_secs >= 0.0);
         assert!(snap.stages.is_empty(), "no tracer, no stages");
         assert_eq!(snap.spans, None, "no tracer, no spans section");
+        assert_eq!(snap.frontend, None, "no frontend, no frontend section");
     }
 
     #[test]
@@ -380,6 +430,7 @@ mod tests {
             0,
             false,
             Instant::now(),
+            None,
             None,
         )
         .replace("\"sim\"", "\"quantum\"");
@@ -424,6 +475,8 @@ mod tests {
             },
             200,
         );
+        let frontend = FrontendStats::default();
+        frontend.conn_opened();
         stats_json(
             &shards,
             &ServerCounters::default(),
@@ -432,6 +485,7 @@ mod tests {
             false,
             Instant::now(),
             Some(&tracer),
+            Some((FrontendKind::Reactor, &frontend)),
         )
     }
 
@@ -489,6 +543,7 @@ mod tests {
             restart_carryover,
             stages,
             spans,
+            frontend,
             per_shard,
         } = snap;
         assert_eq!(backend, Some(BackendKind::Fast));
@@ -498,6 +553,9 @@ mod tests {
         let spans = spans.expect("spans section present with a tracer");
         assert!(spans.enabled);
         assert_eq!(spans.seen, 1);
+        let frontend = frontend.expect("frontend section present");
+        assert_eq!(frontend.kind, "reactor");
+        assert_eq!((frontend.conns_open, frontend.conns_peak), (1, 1));
         let ShardSnapshot {
             shard: _,
             packets: _,

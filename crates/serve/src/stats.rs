@@ -10,6 +10,7 @@
 use crate::backend::BackendKind;
 use crate::supervisor::PublicShard;
 use crate::tracing::ServeTracer;
+use crate::FrontendKind;
 use memsync_trace::{Json, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::PoisonError;
@@ -53,13 +54,85 @@ pub struct ServerCounters {
     pub errors: AtomicU64,
 }
 
+/// Connection-plane counters, maintained by whichever frontend is
+/// running; rendered as the stats document's `frontend` object.
+#[derive(Debug, Default)]
+pub struct FrontendStats {
+    /// Connections currently open (post-cap-check).
+    pub conns_open: AtomicU64,
+    /// Highest concurrently-open connection count ever observed.
+    pub conns_peak: AtomicU64,
+    /// Connections refused over [`crate::ServeConfig::max_conns`].
+    pub conn_rejects: AtomicU64,
+    /// Accept-loop pauses forced by fd or thread exhaustion.
+    pub accept_pauses: AtomicU64,
+    /// Times a frontend stopped reading a connection for backpressure
+    /// (egress high-water, an in-flight submit, or saturated shards).
+    pub read_pauses: AtomicU64,
+    /// Submits deferred because a target shard queue was full (reactor
+    /// only; the blocking frontend answers `Busy` instead).
+    pub deferred_submits: AtomicU64,
+    /// Deferred submits currently parked (gauge; drain waits on it).
+    pub deferred_now: AtomicU64,
+    /// Largest per-connection egress queue ever observed, in bytes —
+    /// the server-side memory bound the backpressure tests pin.
+    pub egress_highwater: AtomicU64,
+}
+
+impl FrontendStats {
+    /// Counts a connection in, updating the peak gauge.
+    pub fn conn_opened(&self) {
+        let now = self.conns_open.fetch_add(1, Ordering::Relaxed) + 1;
+        self.conns_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Counts a connection out.
+    pub fn conn_closed(&self) {
+        self.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn to_json(&self, kind: FrontendKind) -> Json {
+        Json::obj()
+            .with("kind", Json::Str(kind.to_string()))
+            .with("conns_open", self.conns_open.load(Ordering::Relaxed).into())
+            .with("conns_peak", self.conns_peak.load(Ordering::Relaxed).into())
+            .with(
+                "conn_rejects",
+                self.conn_rejects.load(Ordering::Relaxed).into(),
+            )
+            .with(
+                "accept_pauses",
+                self.accept_pauses.load(Ordering::Relaxed).into(),
+            )
+            .with(
+                "read_pauses",
+                self.read_pauses.load(Ordering::Relaxed).into(),
+            )
+            .with(
+                "deferred_submits",
+                self.deferred_submits.load(Ordering::Relaxed).into(),
+            )
+            .with(
+                "deferred_now",
+                self.deferred_now.load(Ordering::Relaxed).into(),
+            )
+            .with(
+                "egress_highwater_bytes",
+                self.egress_highwater.load(Ordering::Relaxed).into(),
+            )
+    }
+}
+
 /// Renders the merged stats frame.
 ///
 /// `draining` and `restarts` come from the server; `started` anchors the
 /// throughput computation (forwarded+dropped packets over uptime).
 /// `tracer` (when the caller has one — the server always does) adds the
 /// `spans` section and folds the connection-side decode/write stage
-/// histograms into the merged `stages` object.
+/// histograms into the merged `stages` object. `frontend` (likewise
+/// always present on a live server) adds the connection-plane `frontend`
+/// object.
+#[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     shards: &[PublicShard],
     counters: &ServerCounters,
@@ -68,6 +141,7 @@ pub fn stats_json(
     draining: bool,
     started: Instant,
     tracer: Option<&ServeTracer>,
+    frontend: Option<(FrontendKind, &FrontendStats)>,
 ) -> String {
     let mut merged = MetricsRegistry::new();
     let mut per_shard = Vec::with_capacity(shards.len());
@@ -153,6 +227,9 @@ pub fn stats_json(
     if let Some(t) = tracer {
         doc.set("spans", t.to_json());
     }
+    if let Some((kind, f)) = frontend {
+        doc.set("frontend", f.to_json(kind));
+    }
     doc.set("per_shard", Json::Arr(per_shard));
     doc.render()
 }
@@ -200,6 +277,8 @@ mod tests {
         let counters = ServerCounters::default();
         counters.accepted.store(2, Ordering::Relaxed);
         counters.busy.store(1, Ordering::Relaxed);
+        let frontend = FrontendStats::default();
+        frontend.conn_opened();
         let doc = stats_json(
             &shards,
             &counters,
@@ -208,8 +287,15 @@ mod tests {
             false,
             Instant::now(),
             None,
+            Some((FrontendKind::Threads, &frontend)),
         );
         assert!(doc.contains("\"backend\":\"sim\""), "{doc}");
+        assert!(
+            doc.contains("\"frontend\":{\"kind\":\"threads\""),
+            "frontend object present: {doc}"
+        );
+        assert_eq!(json_u64(&doc, "conns_open"), Some(1));
+        assert_eq!(json_u64(&doc, "conns_peak"), Some(1));
         assert_eq!(json_u64(&doc, "forwarded"), Some(15));
         assert_eq!(json_u64(&doc, "dropped"), Some(5));
         assert_eq!(json_u64(&doc, "packets"), Some(20));
@@ -273,6 +359,7 @@ mod tests {
             false,
             Instant::now(),
             Some(&tracer),
+            Some((FrontendKind::Reactor, &FrontendStats::default())),
         );
         for key in ["\"stages\"", "\"decode_ns\"", "\"execute_ns\"", "\"spans\""] {
             assert!(doc.contains(key), "missing {key} in {doc}");

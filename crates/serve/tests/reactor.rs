@@ -1,0 +1,339 @@
+//! End-to-end tests for the epoll reactor frontend: a real server on
+//! 127.0.0.1 with `frontend: Reactor`, real TCP clients, the full frame
+//! protocol. Everything the blocking frontend serves must behave
+//! identically here — plus the reactor-only backpressure machinery
+//! (egress high-water read pausing, deferred submits, conn-cap
+//! rejection) that these tests pin.
+#![cfg(unix)]
+
+use memsync_netapp::Workload;
+use memsync_serve::client::BatchResult;
+use memsync_serve::reactor::{EGRESS_HIGH_WATER, EGRESS_LOW_WATER};
+use memsync_serve::{
+    frame, BackendKind, Client, FrontendKind, Request, Response, ServeConfig, Server,
+    SubmitOptions, PROTOCOL_VERSION,
+};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// A small, fast reactor config: 2 shards of the egress-2 app on one
+/// reactor thread (single-threaded reactors exercise the same code and
+/// keep CI machines with one core honest).
+fn reactor_config() -> ServeConfig {
+    ServeConfig {
+        shards: 2,
+        egress: 2,
+        routes: 16,
+        job_timeout: Duration::from_secs(30),
+        frontend: FrontendKind::Reactor,
+        reactor_threads: 1,
+        ..ServeConfig::default()
+    }
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::builder()
+        .retries(10_000)
+        .connect(addr)
+        .expect("connect")
+}
+
+/// Opens a raw stream and settles the protocol handshake, returning the
+/// write half and a buffered read half — for tests that need to pipeline
+/// frames or stop reading in ways `Client` won't.
+fn raw_handshake(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    frame::write_frame(
+        &mut writer,
+        &Request::Hello {
+            min_version: PROTOCOL_VERSION,
+            max_version: PROTOCOL_VERSION,
+        }
+        .encode(),
+    )
+    .expect("hello");
+    let rsp = frame::read_frame(&mut reader)
+        .expect("read hello response")
+        .expect("hello response frame");
+    assert!(matches!(
+        Response::decode(&rsp).expect("decode hello"),
+        Response::Hello(_)
+    ));
+    (writer, reader)
+}
+
+#[test]
+fn reactor_verify_run_matches_the_oracle_and_drains_clean() {
+    let server = Server::start("127.0.0.1:0", reactor_config()).expect("bind");
+    let addr = server.local_addr();
+
+    let w = Workload::generate(42, 400, 16);
+    let (fwd, drop) = w.reference_forward();
+    let mut client = connect(addr);
+    assert_eq!(client.server().version, PROTOCOL_VERSION);
+    assert_eq!(client.server().shards, 2);
+
+    let verify = SubmitOptions::new().verify(true);
+    let mut totals = BatchResult::default();
+    for chunk in w.packets.chunks(50) {
+        let r = client.submit(chunk, verify).expect("submit");
+        totals.forwarded += r.forwarded;
+        totals.dropped += r.dropped;
+        totals.mismatches += r.mismatches;
+    }
+    assert_eq!(totals.forwarded as usize, fwd);
+    assert_eq!(totals.dropped as usize, drop);
+    assert_eq!(totals.mismatches, 0, "reactor path matches the oracle");
+
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.packets, 400);
+    assert_eq!(snap.lost_updates, 0);
+    assert_eq!(snap.shard_restarts, 0);
+    let fe = snap.frontend.expect("frontend section present");
+    assert_eq!(fe.kind, "reactor");
+    assert!(fe.conns_open >= 1, "this connection is counted");
+    assert!(fe.conns_peak >= fe.conns_open);
+
+    client.drain().expect("drain");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn reactor_saturated_shard_defers_submits_instead_of_busy_storms() {
+    // One throttled shard behind a 2-deep queue, hammered by 8 concurrent
+    // closed-loop connections. The blocking frontend answers Busy and
+    // makes clients retry; the reactor instead parks the submit
+    // (Work::Deferred) and retries it internally, so clients see zero
+    // Busy responses and zero retries — flow control replaces the storm.
+    let config = ServeConfig {
+        shards: 1,
+        egress: 2,
+        routes: 16,
+        queue_cap: 2,
+        shard_throttle: Some(Duration::from_millis(10)),
+        job_timeout: Duration::from_secs(30),
+        frontend: FrontendKind::Reactor,
+        reactor_threads: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let w = Workload::generate(9, 240, 16);
+    let (fwd, drop) = w.reference_forward();
+    let handles: Vec<_> = w
+        .packets
+        .chunks(30)
+        .map(|chunk| {
+            let chunk = chunk.to_vec();
+            std::thread::spawn(move || {
+                let mut c = connect(addr);
+                c.submit(&chunk, SubmitOptions::new()).expect("submit")
+            })
+        })
+        .collect();
+    let mut totals = BatchResult::default();
+    for h in handles {
+        let r = h.join().expect("client thread");
+        totals.forwarded += r.forwarded;
+        totals.dropped += r.dropped;
+        totals.busy_retries += r.busy_retries;
+    }
+    // Lossless and storm-free: every packet classified, no Busy seen.
+    assert_eq!(totals.forwarded as usize, fwd);
+    assert_eq!(totals.dropped as usize, drop);
+    assert_eq!(
+        totals.busy_retries, 0,
+        "deferred submits absorb the full queue; clients never see Busy"
+    );
+
+    let mut client = connect(addr);
+    let snap = client.stats().expect("stats");
+    assert_eq!(snap.busy, 0, "no Busy responses server-side either");
+    assert_eq!(snap.packets, 240, "no silent drops");
+    let fe = snap.frontend.expect("frontend section");
+    assert!(
+        fe.deferred_submits > 0,
+        "8 conns against a 2-deep throttled queue must defer: {fe:?}"
+    );
+    assert_eq!(fe.deferred_now, 0, "nothing still parked after the run");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn reactor_stops_reading_a_slow_client_at_the_egress_high_water() {
+    // Satellite: bounded memory against a slow reader. Pipeline many
+    // stats requests without reading a single response: the kernel
+    // buffers fill, the per-connection egress queue climbs, and at
+    // EGRESS_HIGH_WATER the reactor must drop read interest instead of
+    // buffering the rest — pinning per-connection memory. Once we read,
+    // everything drains and every response arrives in order.
+    let server = Server::start("127.0.0.1:0", reactor_config()).expect("bind");
+    let addr = server.local_addr();
+    let (mut writer, mut reader) = raw_handshake(addr);
+
+    // The kernel absorbs several MB on loopback (sndbuf + rcvbuf
+    // autotuning) before the server-side egress queue grows at all, so
+    // the burst must comfortably exceed that: ~30k one-KB stats
+    // responses ≈ 30 MB against a 256 KiB queue bound.
+    const REQUESTS: usize = 30_000;
+    let stats_req = Request::Stats.encode();
+    for _ in 0..REQUESTS {
+        frame::write_frame(&mut writer, &stats_req).expect("pipelined stats request");
+    }
+    writer.flush().unwrap();
+
+    // Watch from a second connection until the slow conn's egress queue
+    // hits the high-water mark and the reactor pauses its reads.
+    let mut monitor = connect(addr);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let fe = loop {
+        let snap = monitor.stats().expect("stats");
+        let fe = snap.frontend.expect("frontend section");
+        if fe.egress_highwater_bytes >= EGRESS_HIGH_WATER as u64 && fe.read_pauses >= 1 {
+            break fe;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "egress never reached the high-water mark: {fe:?}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    // Bounded: the queue overshoots by at most one response beyond the
+    // mark — it must not absorb the whole pipelined burst.
+    assert!(
+        fe.egress_highwater_bytes < (EGRESS_HIGH_WATER + 128 * 1024) as u64,
+        "egress queue kept buffering past the high-water mark: {fe:?}"
+    );
+    const { assert!(EGRESS_LOW_WATER < EGRESS_HIGH_WATER) };
+
+    // Drain as a reader again: every one of the pipelined responses must
+    // arrive, in order, as a well-formed Stats frame — the pause/resume
+    // cycle loses and corrupts nothing.
+    for i in 0..REQUESTS {
+        let payload = frame::read_frame(&mut reader)
+            .unwrap_or_else(|e| panic!("response {i}: {e}"))
+            .unwrap_or_else(|| panic!("server closed before response {i}"));
+        match Response::decode(&payload) {
+            Ok(Response::Stats(doc)) => assert!(doc.contains("\"frontend\""), "response {i}"),
+            other => panic!("response {i}: expected Stats, got {other:?}"),
+        }
+    }
+    drop(writer);
+    drop(reader);
+
+    let mut client = connect(addr);
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn reactor_conn_cap_rejection_is_a_decodable_error_frame() {
+    // Satellite: over-capacity connections get a protocol-level refusal
+    // (a v1-decodable Error frame), not a silent RST.
+    let config = ServeConfig {
+        max_conns: 2,
+        ..reactor_config()
+    };
+    let server = Server::start("127.0.0.1:0", config).expect("bind");
+    let addr = server.local_addr();
+
+    let mut held1 = connect(addr);
+    let _held2 = connect(addr);
+
+    let third = TcpStream::connect(addr).expect("tcp connect still accepted");
+    third.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(third.try_clone().unwrap());
+    let payload = frame::read_frame(&mut reader)
+        .expect("read rejection")
+        .expect("an error frame, not an instant close");
+    match Response::decode(&payload).expect("rejection frame decodes") {
+        Response::Error(msg) => {
+            assert!(
+                msg.contains("connection limit"),
+                "rejection names the cap: {msg}"
+            );
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // After the frame, the server closes its side.
+    assert_eq!(
+        frame::read_frame(&mut reader).expect("clean close"),
+        None,
+        "rejected connection is closed after the error frame"
+    );
+    drop(reader);
+    drop(third);
+
+    let snap = held1.stats().expect("held connection still serves");
+    let fe = snap.frontend.expect("frontend section");
+    assert!(fe.conn_rejects >= 1, "rejection counted: {fe:?}");
+    assert!(fe.conns_open <= 2, "cap respected: {fe:?}");
+
+    held1.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn reactor_killed_shard_restarts_and_service_keeps_serving() {
+    let server = Server::start("127.0.0.1:0", reactor_config()).expect("bind");
+    let addr = server.local_addr();
+    let mut client = connect(addr);
+
+    let w = Workload::generate(3, 100, 16);
+    client
+        .submit(&w.packets[..50], SubmitOptions::new())
+        .expect("warm");
+    client.kill_shard(0).expect("kill accepted");
+
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "supervisor never restarted the shard"
+        );
+        match client.submit(&w.packets[50..], SubmitOptions::new()) {
+            Ok(_) if server.shard_restarts() >= 1 => break,
+            Ok(_) => {}
+            // A submit that lands on the dying shard surfaces as a typed
+            // error; the connection survives and a retry succeeds.
+            Err(_) => {}
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.shard_restarts(), 1);
+    let r = client
+        .submit(&w.packets, SubmitOptions::new().verify(true))
+        .expect("post-restart");
+    assert_eq!(r.mismatches, 0, "service is still correct after restart");
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
+
+#[test]
+fn reactor_stats_stream_pushes_and_stops_cleanly() {
+    let server = Server::start("127.0.0.1:0", reactor_config()).expect("bind");
+    let mut client = connect(server.local_addr());
+    let mut pushes = 0;
+    let last = client
+        .stats_stream(Duration::from_millis(30), |snap| {
+            assert_eq!(
+                snap.frontend.expect("frontend section").kind,
+                "reactor",
+                "pushed documents carry the frontend section too"
+            );
+            pushes += 1;
+            pushes < 3
+        })
+        .expect("stats stream");
+    assert_eq!(pushes, 3);
+    assert_eq!(last.backend, Some(BackendKind::Sim));
+    client.shutdown().expect("shutdown");
+    server.wait();
+}
