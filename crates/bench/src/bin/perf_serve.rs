@@ -44,12 +44,14 @@
 //!   fail to clear 2x the recorded end-to-end fast rate.
 
 use memsync_bench::arg_value;
+use memsync_netapp::fib::Route;
 use memsync_netapp::Workload;
 use memsync_serve::backend::{FastBackend, ForwardingBackend};
 use memsync_serve::{
     BackendKind, Client, FrontendKind, Response, ServeConfig, Server, SubmitOptions, TracingConfig,
 };
 use memsync_trace::Json;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -294,6 +296,87 @@ fn measure_reactor_fanin(conns: usize, batch: usize, rounds: usize) -> f64 {
     best
 }
 
+/// A table swap must complete (rebuild, publish, and clear the drain
+/// barrier on every shard) well inside the control worker's 250ms
+/// barrier deadline — a p99 at or past the deadline means retirement is
+/// lagging behind publication under load.
+const SWAP_LATENCY_CEILING_US: u64 = 250_000;
+
+/// p50/p99 control-plane swap latency in microseconds: boots a
+/// fast-backend server, keeps two closed-loop connections submitting
+/// packets (so the post-swap drain barrier is contended, not a no-op),
+/// and runs `pairs` sequential add/withdraw control pairs — each is its
+/// own rebuild + publish + barrier round trip. The numbers come from
+/// the server's own dequeue-to-barrier measurement in the stats `fib`
+/// section; the retirement audit (`retired == generation - 1`) is
+/// asserted before returning.
+fn measure_swap_latency(pairs: usize) -> (u64, u64) {
+    let server = boot(
+        BackendKind::Fast,
+        TracingConfig::default(),
+        FrontendKind::Threads,
+    );
+    let addr = server.local_addr();
+    let stop = Arc::new(AtomicBool::new(false));
+    let load: Vec<_> = (0..2)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut client = Client::builder()
+                    .retries(100_000)
+                    .connect(addr)
+                    .expect("background load connect");
+                let w = Workload::generate(0xC0DE + c as u64, 1024, ROUTES);
+                while !stop.load(Ordering::Relaxed) {
+                    client
+                        .submit(&w.packets, SubmitOptions::new())
+                        .expect("background submit");
+                }
+            })
+        })
+        .collect();
+    let mut control = Client::connect(addr).expect("control connection");
+    assert!(
+        control.supports_control(),
+        "server must advertise the control capability"
+    );
+    // RFC 2544 benchmarking space, disjoint from the synthetic FIB.
+    let routes: Vec<Route> = (0..32u32)
+        .map(|i| Route {
+            prefix: 0xC612_0000 | (i << 8),
+            len: 24,
+            next_hop: 9_000 + i,
+        })
+        .collect();
+    let prefixes: Vec<(u32, u8)> = routes.iter().map(|r| (r.prefix, r.len)).collect();
+    for _ in 0..pairs {
+        let added = control.route_add(&routes).expect("route add");
+        assert_eq!(added.applied as usize, routes.len(), "add applied fully");
+        let withdrawn = control.route_withdraw(&prefixes).expect("route withdraw");
+        assert_eq!(
+            withdrawn.applied as usize,
+            prefixes.len(),
+            "withdraw applied fully"
+        );
+    }
+    let snap = control.stats().expect("stats frame");
+    stop.store(true, Ordering::Relaxed);
+    for h in load {
+        h.join().expect("background load thread");
+    }
+    drop(control);
+    server.stop();
+    server.wait();
+    let fib = snap.fib.expect("fib section");
+    assert_eq!(
+        fib.retired,
+        fib.generation - 1,
+        "every superseded table retired"
+    );
+    let lat = fib.swap_latency_us.expect("swap latency after mutations");
+    (lat.p50, lat.p99)
+}
+
 /// Raw kernel rate: descriptors/sec through a [`FastBackend`] submit →
 /// drain loop with no service path around it. `scalar: true` measures
 /// the descriptor-at-a-time baseline the batch kernels replaced.
@@ -371,6 +454,8 @@ fn main() {
         );
         let reactor5k = measure_reactor_fanin(5_000, 200, 1);
         let batch = measure_backend_rate(false, Duration::from_millis(200));
+        let (swap_p50, swap_p99) = measure_swap_latency(10);
+        let recorded_swap = json_u64(&doc, "swap_latency_p99_us");
         let floor = recorded as f64 / 3.0;
         println!(
             "serve perf check: sim {sim:.0} pkts/sec (recorded {recorded}, floor {floor:.0}), \
@@ -378,7 +463,9 @@ fn main() {
              traced {traced:.0} pkts/sec ({:+.1}% vs traced-off), \
              reactor {reactor:.0} pkts/sec (recorded fast e2e {recorded_fast}), \
              reactor 5k-conn fan-in {reactor5k:.0} pkts/sec (recorded {:?}), \
-             batch kernels {batch:.0} pkts/sec",
+             batch kernels {batch:.0} pkts/sec, \
+             swap latency p50 {swap_p50}µs p99 {swap_p99}µs (recorded p99 {recorded_swap:?}, \
+             ceiling {SWAP_LATENCY_CEILING_US}µs)",
             fast / sim,
             (traced / fast - 1.0) * 100.0,
             recorded_5k
@@ -435,6 +522,13 @@ fn main() {
                 failed = true;
             }
         }
+        if swap_p99 >= SWAP_LATENCY_CEILING_US {
+            eprintln!(
+                "serve perf check FAILED: swap latency p99 {swap_p99}µs reached the control \
+                 worker's barrier deadline — table retirement is lagging publication"
+            );
+            failed = true;
+        }
         if failed {
             std::process::exit(1);
         }
@@ -476,6 +570,11 @@ fn main() {
     println!(
         "  batch kernels: {batch:.0} packets/sec raw ({:.1}x the scalar loop's {scalar:.0})",
         batch / scalar
+    );
+    let (swap_p50, swap_p99) = measure_swap_latency(50);
+    println!(
+        "  control plane: table swap p50 {swap_p50}µs p99 {swap_p99}µs \
+         (rebuild + publish + shard drain barrier, under load)"
     );
 
     let doc = Json::obj()
@@ -540,6 +639,11 @@ fn main() {
             "batch_over_scalar",
             ((batch / scalar * 10.0).round() / 10.0).into(),
         )
+        // Control-plane swap latency: the server's own dequeue-to-barrier
+        // measurement over 50 sequential add/withdraw pairs with two
+        // closed-loop connections keeping the drain barrier contended.
+        .with("swap_latency_p50_us", swap_p50.into())
+        .with("swap_latency_p99_us", swap_p99.into())
         // Legacy key, kept pointing at the reference backend so older
         // tooling reading `packets_per_sec` keeps working.
         .with("packets_per_sec", (sim.round() as u64).into());

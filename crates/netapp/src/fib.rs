@@ -1,5 +1,7 @@
 //! Longest-prefix-match forwarding table (binary trie).
 
+use std::collections::HashMap;
+
 /// A route entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Route {
@@ -62,6 +64,64 @@ impl Fib {
         if node.next_hop.replace(route.next_hop).is_none() {
             self.len += 1;
         }
+    }
+
+    /// Withdraws the route at exactly `prefix/len`, returning its next
+    /// hop, or `None` when no such route exists (covering or nested
+    /// routes are untouched — withdrawal is exact-match, not LPM).
+    /// Interior nodes left with no route and no children are pruned, so
+    /// a long insert/withdraw churn cannot grow the trie without bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > 32` or the prefix has host bits set.
+    pub fn remove(&mut self, prefix: u32, len: u8) -> Option<u32> {
+        assert!(len <= 32, "prefix length out of range");
+        if len < 32 {
+            assert_eq!(
+                prefix & ((1u64 << (32 - len)) - 1) as u32,
+                0,
+                "host bits set in prefix"
+            );
+        }
+        // Returns (withdrawn hop, whether the visited node is now empty
+        // and its parent should prune the edge).
+        fn walk(node: &mut Node, prefix: u32, len: u8) -> (Option<u32>, bool) {
+            if len == 0 {
+                let hop = node.next_hop.take();
+                let prune = node.children.iter().all(|c| c.is_none());
+                return (hop, prune);
+            }
+            let bit = ((prefix >> 31) & 1) as usize;
+            let Some(child) = node.children[bit].as_mut() else {
+                return (None, false);
+            };
+            let (hop, prune_child) = walk(child, prefix << 1, len - 1);
+            if prune_child {
+                node.children[bit] = None;
+            }
+            let prune = node.next_hop.is_none() && node.children.iter().all(|c| c.is_none());
+            (hop, prune)
+        }
+        let (hop, _) = walk(&mut self.root, prefix, len);
+        if hop.is_some() {
+            self.len -= 1;
+        }
+        hop
+    }
+
+    /// Allocated trie nodes, counting the root (diagnostics: pins that
+    /// [`Fib::remove`] prunes emptied branches).
+    pub fn nodes(&self) -> usize {
+        fn count(node: &Node) -> usize {
+            1 + node
+                .children
+                .iter()
+                .flatten()
+                .map(|c| count(c))
+                .sum::<usize>()
+        }
+        count(&self.root)
     }
 
     /// Longest-prefix match.
@@ -163,6 +223,11 @@ impl Dir24_8 {
             overflow: Vec::new(),
             hops: Vec::new(),
         };
+        // Build-time intern index: hop -> direct-hit code. A linear scan
+        // here made rebuilds quadratic in distinct next hops, which the
+        // live control plane turns into a hot path (tables are rebuilt on
+        // every route-churn swap).
+        let mut codes: HashMap<u32, u16> = HashMap::with_capacity(routes.len().min(MAX_HOPS));
         for route in sorted {
             assert!(route.len <= 32, "prefix length out of range");
             if route.len < 32 {
@@ -172,7 +237,11 @@ impl Dir24_8 {
                     "host bits set in prefix"
                 );
             }
-            let code = dir.intern(route.next_hop);
+            let code = *codes.entry(route.next_hop).or_insert_with(|| {
+                assert!(dir.hops.len() < MAX_HOPS, "next-hop space exhausted");
+                dir.hops.push(route.next_hop);
+                dir.hops.len() as u16
+            });
             if route.len <= 24 {
                 // ≤24 routes are applied before any overflow block exists
                 // (ascending-length order), so a plain range fill is safe.
@@ -200,19 +269,6 @@ impl Dir24_8 {
             }
         }
         dir
-    }
-
-    /// Interns a next hop, returning its direct-hit code (`index + 1`).
-    fn intern(&mut self, hop: u32) -> u16 {
-        let idx = match self.hops.iter().position(|&h| h == hop) {
-            Some(idx) => idx,
-            None => {
-                assert!(self.hops.len() < MAX_HOPS, "next-hop space exhausted");
-                self.hops.push(hop);
-                self.hops.len() - 1
-            }
-        };
-        (idx + 1) as u16
     }
 
     /// Longest-prefix match; agrees with [`Fib::lookup`] on the table the
@@ -457,6 +513,116 @@ mod tests {
         });
         assert_eq!(fib.lookup(0x0a0b_8001), Some(17));
         assert_eq!(fib.lookup(0x0a0b_7fff), Some(16));
+    }
+
+    #[test]
+    fn remove_is_exact_match_and_returns_the_hop() {
+        let mut fib = Fib::new();
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 1,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0b_0000,
+            len: 16,
+            next_hop: 2,
+        });
+        // Withdrawing the nested /16 exposes the covering /8 again.
+        assert_eq!(fib.remove(0x0a0b_0000, 16), Some(2));
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.lookup(0x0a0b_0105), Some(1));
+        // Exact-match only: no /16 left, and the /8 is not LPM-withdrawn.
+        assert_eq!(fib.remove(0x0a0b_0000, 16), None);
+        assert_eq!(fib.len(), 1);
+        assert_eq!(fib.remove(0x0a00_0000, 8), Some(1));
+        assert!(fib.is_empty());
+        assert_eq!(fib.lookup(0x0a0b_0105), None);
+    }
+
+    #[test]
+    fn remove_prunes_emptied_branches() {
+        let mut fib = Fib::new();
+        assert_eq!(fib.nodes(), 1, "just the root");
+        fib.insert(Route {
+            prefix: 0xc0a8_0101,
+            len: 32,
+            next_hop: 5,
+        });
+        assert_eq!(fib.nodes(), 33, "root plus one 32-deep spine");
+        fib.insert(Route {
+            prefix: 0xc0a8_0000,
+            len: 16,
+            next_hop: 6,
+        });
+        assert_eq!(fib.remove(0xc0a8_0101, 32), Some(5));
+        // The spine below the /16 is gone; the /16 path stays.
+        assert_eq!(fib.nodes(), 17);
+        assert_eq!(fib.lookup(0xc0a8_0101), Some(6));
+        assert_eq!(fib.remove(0xc0a8_0000, 16), Some(6));
+        assert_eq!(fib.nodes(), 1, "back to the bare root");
+        // A long insert/withdraw churn cannot grow the trie.
+        for i in 0..1000u32 {
+            fib.insert(Route {
+                prefix: i << 8,
+                len: 24,
+                next_hop: i,
+            });
+            assert_eq!(fib.remove(i << 8, 24), Some(i));
+        }
+        assert_eq!(fib.nodes(), 1);
+    }
+
+    #[test]
+    fn remove_default_route_keeps_longer_matches() {
+        let mut fib = Fib::new();
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 9,
+        });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 1,
+        });
+        assert_eq!(fib.remove(0, 0), Some(9));
+        assert_eq!(fib.lookup(0x0a01_0101), Some(1), "the /8 survives");
+        assert_eq!(fib.lookup(0x0b00_0000), None, "no default any more");
+        assert_eq!(fib.remove(0, 0), None, "default already withdrawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "host bits")]
+    fn remove_rejects_host_bits() {
+        Fib::new().remove(0x0a00_0001, 8);
+    }
+
+    #[test]
+    fn dir24_8_build_with_many_distinct_hops_is_near_linear() {
+        // Every route gets its own next hop — the worst case for the
+        // intern index. With the old O(hops) linear scan this build was
+        // quadratic (~450M probes at this size, tens of seconds in a
+        // debug test run); the hashed index finishes in well under the
+        // budget even unoptimized.
+        let n: u32 = 30_000;
+        let routes: Vec<Route> = (0..n)
+            .map(|i| Route {
+                prefix: i << 8,
+                len: 24,
+                next_hop: 1_000_000 + i,
+            })
+            .collect();
+        let t0 = std::time::Instant::now();
+        let dir = Dir24_8::from_routes(&routes);
+        let elapsed = t0.elapsed();
+        assert_eq!(dir.distinct_hops(), n as usize);
+        assert_eq!(dir.lookup(0), Some(1_000_000));
+        assert_eq!(dir.lookup((n - 1) << 8 | 0x17), Some(1_000_000 + n - 1));
+        assert!(
+            elapsed < std::time::Duration::from_secs(2),
+            "many-hops build took {elapsed:?} — intern has gone super-linear"
+        );
     }
 
     #[test]

@@ -145,6 +145,103 @@ fn dir24_8_agrees_with_the_trie_on_random_tables() {
 }
 
 #[test]
+fn dir24_8_agrees_with_the_trie_under_insert_withdraw_churn() {
+    // The mutable case the live control plane exercises: a seeded
+    // interleaving of inserts and withdraws against the trie, with the
+    // flat classifier rebuilt from `fib.routes()` after every mutation
+    // and swept for agreement across the full u32 space (boundary
+    // probes of every live route plus random addresses). Withdraw picks
+    // from the live route set, so nested-prefix withdrawal (the covering
+    // shorter route must show through again) and withdraw-of-default
+    // both occur along the way; the trailing phase forces them
+    // explicitly in case a seed dodged them.
+    for seed in 0..6u64 {
+        let mut rng = Rng(0xC4u64 << 32 | seed);
+        let mut fib = Fib::new();
+        // Seed with a default route so default withdrawal is reachable.
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 7,
+        });
+        for step in 0..40 {
+            let live = fib.routes();
+            let withdraw = !live.is_empty() && rng.range(3) == 0;
+            if withdraw {
+                let victim = live[rng.range(live.len() as u64) as usize];
+                assert_eq!(
+                    fib.remove(victim.prefix, victim.len),
+                    Some(victim.next_hop),
+                    "withdrawing a live route returns its hop"
+                );
+            } else {
+                let r = if !live.is_empty() && rng.range(3) == 0 {
+                    // Nest a longer prefix inside a live route, so a
+                    // later withdraw of either exercises the nested case.
+                    let base = live[rng.range(live.len() as u64) as usize];
+                    let len = (u32::from(base.len)
+                        + 1
+                        + rng.range(32 - u64::from(base.len).min(31)) as u32)
+                        .min(32) as u8;
+                    let mask = u32::MAX << (32 - u32::from(len));
+                    Route {
+                        prefix: (base.prefix | (rng.u32() >> base.len.min(31))) & mask,
+                        len,
+                        next_hop: rng.u32() % 512,
+                    }
+                } else {
+                    random_route(&mut rng)
+                };
+                fib.insert(r);
+            }
+            let routes = fib.routes();
+            let dir = Dir24_8::from_routes(&routes);
+            for addr in probe_addresses(&routes, &mut rng) {
+                assert_eq!(
+                    dir.lookup(addr),
+                    fib.lookup(addr),
+                    "seed {seed} step {step}, addr {addr:#010x} (table: {routes:?})"
+                );
+            }
+        }
+        // Forced edges: withdraw a nested prefix under a live covering
+        // route, then withdraw the default.
+        fib.insert(Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 7,
+        });
+        fib.insert(Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 81,
+        });
+        fib.insert(Route {
+            prefix: 0x0a0b_0000,
+            len: 16,
+            next_hop: 82,
+        });
+        assert_eq!(fib.remove(0x0a0b_0000, 16), Some(82));
+        let dir = Dir24_8::from_fib(&fib);
+        assert_eq!(
+            dir.lookup(0x0a0b_0105),
+            Some(81),
+            "covering /8 shows through"
+        );
+        assert_eq!(fib.remove(0, 0), Some(7));
+        let dir = Dir24_8::from_fib(&fib);
+        assert_eq!(dir.lookup(0x0a0b_0105), Some(81));
+        for addr in probe_addresses(&fib.routes(), &mut rng) {
+            assert_eq!(
+                dir.lookup(addr),
+                fib.lookup(addr),
+                "post-default-withdraw sweep"
+            );
+        }
+    }
+}
+
+#[test]
 fn dir24_8_agrees_on_a_default_route_plus_host_routes_table() {
     // The pathological all-edges table: /0 default plus a dense run of
     // /32s sharing one tbl24 slot — all 256 low bytes land in one

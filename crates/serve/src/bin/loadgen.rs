@@ -25,6 +25,19 @@
 //! ramp/open phase is excluded from the timed throughput window.
 //! Fan-in mode is closed-loop only (`Busy` is resent after a pause).
 //!
+//! `--churn RATE` exercises the protocol-v3 control plane while the
+//! load runs: a dedicated control connection alternates add/withdraw
+//! frames of 32 routes in the benchmarking prefix space `198.18.0.0/15`
+//! (disjoint from the synthetic FIB, so forwarding verdicts are
+//! unaffected), paced closed-loop to `RATE` route mutations per second.
+//! Every reply's `applied` count is checked against the local oracle —
+//! an add of 32 fresh routes must apply 32, the matching withdraw must
+//! apply 32 — so a single lost update fails the run. After the load
+//! window the final stats snapshot must show the route count back at
+//! its pre-churn baseline and `fib.retired == fib.generation - 1` (no
+//! shard still references a pre-swap table). Requires a server that
+//! advertises the control capability.
+//!
 //! `--spans` tags every submit with a client-assigned span id
 //! (`conn << 32 | batch_index`), so a `--trace-spans` server exports
 //! spans the offline waterfall can correlate back to this run. It
@@ -45,6 +58,7 @@
 //! run finishes with a drain frame (and checks it succeeds); `--shutdown`
 //! additionally stops the server.
 
+use memsync_netapp::fib::Route;
 use memsync_netapp::Workload;
 use memsync_serve::client::BatchResult;
 use memsync_serve::{BackendKind, Client, Response, SubmitOptions};
@@ -251,6 +265,91 @@ fn run_fanin_worker(
     (totals, submitted, open_failures, rtts)
 }
 
+/// Route mutations per control frame under `--churn`. The rate is
+/// paced in whole frames, so the effective rate rounds to a multiple
+/// of this.
+const CHURN_BATCH: usize = 32;
+
+/// What the churn thread observed, checked against the server's final
+/// stats snapshot after the load window closes.
+struct ChurnReport {
+    /// Route mutations the server acknowledged (adds + withdraws).
+    ops: u64,
+    /// Control frames sent.
+    frames: u64,
+    /// Batch entries the server failed to apply — any add of fresh
+    /// routes or withdraw of present routes that applied fewer than it
+    /// carried. Must be zero.
+    lost: u64,
+    /// `fib.routes` before the first mutation; the table must return to
+    /// this once churn stops (every add is paired with its withdraw).
+    baseline_routes: u64,
+    /// Table generation before the first mutation.
+    first_generation: u64,
+}
+
+/// The `--churn` worker: alternates add/withdraw control frames of
+/// [`CHURN_BATCH`] routes in `198.18.0.0/15` (RFC 2544 benchmarking
+/// space — disjoint from the synthetic FIB's `10.x.0.0/16` /
+/// `192.168.x.0/24` prefixes) on a dedicated connection, paced to
+/// `rate` route mutations per second. Each iteration completes its
+/// add/withdraw pair even if `stop` flips mid-cycle, so the table
+/// always ends at its baseline.
+fn run_churn(addr: &str, rate: u64, stop: &AtomicBool) -> ChurnReport {
+    let mut client = connect(addr);
+    let routes: Vec<Route> = (0..CHURN_BATCH as u32)
+        .map(|i| Route {
+            prefix: 0xC612_0000 | (i << 8), // 198.18.i.0
+            len: 24,
+            next_hop: 9_000 + i,
+        })
+        .collect();
+    let prefixes: Vec<(u32, u8)> = routes.iter().map(|r| (r.prefix, r.len)).collect();
+    let fib = client
+        .stats()
+        .expect("stats frame")
+        .fib
+        .expect("control-capable server renders a fib section");
+    let mut report = ChurnReport {
+        ops: 0,
+        frames: 0,
+        lost: 0,
+        baseline_routes: fib.routes,
+        first_generation: fib.generation,
+    };
+    let frame_interval = Duration::from_secs_f64(CHURN_BATCH as f64 / rate as f64);
+    let mut due = Instant::now();
+    let mut pace = || {
+        due += frame_interval;
+        // Closed-loop: if the server is slower than the pace, carry on
+        // immediately instead of accumulating a send burst.
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        } else {
+            due = Instant::now();
+        }
+    };
+    while !stop.load(Ordering::Relaxed) {
+        let added = client.route_add(&routes).expect("route add frame");
+        report.frames += 1;
+        report.ops += u64::from(added.applied);
+        if (added.applied as usize) < CHURN_BATCH {
+            report.lost += (CHURN_BATCH - added.applied as usize) as u64;
+        }
+        pace();
+        let withdrawn = client
+            .route_withdraw(&prefixes)
+            .expect("route withdraw frame");
+        report.frames += 1;
+        report.ops += u64::from(withdrawn.applied);
+        if (withdrawn.applied as usize) < CHURN_BATCH {
+            report.lost += (CHURN_BATCH - withdrawn.applied as usize) as u64;
+        }
+        pace();
+    }
+    report
+}
+
 /// Nearest-rank percentile over an unsorted sample set, in microseconds.
 /// Returns 0 when no batches completed (pure open-loop refusal runs).
 fn percentile_us(sorted_ns: &[u64], p: f64) -> u64 {
@@ -295,6 +394,13 @@ fn main() {
         v.parse::<BackendKind>()
             .unwrap_or_else(|e| panic!("--backend: {e}"))
     });
+    let churn = arg_value(&args, "--churn").map(|v| {
+        let rate: u64 = v
+            .parse()
+            .unwrap_or_else(|_| panic!("--churn wants route mutations per second, got {v}"));
+        assert!(rate > 0, "--churn must be nonzero");
+        rate
+    });
 
     // One connection up front to report (and check) what we negotiated.
     {
@@ -313,6 +419,9 @@ fn main() {
         }
         if (spans || stats_interval.is_some()) && !probe.supports_tracing() {
             panic!("--spans/--stats-interval need a server that advertises the tracing capability");
+        }
+        if churn.is_some() && !probe.supports_control() {
+            panic!("--churn needs a server that advertises the control capability (protocol v3)");
         }
         drop(probe);
     }
@@ -341,6 +450,15 @@ fn main() {
                 })
                 .expect("stats stream");
         })
+    });
+
+    // The churn worker rides its own control connection for the whole
+    // load window; it stops (completing its add/withdraw pair) when the
+    // load threads finish.
+    let churner = churn.map(|rate| {
+        let addr = addr.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || run_churn(&addr, rate, &stop))
     });
 
     let mut totals = BatchResult::default();
@@ -419,6 +537,7 @@ fn main() {
     if let Some(m) = monitor {
         m.join().expect("stats monitor thread");
     }
+    let churn_report = churner.map(|c| c.join().expect("churn worker thread"));
     let served = u64::from(totals.forwarded) + u64::from(totals.dropped);
     println!(
         "submitted {submitted} packets over {conns} conns in {elapsed:.2}s \
@@ -455,7 +574,7 @@ fn main() {
     // count here is a pacing regression (see `memsync_hic::hazards`).
     // The typed snapshot also exposes supervisor restarts — a shard that
     // crashed under plain traffic is a failure even if totals added up.
-    let (lost_updates, shard_restarts) = {
+    let (lost_updates, shard_restarts, churn_summary) = {
         let mut client = connect(addr.as_str());
         let snap = client.stats().expect("stats frame");
         if snap.lost_updates > 0 {
@@ -472,7 +591,58 @@ fn main() {
             );
             failed = true;
         }
-        (snap.lost_updates, snap.shard_restarts)
+        // Under `--churn` the control plane must come out clean: every
+        // acked mutation applied, the table back at its pre-churn route
+        // count, the generation advanced, and every superseded table
+        // provably retired (`retired == generation - 1`).
+        let churn_summary = churn_report.map(|report| {
+            let fib = snap
+                .fib
+                .expect("control-capable server renders a fib section");
+            println!(
+                "churn: {} route mutations over {} frames, {} generations swapped \
+                 (fib at gen {} with {} routes, retired {})",
+                report.ops,
+                report.frames,
+                fib.generation - report.first_generation,
+                fib.generation,
+                fib.routes,
+                fib.retired
+            );
+            if report.lost > 0 {
+                eprintln!(
+                    "FAIL: {} churned route mutations were acked but not applied",
+                    report.lost
+                );
+                failed = true;
+            }
+            if fib.routes != report.baseline_routes {
+                eprintln!(
+                    "FAIL: fib holds {} routes after churn, expected the pre-churn {}",
+                    fib.routes, report.baseline_routes
+                );
+                failed = true;
+            }
+            if report.frames > 0 && fib.generation <= report.first_generation {
+                eprintln!(
+                    "FAIL: fib generation never advanced past {} despite {} control frames",
+                    report.first_generation, report.frames
+                );
+                failed = true;
+            }
+            if fib.retired != fib.generation - 1 {
+                eprintln!(
+                    "FAIL: retired generation {} lags the swap barrier (generation {})",
+                    fib.retired, fib.generation
+                );
+                failed = true;
+            }
+            format!(
+                " churn_ops={} churn_frames={} churn_lost={} fib_generation={} fib_retired={}",
+                report.ops, report.frames, report.lost, fib.generation, fib.retired
+            )
+        });
+        (snap.lost_updates, snap.shard_restarts, churn_summary)
     };
 
     // One machine-readable line for scripts (CI greps this).
@@ -481,12 +651,13 @@ fn main() {
          forwarded={} dropped={} mismatches={} \
          busy_retries={} refused={refused} elapsed_s={elapsed:.3} pps={:.0} \
          rtt_p50_us={rtt_p50_us} rtt_p99_us={rtt_p99_us} \
-         lost_updates={lost_updates} shard_restarts={shard_restarts}",
+         lost_updates={lost_updates} shard_restarts={shard_restarts}{}",
         totals.forwarded,
         totals.dropped,
         totals.mismatches,
         totals.busy_retries,
-        submitted as f64 / elapsed
+        submitted as f64 / elapsed,
+        churn_summary.as_deref().unwrap_or("")
     );
 
     if args.iter().any(|a| a == "--drain" || a == "--shutdown") {

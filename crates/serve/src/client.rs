@@ -14,9 +14,10 @@
 
 use crate::frame::{
     encode_submit_into, read_frame, write_frame, Request, Response, ServerHello, SubmitOptions,
-    CAP_TRACING, PROTOCOL_VERSION,
+    CAP_CONTROL, CAP_TRACING, PROTOCOL_MIN_SUPPORTED, PROTOCOL_VERSION,
 };
 use crate::snapshot::StatsSnapshot;
+use memsync_netapp::fib::Route;
 use memsync_netapp::Ipv4Packet;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -156,13 +157,14 @@ impl ClientBuilder {
             retries: self.retries,
         };
         match client.roundtrip(&Request::Hello {
-            min_version: PROTOCOL_VERSION,
+            min_version: PROTOCOL_MIN_SUPPORTED,
             max_version: PROTOCOL_VERSION,
         })? {
             Response::Hello(h) => {
-                if h.version != PROTOCOL_VERSION {
+                if h.version < PROTOCOL_MIN_SUPPORTED || h.version > PROTOCOL_VERSION {
                     return Err(ClientError::Unsupported(format!(
-                        "server settled on protocol v{} but this client speaks v{PROTOCOL_VERSION}",
+                        "server settled on protocol v{} but this client speaks \
+                         v{PROTOCOL_MIN_SUPPORTED}..=v{PROTOCOL_VERSION}",
                         h.version
                     )));
                 }
@@ -191,6 +193,22 @@ pub struct Client {
     encode_buf: Vec<u8>,
     hello: ServerHello,
     retries: u32,
+}
+
+/// The typed outcome of a route mutation ([`Client::route_add`],
+/// [`Client::route_withdraw`], [`Client::swap_default`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteUpdate {
+    /// Table generation that carries the mutation. The response arrives
+    /// only after every shard acknowledged this generation's drain
+    /// barrier, so traffic submitted afterwards classifies against the
+    /// new table.
+    pub generation: u64,
+    /// Routes in the table after the mutation.
+    pub routes: u32,
+    /// Entries of the request that actually changed the table
+    /// (withdrawing an absent prefix does not count).
+    pub applied: u32,
 }
 
 /// Totals reported back for a submitted batch.
@@ -232,6 +250,14 @@ impl Client {
     /// (span-tagged submits, stats streaming) at connect time.
     pub fn supports_tracing(&self) -> bool {
         self.hello.capabilities & CAP_TRACING != 0
+    }
+
+    /// Whether this connection can mutate routes at runtime: the server
+    /// advertised [`CAP_CONTROL`] *and* the handshake settled protocol
+    /// v3 or newer (a capable server still refuses control frames on a
+    /// connection that negotiated down to v2).
+    pub fn supports_control(&self) -> bool {
+        self.hello.capabilities & CAP_CONTROL != 0 && self.hello.version >= 3
     }
 
     /// One request/response round trip.
@@ -488,6 +514,68 @@ impl Client {
                 "unexpected response to shutdown: {other:?}"
             ))),
         }
+    }
+
+    /// Sends one control frame and decodes the `RouteUpdated` response,
+    /// refusing locally (nothing sent) when the connection cannot carry
+    /// control frames.
+    fn control_roundtrip(&mut self, req: &Request) -> Result<RouteUpdate, ClientError> {
+        if !self.supports_control() {
+            return Err(ClientError::Unsupported(format!(
+                "server does not support runtime route control on this \
+                 connection (settled v{}, capabilities {:#04x})",
+                self.hello.version, self.hello.capabilities
+            )));
+        }
+        match self.roundtrip(req)? {
+            Response::RouteUpdated {
+                generation,
+                routes,
+                applied,
+            } => Ok(RouteUpdate {
+                generation,
+                routes,
+                applied,
+            }),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to {}: {other:?}",
+                req.name()
+            ))),
+        }
+    }
+
+    /// Inserts (or re-targets) a batch of routes in the live FIB. The
+    /// call returns once the new table generation is visible to every
+    /// shard (the server runs its drain barrier before responding).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Unsupported`] locally when the connection lacks
+    /// the control capability or settled below v3; I/O failures;
+    /// [`ClientError::Server`] on malformed routes.
+    pub fn route_add(&mut self, routes: &[Route]) -> Result<RouteUpdate, ClientError> {
+        self.control_roundtrip(&Request::RouteAdd(routes.to_vec()))
+    }
+
+    /// Withdraws a batch of `(prefix, len)` entries from the live FIB.
+    /// Absent prefixes are counted out of [`RouteUpdate::applied`]
+    /// rather than erroring, so withdraw is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::route_add`].
+    pub fn route_withdraw(&mut self, prefixes: &[(u32, u8)]) -> Result<RouteUpdate, ClientError> {
+        self.control_roundtrip(&Request::RouteWithdraw(prefixes.to_vec()))
+    }
+
+    /// Re-targets the default route (`0.0.0.0/0`) in one frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::route_add`].
+    pub fn swap_default(&mut self, next_hop: u32) -> Result<RouteUpdate, ClientError> {
+        self.control_roundtrip(&Request::SwapDefault { next_hop })
     }
 
     /// Fault injection: asks the service to crash shard `shard` on its

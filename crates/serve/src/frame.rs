@@ -23,15 +23,32 @@
 //! frame boundary instead of flowing into a shard.
 
 use crate::backend::BackendKind;
+use memsync_netapp::fib::Route;
 use memsync_netapp::packet::ParsePacketError;
 use memsync_netapp::Ipv4Packet;
 use std::io::{self, Read, Write};
 
-/// The protocol version this build speaks. Version 1 was the PR 3 wire
-/// protocol without the connect-time handshake; version 2 added
+/// The newest protocol version this build speaks. Version 1 was the PR 3
+/// wire protocol without the connect-time handshake; version 2 added
 /// [`Request::Hello`]/[`Response::Hello`] negotiation, [`SubmitOptions`]
-/// flags, and backend capability bits.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// flags, and backend capability bits; version 3 added the live control
+/// plane ([`Request::RouteAdd`] / [`Request::RouteWithdraw`] /
+/// [`Request::SwapDefault`] behind [`CAP_CONTROL`]).
+pub const PROTOCOL_VERSION: u16 = 3;
+
+/// The oldest protocol version this build still serves. A v2 client
+/// (no control frames) settles on version 2 and is served exactly as
+/// before; control frames on a settled-v2 connection are refused with a
+/// typed [`Response::Error`] — a frame every protocol version decodes.
+pub const PROTOCOL_MIN_SUPPORTED: u16 = 2;
+
+/// Settles the protocol version for a client advertising the closed
+/// range `[client_min, client_max]`: the highest version both sides
+/// speak, or `None` when the ranges don't overlap.
+pub fn settle_version(client_min: u16, client_max: u16) -> Option<u16> {
+    let settled = client_max.min(PROTOCOL_VERSION);
+    (client_min <= settled && settled >= PROTOCOL_MIN_SUPPORTED).then_some(settled)
+}
 
 /// Hard ceiling on a frame payload (1 MiB) — a malformed length prefix
 /// must not allocate unbounded memory.
@@ -59,6 +76,19 @@ pub const FLAG_SPAN: u8 = 0x02;
 /// submits via [`FLAG_SPAN`]) and [`Request::StatsStream`]. Lives above
 /// the backend capability bits ([`crate::backend::CAP_SIM`] and friends).
 pub const CAP_TRACING: u8 = 0x08;
+
+/// Hello capability bit: the server supports the protocol-v3 live
+/// control plane — [`Request::RouteAdd`], [`Request::RouteWithdraw`],
+/// and [`Request::SwapDefault`] mutate the FIB at runtime via
+/// RCU-style epoch-swapped tables. Only usable on connections that
+/// settled version ≥ 3; the client refuses locally otherwise.
+pub const CAP_CONTROL: u8 = 0x10;
+
+/// Most routes one control frame ([`Request::RouteAdd`] /
+/// [`Request::RouteWithdraw`]) can carry — the wire count field is a
+/// `u16`. Encoding a larger mutation panics on the sending side instead
+/// of truncating the count on the wire.
+pub const MAX_CONTROL_ROUTES: usize = u16::MAX as usize;
 
 /// Typed per-submit options — the wire flags byte, decoded. Replaces the
 /// bare `verify: bool` of protocol v1 so new flags extend the struct
@@ -179,6 +209,22 @@ pub enum Request {
     /// Fault injection: make shard `shard` panic on its next activation
     /// (exercises the supervisor restart path).
     Kill(u16),
+    /// Control plane (v3): insert (or replace) a batch of routes. The
+    /// server applies the whole batch to the trie oracle, compiles a
+    /// fresh flat classifier, publishes it as a new table generation,
+    /// and answers [`Response::RouteUpdated`] only after every shard has
+    /// acknowledged the swap (the old generation is retired).
+    RouteAdd(Vec<Route>),
+    /// Control plane (v3): withdraw a batch of routes by exact
+    /// `prefix/len`. Absent routes are skipped (reflected in the
+    /// response's `applied` count), not errors — withdraw is idempotent.
+    RouteWithdraw(Vec<(u32, u8)>),
+    /// Control plane (v3): atomically swap the default route's next hop
+    /// (shorthand for a one-route `RouteAdd` of `0/0`).
+    SwapDefault {
+        /// The new next hop for the `0/0` route.
+        next_hop: u32,
+    },
 }
 
 /// A response frame.
@@ -211,6 +257,18 @@ pub enum Response {
     StatsPush(String),
     /// Drain completed: queues empty, shards idle.
     Drained,
+    /// A control-plane mutation was published and the swap barrier
+    /// completed (the answer to the v3 route frames).
+    RouteUpdated {
+        /// The table generation the mutation landed in. Strictly
+        /// monotonic; a client can order concurrent mutations by it.
+        generation: u64,
+        /// Total routes in the published table.
+        routes: u32,
+        /// Mutations actually effected (a withdraw of an absent route
+        /// does not count).
+        applied: u32,
+    },
     /// The request failed; nothing was silently dropped — the message
     /// says what happened.
     Error(String),
@@ -246,6 +304,9 @@ const REQ_SHUTDOWN: u8 = 0x04;
 const REQ_KILL: u8 = 0x05;
 const REQ_HELLO: u8 = 0x06;
 const REQ_STATS_STREAM: u8 = 0x07;
+const REQ_ROUTE_ADD: u8 = 0x08;
+const REQ_ROUTE_WITHDRAW: u8 = 0x09;
+const REQ_SWAP_DEFAULT: u8 = 0x0a;
 const RSP_OK: u8 = 0x80;
 const RSP_BATCH: u8 = 0x81;
 const RSP_BUSY: u8 = 0x82;
@@ -254,6 +315,24 @@ const RSP_DRAINED: u8 = 0x84;
 const RSP_ERROR: u8 = 0x85;
 const RSP_HELLO: u8 = 0x86;
 const RSP_STATS_PUSH: u8 = 0x87;
+const RSP_ROUTE_UPDATED: u8 = 0x88;
+
+/// Validates a route's shape at the frame boundary: length in range and
+/// no host bits, so a malformed control frame is rejected before it can
+/// reach (and panic) the trie.
+fn check_route(prefix: u32, len: u8) -> Result<(), FrameError> {
+    if len > 32 {
+        return Err(FrameError::Malformed(format!(
+            "route prefix length {len} out of range"
+        )));
+    }
+    if len < 32 && prefix & ((1u64 << (32 - len)) - 1) as u32 != 0 {
+        return Err(FrameError::Malformed(format!(
+            "host bits set in route {prefix:#010x}/{len}"
+        )));
+    }
+    Ok(())
+}
 
 impl Request {
     /// The request's wire name (error messages).
@@ -266,7 +345,19 @@ impl Request {
             Request::Drain => "drain",
             Request::Shutdown => "shutdown",
             Request::Kill(_) => "kill",
+            Request::RouteAdd(_) => "route-add",
+            Request::RouteWithdraw(_) => "route-withdraw",
+            Request::SwapDefault { .. } => "swap-default",
         }
+    }
+
+    /// Whether this request is a v3 control-plane frame (gated behind a
+    /// settled version ≥ 3 and [`CAP_CONTROL`]).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Request::RouteAdd(_) | Request::RouteWithdraw(_) | Request::SwapDefault { .. }
+        )
     }
 
     /// Serializes the request payload (without the length prefix).
@@ -297,6 +388,42 @@ impl Request {
             Request::Kill(shard) => {
                 let mut v = vec![REQ_KILL];
                 v.extend_from_slice(&shard.to_be_bytes());
+                v
+            }
+            Request::RouteAdd(routes) => {
+                assert!(
+                    routes.len() <= MAX_CONTROL_ROUTES,
+                    "route-add of {} routes exceeds the {MAX_CONTROL_ROUTES}-route frame cap",
+                    routes.len()
+                );
+                let mut v = Vec::with_capacity(3 + routes.len() * 9);
+                v.push(REQ_ROUTE_ADD);
+                v.extend_from_slice(&(routes.len() as u16).to_be_bytes());
+                for r in routes {
+                    v.extend_from_slice(&r.prefix.to_be_bytes());
+                    v.push(r.len);
+                    v.extend_from_slice(&r.next_hop.to_be_bytes());
+                }
+                v
+            }
+            Request::RouteWithdraw(prefixes) => {
+                assert!(
+                    prefixes.len() <= MAX_CONTROL_ROUTES,
+                    "route-withdraw of {} routes exceeds the {MAX_CONTROL_ROUTES}-route frame cap",
+                    prefixes.len()
+                );
+                let mut v = Vec::with_capacity(3 + prefixes.len() * 5);
+                v.push(REQ_ROUTE_WITHDRAW);
+                v.extend_from_slice(&(prefixes.len() as u16).to_be_bytes());
+                for (prefix, len) in prefixes {
+                    v.extend_from_slice(&prefix.to_be_bytes());
+                    v.push(*len);
+                }
+                v
+            }
+            Request::SwapDefault { next_hop } => {
+                let mut v = vec![REQ_SWAP_DEFAULT];
+                v.extend_from_slice(&next_hop.to_be_bytes());
                 v
             }
         }
@@ -343,6 +470,60 @@ impl Request {
                     return Err(FrameError::Malformed("kill wants a u16 shard".into()));
                 }
                 Ok(Request::Kill(u16::from_be_bytes([body[0], body[1]])))
+            }
+            REQ_ROUTE_ADD => {
+                if body.len() < 2 {
+                    return Err(FrameError::Malformed("short route-add header".into()));
+                }
+                let count = u16::from_be_bytes([body[0], body[1]]) as usize;
+                let bytes = &body[2..];
+                if bytes.len() != count * 9 {
+                    return Err(FrameError::Malformed(format!(
+                        "route-add length {} != {count} routes x 9",
+                        bytes.len()
+                    )));
+                }
+                let mut routes = Vec::with_capacity(count);
+                for chunk in bytes.chunks_exact(9) {
+                    let prefix = u32::from_be_bytes(chunk[0..4].try_into().expect("checked"));
+                    let len = chunk[4];
+                    check_route(prefix, len)?;
+                    routes.push(Route {
+                        prefix,
+                        len,
+                        next_hop: u32::from_be_bytes(chunk[5..9].try_into().expect("checked")),
+                    });
+                }
+                Ok(Request::RouteAdd(routes))
+            }
+            REQ_ROUTE_WITHDRAW => {
+                if body.len() < 2 {
+                    return Err(FrameError::Malformed("short route-withdraw header".into()));
+                }
+                let count = u16::from_be_bytes([body[0], body[1]]) as usize;
+                let bytes = &body[2..];
+                if bytes.len() != count * 5 {
+                    return Err(FrameError::Malformed(format!(
+                        "route-withdraw length {} != {count} routes x 5",
+                        bytes.len()
+                    )));
+                }
+                let mut prefixes = Vec::with_capacity(count);
+                for chunk in bytes.chunks_exact(5) {
+                    let prefix = u32::from_be_bytes(chunk[0..4].try_into().expect("checked"));
+                    let len = chunk[4];
+                    check_route(prefix, len)?;
+                    prefixes.push((prefix, len));
+                }
+                Ok(Request::RouteWithdraw(prefixes))
+            }
+            REQ_SWAP_DEFAULT => {
+                if body.len() != 4 {
+                    return Err(FrameError::Malformed("swap-default wants a u32".into()));
+                }
+                Ok(Request::SwapDefault {
+                    next_hop: u32::from_be_bytes(body.try_into().expect("checked")),
+                })
             }
             other => Err(FrameError::Malformed(format!(
                 "unknown request {other:#04x}"
@@ -403,6 +584,17 @@ impl Response {
                 out.extend_from_slice(json.as_bytes());
             }
             Response::Drained => out.push(RSP_DRAINED),
+            Response::RouteUpdated {
+                generation,
+                routes,
+                applied,
+            } => {
+                out.reserve(17);
+                out.push(RSP_ROUTE_UPDATED);
+                out.extend_from_slice(&generation.to_be_bytes());
+                out.extend_from_slice(&routes.to_be_bytes());
+                out.extend_from_slice(&applied.to_be_bytes());
+            }
             Response::Error(msg) => {
                 out.reserve(1 + msg.len());
                 out.push(RSP_ERROR);
@@ -463,6 +655,18 @@ impl Response {
             RSP_STATS => Ok(Response::Stats(utf8(body)?)),
             RSP_STATS_PUSH => Ok(Response::StatsPush(utf8(body)?)),
             RSP_DRAINED => Ok(Response::Drained),
+            RSP_ROUTE_UPDATED => {
+                if body.len() != 16 {
+                    return Err(FrameError::Malformed(
+                        "route-updated wants u64 + 2 x u32".into(),
+                    ));
+                }
+                Ok(Response::RouteUpdated {
+                    generation: u64::from_be_bytes(body[0..8].try_into().expect("checked")),
+                    routes: u32::from_be_bytes(body[8..12].try_into().expect("checked")),
+                    applied: u32::from_be_bytes(body[12..16].try_into().expect("checked")),
+                })
+            }
             RSP_ERROR => Ok(Response::Error(utf8(body)?)),
             other => Err(FrameError::Malformed(format!(
                 "unknown response {other:#04x}"
@@ -843,6 +1047,26 @@ mod tests {
             Request::Drain,
             Request::Shutdown,
             Request::Kill(3),
+            Request::RouteAdd(vec![
+                Route {
+                    prefix: 0x0a00_0000,
+                    len: 8,
+                    next_hop: 42,
+                },
+                Route {
+                    prefix: 0,
+                    len: 0,
+                    next_hop: 7,
+                },
+                Route {
+                    prefix: 0xc0a8_0101,
+                    len: 32,
+                    next_hop: 9,
+                },
+            ]),
+            Request::RouteAdd(Vec::new()),
+            Request::RouteWithdraw(vec![(0x0a00_0000, 8), (0, 0)]),
+            Request::SwapDefault { next_hop: 17 },
         ];
         for r in reqs {
             assert_eq!(Request::decode(&r.encode()).unwrap(), r);
@@ -870,6 +1094,11 @@ mod tests {
             Response::Stats("{\"x\":1}".into()),
             Response::StatsPush("{\"x\":2}".into()),
             Response::Drained,
+            Response::RouteUpdated {
+                generation: 0x0102_0304_0506_0708,
+                routes: 65,
+                applied: 3,
+            },
             Response::Error("nope".into()),
         ];
         for r in rsps {
@@ -924,6 +1153,79 @@ mod tests {
     #[test]
     fn tracing_capability_is_distinct_from_backend_bits() {
         assert_eq!(CAP_TRACING & crate::backend::capability_bits(), 0);
+    }
+
+    #[test]
+    fn control_capability_is_its_own_bit() {
+        assert_eq!(CAP_CONTROL & crate::backend::capability_bits(), 0);
+        assert_eq!(CAP_CONTROL & CAP_TRACING, 0);
+    }
+
+    #[test]
+    fn version_settling_picks_the_highest_shared_version() {
+        // (client_min, client_max) -> settled
+        let cases = [
+            ((2, 2), Some(2)), // pure v2 client
+            ((2, 3), Some(3)), // v2/v3 client takes v3
+            ((3, 3), Some(3)), // pure v3 client
+            ((3, 9), Some(3)), // future client caps at our newest
+            ((2, 9), Some(3)), // wide range still settles on v3
+            ((1, 2), Some(2)), // old floor, shared ceiling
+            ((1, 1), None),    // pure v1 client: below our floor
+            ((4, 9), None),    // future-only client: above our ceiling
+            ((9, 12), None),   // far future
+        ];
+        for ((min, max), want) in cases {
+            assert_eq!(settle_version(min, max), want, "range ({min},{max})");
+        }
+        assert_eq!(
+            settle_version(PROTOCOL_VERSION, PROTOCOL_VERSION),
+            Some(PROTOCOL_VERSION)
+        );
+    }
+
+    #[test]
+    fn control_frames_reject_malformed_routes_at_the_boundary() {
+        // Host bits set: must be refused in decode, never reach the trie.
+        let bad_add = Request::RouteAdd(vec![Route {
+            prefix: 0x0a00_0001,
+            len: 8,
+            next_hop: 1,
+        }])
+        .encode();
+        assert!(matches!(
+            Request::decode(&bad_add),
+            Err(FrameError::Malformed(_))
+        ));
+        let bad_withdraw = Request::RouteWithdraw(vec![(0x0a00_0001, 8)]).encode();
+        assert!(matches!(
+            Request::decode(&bad_withdraw),
+            Err(FrameError::Malformed(_))
+        ));
+        // Length out of range.
+        let mut long = Request::RouteAdd(vec![Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 1,
+        }])
+        .encode();
+        long[7] = 33; // the route's len byte
+        assert!(matches!(
+            Request::decode(&long),
+            Err(FrameError::Malformed(_))
+        ));
+        // Count/length mismatch.
+        let mut short = Request::RouteAdd(vec![Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 1,
+        }])
+        .encode();
+        short.truncate(short.len() - 1);
+        assert!(matches!(
+            Request::decode(&short),
+            Err(FrameError::Malformed(_))
+        ));
     }
 
     #[test]

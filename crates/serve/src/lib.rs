@@ -13,9 +13,15 @@
 //! Architecture (std-only — no async runtime, the workspace builds
 //! offline):
 //!
-//! * [`frame`] — the length-prefixed binary frame protocol (protocol-v2
-//!   `Hello` negotiation / submit packet batch / query stats / drain /
-//!   shutdown / fault-inject kill);
+//! * [`frame`] — the length-prefixed binary frame protocol (`Hello`
+//!   version negotiation / submit packet batch / query stats / drain /
+//!   shutdown / fault-inject kill, plus the protocol-v3 control frames:
+//!   route add / route withdraw / default swap);
+//! * [`tables`] — the generation-swapped (RCU-style) route tables behind
+//!   the v3 control plane: a single writer compiles and publishes whole
+//!   fresh tables, shard readers follow one atomic generation counter
+//!   lock-free, and old generations retire only after every shard
+//!   acknowledges a drain barrier;
 //! * [`backend`] — the pluggable [`backend::ForwardingBackend`] trait and
 //!   its three engines: cycle-accurate [`backend::SimBackend`] (the
 //!   reference), functional [`backend::FastBackend`] (the compiled fast
@@ -70,13 +76,15 @@ pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod supervisor;
+pub mod tables;
 pub mod tracing;
 
 pub use backend::{BackendKind, ForwardingBackend};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RouteUpdate};
 pub use frame::{Request, Response, ServerHello, SubmitOptions, PROTOCOL_VERSION};
 pub use server::Server;
 pub use snapshot::StatsSnapshot;
+pub use tables::EpochTables;
 pub use tracing::{ServeTracer, TracingConfig};
 
 use memsync_core::OrganizationKind;

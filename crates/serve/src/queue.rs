@@ -250,6 +250,18 @@ impl ShardQueue {
     pub fn try_pop(&self) -> Option<Job> {
         unpoison(self.inner.lock()).pop_front()
     }
+
+    /// Wakes the shard even though no job was pushed. The control plane
+    /// uses this after publishing a new table generation: a shard parked
+    /// in [`ShardQueue::pop_timeout`] wakes, finds the queue empty, and
+    /// falls through to its per-iteration generation check — so the
+    /// drain-barrier acknowledgement arrives in microseconds instead of
+    /// waiting out the poll timeout. (`pop_timeout_inner` waits on the
+    /// condvar at most once, so a wake with an empty queue returns `None`
+    /// promptly rather than re-parking.)
+    pub fn notify(&self) {
+        self.available.notify_all();
+    }
 }
 
 #[cfg(test)]

@@ -38,8 +38,8 @@
 //! shard death noticed via channel disconnect).
 
 use crate::frame::{
-    decode_submit_into, is_submit, FrameError, FrameReader, FrameWriter, Request, Response,
-    SubmitOptions, PROTOCOL_VERSION,
+    decode_submit_into, is_submit, settle_version, FrameError, FrameReader, FrameWriter, Request,
+    Response, SubmitOptions, PROTOCOL_MIN_SUPPORTED, PROTOCOL_VERSION,
 };
 use crate::queue::{JobOutcome, Reply, ReplyWaker};
 use crate::router::ShardSplitter;
@@ -47,6 +47,7 @@ use crate::server::{
     is_fd_exhaustion, reject_over_capacity, render_stats, server_hello, Shared, ACCEPT_BACKOFF_MAX,
     ACCEPT_BACKOFF_MIN, POLL,
 };
+use crate::tables::{ControlOp, ControlOutcome, ControlReply};
 use crate::tracing::PendingSpan;
 use memsync_netapp::Ipv4Packet;
 use std::io;
@@ -225,6 +226,17 @@ struct PendingControl {
     deadline: Instant,
 }
 
+/// Route mutation parked until the control worker has published the new
+/// table generation and run the shard drain barrier. The worker wakes
+/// the loop through the [`ControlReply`] waker, so the park costs no
+/// polling — and the event loop never computes a `Dir24_8` rebuild
+/// inline, so data connections on the same reactor thread keep flowing.
+#[derive(Debug)]
+struct PendingRoute {
+    rx: Receiver<ControlOutcome>,
+    deadline: Instant,
+}
+
 /// What a connection is waiting on. While non-`Idle`, reads are paused:
 /// one request is in flight per connection at a time, which is what
 /// bounds server-side memory per connection.
@@ -235,6 +247,7 @@ enum Work {
     Submit(PendingSubmit),
     Deferred(DeferredSubmit),
     Control(PendingControl),
+    Route(PendingRoute),
 }
 
 /// Per-connection state machine.
@@ -247,7 +260,9 @@ struct Conn {
     packets: Vec<Ipv4Packet>,
     splitter: ShardSplitter,
     encoded: Vec<u8>,
-    greeted: bool,
+    /// Protocol version the Hello handshake settled (v3 gates the
+    /// control frames); `None` until greeted.
+    settled: Option<u16>,
     work: Work,
     /// In the reactor's work list (dedup flag).
     queued: bool,
@@ -278,7 +293,7 @@ impl Conn {
             packets: Vec::new(),
             splitter: ShardSplitter::new(shards),
             encoded: Vec::new(),
-            greeted: false,
+            settled: None,
             work: Work::Idle,
             queued: false,
             closing: false,
@@ -504,18 +519,18 @@ impl Reactor {
     fn handle_frame(&mut self, idx: usize) {
         let shared = Arc::clone(&self.shared);
         let decode_started = shared.tracer.enabled().then(Instant::now);
-        let greeted = {
+        let settled = {
             let Some(conn) = self.conn_mut(idx) else {
                 return;
             };
             conn.last_activity = Instant::now();
             // Any complete client frame ends an active stats stream.
             conn.stream_every = None;
-            conn.greeted
+            conn.settled
         };
         // Submit fast path (same rationale as the blocking frontend:
         // decode into the connection's packet scratch, no fresh Vec).
-        if greeted && is_submit(&self.scratch) {
+        if settled.is_some() && is_submit(&self.scratch) {
             let decoded = {
                 let (scratch, conns) = (&self.scratch, &mut self.conns);
                 let Some(conn) = conns.get_mut(idx).and_then(Option::as_mut) else {
@@ -537,22 +552,23 @@ impl Reactor {
                 min_version,
                 max_version,
             }) => {
-                if min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= max_version {
+                if let Some(version) = settle_version(min_version, max_version) {
                     if let Some(conn) = self.conn_mut(idx) {
-                        conn.greeted = true;
+                        conn.settled = Some(version);
                     }
-                    self.respond(idx, &Response::Hello(server_hello(&shared)));
+                    self.respond(idx, &Response::Hello(server_hello(&shared, version)));
                 } else {
                     self.respond_close(
                         idx,
                         &Response::Error(format!(
                             "no common protocol version: client speaks \
-                             {min_version}..={max_version}, server speaks {PROTOCOL_VERSION}"
+                             {min_version}..={max_version}, server speaks \
+                             {PROTOCOL_MIN_SUPPORTED}..={PROTOCOL_VERSION}"
                         )),
                     );
                 }
             }
-            Ok(req) if !greeted => {
+            Ok(req) if settled.is_none() => {
                 self.respond_close(
                     idx,
                     &Response::Error(format!(
@@ -561,6 +577,30 @@ impl Reactor {
                         req.name()
                     )),
                 );
+            }
+            Ok(req) if req.is_control() && settled.unwrap_or(PROTOCOL_MIN_SUPPORTED) < 3 => {
+                // Same settled-version gate as the blocking frontend.
+                self.respond(
+                    idx,
+                    &Response::Error(format!(
+                        "{} is a protocol-v3 control frame; this connection settled v{}",
+                        req.name(),
+                        settled.unwrap_or(PROTOCOL_MIN_SUPPORTED)
+                    )),
+                );
+            }
+            Ok(req) if req.is_control() && shared.draining.load(Ordering::Acquire) => {
+                self.respond(
+                    idx,
+                    &Response::Error("draining: control plane refused".into()),
+                );
+            }
+            Ok(Request::RouteAdd(routes)) => self.start_route(idx, ControlOp::Add(routes)),
+            Ok(Request::RouteWithdraw(prefixes)) => {
+                self.start_route(idx, ControlOp::Withdraw(prefixes));
+            }
+            Ok(Request::SwapDefault { next_hop }) => {
+                self.start_route(idx, ControlOp::SwapDefault(next_hop));
             }
             Ok(Request::StatsStream { interval_ms }) => {
                 if interval_ms == 0 {
@@ -617,6 +657,84 @@ impl Reactor {
         self.enqueue_work(idx);
         // Resolve immediately when already quiescent.
         self.poll_control(idx);
+    }
+
+    /// Submits a route mutation to the control worker and parks the
+    /// connection; the `RouteUpdated` response goes out from
+    /// `poll_route` once the worker's drain barrier completes.
+    fn start_route(&mut self, idx: usize, op: ControlOp) {
+        let shared = Arc::clone(&self.shared);
+        let (tx, rx) = channel();
+        let reply = ControlReply::with_waker(tx, Arc::clone(&self.waker) as Arc<dyn ReplyWaker>);
+        if !shared.control.submit(op, reply) {
+            self.respond(idx, &Response::Error("control plane stopped".into()));
+            return;
+        }
+        let deadline = Instant::now() + shared.config.job_timeout;
+        if let Some(conn) = self.conn_mut(idx) {
+            conn.work = Work::Route(PendingRoute { rx, deadline });
+        }
+        self.enqueue_work(idx);
+        self.poll_route(idx);
+    }
+
+    /// Collects a parked route mutation's outcome.
+    fn poll_route(&mut self, idx: usize) {
+        enum Verdict {
+            Pending,
+            Done(ControlOutcome),
+            TimedOut,
+            WorkerDied,
+        }
+        let verdict = {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            let Work::Route(p) = &mut conn.work else {
+                return;
+            };
+            match p.rx.try_recv() {
+                Ok(out) => Verdict::Done(out),
+                Err(TryRecvError::Empty) => {
+                    if Instant::now() >= p.deadline {
+                        Verdict::TimedOut
+                    } else {
+                        Verdict::Pending
+                    }
+                }
+                Err(TryRecvError::Disconnected) => Verdict::WorkerDied,
+            }
+        };
+        match verdict {
+            Verdict::Pending => {}
+            Verdict::Done(out) => {
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.work = Work::Idle;
+                }
+                self.respond(
+                    idx,
+                    &Response::RouteUpdated {
+                        generation: out.generation,
+                        routes: out.routes,
+                        applied: out.applied,
+                    },
+                );
+            }
+            Verdict::TimedOut => {
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.work = Work::Idle;
+                }
+                self.respond(idx, &Response::Error("control op timed out".into()));
+            }
+            Verdict::WorkerDied => {
+                self.shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(conn) = self.conn_mut(idx) {
+                    conn.work = Work::Idle;
+                }
+                self.respond(idx, &Response::Error("control worker died; retry".into()));
+            }
+        }
     }
 
     /// Routes the decoded submit in the connection scratch, parking it
@@ -757,10 +875,12 @@ impl Reactor {
                 Work::Submit(_) => 1,
                 Work::Deferred(_) => 2,
                 Work::Control(_) => 3,
+                Work::Route(_) => 4,
             }) {
                 Some(1) => self.poll_submit(idx),
                 Some(2) => self.poll_deferred(idx),
                 Some(3) => self.poll_control(idx),
+                Some(4) => self.poll_route(idx),
                 _ => {}
             }
             if let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) {

@@ -16,13 +16,18 @@
 
 use crate::backend;
 use crate::frame::{
-    decode_submit_into, is_submit, write_frame, FrameError, FrameReader, Request, Response,
-    ServerHello, SubmitOptions, CAP_TRACING, PROTOCOL_VERSION,
+    decode_submit_into, is_submit, settle_version, write_frame, FrameError, FrameReader, Request,
+    Response, ServerHello, SubmitOptions, CAP_CONTROL, CAP_TRACING, PROTOCOL_MIN_SUPPORTED,
+    PROTOCOL_VERSION,
 };
 use crate::queue::Reply;
 use crate::router::{Router, ShardSplitter};
+use crate::shard::ShardTables;
 use crate::stats::{stats_json, FrontendStats, ServerCounters};
 use crate::supervisor::{Supervisor, SupervisorHandle};
+use crate::tables::{
+    spawn_control_worker, ControlHandle, ControlOp, ControlReply, EpochTables, ShardGate,
+};
 use crate::tracing::{PendingSpan, ServeTracer};
 use crate::{FrontendKind, ServeConfig};
 use std::io;
@@ -45,6 +50,7 @@ pub(crate) struct Shared {
     pub(crate) started: Instant,
     pub(crate) tracer: ServeTracer,
     pub(crate) frontend: FrontendStats,
+    pub(crate) control: ControlHandle,
 }
 
 /// A running service instance.
@@ -122,7 +128,9 @@ impl Server {
         listener.set_nonblocking(true)?;
         let tracer = ServeTracer::new(config.tracing.clone(), config.shards)?;
         let stop = Arc::new(AtomicBool::new(false));
-        let supervisor = Supervisor::start(&config, Arc::clone(&stop)).monitor_in_background();
+        let tables = Arc::new(EpochTables::new(ShardTables::build(config.routes)));
+        let supervisor = Supervisor::start(&config, Arc::clone(&stop), Arc::clone(&tables))
+            .monitor_in_background();
         let router = Router::new(
             supervisor
                 .shards()
@@ -130,6 +138,19 @@ impl Server {
                 .map(|s| Arc::clone(&s.queue))
                 .collect(),
         );
+        // The control worker's drain barrier watches every shard's
+        // generation acknowledgement through these gates. The queue Arcs
+        // and gen_seen Arcs survive shard restarts, so the gates stay
+        // valid for the server's lifetime.
+        let gates: Vec<ShardGate> = supervisor
+            .shards()
+            .iter()
+            .map(|s| ShardGate {
+                queue: Arc::clone(&s.queue),
+                gen_seen: Arc::clone(&s.gen_seen),
+            })
+            .collect();
+        let (control, control_thread) = spawn_control_worker(tables, gates, Arc::clone(&stop));
         let frontend = config.frontend;
         let shared = Arc::new(Shared {
             router,
@@ -141,8 +162,9 @@ impl Server {
             started: Instant::now(),
             tracer,
             frontend: FrontendStats::default(),
+            control,
         });
-        let threads = match frontend {
+        let mut threads = match frontend {
             FrontendKind::Threads => {
                 let accept_shared = Arc::clone(&shared);
                 vec![std::thread::Builder::new()
@@ -164,6 +186,7 @@ impl Server {
                 }
             }
         };
+        threads.push(control_thread);
         Ok(Server {
             shared,
             local_addr,
@@ -305,9 +328,10 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     let mut encoded = Vec::new();
     let mut idle = Duration::ZERO;
     let mut last_progress = 0usize;
-    // Protocol v2: nothing but Hello is served until the handshake
-    // settles a version.
-    let mut greeted = false;
+    // Protocol v2+: nothing but Hello is served until the handshake
+    // settles a version. The settled version also gates the v3 control
+    // frames — a v2 client never reaches the control plane.
+    let mut settled: Option<u16> = None;
     // StatsStream state: while `Some`, the poll branch below pushes a
     // snapshot every interval. Any subsequent client frame ends the
     // stream (and is served normally).
@@ -364,7 +388,7 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
         // connection's packet scratch. Going through `Request::decode`
         // would build a fresh `Vec<Ipv4Packet>` per batch — at large
         // batch sizes that is an mmap/munmap round trip per request.
-        if greeted && is_submit(payload) {
+        if settled.is_some() && is_submit(payload) {
             let (response, pending) = match decode_submit_into(payload, &mut packets) {
                 Ok(options) => {
                     let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -387,11 +411,11 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                 max_version,
             }) => {
                 // Idempotent: a repeated Hello after greeting just
-                // re-states the capability block.
-                if min_version <= PROTOCOL_VERSION && PROTOCOL_VERSION <= max_version {
-                    greeted = true;
+                // re-settles and re-states the capability block.
+                if let Some(version) = settle_version(min_version, max_version) {
+                    settled = Some(version);
                     (
-                        Response::Hello(server_hello(shared)),
+                        Response::Hello(server_hello(shared, version)),
                         Action::Continue,
                         None,
                     )
@@ -399,14 +423,15 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     (
                         Response::Error(format!(
                             "no common protocol version: client speaks \
-                             {min_version}..={max_version}, server speaks {PROTOCOL_VERSION}"
+                             {min_version}..={max_version}, server speaks \
+                             {PROTOCOL_MIN_SUPPORTED}..={PROTOCOL_VERSION}"
                         )),
                         Action::Close,
                         None,
                     )
                 }
             }
-            Ok(req) if !greeted => (
+            Ok(req) if settled.is_none() => (
                 // A pre-handshake request means the peer does not speak
                 // protocol v2 (or skipped the handshake). RSP_ERROR has
                 // existed since v1, so even an old client decodes this
@@ -445,7 +470,9 @@ fn serve_connection(stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
                     Action::Continue
                 };
                 let decode_ns = decode_started.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                let (response, pending) = handle_request(req, shared, &mut splitter, decode_ns);
+                let version = settled.unwrap_or(PROTOCOL_MIN_SUPPORTED);
+                let (response, pending) =
+                    handle_request(req, version, shared, &mut splitter, decode_ns);
                 (response, action, pending)
             }
             Err(e @ (FrameError::Malformed(_) | FrameError::BadPacket(_))) => {
@@ -477,13 +504,15 @@ enum Action {
     Shutdown,
 }
 
-pub(crate) fn server_hello(shared: &Shared) -> ServerHello {
+pub(crate) fn server_hello(shared: &Shared, version: u16) -> ServerHello {
     ServerHello {
-        version: PROTOCOL_VERSION,
-        // Tracing (span-tagged submits, StatsStream) is a protocol
-        // capability of this server build, advertised alongside the
-        // backend bits.
-        capabilities: backend::capability_bits() | CAP_TRACING,
+        // The settled version for *this* connection — a v2 client reads
+        // back v2 and never sends control frames.
+        version,
+        // Tracing (span-tagged submits, StatsStream) and the live
+        // control plane are protocol capabilities of this server build,
+        // advertised alongside the backend bits.
+        capabilities: backend::capability_bits() | CAP_TRACING | CAP_CONTROL,
         backend: shared.config.backend,
         shards: shared.config.shards as u16,
         egress: shared.config.egress as u16,
@@ -503,11 +532,13 @@ pub(crate) fn render_stats(shared: &Shared) -> String {
         shared.started,
         Some(&shared.tracer),
         Some((shared.config.frontend, &shared.frontend)),
+        Some(&shared.control.tables),
     )
 }
 
-fn handle_request(
+pub(crate) fn handle_request(
     req: Request,
+    version: u16,
     shared: &Arc<Shared>,
     splitter: &mut ShardSplitter,
     decode_ns: u64,
@@ -516,6 +547,25 @@ fn handle_request(
         Request::Hello { .. } => unreachable!("hello handled in the connection loop"),
         Request::StatsStream { .. } => {
             unreachable!("stats-stream handled in the connection loop")
+        }
+        req if req.is_control() && version < 3 => (
+            // The capability was advertised but the *settled* version
+            // gates it: a connection negotiated down to v2 must not send
+            // v3 frames. RSP_ERROR decodes under every version.
+            Response::Error(format!(
+                "{} is a protocol-v3 control frame; this connection settled v{version}",
+                req.name()
+            )),
+            None,
+        ),
+        req if req.is_control() && shared.draining.load(Ordering::Acquire) => (
+            Response::Error("draining: control plane refused".into()),
+            None,
+        ),
+        Request::RouteAdd(routes) => handle_control(ControlOp::Add(routes), shared),
+        Request::RouteWithdraw(prefixes) => handle_control(ControlOp::Withdraw(prefixes), shared),
+        Request::SwapDefault { next_hop } => {
+            handle_control(ControlOp::SwapDefault(next_hop), shared)
         }
         Request::Submit { packets, options } => {
             handle_submit(&packets, options, shared, splitter, decode_ns)
@@ -542,6 +592,35 @@ fn handle_request(
             };
             s.die.store(true, Ordering::Release);
             (Response::Ok, None)
+        }
+    }
+}
+
+/// Submits one control op to the worker and blocks for its outcome (the
+/// threads frontend; the reactor parks the connection instead — see
+/// `reactor::park_control`). The outcome arrives only after the worker
+/// has published the new generation and run the shard drain barrier.
+fn handle_control(op: ControlOp, shared: &Arc<Shared>) -> (Response, Option<PendingSpan>) {
+    let (tx, rx) = channel();
+    if !shared.control.submit(op, ControlReply::new(tx)) {
+        return (Response::Error("control plane stopped".into()), None);
+    }
+    match rx.recv_timeout(shared.config.job_timeout) {
+        Ok(out) => (
+            Response::RouteUpdated {
+                generation: out.generation,
+                routes: out.routes,
+                applied: out.applied,
+            },
+            None,
+        ),
+        Err(RecvTimeoutError::Disconnected) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            (Response::Error("control worker died; retry".into()), None)
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            shared.counters.errors.fetch_add(1, Ordering::Relaxed);
+            (Response::Error("control op timed out".into()), None)
         }
     }
 }

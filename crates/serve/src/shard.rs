@@ -19,12 +19,13 @@
 use crate::backend::{self, ForwardingBackend};
 use crate::pipeline::PipelineModel;
 use crate::queue::{Job, JobOutcome, ShardQueue};
+use crate::tables::EpochTables;
 use crate::tracing::StageTimings;
 use crate::ServeConfig;
-use memsync_netapp::fib::{synthetic_table, Dir24_8};
+use memsync_netapp::fib::{synthetic_table, Dir24_8, Route};
 use memsync_netapp::{Fib, Ipv4Packet};
 use memsync_trace::MetricsRegistry;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -33,9 +34,12 @@ use std::time::{Duration, Instant};
 /// from it (what the hot path probes — two dependent loads per address
 /// instead of a trie walk).
 ///
-/// The flat table costs ~32 MiB, so the supervisor builds **one**
-/// `Arc<ShardTables>` per service and hands clones to every shard —
-/// including restarted incarnations, which must not pay the rebuild.
+/// The flat table costs ~32 MiB, so the server builds **one** generation
+/// of it at a time — the boot table at startup, and a fresh one per
+/// control-plane swap ([`crate::tables::EpochTables`]). Shards hold a
+/// clone of the current generation's `Arc` and re-clone only when the
+/// generation counter moves, so restarted incarnations and steady-state
+/// batches alike never pay a rebuild.
 #[derive(Debug)]
 pub struct ShardTables {
     /// The trie the table was compiled from (oracle / verify reference).
@@ -49,6 +53,17 @@ impl ShardTables {
     /// classifier from it.
     pub fn build(routes: usize) -> ShardTables {
         let fib = synthetic_table(routes);
+        let dir = Dir24_8::from_fib(&fib);
+        ShardTables { fib, dir }
+    }
+
+    /// Builds a table pair from an explicit route list (the control
+    /// worker compiles each published generation through this).
+    pub fn from_routes(routes: &[Route]) -> ShardTables {
+        let mut fib = Fib::new();
+        for r in routes {
+            fib.insert(*r);
+        }
         let dir = Dir24_8::from_fib(&fib);
         ShardTables { fib, dir }
     }
@@ -66,24 +81,42 @@ impl ShardTables {
 /// dst, so the resolution verdict is a pure function of the address, and
 /// `Dir24_8` agrees with the trie by the differential property test
 /// (pinned end to end by `classifier_agrees_with_the_oracle` below).
-struct RouteCache<'a> {
-    dir: &'a Dir24_8,
+///
+/// The cache is tagged with the table **generation** it was filled
+/// against: cached verdicts are pure functions of the address *for one
+/// table*, so once tables can swap underneath the shard, a withdrawn
+/// route's stale verdict must not survive. [`RouteCache::sync`] flushes
+/// every slot when the tag mismatches (pinned by
+/// `route_cache_flushes_when_the_generation_moves` below).
+struct RouteCache {
+    /// The table generation the cached verdicts were computed against.
+    generation: u64,
     /// `dst << 1 | resolves`, or `u64::MAX` for an empty slot.
     slots: Vec<u64>,
 }
 
-impl<'a> RouteCache<'a> {
+impl RouteCache {
     const SLOTS: usize = 1024;
 
-    fn new(dir: &'a Dir24_8) -> Self {
+    fn new(generation: u64) -> Self {
         RouteCache {
-            dir,
+            generation,
             slots: vec![u64::MAX; Self::SLOTS],
         }
     }
 
-    /// Whether the oracle data path forwards this packet.
-    fn forwards(&mut self, p: &Ipv4Packet) -> bool {
+    /// Re-tags the cache for `generation`, flushing every slot on a
+    /// mismatch. A no-op at steady state (same generation).
+    fn sync(&mut self, generation: u64) {
+        if self.generation != generation {
+            self.slots.fill(u64::MAX);
+            self.generation = generation;
+        }
+    }
+
+    /// Whether the oracle data path forwards this packet under `dir`
+    /// (which must belong to the generation the cache is synced to).
+    fn forwards(&mut self, dir: &Dir24_8, p: &Ipv4Packet) -> bool {
         if p.ttl <= 1 {
             return false;
         }
@@ -93,7 +126,7 @@ impl<'a> RouteCache<'a> {
         if slot >> 1 == tag >> 1 && slot != u64::MAX {
             return slot & 1 == 1;
         }
-        let resolves = self.dir.lookup(p.dst).is_some();
+        let resolves = dir.lookup(p.dst).is_some();
         self.slots[idx] = tag | u64::from(resolves);
         resolves
     }
@@ -101,10 +134,10 @@ impl<'a> RouteCache<'a> {
     /// Classifies a whole job's packets: `(forwarded, dropped)` counts.
     /// One tight loop per job keeps classification on the batched path
     /// next to the vectorized execute/egress stages.
-    fn classify_batch(&mut self, packets: &[Ipv4Packet]) -> (u32, u32) {
+    fn classify_batch(&mut self, dir: &Dir24_8, packets: &[Ipv4Packet]) -> (u32, u32) {
         let mut forwarded = 0u32;
         for p in packets {
-            forwarded += u32::from(self.forwards(p));
+            forwarded += u32::from(self.forwards(dir, p));
         }
         (forwarded, packets.len() as u32 - forwarded)
     }
@@ -137,9 +170,13 @@ pub struct ShardCtx {
     pub die: Arc<AtomicBool>,
     /// False while the shard is mid-activation (drain waits on this).
     pub idle: Arc<AtomicBool>,
-    /// Route tables shared across shards *and* restarts (the flat
-    /// classifier is too big to rebuild per incarnation).
-    pub tables: Arc<ShardTables>,
+    /// The generation-swapped route tables shared across shards *and*
+    /// restarts. The shard clones the current generation's `Arc` and
+    /// re-clones only when the generation counter moves.
+    pub tables: Arc<EpochTables>,
+    /// Highest table generation this shard has synced to — the shard's
+    /// acknowledgement in the control plane's drain barrier.
+    pub gen_seen: Arc<AtomicU64>,
     /// Service configuration.
     pub config: ServeConfig,
 }
@@ -154,7 +191,8 @@ pub struct ShardCtx {
 fn process_batch(
     backend: &mut dyn ForwardingBackend,
     model: &PipelineModel,
-    classifier: &mut RouteCache<'_>,
+    tables: &ShardTables,
+    classifier: &mut RouteCache,
     jobs: &mut Vec<Job>,
     scratch: &mut BatchScratch,
     shard_id: usize,
@@ -199,7 +237,7 @@ fn process_batch(
         }
         let mut offset = 0usize;
         for job in jobs.iter() {
-            let (forwarded, dropped) = classifier.classify_batch(&job.packets);
+            let (forwarded, dropped) = classifier.classify_batch(&tables.dir, &job.packets);
             let mut out = JobOutcome {
                 forwarded,
                 dropped,
@@ -294,13 +332,33 @@ fn process_batch(
 pub fn run(ctx: &ShardCtx) {
     let mut backend = backend::build(&ctx.config);
     let model = PipelineModel::new();
-    let mut classifier = RouteCache::new(&ctx.tables.dir);
+    let (mut generation, mut tables) = ctx.tables.current();
+    let mut classifier = RouteCache::new(generation);
+    // Acknowledge the generation this incarnation booted on: a shard
+    // restarted mid-swap syncs here, so the control worker's drain
+    // barrier never waits on a dead incarnation.
+    ctx.gen_seen.store(generation, Ordering::Release);
     let mut jobs: Vec<Job> = Vec::new();
     let mut scratch = BatchScratch::default();
     while !ctx.stop.load(Ordering::Acquire) {
+        // Table-swap check: one atomic load per iteration. When the
+        // control worker publishes a new generation, re-clone the table
+        // Arc, flush the route cache, and acknowledge — after the store
+        // this shard provably never reads an older generation again,
+        // which is exactly what retirement needs. No lock is taken
+        // unless the counter actually moved.
+        if ctx.tables.generation() != generation {
+            let (fresh_gen, fresh) = ctx.tables.current();
+            generation = fresh_gen;
+            tables = fresh;
+            classifier.sync(generation);
+            ctx.gen_seen.store(generation, Ordering::Release);
+        }
         // The busy pop clears the idle flag under the queue lock, so a
         // drain that sees the queue empty afterwards also sees the shard
-        // busy — quiescent() can't fire mid-handoff.
+        // busy — quiescent() can't fire mid-handoff. The control worker
+        // nudges this condvar on publish ([`ShardQueue::notify`]), so a
+        // parked shard acks a swap in microseconds, not a poll period.
         let Some(first) = ctx
             .queue
             .pop_timeout_busy(Duration::from_millis(20), &ctx.idle)
@@ -336,6 +394,7 @@ pub fn run(ctx: &ShardCtx) {
         process_batch(
             backend.as_mut(),
             &model,
+            &tables,
             &mut classifier,
             &mut jobs,
             &mut scratch,
@@ -368,7 +427,8 @@ mod tests {
             stop: Arc::new(AtomicBool::new(false)),
             die: Arc::new(AtomicBool::new(false)),
             idle: Arc::new(AtomicBool::new(true)),
-            tables: Arc::new(ShardTables::build(config.routes)),
+            tables: Arc::new(EpochTables::new(ShardTables::build(config.routes))),
+            gen_seen: Arc::new(AtomicU64::new(0)),
             config,
         }
     }
@@ -401,11 +461,13 @@ mod tests {
             // One manual activation instead of the full thread loop.
             let mut backend = backend::build(&ctx.config);
             let model = PipelineModel::new();
-            let mut classifier = RouteCache::new(&ctx.tables.dir);
+            let (generation, tables) = ctx.tables.current();
+            let mut classifier = RouteCache::new(generation);
             let job = ctx.queue.try_pop().unwrap();
             process_batch(
                 backend.as_mut(),
                 &model,
+                &tables,
                 &mut classifier,
                 &mut vec![job],
                 &mut BatchScratch::default(),
@@ -455,12 +517,14 @@ mod tests {
         let w = Workload::generate(9, 24, config.routes);
         let mut backend = backend::build(&ctx.config);
         let model = PipelineModel::new();
-        let mut classifier = RouteCache::new(&ctx.tables.dir);
+        let (generation, tables) = ctx.tables.current();
+        let mut classifier = RouteCache::new(generation);
         let (tx, rx) = channel();
         let enqueued = Instant::now();
         process_batch(
             backend.as_mut(),
             &model,
+            &tables,
             &mut classifier,
             &mut vec![Job {
                 packets: w.packets.clone(),
@@ -507,7 +571,7 @@ mod tests {
         // including on repeat destinations (cache hits), TTL-dead packets
         // sharing a dst with live ones, and colliding slots.
         let tables = ShardTables::build(64);
-        let mut cache = RouteCache::new(&tables.dir);
+        let mut cache = RouteCache::new(1);
         let mut w = Workload::generate(31, 500, 64);
         w.packets[5].ttl = 1;
         w.packets[6].ttl = 0;
@@ -518,7 +582,7 @@ mod tests {
         for _ in 0..2 {
             for p in &w.packets {
                 assert_eq!(
-                    cache.forwards(p),
+                    cache.forwards(&tables.dir, p),
                     crate::pipeline::oracle_forwards(p, &tables.fib),
                     "classifier diverged from the oracle for {p:?}"
                 );
@@ -530,9 +594,40 @@ mod tests {
             .iter()
             .filter(|p| crate::pipeline::oracle_forwards(p, &tables.fib))
             .count() as u32;
-        let (forwarded, dropped) = cache.classify_batch(&w.packets);
+        let (forwarded, dropped) = cache.classify_batch(&tables.dir, &w.packets);
         assert_eq!(forwarded, want);
         assert_eq!(dropped, w.packets.len() as u32 - want);
+    }
+
+    #[test]
+    fn route_cache_flushes_when_the_generation_moves() {
+        // The stale-cache bug the generation tag fixes: withdraw a route
+        // after the cache has a positive verdict for a dst under it, swap
+        // tables, and the next lookup must say "no route" — not serve the
+        // withdrawn hop out of the direct-mapped cache.
+        use crate::tables::{ControlOp, EpochTables};
+        let epoch = EpochTables::new(ShardTables::from_routes(&[Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 3,
+        }]));
+        let (generation, tables) = epoch.current();
+        let mut cache = RouteCache::new(generation);
+        let p = Ipv4Packet::new(1, 0x0a00_0001, 10, 6, 40);
+        assert!(cache.forwards(&tables.dir, &p), "route present, cached");
+        let r = epoch.mutate(&[ControlOp::Withdraw(vec![(0x0a00_0000, 8)])]);
+        let (new_gen, new_tables) = epoch.current();
+        assert_eq!(new_gen, r.generation);
+        // Without the sync, the stale slot would still answer "resolves"
+        // — which is exactly what the old un-tagged cache did.
+        cache.sync(new_gen);
+        assert!(
+            !cache.forwards(&new_tables.dir, &p),
+            "withdrawn route must not survive in the cache"
+        );
+        // Same-generation sync is a no-op: the verdict stays cached.
+        cache.sync(new_gen);
+        assert!(!cache.forwards(&new_tables.dir, &p));
     }
 
     #[test]
@@ -549,11 +644,13 @@ mod tests {
             let ctx = ctx(config.clone());
             let mut backend = backend::build(&ctx.config);
             let model = PipelineModel::new();
-            let mut classifier = RouteCache::new(&ctx.tables.dir);
+            let (generation, tables) = ctx.tables.current();
+            let mut classifier = RouteCache::new(generation);
             let (tx, rx) = channel();
             process_batch(
                 backend.as_mut(),
                 &model,
+                &tables,
                 &mut classifier,
                 &mut vec![Job {
                     packets: w.packets.clone(),

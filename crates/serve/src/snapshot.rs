@@ -101,6 +101,38 @@ pub struct SpansSnapshot {
     pub exported: u64,
 }
 
+/// The `fib.swap_latency_us` object: publish-to-barrier latency of
+/// recent table swaps, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwapLatencySnapshot {
+    /// Swaps measured since the server started.
+    pub count: u64,
+    /// Median over the recent-swap ring.
+    pub p50: u64,
+    /// 99th percentile over the recent-swap ring.
+    pub p99: u64,
+    /// Maximum over the recent-swap ring.
+    pub max: u64,
+}
+
+/// The `fib` section: the control plane's generation-swapped route
+/// table. `generation`/`retired` together audit the RCU retirement
+/// property — in steady state `retired == generation - 1`, proving no
+/// shard still references a pre-swap table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FibSnapshot {
+    /// Current table generation (starts at 1).
+    pub generation: u64,
+    /// Routes in the current table.
+    pub routes: u64,
+    /// Table swaps published so far.
+    pub swaps: u64,
+    /// Highest generation every shard has provably moved past.
+    pub retired: u64,
+    /// Swap-latency percentiles; absent before the first swap.
+    pub swap_latency_us: Option<SwapLatencySnapshot>,
+}
+
 /// The `frontend` section: connection-plane counters from whichever
 /// frontend (`threads` or `reactor`) is serving.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -169,6 +201,9 @@ pub struct StatsSnapshot {
     /// Request-tracing status (absent from documents rendered without a
     /// tracer — pre-tracing servers and bare test fixtures).
     pub spans: Option<SpansSnapshot>,
+    /// Route-table control-plane section (absent from documents rendered
+    /// by pre-control-plane servers and bare test fixtures).
+    pub fib: Option<FibSnapshot>,
     /// Connection-plane counters (absent from documents rendered by
     /// pre-frontend servers and bare test fixtures).
     pub frontend: Option<FrontendSnapshot>,
@@ -205,6 +240,7 @@ impl StatsSnapshot {
         "service_latency_us",
         "stages",
         "spans",
+        "fib",
         "frontend",
         "per_shard",
     ];
@@ -296,6 +332,24 @@ impl StatsSnapshot {
             }),
             None => None,
         };
+        let fib = match j.get("fib") {
+            Some(f) => Some(FibSnapshot {
+                generation: req_u64(f, "generation")?,
+                routes: req_u64(f, "routes")?,
+                swaps: req_u64(f, "swaps")?,
+                retired: req_u64(f, "retired")?,
+                swap_latency_us: match f.get("swap_latency_us") {
+                    Some(l) => Some(SwapLatencySnapshot {
+                        count: req_u64(l, "count")?,
+                        p50: req_u64(l, "p50")?,
+                        p99: req_u64(l, "p99")?,
+                        max: req_u64(l, "max")?,
+                    }),
+                    None => None,
+                },
+            }),
+            None => None,
+        };
         let frontend = match j.get("frontend") {
             Some(f) => Some(FrontendSnapshot {
                 kind: f
@@ -338,6 +392,7 @@ impl StatsSnapshot {
             restart_carryover: req_u64(&j, "restart_carryover").unwrap_or(0),
             stages,
             spans,
+            fib,
             frontend,
             per_shard,
         })
@@ -348,10 +403,13 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
     use crate::queue::ShardQueue;
+    use crate::shard::ShardTables;
     use crate::stats::{stats_json, FrontendStats, ServerCounters, STAGE_METRICS};
     use crate::supervisor::PublicShard;
+    use crate::tables::{ControlOp, EpochTables};
     use crate::tracing::{PendingSpan, ServeTracer, StageTimings, TracingConfig};
     use crate::FrontendKind;
+    use memsync_netapp::fib::Route;
     use memsync_trace::MetricsRegistry;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
     use std::sync::{Arc, Mutex};
@@ -371,6 +429,7 @@ mod tests {
             die: Arc::new(AtomicBool::new(false)),
             idle: Arc::new(AtomicBool::new(true)),
             carryover: Arc::new(AtomicU64::new(carryover)),
+            gen_seen: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -387,6 +446,7 @@ mod tests {
             3,
             true,
             Instant::now(),
+            None,
             None,
             None,
         );
@@ -409,6 +469,7 @@ mod tests {
         assert!(snap.uptime_secs >= 0.0);
         assert!(snap.stages.is_empty(), "no tracer, no stages");
         assert_eq!(snap.spans, None, "no tracer, no spans section");
+        assert_eq!(snap.fib, None, "no tables, no fib section");
         assert_eq!(snap.frontend, None, "no frontend, no frontend section");
     }
 
@@ -417,6 +478,51 @@ mod tests {
         assert!(StatsSnapshot::decode("{not json").is_err());
         let e = StatsSnapshot::decode("{\"shards\": 2}").unwrap_err();
         assert!(e.to_string().contains("uptime_secs"), "{e}");
+    }
+
+    #[test]
+    fn decode_skips_unknown_stats_sections_from_newer_servers() {
+        // Forward compat: a newer server may add whole sections (scalar,
+        // object, or array shaped) this decoder has never heard of; they
+        // must be skipped, not refused, and the known fields still land.
+        let doc = full_document();
+        let patched = doc.replacen(
+            "\"shards\":",
+            "\"xyzzy_section\":{\"a\":1,\"b\":[2,{\"c\":3}]},\
+             \"xyzzy_count\":9,\"xyzzy_list\":[1,2,3],\"shards\":",
+            1,
+        );
+        assert_ne!(doc, patched, "patch applied");
+        let snap = StatsSnapshot::decode(&patched).expect("unknown sections skipped");
+        assert_eq!(snap, StatsSnapshot::decode(&doc).unwrap());
+        // Unknown keys inside a known section are skipped too.
+        let nested = doc.replacen("\"generation\":", "\"epoch_era\":4,\"generation\":", 1);
+        let snap = StatsSnapshot::decode(&nested).expect("unknown nested field skipped");
+        assert_eq!(snap.fib.unwrap().generation, 2);
+    }
+
+    #[test]
+    fn decode_tolerates_documents_from_older_servers_missing_new_sections() {
+        // Backward compat: a pre-control-plane server renders no fib
+        // section (and a pre-tracing one no spans/frontend); the decode
+        // must yield None, not an error.
+        let doc = stats_json(
+            &[mk(4, 1, 0)],
+            &ServerCounters::default(),
+            BackendKind::Sim,
+            0,
+            false,
+            Instant::now(),
+            None,
+            None,
+            None,
+        );
+        assert!(!doc.contains("\"fib\""), "fixture really lacks fib: {doc}");
+        let snap = StatsSnapshot::decode(&doc).expect("old-server document decodes");
+        assert_eq!(snap.fib, None);
+        assert_eq!(snap.spans, None);
+        assert_eq!(snap.frontend, None);
+        assert_eq!(snap.forwarded, 4);
     }
 
     #[test]
@@ -430,6 +536,7 @@ mod tests {
             0,
             false,
             Instant::now(),
+            None,
             None,
             None,
         )
@@ -477,6 +584,20 @@ mod tests {
         );
         let frontend = FrontendStats::default();
         frontend.conn_opened();
+        // A control plane with one completed swap, so the fib section
+        // carries the swap_latency_us object too.
+        let tables = EpochTables::new(ShardTables::from_routes(&[Route {
+            prefix: 0,
+            len: 0,
+            next_hop: 7,
+        }]));
+        tables.mutate(&[ControlOp::Add(vec![Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 42,
+        }])]);
+        tables.retire_up_to(1);
+        tables.record_swap_latency(350);
         stats_json(
             &shards,
             &ServerCounters::default(),
@@ -486,6 +607,7 @@ mod tests {
             Instant::now(),
             Some(&tracer),
             Some((FrontendKind::Reactor, &frontend)),
+            Some(&tables),
         )
     }
 
@@ -543,6 +665,7 @@ mod tests {
             restart_carryover,
             stages,
             spans,
+            fib,
             frontend,
             per_shard,
         } = snap;
@@ -553,6 +676,18 @@ mod tests {
         let spans = spans.expect("spans section present with a tracer");
         assert!(spans.enabled);
         assert_eq!(spans.seen, 1);
+        let fib = fib.expect("fib section present with tables");
+        let FibSnapshot {
+            generation,
+            routes,
+            swaps,
+            retired,
+            swap_latency_us,
+        } = fib;
+        assert_eq!((generation, routes, swaps, retired), (2, 2, 1, 1));
+        let lat = swap_latency_us.expect("one swap measured");
+        assert_eq!((lat.count, lat.max), (1, 350));
+        assert!(lat.p50 <= lat.p99 && lat.p99 <= lat.max);
         let frontend = frontend.expect("frontend section present");
         assert_eq!(frontend.kind, "reactor");
         assert_eq!((frontend.conns_open, frontend.conns_peak), (1, 1));

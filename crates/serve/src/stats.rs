@@ -9,6 +9,7 @@
 
 use crate::backend::BackendKind;
 use crate::supervisor::PublicShard;
+use crate::tables::EpochTables;
 use crate::tracing::ServeTracer;
 use crate::FrontendKind;
 use memsync_trace::{Json, MetricsRegistry};
@@ -131,7 +132,9 @@ impl FrontendStats {
 /// `spans` section and folds the connection-side decode/write stage
 /// histograms into the merged `stages` object. `frontend` (likewise
 /// always present on a live server) adds the connection-plane `frontend`
-/// object.
+/// object. `fib` adds the control plane's route-table section
+/// (generation, route count, swap/retirement counters, swap-latency
+/// percentiles) so the RCU retirement property is externally auditable.
 #[allow(clippy::too_many_arguments)]
 pub fn stats_json(
     shards: &[PublicShard],
@@ -142,6 +145,7 @@ pub fn stats_json(
     started: Instant,
     tracer: Option<&ServeTracer>,
     frontend: Option<(FrontendKind, &FrontendStats)>,
+    fib: Option<&EpochTables>,
 ) -> String {
     let mut merged = MetricsRegistry::new();
     let mut per_shard = Vec::with_capacity(shards.len());
@@ -227,6 +231,24 @@ pub fn stats_json(
     if let Some(t) = tracer {
         doc.set("spans", t.to_json());
     }
+    if let Some(tables) = fib {
+        let mut obj = Json::obj()
+            .with("generation", tables.generation().into())
+            .with("routes", tables.routes().into())
+            .with("swaps", tables.swaps().into())
+            .with("retired", tables.retired().into());
+        if let Some(s) = tables.swap_latency_summary() {
+            obj.set(
+                "swap_latency_us",
+                Json::obj()
+                    .with("count", s.count.into())
+                    .with("p50", s.p50.into())
+                    .with("p99", s.p99.into())
+                    .with("max", s.max.into()),
+            );
+        }
+        doc.set("fib", obj);
+    }
     if let Some((kind, f)) = frontend {
         doc.set("frontend", f.to_json(kind));
     }
@@ -268,6 +290,7 @@ mod tests {
             die: Arc::new(AtomicBool::new(false)),
             idle: Arc::new(AtomicBool::new(true)),
             carryover: Arc::new(AtomicU64::new(carryover)),
+            gen_seen: Arc::new(AtomicU64::new(1)),
         }
     }
 
@@ -288,6 +311,7 @@ mod tests {
             Instant::now(),
             None,
             Some((FrontendKind::Threads, &frontend)),
+            None,
         );
         assert!(doc.contains("\"backend\":\"sim\""), "{doc}");
         assert!(
@@ -360,6 +384,7 @@ mod tests {
             Instant::now(),
             Some(&tracer),
             Some((FrontendKind::Reactor, &FrontendStats::default())),
+            None,
         );
         for key in ["\"stages\"", "\"decode_ns\"", "\"execute_ns\"", "\"spans\""] {
             assert!(doc.contains(key), "missing {key} in {doc}");

@@ -16,7 +16,8 @@
 //! its newest incarnation.
 
 use crate::queue::ShardQueue;
-use crate::shard::{self, ShardCtx, ShardTables};
+use crate::shard::{self, ShardCtx};
+use crate::tables::EpochTables;
 use crate::ServeConfig;
 use memsync_trace::MetricsRegistry;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,6 +41,10 @@ pub struct ShardHandle {
     /// shared across incarnations, a nonzero value proves pre-restart
     /// traffic still counts in the merged stats frame.
     pub carryover: Arc<AtomicU64>,
+    /// Highest table generation this shard (any incarnation) has synced
+    /// to — the control plane's drain-barrier acknowledgement. Shared
+    /// across restarts so a replacement re-acknowledges on spawn.
+    pub gen_seen: Arc<AtomicU64>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -49,9 +54,10 @@ pub struct Supervisor {
     shards: Vec<ShardHandle>,
     stop: Arc<AtomicBool>,
     restarts: Arc<AtomicU64>,
-    /// Route tables shared by every shard and every restart incarnation —
-    /// the ~32 MiB flat classifier is built exactly once per service.
-    tables: Arc<ShardTables>,
+    /// The generation-swapped route tables shared by every shard and
+    /// every restart incarnation — the ~32 MiB flat classifier is built
+    /// once per generation, never per shard.
+    tables: Arc<EpochTables>,
     config: ServeConfig,
 }
 
@@ -63,7 +69,8 @@ fn spawn_shard(
     stop: Arc<AtomicBool>,
     die: Arc<AtomicBool>,
     idle: Arc<AtomicBool>,
-    tables: Arc<ShardTables>,
+    tables: Arc<EpochTables>,
+    gen_seen: Arc<AtomicU64>,
     config: ServeConfig,
 ) -> JoinHandle<()> {
     std::thread::Builder::new()
@@ -77,6 +84,7 @@ fn spawn_shard(
                 die,
                 idle,
                 tables,
+                gen_seen,
                 config,
             };
             shard::run(&ctx);
@@ -86,14 +94,20 @@ fn spawn_shard(
 
 impl Supervisor {
     /// Spawns `config.shards` shard threads plus the monitor thread.
-    pub fn start(config: &ServeConfig, stop: Arc<AtomicBool>) -> Supervisor {
-        let tables = Arc::new(ShardTables::build(config.routes));
+    /// `tables` is the server's generation-swapped table structure (the
+    /// control worker is its writer; every shard reads through it).
+    pub fn start(
+        config: &ServeConfig,
+        stop: Arc<AtomicBool>,
+        tables: Arc<EpochTables>,
+    ) -> Supervisor {
         let shards: Vec<ShardHandle> = (0..config.shards)
             .map(|id| {
                 let queue = Arc::new(ShardQueue::new(config.queue_cap));
                 let stats = Arc::new(Mutex::new(MetricsRegistry::new()));
                 let die = Arc::new(AtomicBool::new(false));
                 let idle = Arc::new(AtomicBool::new(true));
+                let gen_seen = Arc::new(AtomicU64::new(0));
                 let thread = spawn_shard(
                     id,
                     Arc::clone(&queue),
@@ -102,6 +116,7 @@ impl Supervisor {
                     Arc::clone(&die),
                     Arc::clone(&idle),
                     Arc::clone(&tables),
+                    Arc::clone(&gen_seen),
                     config.clone(),
                 );
                 ShardHandle {
@@ -110,6 +125,7 @@ impl Supervisor {
                     die,
                     idle,
                     carryover: Arc::new(AtomicU64::new(0)),
+                    gen_seen,
                     thread: Some(thread),
                 }
             })
@@ -202,6 +218,7 @@ impl Supervisor {
                 Arc::clone(&shard.die),
                 Arc::clone(&shard.idle),
                 Arc::clone(&self.tables),
+                Arc::clone(&shard.gen_seen),
                 self.config.clone(),
             ));
             self.restarts.fetch_add(1, Ordering::Relaxed);
@@ -224,6 +241,7 @@ impl Supervisor {
                 die: Arc::clone(&s.die),
                 idle: Arc::clone(&s.idle),
                 carryover: Arc::clone(&s.carryover),
+                gen_seen: Arc::clone(&s.gen_seen),
             })
             .collect();
         let monitor = std::thread::Builder::new()
@@ -264,6 +282,9 @@ pub struct PublicShard {
     /// Packet total latched at the most recent restart (see
     /// [`ShardHandle::carryover`]).
     pub carryover: Arc<AtomicU64>,
+    /// Highest table generation the shard has synced to (see
+    /// [`ShardHandle::gen_seen`]).
+    pub gen_seen: Arc<AtomicU64>,
 }
 
 /// A running background supervisor.

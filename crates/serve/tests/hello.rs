@@ -48,14 +48,18 @@ fn handshake_settles_version_and_exposes_capabilities() {
     assert_eq!(h.routes, 16);
     assert_eq!(
         h.capabilities,
-        memsync_serve::backend::capability_bits() | memsync_serve::frame::CAP_TRACING,
-        "this build supports all three backends and request tracing"
+        memsync_serve::backend::capability_bits()
+            | memsync_serve::frame::CAP_TRACING
+            | memsync_serve::frame::CAP_CONTROL,
+        "this build supports all three backends, request tracing, and \
+         the live control plane"
     );
     assert!(
         h.capabilities & h.backend.cap_bit() != 0,
         "serving backend is a supported one"
     );
     assert!(client.supports_tracing(), "tracing capability surfaced");
+    assert!(client.supports_control(), "control capability surfaced");
 }
 
 #[test]
@@ -167,7 +171,7 @@ fn stats_and_kill_before_hello_are_also_refused() {
 #[test]
 fn version_range_outside_the_server_is_rejected_with_both_sides_named() {
     let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
-    for (min, max) in [(0, 1), (3, 9), (0, 0)] {
+    for (min, max) in [(0, 1), (4, 9), (0, 0)] {
         let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
         stream
             .set_read_timeout(Some(Duration::from_secs(10)))
@@ -220,6 +224,109 @@ fn repeated_hello_is_idempotent() {
     // And the connection still serves.
     let rsp = raw_roundtrip(&mut stream, &mut reader, &Request::Stats).expect("stats");
     assert!(matches!(rsp, Response::Stats(_)));
+}
+
+#[test]
+fn v2_client_settles_v2_and_control_frames_are_refused_on_that_connection() {
+    // Backward compat: a v2 client (max_version 2) against this v3
+    // server settles v2, keeps full data-plane service, and the server
+    // refuses v3 control frames on the connection with a typed error —
+    // never a desync, even though the capability block advertises
+    // CAP_CONTROL server-wide.
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let rsp = raw_roundtrip(
+        &mut stream,
+        &mut reader,
+        &Request::Hello {
+            min_version: 2,
+            max_version: 2,
+        },
+    )
+    .expect("hello response");
+    match rsp {
+        Response::Hello(h) => {
+            assert_eq!(h.version, 2, "settles the client's maximum, not ours");
+            assert!(
+                h.capabilities & memsync_serve::frame::CAP_CONTROL != 0,
+                "capability block still advertises the server-wide feature"
+            );
+        }
+        other => panic!("expected Hello, got {other:?}"),
+    }
+    // Data plane still works on the settled-v2 connection.
+    let w = memsync_netapp::Workload::generate(1, 4, 16);
+    let rsp = raw_roundtrip(
+        &mut stream,
+        &mut reader,
+        &Request::Submit {
+            packets: w.packets,
+            options: SubmitOptions::new(),
+        },
+    )
+    .expect("submit response");
+    assert!(matches!(rsp, Response::Batch { .. }), "got {rsp:?}");
+    // Control frames do not.
+    let rsp = raw_roundtrip(
+        &mut stream,
+        &mut reader,
+        &Request::RouteAdd(vec![memsync_netapp::fib::Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 9,
+        }]),
+    )
+    .expect("control response");
+    match rsp {
+        Response::Error(msg) => {
+            assert!(msg.contains("v3"), "names the required version: {msg}");
+            assert!(msg.contains("v2"), "names the settled version: {msg}");
+        }
+        other => panic!("expected Error for control on v2, got {other:?}"),
+    }
+    // The refusal is not a close: the connection keeps serving.
+    let rsp = raw_roundtrip(&mut stream, &mut reader, &Request::Stats).expect("stats");
+    assert!(matches!(rsp, Response::Stats(_)));
+}
+
+#[test]
+fn route_mutations_round_trip_on_a_settled_v3_connection() {
+    let server = Server::start("127.0.0.1:0", test_config()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    assert!(client.supports_control());
+    let up = client
+        .route_add(&[memsync_netapp::fib::Route {
+            prefix: 0x0a00_0000,
+            len: 8,
+            next_hop: 400,
+        }])
+        .expect("route add");
+    assert_eq!(up.generation, 2, "first mutation publishes generation 2");
+    // The synthetic boot table is a default route plus 16 entries.
+    assert_eq!(up.routes, 18, "17 boot routes + 1");
+    assert_eq!(up.applied, 1);
+    let up = client
+        .route_withdraw(&[(0x0a00_0000, 8), (0x0b00_0000, 8)])
+        .expect("route withdraw");
+    assert_eq!(up.routes, 17, "back to the boot table size");
+    assert_eq!(up.applied, 1, "absent prefix does not count");
+    let up = client.swap_default(77).expect("swap default");
+    assert_eq!(up.applied, 1);
+    // The stats fib section audits the swaps and the retirement barrier.
+    let snap = client.stats().expect("stats");
+    let fib = snap.fib.expect("fib section present");
+    assert_eq!(fib.generation, 4, "three mutations after boot");
+    assert_eq!(fib.swaps, 3);
+    assert_eq!(
+        fib.retired,
+        fib.generation - 1,
+        "every pre-swap generation provably drained"
+    );
+    assert_eq!(fib.swap_latency_us.expect("measured").count, 3);
 }
 
 #[test]
