@@ -8,9 +8,14 @@
 //! event of every run as JSONL (one meta line per run header);
 //! `--metrics <path>` writes the counter and histogram registry of every
 //! run as one JSON document.
+//!
+//! `--opt {0,1}` sets the middle-end level for the thread-FSM latency
+//! section (each thread's state count is its cycles-per-iteration
+//! latency); `--dump-passes` additionally prints the per-thread
+//! middle-end pass reports.
 
 use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
-use memsync_bench::{arg_value, latency_grid, latency_run};
+use memsync_bench::{arg_value, latency_grid, latency_run, middle_end_row, opt_arg};
 use memsync_core::OrganizationKind;
 use memsync_trace::Json;
 use std::io::Write;
@@ -63,6 +68,31 @@ fn main() {
             println!(
                 "  {} consumer {i}: min {} mean {:.2} max {} var {:.2}",
                 run.kind, s.min, s.mean, s.max, s.variance
+            );
+        }
+    }
+
+    let opt = opt_arg(&args);
+    let me = middle_end_row(4, opt);
+    println!(
+        "\nthread FSM latency (forwarding_4, {opt}): {} states total,",
+        me.fsm_states
+    );
+    println!(
+        "  {:.1} simulated cycles/packet end to end",
+        me.cycles_per_packet
+    );
+    if args.iter().any(|a| a == "--dump-passes") {
+        for p in &me.pass_reports {
+            println!(
+                "  thread `{}` [{}]: {} -> {} ops, {} -> {} states{}",
+                p.thread,
+                p.level,
+                p.ops_before,
+                p.ops_after,
+                p.states_before,
+                p.states_after,
+                if p.gated { " (gated)" } else { "" }
             );
         }
     }

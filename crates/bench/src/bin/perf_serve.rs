@@ -38,12 +38,16 @@
 //!   overrides);
 //! * `--check` — CI smoke: short measurements compared against the
 //!   recorded values; exits non-zero (release builds only) when the sim
-//!   backend is more than 3x slower than recorded, the traced-off fast
+//!   backend is more than 3x slower than recorded, the O1-middle-end sim
+//!   backend falls below 0.8x the same-run O0 sim rate (the two are
+//!   pacing-bound and equal in expectation; the margin absorbs
+//!   measurement noise), the traced-off fast
 //!   backend fails to clear 10x the *current* sim rate, enabling tracing
 //!   costs more than half the traced-off rate, or the raw batch kernels
 //!   fail to clear 2x the recorded end-to-end fast rate.
 
 use memsync_bench::arg_value;
+use memsync_core::OptLevel;
 use memsync_netapp::fib::Route;
 use memsync_netapp::Workload;
 use memsync_serve::backend::{FastBackend, ForwardingBackend};
@@ -127,6 +131,16 @@ fn rep(addr: std::net::SocketAddr, conns: usize, jobs: usize, seed: u64) -> f64 
 /// Boots a fresh server running `backend` under `tracing`, served by
 /// `frontend`.
 fn boot(backend: BackendKind, tracing: TracingConfig, frontend: FrontendKind) -> Server {
+    boot_opt(backend, tracing, frontend, OptLevel::O0)
+}
+
+/// [`boot`] with an explicit middle-end level for the compiled FSMs.
+fn boot_opt(
+    backend: BackendKind,
+    tracing: TracingConfig,
+    frontend: FrontendKind,
+    opt: OptLevel,
+) -> Server {
     let config = ServeConfig {
         shards: SHARDS,
         routes: ROUTES,
@@ -134,18 +148,45 @@ fn boot(backend: BackendKind, tracing: TracingConfig, frontend: FrontendKind) ->
         batch_max: BATCH,
         tracing,
         frontend,
+        opt,
         ..ServeConfig::default()
     };
     Server::start("127.0.0.1:0", config).expect("bind loopback")
 }
 
-/// Best-of-`reps` sustained packets/sec against a fresh server running
-/// `backend`, after one untimed warmup rep.
-fn measure(backend: BackendKind, jobs: usize, reps: usize, tracing: TracingConfig) -> f64 {
-    measure_frontend(backend, jobs, reps, tracing, FrontendKind::Threads)
+/// Best-of-`reps` for the sim backend at O0 and O1, measured interleaved
+/// against the same pair of warmed servers (one O0 rep, one O1 rep,
+/// repeat) so machine drift hits both series equally — the `--check`
+/// floor compares the two directly.
+fn measure_sim_pair(jobs: usize, reps: usize) -> (f64, f64) {
+    let o0_server = boot(
+        BackendKind::Sim,
+        TracingConfig::default(),
+        FrontendKind::Threads,
+    );
+    let o1_server = boot_opt(
+        BackendKind::Sim,
+        TracingConfig::default(),
+        FrontendKind::Threads,
+        OptLevel::O1,
+    );
+    let (o0_addr, o1_addr) = (o0_server.local_addr(), o1_server.local_addr());
+    let _ = rep(o0_addr, CONNS, jobs.min(4), 0x3A3A);
+    let _ = rep(o1_addr, CONNS, jobs.min(4), 0x3A3A);
+    let (mut o0, mut o1) = (0.0f64, 0.0f64);
+    for r in 0..reps {
+        o0 = o0.max(rep(o0_addr, CONNS, jobs, 0x5EED + r as u64));
+        o1 = o1.max(rep(o1_addr, CONNS, jobs, 0x9EED + r as u64));
+    }
+    for s in [o0_server, o1_server] {
+        s.stop();
+        s.wait();
+    }
+    (o0, o1)
 }
 
-/// Like [`measure`], parameterized on the connection frontend — the
+/// Like the sim/fast measurements, parameterized on the connection
+/// frontend — the
 /// threads-vs-reactor comparison drives the same closed-loop reps against
 /// both so the numbers differ only in the connection plane.
 fn measure_frontend(
@@ -440,7 +481,7 @@ fn main() {
             .expect("sim_packets_per_sec recorded");
         let recorded_fast = json_u64(&doc, "fast_packets_per_sec").unwrap_or(0);
         let recorded_5k = json_u64(&doc, "reactor5k_packets_per_sec");
-        let sim = measure(BackendKind::Sim, 8, 2, TracingConfig::default());
+        let (sim, sim_opt) = measure_sim_pair(8, 2);
         // The fast backend finishes a jobs=8 rep in tens of milliseconds,
         // where connect/warmup costs dominate and understate the rate —
         // give it enough jobs for the steady state to show.
@@ -459,6 +500,7 @@ fn main() {
         let floor = recorded as f64 / 3.0;
         println!(
             "serve perf check: sim {sim:.0} pkts/sec (recorded {recorded}, floor {floor:.0}), \
+             sim O1 {sim_opt:.0} pkts/sec ({:+.1}% vs O0, floor 0.8x), \
              fast {fast:.0} pkts/sec ({:.1}x sim, floor {FAST_OVER_SIM_FLOOR:.0}x), \
              traced {traced:.0} pkts/sec ({:+.1}% vs traced-off), \
              reactor {reactor:.0} pkts/sec (recorded fast e2e {recorded_fast}), \
@@ -466,6 +508,7 @@ fn main() {
              batch kernels {batch:.0} pkts/sec, \
              swap latency p50 {swap_p50}µs p99 {swap_p99}µs (recorded p99 {recorded_swap:?}, \
              ceiling {SWAP_LATENCY_CEILING_US}µs)",
+            (sim_opt / sim - 1.0) * 100.0,
             fast / sim,
             (traced / fast - 1.0) * 100.0,
             recorded_5k
@@ -479,6 +522,18 @@ fn main() {
         let mut failed = false;
         if sim < floor {
             eprintln!("serve perf check FAILED: sim backend more than 3x slower than recorded");
+            failed = true;
+        }
+        // The O1 middle-end must never cost simulated throughput. Both
+        // rates are bounded by the same window pacing, so in expectation
+        // they are equal; the 0.8x margin absorbs the same-host
+        // measurement noise the interleaved best-of-reps can't (observed
+        // swings of +-15% between the two halves of a run).
+        if sim_opt < sim * 0.8 {
+            eprintln!(
+                "serve perf check FAILED: O1 sim backend {sim_opt:.0} pkts/sec fell below \
+                 0.8x the same-run O0 sim rate {sim:.0}"
+            );
             failed = true;
         }
         if fast < sim * FAST_OVER_SIM_FLOOR {
@@ -541,8 +596,12 @@ fn main() {
         "serve self-timing ({SHARDS} shards, {CONNS} conns x {jobs} jobs x {BATCH} packets, \
          closed loop over loopback TCP)"
     );
-    let sim = measure(BackendKind::Sim, jobs, 3, TracingConfig::default());
+    let (sim, sim_opt) = measure_sim_pair(jobs, 3);
     println!("  sim backend:  {sim:.0} packets/sec");
+    println!(
+        "  sim backend:  {sim_opt:.0} packets/sec (O1 middle-end, {:+.1}%)",
+        (sim_opt / sim - 1.0) * 100.0
+    );
     let (fast, traced) = measure_traced_pair(jobs, 3);
     println!(
         "  fast backend: {fast:.0} packets/sec ({:.1}x sim, tracing off)",
@@ -592,6 +651,9 @@ fn main() {
         .with("jobs_per_conn", (jobs as u64).into())
         .with("reps", 3u64.into())
         .with("sim_packets_per_sec", (sim.round() as u64).into())
+        // The same sim backend with the O1 middle-end compiled in; the
+        // `--check` floor holds it at or above 0.8x the same-run O0 rate.
+        .with("sim_packets_per_sec_opt", (sim_opt.round() as u64).into())
         .with("fast_packets_per_sec", (fast.round() as u64).into())
         // The tracing-plane contract fields: the traced-off rate is the
         // canonical fast rate (tracing disabled must cost nothing), the

@@ -7,6 +7,11 @@
 //! count. `--trace <path>` streams the latency experiment's cycle events
 //! as JSONL; `--metrics <path>` writes its per-run counter/histogram
 //! registries.
+//!
+//! `--opt {0,1}` sets the middle-end level the overhead builds compile
+//! at (default 0; the middle-end comparison section always reports both
+//! levels). `--dump-passes` additionally prints every per-thread pass
+//! report of the middle-end comparison builds.
 
 use memsync_bench::sweep::{jobs_arg, parallel_map_slice};
 use memsync_bench::*;
@@ -35,6 +40,8 @@ fn main() {
     let trace_path = arg_value(&args, "--trace");
     let metrics_path = arg_value(&args, "--metrics");
     let jobs = jobs_arg(&args);
+    let opt = opt_arg(&args);
+    let dump_passes = args.iter().any(|a| a == "--dump-passes");
 
     let kinds = [OrganizationKind::Arbitrated, OrganizationKind::EventDriven];
     let mut tables = parallel_map_slice(&kinds, jobs, |&k| table_area(k));
@@ -45,8 +52,10 @@ fn main() {
         .flat_map(|&k| SCENARIOS.iter().map(move |&n| (k, n)))
         .collect();
     let overhead: Vec<_> = parallel_map_slice(&overhead_grid, jobs, |&(k, n)| {
-        (k.to_string(), overhead_experiment(k, n))
+        (k.to_string(), overhead_experiment_at(k, n, opt))
     });
+    let me_grid = middle_end_grid();
+    let middle_end = parallel_map_slice(&me_grid, jobs, |&(e, l)| middle_end_row(e, l));
     let grid = latency_grid();
     let capture = trace_path.is_some();
     let runs = parallel_map_slice(&grid, jobs, |&(kind, n)| {
@@ -127,11 +136,35 @@ fn main() {
                 })
                 .collect(),
         );
+        let middle_end_json = Json::Arr(
+            middle_end
+                .iter()
+                .map(|r| {
+                    let mut row = Json::obj()
+                        .with("egress", r.egress.into())
+                        .with("level", r.level.to_string().as_str().into())
+                        .with("fsm_states", r.fsm_states.into())
+                        .with("memory_ops", r.memory_ops.into())
+                        .with("guarded_ops", r.guarded_ops.into())
+                        .with("alu_units", r.alu_units.into())
+                        .with("reads_forwarded", r.reads_forwarded.into())
+                        .with("cycles_per_packet", r.cycles_per_packet.into());
+                    if dump_passes {
+                        row = row.with(
+                            "passes",
+                            Json::Arr(r.pass_reports.iter().map(|p| p.to_json()).collect()),
+                        );
+                    }
+                    row
+                })
+                .collect(),
+        );
         let blob = Json::obj()
             .with("table1", area_rows_json(&t1))
             .with("table2", area_rows_json(&t2))
             .with("overhead", overhead_json)
             .with("latency", latency_json)
+            .with("middle_end", middle_end_json)
             .with("ablation", ablation_json);
         println!("{}", blob.pretty());
         return;
@@ -160,5 +193,41 @@ fn main() {
             "| {org} | {} | {} | {:.2} | {} | {} |",
             r.consumers, r.pooled.min, r.pooled.mean, r.pooled.max, r.all_deterministic
         );
+    }
+    println!("\n### Optimizing middle-end (E10)\n");
+    println!("| app | level | FSM states | mem ops | guarded | FUs | cycles/packet |");
+    println!("|-----|-------|------------|---------|---------|-----|---------------|");
+    for r in &middle_end {
+        println!(
+            "| forwarding_{} | {} | {} | {} | {} | {} | {:.1} |",
+            r.egress,
+            r.level,
+            r.fsm_states,
+            r.memory_ops,
+            r.guarded_ops,
+            r.alu_units,
+            r.cycles_per_packet
+        );
+    }
+    if dump_passes {
+        println!();
+        for r in &middle_end {
+            for p in &r.pass_reports {
+                println!(
+                    "forwarding_{} thread `{}` [{}]: {} -> {} ops ({} guarded -> {}), \
+                     {} -> {} states{}",
+                    r.egress,
+                    p.thread,
+                    p.level,
+                    p.ops_before,
+                    p.ops_after,
+                    p.guarded_ops_before,
+                    p.guarded_ops_after,
+                    p.states_before,
+                    p.states_after,
+                    if p.gated { " (gated)" } else { "" }
+                );
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 
 pub mod sweep;
 
-use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OrganizationKind};
+use memsync_core::{arbitrated, event_driven, spec::WrapperSpec, OptLevel, OrganizationKind};
 use memsync_fpga::calibration::PAPER_ANCHORS;
 use memsync_fpga::report::{implement, ImplReport};
 use memsync_sim::arb_model::{ArbInputs, ArbitratedModel};
@@ -27,6 +27,20 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parses the `--opt {0,1}` flag (default [`OptLevel::O0`]).
+///
+/// # Panics
+///
+/// Panics on an unparseable level, mirroring the other flag helpers.
+pub fn opt_arg(args: &[String]) -> OptLevel {
+    arg_value(args, "--opt")
+        .map(|v| {
+            v.parse::<OptLevel>()
+                .unwrap_or_else(|e| panic!("--opt: {e}"))
+        })
+        .unwrap_or(OptLevel::O0)
 }
 
 /// One row of Table 1 / Table 2.
@@ -108,9 +122,22 @@ pub struct OverheadResult {
 ///
 /// Panics if the generated application fails to compile (a harness bug).
 pub fn overhead_experiment(kind: OrganizationKind, egress: usize) -> OverheadResult {
+    overhead_experiment_at(kind, egress, OptLevel::O0)
+}
+
+/// [`overhead_experiment`] with an explicit middle-end optimization level.
+///
+/// # Panics
+///
+/// Panics if the generated application fails to compile (a harness bug).
+pub fn overhead_experiment_at(
+    kind: OrganizationKind,
+    egress: usize,
+    opt: OptLevel,
+) -> OverheadResult {
     let src = memsync_netapp::forwarding::app_source(egress);
     let mut compiler = memsync_core::Compiler::new(&src);
-    compiler.organization(kind).skip_validation();
+    compiler.organization(kind).opt(opt).skip_validation();
     let system = compiler.compile().expect("generated app compiles");
     let report = system.implement().expect("implementable");
     OverheadResult {
@@ -278,10 +305,20 @@ pub fn latency_experiment_traced(
 /// experiment simulates, so hot-path regressions in the thread executor,
 /// wrapper models, and engine all show up.
 pub fn reference_system() -> memsync_sim::System {
+    reference_system_at(OptLevel::O0)
+}
+
+/// [`reference_system`] compiled at an explicit middle-end level.
+///
+/// # Panics
+///
+/// Panics if the generated application fails to compile (a harness bug).
+pub fn reference_system_at(opt: OptLevel) -> memsync_sim::System {
     let src = memsync_netapp::forwarding::app_source(4);
     let mut compiler = memsync_core::Compiler::new(&src);
     compiler
         .organization(OrganizationKind::Arbitrated)
+        .opt(opt)
         .skip_validation();
     let compiled = compiler.compile().expect("forwarding app compiles");
     let mut sys = memsync_sim::System::new(&compiled);
@@ -290,6 +327,107 @@ pub fn reference_system() -> memsync_sim::System {
         Box::new(memsync_sim::traffic::BernoulliSource::new(7, 0.1)),
     );
     sys
+}
+
+/// One cell of the middle-end comparison (the EXPERIMENTS.md "Optimizing
+/// middle-end" table): the forwarding application compiled at one
+/// [`OptLevel`] under the arbitrated organization, with its aggregate FSM
+/// shape and simulated per-packet cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiddleEndRow {
+    /// Egress consumer count of the application build.
+    pub egress: usize,
+    /// Middle-end level the build ran at.
+    pub level: OptLevel,
+    /// Total FSM states across all threads.
+    pub fsm_states: usize,
+    /// Total memory-access states across all threads.
+    pub memory_ops: usize,
+    /// Total guarded (synchronization) memory states across all threads.
+    pub guarded_ops: usize,
+    /// Summed per-thread shared-datapath FU count (peak ALU per state).
+    pub alu_units: usize,
+    /// Memory reads the middle-end replaced with register reuse.
+    pub reads_forwarded: usize,
+    /// Simulated cycles per packet over a paced 64-packet batch.
+    pub cycles_per_packet: f64,
+    /// Per-thread middle-end reports, in thread order.
+    pub pass_reports: Vec<memsync_core::PassReport>,
+}
+
+/// Compiles and simulates the forwarding application for one middle-end
+/// comparison cell.
+///
+/// # Panics
+///
+/// Panics if the generated application fails to compile or the paced
+/// simulation stalls (harness bugs).
+pub fn middle_end_row(egress: usize, level: OptLevel) -> MiddleEndRow {
+    let src = memsync_netapp::forwarding::app_source(egress);
+    let mut compiler = memsync_core::Compiler::new(&src);
+    compiler
+        .organization(OrganizationKind::Arbitrated)
+        .opt(level)
+        .skip_validation();
+    let compiled = compiler.compile().expect("forwarding app compiles");
+    let fsm_states = compiled.fsms.iter().map(|f| f.states.len()).sum();
+    let memory_ops = compiled
+        .fsms
+        .iter()
+        .map(memsync_synth::fsm::Fsm::memory_state_count)
+        .sum();
+    let guarded_ops = compiled
+        .fsms
+        .iter()
+        .map(memsync_synth::fsm::Fsm::guarded_state_count)
+        .sum();
+    let alu_units = compiled
+        .fsms
+        .iter()
+        .map(|f| memsync_synth::binding::bind(f).alu_units)
+        .sum();
+    let reads_forwarded = compiled
+        .pass_reports
+        .iter()
+        .map(|r| r.reads_forwarded)
+        .sum();
+
+    const PACKETS: usize = 64;
+    let mut sys = memsync_sim::System::new(&compiled);
+    let ids: Vec<_> = (0..egress)
+        .map(|i| sys.thread_id(&format!("e{i}")).expect("egress thread"))
+        .collect();
+    let descs: Vec<i64> = memsync_netapp::Workload::generate(0xD15C, PACKETS, 64)
+        .packets
+        .iter()
+        .map(|p| i64::from(p.descriptor()))
+        .collect();
+    assert!(
+        sys.submit_paced("rx", &ids, &descs, 0, 2_000),
+        "paced simulation stalled at {level}"
+    );
+    let cycles_per_packet = sys.cycle() as f64 / PACKETS as f64;
+
+    MiddleEndRow {
+        egress,
+        level,
+        fsm_states,
+        memory_ops,
+        guarded_ops,
+        alu_units,
+        reads_forwarded,
+        cycles_per_packet,
+        pass_reports: compiled.pass_reports,
+    }
+}
+
+/// The (egress × level) grid of the middle-end comparison: forwarding_2
+/// and forwarding_4 shapes at both levels.
+pub fn middle_end_grid() -> Vec<(usize, OptLevel)> {
+    [2usize, 4]
+        .iter()
+        .flat_map(|&e| [OptLevel::O0, OptLevel::O1].iter().map(move |&l| (e, l)))
+        .collect()
 }
 
 /// One (organization × consumer-count) cell of the latency sweep, run as
@@ -498,6 +636,30 @@ mod tests {
         assert_eq!(arb.organization, "arbitrated");
         assert!(!arb.state_changed, "adding a consumer must not change FFs");
         assert!(arb.lut_delta > 0);
+    }
+
+    #[test]
+    fn middle_end_o1_shrinks_forwarding_4() {
+        let o0 = middle_end_row(4, OptLevel::O0);
+        let o1 = middle_end_row(4, OptLevel::O1);
+        assert!(
+            o1.fsm_states < o0.fsm_states,
+            "O1 states {} !< O0 states {}",
+            o1.fsm_states,
+            o0.fsm_states
+        );
+        assert!(
+            o1.guarded_ops < o0.guarded_ops,
+            "O1 guarded {} !< O0 guarded {}",
+            o1.guarded_ops,
+            o0.guarded_ops
+        );
+        assert!(
+            o1.cycles_per_packet <= o0.cycles_per_packet,
+            "O1 {} cycles/pkt !<= O0 {}",
+            o1.cycles_per_packet,
+            o0.cycles_per_packet
+        );
     }
 
     #[test]

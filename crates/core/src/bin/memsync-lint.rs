@@ -1,0 +1,205 @@
+//! memsync-lint — static hazard analysis for hic programs.
+//!
+//! Usage: `memsync-lint [--json] [--unpaced] [--opt {0,1}] [--dump-passes] FILE...`
+//!
+//! Runs the `memsync_hic::hazards` pass over each file and prints one
+//! report per file (human-readable, or one JSON document per line with
+//! `--json`). By default `recv` statements are assumed paced (the
+//! memsync-serve injection regime); `--unpaced` analyzes under
+//! free-running arrivals instead — "what breaks if pacing is removed?".
+//!
+//! With `--opt 1` each hazard-clean file is additionally compiled through
+//! the full flow at both optimization levels and the per-thread
+//! synchronization surfaces (`Fsm::dependencies`) are compared: the
+//! middle-end must not change which guarded variables a thread touches.
+//! `--dump-passes` prints the middle-end pass report for every thread
+//! (as JSON lines with `--json`).
+//!
+//! Exit status: 0 when every file is hazard-free, 1 when any hazard was
+//! found, 2 on usage, I/O, compile errors, or an O0/O1 dependency-surface
+//! mismatch.
+
+use memsync_core::{Compiler, OptLevel};
+use memsync_hic::hazards::{self, PacingAssumption};
+use memsync_hic::Severity;
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: memsync-lint [--json] [--unpaced] [--opt {0,1}] [--dump-passes] FILE...";
+
+/// Everything the flag parser decides.
+struct Options {
+    json: bool,
+    pacing: PacingAssumption,
+    opt: OptLevel,
+    dump_passes: bool,
+}
+
+fn main() -> ExitCode {
+    let mut opts = Options {
+        json: false,
+        pacing: PacingAssumption::PacedArrivals,
+        opt: OptLevel::O0,
+        dump_passes: false,
+    };
+    let mut files = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--unpaced" => opts.pacing = PacingAssumption::FreeRunning,
+            "--dump-passes" => opts.dump_passes = true,
+            "--opt" => {
+                let level = args.next().and_then(|v| v.parse::<OptLevel>().ok());
+                match level {
+                    Some(level) => opts.opt = level,
+                    None => {
+                        eprintln!("memsync-lint: --opt expects 0 or 1\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("memsync-lint: unknown flag `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => files.push(path.to_owned()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut worst: u8 = 0;
+    for path in &files {
+        let status = lint_file(path, &opts);
+        worst = worst.max(status);
+    }
+    ExitCode::from(worst)
+}
+
+/// Lints one file; returns the exit status it alone would produce.
+fn lint_file(path: &str, opts: &Options) -> u8 {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("memsync-lint: {path}: {e}");
+            return 2;
+        }
+    };
+    match hazards::check_source(&source, opts.pacing) {
+        Err(e) => {
+            if opts.json {
+                let doc = memsync_trace::Json::obj()
+                    .with("file", memsync_trace::Json::Str(path.to_owned()))
+                    .with("error", memsync_trace::Json::Str(e.to_string()));
+                println!("{}", doc.render());
+            } else {
+                for d in e.diagnostics() {
+                    eprintln!("{path}:{d}");
+                }
+            }
+            2
+        }
+        Ok((report, diagnostics)) => {
+            let errors = diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count();
+            if opts.json {
+                let doc = report
+                    .to_json()
+                    .with("file", memsync_trace::Json::Str(path.to_owned()))
+                    .with("compile_errors", errors.into());
+                println!("{}", doc.render());
+            } else {
+                for d in diagnostics {
+                    eprintln!("{path}:{d}");
+                }
+                for h in &report.hazards {
+                    println!("{path}:{h}");
+                }
+                if report.is_clean() {
+                    println!("{path}: clean ({} assumed)", report.pacing.as_str());
+                }
+            }
+            let mut status = if !report.is_clean() {
+                1
+            } else if errors > 0 {
+                2
+            } else {
+                0
+            };
+            if status == 0 && (opts.opt == OptLevel::O1 || opts.dump_passes) {
+                status = status.max(check_middle_end(path, &source, opts));
+            }
+            status
+        }
+    }
+}
+
+/// Compiles `source` through the flow and — at `--opt 1` — checks that the
+/// O0 and O1 synchronization surfaces agree. Returns an exit status.
+fn check_middle_end(path: &str, source: &str, opts: &Options) -> u8 {
+    let compiled = match Compiler::new(source).opt(opts.opt).compile() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("memsync-lint: {path}: flow: {e}");
+            return 2;
+        }
+    };
+    if opts.dump_passes {
+        for r in &compiled.pass_reports {
+            if opts.json {
+                let doc = r
+                    .to_json()
+                    .with("file", memsync_trace::Json::Str(path.to_owned()));
+                println!("{}", doc.render());
+            } else {
+                println!(
+                    "{path}: thread `{}` [{}]: {} -> {} ops ({} guarded -> {}), \
+                     {} reads forwarded, {} -> {} states{}",
+                    r.thread,
+                    r.level,
+                    r.ops_before,
+                    r.ops_after,
+                    r.guarded_ops_before,
+                    r.guarded_ops_after,
+                    r.reads_forwarded,
+                    r.states_before,
+                    r.states_after,
+                    if r.gated { " (gated)" } else { "" }
+                );
+            }
+        }
+    }
+    if opts.opt != OptLevel::O1 {
+        return 0;
+    }
+    let baseline = match Compiler::new(source).compile() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("memsync-lint: {path}: flow at O0: {e}");
+            return 2;
+        }
+    };
+    let mut status = 0;
+    for (o0, o1) in baseline.fsms.iter().zip(compiled.fsms.iter()) {
+        if o0.dependencies() != o1.dependencies() {
+            eprintln!(
+                "memsync-lint: {path}: thread `{}`: O1 changed the dependency \
+                 surface ({:?} -> {:?})",
+                o0.thread,
+                o0.dependencies(),
+                o1.dependencies()
+            );
+            status = 2;
+        }
+    }
+    status
+}

@@ -13,7 +13,9 @@ use memsync_hic::sema::Analysis;
 use memsync_hic::Program;
 use memsync_rtl::netlist::Module;
 use memsync_synth::fsm::Fsm;
+use memsync_synth::opt::{OptLevel, PassReport};
 use memsync_synth::schedule::Constraints;
+use memsync_synth::synthesis::Synthesis;
 use std::fmt;
 
 /// Any failure along the flow.
@@ -90,6 +92,7 @@ pub struct Compiler {
     source: String,
     organization: OrganizationKind,
     constraints: Constraints,
+    opt: OptLevel,
     validate_netlists: bool,
 }
 
@@ -100,6 +103,7 @@ impl Compiler {
             source: source.into(),
             organization: OrganizationKind::Arbitrated,
             constraints: Constraints::default(),
+            opt: OptLevel::O0,
             validate_netlists: true,
         }
     }
@@ -114,6 +118,13 @@ impl Compiler {
     /// Overrides the scheduling constraints.
     pub fn constraints(&mut self, constraints: Constraints) -> &mut Self {
         self.constraints = constraints;
+        self
+    }
+
+    /// Selects the middle-end optimization level (default
+    /// [`OptLevel::O0`]).
+    pub fn opt(&mut self, level: OptLevel) -> &mut Self {
+        self.opt = level;
         self
     }
 
@@ -135,9 +146,17 @@ impl Compiler {
 
         let mut fsms = Vec::new();
         let mut thread_modules = Vec::new();
+        let mut pass_reports = Vec::new();
         for thread in &program.threads {
             let binding = plan.binding_for(&thread.name);
-            let fsm = Fsm::synthesize(&program, thread, &binding, self.constraints)?;
+            let result = Synthesis::of(&program)
+                .constraints(self.constraints)
+                .binding(binding)
+                .opt(self.opt)
+                .thread(thread.name.as_str())
+                .run()?;
+            let fsm = result.fsm;
+            pass_reports.push(result.pass_report);
             let module = memsync_synth::codegen::generate(&fsm)?;
             if self.validate_netlists {
                 memsync_rtl::validate::validate(&module).map_err(|errs| {
@@ -184,6 +203,7 @@ impl Compiler {
             plan,
             organization: self.organization,
             fsms,
+            pass_reports,
             thread_modules,
             wrapper_modules,
         })
@@ -203,6 +223,8 @@ pub struct CompiledSystem {
     pub organization: OrganizationKind,
     /// Synthesized thread FSMs (executed by `memsync-sim`).
     pub fsms: Vec<Fsm>,
+    /// Middle-end pass reports, parallel to [`CompiledSystem::fsms`].
+    pub pass_reports: Vec<PassReport>,
     /// Thread RTL modules.
     pub thread_modules: Vec<Module>,
     /// Wrapper RTL modules (one per sync bank).
@@ -213,6 +235,11 @@ impl CompiledSystem {
     /// FSM of a thread by name.
     pub fn fsm(&self, thread: &str) -> Option<&Fsm> {
         self.fsms.iter().find(|f| f.thread == thread)
+    }
+
+    /// Middle-end report of a thread by name.
+    pub fn pass_report(&self, thread: &str) -> Option<&PassReport> {
+        self.pass_reports.iter().find(|r| r.thread == thread)
     }
 
     /// Emits the whole system as Verilog (one module per thread + wrapper).
@@ -304,6 +331,25 @@ mod tests {
         let v = system.vhdl();
         assert!(v.contains("entity thread_t1"));
         assert!(v.contains("entity memsync_arb_p1c2"));
+    }
+
+    #[test]
+    fn opt_level_reports_and_preserves_dependencies() {
+        let o0 = Compiler::new(FIGURE1).compile().unwrap();
+        let o1 = Compiler::new(FIGURE1).opt(OptLevel::O1).compile().unwrap();
+        assert_eq!(o0.fsms.len(), o1.fsms.len());
+        for (a, b) in o0.fsms.iter().zip(o1.fsms.iter()) {
+            assert_eq!(a.dependencies(), b.dependencies(), "thread {}", a.thread);
+            assert!(
+                b.states.len() <= a.states.len(),
+                "thread {}: O1 grew the FSM",
+                a.thread
+            );
+        }
+        let report = o1.pass_report("t1").expect("report for t1");
+        assert_eq!(report.level, OptLevel::O1);
+        assert!(report.states_before >= report.states_after);
+        assert!(o0.pass_report("t1").unwrap().ops_removed() == 0);
     }
 
     #[test]

@@ -29,4 +29,5 @@ pub mod report;
 pub mod spec;
 
 pub use flow::{CompiledSystem, Compiler};
+pub use memsync_synth::opt::{OptLevel, PassReport};
 pub use spec::{OrganizationKind, WrapperSpec};

@@ -175,10 +175,18 @@ pub trait ForwardingBackend: Send {
 /// Builds the configured backend for one shard.
 pub fn build(config: &ServeConfig) -> Box<dyn ForwardingBackend> {
     match config.backend {
-        BackendKind::Sim => Box::new(SimBackend::new(config.egress, config.organization)),
+        BackendKind::Sim => Box::new(SimBackend::with_opt(
+            config.egress,
+            config.organization,
+            config.opt,
+        )),
         BackendKind::Fast => Box::new(FastBackend::new(config.egress)),
         BackendKind::Differential => Box::new(DifferentialBackend::new(
-            Box::new(SimBackend::new(config.egress, config.organization)),
+            Box::new(SimBackend::with_opt(
+                config.egress,
+                config.organization,
+                config.opt,
+            )),
             Box::new(FastBackend::new(config.egress)),
         )),
     }

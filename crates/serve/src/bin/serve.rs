@@ -3,7 +3,7 @@
 //! ```text
 //! serve [--addr 127.0.0.1:7171] [--shards 4] [--egress 4] [--routes 64]
 //!       [--queue-cap 64] [--batch-max 64] [--org arbitrated|event-driven]
-//!       [--backend sim|fast|differential]
+//!       [--backend sim|fast|differential] [--opt 0|1]
 //!       [--frontend threads|reactor] [--reactor-threads N] [--max-conns N]
 //!       [--tracing] [--trace-spans FILE] [--trace-sample N] [--trace-slow-us N]
 //! ```
@@ -11,7 +11,9 @@
 //! `--backend` picks the forwarding engine each shard runs: `sim` (the
 //! cycle-accurate reference), `fast` (the compiled functional fast path),
 //! or `differential` (both, cross-checked frame by frame — a divergence
-//! crashes the shard loudly). Prints `listening on <addr>` once the
+//! crashes the shard loudly). `--opt` sets the middle-end optimization
+//! level the `sim` and `differential` backends compile the application
+//! FSMs at (default 0). Prints `listening on <addr>` once the
 //! socket is bound (the loopback CI job waits for that line), then blocks
 //! until a client sends a shutdown frame and exits 0.
 //!
@@ -29,7 +31,7 @@
 //! (default 16); `--trace-slow-us N` sets the always-keep slow threshold
 //! in microseconds (default 5000).
 
-use memsync_core::OrganizationKind;
+use memsync_core::{OptLevel, OrganizationKind};
 use memsync_serve::{BackendKind, FrontendKind, ServeConfig, Server, TracingConfig};
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {
@@ -87,6 +89,12 @@ fn main() {
             Some(v) => v
                 .parse::<BackendKind>()
                 .unwrap_or_else(|e| panic!("--backend: {e}")),
+        },
+        opt: match arg_value(&args, "--opt") {
+            None => defaults.opt,
+            Some(v) => v
+                .parse::<OptLevel>()
+                .unwrap_or_else(|e| panic!("--opt: {e}")),
         },
         frontend: match arg_value(&args, "--frontend") {
             None => defaults.frontend,

@@ -87,7 +87,7 @@ pub use snapshot::StatsSnapshot;
 pub use tables::EpochTables;
 pub use tracing::{ServeTracer, TracingConfig};
 
-use memsync_core::OrganizationKind;
+use memsync_core::{OptLevel, OrganizationKind};
 use std::fmt;
 use std::str::FromStr;
 use std::time::Duration;
@@ -162,6 +162,9 @@ pub struct ServeConfig {
     pub organization: OrganizationKind,
     /// Which forwarding backend each shard runs.
     pub backend: BackendKind,
+    /// Middle-end optimization level the `sim` and `differential`
+    /// backends compile the application at (the fast path has no FSMs).
+    pub opt: OptLevel,
     /// Route count of the synthetic FIB (must match the loadgen's).
     pub routes: usize,
     /// Bounded shard queue capacity, in jobs. A full queue refuses the
@@ -202,6 +205,7 @@ impl Default for ServeConfig {
             egress: 4,
             organization: OrganizationKind::Arbitrated,
             backend: BackendKind::Sim,
+            opt: OptLevel::O0,
             routes: 64,
             queue_cap: 64,
             batch_max: 64,

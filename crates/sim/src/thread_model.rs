@@ -298,6 +298,14 @@ impl ThreadExec {
                     };
                     set_temp(temps, op.result, v);
                 }
+                OpKind::Select => {
+                    let v = if value_of(regs, temps, op.args[0]) != 0 {
+                        value_of(regs, temps, op.args[1])
+                    } else {
+                        value_of(regs, temps, op.args[2])
+                    };
+                    set_temp(temps, op.result, v);
+                }
                 OpKind::StoreVar { var } => {
                     let v = value_of(regs, temps, op.args[0]);
                     store_var_masked(&fsm.widths, regs, var.0, v);
@@ -421,17 +429,11 @@ fn store_var_masked(widths: &[u32], regs: &mut [i64], id: u32, value: i64) {
 mod tests {
     use super::*;
     use memsync_synth::ir::MemBinding;
-    use memsync_synth::schedule::Constraints;
+    use memsync_synth::Synthesis;
 
     fn exec_of(src: &str, binding: MemBinding) -> ThreadExec {
         let program = memsync_hic::parser::parse(src).unwrap();
-        let fsm = Fsm::synthesize(
-            &program,
-            &program.threads[0],
-            &binding,
-            Constraints::default(),
-        )
-        .unwrap();
+        let fsm = Synthesis::of(&program).binding(binding).run().unwrap().fsm;
         ThreadExec::new(fsm)
     }
 

@@ -47,7 +47,7 @@ pub fn bind(fsm: &Fsm) -> BindingReport {
             .filter(|o| {
                 matches!(
                     o.kind,
-                    OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_)
+                    OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_) | OpKind::Select
                 )
             })
             .count();
@@ -126,23 +126,20 @@ pub fn bind(fsm: &Fsm) -> BindingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir::MemBinding;
     use crate::schedule::Constraints;
     use memsync_hic::parser::parse;
 
     fn fsm_of(src: &str) -> Fsm {
         let program = parse(src).unwrap();
-        Fsm::synthesize(
-            &program,
-            &program.threads[0],
-            &MemBinding::new(),
-            Constraints {
+        crate::synthesis::Synthesis::of(&program)
+            .constraints(Constraints {
                 alu_per_cycle: 1,
                 mem_per_cycle: 1,
                 max_chain: 1,
-            },
-        )
-        .unwrap()
+            })
+            .run()
+            .unwrap()
+            .fsm
     }
 
     #[test]

@@ -251,6 +251,24 @@ pub fn generate(fsm: &Fsm) -> Result<Module, CodegenError> {
                         );
                     }
                 }
+                OpKind::Select => {
+                    let c = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[0]);
+                    let tv = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[1]);
+                    let ev = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[2]);
+                    let taken = bool_of(&mut b, c, w);
+                    let y = b.mux(taken, &[ev, tv], "sel");
+                    if let Some(t) = op.result {
+                        note_temp(
+                            &mut b,
+                            &binding,
+                            &mut temp_wire,
+                            &mut temp_writers,
+                            si,
+                            t,
+                            y,
+                        );
+                    }
+                }
                 OpKind::StoreVar { var } => {
                     let v = resolve(&mut b, &temp_wire, &var_wire, &temp_reg, op.args[0]);
                     var_writers[var.0 as usize].push((si, v, None));
@@ -688,19 +706,16 @@ fn note_temp(
 mod tests {
     use super::*;
     use crate::ir::MemBinding;
-    use crate::schedule::Constraints;
     use memsync_hic::parser::parse;
     use memsync_rtl::validate::validate;
 
     fn gen(src: &str, binding: MemBinding) -> Module {
         let program = parse(src).unwrap();
-        let fsm = Fsm::synthesize(
-            &program,
-            &program.threads[0],
-            &binding,
-            Constraints::default(),
-        )
-        .unwrap();
+        let fsm = crate::synthesis::Synthesis::of(&program)
+            .binding(binding)
+            .run()
+            .unwrap()
+            .fsm;
         generate(&fsm).expect("codegen")
     }
 
@@ -764,13 +779,7 @@ mod tests {
     #[test]
     fn division_is_rejected() {
         let program = parse("thread t() { int a, b; a = 8; b = a / 2; }").unwrap();
-        let fsm = Fsm::synthesize(
-            &program,
-            &program.threads[0],
-            &MemBinding::new(),
-            Constraints::default(),
-        )
-        .unwrap();
+        let fsm = crate::synthesis::Synthesis::of(&program).run().unwrap().fsm;
         let err = generate(&fsm).unwrap_err();
         assert!(err.message.contains("divider"));
     }

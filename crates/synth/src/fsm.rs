@@ -87,6 +87,11 @@ impl Fsm {
     /// # Errors
     ///
     /// Propagates lowering failures (see [`lower_thread`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Synthesis` builder: \
+                `Synthesis::of(program).constraints(c).binding(b).thread(name).run()`"
+    )]
     pub fn synthesize(
         program: &Program,
         thread: &Thread,
@@ -206,13 +211,11 @@ mod tests {
 
     fn synth(src: &str, binding: MemBinding) -> Fsm {
         let program = parse(src).unwrap();
-        Fsm::synthesize(
-            &program,
-            &program.threads[0],
-            &binding,
-            Constraints::default(),
-        )
-        .unwrap()
+        crate::synthesis::Synthesis::of(&program)
+            .binding(binding)
+            .run()
+            .unwrap()
+            .fsm
     }
 
     #[test]

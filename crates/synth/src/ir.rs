@@ -46,6 +46,11 @@ pub enum OpKind {
     /// Call of a user combinational function (stand-in network; see
     /// [`crate::eval::call_function`]).
     Call(String),
+    /// Conditional select (a datapath mux): args are `[cond, then_value,
+    /// else_value]`; yields `then_value` when `cond` is non-zero. Produced
+    /// by the optimizer's if-conversion — no hic construct lowers to it
+    /// directly.
+    Select,
     /// Read of a memory-resident variable; arg 0 is the element index
     /// (Const 0 for scalars). Carries the dependency id when guarded.
     MemRead {

@@ -8,29 +8,27 @@
 //! * [`ir`] — three-address dataflow form and the [`ir::MemBinding`] that
 //!   records which variables live in BRAM behind which wrapper port;
 //! * [`cdfg`] — AST lowering;
+//! * [`opt`] — the optimizing middle-end (folding, propagation, CSE, DCE,
+//!   guarded-read forwarding, CFG simplification) behind [`opt::OptLevel`];
 //! * [`schedule`] — ASAP/ALAP bounds and resource-constrained list
 //!   scheduling;
 //! * [`binding`] — left-edge register allocation and FU counting;
 //! * [`fsm`] — the executable FSM the simulator runs;
 //! * [`codegen`] — FSM → RTL netlist with wrapper-port interfaces;
-//! * [`eval`] — operator semantics shared with the simulator.
+//! * [`eval`] — operator semantics shared with the simulator;
+//! * [`synthesis`] — the [`Synthesis`] builder tying the pipeline together.
 //!
 //! # Examples
 //!
 //! ```
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use memsync_synth::{fsm::Fsm, ir::MemBinding, schedule::Constraints};
+//! use memsync_synth::{OptLevel, Synthesis};
 //!
-//! let program = memsync_hic::parser::parse(
-//!     "thread t() { int a, b; a = 1; b = a + 2; }",
+//! let (program, _analysis) = memsync_hic::compile(
+//!     "thread t() { int a, b; a = 1; b = a + 2; send b; }",
 //! )?;
-//! let fsm = Fsm::synthesize(
-//!     &program,
-//!     &program.threads[0],
-//!     &MemBinding::new(),
-//!     Constraints::default(),
-//! )?;
-//! let module = memsync_synth::codegen::generate(&fsm)?;
+//! let result = Synthesis::of(&program).opt(OptLevel::O1).run()?;
+//! let module = memsync_synth::codegen::generate(&result.fsm)?;
 //! assert!(module.is_sequential());
 //! # Ok(())
 //! # }
@@ -45,8 +43,12 @@ pub mod codegen;
 pub mod eval;
 pub mod fsm;
 pub mod ir;
+pub mod opt;
 pub mod schedule;
+pub mod synthesis;
 
 pub use fsm::{Fsm, FsmState, StateNext};
 pub use ir::{MemBinding, PortClass, Residency};
+pub use opt::{OptLevel, PassReport, PassStats};
 pub use schedule::Constraints;
+pub use synthesis::{Synthesis, SynthesisResult};

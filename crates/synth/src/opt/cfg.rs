@@ -1,0 +1,475 @@
+//! Control-flow simplification.
+//!
+//! Five transforms, each preserving the thread's run-to-completion
+//! semantics (a `Restart` terminator is an iteration boundary and is never
+//! confused with a jump to the entry block):
+//!
+//! 1. **Terminator folding** — branches on constants and switches on
+//!    constants become jumps; a branch whose arms coincide becomes a jump.
+//! 2. **Jump threading** — edges through empty jump-only blocks are
+//!    redirected to their final target; a jump to an empty restarting
+//!    block becomes a restart.
+//! 3. **If-conversion** — a branch diamond whose arms are straight-line,
+//!    memory-read-free, and whose memory writes pair up exactly collapses
+//!    into the header with [`OpKind::Select`] muxes. Pairing two guarded
+//!    writes into one deletes a producer synchronization event per
+//!    iteration.
+//! 4. **Block merging** — a block whose only successor has no other
+//!    predecessors is fused with it.
+//! 5. **Unreachable removal** — blocks no path from the entry reaches are
+//!    deleted (with an order-preserving index remap; block 0 stays the
+//!    entry, which `Restart` implicitly targets).
+
+use super::PassStats;
+use crate::eval::mask_to_width;
+use crate::ir::{Block, DfOp, DfThread, OpKind, Temp, Terminator, Value, VarId};
+use std::collections::BTreeMap;
+
+/// Runs one sweep of every CFG transform. Returns whether anything
+/// changed (the pass-manager fixpoint re-runs until quiescent).
+pub(super) fn run(df: &mut DfThread, next_temp: &mut u32, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    changed |= fold_terminators(df, stats);
+    changed |= thread_jumps(df, stats);
+    changed |= if_convert(df, next_temp, stats);
+    changed |= merge_chains(df, stats);
+    changed |= remove_unreachable(df, stats);
+    changed
+}
+
+/// Edge-counted predecessors; the entry block gets one implicit edge (the
+/// restart path), so it is never treated as merge- or convert-able.
+fn pred_counts(df: &DfThread) -> Vec<usize> {
+    let mut preds = vec![0usize; df.blocks.len()];
+    preds[0] += 1;
+    for b in &df.blocks {
+        for s in b.term.successors() {
+            preds[s] += 1;
+        }
+    }
+    preds
+}
+
+fn fold_terminators(df: &mut DfThread, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    for b in &mut df.blocks {
+        let folded = match &b.term {
+            Terminator::Branch {
+                cond: Value::Const(c),
+                then_block,
+                else_block,
+            } => Some(if (*c as u32) != 0 {
+                *then_block
+            } else {
+                *else_block
+            }),
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } if then_block == else_block => Some(*then_block),
+            Terminator::Switch {
+                selector: Value::Const(c),
+                arms,
+                default,
+            } => {
+                // Exact arm-matching semantics of the executor: compare in
+                // the truncated domain first, then the literal one.
+                let sel = i64::from(*c as u32);
+                Some(
+                    arms.iter()
+                        .find(|(k, _)| i64::from(*k as u32) == sel || *k == sel)
+                        .map(|(_, t)| *t)
+                        .unwrap_or(*default),
+                )
+            }
+            _ => None,
+        };
+        if let Some(t) = folded {
+            b.term = Terminator::Jump(t);
+            stats.applications += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Final destination of an edge into `s`, skipping empty jump-only blocks
+/// (never the entry, never a self-loop).
+fn final_target(blocks: &[Block], mut s: usize) -> usize {
+    let mut hops = 0;
+    while s != 0 && hops <= blocks.len() {
+        let b = &blocks[s];
+        if !b.ops.is_empty() {
+            break;
+        }
+        match b.term {
+            Terminator::Jump(t) if t != s => {
+                s = t;
+                hops += 1;
+            }
+            _ => break,
+        }
+    }
+    s
+}
+
+fn thread_jumps(df: &mut DfThread, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    for bi in 0..df.blocks.len() {
+        let mut term = df.blocks[bi].term.clone();
+        let mut touched = false;
+        {
+            let blocks = &df.blocks;
+            let mut redirect = |s: &mut usize| {
+                let t = final_target(blocks, *s);
+                if t != *s {
+                    *s = t;
+                    touched = true;
+                }
+            };
+            match &mut term {
+                Terminator::Jump(t) => redirect(t),
+                Terminator::Branch {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    redirect(then_block);
+                    redirect(else_block);
+                }
+                Terminator::Switch { arms, default, .. } => {
+                    for (_, t) in arms.iter_mut() {
+                        redirect(t);
+                    }
+                    redirect(default);
+                }
+                Terminator::Restart => {}
+            }
+        }
+        // A jump into an empty restarting block is itself a restart.
+        if let Terminator::Jump(t) = term {
+            if t != 0
+                && t != bi
+                && df.blocks[t].ops.is_empty()
+                && df.blocks[t].term == Terminator::Restart
+            {
+                term = Terminator::Restart;
+                touched = true;
+            }
+        }
+        if touched {
+            df.blocks[bi].term = term;
+            stats.applications += 1;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// What one branch arm does, with in-arm register writes renamed away.
+struct ArmPlan {
+    /// Pure ops, operands substituted, hoistable as-is.
+    hoisted: Vec<DfOp>,
+    /// Memory writes in program order, operands substituted.
+    writes: Vec<DfOp>,
+    /// Final (raw, pre-mask) value of each register the arm stores.
+    vars: BTreeMap<u32, Value>,
+}
+
+/// Plans the conversion of one arm; `None` means the arm is not
+/// convertible (memory reads, `recv`/`send`, or a read of a narrow
+/// register after a non-constant in-arm store, which substitution cannot
+/// represent because the register masks and a value does not).
+fn plan_arm(df: &DfThread, bi: usize) -> Option<ArmPlan> {
+    let mut vars: BTreeMap<u32, Value> = BTreeMap::new();
+    let mut read_subst: BTreeMap<u32, Value> = BTreeMap::new();
+    let mut hoisted = Vec::new();
+    let mut writes = Vec::new();
+    for op in &df.blocks[bi].ops {
+        let mut op = op.clone();
+        for a in &mut op.args {
+            if let Value::Var(v) = a {
+                if let Some(r) = read_subst.get(&v.0) {
+                    *a = *r;
+                } else if vars.contains_key(&v.0) {
+                    return None;
+                }
+            }
+        }
+        match &op.kind {
+            OpKind::Copy
+            | OpKind::Unary(_)
+            | OpKind::Binary(_)
+            | OpKind::Call(_)
+            | OpKind::Select => hoisted.push(op),
+            OpKind::StoreVar { var } => {
+                let v = var.0;
+                let width = df.widths[v as usize].min(32);
+                let val = op.args[0];
+                vars.insert(v, val);
+                match val {
+                    Value::Const(c) => {
+                        read_subst.insert(v, Value::Const(mask_to_width(c, width)));
+                    }
+                    _ if width >= 32 => {
+                        read_subst.insert(v, val);
+                    }
+                    _ => {
+                        read_subst.remove(&v);
+                    }
+                }
+            }
+            OpKind::MemWrite { .. } => writes.push(op),
+            OpKind::MemRead { .. } | OpKind::Recv { .. } | OpKind::Send => return None,
+        }
+    }
+    Some(ArmPlan {
+        hoisted,
+        writes,
+        vars,
+    })
+}
+
+/// Builds the replacement op sequence for a convertible diamond, or
+/// `None` if the arms' memory writes do not pair exactly.
+fn build_conversion(
+    df: &DfThread,
+    cond: Value,
+    tb: usize,
+    eb: usize,
+    next_temp: &mut u32,
+) -> Option<Vec<DfOp>> {
+    let tplan = plan_arm(df, tb)?;
+    let eplan = plan_arm(df, eb)?;
+    if tplan.writes.len() != eplan.writes.len() {
+        return None;
+    }
+    // Writes must pair positionally: same variable, same dependency, same
+    // constant address. Anything looser would reorder observable writes.
+    for (wt, we) in tplan.writes.iter().zip(eplan.writes.iter()) {
+        if wt.kind != we.kind {
+            return None;
+        }
+        match (wt.args[0], we.args[0]) {
+            (Value::Const(a), Value::Const(b)) if a as u32 == b as u32 => {}
+            _ => return None,
+        }
+    }
+
+    let mut nt = *next_temp;
+    let mut fresh = || {
+        let t = Temp(nt);
+        nt += 1;
+        t
+    };
+    let mut ops = Vec::new();
+    ops.extend(tplan.hoisted);
+    ops.extend(eplan.hoisted);
+    // Merged writes: mux the data where the arms disagree. These run
+    // before any register commit, so incoming `Var` operands still mean
+    // the incoming values.
+    for (wt, we) in tplan.writes.into_iter().zip(eplan.writes) {
+        let data = if wt.args[1] == we.args[1] {
+            wt.args[1]
+        } else {
+            let t = fresh();
+            ops.push(DfOp {
+                kind: OpKind::Select,
+                args: vec![cond, wt.args[1], we.args[1]],
+                result: Some(t),
+            });
+            Value::Temp(t)
+        };
+        ops.push(DfOp {
+            kind: wt.kind,
+            args: vec![wt.args[0], data],
+            result: None,
+        });
+    }
+    // Register commits: first materialize every final value (so each mux
+    // and copy reads incoming registers), then store them all.
+    let mut stores = Vec::new();
+    let keys: Vec<u32> = tplan
+        .vars
+        .keys()
+        .chain(eplan.vars.keys())
+        .copied()
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    for v in keys {
+        let incoming = Value::Var(VarId(v));
+        let tv = tplan.vars.get(&v).copied().unwrap_or(incoming);
+        let ev = eplan.vars.get(&v).copied().unwrap_or(incoming);
+        let mut fv = if tv == ev {
+            tv
+        } else {
+            let t = fresh();
+            ops.push(DfOp {
+                kind: OpKind::Select,
+                args: vec![cond, tv, ev],
+                result: Some(t),
+            });
+            Value::Temp(t)
+        };
+        // Route register-sourced values through a temp: the batched stores
+        // below must not observe each other.
+        if matches!(fv, Value::Var(_)) {
+            let t = fresh();
+            ops.push(DfOp {
+                kind: OpKind::Copy,
+                args: vec![fv],
+                result: Some(t),
+            });
+            fv = Value::Temp(t);
+        }
+        stores.push(DfOp {
+            kind: OpKind::StoreVar { var: VarId(v) },
+            args: vec![fv],
+            result: None,
+        });
+    }
+    ops.extend(stores);
+    *next_temp = nt;
+    Some(ops)
+}
+
+fn if_convert(df: &mut DfThread, next_temp: &mut u32, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = pred_counts(df);
+        let mut applied = false;
+        for h in 0..df.blocks.len() {
+            let Terminator::Branch {
+                cond,
+                then_block: tb,
+                else_block: eb,
+            } = df.blocks[h].term
+            else {
+                continue;
+            };
+            if tb == eb || tb == 0 || eb == 0 || tb == h || eb == h {
+                continue;
+            }
+            if preds[tb] != 1 || preds[eb] != 1 {
+                continue;
+            }
+            let join = match (&df.blocks[tb].term, &df.blocks[eb].term) {
+                (Terminator::Jump(a), Terminator::Jump(b))
+                    if a == b && *a != h && *a != tb && *a != eb =>
+                {
+                    Some(*a)
+                }
+                (Terminator::Restart, Terminator::Restart) => None,
+                _ => continue,
+            };
+            let Some(merged) = build_conversion(df, cond, tb, eb, next_temp) else {
+                continue;
+            };
+            df.blocks[h].ops.extend(merged);
+            df.blocks[h].term = match join {
+                Some(j) => Terminator::Jump(j),
+                None => Terminator::Restart,
+            };
+            stats.applications += 1;
+            applied = true;
+            changed = true;
+            break;
+        }
+        if !applied {
+            break;
+        }
+    }
+    changed
+}
+
+fn merge_chains(df: &mut DfThread, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    loop {
+        let preds = pred_counts(df);
+        let mut did = false;
+        for a in 0..df.blocks.len() {
+            let Terminator::Jump(b) = df.blocks[a].term else {
+                continue;
+            };
+            if b == 0 || b == a || preds[b] != 1 {
+                continue;
+            }
+            // Detach `b` (it becomes an unreachable self-loop swept later)
+            // and fuse it onto `a`.
+            let tail = std::mem::replace(
+                &mut df.blocks[b],
+                Block {
+                    ops: Vec::new(),
+                    term: Terminator::Jump(b),
+                },
+            );
+            df.blocks[a].ops.extend(tail.ops);
+            df.blocks[a].term = tail.term;
+            stats.applications += 1;
+            did = true;
+            changed = true;
+            break;
+        }
+        if !did {
+            break;
+        }
+    }
+    changed
+}
+
+fn remove_unreachable(df: &mut DfThread, stats: &mut PassStats) -> bool {
+    let n = df.blocks.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in df.blocks[b].term.successors() {
+            if !seen[s] {
+                seen[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    if seen.iter().all(|&s| s) {
+        return false;
+    }
+    // Order-preserving remap keeps block 0 the entry.
+    let mut remap = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for (i, &alive) in seen.iter().enumerate() {
+        if alive {
+            remap[i] = next;
+            next += 1;
+        }
+    }
+    let old = std::mem::take(&mut df.blocks);
+    for (i, mut b) in old.into_iter().enumerate() {
+        if !seen[i] {
+            stats.applications += 1;
+            stats.ops_removed += b.ops.len();
+            continue;
+        }
+        match &mut b.term {
+            Terminator::Jump(t) => *t = remap[*t],
+            Terminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => {
+                *then_block = remap[*then_block];
+                *else_block = remap[*else_block];
+            }
+            Terminator::Switch { arms, default, .. } => {
+                for (_, t) in arms.iter_mut() {
+                    *t = remap[*t];
+                }
+                *default = remap[*default];
+            }
+            Terminator::Restart => {}
+        }
+        df.blocks.push(b);
+    }
+    true
+}

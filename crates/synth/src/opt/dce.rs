@@ -1,0 +1,82 @@
+//! Dead-operation elimination.
+//!
+//! Removes pure ops whose results are never used, unguarded memory reads
+//! with dead results, and stores to register variables no op or terminator
+//! ever reads. It never touches the synchronization-visible surface:
+//! guarded memory reads (each is a consume event counted by
+//! [`crate::fsm::Fsm::dependencies`]), memory writes, `recv`, `send` — and
+//! never division or remainder, whose rejection by codegen must stay
+//! level-independent.
+
+use super::PassStats;
+use crate::ir::{DfThread, OpKind, Terminator, Value};
+use memsync_hic::ast::BinaryOp;
+use std::collections::BTreeSet;
+
+/// Runs dead-op elimination to a fixpoint. Returns whether anything was
+/// removed.
+pub(super) fn run(df: &mut DfThread, stats: &mut PassStats) -> bool {
+    let mut changed = false;
+    loop {
+        let mut temp_used: BTreeSet<u32> = BTreeSet::new();
+        let mut var_read: BTreeSet<u32> = BTreeSet::new();
+        fn mark(temp_used: &mut BTreeSet<u32>, var_read: &mut BTreeSet<u32>, v: &Value) {
+            match v {
+                Value::Temp(t) => {
+                    temp_used.insert(t.0);
+                }
+                Value::Var(id) => {
+                    var_read.insert(id.0);
+                }
+                Value::Const(_) => {}
+            }
+        }
+        for b in &df.blocks {
+            for op in &b.ops {
+                for a in &op.args {
+                    mark(&mut temp_used, &mut var_read, a);
+                }
+                // A memory read names its variable outside the args.
+                if let OpKind::MemRead { var, .. } = &op.kind {
+                    var_read.insert(var.0);
+                }
+            }
+            match &b.term {
+                Terminator::Branch { cond, .. } => mark(&mut temp_used, &mut var_read, cond),
+                Terminator::Switch { selector, .. } => {
+                    mark(&mut temp_used, &mut var_read, selector)
+                }
+                _ => {}
+            }
+        }
+
+        let mut removed = 0usize;
+        for b in &mut df.blocks {
+            b.ops.retain(|op| {
+                let result_dead = op.result.is_none_or(|t| !temp_used.contains(&t.0));
+                let keep = match &op.kind {
+                    OpKind::Binary(BinaryOp::Div | BinaryOp::Rem) => true,
+                    OpKind::Copy
+                    | OpKind::Unary(_)
+                    | OpKind::Binary(_)
+                    | OpKind::Call(_)
+                    | OpKind::Select => !result_dead,
+                    OpKind::MemRead { dep, .. } => dep.is_some() || !result_dead,
+                    OpKind::StoreVar { var } => var_read.contains(&var.0),
+                    OpKind::MemWrite { .. } | OpKind::Recv { .. } | OpKind::Send => true,
+                };
+                if !keep {
+                    removed += 1;
+                }
+                keep
+            });
+        }
+        if removed == 0 {
+            break;
+        }
+        stats.applications += removed;
+        stats.ops_removed += removed;
+        changed = true;
+    }
+    changed
+}

@@ -1,0 +1,317 @@
+//! Block-local simplification: constant folding, copy/constant
+//! propagation, common-subexpression elimination, and memory-read
+//! forwarding.
+//!
+//! One forward scan per block maintains three facts: what value each temp
+//! resolves to (`temp_map`), what value each register variable currently
+//! holds (`var_map`), and which memory words are already held in a temp
+//! (`mem_avail`). Substitutions are applied eagerly, so folding, CSE, and
+//! forwarding all see canonical operands.
+//!
+//! Soundness rules, in the order they bite:
+//!
+//! - `temp_map`/`var_map`/`mem_avail` only ever record `Temp` or `Const`
+//!   values. Temps are statically single-assignment, so neither goes stale;
+//!   a `Var` value would silently change meaning at the variable's next
+//!   definition.
+//! - `var_map` entries for variables narrower than the datapath record the
+//!   *masked* constant (what [`mask_to_width`] leaves in the register);
+//!   non-constant stores to narrow variables are not propagated at all.
+//! - `mem_avail` is keyed by `(variable, index)` with constant indexes
+//!   normalized through `as u32` (the address truncation the hardware
+//!   applies). Entries are recorded only when a later hit is forwardable:
+//!   guarded reads (the ISSUE-sanctioned same-pacing-window register
+//!   reuse) and accesses to register-resident (private port-A) arrays.
+//!   Shared unguarded banks are never forwarded — another thread may write
+//!   between the two accesses.
+//! - A `recv` is a pacing-window boundary: it clears `mem_avail` outright,
+//!   so no forwarding crosses it.
+//! - Division and remainder are never folded: codegen rejects them at
+//!   every level, and folding would make `O1` accept programs `O0`
+//!   rejects.
+
+use super::PassStats;
+use crate::eval::{call_function, eval_binary_datapath, eval_unary_datapath, mask_to_width};
+use crate::ir::{DfThread, OpKind, Residency, Terminator, Value};
+use memsync_hic::ast::BinaryOp;
+use std::collections::BTreeMap;
+
+/// Ordered key form of a [`Value`] for CSE/availability tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum VKey {
+    T(u32),
+    V(u32),
+    C(i64),
+}
+
+fn vkey(v: Value) -> VKey {
+    match v {
+        Value::Temp(t) => VKey::T(t.0),
+        Value::Var(id) => VKey::V(id.0),
+        Value::Const(c) => VKey::C(c),
+    }
+}
+
+/// Key form of a memory index: constants are normalized through the `as
+/// u32` truncation the address datapath applies.
+fn idx_key(v: Value) -> VKey {
+    match v {
+        Value::Const(c) => VKey::C(i64::from(c as u32)),
+        other => vkey(other),
+    }
+}
+
+fn as_const(v: Value) -> Option<i64> {
+    match v {
+        Value::Const(c) => Some(c),
+        _ => None,
+    }
+}
+
+/// Runs the local pass over every block. Returns whether anything changed
+/// and how many of the forwarded reads were guarded (each a deleted
+/// synchronization event).
+pub(super) fn run(
+    df: &mut DfThread,
+    fold: &mut PassStats,
+    forward: &mut PassStats,
+) -> (bool, usize) {
+    let mut changed = false;
+    let mut guarded_forwards = 0usize;
+    let widths = df.widths.clone();
+    let vars = df.vars.clone();
+    let binding = df.binding.clone();
+    let reg_resident =
+        |v: u32| -> bool { matches!(binding.residency_of(&vars[v as usize]), Residency::Register) };
+
+    for block in &mut df.blocks {
+        let mut temp_map: BTreeMap<u32, Value> = BTreeMap::new();
+        let mut var_map: BTreeMap<u32, Value> = BTreeMap::new();
+        let mut cse: BTreeMap<(String, Vec<VKey>), Value> = BTreeMap::new();
+        let mut mem_avail: BTreeMap<(u32, VKey), Value> = BTreeMap::new();
+        let mut new_ops = Vec::with_capacity(block.ops.len());
+
+        'ops: for mut op in block.ops.drain(..) {
+            for a in &mut op.args {
+                let s = match *a {
+                    Value::Temp(t) => temp_map.get(&t.0).copied(),
+                    Value::Var(v) => var_map.get(&v.0).copied(),
+                    Value::Const(_) => None,
+                };
+                if let Some(s) = s {
+                    if s != *a {
+                        *a = s;
+                        changed = true;
+                    }
+                }
+            }
+
+            match &op.kind {
+                OpKind::Copy => {
+                    match (op.result, op.args[0]) {
+                        (None, _) => {
+                            // Result-less copy: no effect at all.
+                            fold.applications += 1;
+                            fold.ops_removed += 1;
+                            changed = true;
+                        }
+                        (Some(t), v @ (Value::Temp(_) | Value::Const(_))) => {
+                            temp_map.insert(t.0, v);
+                            fold.applications += 1;
+                            fold.ops_removed += 1;
+                            changed = true;
+                        }
+                        // Copy of an unknown register value must stay put:
+                        // propagating a `Var` could go stale at its next
+                        // definition.
+                        (Some(_), Value::Var(_)) => new_ops.push(op),
+                    }
+                }
+                OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_) | OpKind::Select => {
+                    let folded: Option<Value> = match &op.kind {
+                        OpKind::Unary(u) => {
+                            as_const(op.args[0]).map(|a| Value::Const(eval_unary_datapath(*u, a)))
+                        }
+                        OpKind::Binary(b) if !matches!(b, BinaryOp::Div | BinaryOp::Rem) => {
+                            match (as_const(op.args[0]), as_const(op.args[1])) {
+                                (Some(x), Some(y)) => {
+                                    Some(Value::Const(eval_binary_datapath(*b, x, y)))
+                                }
+                                _ => None,
+                            }
+                        }
+                        OpKind::Binary(_) => None,
+                        OpKind::Call(name) => {
+                            let consts: Option<Vec<i64>> =
+                                op.args.iter().map(|a| as_const(*a)).collect();
+                            consts.map(|cs| Value::Const(call_function(name, &cs)))
+                        }
+                        OpKind::Select => match as_const(op.args[0]) {
+                            Some(c) => Some(if (c as u32) != 0 {
+                                op.args[1]
+                            } else {
+                                op.args[2]
+                            }),
+                            None if op.args[1] == op.args[2] => Some(op.args[1]),
+                            None => None,
+                        },
+                        _ => unreachable!(),
+                    };
+                    if let Some(v) = folded {
+                        match (op.result, v) {
+                            (None, _) => {}
+                            (Some(t), Value::Temp(_) | Value::Const(_)) => {
+                                temp_map.insert(t.0, v);
+                            }
+                            (Some(_), Value::Var(_)) => {
+                                // Folded to a live register read (select of
+                                // identical var arms): keep a positional
+                                // copy so the read happens here, not at some
+                                // later use after a redefinition.
+                                op.kind = OpKind::Copy;
+                                op.args = vec![v];
+                                fold.applications += 1;
+                                changed = true;
+                                new_ops.push(op);
+                                continue 'ops;
+                            }
+                        }
+                        fold.applications += 1;
+                        fold.ops_removed += 1;
+                        changed = true;
+                        continue 'ops;
+                    }
+                    // Value numbering: identical pure op on identical
+                    // operands reuses the earlier result.
+                    if let Some(t) = op.result {
+                        let key = (
+                            format!("{:?}", op.kind),
+                            op.args.iter().map(|a| vkey(*a)).collect::<Vec<_>>(),
+                        );
+                        if let Some(prior) = cse.get(&key) {
+                            temp_map.insert(t.0, *prior);
+                            fold.applications += 1;
+                            fold.ops_removed += 1;
+                            changed = true;
+                            continue 'ops;
+                        }
+                        cse.insert(key, Value::Temp(t));
+                    }
+                    new_ops.push(op);
+                }
+                OpKind::MemRead { var, dep } => {
+                    let v = var.0;
+                    let guarded = dep.is_some();
+                    let key = (v, idx_key(op.args[0]));
+                    if let Some(held) = mem_avail.get(&key).copied() {
+                        if let Some(t) = op.result {
+                            temp_map.insert(t.0, held);
+                        }
+                        forward.applications += 1;
+                        forward.ops_removed += 1;
+                        if guarded {
+                            guarded_forwards += 1;
+                        }
+                        changed = true;
+                        continue 'ops;
+                    }
+                    // Record availability only when a later hit would be
+                    // forwardable: guarded consumes (held for the window)
+                    // or private register-resident banks.
+                    if guarded || reg_resident(v) {
+                        if let Some(t) = op.result {
+                            mem_avail.insert(key, Value::Temp(t));
+                        }
+                    }
+                    new_ops.push(op);
+                }
+                OpKind::MemWrite { var, .. } => {
+                    let v = var.0;
+                    let ik = idx_key(op.args[0]);
+                    // A write invalidates every held word of this variable
+                    // it could alias (distinct constant indexes cannot).
+                    mem_avail.retain(|(ev, ek), _| {
+                        *ev != v
+                            || match (ek, &ik) {
+                                (VKey::C(a), VKey::C(b)) => a != b,
+                                _ => false,
+                            }
+                    });
+                    // Store-to-load forwarding, private banks only; the
+                    // bank stores the raw 32-bit word.
+                    if reg_resident(v) {
+                        let record = match op.args[1] {
+                            Value::Const(c) => Some(Value::Const(i64::from(c as u32))),
+                            t @ Value::Temp(_) => Some(t),
+                            Value::Var(_) => None,
+                        };
+                        if let Some(d) = record {
+                            mem_avail.insert((v, ik), d);
+                        }
+                    }
+                    new_ops.push(op);
+                }
+                OpKind::StoreVar { var } => {
+                    let v = var.0;
+                    let width = widths[v as usize].min(32);
+                    cse.retain(|(_, args), _| !args.contains(&VKey::V(v)));
+                    mem_avail.retain(|(_, ek), _| *ek != VKey::V(v));
+                    let known = match op.args[0] {
+                        Value::Const(c) => Some(Value::Const(mask_to_width(c, width))),
+                        t @ Value::Temp(_) if width >= 32 => Some(t),
+                        _ => None,
+                    };
+                    // A store of the value the register already holds is a
+                    // no-op.
+                    if known.is_some() && var_map.get(&v) == known.as_ref() {
+                        fold.applications += 1;
+                        fold.ops_removed += 1;
+                        changed = true;
+                        continue 'ops;
+                    }
+                    match known {
+                        Some(k) => {
+                            var_map.insert(v, k);
+                        }
+                        None => {
+                            var_map.remove(&v);
+                        }
+                    }
+                    new_ops.push(op);
+                }
+                OpKind::Recv { var } => {
+                    let v = var.0;
+                    var_map.remove(&v);
+                    cse.retain(|(_, args), _| !args.contains(&VKey::V(v)));
+                    // Pacing-window boundary: nothing held survives it.
+                    mem_avail.clear();
+                    new_ops.push(op);
+                }
+                OpKind::Send => new_ops.push(op),
+            }
+        }
+        block.ops = new_ops;
+
+        // The terminator executes after every op; the final maps apply.
+        let subst_term = |val: &mut Value| {
+            let s = match *val {
+                Value::Temp(t) => temp_map.get(&t.0).copied(),
+                Value::Var(v) => var_map.get(&v.0).copied(),
+                Value::Const(_) => None,
+            };
+            match s {
+                Some(s) if s != *val => {
+                    *val = s;
+                    true
+                }
+                _ => false,
+            }
+        };
+        match &mut block.term {
+            Terminator::Branch { cond, .. } => changed |= subst_term(cond),
+            Terminator::Switch { selector, .. } => changed |= subst_term(selector),
+            _ => {}
+        }
+    }
+    (changed, guarded_forwards)
+}

@@ -57,7 +57,7 @@ impl ScheduledBlock {
 fn is_alu(kind: &OpKind) -> bool {
     matches!(
         kind,
-        OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_) | OpKind::Copy
+        OpKind::Unary(_) | OpKind::Binary(_) | OpKind::Call(_) | OpKind::Copy | OpKind::Select
     )
 }
 

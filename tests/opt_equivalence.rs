@@ -1,0 +1,277 @@
+//! O0-vs-O1 semantics equivalence: the optimizing middle-end must be
+//! invisible to everything observable — egress frame streams under both
+//! wrapper organizations, lost-update counts, per-thread dependency
+//! surfaces, and static hazard codes — across the shipped examples and a
+//! seeded pragma-shaped fuzz corpus.
+
+use memsync::core::{Compiler, OptLevel, OrganizationKind};
+use memsync::hic::hazards::{self, PacingAssumption};
+use memsync::hic::Severity;
+use memsync::sim::System;
+use memsync::synth::fsm::Fsm;
+use memsync::synth::ir::OpKind;
+use memsync::trace::Pcg32;
+
+/// Every shipped hic example, as `(name, source)`.
+fn example_sources() -> Vec<(String, String)> {
+    let dir = format!("{}/examples/hic", env!("CARGO_MANIFEST_DIR"));
+    let mut out: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("examples/hic exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "hic"))
+        .map(|p| {
+            let name = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).expect("readable example");
+            (name, src)
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no examples found in {dir}");
+    out
+}
+
+/// Static guarded memory ops in an FSM (each is a sync event).
+fn guarded_ops(fsm: &Fsm) -> usize {
+    fsm.states
+        .iter()
+        .flat_map(|s| s.ops.iter())
+        .filter(|o| o.kind.dep().is_some())
+        .count()
+}
+
+/// Compiles `src` at `level` under `kind` and pushes a paced descriptor
+/// batch through it, mirroring the serve SimBackend's injection. Returns
+/// the per-egress frame streams and the lost-update count.
+fn egress_frames(src: &str, kind: OrganizationKind, level: OptLevel) -> (Vec<Vec<i64>>, u64) {
+    let compiled = Compiler::new(src)
+        .organization(kind)
+        .opt(level)
+        .skip_validation()
+        .compile()
+        .expect("example compiles");
+    let mut sys = System::new(&compiled);
+    let mut egress = Vec::new();
+    while let Some(id) = sys.thread_id(&format!("e{}", egress.len())) {
+        egress.push(id);
+    }
+    assert!(!egress.is_empty(), "example has egress threads");
+    let descs: Vec<i64> = memsync::netapp::Workload::generate(0x0E0E, 48, 64)
+        .packets
+        .iter()
+        .map(|p| i64::from(p.descriptor()))
+        .collect();
+    assert!(
+        sys.submit_paced("rx", &egress, &descs, 0, 2_000),
+        "paced run stalled at {level}"
+    );
+    let frames = egress.iter().map(|&id| sys.drain_sent(id)).collect();
+    (frames, sys.lost_updates())
+}
+
+#[test]
+fn examples_egress_is_identical_at_both_levels_and_organizations() {
+    for (name, src) in example_sources() {
+        for kind in [OrganizationKind::Arbitrated, OrganizationKind::EventDriven] {
+            let (f0, l0) = egress_frames(&src, kind, OptLevel::O0);
+            let (f1, l1) = egress_frames(&src, kind, OptLevel::O1);
+            assert_eq!(f0, f1, "{name} under {kind}: egress diverged O0 vs O1");
+            assert_eq!(l0, l1, "{name} under {kind}: lost updates diverged");
+            assert_eq!(l0, 0, "{name} under {kind}: paced run lost updates");
+        }
+    }
+}
+
+#[test]
+fn examples_keep_dependency_surfaces_and_hazard_codes() {
+    for (name, src) in example_sources() {
+        let o0 = Compiler::new(&src).compile().expect("O0 compiles");
+        let o1 = Compiler::new(&src)
+            .opt(OptLevel::O1)
+            .compile()
+            .expect("O1 compiles");
+        assert_eq!(o0.fsms.len(), o1.fsms.len());
+        for (a, b) in o0.fsms.iter().zip(o1.fsms.iter()) {
+            assert_eq!(
+                a.dependencies(),
+                b.dependencies(),
+                "{name} thread {}: dependency surface changed",
+                a.thread
+            );
+        }
+        // Hazard analysis runs on source, upstream of the middle-end:
+        // the codes an O1 build reports are the codes an O0 build reports.
+        let (r0, _) = hazards::check_source(&src, PacingAssumption::PacedArrivals).unwrap();
+        let (r1, _) = hazards::check_source(&src, PacingAssumption::PacedArrivals).unwrap();
+        assert_eq!(r0.codes(), r1.codes(), "{name}: hazard codes unstable");
+    }
+}
+
+/// The tentpole pins: on forwarding_4, O1 must shrink the total FSM and
+/// delete guarded memory ops (sync events), never grow either.
+#[test]
+fn forwarding_4_shrinks_under_o1() {
+    let src = std::fs::read_to_string(format!(
+        "{}/examples/hic/forwarding_4.hic",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("forwarding_4 example");
+    let o0 = Compiler::new(&src).compile().unwrap();
+    let o1 = Compiler::new(&src).opt(OptLevel::O1).compile().unwrap();
+    let states = |c: &memsync::core::flow::CompiledSystem| -> usize {
+        c.fsms.iter().map(|f| f.states.len()).sum()
+    };
+    let guarded =
+        |c: &memsync::core::flow::CompiledSystem| -> usize { c.fsms.iter().map(guarded_ops).sum() };
+    assert!(
+        states(&o1) < states(&o0),
+        "O1 total states {} !< O0 {}",
+        states(&o1),
+        states(&o0)
+    );
+    assert!(
+        guarded(&o1) < guarded(&o0),
+        "O1 guarded ops {} !< O0 {}",
+        guarded(&o1),
+        guarded(&o0)
+    );
+}
+
+/// The robustness generator's pragma-shaped programs, with every thread
+/// forced to `send` so optimization differences would be observable.
+fn fuzz_pragma_program(rng: &mut Pcg32) -> String {
+    let threads = rng.gen_range_usize(1..4);
+    let deps = ["m0", "m1", "m2"];
+    let vars = ["v", "w", "x"];
+    let mut src = String::new();
+    for t in 0..threads {
+        src.push_str(&format!("thread t{t} () {{ int v, w, x; message m;\n"));
+        if rng.gen_range_usize(0..2) == 0 {
+            src.push_str("recv m;\n");
+        }
+        for _ in 0..rng.gen_range_usize(1..5) {
+            let dep = deps[rng.gen_range_usize(0..deps.len())];
+            let var = vars[rng.gen_range_usize(0..vars.len())];
+            let peer = rng.gen_range_usize(0..threads);
+            let pvar = vars[rng.gen_range_usize(0..vars.len())];
+            match rng.gen_range_usize(0..6) {
+                0 => src.push_str(&format!(
+                    "#consumer{{{dep},[t{peer},{pvar}]}} {var} = {var} + 1;\n"
+                )),
+                1 => src.push_str(&format!(
+                    "#producer{{{dep},[t{peer},{pvar}]}} {var} = {pvar};\n"
+                )),
+                2 => src.push_str(&format!(
+                    "if ({var}) {{ {var} = {var} * 3; }} else {{ w = w + {peer}; }}\n"
+                )),
+                3 => src.push_str(&format!("#constant{{k{t}, {}}} x = k{t};\n", peer + 2)),
+                4 => src.push_str(&format!("{var} = ({var} << 2) | {};\n", peer + 1)),
+                _ => src.push_str(&format!("{var} = {var} * 2;\n")),
+            }
+        }
+        src.push_str("send ((v + w) + x);\n}\n");
+    }
+    src
+}
+
+/// True when any FSM statically re-reads a guarded location — window
+/// semantics for re-reads are only pinned under paced injection, so the
+/// free-running fuzz harness excludes them.
+fn has_repeated_guarded_read(fsm: &Fsm) -> bool {
+    let mut counts = std::collections::BTreeMap::new();
+    for op in fsm.states.iter().flat_map(|s| s.ops.iter()) {
+        if let OpKind::MemRead { var, dep: Some(_) } = &op.kind {
+            let c: &mut usize = counts.entry(var.0).or_default();
+            *c += 1;
+            if *c > 1 {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Per-thread sent streams plus the lost-update counter after a
+/// free-running bounded run at `level`.
+fn fuzz_run(src: &str, level: OptLevel) -> (Vec<(String, Vec<i64>)>, u64) {
+    let compiled = Compiler::new(src)
+        .opt(level)
+        .skip_validation()
+        .compile()
+        .expect("corpus member compiles");
+    let mut sys = System::new(&compiled);
+    for (thread, fsm) in compiled.program.threads.iter().zip(compiled.fsms.iter()) {
+        let receives = fsm
+            .states
+            .iter()
+            .flat_map(|s| s.ops.iter())
+            .any(|o| matches!(o.kind, OpKind::Recv { .. }));
+        if receives {
+            sys.push_messages(&thread.name, (0..8).map(|i| 1_000 + i * 7));
+        }
+    }
+    let _ = sys.run_until_iterations(4, 50_000);
+    let sent = compiled
+        .program
+        .threads
+        .iter()
+        .map(|t| {
+            let id = sys.thread_id(&t.name).expect("thread exists");
+            (t.name.clone(), sys.drain_sent(id))
+        })
+        .collect();
+    (sent, sys.lost_updates())
+}
+
+#[test]
+fn fuzz_corpus_sent_streams_match_across_levels() {
+    let mut rng = Pcg32::seed_from_u64(0x0077_E051);
+    let mut corpus: Vec<String> = Vec::new();
+    let mut tries = 0;
+    while corpus.len() < 24 && tries < 4_000 {
+        tries += 1;
+        let src = fuzz_pragma_program(&mut rng);
+        // Strict front-end + flow acceptance.
+        let Ok(compiled) = Compiler::new(&src).skip_validation().compile() else {
+            continue;
+        };
+        // Hazard-clean under free-running arrivals: the values every
+        // consume samples are interleaving-independent, so O0 and O1
+        // timing differences cannot change them.
+        let Ok((report, diags)) = hazards::check_source(&src, PacingAssumption::FreeRunning) else {
+            continue;
+        };
+        if !report.is_clean() || diags.iter().any(|d| d.severity == Severity::Error) {
+            continue;
+        }
+        if compiled.fsms.iter().any(has_repeated_guarded_read) {
+            continue;
+        }
+        corpus.push(src);
+    }
+    assert!(
+        corpus.len() >= 12,
+        "fuzz filter too strict: only {} members after {tries} tries",
+        corpus.len()
+    );
+
+    let mut compared = 0usize;
+    for src in &corpus {
+        let (s0, l0) = fuzz_run(src, OptLevel::O0);
+        let (s1, l1) = fuzz_run(src, OptLevel::O1);
+        assert_eq!(l0, l1, "lost updates diverged for:\n{src}");
+        assert_eq!(s0.len(), s1.len());
+        for ((name0, f0), (name1, f1)) in s0.iter().zip(s1.iter()) {
+            assert_eq!(name0, name1);
+            // The faster FSM overshoots differently; the common prefix
+            // must agree value for value.
+            let n = f0.len().min(f1.len());
+            assert_eq!(
+                &f0[..n],
+                &f1[..n],
+                "thread {name0} sent stream diverged for:\n{src}"
+            );
+            compared += n;
+        }
+    }
+    assert!(compared > 0, "corpus produced no comparable sends");
+}

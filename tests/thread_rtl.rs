@@ -5,17 +5,11 @@
 
 use memsync::rtl::interp::Interp;
 use memsync::sim::ThreadExec;
-use memsync::synth::{codegen, Constraints, Fsm, MemBinding};
+use memsync::synth::{codegen, Synthesis};
 
 fn build(src: &str) -> (Interp, ThreadExec) {
     let program = memsync::hic::parser::parse(src).expect("parses");
-    let fsm = Fsm::synthesize(
-        &program,
-        &program.threads[0],
-        &MemBinding::new(),
-        Constraints::default(),
-    )
-    .expect("synthesizes");
+    let fsm = Synthesis::of(&program).run().expect("synthesizes").fsm;
     let module = codegen::generate(&fsm).expect("codegen");
     memsync::rtl::validate::validate(&module).expect("valid netlist");
     (
